@@ -1,0 +1,414 @@
+package geosir
+
+// Benchmark harness: one benchmark per figure/claim of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index) plus the
+// ablations DESIGN.md §4 calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level series are also printed by cmd/experiments; the benchmarks
+// here measure the steady-state cost of each reproduced pipeline and
+// report the figure's headline quantity as a custom metric.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/extindex"
+	"repro/internal/extstore"
+	"repro/internal/geohash"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rangesearch"
+	"repro/internal/synth"
+)
+
+// The shared fixture is built once per `go test -bench` process.
+var (
+	benchOnce    sync.Once
+	benchFixture *experiments.Fixture
+	benchErr     error
+)
+
+func sharedFixture(b *testing.B) *experiments.Fixture {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.Scale = 0.01 // 100 images ≈ 5k normalized copies
+		benchFixture, benchErr = experiments.BuildFixture(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchFixture
+}
+
+// --- Figure 1: similarity criterion discrimination -----------------------
+
+func BenchmarkFig1_Measures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1()
+		if !r.AvgPicksB {
+			b.Fatal("average measure no longer prefers B")
+		}
+	}
+}
+
+// --- Figure 2: distortion robustness vs the Mehrotra–Gary baseline -------
+
+func BenchmarkFig2_GeoSIRRetrieval(b *testing.B) {
+	f := sharedFixture(b)
+	rng := rand.New(rand.NewSource(42))
+	shapes := f.Base.Shapes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := shapes[rng.Intn(len(shapes))]
+		q := synth.Distort(rng, src.Poly, 0.02)
+		if q.Validate() != nil {
+			continue
+		}
+		if _, _, err := f.Base.Match(q, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2_MGRetrieval(b *testing.B) {
+	f := sharedFixture(b)
+	mg, err := core.NewMGIndex(f.Base.Shapes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	shapes := f.Base.Shapes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := shapes[rng.Intn(len(shapes))]
+		q := synth.Distort(rng, src.Poly, 0.02)
+		if q.Validate() != nil {
+			continue
+		}
+		if _, err := mg.Match(q, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: solving the equal-area hash-curve family ------------------
+
+func BenchmarkFig5_HashCurveSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := geohash.NewFamily(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: I/O per query across storage layouts ----------------------
+
+func BenchmarkFig7_IOPerQuery(b *testing.B) {
+	f := sharedFixture(b)
+	for _, layout := range extstore.Layouts() {
+		b.Run(string(layout), func(b *testing.B) {
+			var lastIO float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig7(f, 2, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastIO = rows[1].IO[layout] // k = 2
+			}
+			b.ReportMetric(lastIO, "io/query")
+		})
+	}
+}
+
+// --- Figure 8: buffer-size sweep ------------------------------------------
+
+func BenchmarkFig8_BufferSweep(b *testing.B) {
+	f := sharedFixture(b)
+	for _, kb := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("buf%dKB", kb), func(b *testing.B) {
+			var lastIO float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig8(f, []int{kb})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastIO = rows[0].IO[extstore.LayoutMean]
+			}
+			b.ReportMetric(lastIO, "io/query")
+		})
+	}
+}
+
+// --- §4 rehash cost --------------------------------------------------------
+
+func BenchmarkLayout_Rehash(b *testing.B) {
+	f := sharedFixture(b)
+	for _, layout := range extstore.Layouts() {
+		b.Run(string(layout), func(b *testing.B) {
+			var cmps int
+			for i := 0; i < b.N; i++ {
+				store, err := extstore.NewStore(f.Records, extstore.LayoutLex, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := store.Rehash(layout)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmps = st.Comparisons
+			}
+			b.ReportMetric(float64(cmps), "comparisons")
+		})
+	}
+}
+
+// --- Figure 10: selectivity law -------------------------------------------
+
+func BenchmarkFig10_Selectivity(b *testing.B) {
+	// A star base with Zipf-graded complexity (the Figure 10 domain).
+	images := synth.ZipfStarImages(synth.ZipfStarSpec{
+		Shapes: 400, MinC: 3, MaxC: 12, Noise: 0.015, Seed: 5,
+	})
+	opts := core.DefaultOptions()
+	opts.Alpha = 0.065
+	base := core.NewBase(opts)
+	for _, img := range images {
+		if _, err := base.AddShape(img.ID, img.Shapes[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := base.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	var matches int
+	for i := 0; i < b.N; i++ {
+		q := synth.Star(rng, 3+i%10, 0.015)
+		ms, _, err := base.SimilarShapes(q, 0.03)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches = len(ms)
+	}
+	b.ReportMetric(float64(matches), "matches")
+}
+
+// --- §2.5: retrieval scaling (polylog claim) ------------------------------
+
+func benchmarkMatchAtScale(b *testing.B, scale float64) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = scale
+	f, err := experiments.BuildFixture(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		q := f.Queries[i%len(f.Queries)]
+		_, st, err := f.Base.Match(q, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = st.Iterations
+	}
+	b.ReportMetric(float64(f.Base.NumVertices()), "base-vertices")
+	b.ReportMetric(float64(iters), "fattenings")
+}
+
+func BenchmarkMatch_Scaling_50images(b *testing.B)  { benchmarkMatchAtScale(b, 0.005) }
+func BenchmarkMatch_Scaling_100images(b *testing.B) { benchmarkMatchAtScale(b, 0.01) }
+func BenchmarkMatch_Scaling_200images(b *testing.B) { benchmarkMatchAtScale(b, 0.02) }
+
+// --- §3: geometric hashing -------------------------------------------------
+
+func BenchmarkGeoHash_Characteristic(b *testing.B) {
+	f := sharedFixture(b)
+	shapes := f.Base.Shapes()
+	entries := make([]core.Entry, 0, len(shapes))
+	for _, s := range shapes {
+		if e, err := core.NormalizeCanonical(s.Poly); err == nil {
+			entries = append(entries, e)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%len(entries)]
+		_ = f.Family.Characteristic(e.Poly.Pts)
+	}
+}
+
+func BenchmarkGeoHash_Lookup(b *testing.B) {
+	f := sharedFixture(b)
+	table := geohash.NewTable(f.Family)
+	for _, s := range f.Base.Shapes() {
+		e, err := core.NormalizeCanonical(s.Poly)
+		if err != nil {
+			continue
+		}
+		if err := table.Insert(s.ID, f.Family.Characteristic(e.Poly.Pts)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	quads := make([]geohash.Quadruple, 64)
+	rng := rand.New(rand.NewSource(4))
+	for i := range quads {
+		s := f.Base.Shape(rng.Intn(f.Base.NumShapes()))
+		e, _ := core.NormalizeCanonical(s.Poly)
+		quads[i] = f.Family.Characteristic(e.Poly.Pts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = table.Lookup(quads[i%len(quads)], 1)
+	}
+}
+
+// --- §5.4: query plans -------------------------------------------------------
+
+func BenchmarkQueryPlans(b *testing.B) {
+	f := sharedFixture(b)
+	var checks int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Plans(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		checks = rows[0].PlannedChecks
+	}
+	b.ReportMetric(float64(checks), "checks")
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+func BenchmarkAblation_RangeBackend(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	pts := make([]geom.Point, 20000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64()*1.6-0.8)
+	}
+	tris := make([]geom.Triangle, 64)
+	for i := range tris {
+		c := geom.Pt(rng.Float64(), rng.Float64()*1.6-0.8)
+		tris[i] = geom.Tri(c, c.Add(geom.Pt(0.05, 0)), c.Add(geom.Pt(0, 0.05)))
+	}
+	for _, kind := range []rangesearch.Kind{rangesearch.KindBrute, rangesearch.KindKDTree, rangesearch.KindLayered} {
+		backend := rangesearch.New(kind, pts)
+		b.Run(string(kind), func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				backend.ReportTriangle(tris[i%len(tris)], func(int) { n++ })
+			}
+			_ = n
+		})
+	}
+}
+
+func BenchmarkAblation_AlphaBeta(b *testing.B) {
+	for _, cfg := range []struct {
+		alpha, beta float64
+	}{
+		{0.0, 0.25}, {0.065, 0.25}, {0.065, 0.1}, {0.065, 0.4}, {0.15, 0.25},
+	} {
+		name := fmt.Sprintf("alpha%.3f_beta%.2f", cfg.alpha, cfg.beta)
+		b.Run(name, func(b *testing.B) {
+			c := experiments.DefaultConfig()
+			c.Scale = 0.005
+			c.CoreOpts.Alpha = cfg.alpha
+			c.CoreOpts.Beta = cfg.beta
+			f, err := experiments.BuildFixture(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := f.Base.Match(f.Queries[i%len(f.Queries)], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(f.Base.NumEntries()), "copies")
+		})
+	}
+}
+
+func BenchmarkAblation_Growth(b *testing.B) {
+	for _, g := range []float64{1.3, 2, 3} {
+		b.Run(fmt.Sprintf("growth%.1f", g), func(b *testing.B) {
+			c := experiments.DefaultConfig()
+			c.Scale = 0.005
+			c.CoreOpts.GrowthFactor = g
+			f, err := experiments.BuildFixture(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var iters int
+			for i := 0; i < b.N; i++ {
+				_, st, err := f.Base.Match(f.Queries[i%len(f.Queries)], 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = st.Iterations
+			}
+			b.ReportMetric(float64(iters), "fattenings")
+		})
+	}
+}
+
+func BenchmarkAblation_Sampling(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	a := synth.Star(rng, 8, 0.02)
+	c := synth.Star(rng, 8, 0.02)
+	for _, samples := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("samples%d", samples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.AvgMinDistSym(a, c, samples)
+			}
+		})
+	}
+}
+
+// --- Selectivity estimation -----------------------------------------------
+
+func BenchmarkSelectivity_SignificantVertices(b *testing.B) {
+	f := sharedFixture(b)
+	for i := 0; i < b.N; i++ {
+		_ = query.SignificantVertices(f.Queries[i%len(f.Queries)])
+	}
+}
+
+// --- External-memory index (§4 auxiliary structures) ------------------------
+
+func BenchmarkExtIndex_TriangleQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	pts := make([]geom.Point, 50000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64()*1.6-0.8)
+	}
+	tree, err := extindex.Build(pts, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tris := make([]geom.Triangle, 64)
+	for i := range tris {
+		c := geom.Pt(rng.Float64(), rng.Float64()*1.6-0.8)
+		tris[i] = geom.Tri(c, c.Add(geom.Pt(0.03, 0)), c.Add(geom.Pt(0, 0.03)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.CountTriangle(tris[i%len(tris)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := tree.Stats()
+	if st.PoolMisses+st.PoolHits > 0 {
+		b.ReportMetric(float64(st.PoolMisses)/float64(b.N), "block-reads/query")
+	}
+}

@@ -1,0 +1,368 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-scale 0.02] [-seed 1] [-fig N | -all | -scaling | -hashing | -plans]
+//
+// -scale is the fraction of the paper's 10,000-image base to generate;
+// 1.0 reproduces the full-size experiment (slow), the default 0.02 shows
+// every trend in seconds. Figures: 1, 2, 5, 7, 8, 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/extstore"
+)
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.02, "fraction of the paper's 10,000-image base")
+		seed      = flag.Int64("seed", 1, "random seed")
+		fig       = flag.Int("fig", 0, "reproduce one figure (1, 2, 5, 7, 8, 10)")
+		all       = flag.Bool("all", false, "reproduce everything")
+		scaling   = flag.Bool("scaling", false, "run the §2.5 polylog-scaling experiment")
+		hashing   = flag.Bool("hashing", false, "run the §3 hash-family sweep")
+		plans     = flag.Bool("plans", false, "run the §5.4 plan-ordering comparison")
+		baselines = flag.Bool("baselines", false, "run the §1 related-work baseline comparison (chamfer matching)")
+		extidx    = flag.Bool("extindex", false, "run the §4 external-memory auxiliary-index experiment")
+		quality   = flag.Bool("quality", false, "run the noise-tolerance (precision vs distortion) study")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	if err := run(cfg, *fig, *all, *scaling, *hashing, *plans, *baselines, *extidx, *quality); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, fig int, all, scaling, hashing, plans, baselines, extidx, quality bool) error {
+	none := fig == 0 && !all && !scaling && !hashing && !plans && !baselines && !extidx && !quality
+	if none {
+		all = true
+	}
+	var fixture *experiments.Fixture
+	need := func() (*experiments.Fixture, error) {
+		if fixture != nil {
+			return fixture, nil
+		}
+		f, err := experiments.BuildFixture(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("# base: %s\n\n", f.Summary())
+		fixture = f
+		return f, nil
+	}
+
+	if all || fig == 1 {
+		printFig1()
+	}
+	if all || fig == 2 {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printFig2(f); err != nil {
+			return err
+		}
+	}
+	if all || fig == 5 {
+		printFig5()
+	}
+	if all || fig == 7 {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printFig7(f); err != nil {
+			return err
+		}
+	}
+	if all || fig == 8 {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printFig8(f); err != nil {
+			return err
+		}
+	}
+	if all || fig == 10 {
+		if err := printFig10(cfg); err != nil {
+			return err
+		}
+	}
+	if all || scaling {
+		if err := printScaling(cfg); err != nil {
+			return err
+		}
+	}
+	if all || hashing {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printHashing(f); err != nil {
+			return err
+		}
+	}
+	if all || plans {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printPlans(f); err != nil {
+			return err
+		}
+	}
+	if all || baselines {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printBaselines(f); err != nil {
+			return err
+		}
+	}
+	if all || extidx {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printExtIndex(f); err != nil {
+			return err
+		}
+	}
+	if all || quality {
+		f, err := need()
+		if err != nil {
+			return err
+		}
+		if err := printQuality(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printQuality(f *experiments.Fixture) error {
+	rows, err := experiments.Quality(f, nil, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== noise tolerance: retrieval precision vs query distortion ==")
+	fmt.Printf("  %12s %8s %8s %8s\n", "distortion", "P@1", "P@5", "MRR")
+	for _, r := range rows {
+		fmt.Printf("  %11.0f%% %8.2f %8.2f %8.2f\n", r.Distortion*100, r.P1, r.P5, r.MRR)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printExtIndex(f *experiments.Fixture) error {
+	rows, err := experiments.ExtIndexIO(f, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== §4: external-memory auxiliary index (block-packed kd-tree) ==")
+	fmt.Printf("  %12s %12s %16s %10s\n", "buf(blocks)", "idx blocks", "reads/query", "hit rate")
+	for _, r := range rows {
+		fmt.Printf("  %12d %12d %16.1f %10.2f\n",
+			r.BufferBlocks, r.IndexBlocks, r.ReadsPerQry, r.HitRate)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printBaselines(f *experiments.Fixture) error {
+	r, err := experiments.Chamfer(f, 15)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== §1 related work: chamfer matching vs GeoSIR ==")
+	fmt.Printf("  %-10s %10s %14s %18s\n", "method", "hits", "per query", "data touched/query")
+	fmt.Printf("  %-10s %7d/%2d %11.0f µs %15.1f KB\n",
+		"chamfer", r.ChamferHits, r.Queries, r.ChamferMicros, r.ChamferBytes/1024)
+	fmt.Printf("  %-10s %7d/%2d %11.0f µs %15.1f KB\n",
+		"GeoSIR", r.GeoSIRHits, r.Queries, r.GeoSIRMicros, r.GeoSIRBytes/1024)
+	fmt.Println("  (chamfer scans every image's distance map per query — linear in the base;")
+	fmt.Println("   GeoSIR touches index-pruned blocks)")
+	fmt.Println()
+	return nil
+}
+
+func printFig1() {
+	r := experiments.Fig1()
+	fmt.Println("== Figure 1: similarity-criterion discrimination ==")
+	fmt.Println("Q vs A (spiked copy) and B (mildly perturbed copy):")
+	fmt.Printf("  Hausdorff:   H(A,Q)=%.4f  H(B,Q)=%.4f  -> picks %s\n",
+		r.HausdorffA, r.HausdorffB, pick(r.HausdorffA > r.HausdorffB, "B (spike dominates A)", "A"))
+	fmt.Printf("  h_avg (sym): g(A,Q)=%.4f  g(B,Q)=%.4f  -> picks %s\n",
+		r.AvgA, r.AvgB, pick(r.AvgPicksB, "B (intuitive match)", "A"))
+	fmt.Println()
+}
+
+func pick(cond bool, yes, no string) string {
+	if cond {
+		return yes
+	}
+	return no
+}
+
+func printFig2(f *experiments.Fixture) error {
+	r, err := experiments.Fig2(f, 30)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 2: robustness to local (edge-split) distortion ==")
+	fmt.Printf("  %-28s %8s %14s\n", "method", "hits", "storage")
+	fmt.Printf("  %-28s %5d/%2d %10d copies\n", "GeoSIR (diameter norm.)", r.GeoSIRHit, r.Trials, r.Entries)
+	fmt.Printf("  %-28s %5d/%2d %10d vectors\n", "Mehrotra-Gary (edge norm.)", r.MGHit, r.Trials, r.MGVectors)
+	fmt.Println()
+	return nil
+}
+
+func printFig5() {
+	fmt.Println("== Figure 5: hash-curve area function E(x) and dE/dx ==")
+	fmt.Printf("  %6s %10s %10s\n", "x", "E(x)", "dE/dx")
+	for _, row := range experiments.Fig5(21) {
+		fmt.Printf("  %6.2f %10.6f %10.6f\n", row.X, row.E, row.DE)
+	}
+	fmt.Println()
+}
+
+func printFig7(f *experiments.Fixture) error {
+	rows, err := experiments.Fig7(f, 10, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 7: mean I/O operations per query (100-block buffer) ==")
+	fmt.Printf("  %2s", "k")
+	for _, l := range extstore.Layouts() {
+		fmt.Printf(" %14s", l)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		fmt.Printf("  %2d", row.K)
+		for _, l := range extstore.Layouts() {
+			fmt.Printf(" %14.2f", row.IO[l])
+		}
+		fmt.Println()
+	}
+	costs, err := experiments.Rehash(f)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  rehash cost (from lexicographic):")
+	for _, c := range costs {
+		fmt.Printf("    %-14s comparisons=%-9d reads=%-5d writes=%d\n",
+			c.Layout, c.Comparisons, c.BlockReads, c.BlockWrites)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig8(f *experiments.Fixture) error {
+	rows, err := experiments.Fig8(f, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 8: mean I/O per query vs buffer size (k = 2) ==")
+	fmt.Printf("  %8s", "buf(KB)")
+	for _, l := range extstore.Layouts() {
+		fmt.Printf(" %14s", l)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		fmt.Printf("  %8d", row.BufferKB)
+		for _, l := range extstore.Layouts() {
+			fmt.Printf(" %14.2f", row.IO[l])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig10(cfg experiments.Config) error {
+	res, err := experiments.Fig10(cfg, 0.03, 40)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 10: #similar shapes vs significant vertices V_S ==")
+	fmt.Printf("  experiment 1 (full base):  fitted c=%.1f  spearman=%.2f\n",
+		res.C1, experiments.Spearman(res.Exp1))
+	fmt.Printf("  experiment 2 (half base):  fitted c=%.1f  spearman=%.2f\n",
+		res.C2, experiments.Spearman(res.Exp2))
+	fmt.Printf("  %8s %10s %10s\n", "V_S", "matches#1", "matches#2")
+	p1 := experiments.SortedVS(res.Exp1)
+	p2 := experiments.SortedVS(res.Exp2)
+	for i := range p1 {
+		fmt.Printf("  %8.2f %10d %10d\n", p1[i].VS, p1[i].Matches, p2[i].Matches)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printScaling(cfg experiments.Config) error {
+	rows, err := experiments.Scaling(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== §2.5: retrieval cost vs base size (polylog claim) ==")
+	fmt.Printf("  %8s %10s %12s %12s %14s\n", "images", "vertices", "avg µs", "avg iters", "avg K counted")
+	for _, r := range rows {
+		fmt.Printf("  %8d %10d %12.1f %12.2f %14.1f\n",
+			r.Images, r.Vertices, r.AvgMicros, r.AvgIterations, r.AvgVertsCounted)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printHashing(f *experiments.Fixture) error {
+	rows, err := experiments.Hashing(f, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== §3: hash-family sweep ==")
+	fmt.Printf("  %8s %12s %10s %14s %8s\n", "curves", "mean bucket", "max", "avg candidates", "hit rate")
+	for _, r := range rows {
+		fmt.Printf("  %8d %12.2f %10d %14.1f %8.2f\n",
+			r.Curves, r.MeanBucket, r.MaxBucket, r.AvgCandidates, r.HitRate)
+	}
+	fam, err := experiments.FamilyAblation(f, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  curve-family comparison (50 curves/quarter):")
+	fmt.Printf("    %-10s %10s %12s %14s %8s\n", "family", "build µs", "mean bucket", "avg candidates", "hit rate")
+	for _, r := range fam {
+		fmt.Printf("    %-10s %10.0f %12.2f %14.1f %8.2f\n",
+			r.Name, r.BuildMicros, r.MeanBucket, r.AvgCandidates, r.HitRate)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printPlans(f *experiments.Fixture) error {
+	rows, err := experiments.Plans(f)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== §5.4: selectivity-ordered plans vs naive evaluation ==")
+	fmt.Printf("  %-44s %10s %10s %8s\n", "query", "planned", "naive", "result")
+	for _, r := range rows {
+		fmt.Printf("  %-44s %10d %10d %8d\n", r.Query, r.PlannedChecks, r.NaiveChecks, r.ResultSize)
+	}
+	fmt.Println()
+	return nil
+}

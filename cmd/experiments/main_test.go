@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// tinyCfg keeps the smoke runs fast.
+func tinyCfg() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 0.003 // 30 images
+	cfg.Queries = 3
+	return cfg
+}
+
+// TestRunSingleFigures drives every print path once at tiny scale — a
+// smoke test that the full -all pipeline cannot panic or error.
+func TestRunSingleFigures(t *testing.T) {
+	cfg := tinyCfg()
+	for _, fig := range []int{1, 2, 5} {
+		if err := run(cfg, fig, false, false, false, false, false, false, false); err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+	}
+}
+
+func TestRunStorageFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storage figures are slow")
+	}
+	cfg := tinyCfg()
+	for _, fig := range []int{7, 8} {
+		if err := run(cfg, fig, false, false, false, false, false, false, false); err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+	}
+}
+
+func TestRunAnalyses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyses are slow")
+	}
+	cfg := tinyCfg()
+	if err := run(cfg, 0, false, false, true, true, false, false, false); err != nil {
+		t.Fatalf("hashing/plans: %v", err)
+	}
+	if err := run(cfg, 0, false, false, false, false, true, true, false); err != nil {
+		t.Fatalf("baselines/extindex: %v", err)
+	}
+}

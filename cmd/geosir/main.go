@@ -1,0 +1,317 @@
+// Command geosir is the GeoSIR command-line interface: it loads an image
+// base from a shape file (or generates a synthetic demo base), then
+// answers similarity and topological queries.
+//
+// Shape file format — one shape per line:
+//
+//	<image-id> <closed|open> x1,y1 x2,y2 x3,y3 ...
+//
+// Lines starting with '#' are comments.
+//
+// Usage:
+//
+//	geosir -base shapes.txt -query "0,0 1,0 1,1 0,1" -k 5
+//	geosir -demo 200 -query-shape 3            # query with a stored shape
+//	geosir -base shapes.txt -topo "similar(q)" -bind "q=0,0 1,0 1,1 0,1"
+//	geosir -base shapes.txt -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		basePath   = flag.String("base", "", "shape file to load")
+		demo       = flag.Int("demo", 0, "generate a synthetic demo base with N images instead of loading")
+		seed       = flag.Int64("seed", 1, "seed for -demo")
+		queryStr   = flag.String("query", "", "query shape as \"x1,y1 x2,y2 ...\" (closed)")
+		queryOpen  = flag.Bool("open", false, "treat -query as an open polyline")
+		queryShape = flag.Int("query-shape", -1, "query with stored shape id (use with -demo)")
+		k          = flag.Int("k", 3, "number of matches")
+		topo       = flag.String("topo", "", "topological query, e.g. \"similar(q) AND NOT overlap(a,b,any)\"")
+		binds      = flag.String("bind", "", "semicolon-separated shape bindings: \"q=x1,y1 x2,y2 ...;a=...\"")
+		stats      = flag.Bool("stats", false, "print base statistics and exit")
+		dump       = flag.String("dump", "", "write the loaded/demo base to a shape file and exit")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := runDump(*basePath, *demo, *seed, *dump); err != nil {
+			fmt.Fprintln(os.Stderr, "geosir:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*basePath, *demo, *seed, *queryStr, *queryOpen, *queryShape, *k, *topo, *binds, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "geosir:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
+	queryShape, k int, topo, binds string, stats bool) error {
+
+	eng := geosir.New(geosir.DefaultOptions())
+	switch {
+	case demo > 0:
+		spec := synth.PaperSpec(float64(demo)/10000, seed)
+		spec.Images = demo
+		for _, img := range synth.GenerateBase(spec) {
+			valid := img.Shapes[:0]
+			for _, s := range img.Shapes {
+				if s.Validate() == nil {
+					valid = append(valid, s)
+				}
+			}
+			if len(valid) == 0 {
+				continue
+			}
+			if err := eng.AddImage(img.ID, valid); err != nil {
+				return err
+			}
+		}
+	case basePath != "":
+		if err := loadBase(eng, basePath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -base FILE or -demo N")
+	}
+	if err := eng.Freeze(); err != nil {
+		return err
+	}
+	fmt.Printf("base: %d images, %d shapes, %d normalized copies\n",
+		eng.NumImages(), eng.NumShapes(), eng.NumEntries())
+
+	if stats {
+		mean, maxB := eng.HashTable().BucketStats()
+		fmt.Printf("hash table: %d shapes, mean bucket %.2f, max bucket %d\n",
+			eng.HashTable().Len(), mean, maxB)
+		return nil
+	}
+
+	if topo != "" {
+		bmap, err := parseBindings(binds)
+		if err != nil {
+			return err
+		}
+		ids, plan, err := eng.Query(topo, bmap)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %s\n", plan)
+		fmt.Printf("%d matching images: %v\n", len(ids), ids)
+		return nil
+	}
+
+	var q geosir.Shape
+	switch {
+	case queryStr != "":
+		var err error
+		q, err = parseShape(queryStr, !queryOpen)
+		if err != nil {
+			return err
+		}
+	case queryShape >= 0:
+		if queryShape >= eng.NumShapes() {
+			return fmt.Errorf("shape id %d out of range [0,%d)", queryShape, eng.NumShapes())
+		}
+		src := eng.Base().Shape(queryShape).Poly
+		// Perturb slightly so the query is a sketch, not the stored copy.
+		rng := rand.New(rand.NewSource(seed + 7))
+		q = synth.Distort(rng, src, 0.01)
+		if q.Validate() != nil {
+			q = src
+		}
+	default:
+		return fmt.Errorf("need -query, -query-shape, -topo, or -stats")
+	}
+
+	ms, st, err := eng.FindSimilar(q, k)
+	if err != nil {
+		return err
+	}
+	mode := "exact (ε-envelope fattening)"
+	if st.UsedHashing {
+		mode = "approximate (geometric hashing)"
+	}
+	fmt.Printf("retrieval: %s — %d iterations, ε=%.4g, %d candidates\n",
+		mode, st.Iterations, st.FinalEpsilon, st.Candidates)
+	for i, m := range ms {
+		fmt.Printf("  #%d shape %d (image %d): distance %.5f\n",
+			i+1, m.ShapeID, m.ImageID, m.Distance)
+	}
+	return nil
+}
+
+// runDump materializes a base (demo or loaded) into the shape file
+// format, so a -demo base can be edited and re-used with -base.
+func runDump(basePath string, demo int, seed int64, out string) error {
+	eng := geosir.New(geosir.DefaultOptions())
+	switch {
+	case demo > 0:
+		spec := synth.PaperSpec(float64(demo)/10000, seed)
+		spec.Images = demo
+		for _, img := range synth.GenerateBase(spec) {
+			valid := img.Shapes[:0]
+			for _, s := range img.Shapes {
+				if s.Validate() == nil {
+					valid = append(valid, s)
+				}
+			}
+			if len(valid) == 0 {
+				continue
+			}
+			if err := eng.AddImage(img.ID, valid); err != nil {
+				return err
+			}
+		}
+	case basePath != "":
+		if err := loadBase(eng, basePath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -base FILE or -demo N")
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# GeoSIR shape base: %d shapes\n", eng.Base().NumShapes())
+	for _, s := range eng.Base().Shapes() {
+		mode := "open"
+		if s.Poly.Closed {
+			mode = "closed"
+		}
+		fmt.Fprintf(w, "%d %s", s.Image, mode)
+		for _, p := range s.Poly.Pts {
+			fmt.Fprintf(w, " %g,%g", p.X, p.Y)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d shapes to %s\n", eng.Base().NumShapes(), out)
+	return nil
+}
+
+// loadBase reads the shape file format described in the package comment.
+func loadBase(eng *geosir.Engine, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	images := make(map[int][]geosir.Shape)
+	var order []int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return fmt.Errorf("%s:%d: want \"id closed|open x,y x,y ...\"", path, lineNo)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("%s:%d: bad image id %q", path, lineNo, fields[0])
+		}
+		closed := fields[1] == "closed"
+		if !closed && fields[1] != "open" {
+			return fmt.Errorf("%s:%d: expected closed|open, got %q", path, lineNo, fields[1])
+		}
+		shape, err := parseShape(strings.Join(fields[2:], " "), closed)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		if _, seen := images[id]; !seen {
+			order = append(order, id)
+		}
+		images[id] = append(images[id], shape)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, id := range order {
+		if err := eng.AddImage(id, images[id]); err != nil {
+			return fmt.Errorf("image %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// parseShape parses "x1,y1 x2,y2 ..." into a Shape.
+func parseShape(s string, closed bool) (geosir.Shape, error) {
+	var pts []geosir.Point
+	for _, tok := range strings.Fields(s) {
+		xy := strings.Split(tok, ",")
+		if len(xy) != 2 {
+			return geosir.Shape{}, fmt.Errorf("bad vertex %q, want x,y", tok)
+		}
+		x, err := strconv.ParseFloat(xy[0], 64)
+		if err != nil {
+			return geosir.Shape{}, fmt.Errorf("bad x in %q: %w", tok, err)
+		}
+		y, err := strconv.ParseFloat(xy[1], 64)
+		if err != nil {
+			return geosir.Shape{}, fmt.Errorf("bad y in %q: %w", tok, err)
+		}
+		pts = append(pts, geosir.Pt(x, y))
+	}
+	sh := geosir.Shape{Pts: pts, Closed: closed}
+	if err := sh.Validate(); err != nil {
+		return geosir.Shape{}, err
+	}
+	return sh, nil
+}
+
+// parseBindings parses "name=x,y x,y ...;name2=..." into shape bindings.
+// Shapes in bindings are closed polygons; suffix the name with ~ for an
+// open polyline.
+func parseBindings(s string) (map[string]geosir.Shape, error) {
+	out := make(map[string]geosir.Shape)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("binding %q missing '='", part)
+		}
+		name := strings.TrimSpace(part[:eq])
+		closed := true
+		if strings.HasSuffix(name, "~") {
+			name = strings.TrimSuffix(name, "~")
+			closed = false
+		}
+		shape, err := parseShape(part[eq+1:], closed)
+		if err != nil {
+			return nil, fmt.Errorf("binding %q: %w", name, err)
+		}
+		out[name] = shape
+	}
+	return out, nil
+}

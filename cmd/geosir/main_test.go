@@ -1,0 +1,186 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestParseShape(t *testing.T) {
+	sh, err := parseShape("0,0 1,0 1,1 0,1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.Closed || sh.NumVertices() != 4 {
+		t.Errorf("shape = %+v", sh)
+	}
+	open, err := parseShape("0,0 2,3", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Closed || open.NumVertices() != 2 {
+		t.Errorf("polyline = %+v", open)
+	}
+	bad := []string{
+		"",                // no vertices
+		"0,0",             // single vertex
+		"0,0 1",           // malformed token
+		"0,0 x,1",         // bad number
+		"0,0 1,y",         // bad number
+		"0,0 2,2 2,0 0,2", // self-intersecting when closed
+	}
+	for _, src := range bad {
+		if _, err := parseShape(src, true); err == nil {
+			t.Errorf("parseShape(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseBindings(t *testing.T) {
+	b, err := parseBindings("q=0,0 1,0 1,1; p~=0,0 5,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("bindings = %v", b)
+	}
+	if !b["q"].Closed || b["q"].NumVertices() != 3 {
+		t.Errorf("q = %+v", b["q"])
+	}
+	if b["p"].Closed || b["p"].NumVertices() != 2 {
+		t.Errorf("p should be an open polyline: %+v", b["p"])
+	}
+	if got, err := parseBindings("  "); err != nil || len(got) != 0 {
+		t.Errorf("empty bindings: %v %v", got, err)
+	}
+	if _, err := parseBindings("noequals"); err == nil {
+		t.Error("missing '=' should fail")
+	}
+	if _, err := parseBindings("q=0,0"); err == nil {
+		t.Error("degenerate bound shape should fail")
+	}
+}
+
+func TestLoadBase(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shapes.txt")
+	content := `# comment line
+0 closed 0,0 4,0 4,4 0,4
+0 open 5,5 9,9
+1 closed 0,0 3,0 0,3
+
+2 closed 10,10 14,10 14,14 10,14
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := geosir.New(geosir.DefaultOptions())
+	if err := loadBase(eng, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumImages() != 3 || eng.NumShapes() != 4 {
+		t.Errorf("loaded %d images / %d shapes", eng.NumImages(), eng.NumShapes())
+	}
+	// Retrieval works on the loaded base.
+	q, _ := parseShape("0,0 4,0 4,4 0,4", true)
+	ms, _, err := eng.FindSimilar(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].ImageID != 0 {
+		t.Errorf("query = %v", ms)
+	}
+}
+
+func TestLoadBaseErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"short-line": "0 closed\n",
+		"bad-id":     "x closed 0,0 1,0 1,1\n",
+		"bad-mode":   "0 sideways 0,0 1,0 1,1\n",
+		"bad-shape":  "0 closed 0,0 1,0\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		eng := geosir.New(geosir.DefaultOptions())
+		if err := loadBase(eng, path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	eng := geosir.New(geosir.DefaultOptions())
+	if err := loadBase(eng, filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRunDemoPath(t *testing.T) {
+	// End-to-end: demo base, query by stored shape id.
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false); err != nil {
+		t.Fatalf("demo run: %v", err)
+	}
+	// Stats mode.
+	if err := run("", 10, 3, "", false, -1, 1, "", "", true); err != nil {
+		t.Fatalf("stats run: %v", err)
+	}
+	// Topological query.
+	if err := run("", 10, 3, "", false, -1, 1,
+		"similar(q)", "q=0,0 1,0 1,1 0,1", false); err != nil {
+		t.Fatalf("topo run: %v", err)
+	}
+	// Error cases.
+	if err := run("", 0, 1, "", false, -1, 1, "", "", false); err == nil {
+		t.Error("no base source should fail")
+	}
+	if err := run("", 5, 1, "", false, 10000, 1, "", "", false); err == nil {
+		t.Error("out-of-range query shape should fail")
+	}
+	if err := run("", 5, 1, "", false, -1, 1, "", "", false); err == nil {
+		t.Error("no query should fail")
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "dumped.txt")
+	if err := runDump("", 8, 3, out); err != nil {
+		t.Fatal(err)
+	}
+	// The dump re-loads into an identical base.
+	eng := geosir.New(geosir.DefaultOptions())
+	if err := loadBase(eng, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumShapes() == 0 {
+		t.Fatal("dump round trip lost all shapes")
+	}
+	// Re-dump and compare shape counts.
+	out2 := filepath.Join(dir, "dumped2.txt")
+	if err := runDump(out, 0, 3, out2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("empty dumps")
+	}
+	if err := runDump("", 0, 1, filepath.Join(dir, "x")); err == nil {
+		t.Error("no source should fail")
+	}
+}

@@ -1,0 +1,69 @@
+// Storage tuning (§4): compare the external-storage layouts on your own
+// workload before deploying — the same methodology as the paper's
+// Figures 7 and 8, on a workload you control.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/extstore"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 0.01 // 100 images: adjust to your base size
+	cfg.Queries = 10
+
+	f, err := experiments.BuildFixture(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload base: %s\n\n", f.Summary())
+
+	// How many I/Os does each layout cost for top-3 retrievals with a
+	// 64 KB buffer?
+	rows, err := experiments.Fig7(f, 3, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mean disk reads per query (64-block buffer):")
+	fmt.Printf("  %2s", "k")
+	for _, l := range extstore.Layouts() {
+		fmt.Printf(" %14s", l)
+	}
+	fmt.Println()
+	for _, row := range rows {
+		fmt.Printf("  %2d", row.K)
+		for _, l := range extstore.Layouts() {
+			fmt.Printf(" %14.1f", row.IO[l])
+		}
+		fmt.Println()
+	}
+
+	// Pick the winner at k=3 and report the improvement over the worst.
+	best, worst := extstore.LayoutMean, extstore.LayoutMean
+	for _, l := range extstore.Layouts() {
+		if rows[2].IO[l] < rows[2].IO[best] {
+			best = l
+		}
+		if rows[2].IO[l] > rows[2].IO[worst] {
+			worst = l
+		}
+	}
+	fmt.Printf("\nbest layout at k=3: %s (%.0f%% fewer reads than %s)\n",
+		best, 100*(1-rows[2].IO[best]/rows[2].IO[worst]), worst)
+
+	// But rehashing (bulk re-organization after many inserts) costs more
+	// for the greedy layout — check whether your update rate can afford it.
+	costs, err := experiments.Rehash(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrehash cost by layout:")
+	for _, c := range costs {
+		fmt.Printf("  %-14s comparisons=%-10d blockIO=%d\n",
+			c.Layout, c.Comparisons, c.BlockReads+c.BlockWrites)
+	}
+}

@@ -1,0 +1,397 @@
+// Package geosir is GeoSIR, a geometric-similarity image retrieval
+// engine: the Go reproduction of "Geometric-Similarity Retrieval in Large
+// Image Bases" (Fudos, Palios, Pitoura — ICDE 2002).
+//
+// Shapes are simple polygons or polylines extracted from object
+// boundaries. Retrieval uses a similarity criterion based on the average
+// minimum point distance, an incremental ε-envelope "fattening" algorithm
+// over simplex range-search structures with fractional cascading, and a
+// geometric-hashing fallback for approximate matches. A topological query
+// processor answers compound queries over pairwise shape relations
+// (contain / overlap / disjoint, with diameter angles).
+//
+// Quick start:
+//
+//	eng := geosir.New(geosir.DefaultOptions())
+//	eng.AddImage(0, []geosir.Shape{geosir.NewPolygon(...)})
+//	eng.Freeze()
+//	matches, _, _ := eng.FindSimilar(sketch, 3)
+package geosir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geohash"
+	"repro/internal/geom"
+	"repro/internal/query"
+)
+
+// Point is a point in the plane.
+type Point = geom.Point
+
+// Shape is an object boundary: a simple polygon (Closed) or polyline.
+type Shape = geom.Poly
+
+// Transform is a direct similarity transform (rotation, uniform scale,
+// translation) — retrieval is invariant under it.
+type Transform = geom.Transform
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Similarity builds the transform that scales by s, rotates by theta, and
+// then translates by t.
+func Similarity(s, theta float64, t Point) Transform {
+	return Transform{S: s, Theta: theta, T: t}
+}
+
+// NewPolygon constructs a closed Shape from vertices.
+func NewPolygon(pts ...Point) Shape { return geom.NewPolygon(pts...) }
+
+// NewPolyline constructs an open Shape from vertices.
+func NewPolyline(pts ...Point) Shape { return geom.NewPolyline(pts...) }
+
+// Options configure an Engine.
+type Options struct {
+	// Alpha is the α-diameter normalization slack (§2.4).
+	Alpha float64
+	// Beta is the vertex-fraction tolerance of the fattening
+	// algorithm (§2.5).
+	Beta float64
+	// Tau is the similarity threshold of g_similar, in diameter units.
+	Tau float64
+	// AngleTol is the θ matching tolerance of topological predicates,
+	// radians.
+	AngleTol float64
+	// HashCurves is the number of hash curves per lune quarter (§3).
+	HashCurves int
+}
+
+// DefaultOptions returns the prototype defaults: α = 0.1, β = 0.25,
+// τ = 0.05, 50 curves per quarter (the paper's Figure 4 example).
+func DefaultOptions() Options {
+	return Options{Alpha: 0.1, Beta: 0.25, Tau: 0.05, AngleTol: 0.1, HashCurves: 50}
+}
+
+// Match is one retrieved shape.
+type Match struct {
+	ShapeID int
+	ImageID int
+	// Distance is the similarity distance (symmetric vertex-averaged
+	// h_avg), in diameter-normalized units; smaller is more similar.
+	Distance float64
+	// ContinuousDistance is the symmetrized continuous-boundary measure.
+	ContinuousDistance float64
+	// Approximate marks results found by the geometric-hashing fallback
+	// rather than the exact fattening search.
+	Approximate bool
+}
+
+// Stats reports retrieval work (see §2.5's complexity analysis).
+type Stats struct {
+	Iterations      int
+	FinalEpsilon    float64
+	VerticesCounted int
+	Candidates      int
+	Converged       bool
+	UsedHashing     bool
+}
+
+// Engine is a GeoSIR instance: the shape base, the per-image topology
+// graphs, and the geometric hash table.
+//
+// Concurrency: an Engine is not safe for concurrent mutation, but after
+// Freeze every index structure is immutable and FindSimilar,
+// FindApproximate, FindBySketch and FindSimilarBatch may be called from
+// any number of goroutines. Query updates the shared selectivity
+// estimator and should not race with itself; use one goroutine for
+// topological queries or fan out with FindSimilarBatch instead.
+type Engine struct {
+	opts   Options
+	db     *query.DB
+	family *geohash.Family
+	table  *geohash.Table
+	frozen bool
+}
+
+// New creates an empty engine.
+func New(opts Options) *Engine {
+	if opts.HashCurves <= 0 {
+		opts.HashCurves = 50
+	}
+	qopts := query.DefaultOptions()
+	if opts.Alpha > 0 {
+		qopts.Core.Alpha = opts.Alpha
+	}
+	if opts.Beta > 0 {
+		qopts.Core.Beta = opts.Beta
+	}
+	if opts.Tau > 0 {
+		qopts.Tau = opts.Tau
+	}
+	if opts.AngleTol > 0 {
+		qopts.AngleTol = opts.AngleTol
+	}
+	return &Engine{opts: opts, db: query.NewDB(qopts)}
+}
+
+// AddImage registers an image with its object-boundary shapes. Shapes
+// must be valid (simple, ≥2 distinct vertices; ≥3 for polygons).
+func (e *Engine) AddImage(imageID int, shapes []Shape) error {
+	return e.db.AddImage(imageID, shapes)
+}
+
+// Freeze builds the retrieval index and the geometric hash table; the
+// engine becomes read-only and queryable.
+func (e *Engine) Freeze() error {
+	if e.frozen {
+		return nil
+	}
+	if err := e.db.Freeze(); err != nil {
+		return err
+	}
+	family, err := geohash.NewFamily(e.opts.HashCurves)
+	if err != nil {
+		return err
+	}
+	e.family = family
+	e.table = geohash.NewTable(family)
+	base := e.db.Base()
+	for _, s := range base.Shapes() {
+		ce, err := core.NormalizeCanonical(s.Poly)
+		if err != nil {
+			continue // degenerate shapes never got this far, but be safe
+		}
+		quad := family.Characteristic(ce.Poly.Pts)
+		if err := e.table.Insert(s.ID, quad); err != nil {
+			return fmt.Errorf("geosir: hashing shape %d: %w", s.ID, err)
+		}
+	}
+	e.frozen = true
+	return nil
+}
+
+// NumImages returns the number of images.
+func (e *Engine) NumImages() int { return e.db.NumImages() }
+
+// NumShapes returns the number of stored shapes.
+func (e *Engine) NumShapes() int { return e.db.Base().NumShapes() }
+
+// NumEntries returns the number of normalized copies in the shape base.
+func (e *Engine) NumEntries() int { return e.db.Base().NumEntries() }
+
+// DB exposes the topological query layer for advanced use.
+func (e *Engine) DB() *query.DB { return e.db }
+
+// Base exposes the underlying shape base for advanced use.
+func (e *Engine) Base() *core.Base { return e.db.Base() }
+
+// HashTable exposes the geometric hash table for advanced use.
+func (e *Engine) HashTable() *geohash.Table { return e.table }
+
+// FindSimilar retrieves the k shapes most similar to q. It first runs the
+// exact ε-envelope fattening search; if that fails to converge on a
+// sufficiently close match, it falls back to geometric hashing for an
+// approximate answer (§6: "if it fails to find a close match, geometric
+// hashing is used for approximate retrieval").
+func (e *Engine) FindSimilar(q Shape, k int) ([]Match, Stats, error) {
+	if !e.frozen {
+		return nil, Stats{}, fmt.Errorf("geosir: engine must be frozen")
+	}
+	ms, st, err := e.db.Base().Match(q, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{
+		Iterations:      st.Iterations,
+		FinalEpsilon:    st.FinalEpsilon,
+		VerticesCounted: st.VerticesCounted,
+		Candidates:      st.Candidates,
+		Converged:       st.Converged,
+	}
+	goodEnough := len(ms) > 0 && ms[0].DistVertex <= e.db.Tau()
+	if st.Converged && goodEnough {
+		return e.toMatches(ms, false), stats, nil
+	}
+	// Fallback: approximate retrieval through the hash table.
+	approx, err := e.FindApproximate(q, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.UsedHashing = true
+	if len(approx) == 0 {
+		// Nothing in the hash buckets either: report the exact search's
+		// best-so-far.
+		return e.toMatches(ms, false), stats, nil
+	}
+	return approx, stats, nil
+}
+
+// FindApproximate retrieves up to k approximate matches through the
+// geometric hash table alone (§3): hash the query, collect the shapes on
+// the same (or adjacent) curves, rank them with the similarity measure.
+func (e *Engine) FindApproximate(q Shape, k int) ([]Match, error) {
+	if !e.frozen {
+		return nil, fmt.Errorf("geosir: engine must be frozen")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("geosir: k must be positive")
+	}
+	ce, err := core.NormalizeCanonical(q)
+	if err != nil {
+		return nil, err
+	}
+	quad := e.family.Characteristic(ce.Poly.Pts)
+	ids := e.table.Lookup(quad, 0)
+	if len(ids) == 0 {
+		ids = e.table.Lookup(quad, 1) // widen once to the neighbor curves
+	}
+	base := e.db.Base()
+	out := make([]Match, 0, len(ids))
+	for _, sid := range ids {
+		d, err := base.ShapeDistance(sid, q)
+		if err != nil {
+			continue
+		}
+		out = append(out, Match{
+			ShapeID:     sid,
+			ImageID:     base.Shape(sid).Image,
+			Distance:    d,
+			Approximate: true,
+		})
+	}
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Query parses and executes a topological query (§5), e.g.
+//
+//	similar(a) AND NOT overlap(b, c, any)
+//
+// with binds supplying the named shapes. It returns the matching image
+// ids (sorted) and a rendering of the execution plan.
+func (e *Engine) Query(src string, binds map[string]Shape) ([]int, string, error) {
+	if !e.frozen {
+		return nil, "", fmt.Errorf("geosir: engine must be frozen")
+	}
+	set, plan, err := e.db.EvalString(src, query.Bindings(binds))
+	if err != nil {
+		return nil, "", err
+	}
+	return set.Sorted(), plan.String(), nil
+}
+
+func (e *Engine) toMatches(ms []core.Match, approx bool) []Match {
+	base := e.db.Base()
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{
+			ShapeID:            m.ShapeID,
+			ImageID:            base.Shape(m.ShapeID).Image,
+			Distance:           m.DistVertex,
+			ContinuousDistance: m.DistContinuous,
+			Approximate:        approx,
+		}
+	}
+	return out
+}
+
+func sortMatches(ms []Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Distance < ms[j-1].Distance; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// SketchMatch is one image retrieved by a multi-shape sketch.
+type SketchMatch struct {
+	ImageID int
+	// Score is the mean, over the sketch's shapes, of the distance to
+	// the best-matching shape in the image; smaller is better.
+	Score float64
+	// PerShape holds the per-sketch-shape best distances (aligned with
+	// the query slice).
+	PerShape []float64
+}
+
+// FindBySketch implements the §6 user flow: a query sketch is decomposed
+// into several polylines, and images are ranked by how well they match
+// *all* of them — the mean over sketch shapes of the distance to the
+// image's closest shape. Images missing a counterpart for some sketch
+// shape are penalized with that shape's distance to the image's best
+// effort (never skipped), so partial matches rank below complete ones.
+func (e *Engine) FindBySketch(sketch []Shape, k int) ([]SketchMatch, error) {
+	if !e.frozen {
+		return nil, fmt.Errorf("geosir: engine must be frozen")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("geosir: k must be positive")
+	}
+	if len(sketch) == 0 {
+		return nil, fmt.Errorf("geosir: empty sketch")
+	}
+	base := e.db.Base()
+	// For each sketch shape, the best distance per image.
+	perImage := make(map[int][]float64)
+	for si, q := range sketch {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+		}
+		// Retrieve generously: enough shapes to cover every image once.
+		ms, _, err := base.Match(q, base.NumShapes())
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			img := base.Shape(m.ShapeID).Image
+			ds, ok := perImage[img]
+			if !ok {
+				ds = make([]float64, len(sketch))
+				for i := range ds {
+					ds[i] = math.Inf(1)
+				}
+				perImage[img] = ds
+			}
+			if m.DistVertex < ds[si] {
+				ds[si] = m.DistVertex
+			}
+		}
+	}
+	out := make([]SketchMatch, 0, len(perImage))
+	for img, ds := range perImage {
+		var sum float64
+		complete := true
+		for _, d := range ds {
+			if math.IsInf(d, 1) {
+				complete = false
+				break
+			}
+			sum += d
+		}
+		if !complete {
+			continue // the image lacks a counterpart for some sketch shape
+		}
+		out = append(out, SketchMatch{
+			ImageID:  img,
+			Score:    sum / float64(len(ds)),
+			PerShape: ds,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ImageID < out[j].ImageID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+// Package chamfer implements the chamfer-matching baseline of the
+// paper's related work (§1, [4, 8, 9]): a distance image is computed
+// from the target's edge pixels, and a query contour is scored by the
+// average distance-map value under its rasterized boundary. The paper's
+// criticism — "gives quite accurate results but involves lengthy
+// computations on every extracted contour per query" — is measurable
+// here: chamfer matching rasterizes and scans a full distance map per
+// (query, target) pair, while GeoSIR touches a polylogarithmic index.
+//
+// The distance transform is the classic two-pass 3–4 chamfer
+// approximation of the Euclidean distance, on the same Raster type the
+// extraction pipeline uses.
+package chamfer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/extract"
+	"repro/internal/geom"
+)
+
+// DistanceMap is a per-pixel distance field (in pixel units) to the
+// nearest foreground pixel of the source raster.
+type DistanceMap struct {
+	W, H int
+	d    []float32
+}
+
+// At returns the distance at (x, y); out-of-range coordinates return
+// +Inf.
+func (m *DistanceMap) At(x, y int) float64 {
+	if x < 0 || y < 0 || x >= m.W || y >= m.H {
+		return math.Inf(1)
+	}
+	return float64(m.d[y*m.W+x])
+}
+
+// Transform computes the 3–4 chamfer distance transform of r's
+// foreground. The result is scaled by 1/3 so values approximate Euclidean
+// pixel distances. An error is returned when the raster has no foreground
+// (the distance field would be infinite everywhere).
+func Transform(r *extract.Raster) (*DistanceMap, error) {
+	if r.Count() == 0 {
+		return nil, fmt.Errorf("chamfer: empty raster")
+	}
+	const inf = float32(math.MaxFloat32 / 4)
+	m := &DistanceMap{W: r.W, H: r.H, d: make([]float32, r.W*r.H)}
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			if r.Get(x, y) {
+				m.d[y*r.W+x] = 0
+			} else {
+				m.d[y*r.W+x] = inf
+			}
+		}
+	}
+	at := func(x, y int) float32 {
+		if x < 0 || y < 0 || x >= m.W || y >= m.H {
+			return inf
+		}
+		return m.d[y*m.W+x]
+	}
+	// Forward pass: upper-left mask (3 for edge, 4 for diagonal steps).
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			v := m.d[y*m.W+x]
+			if w := at(x-1, y) + 3; w < v {
+				v = w
+			}
+			if w := at(x, y-1) + 3; w < v {
+				v = w
+			}
+			if w := at(x-1, y-1) + 4; w < v {
+				v = w
+			}
+			if w := at(x+1, y-1) + 4; w < v {
+				v = w
+			}
+			m.d[y*m.W+x] = v
+		}
+	}
+	// Backward pass: lower-right mask.
+	for y := m.H - 1; y >= 0; y-- {
+		for x := m.W - 1; x >= 0; x-- {
+			v := m.d[y*m.W+x]
+			if w := at(x+1, y) + 3; w < v {
+				v = w
+			}
+			if w := at(x, y+1) + 3; w < v {
+				v = w
+			}
+			if w := at(x+1, y+1) + 4; w < v {
+				v = w
+			}
+			if w := at(x-1, y+1) + 4; w < v {
+				v = w
+			}
+			m.d[y*m.W+x] = v
+		}
+	}
+	// Normalize 3–4 weights to ≈ Euclidean.
+	for i := range m.d {
+		m.d[i] /= 3
+	}
+	return m, nil
+}
+
+// Score computes the chamfer score of a contour against the distance
+// map: the average map value over the contour sampled at `samples`
+// boundary points (root mean is the common variant; the average matches
+// the paper's description "minimize the sum of the values in the
+// distance map that the contour hit").
+func (m *DistanceMap) Score(contour geom.Poly, samples int) float64 {
+	if samples <= 0 {
+		samples = 4 * contour.NumVertices()
+		if samples < 64 {
+			samples = 64
+		}
+	}
+	pts := contour.Resample(samples)
+	if len(pts) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range pts {
+		x := int(math.Round(p.X))
+		y := int(math.Round(p.Y))
+		d := m.At(x, y)
+		if math.IsInf(d, 1) {
+			// Off-map points are clamped to the map border distance.
+			d = float64(m.W + m.H)
+		}
+		sum += d
+	}
+	return sum / float64(len(pts))
+}
+
+// Matcher is the retrieval baseline: one distance map per stored image.
+// Chamfer matching is not rotation invariant, so Query sweeps Rotations
+// orientations of the contour and keeps the best — the standard remedy,
+// and the reason the paper calls the method computationally lengthy: the
+// per-query cost is #images × Rotations × contour samples, with no index
+// to prune it.
+type Matcher struct {
+	maps   []*DistanceMap
+	images []int
+	// fitSize is the raster side used to normalize query contours onto
+	// the maps.
+	fitSize int
+	// Rotations is the number of query orientations swept (default 32).
+	Rotations int
+}
+
+// NewMatcher builds the per-image distance maps from the stored shapes
+// (each image's shapes are stroked onto one raster of side `size`, scaled
+// to fit).
+func NewMatcher(images map[int][]geom.Poly, size int) (*Matcher, error) {
+	if size < 16 {
+		size = 128
+	}
+	m := &Matcher{fitSize: size, Rotations: 32}
+	for id, shapes := range images {
+		r, err := extract.NewRaster(size, size)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range shapes {
+			r.DrawPolyline(fitTo(s, size))
+		}
+		dm, err := Transform(r)
+		if err != nil {
+			return nil, fmt.Errorf("chamfer: image %d: %w", id, err)
+		}
+		m.maps = append(m.maps, dm)
+		m.images = append(m.images, id)
+	}
+	if len(m.maps) == 0 {
+		return nil, fmt.Errorf("chamfer: no images")
+	}
+	return m, nil
+}
+
+// fitTo scales and centers a shape into a size×size raster with a 10%
+// margin (chamfer matching is not scale invariant; this is the standard
+// normalization applied before matching).
+func fitTo(p geom.Poly, size int) geom.Poly {
+	b := p.Bounds()
+	ext := math.Max(b.Width(), b.Height())
+	if ext == 0 {
+		ext = 1
+	}
+	s := 0.8 * float64(size) / ext
+	c := b.Center()
+	half := float64(size) / 2
+	out := p.Clone()
+	for i := range out.Pts {
+		out.Pts[i] = out.Pts[i].Sub(c).Scale(s).Add(geom.Pt(half, half))
+	}
+	return out
+}
+
+// Match is a baseline retrieval result.
+type Match struct {
+	ImageID int
+	Score   float64 // average distance-map value; smaller is better
+}
+
+// Query scores the contour against every stored image (sweeping
+// Rotations orientations) and returns the k best — the per-query full
+// scan the paper criticizes.
+func (m *Matcher) Query(contour geom.Poly, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("chamfer: k must be positive")
+	}
+	rot := m.Rotations
+	if rot < 1 {
+		rot = 1
+	}
+	// Pre-fit each orientation once; all maps share the frame.
+	fitted := make([]geom.Poly, rot)
+	for r := 0; r < rot; r++ {
+		theta := 2 * math.Pi * float64(r) / float64(rot)
+		q := contour.Clone()
+		for i := range q.Pts {
+			q.Pts[i] = q.Pts[i].Rotate(theta)
+		}
+		fitted[r] = fitTo(q, m.fitSize)
+	}
+	out := make([]Match, 0, len(m.maps))
+	for i, dm := range m.maps {
+		best := math.Inf(1)
+		for r := 0; r < rot; r++ {
+			if s := dm.Score(fitted[r], 0); s < best {
+				best = s
+			}
+		}
+		out = append(out, Match{ImageID: m.images[i], Score: best})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Score < out[j-1].Score; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

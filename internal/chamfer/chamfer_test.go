@@ -1,0 +1,160 @@
+package chamfer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/geom"
+)
+
+func TestTransformEmptyFails(t *testing.T) {
+	r, _ := extract.NewRaster(10, 10)
+	if _, err := Transform(r); err == nil {
+		t.Error("empty raster should fail")
+	}
+}
+
+func TestTransformSinglePoint(t *testing.T) {
+	r, _ := extract.NewRaster(21, 21)
+	r.Set(10, 10, true)
+	m, err := Transform(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(10, 10) != 0 {
+		t.Errorf("source distance = %v", m.At(10, 10))
+	}
+	// Horizontal neighbors: exactly 1, 2, ...
+	if d := m.At(12, 10); math.Abs(d-2) > 1e-6 {
+		t.Errorf("At(12,10) = %v, want 2", d)
+	}
+	// Diagonal: 3-4 chamfer gives 4/3 per diagonal step vs true √2≈1.414.
+	if d := m.At(11, 11); math.Abs(d-4.0/3) > 1e-6 {
+		t.Errorf("At(11,11) = %v, want 4/3", d)
+	}
+	// Distance grows monotonically away from the source along a row.
+	prev := -1.0
+	for x := 10; x < 21; x++ {
+		d := m.At(x, 10)
+		if d < prev {
+			t.Fatalf("distance not monotone at x=%d", x)
+		}
+		prev = d
+	}
+	// Out of range is +Inf.
+	if !math.IsInf(m.At(-1, 0), 1) {
+		t.Error("out-of-range should be +Inf")
+	}
+}
+
+func TestTransformApproximatesEuclidean(t *testing.T) {
+	r, _ := extract.NewRaster(64, 64)
+	r.Set(32, 32, true)
+	m, _ := Transform(r)
+	for _, c := range [][2]int{{40, 32}, {32, 40}, {40, 40}, {50, 20}, {10, 55}} {
+		dx, dy := float64(c[0]-32), float64(c[1]-32)
+		want := math.Hypot(dx, dy)
+		got := m.At(c[0], c[1])
+		// 3-4 chamfer error bound ≈ 8%.
+		if math.Abs(got-want)/want > 0.09 {
+			t.Errorf("At(%d,%d) = %v, Euclidean %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestScoreOnAndOffContour(t *testing.T) {
+	r, _ := extract.NewRaster(100, 100)
+	sq := geom.NewPolygon(geom.Pt(20, 20), geom.Pt(80, 20), geom.Pt(80, 80), geom.Pt(20, 80))
+	r.DrawPolyline(sq)
+	m, err := Transform(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drawn contour itself scores ≈ 0.
+	if s := m.Score(sq, 256); s > 0.5 {
+		t.Errorf("self score = %v", s)
+	}
+	// A displaced copy scores ≈ its displacement.
+	moved := sq.Transform(geom.Translation(geom.Pt(10, 0)))
+	if s := m.Score(moved, 256); s < 2 {
+		t.Errorf("displaced score = %v, should be several pixels", s)
+	}
+}
+
+func buildImages() map[int][]geom.Poly {
+	tri := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 9))
+	sq := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10))
+	circle := func() geom.Poly {
+		pts := make([]geom.Point, 24)
+		for i := range pts {
+			a := 2 * math.Pi * float64(i) / 24
+			pts[i] = geom.Pt(5*math.Cos(a), 5*math.Sin(a))
+		}
+		return geom.NewPolygon(pts...)
+	}()
+	return map[int][]geom.Poly{0: {tri}, 1: {sq}, 2: {circle}}
+}
+
+func TestMatcherRetrieval(t *testing.T) {
+	m, err := NewMatcher(buildImages(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each class retrieves itself, under scaling+translation (chamfer
+	// matching handles these via the fit normalization, unlike rotation).
+	for id, shapes := range buildImages() {
+		q := shapes[0].Transform(geom.Transform{S: 2.5, T: geom.Pt(100, -30)})
+		ms, err := m.Query(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[0].ImageID != id {
+			t.Errorf("query %d retrieved %d (score %v)", id, ms[0].ImageID, ms[0].Score)
+		}
+	}
+	// Results sorted, k respected.
+	ms, err := m.Query(buildImages()[1][0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Score > ms[1].Score {
+		t.Errorf("ordering broken: %v", ms)
+	}
+	if _, err := m.Query(buildImages()[0][0], 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestMatcherRotationSensitivity(t *testing.T) {
+	// The paper's point: raw chamfer matching is sensitive to rotation —
+	// with the sweep disabled (Rotations=1), a thin wedge rotated 80°
+	// scores clearly worse than the aligned wedge. With the sweep on, the
+	// sensitivity is bought back at Rotations× the compute.
+	wedge := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(12, 1), geom.Pt(1, 4))
+	m, err := NewMatcher(map[int][]geom.Poly{1: {wedge}}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Rotations = 1
+	aligned, _ := m.Query(wedge, 1)
+	rotQ := wedge.Transform(geom.Rotation(80 * math.Pi / 180))
+	rot, _ := m.Query(rotQ, 1)
+	if rot[0].Score < 2*aligned[0].Score+1 {
+		t.Errorf("rotation should hurt raw chamfer: aligned %v, rotated %v",
+			aligned[0].Score, rot[0].Score)
+	}
+	// The sweep restores the match.
+	m.Rotations = 64
+	swept, _ := m.Query(rotQ, 1)
+	if swept[0].Score > aligned[0].Score+1.5 {
+		t.Errorf("sweep should recover rotation: %v vs aligned %v",
+			swept[0].Score, aligned[0].Score)
+	}
+}
+
+func TestNewMatcherErrors(t *testing.T) {
+	if _, err := NewMatcher(nil, 64); err == nil {
+		t.Error("no images should fail")
+	}
+}

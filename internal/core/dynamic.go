@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Dynamic wraps the (static, frozen) shape base with insert and delete
+// support — the dynamic-environment capability the paper's related work
+// ([5, 7]) highlights for similarity search. The design is the classic
+// main+overflow scheme: a frozen Base serves index queries; newly
+// inserted shapes accumulate in an overflow area searched exactly
+// (linear scan over their normalized copies); deletions are tombstones
+// filtered out of results. When the overflow or tombstone population
+// crosses a threshold, the structure rebuilds the frozen base from the
+// live shapes (the §4 "rehashing" moment, at the index level).
+type Dynamic struct {
+	opts Options
+
+	// shapes is the global shape registry: ids are stable across
+	// rebuilds; tombstoned entries keep their slot.
+	shapes  []Shape
+	deleted []bool
+	live    int
+
+	frozen    *Base // may be nil before the first rebuild
+	frozenIDs []int // frozen-base shape id → global id
+	frozenDel int   // tombstones that still shadow the frozen base
+
+	overflow        []int     // global ids not yet in the frozen base
+	overflowEntries [][]Entry // normalized copies per overflow shape
+
+	// RebuildFraction triggers a rebuild once overflow+tombstones exceed
+	// this fraction of the live population (default 0.25).
+	RebuildFraction float64
+	// MinRebuild is the absolute overflow size below which no rebuild
+	// happens (default 64).
+	MinRebuild int
+}
+
+// NewDynamic creates an empty dynamic base.
+func NewDynamic(opts Options) *Dynamic {
+	return &Dynamic{opts: opts.withDefaults(), RebuildFraction: 0.25, MinRebuild: 64}
+}
+
+// Len returns the number of live shapes.
+func (d *Dynamic) Len() int { return d.live }
+
+// OverflowLen returns the number of shapes pending in the overflow area.
+func (d *Dynamic) OverflowLen() int { return len(d.overflow) }
+
+// Insert adds a shape and returns its stable id.
+func (d *Dynamic) Insert(image int, p geom.Poly) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("core: invalid shape: %w", err)
+	}
+	entries, err := Normalize(p, d.opts.Alpha)
+	if err != nil {
+		return 0, err
+	}
+	id := len(d.shapes)
+	d.shapes = append(d.shapes, Shape{ID: id, Image: image, Poly: p.Clone()})
+	d.deleted = append(d.deleted, false)
+	d.live++
+	d.overflow = append(d.overflow, id)
+	d.overflowEntries = append(d.overflowEntries, entries)
+	d.maybeRebuild()
+	return id, nil
+}
+
+// Delete tombstones a shape.
+func (d *Dynamic) Delete(id int) error {
+	if id < 0 || id >= len(d.shapes) {
+		return fmt.Errorf("core: shape id %d out of range", id)
+	}
+	if d.deleted[id] {
+		return fmt.Errorf("core: shape %d already deleted", id)
+	}
+	d.deleted[id] = true
+	d.live--
+	// If the shape is still in overflow, remove it there directly.
+	for i, gid := range d.overflow {
+		if gid == id {
+			d.overflow = append(d.overflow[:i], d.overflow[i+1:]...)
+			d.overflowEntries = append(d.overflowEntries[:i], d.overflowEntries[i+1:]...)
+			return nil
+		}
+	}
+	d.frozenDel++
+	d.maybeRebuild()
+	return nil
+}
+
+// Shape returns a live shape by id.
+func (d *Dynamic) Shape(id int) (Shape, error) {
+	if id < 0 || id >= len(d.shapes) || d.deleted[id] {
+		return Shape{}, fmt.Errorf("core: shape %d not found", id)
+	}
+	return d.shapes[id], nil
+}
+
+// maybeRebuild rebuilds when the pending work crosses the threshold.
+func (d *Dynamic) maybeRebuild() {
+	pending := len(d.overflow) + d.frozenDel
+	if pending < d.MinRebuild {
+		return
+	}
+	if float64(pending) < d.RebuildFraction*float64(max(d.live, 1)) {
+		return
+	}
+	_ = d.Rebuild()
+}
+
+// Rebuild folds the overflow and tombstones into a fresh frozen base.
+// It is a no-op on an empty live set.
+func (d *Dynamic) Rebuild() error {
+	if d.live == 0 {
+		d.frozen = nil
+		d.frozenIDs = nil
+		d.frozenDel = 0
+		d.overflow = nil
+		d.overflowEntries = nil
+		return nil
+	}
+	b := NewBase(d.opts)
+	var ids []int
+	for gid := range d.shapes {
+		if d.deleted[gid] {
+			continue
+		}
+		if _, err := b.AddShape(d.shapes[gid].Image, d.shapes[gid].Poly); err != nil {
+			return fmt.Errorf("core: rebuild: shape %d: %w", gid, err)
+		}
+		ids = append(ids, gid)
+	}
+	if err := b.Freeze(); err != nil {
+		return err
+	}
+	d.frozen = b
+	d.frozenIDs = ids
+	d.frozenDel = 0
+	d.overflow = nil
+	d.overflowEntries = nil
+	return nil
+}
+
+// Match retrieves the k most similar live shapes, merging the frozen
+// index's answer with an exact scan of the overflow area. Returned
+// ShapeIDs are the Dynamic's stable global ids (EntryID is meaningful
+// only for frozen results and is -1 for overflow hits).
+func (d *Dynamic) Match(q geom.Poly, k int) ([]Match, Stats, error) {
+	var stats Stats
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("core: k must be positive")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, stats, err
+	}
+	qe, err := NormalizeCanonical(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	oracle := NewBoundaryDist(qe.Poly)
+
+	var merged []Match
+	if d.frozen != nil {
+		// Ask for enough extra results to absorb tombstoned shadows.
+		want := k + d.frozenDel
+		if want > d.frozen.NumShapes() {
+			want = d.frozen.NumShapes()
+		}
+		ms, st, err := d.frozen.Match(q, want)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats = st
+		for _, m := range ms {
+			gid := d.frozenIDs[m.ShapeID]
+			if d.deleted[gid] {
+				continue
+			}
+			m.ShapeID = gid
+			merged = append(merged, m)
+		}
+	}
+	// Exact scan of the overflow area.
+	for i, gid := range d.overflow {
+		best := math.Inf(1)
+		for ei := range d.overflowEntries[i] {
+			e := &d.overflowEntries[i][ei]
+			if dv := symVertexDistTo(e.Poly, qe.Poly, oracle); dv < best {
+				best = dv
+			}
+		}
+		if !math.IsInf(best, 1) {
+			merged = append(merged, Match{ShapeID: gid, EntryID: -1, DistVertex: best})
+		}
+	}
+	sortMatches(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, stats, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

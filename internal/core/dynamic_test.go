@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDynamicInsertMatch(t *testing.T) {
+	d := NewDynamic(DefaultOptions())
+	if d.Len() != 0 {
+		t.Fatal("fresh dynamic not empty")
+	}
+	ids := make([]int, 0, len(testShapes()))
+	for i, p := range testShapes() {
+		id, err := d.Insert(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if d.Len() != len(testShapes()) {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Everything is still in overflow (below MinRebuild): matching must
+	// work purely on the exact scan.
+	if d.OverflowLen() == 0 {
+		t.Fatal("expected overflow-resident shapes")
+	}
+	for want, q := range testShapes() {
+		ms, _, err := d.Match(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 1 || ms[0].ShapeID != ids[want] {
+			t.Errorf("query %d matched %v", want, ms)
+		}
+		if ms[0].DistVertex > 1e-9 {
+			t.Errorf("exact copy distance %v", ms[0].DistVertex)
+		}
+	}
+}
+
+func TestDynamicDelete(t *testing.T) {
+	d := NewDynamic(DefaultOptions())
+	var ids []int
+	for i, p := range testShapes() {
+		id, err := d.Insert(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Delete the square; a square query should now find something else.
+	if err := d.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(testShapes())-1 {
+		t.Fatalf("Len after delete = %d", d.Len())
+	}
+	ms, _, err := d.Match(testShapes()[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 1 && ms[0].ShapeID == ids[0] {
+		t.Error("deleted shape still retrieved")
+	}
+	// Error paths.
+	if err := d.Delete(ids[0]); err == nil {
+		t.Error("double delete should fail")
+	}
+	if err := d.Delete(999); err == nil {
+		t.Error("out-of-range delete should fail")
+	}
+	if _, err := d.Shape(ids[0]); err == nil {
+		t.Error("deleted shape should not be fetchable")
+	}
+	if s, err := d.Shape(ids[1]); err != nil || s.ID != ids[1] {
+		t.Errorf("live shape fetch: %v %v", s, err)
+	}
+}
+
+func TestDynamicRebuildAndFrozenPath(t *testing.T) {
+	d := NewDynamic(DefaultOptions())
+	d.MinRebuild = 4 // force early rebuilds
+	rng := rand.New(rand.NewSource(2))
+	var ids []int
+	for i := 0; i < 30; i++ {
+		p := distort(testShapes()[i%len(testShapes())], 0.03, rng)
+		if p.Validate() != nil {
+			p = testShapes()[i%len(testShapes())]
+		}
+		id, err := d.Insert(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Rebuild threshold must have fired at least once.
+	if d.OverflowLen() >= 30 {
+		t.Fatalf("no rebuild happened: overflow %d", d.OverflowLen())
+	}
+	// Matching merges frozen and overflow: an exact copy of the most
+	// recent insert must be found even if it's still in overflow.
+	last, err := d.Shape(ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := d.Match(last.Poly, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].ShapeID != ids[len(ids)-1] {
+		t.Errorf("freshest insert not retrieved: %v", ms[0])
+	}
+	// Deleting a frozen-resident shape hides it immediately.
+	victim := ids[0]
+	if err := d.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err = d.Match(testShapes()[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.ShapeID == victim {
+			t.Error("tombstoned shape leaked into results")
+		}
+	}
+	// Explicit rebuild compacts tombstones away.
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.OverflowLen() != 0 {
+		t.Error("rebuild should drain the overflow")
+	}
+}
+
+func TestDynamicMatchAgainstStaticOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dyn := NewDynamic(DefaultOptions())
+	static := NewBase(DefaultOptions())
+	for i := 0; i < 12; i++ {
+		p := distort(testShapes()[i%len(testShapes())], 0.04, rng)
+		if p.Validate() != nil {
+			p = testShapes()[i%len(testShapes())]
+		}
+		if _, err := dyn.Insert(i, p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := static.AddShape(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := static.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dyn.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		q := distort(testShapes()[trial], 0.02, rng)
+		if q.Validate() != nil {
+			continue
+		}
+		dm, _, err := dyn.Match(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, _, err := static.Match(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dm) != len(sm) {
+			t.Fatalf("result sizes differ: %d vs %d", len(dm), len(sm))
+		}
+		for i := range dm {
+			if !almostEq(dm[i].DistVertex, sm[i].DistVertex, 1e-9) {
+				t.Errorf("trial %d rank %d: %v vs %v", trial, i, dm[i].DistVertex, sm[i].DistVertex)
+			}
+		}
+	}
+}
+
+func TestDynamicEmptyAndErrors(t *testing.T) {
+	d := NewDynamic(DefaultOptions())
+	if _, _, err := d.Match(testShapes()[0], 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	ms, _, err := d.Match(testShapes()[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("empty dynamic returned %v", ms)
+	}
+	if _, err := d.Insert(0, geom.NewPolyline(geom.Pt(0, 0))); err == nil {
+		t.Error("invalid insert should fail")
+	}
+	// Rebuild of an empty structure is a no-op.
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting everything then rebuilding leaves a working empty base.
+	id, err := d.Insert(0, testShapes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}

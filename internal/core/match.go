@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/envelope"
+	"repro/internal/geom"
+)
+
+// Match is one retrieved shape with its similarity to the query.
+type Match struct {
+	ShapeID int
+	EntryID int // the normalized copy that realized the distance
+	// DistVertex is the symmetric vertex-averaged measure
+	// (h_avg over S's vertices to Q + h_avg over Q's vertices to S)/2 —
+	// the quantity the envelope counters and distance sums bound
+	// (an entry untouched by the ε-envelope has DistVertex ≥ ε/2),
+	// and therefore the ranking key.
+	DistVertex float64
+	// DistContinuous is the symmetrized continuous measure
+	// (h_avg(S,Q)+h_avg(Q,S))/2, reported alongside.
+	DistContinuous float64
+}
+
+// Stats records the work a retrieval performed (the quantities of the
+// paper's complexity analysis in §2.5).
+type Stats struct {
+	Iterations       int     // r: number of envelope fattenings
+	FinalEpsilon     float64 // ε at termination
+	EpsilonMax       float64 // the stopping threshold (A/2p·l_Q)·log³n
+	TrianglesQueried int     // simplex range queries issued
+	VerticesReported int     // K plus filtered duplicates from the cover
+	VerticesCounted  int     // K: vertices that entered counters
+	Candidates       int     // entries that crossed the (1-β) threshold
+	Converged        bool    // true: stopped via the similarity bound
+}
+
+// Match retrieves the k most similar shapes to q via the incremental
+// ε-envelope fattening algorithm (§2.5). The returned matches are sorted
+// by increasing DistVertex. Stats.Converged reports whether the algorithm
+// proved optimality of the result (true) or gave up at ε_max (false) —
+// in the latter case the caller is expected to fall back to geometric
+// hashing (§3).
+func (b *Base) Match(q geom.Poly, k int) ([]Match, Stats, error) {
+	return b.match(q, k, math.Inf(1), nil)
+}
+
+// MatchTrace is Match with an access hook: onAccess is invoked with the
+// entry id of every normalized copy the algorithm touches (candidate
+// evaluations, in discovery order, then the final re-reads for the
+// continuous measure). The external-storage experiments (§4) replay this
+// trace against a disk layout to count I/O operations.
+func (b *Base) MatchTrace(q geom.Poly, k int, onAccess func(entryID int)) ([]Match, Stats, error) {
+	return b.match(q, k, math.Inf(1), onAccess)
+}
+
+// SimilarShapes returns every shape whose vertex-averaged distance to q
+// is at most tau, by fattening envelopes until the ε/2 bound on untouched
+// entries exceeds tau (and bound-forcing every touched entry that might
+// qualify). This is the shape_similar(Q) primitive of the query
+// processor (§5).
+func (b *Base) SimilarShapes(q geom.Poly, tau float64) ([]Match, Stats, error) {
+	matches, stats, err := b.match(q, len(b.shapes), tau, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := matches[:0]
+	for _, m := range matches {
+		if m.DistVertex <= tau {
+			out = append(out, m)
+		}
+	}
+	return out, stats, nil
+}
+
+// match is the shared driver. With tau = +Inf it is a pure top-k search
+// honoring the ε_max stopping rule; with finite tau it keeps fattening
+// until ε/2 > tau so that the threshold answer is complete.
+func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)) ([]Match, Stats, error) {
+	var stats Stats
+	if !b.frozen {
+		return nil, stats, fmt.Errorf("core: base must be frozen before matching")
+	}
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("core: invalid query: %w", err)
+	}
+	qe, err := NormalizeCanonical(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	env, err := envelope.New(qe.Poly)
+	if err != nil {
+		return nil, stats, err
+	}
+	oracle := NewBoundaryDist(qe.Poly)
+	lQ := qe.Poly.Perimeter()
+	epsMax := b.EpsilonMax(lQ)
+	stats.EpsilonMax = epsMax
+	thresholdEps := epsMax
+	if !math.IsInf(tau, 1) {
+		// Completeness for the threshold query requires the ε/2 bound on
+		// untouched entries to pass tau.
+		thresholdEps = math.Max(thresholdEps, 2*tau*1.0001)
+	}
+
+	counters := make([]int32, len(b.entries))
+	// distSum accumulates the exact boundary distances of the counted
+	// vertices per entry: with c of v vertices counted at total distance
+	// S, every unevaluated entry obeys
+	//   DistVertex ≥ (S + (v-c)·ε) / v / 2
+	// since each uncounted vertex is farther than the current ε. These
+	// are the "bounds on the similarity measure" of the paper's step 4:
+	// they let the algorithm defer (and usually never pay for) entries
+	// that provably cannot enter the top k.
+	distSum := make([]float64, len(b.entries))
+	touched := make([]int32, 0, 256) // entries with ≥1 counted vertex
+	counted := newBitset(len(b.verts))
+	evaluated := newBitset(len(b.entries))
+	bestByShape := make(map[int]Match)
+
+	beta := b.opts.Beta
+	grow := b.opts.GrowthFactor
+
+	// Step 1: initial ε, adjusted upward until the envelope is plausibly
+	// populated (the O(log n) presence probes of the paper).
+	epsPrev := 0.0
+	eps := b.InitialEpsilon(lQ)
+	for probe := 0; probe < 64 && eps < thresholdEps; probe++ {
+		if b.probeEnvelope(env, eps) {
+			break
+		}
+		eps *= grow
+	}
+
+	kthBound := func() (float64, int) {
+		if len(bestByShape) == 0 {
+			return math.Inf(1), 0
+		}
+		ds := make([]float64, 0, len(bestByShape))
+		for _, m := range bestByShape {
+			ds = append(ds, m.DistVertex)
+		}
+		sort.Float64s(ds)
+		if len(ds) < k {
+			return math.Inf(1), len(ds)
+		}
+		return ds[k-1], len(ds)
+	}
+
+	// dirDist caches the exact directed vertex-average distance of an
+	// entry to the query boundary (computed against the query's prebuilt
+	// grid — cheap, and independent of ε). -1 = not yet computed. Since
+	// DistVertex ≥ dirDist/2, a cached value permanently bounds the entry.
+	dirDist := make([]float64, len(b.entries))
+	for i := range dirDist {
+		dirDist[i] = -1
+	}
+	ensureDir := func(ei int32) float64 {
+		if dirDist[ei] < 0 {
+			dirDist[ei] = AvgMinDistVertices(b.entries[ei].Poly, oracle)
+		}
+		return dirDist[ei]
+	}
+
+	// entryBound returns the proven lower bound on DistVertex for an
+	// unevaluated entry with the current counters at envelope width eps.
+	entryBound := func(ei int32, eps float64) float64 {
+		v := float64(b.entryVertexCount(ei))
+		c := float64(counters[ei])
+		lb := (distSum[ei] + (v-c)*eps) / v / 2
+		if d := dirDist[ei]; d >= 0 && d/2 > lb {
+			lb = d / 2
+		}
+		return lb
+	}
+
+	// evaluateFull computes the symmetric measure (reusing the cached
+	// directed half) and folds the entry into the per-shape best.
+	evaluateFull := func(ei int32) {
+		evaluated.set(int(ei))
+		stats.Candidates++
+		if onAccess != nil {
+			onAccess(int(ei))
+		}
+		e := &b.entries[ei]
+		dir := ensureDir(ei)
+		back := AvgMinDistVertices(qe.Poly, NewBoundaryDist(e.Poly))
+		dv := (dir + back) / 2
+		cur, ok := bestByShape[e.ShapeID]
+		if !ok || dv < cur.DistVertex {
+			bestByShape[e.ShapeID] = Match{
+				ShapeID:    e.ShapeID,
+				EntryID:    int(ei),
+				DistVertex: dv,
+			}
+		}
+	}
+
+	for {
+		stats.Iterations++
+		stats.FinalEpsilon = eps
+
+		// Step 2: collect vertices in the envelope difference via simplex
+		// range reporting over the O(m) triangle cover.
+		tris := env.AnnulusTriangles(epsPrev, eps)
+		var newCandidates []int32
+		for _, tr := range tris {
+			if tr.IsDegenerate() {
+				continue
+			}
+			stats.TrianglesQueried++
+			b.backend.ReportTriangle(tr, func(vid int) {
+				stats.VerticesReported++
+				if counted.get(vid) {
+					return
+				}
+				// Exact filter: the triangle cover may overreach the
+				// annulus; only vertices truly inside the ε-envelope are
+				// counted (each exactly once, in its home iteration).
+				d := env.Dist(b.verts[vid])
+				if d > eps {
+					return
+				}
+				counted.set(vid)
+				stats.VerticesCounted++
+				ei := b.vertEntry[vid]
+				if counters[ei] == 0 {
+					touched = append(touched, ei)
+				}
+				counters[ei]++
+				distSum[ei] += d
+				need := candidateThreshold(b.entryVertexCount(ei), beta)
+				if counters[ei] == need && !evaluated.get(int(ei)) {
+					newCandidates = append(newCandidates, ei)
+				}
+			})
+		}
+
+		// Step 4: evaluate candidates, cheapest bound first. An entry is
+		// fully evaluated only if neither the counting bound nor the
+		// (lazily computed, cached) directed distance rules it out.
+		kth, have := kthBound()
+		tryEvaluate := func(ei int32) {
+			if evaluated.get(int(ei)) {
+				return
+			}
+			ruledOut := func() bool {
+				lb := entryBound(ei, eps)
+				if math.IsInf(tau, 1) {
+					return have >= k && lb >= kth
+				}
+				return lb > tau
+			}
+			if ruledOut() {
+				return
+			}
+			// Phase 2: the cheap directed distance, cached forever.
+			ensureDir(ei)
+			if ruledOut() {
+				return
+			}
+			evaluateFull(ei)
+			kth, have = kthBound()
+		}
+		for _, ei := range newCandidates {
+			// β-candidacy (the paper's step 3/4 rule) bootstraps the
+			// top-k before any bound is meaningful.
+			if math.IsInf(tau, 1) && have < k {
+				if !evaluated.get(int(ei)) {
+					evaluateFull(ei)
+					kth, have = kthBound()
+				}
+				continue
+			}
+			tryEvaluate(ei)
+		}
+		// Bounds pass: any touched entry whose bound undercuts the k-th
+		// best (or the threshold) must be resolved before terminating.
+		// Before the top-k is populated there is no bound to undercut
+		// (ruledOut would be vacuously false for every touched entry), so
+		// only the β-candidates above bootstrap it.
+		for _, ei := range touched {
+			if math.IsInf(tau, 1) && have < k {
+				break
+			}
+			tryEvaluate(ei)
+		}
+
+		// Termination: untouched entries have every vertex farther than ε
+		// (DistVertex ≥ ε/2), and every touched entry is either evaluated
+		// or bounded out; so once the k-th best is ≤ ε/2 the result is
+		// provably final.
+		if math.IsInf(tau, 1) {
+			if have >= k && kth <= eps/2 {
+				stats.Converged = true
+				break
+			}
+		} else if eps/2 > tau {
+			stats.Converged = true
+			break
+		}
+		// Step 5: grow the envelope or give up at the threshold.
+		if eps >= thresholdEps {
+			if math.IsInf(tau, 1) {
+				stats.Converged = have >= k && kth <= eps/2
+			} else {
+				stats.Converged = eps/2 >= tau
+			}
+			break
+		}
+		epsPrev = eps
+		eps = math.Min(eps*grow, thresholdEps)
+	}
+
+	// Fill in the continuous measure for the reported matches and sort.
+	out := make([]Match, 0, len(bestByShape))
+	for _, m := range bestByShape {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistVertex != out[j].DistVertex {
+			return out[i].DistVertex < out[j].DistVertex
+		}
+		return out[i].ShapeID < out[j].ShapeID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	for i := range out {
+		if onAccess != nil {
+			onAccess(out[i].EntryID)
+		}
+		e := &b.entries[out[i].EntryID]
+		samples := b.opts.Samples
+		out[i].DistContinuous = (AvgMinDistTo(e.Poly, oracle, samples) +
+			AvgMinDist(qe.Poly, e.Poly, samples)) / 2
+	}
+	return out, stats, nil
+}
+
+// probeEnvelope cheaply checks whether any base vertex lies within eps of
+// the query boundary, using counting queries on the triangle cover.
+func (b *Base) probeEnvelope(env *envelope.Envelope, eps float64) bool {
+	for _, tr := range env.BandTriangles(eps) {
+		if tr.IsDegenerate() {
+			continue
+		}
+		found := false
+		b.backend.ReportTriangle(tr, func(vid int) {
+			if !found && env.Dist(b.verts[vid]) <= eps {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateThreshold returns the counter value at which an entry with n
+// vertices becomes a candidate: ⌈(1-β)·n⌉, at least 1.
+func candidateThreshold(n int32, beta float64) int32 {
+	t := int32(math.Ceil((1 - beta) * float64(n)))
+	if t < 1 {
+		t = 1
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}
+
+// bitset is a fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }

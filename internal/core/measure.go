@@ -1,0 +1,237 @@
+// Package core implements the paper's primary contribution: the
+// average-minimum-point-distance similarity criterion (§2.2), shape
+// normalization about α-diameters (§2.4), the shape base, and the
+// incremental ε-envelope fattening retrieval algorithm (§2.5), together
+// with the Hausdorff-family baselines it is compared against (§2.1) and
+// the Mehrotra–Gary edge-normalized feature index (§1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/shapeindex"
+	"repro/internal/voronoi"
+)
+
+// DefaultSamples returns the boundary sampling density used for the
+// continuous similarity measure on a shape with n vertices: enough samples
+// that every edge contributes, with a floor for very coarse shapes.
+func DefaultSamples(n int) int {
+	s := 4 * n
+	if s < 64 {
+		return 64
+	}
+	return s
+}
+
+// BoundaryDist is a nearest-boundary distance oracle for a fixed shape.
+// It wraps a segment grid so that repeated evaluations against the same
+// shape (the query, during matching) reuse the index.
+type BoundaryDist struct {
+	shape geom.Poly
+	grid  *shapeindex.SegmentGrid
+}
+
+// NewBoundaryDist builds the oracle. The shape must have at least one
+// edge.
+func NewBoundaryDist(shape geom.Poly) *BoundaryDist {
+	return &BoundaryDist{shape: shape, grid: shapeindex.NewSegmentGrid(shape.Edges())}
+}
+
+// Dist returns the distance from p to the shape's boundary.
+func (b *BoundaryDist) Dist(p geom.Point) float64 { return b.grid.Dist(p) }
+
+// AvgMinDist computes the directed continuous measure
+// h_avg(A, B) = average over points a of A's boundary of min_{b∈B} d(a,b),
+// approximating the boundary integral with `samples` uniformly spaced
+// arc-length samples of A (§2.2: the average is over all points of the
+// continuous shape A, not just its vertices).
+func AvgMinDist(a, b geom.Poly, samples int) float64 {
+	if samples <= 0 {
+		samples = DefaultSamples(a.NumVertices())
+	}
+	return AvgMinDistTo(a, NewBoundaryDist(b), samples)
+}
+
+// AvgMinDistTo is AvgMinDist against a prebuilt distance oracle.
+func AvgMinDistTo(a geom.Poly, b *BoundaryDist, samples int) float64 {
+	if samples <= 0 {
+		samples = DefaultSamples(a.NumVertices())
+	}
+	pts := a.Resample(samples)
+	if len(pts) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += b.Dist(p)
+	}
+	return sum / float64(len(pts))
+}
+
+// AvgMinDistSym is the symmetrized continuous measure
+// (h_avg(A,B) + h_avg(B,A)) / 2, used for ranking matches and for the
+// similarity-driven external-storage layout (§4.2).
+func AvgMinDistSym(a, b geom.Poly, samples int) float64 {
+	return (AvgMinDist(a, b, samples) + AvgMinDist(b, a, samples)) / 2
+}
+
+// AvgMinDistVertices computes the discrete variant of the measure on A's
+// vertex set: average over A's vertices of the distance to B's boundary.
+// This is the quantity the fattening algorithm's candidate counters bound
+// (a shape with more than a β fraction of vertices outside the
+// ε-envelope has AvgMinDistVertices > β·ε).
+func AvgMinDistVertices(a geom.Poly, b *BoundaryDist) float64 {
+	if len(a.Pts) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range a.Pts {
+		sum += b.Dist(p)
+	}
+	return sum / float64(len(a.Pts))
+}
+
+// AvgMinDistVerticesSym is the symmetrized vertex-averaged measure
+// (AvgMinDistVertices(A,B) + AvgMinDistVertices(B,A)) / 2. This is the
+// matching engine's ranking key: the directed variant alone can be zero
+// for dissimilar shapes whose vertices happen to lie on the other
+// boundary, while the symmetric variant is zero only when each shape's
+// vertices lie on the other's boundary — and it still obeys the envelope
+// bound (an entry with more than a β fraction of vertices outside the
+// ε-envelope has AvgMinDistVerticesSym > β·ε/2).
+func AvgMinDistVerticesSym(a, b geom.Poly) float64 {
+	return (AvgMinDistVertices(a, NewBoundaryDist(b)) +
+		AvgMinDistVertices(b, NewBoundaryDist(a))) / 2
+}
+
+// symVertexDistTo evaluates AvgMinDistVerticesSym(e, q) reusing a
+// prebuilt oracle for q.
+func symVertexDistTo(e, q geom.Poly, qOracle *BoundaryDist) float64 {
+	return (AvgMinDistVertices(e, qOracle) +
+		AvgMinDistVertices(q, NewBoundaryDist(e))) / 2
+}
+
+// AvgMinDistVerticesVoronoi computes the same vertex-averaged measure
+// using the Voronoi diagram of B's vertices for nearest-vertex location
+// (the structure §2.5 prescribes, built in O(m log m)): each vertex of A
+// is located with a neighbor walk seeded by the previous answer, and the
+// exact boundary distance is then refined over B's edges incident to the
+// located vertex and its Voronoi neighbors.
+func AvgMinDistVerticesVoronoi(a, b geom.Poly) float64 {
+	if len(a.Pts) == 0 || len(b.Pts) == 0 {
+		return math.Inf(1)
+	}
+	vd, err := voronoi.Build(b.Pts)
+	if err != nil {
+		return math.Inf(1)
+	}
+	incident := incidentEdges(b)
+	var sum float64
+	hint := 0
+	for _, p := range a.Pts {
+		site, vertDist := vd.NearestFrom(p, hint)
+		hint = site
+		best := vertDist
+		refine := func(v int) {
+			for _, ei := range incident[v] {
+				if d := b.Edge(ei).DistToPoint(p); d < best {
+					best = d
+				}
+			}
+		}
+		refine(site)
+		for _, nb := range vd.Cell(site).Neighbors {
+			refine(nb)
+		}
+		sum += best
+	}
+	return sum / float64(len(a.Pts))
+}
+
+// incidentEdges maps each vertex index of p to the edge indices that touch
+// it.
+func incidentEdges(p geom.Poly) [][]int {
+	out := make([][]int, len(p.Pts))
+	for e := 0; e < p.NumEdges(); e++ {
+		i := e
+		j := (e + 1) % len(p.Pts)
+		out[i] = append(out[i], e)
+		out[j] = append(out[j], e)
+	}
+	return out
+}
+
+// DirectedHausdorff computes h(A,B) = max over A's sampled boundary of the
+// distance to B (§2.1). samples ≤ 0 selects the default density.
+func DirectedHausdorff(a, b geom.Poly, samples int) float64 {
+	if samples <= 0 {
+		samples = DefaultSamples(a.NumVertices())
+	}
+	oracle := NewBoundaryDist(b)
+	var worst float64
+	for _, p := range a.Resample(samples) {
+		if d := oracle.Dist(p); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Hausdorff computes H(A,B) = max(h(A,B), h(B,A)).
+func Hausdorff(a, b geom.Poly, samples int) float64 {
+	return math.Max(DirectedHausdorff(a, b, samples), DirectedHausdorff(b, a, samples))
+}
+
+// GeneralizedHausdorff computes the Huttenlocher–Rucklidge partial
+// variant h_k: the k-th largest of the vertex-to-shape distances, in both
+// directions, taking the max (§2.1). k = 1 is the ordinary (vertex)
+// Hausdorff distance; the common choice is k = m/2. k is clamped to each
+// direction's vertex count.
+func GeneralizedHausdorff(a, b geom.Poly, k int) float64 {
+	return math.Max(directedKth(a, b, k), directedKth(b, a, k))
+}
+
+func directedKth(a, b geom.Poly, k int) float64 {
+	ds := a.VertexDistancesTo(b)
+	if len(ds) == 0 {
+		return math.Inf(1)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ds)))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[k-1]
+}
+
+// ShapeDistance returns the similarity distance between a stored shape
+// and an arbitrary query shape: the minimum, over the shape's normalized
+// copies, of the symmetric vertex-averaged measure against the query's
+// canonical normalization. It is the direct (index-free) evaluation of
+// g_similar used when the query processor checks a single image (§5.3).
+func (b *Base) ShapeDistance(shapeID int, q geom.Poly) (float64, error) {
+	if shapeID < 0 || shapeID >= len(b.shapes) {
+		return 0, fmt.Errorf("core: shape id %d out of range", shapeID)
+	}
+	qe, err := NormalizeCanonical(q)
+	if err != nil {
+		return 0, err
+	}
+	oracle := NewBoundaryDist(qe.Poly)
+	best := math.Inf(1)
+	for ei := range b.entries {
+		if b.entries[ei].ShapeID != shapeID {
+			continue
+		}
+		if d := symVertexDistTo(b.entries[ei].Poly, qe.Poly, oracle); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Shape is an object boundary extracted from an image: a simple polygon
+// or polyline (§2.4), tagged with the image it belongs to.
+type Shape struct {
+	ID    int       // shape id, assigned by the base
+	Image int       // id of the image this shape was extracted from
+	Poly  geom.Poly // the boundary in image coordinates
+}
+
+// Entry is one normalized copy of a shape in the shape base. Each shape
+// is stored twice per α-diameter: once for each way of mapping the
+// diameter endpoints onto (0,0) and (1,0) (§2.4).
+type Entry struct {
+	ShapeID int            // the shape this copy belongs to
+	Copy    int            // copy ordinal within the shape
+	Poly    geom.Poly      // normalized vertices
+	Norm    geom.Transform // image frame → normalized frame
+	Inv     geom.Transform // normalized frame → image frame
+	DiamI   int            // vertex index mapped to (0,0)
+	DiamJ   int            // vertex index mapped to (1,0)
+}
+
+// Normalize produces all normalized copies of p for the given α: two per
+// α-diameter (both endpoint orders). α must be in [0, 1). Degenerate
+// shapes (zero diameter) produce no copies and an error.
+func Normalize(p geom.Poly, alpha float64) ([]Entry, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("core: alpha %v out of [0,1)", alpha)
+	}
+	pairs := p.AlphaDiameters(alpha)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("core: shape has no α-diameters (degenerate)")
+	}
+	out := make([]Entry, 0, 2*len(pairs))
+	copyOrd := 0
+	for _, pr := range pairs {
+		for _, ord := range [2][2]int{{pr[0], pr[1]}, {pr[1], pr[0]}} {
+			a, b := p.Pts[ord[0]], p.Pts[ord[1]]
+			tr, err := geom.NormalizeOnto(a, b)
+			if err != nil {
+				continue
+			}
+			out = append(out, Entry{
+				Copy:  copyOrd,
+				Poly:  p.Transform(tr),
+				Norm:  tr,
+				Inv:   tr.Inverse(),
+				DiamI: ord[0],
+				DiamJ: ord[1],
+			})
+			copyOrd++
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: normalization produced no copies")
+	}
+	return out, nil
+}
+
+// NormalizeCanonical returns the single canonical normalization of p:
+// about its true diameter, with the lower-index endpoint mapped to (0,0).
+// This is the normalization applied to query shapes — the base's
+// α-diameter copies absorb the remaining degrees of freedom.
+func NormalizeCanonical(p geom.Poly) (Entry, error) {
+	i, j, d := p.Diameter()
+	if d <= geom.Eps {
+		return Entry{}, fmt.Errorf("core: degenerate shape, zero diameter")
+	}
+	tr, err := geom.NormalizeOnto(p.Pts[i], p.Pts[j])
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		Poly:  p.Transform(tr),
+		Norm:  tr,
+		Inv:   tr.Inverse(),
+		DiamI: i,
+		DiamJ: j,
+	}, nil
+}
+
+// DiameterAngle returns the orientation, in the original image frame, of
+// the entry's normalized diameter vector ((0,0),(1,0)) mapped back through
+// the inverse normalization — the quantity used by the θ argument of the
+// topological predicates (§5.3).
+func (e Entry) DiameterAngle() float64 {
+	v := e.Inv.Apply(geom.Pt(1, 0)).Sub(e.Inv.Apply(geom.Pt(0, 0)))
+	return v.Angle()
+}
+
+// Lune bounds: shapes normalized about their true diameter have all
+// vertices inside the lune defined by the two unit circles centered at
+// (0,0) and (1,0) (§3). α-diameter copies may exceed it slightly.
+
+// LuneArea is the area of the lune: the intersection of the two unit
+// disks centered at (0,0) and (1,0) — 2π/3 − √3/2.
+const LuneArea = 2*3.14159265358979323846/3 - 0.86602540378443864676
+
+// InLune reports whether p lies inside the lune.
+func InLune(p geom.Point) bool {
+	return p.Norm2() <= 1+geom.Eps && p.Sub(geom.Pt(1, 0)).Norm2() <= 1+geom.Eps
+}
+
+// ClampToLune maps a point outside the lune onto (the vicinity of) its
+// boundary, the treatment §3 prescribes for vertices of α-diameter copies
+// that fall outside the locus.
+func ClampToLune(p geom.Point) geom.Point {
+	const maxIter = 48
+	q := p
+	for iter := 0; iter < maxIter && !InLune(q); iter++ {
+		if n := q.Norm(); n > 1 {
+			q = q.Scale(1 / n)
+		}
+		d := q.Sub(geom.Pt(1, 0))
+		if n := d.Norm(); n > 1 {
+			q = geom.Pt(1, 0).Add(d.Scale(1 / n))
+		}
+	}
+	return q
+}

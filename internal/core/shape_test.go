@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNormalizeCanonical(t *testing.T) {
+	p := geom.NewPolygon(geom.Pt(2, 2), geom.Pt(6, 2), geom.Pt(6, 4), geom.Pt(2, 4))
+	e, err := NormalizeCanonical(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diameter endpoints must land on (0,0) and (1,0).
+	a := e.Poly.Pts[e.DiamI]
+	b := e.Poly.Pts[e.DiamJ]
+	if !a.Eq(geom.Pt(0, 0), 1e-9) || !b.Eq(geom.Pt(1, 0), 1e-9) {
+		t.Errorf("diameter endpoints at %v, %v", a, b)
+	}
+	// Inverse maps back to the original.
+	back := e.Poly.Transform(e.Inv)
+	for i := range p.Pts {
+		if !back.Pts[i].Eq(p.Pts[i], 1e-9) {
+			t.Errorf("vertex %d: %v != %v", i, back.Pts[i], p.Pts[i])
+		}
+	}
+}
+
+func TestNormalizeCanonicalDegenerate(t *testing.T) {
+	if _, err := NormalizeCanonical(geom.Poly{Pts: []geom.Point{geom.Pt(1, 1)}}); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+func TestNormalizeAlphaZero(t *testing.T) {
+	// A 4:1 rectangle has a unique diameter pair (the two diagonals tie).
+	p := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 1), geom.Pt(0, 1))
+	entries, err := Normalize(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two diagonals × two orientations = 4 copies.
+	if len(entries) != 4 {
+		t.Fatalf("copies = %d, want 4", len(entries))
+	}
+	for i, e := range entries {
+		if e.Copy != i {
+			t.Errorf("copy ordinal %d = %d", i, e.Copy)
+		}
+		a := e.Poly.Pts[e.DiamI]
+		b := e.Poly.Pts[e.DiamJ]
+		if !a.Eq(geom.Pt(0, 0), 1e-9) || !b.Eq(geom.Pt(1, 0), 1e-9) {
+			t.Errorf("copy %d endpoints %v %v", i, a, b)
+		}
+	}
+}
+
+func TestNormalizeAlphaGrowsCopies(t *testing.T) {
+	p := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 1), geom.Pt(0, 1))
+	few, _ := Normalize(p, 0)
+	many, _ := Normalize(p, 0.3)
+	if len(many) <= len(few) {
+		t.Errorf("alpha=0.3 copies (%d) should exceed alpha=0 (%d)", len(many), len(few))
+	}
+	if _, err := Normalize(p, -0.1); err == nil {
+		t.Error("negative alpha should fail")
+	}
+	if _, err := Normalize(p, 1); err == nil {
+		t.Error("alpha=1 should fail")
+	}
+}
+
+func TestDiameterAngle(t *testing.T) {
+	// Shape whose diameter is along +y: after normalization the angle of
+	// the original diameter must be recovered.
+	p := geom.NewPolyline(geom.Pt(0, 0), geom.Pt(0.1, 1), geom.Pt(0, 2))
+	e, err := NormalizeCanonical(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.DiameterAngle()
+	if !almostEq(got, math.Pi/2, 1e-9) {
+		t.Errorf("DiameterAngle = %v, want π/2", got)
+	}
+}
+
+func TestLune(t *testing.T) {
+	// Area: 2π/3 − √3/2 ≈ 1.22837.
+	if !almostEq(LuneArea, 1.2283696986087567, 1e-12) {
+		t.Errorf("LuneArea = %v", LuneArea)
+	}
+	inside := []geom.Point{geom.Pt(0.5, 0), geom.Pt(0.5, 0.8), geom.Pt(0.5, -0.8), geom.Pt(0.1, 0.1)}
+	for _, p := range inside {
+		if !InLune(p) {
+			t.Errorf("%v should be in the lune", p)
+		}
+	}
+	outside := []geom.Point{geom.Pt(-0.1, 0), geom.Pt(1.1, 0), geom.Pt(0.5, 0.9), geom.Pt(2, 2)}
+	for _, p := range outside {
+		if InLune(p) {
+			t.Errorf("%v should be outside the lune", p)
+		}
+	}
+}
+
+func TestClampToLune(t *testing.T) {
+	cases := []geom.Point{geom.Pt(2, 2), geom.Pt(-1, 0.5), geom.Pt(0.5, -3), geom.Pt(10, 0)}
+	for _, p := range cases {
+		q := ClampToLune(p)
+		if !InLune(q) {
+			t.Errorf("ClampToLune(%v) = %v not in lune", p, q)
+		}
+	}
+	// Points already inside are unchanged.
+	in := geom.Pt(0.5, 0.3)
+	if got := ClampToLune(in); got != in {
+		t.Errorf("interior point moved: %v", got)
+	}
+}
+
+// Normalized-about-true-diameter shapes must have all vertices inside the
+// lune (§3): the diameter is the longest pairwise distance, so every
+// vertex is within distance 1 of both endpoints.
+func TestCanonicalVerticesInLune(t *testing.T) {
+	shapes := []geom.Poly{
+		geom.NewPolygon(geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 1), geom.Pt(0, 1)),
+		geom.NewPolygon(geom.Pt(0, 0), geom.Pt(2, 1), geom.Pt(1, 3), geom.Pt(-1, 2)),
+		geom.NewPolyline(geom.Pt(0, 0), geom.Pt(1, 2), geom.Pt(3, 1), geom.Pt(2, -1)),
+	}
+	for si, p := range shapes {
+		e, err := NormalizeCanonical(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vi, v := range e.Poly.Pts {
+			if !InLune(v) {
+				t.Errorf("shape %d vertex %d = %v outside lune", si, vi, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// The triangle cover must stay O(m): exact counts per construction.
+func TestCoverSizeLinearInEdges(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			a := 2 * math.Pi * float64(i) / float64(n)
+			pts[i] = geom.Pt(math.Cos(a), math.Sin(a))
+		}
+		e, err := New(geom.NewPolygon(pts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Band: 4 per edge + 2 per vertex = 6n.
+		if got := len(e.BandTriangles(0.1)); got != 6*n {
+			t.Errorf("n=%d: band cover = %d, want %d", n, got, 6*n)
+		}
+		// Annulus: 4 per edge + 8 per vertex = 12n.
+		if got := len(e.AnnulusTriangles(0.05, 0.1)); got != 12*n {
+			t.Errorf("n=%d: annulus cover = %d, want %d", n, got, 12*n)
+		}
+	}
+}
+
+// The annulus cover must not include deep-interior regions: points well
+// inside the inner envelope should rarely be covered (the frame
+// construction excludes the inner Chebyshev square).
+func TestAnnulusCoverExcludesDeepInterior(t *testing.T) {
+	sqp := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10))
+	e, err := New(sqp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rIn, rOut := 2.0, 2.5
+	tris := e.AnnulusTriangles(rIn, rOut)
+	covered := func(p geom.Point) bool {
+		for _, tr := range tris {
+			if tr.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	// The square's center is 5 away from the boundary — far inside rIn.
+	if covered(geom.Pt(5, 5)) {
+		t.Error("deep interior point covered by annulus triangles")
+	}
+	// A point at distance ~0.5 (well under rIn) near an edge's middle.
+	if covered(geom.Pt(5, 0.5)) {
+		t.Error("near-boundary interior point under rIn covered by edge strips")
+	}
+}
+
+// Envelope distances must agree with the brute-force edge scan.
+func TestEnvelopeDistMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(12)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			a := 2 * math.Pi * float64(i) / float64(n)
+			r := 1 + rng.Float64()
+			pts[i] = geom.Pt(r*math.Cos(a), r*math.Sin(a))
+		}
+		p := geom.NewPolygon(pts...)
+		if p.Validate() != nil {
+			continue
+		}
+		e, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 40; q++ {
+			pt := geom.Pt(rng.Float64()*6-3, rng.Float64()*6-3)
+			want := p.DistToPoint(pt)
+			if got := e.Dist(pt); math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d: Dist(%v) = %v, brute %v", trial, pt, got, want)
+			}
+		}
+	}
+}
+
+// Open polylines get envelopes too (the shape base stores open chains).
+func TestEnvelopeOpenChain(t *testing.T) {
+	line := geom.NewPolyline(geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4))
+	e, err := New(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Contains(geom.Pt(2, 0.3), 0.4) {
+		t.Error("point near the chain should be inside")
+	}
+	if e.Contains(geom.Pt(0, 4), 1) {
+		t.Error("the far corner is ~4 away from the L-chain")
+	}
+	tris := e.AnnulusTriangles(0.2, 0.5)
+	// 2 edges × 4 + 3 vertices × 8 = 32.
+	if len(tris) != 32 {
+		t.Errorf("open-chain annulus cover = %d", len(tris))
+	}
+}

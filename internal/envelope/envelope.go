@@ -1,0 +1,135 @@
+// Package envelope implements the ε-envelope of a query shape (§2.3 of
+// the paper): the "fattened" region of all points within distance ε of
+// the shape's boundary, together with the triangle decomposition of an
+// envelope difference (ε_i-envelope − ε_{i-1}-envelope) that the matching
+// algorithm feeds to the simplex range-search structures.
+//
+// Membership uses the exact boundary distance, so the envelope family is
+// monotone in ε (a point inside the ε-envelope is inside every larger
+// envelope) — the property the incremental fattening algorithm relies on.
+// The triangle decomposition is a *cover* of the annular difference region
+// built from one offset strip per edge side plus one cap box per vertex
+// (O(m) triangles for an m-edge shape). The cover may slightly exceed the
+// exact annulus near vertices; the matching algorithm filters every
+// reported candidate through the exact distance test, so overcoverage
+// costs a constant factor of filtering and never correctness.
+package envelope
+
+import (
+	"math"
+
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/shapeindex"
+)
+
+// Envelope answers distance and ε-membership queries for a fixed shape.
+type Envelope struct {
+	shape geom.Poly
+	grid  *shapeindex.SegmentGrid
+}
+
+// New builds an Envelope for the given shape. The shape must have at
+// least one edge.
+func New(shape geom.Poly) (*Envelope, error) {
+	if shape.NumEdges() == 0 {
+		return nil, fmt.Errorf("envelope: shape has no edges")
+	}
+	return &Envelope{
+		shape: shape.Clone(),
+		grid:  shapeindex.NewSegmentGrid(shape.Edges()),
+	}, nil
+}
+
+// Shape returns the underlying shape.
+func (e *Envelope) Shape() geom.Poly { return e.shape }
+
+// Dist returns the distance from p to the shape's boundary.
+func (e *Envelope) Dist(p geom.Point) float64 { return e.grid.Dist(p) }
+
+// Contains reports whether p lies inside the eps-envelope, i.e. within
+// distance eps of the boundary.
+func (e *Envelope) Contains(p geom.Point, eps float64) bool {
+	return e.grid.Dist(p) <= eps
+}
+
+// InAnnulus reports whether p lies in the difference region between the
+// rOut- and rIn-envelopes: rIn < dist(p) ≤ rOut.
+func (e *Envelope) InAnnulus(p geom.Point, rIn, rOut float64) bool {
+	d := e.grid.Dist(p)
+	return d > rIn && d <= rOut
+}
+
+// AnnulusTriangles returns O(m) triangles covering every point p with
+// rIn < dist(p, boundary) ≤ rOut. For rIn = 0 this covers the whole
+// rOut-envelope. rOut must be positive and at least rIn.
+func (e *Envelope) AnnulusTriangles(rIn, rOut float64) []geom.Triangle {
+	if rOut <= 0 {
+		return nil
+	}
+	m := e.shape.NumEdges()
+	out := make([]geom.Triangle, 0, 4*m+2*len(e.shape.Pts))
+	for i := 0; i < m; i++ {
+		edge := e.shape.Edge(i)
+		n := edge.Dir().Unit().Perp()
+		// Two offset strips, one on each side of the edge. For an annulus
+		// (rIn > 0) each strip spans offsets [rIn, rOut]; points closer
+		// than rIn to this edge may still be needed if another feature is
+		// their nearest one, but those points are then covered by that
+		// feature's strip or cap.
+		inner := rIn
+		for _, side := range [2]float64{+1, -1} {
+			a0 := edge.A.Add(n.Scale(side * inner))
+			b0 := edge.B.Add(n.Scale(side * inner))
+			a1 := edge.A.Add(n.Scale(side * rOut))
+			b1 := edge.B.Add(n.Scale(side * rOut))
+			out = append(out,
+				geom.Tri(a0, b0, b1),
+				geom.Tri(a0, b1, a1),
+			)
+		}
+	}
+	// Vertex caps: near each vertex the edge strips miss the circular caps
+	// and annular wedges. A box of half-width rOut covers them; for
+	// rIn > 0 the interior square of half-width rIn/√2 contains only
+	// points strictly closer than rIn (Chebyshev ≤ rIn/√2 implies
+	// Euclidean ≤ rIn), so a 4-rectangle frame suffices and avoids
+	// re-reporting deep-inside vertices on every fattening iteration.
+	h := rIn / math.Sqrt2
+	for _, v := range e.shape.Pts {
+		if rIn <= 0 {
+			c := [4]geom.Point{
+				v.Add(geom.Pt(-rOut, -rOut)),
+				v.Add(geom.Pt(rOut, -rOut)),
+				v.Add(geom.Pt(rOut, rOut)),
+				v.Add(geom.Pt(-rOut, rOut)),
+			}
+			out = append(out,
+				geom.Tri(c[0], c[1], c[2]),
+				geom.Tri(c[0], c[2], c[3]),
+			)
+			continue
+		}
+		rects := [4]geom.Rect{
+			{Min: v.Add(geom.Pt(-rOut, h)), Max: v.Add(geom.Pt(rOut, rOut))},   // top
+			{Min: v.Add(geom.Pt(-rOut, -rOut)), Max: v.Add(geom.Pt(rOut, -h))}, // bottom
+			{Min: v.Add(geom.Pt(-rOut, -h)), Max: v.Add(geom.Pt(-h, h))},       // left
+			{Min: v.Add(geom.Pt(h, -h)), Max: v.Add(geom.Pt(rOut, h))},         // right
+		}
+		for _, r := range rects {
+			c := r.Corners()
+			out = append(out,
+				geom.Tri(c[0], c[1], c[2]),
+				geom.Tri(c[0], c[2], c[3]),
+			)
+		}
+	}
+	return out
+}
+
+// BandTriangles returns triangles covering the full r-envelope
+// (equivalent to AnnulusTriangles(0, r)).
+func (e *Envelope) BandTriangles(r float64) []geom.Triangle {
+	return e.AnnulusTriangles(0, r)
+}

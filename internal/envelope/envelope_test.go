@@ -1,0 +1,158 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func square() geom.Poly {
+	return geom.NewPolygon(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1))
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(geom.Poly{}); err == nil {
+		t.Error("edgeless shape should fail")
+	}
+	if _, err := New(geom.NewPolyline(geom.Pt(0, 0))); err == nil {
+		t.Error("single vertex should fail")
+	}
+}
+
+func TestDistAndContains(t *testing.T) {
+	e, err := New(square())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center of unit square: boundary distance 0.5.
+	if d := e.Dist(geom.Pt(0.5, 0.5)); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("center Dist = %v", d)
+	}
+	if !e.Contains(geom.Pt(0.5, 0.5), 0.5) {
+		t.Error("center inside 0.5-envelope")
+	}
+	if e.Contains(geom.Pt(0.5, 0.5), 0.49) {
+		t.Error("center outside 0.49-envelope")
+	}
+	// Outside point.
+	if !e.Contains(geom.Pt(1.3, 0.5), 0.3+1e-12) {
+		t.Error("(1.3,0.5) inside 0.3-envelope")
+	}
+	if e.Contains(geom.Pt(1.3, 0.5), 0.29) {
+		t.Error("(1.3,0.5) outside 0.29-envelope")
+	}
+	// ε = 0 envelope coincides with the shape boundary.
+	if !e.Contains(geom.Pt(0.5, 0), 0) {
+		t.Error("boundary point in 0-envelope")
+	}
+	if e.Contains(geom.Pt(0.5, 0.01), 0) {
+		t.Error("off-boundary point not in 0-envelope")
+	}
+}
+
+func TestInAnnulus(t *testing.T) {
+	e, _ := New(square())
+	p := geom.Pt(1.2, 0.5) // distance 0.2 from the right edge
+	if !e.InAnnulus(p, 0.1, 0.3) {
+		t.Error("p in (0.1, 0.3] annulus")
+	}
+	if e.InAnnulus(p, 0.2, 0.3) {
+		t.Error("annulus is open at the inner radius")
+	}
+	if !e.InAnnulus(p, 0.1, 0.2) {
+		t.Error("annulus is closed at the outer radius")
+	}
+	if e.InAnnulus(p, 0.3, 0.5) {
+		t.Error("p below inner radius")
+	}
+}
+
+func TestEnvelopeMonotonicity(t *testing.T) {
+	e, _ := New(square())
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(rng.Float64()*3-1, rng.Float64()*3-1)
+		if e.Contains(p, 0.2) && !e.Contains(p, 0.5) {
+			t.Fatalf("envelope not monotone at %v", p)
+		}
+	}
+}
+
+func TestBandTrianglesCount(t *testing.T) {
+	e, _ := New(square())
+	tris := e.BandTriangles(0.1)
+	// 4 edges × 4 triangles + 4 vertices × 2 triangles = 24: O(m).
+	if len(tris) != 24 {
+		t.Errorf("triangle count = %d, want 24", len(tris))
+	}
+	if got := e.AnnulusTriangles(0.1, 0); got != nil {
+		t.Errorf("non-positive outer radius should yield nil, got %d", len(got))
+	}
+}
+
+// Every point of the annulus must be covered by at least one triangle.
+func TestAnnulusTrianglesCover(t *testing.T) {
+	shapes := []geom.Poly{
+		square(),
+		geom.NewPolyline(geom.Pt(0, 0), geom.Pt(1, 0.2), geom.Pt(2, 0)),
+		geom.NewPolygon(geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(2, 2), geom.Pt(0, 4)),
+	}
+	rng := rand.New(rand.NewSource(13))
+	for si, shape := range shapes {
+		e, err := New(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := [][2]float64{{0, 0.15}, {0.1, 0.25}, {0.3, 0.6}}
+		for _, c := range cases {
+			rIn, rOut := c[0], c[1]
+			tris := e.AnnulusTriangles(rIn, rOut)
+			b := shape.Bounds().Expand(rOut + 0.1)
+			covered := func(p geom.Point) bool {
+				for _, tr := range tris {
+					if tr.Contains(p) {
+						return true
+					}
+				}
+				return false
+			}
+			checked := 0
+			for i := 0; i < 5000 && checked < 300; i++ {
+				p := geom.Pt(
+					b.Min.X+rng.Float64()*b.Width(),
+					b.Min.Y+rng.Float64()*b.Height(),
+				)
+				if !e.InAnnulus(p, rIn, rOut) {
+					continue
+				}
+				checked++
+				if !covered(p) {
+					t.Fatalf("shape %d annulus (%v,%v]: point %v (d=%v) uncovered",
+						si, rIn, rOut, p, e.Dist(p))
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("shape %d: no annulus samples found", si)
+			}
+		}
+	}
+}
+
+// Property: envelope distance of points ON the boundary is 0, and the
+// boundary is always inside every positive envelope.
+func TestQuickBoundaryInEnvelope(t *testing.T) {
+	e, _ := New(square())
+	f := func(tRaw float64, epsRaw float64) bool {
+		tt := math.Mod(math.Abs(tRaw), 1)
+		eps := math.Mod(math.Abs(epsRaw), 2)
+		// Walk the perimeter.
+		p := square().Resample(64)[int(tt*63)]
+		return e.Dist(p) < 1e-9 && e.Contains(p, eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

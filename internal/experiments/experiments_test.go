@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/extstore"
+)
+
+// tinyConfig keeps experiment tests fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.004 // 40 images
+	cfg.Queries = 5
+	return cfg
+}
+
+func TestBuildFixture(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Images) != 40 {
+		t.Errorf("images = %d", len(f.Images))
+	}
+	if f.Base.NumShapes() == 0 || f.Base.NumEntries() == 0 {
+		t.Error("empty base")
+	}
+	if len(f.Records) == 0 {
+		t.Error("no records")
+	}
+	if len(f.Queries) != 5 {
+		t.Errorf("queries = %d", len(f.Queries))
+	}
+	if s := f.Summary(); s == "" {
+		t.Error("empty summary")
+	}
+	// Every record's quad must be well-formed (indices within family).
+	for _, r := range f.Records {
+		for q := 0; q < 4; q++ {
+			if r.Quad[q] < 0 || r.Quad[q] > f.Cfg.HashCurves {
+				t.Fatalf("record %d quad %v out of range", r.EntryID, r.Quad)
+			}
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	r := Fig1()
+	if !r.HausdorffPicksA {
+		t.Errorf("Hausdorff should be dominated by the spike: A=%v B=%v", r.HausdorffA, r.HausdorffB)
+	}
+	if !r.AvgPicksB {
+		t.Errorf("average measure should prefer B: A=%v B=%v", r.AvgA, r.AvgB)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fig2(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trials == 0 {
+		t.Fatal("no trials ran")
+	}
+	// Diameter normalization must be at least as robust as the
+	// edge-normalized baseline under edge-split distortion (the paper's
+	// claim), and it should succeed on a clear majority of trials.
+	if r.GeoSIRHit < r.MGHit {
+		t.Errorf("GeoSIR %d/%d vs MG %d/%d", r.GeoSIRHit, r.Trials, r.MGHit, r.Trials)
+	}
+	if float64(r.GeoSIRHit) < 0.6*float64(r.Trials) {
+		t.Errorf("GeoSIR hit rate too low: %d/%d", r.GeoSIRHit, r.Trials)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	rows := Fig5(51)
+	if len(rows) != 51 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].E != 0 {
+		t.Errorf("E(0) = %v", rows[0].E)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].E < rows[i-1].E {
+			t.Errorf("E not monotone at %v", rows[i].X)
+		}
+		if rows[i].DE < 0 {
+			t.Errorf("DE negative at %v", rows[i].X)
+		}
+	}
+}
+
+func TestFig7And8(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Fig7(f, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("fig7 rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		for _, layout := range extstore.Layouts() {
+			if _, ok := row.IO[layout]; !ok {
+				t.Fatalf("k=%d missing layout %s", row.K, layout)
+			}
+			if row.IO[layout] < 0 {
+				t.Fatalf("negative IO")
+			}
+		}
+	}
+	rows8, err := Fig8(f, []int{1, 10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows8) != 3 {
+		t.Fatalf("fig8 rows = %d", len(rows8))
+	}
+	// Bigger buffers can only help (weak monotonicity up to noise):
+	// compare the extremes per layout.
+	for _, layout := range extstore.Layouts() {
+		if rows8[2].IO[layout] > rows8[0].IO[layout]+1e-9 {
+			t.Errorf("%s: 50KB buffer (%v IO) worse than 1KB (%v IO)",
+				layout, rows8[2].IO[layout], rows8[0].IO[layout])
+		}
+	}
+}
+
+func TestRehashCosts(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := Rehash(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 4 {
+		t.Fatalf("costs = %d", len(costs))
+	}
+	for _, c := range costs {
+		if c.BlockReads == 0 || c.BlockWrites == 0 || c.Comparisons == 0 {
+			t.Errorf("%s: degenerate cost %+v", c.Layout, c)
+		}
+	}
+}
+
+func TestFig10(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Fig10(cfg, 0.03, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exp1) < 15 || len(res.Exp2) < 15 {
+		t.Fatalf("points: %d / %d", len(res.Exp1), len(res.Exp2))
+	}
+	if res.C1 <= 0 {
+		t.Errorf("C1 = %v", res.C1)
+	}
+	// Experiment 1's base is twice experiment 2's: its constant (and its
+	// match counts) must be larger — roughly 2×.
+	if res.C1 <= res.C2 {
+		t.Errorf("C1 %v should exceed C2 %v (double base)", res.C1, res.C2)
+	}
+	if ratio := res.C1 / res.C2; ratio < 1.4 || ratio > 2.8 {
+		t.Errorf("C1/C2 = %v, want ≈2", ratio)
+	}
+	// The hyperbolic law: match counts strongly anti-correlated with V_S.
+	if rho := Spearman(res.Exp1); rho > -0.6 {
+		t.Errorf("experiment 1 spearman = %v, want strongly negative", rho)
+	}
+	if rho := Spearman(res.Exp2); rho > -0.6 {
+		t.Errorf("experiment 2 spearman = %v, want strongly negative", rho)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 3
+	rows, err := Scaling(cfg, []float64{0.002, 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Vertices <= rows[0].Vertices {
+		t.Error("vertex counts not increasing")
+	}
+	for _, r := range rows {
+		if r.AvgIterations < 1 {
+			t.Errorf("iterations = %v", r.AvgIterations)
+		}
+	}
+}
+
+func TestHashing(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Hashing(f, []int{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More curves → thinner buckets (the §3 claim).
+	if rows[1].MeanBucket > rows[0].MeanBucket+1e-9 {
+		t.Errorf("mean bucket should shrink: k=10 %v, k=50 %v",
+			rows[0].MeanBucket, rows[1].MeanBucket)
+	}
+	for _, r := range rows {
+		if r.HitRate < 0.5 {
+			t.Errorf("k=%d hit rate %v too low", r.Curves, r.HitRate)
+		}
+	}
+}
+
+func TestPlans(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Plans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PlannedChecks > r.NaiveChecks {
+			t.Errorf("%s: planned %d checks > naive %d", r.Query, r.PlannedChecks, r.NaiveChecks)
+		}
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Perfect inverse relationship.
+	pts := []Fig10Point{{1, 100}, {2, 50}, {4, 25}, {8, 12}, {16, 6}}
+	if rho := Spearman(pts); rho > -0.99 {
+		t.Errorf("rho = %v, want ≈ -1", rho)
+	}
+	if Spearman(pts[:2]) != 0 {
+		t.Error("too few points should yield 0")
+	}
+	sorted := SortedVS([]Fig10Point{{3, 1}, {1, 2}, {2, 3}})
+	if sorted[0].VS != 1 || sorted[2].VS != 3 {
+		t.Errorf("SortedVS = %v", sorted)
+	}
+}
+
+func TestChamferComparison(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Chamfer(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != 8 {
+		t.Fatalf("queries = %d", r.Queries)
+	}
+	// Both methods should retrieve the right class most of the time on
+	// lightly distorted queries...
+	if r.GeoSIRHits < 6 {
+		t.Errorf("GeoSIR hits = %d/8", r.GeoSIRHits)
+	}
+	// ...but chamfer matching pays its full per-image scan (the paper's
+	// "lengthy computations on every extracted contour per query").
+	if r.ChamferMicros <= 0 || r.GeoSIRMicros <= 0 {
+		t.Errorf("timings: chamfer %v µs, geosir %v µs", r.ChamferMicros, r.GeoSIRMicros)
+	}
+}
+
+func TestExtIndexIO(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ExtIndexIO(f, []int{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IndexBlocks == 0 {
+			t.Errorf("buffer %d: no index blocks", r.BufferBlocks)
+		}
+		if r.ReadsPerQry <= 0 {
+			t.Errorf("buffer %d: no reads recorded", r.BufferBlocks)
+		}
+	}
+	// A larger buffer must not read more.
+	if rows[1].ReadsPerQry > rows[0].ReadsPerQry+1e-9 {
+		t.Errorf("64-block buffer (%v) reads more than 4-block (%v)",
+			rows[1].ReadsPerQry, rows[0].ReadsPerQry)
+	}
+	if rows[1].HitRate < rows[0].HitRate {
+		t.Errorf("hit rate should grow with buffer: %v vs %v", rows[0].HitRate, rows[1].HitRate)
+	}
+}
+
+func TestFamilyAblation(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := FamilyAblation(f, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.HitRate < 0.4 {
+			t.Errorf("%s: hit rate %v too low", r.Name, r.HitRate)
+		}
+		if r.MeanBucket <= 0 {
+			t.Errorf("%s: empty buckets", r.Name)
+		}
+	}
+}
+
+func TestQuality(t *testing.T) {
+	f, err := BuildFixture(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Quality(f, []float64{0.01, 0.08}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Light distortion retrieves the right class almost always.
+	if rows[0].P1 < 0.8 {
+		t.Errorf("P@1 at 1%% distortion = %v", rows[0].P1)
+	}
+	// Precision can only degrade (weakly) with noise.
+	if rows[1].P1 > rows[0].P1+0.11 {
+		t.Errorf("P@1 grew with distortion: %v -> %v", rows[0].P1, rows[1].P1)
+	}
+	for _, r := range rows {
+		if r.P5 < r.P1 || r.MRR < r.P1-1e-9 || r.MRR > 1 {
+			t.Errorf("inconsistent row %+v", r)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/extstore"
+)
+
+// Fig7Row is one row of the Figure 7 reproduction: mean I/O operations
+// per query when retrieving the k best matches, per storage layout.
+type Fig7Row struct {
+	K  int
+	IO map[extstore.Layout]float64
+}
+
+// Fig7 reproduces Figure 7 (§4.1) extended with the local-optimization
+// layout (§4.2): the mean number of I/O operations per query over the
+// workload, for k = 1..kMax best matches, with a buffer of bufBlocks
+// blocks (the paper: 100 blocks, 15 queries, k = 1..10). The entry-access
+// trace of a query depends only on the matcher, so it is recorded once
+// per k and replayed against every layout.
+func Fig7(f *Fixture, kMax, bufBlocks int) ([]Fig7Row, error) {
+	if kMax <= 0 {
+		kMax = 10
+	}
+	rows := make([]Fig7Row, 0, kMax)
+	for k := 1; k <= kMax; k++ {
+		traces, err := collectTraces(f, k)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{K: k, IO: make(map[extstore.Layout]float64)}
+		for _, layout := range extstore.Layouts() {
+			io, err := replayTraces(f, traces, layout, bufBlocks)
+			if err != nil {
+				return nil, err
+			}
+			row.IO[layout] = io
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// collectTraces records the per-query entry-access sequences at the given
+// k.
+func collectTraces(f *Fixture, k int) ([][]int32, error) {
+	traces := make([][]int32, 0, len(f.Queries))
+	for _, q := range f.Queries {
+		var trace []int32
+		_, _, err := f.Base.MatchTrace(q, k, func(entryID int) {
+			trace = append(trace, int32(entryID))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: query failed: %w", err)
+		}
+		traces = append(traces, trace)
+	}
+	return traces, nil
+}
+
+// replayTraces builds a store under the layout and replays the recorded
+// accesses, returning disk reads per query. The buffer persists across
+// queries, as in a running system.
+func replayTraces(f *Fixture, traces [][]int32, layout extstore.Layout, bufBlocks int) (float64, error) {
+	store, err := extstore.NewStore(f.Records, layout, bufBlocks)
+	if err != nil {
+		return 0, err
+	}
+	stored := make(map[int32]bool, len(f.Records))
+	for i := range f.Records {
+		stored[f.Records[i].EntryID] = true
+	}
+	if len(traces) == 0 {
+		return 0, fmt.Errorf("experiments: no traces")
+	}
+	for _, trace := range traces {
+		for _, eid := range trace {
+			if !stored[eid] {
+				continue // oversized entries live in an overflow area
+			}
+			if _, err := store.ReadEntry(eid); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return float64(store.Stats().DiskReads) / float64(len(traces)), nil
+}
+
+// Fig8Row is one row of the Figure 8 reproduction: mean I/O per query at
+// fixed k for a given buffer capacity.
+type Fig8Row struct {
+	BufferKB int
+	IO       map[extstore.Layout]float64
+}
+
+// Fig8 reproduces Figure 8: mean I/O per query at k = 2 for buffer sizes
+// from 1 KB to 100 KB (1 to 100 blocks).
+func Fig8(f *Fixture, buffersKB []int) ([]Fig8Row, error) {
+	if len(buffersKB) == 0 {
+		buffersKB = []int{1, 2, 5, 10, 20, 40, 60, 80, 100}
+	}
+	traces, err := collectTraces(f, 2)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, 0, len(buffersKB))
+	for _, kb := range buffersKB {
+		row := Fig8Row{BufferKB: kb, IO: make(map[extstore.Layout]float64)}
+		for _, layout := range extstore.Layouts() {
+			io, err := replayTraces(f, traces, layout, kb)
+			if err != nil {
+				return nil, err
+			}
+			row.IO[layout] = io
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RehashCost reports the §4 rehashing cost model for every layout on the
+// fixture's records.
+type RehashCost struct {
+	Layout      extstore.Layout
+	Comparisons int
+	BlockReads  int
+	BlockWrites int
+}
+
+// Rehash measures the rebuild cost from a lexicographic store into each
+// target layout.
+func Rehash(f *Fixture) ([]RehashCost, error) {
+	var out []RehashCost
+	for _, layout := range extstore.Layouts() {
+		store, err := extstore.NewStore(f.Records, extstore.LayoutLex, 8)
+		if err != nil {
+			return nil, err
+		}
+		st, err := store.Rehash(layout)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RehashCost{
+			Layout:      layout,
+			Comparisons: st.Comparisons,
+			BlockReads:  st.BlockReads,
+			BlockWrites: st.BlockWrites,
+		})
+	}
+	return out, nil
+}

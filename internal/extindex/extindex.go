@@ -1,0 +1,339 @@
+// Package extindex stores the auxiliary range-search structure in
+// external memory (§4: "For accommodating the auxiliary data structures
+// in external memory we use optimal range search indexing structures
+// [Arge–Samoladas–Vitter, Vitter]").
+//
+// The structure is a block-packed kd-tree over the shape-base vertices:
+// median splits proceed until a part holds at most B points (B = points
+// per block), each part is serialized into one disk block (fill between
+// B/2 and B by the median-split invariant), and the internal skeleton —
+// bounding boxes and child links, O(n/B) of them — stays in memory. A
+// triangle query reads only the leaf blocks whose subtree boxes intersect
+// the range: O(√(n/B) + k/B) block reads, the external analogue of the
+// in-memory kd-tree bound. Queries run through an LRU buffer pool and
+// report their I/O cost, which is what the paper's storage experiments
+// measure.
+package extindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/extstore"
+	"repro/internal/geom"
+)
+
+// pointRec is one vertex with its id, 20 bytes on disk.
+const pointBytes = 20
+
+// BlockCapacity is the number of points per disk block.
+const BlockCapacity = extstore.BlockSize / pointBytes
+
+// Tree is the external-memory kd-tree.
+type Tree struct {
+	disk *extstore.Disk
+	pool *extstore.BufferPool
+
+	// One node per *block subtree*: the in-memory skeleton holds only the
+	// subtree bounding boxes and child links (O(n/B) of them).
+	nodes []blockNode
+	root  int32
+	n     int
+}
+
+// blockNode is the in-memory skeleton: either a leaf holding one disk
+// block of points (block ≥ 0) or an internal split node (block < 0).
+type blockNode struct {
+	block    int32     // disk block of a leaf; -1 for internal nodes
+	count    int32     // points in the leaf block
+	bounds   geom.Rect // bounding box of the whole subtree
+	children []int32   // node indices of child subtrees (internal only)
+}
+
+// Build packs the points into blocks and writes them to a fresh disk,
+// attaching a buffer pool with bufBlocks capacity.
+func Build(pts []geom.Point, bufBlocks int) (*Tree, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("extindex: no points")
+	}
+	t := &Tree{disk: extstore.NewDisk(), n: len(pts)}
+	ids := make([]int32, len(pts))
+	work := make([]geom.Point, len(pts))
+	copy(work, pts)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	var err error
+	t.root, err = t.build(work, ids, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.disk.ResetStats()
+	t.pool = extstore.NewBufferPool(t.disk, bufBlocks)
+	return t, nil
+}
+
+// build recursively median-splits until a part fits one block, then
+// writes that block; internal nodes carry only bounds and links.
+func (t *Tree) build(pts []geom.Point, ids []int32, depth int) (int32, error) {
+	ni := int32(len(t.nodes))
+	t.nodes = append(t.nodes, blockNode{})
+
+	if len(pts) <= BlockCapacity {
+		buf := make([]byte, 0, len(pts)*pointBytes)
+		var scratch [pointBytes]byte
+		for i := range pts {
+			binary.LittleEndian.PutUint32(scratch[0:], uint32(ids[i]))
+			binary.LittleEndian.PutUint64(scratch[4:], math.Float64bits(pts[i].X))
+			binary.LittleEndian.PutUint64(scratch[12:], math.Float64bits(pts[i].Y))
+			buf = append(buf, scratch[:]...)
+		}
+		blockIdx := t.disk.NumBlocks()
+		if err := t.disk.Write(blockIdx, buf); err != nil {
+			return 0, err
+		}
+		t.nodes[ni] = blockNode{
+			block:  int32(blockIdx),
+			count:  int32(len(pts)),
+			bounds: geom.RectOf(pts...),
+		}
+		return ni, nil
+	}
+
+	mid := len(pts) / 2
+	nthElement(pts, ids, mid, depth%2 == 0)
+	left, err := t.build(pts[:mid], ids[:mid], depth+1)
+	if err != nil {
+		return 0, err
+	}
+	right, err := t.build(pts[mid:], ids[mid:], depth+1)
+	if err != nil {
+		return 0, err
+	}
+	t.nodes[ni] = blockNode{
+		block:    -1,
+		bounds:   t.nodes[left].bounds.Union(t.nodes[right].bounds),
+		children: []int32{left, right},
+	}
+	return ni, nil
+}
+
+// nthElement partially sorts so that position k holds the k-th smallest
+// by the chosen axis (quickselect with median-of-three pivots).
+func nthElement(pts []geom.Point, ids []int32, k int, byX bool) {
+	lo, hi := 0, len(pts)-1
+	key := func(p geom.Point) float64 {
+		if byX {
+			return p.X
+		}
+		return p.Y
+	}
+	for lo < hi {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if key(pts[mid]) < key(pts[lo]) {
+			swap(pts, ids, mid, lo)
+		}
+		if key(pts[hi]) < key(pts[lo]) {
+			swap(pts, ids, hi, lo)
+		}
+		if key(pts[hi]) < key(pts[mid]) {
+			swap(pts, ids, hi, mid)
+		}
+		pivot := key(pts[mid])
+		i, j := lo, hi
+		for i <= j {
+			for key(pts[i]) < pivot {
+				i++
+			}
+			for key(pts[j]) > pivot {
+				j--
+			}
+			if i <= j {
+				swap(pts, ids, i, j)
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+func swap(pts []geom.Point, ids []int32, a, b int) {
+	pts[a], pts[b] = pts[b], pts[a]
+	ids[a], ids[b] = ids[b], ids[a]
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.n }
+
+// NumBlocks returns the number of disk blocks used.
+func (t *Tree) NumBlocks() int { return t.disk.NumBlocks() }
+
+// Stats returns the I/O counters accumulated by queries.
+func (t *Tree) Stats() extstore.IOStats {
+	return extstore.IOStats{
+		DiskReads:  t.disk.Reads(),
+		PoolHits:   t.pool.Hits(),
+		PoolMisses: t.pool.Misses(),
+	}
+}
+
+// ResetStats zeroes the I/O counters (buffer contents survive).
+func (t *Tree) ResetStats() {
+	t.disk.ResetStats()
+	t.pool.ResetStats()
+}
+
+// ReportTriangle calls fn for every point inside tr, reading only the
+// blocks whose subtree bounding boxes intersect the triangle.
+func (t *Tree) ReportTriangle(tr geom.Triangle, fn func(id int)) error {
+	return t.visit(t.root, tr, fn)
+}
+
+// CountTriangle counts the points inside tr.
+func (t *Tree) CountTriangle(tr geom.Triangle) (int, error) {
+	n := 0
+	err := t.ReportTriangle(tr, func(int) { n++ })
+	return n, err
+}
+
+func (t *Tree) visit(ni int32, tr geom.Triangle, fn func(id int)) error {
+	nd := &t.nodes[ni]
+	if !tr.IntersectsRect(nd.bounds) {
+		return nil
+	}
+	if nd.block >= 0 {
+		data, err := t.pool.Get(int(nd.block))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(nd.count); i++ {
+			off := i * pointBytes
+			p := geom.Pt(
+				math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(data[off+12:])),
+			)
+			if tr.Contains(p) {
+				fn(int(binary.LittleEndian.Uint32(data[off:])))
+			}
+		}
+		return nil
+	}
+	for _, ci := range nd.children {
+		if err := t.visit(ci, tr, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReportRect is the orthogonal variant.
+func (t *Tree) ReportRect(r geom.Rect, fn func(id int)) error {
+	return t.visitRect(t.root, r, fn)
+}
+
+func (t *Tree) visitRect(ni int32, r geom.Rect, fn func(id int)) error {
+	nd := &t.nodes[ni]
+	if !r.Intersects(nd.bounds) {
+		return nil
+	}
+	if nd.block >= 0 {
+		data, err := t.pool.Get(int(nd.block))
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(nd.count); i++ {
+			off := i * pointBytes
+			p := geom.Pt(
+				math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:])),
+				math.Float64frombits(binary.LittleEndian.Uint64(data[off+12:])),
+			)
+			if r.Contains(p) {
+				fn(int(binary.LittleEndian.Uint32(data[off:])))
+			}
+		}
+		return nil
+	}
+	for _, ci := range nd.children {
+		if err := t.visitRect(ci, r, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockUtilization reports the mean fill fraction of the leaf data
+// blocks (≥ 1/2 by the median-split invariant, except for a tiny input
+// that fits one block).
+func (t *Tree) BlockUtilization() float64 {
+	var total float64
+	leaves := 0
+	for i := range t.nodes {
+		if t.nodes[i].block >= 0 {
+			total += float64(t.nodes[i].count) / float64(BlockCapacity)
+			leaves++
+		}
+	}
+	if leaves == 0 {
+		return 0
+	}
+	return total / float64(leaves)
+}
+
+// Depths returns the sorted subtree-node depth distribution (diagnostic
+// for layout balance).
+func (t *Tree) Depths() []int {
+	depths := make([]int, 0, len(t.nodes))
+	var walk func(ni int32, d int)
+	walk = func(ni int32, d int) {
+		depths = append(depths, d)
+		for _, ci := range t.nodes[ni].children {
+			walk(ci, d+1)
+		}
+	}
+	walk(t.root, 0)
+	sort.Ints(depths)
+	return depths
+}
+
+// Backend adapts the external tree to the rangesearch.Backend interface
+// so the matching engine can run directly against external-memory
+// auxiliary structures (§4). The simulated disk cannot fail after a
+// successful Build, so the error returns are statically nil and the
+// adapter drops them.
+type Backend struct{ T *Tree }
+
+// Len implements rangesearch.Backend.
+func (b Backend) Len() int { return b.T.Len() }
+
+// CountRect implements rangesearch.Backend.
+func (b Backend) CountRect(r geom.Rect) int {
+	n := 0
+	_ = b.T.ReportRect(r, func(int) { n++ })
+	return n
+}
+
+// ReportRect implements rangesearch.Backend.
+func (b Backend) ReportRect(r geom.Rect, fn func(id int)) {
+	_ = b.T.ReportRect(r, fn)
+}
+
+// CountTriangle implements rangesearch.Backend.
+func (b Backend) CountTriangle(tr geom.Triangle) int {
+	n, _ := b.T.CountTriangle(tr)
+	return n
+}
+
+// ReportTriangle implements rangesearch.Backend.
+func (b Backend) ReportTriangle(tr geom.Triangle, fn func(id int)) {
+	_ = b.T.ReportTriangle(tr, fn)
+}

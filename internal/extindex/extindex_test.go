@@ -1,0 +1,219 @@
+package extindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rangesearch"
+)
+
+func randomPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	return pts
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestTriangleMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		pts := randomPoints(rng, 50+rng.Intn(3000))
+		tree, err := Build(pts, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != len(pts) {
+			t.Fatalf("Len = %d", tree.Len())
+		}
+		oracle := rangesearch.NewBrute(pts)
+		for q := 0; q < 30; q++ {
+			tri := geom.Tri(
+				geom.Pt(rng.Float64()*10, rng.Float64()*10),
+				geom.Pt(rng.Float64()*10, rng.Float64()*10),
+				geom.Pt(rng.Float64()*10, rng.Float64()*10),
+			)
+			want := oracle.CountTriangle(tri)
+			got, err := tree.CountTriangle(tri)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: CountTriangle = %d, want %d", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRectReporting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 800)
+	tree, err := Build(pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := rangesearch.NewBrute(pts)
+	for q := 0; q < 30; q++ {
+		a := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		b := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		r := geom.RectOf(a, b)
+		var got []int
+		if err := tree.ReportRect(r, func(id int) { got = append(got, id) }); err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		oracle.ReportRect(r, func(id int) { want = append(want, id) })
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("ReportRect sizes: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ReportRect ids differ at %d", i)
+			}
+		}
+	}
+}
+
+func TestIOAccountingAndLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 5000)
+	tree, err := Build(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumBlocks() < 5000/BlockCapacity {
+		t.Fatalf("too few blocks: %d", tree.NumBlocks())
+	}
+	// A small triangle query must touch far fewer blocks than the total.
+	tree.ResetStats()
+	tri := geom.Tri(geom.Pt(5, 5), geom.Pt(5.3, 5), geom.Pt(5, 5.3))
+	if _, err := tree.CountTriangle(tri); err != nil {
+		t.Fatal(err)
+	}
+	reads := tree.Stats().DiskReads
+	if reads == 0 {
+		t.Error("query should read at least one block")
+	}
+	if reads > tree.NumBlocks()/2 {
+		t.Errorf("small query read %d of %d blocks — no pruning", reads, tree.NumBlocks())
+	}
+	// Repeating the query hits the pool, not the disk.
+	before := tree.Stats().DiskReads
+	if _, err := tree.CountTriangle(tri); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().DiskReads != before {
+		t.Error("repeated query should be fully cached")
+	}
+}
+
+func TestBlockUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree, err := Build(randomPoints(rng, 4000), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := tree.BlockUtilization(); u < 0.5 {
+		t.Errorf("block utilization = %v, want ≥ 0.5", u)
+	}
+	depths := tree.Depths()
+	if len(depths) == 0 {
+		t.Fatal("no depth info")
+	}
+	// Split depth ≈ log₂(n/B): ⌈log₂(4000/51)⌉ = 7.
+	if maxD := depths[len(depths)-1]; maxD > 9 {
+		t.Errorf("block-tree depth %d too large for 4000 points", maxD)
+	}
+}
+
+func TestSinglePointAndDuplicates(t *testing.T) {
+	tree, err := Build([]geom.Point{geom.Pt(1, 1)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tree.CountTriangle(geom.Tri(geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(0, 2)))
+	if err != nil || n != 1 {
+		t.Errorf("single point count = %d, %v", n, err)
+	}
+	dup := make([]geom.Point, 300)
+	for i := range dup {
+		dup[i] = geom.Pt(3, 3)
+	}
+	tree, err = Build(dup, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = tree.CountTriangle(geom.Tri(geom.Pt(2, 2), geom.Pt(4, 2), geom.Pt(3, 4)))
+	if err != nil || n != 300 {
+		t.Errorf("duplicates count = %d, %v", n, err)
+	}
+}
+
+// Property: the external tree always agrees with the in-memory oracle.
+func TestQuickAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 1+rng.Intn(400))
+		tree, err := Build(pts, 4)
+		if err != nil {
+			return false
+		}
+		oracle := rangesearch.NewBrute(pts)
+		tri := geom.Tri(
+			geom.Pt(rng.Float64()*10, rng.Float64()*10),
+			geom.Pt(rng.Float64()*10, rng.Float64()*10),
+			geom.Pt(rng.Float64()*10, rng.Float64()*10),
+		)
+		got, err := tree.CountTriangle(tri)
+		return err == nil && got == oracle.CountTriangle(tri)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Backend adapter must satisfy rangesearch.Backend semantics.
+func TestBackendAdapter(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomPoints(rng, 600)
+	tree, err := Build(pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b rangesearch.Backend = Backend{T: tree}
+	if b.Len() != 600 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	oracle := rangesearch.NewBrute(pts)
+	for q := 0; q < 25; q++ {
+		r := geom.RectOf(
+			geom.Pt(rng.Float64()*10, rng.Float64()*10),
+			geom.Pt(rng.Float64()*10, rng.Float64()*10))
+		if got, want := b.CountRect(r), oracle.CountRect(r); got != want {
+			t.Fatalf("CountRect = %d, want %d", got, want)
+		}
+		tri := geom.Tri(
+			geom.Pt(rng.Float64()*10, rng.Float64()*10),
+			geom.Pt(rng.Float64()*10, rng.Float64()*10),
+			geom.Pt(rng.Float64()*10, rng.Float64()*10))
+		if got, want := b.CountTriangle(tri), oracle.CountTriangle(tri); got != want {
+			t.Fatalf("CountTriangle = %d, want %d", got, want)
+		}
+		n := 0
+		b.ReportTriangle(tri, func(int) { n++ })
+		if n != oracle.CountTriangle(tri) {
+			t.Fatalf("ReportTriangle = %d", n)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package extract
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// DetectClusters groups shapes into the polyline clusters of §6: shapes
+// that share a vertex or touch an edge (within tol) belong to the same
+// cluster, transitively. The result is a partition of the shape indices,
+// each sorted ascending, clusters ordered by their smallest member.
+func DetectClusters(shapes []geom.Poly, tol float64) [][]int {
+	n := len(shapes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			if shapesTouch(shapes[i], shapes[j], tol) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for i := 0; i < n; i++ {
+		if g, ok := groups[i]; ok && g[0] == i {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// shapesTouch reports whether any vertex of one shape lies within tol of
+// the other shape's boundary (covers shared vertices and shared edges).
+func shapesTouch(a, b geom.Poly, tol float64) bool {
+	// Cheap reject via expanded bounding boxes.
+	if !a.Bounds().Expand(tol).Intersects(b.Bounds()) {
+		return false
+	}
+	for _, v := range a.Pts {
+		if b.DistToPoint(v) <= tol {
+			return true
+		}
+	}
+	for _, v := range b.Pts {
+		if a.DistToPoint(v) <= tol {
+			return true
+		}
+	}
+	// Crossing edges without close vertices.
+	for i := 0; i < a.NumEdges(); i++ {
+		ea := a.Edge(i)
+		for j := 0; j < b.NumEdges(); j++ {
+			if hit, _ := ea.Intersect(b.Edge(j)); hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DecomposeSimple splits a self-intersecting chain into simple
+// (non-self-intersecting) open polylines by cutting it at every
+// self-intersection point — one of the valid decompositions §6 allows.
+// Chains that are already simple are returned unchanged (as the only
+// element). Closed chains that need cutting are returned as open pieces.
+func DecomposeSimple(p geom.Poly) []geom.Poly {
+	if p.IsSimple() {
+		return []geom.Poly{p.Clone()}
+	}
+	m := p.NumEdges()
+	// Collect the intersection parameters per edge.
+	splits := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		ei := p.Edge(i)
+		for j := i + 1; j < m; j++ {
+			adjacent := j == i+1 || (p.Closed && i == 0 && j == m-1)
+			if adjacent {
+				continue
+			}
+			if hit, pt := ei.Intersect(p.Edge(j)); hit {
+				ti := ei.ClosestParam(pt)
+				tj := p.Edge(j).ClosestParam(pt)
+				splits[i] = append(splits[i], ti)
+				splits[j] = append(splits[j], tj)
+			}
+		}
+	}
+	// Rebuild the vertex sequence with split points inserted, tracking
+	// which are cut points.
+	var pts []geom.Point
+	var isCut []bool
+	for i := 0; i < m; i++ {
+		e := p.Edge(i)
+		pts = append(pts, e.A)
+		isCut = append(isCut, false)
+		ts := splits[i]
+		sortFloats(ts)
+		for _, t := range ts {
+			if t <= 1e-9 || t >= 1-1e-9 {
+				// Intersection at a vertex: the vertex itself is the cut.
+				if t <= 1e-9 {
+					isCut[len(isCut)-1] = true
+				}
+				continue
+			}
+			q := e.At(t)
+			if q.Eq(pts[len(pts)-1], 1e-9) {
+				isCut[len(isCut)-1] = true
+				continue
+			}
+			pts = append(pts, q)
+			isCut = append(isCut, true)
+		}
+	}
+	if !p.Closed {
+		pts = append(pts, p.Pts[len(p.Pts)-1])
+		isCut = append(isCut, false)
+	} else {
+		// Re-append the start so the last run closes back.
+		pts = append(pts, pts[0])
+		isCut = append(isCut, isCut[0])
+	}
+	// Cut into runs at cut points (cut vertices terminate one run and
+	// start the next).
+	var out []geom.Poly
+	start := 0
+	for i := 1; i < len(pts); i++ {
+		if isCut[i] || i == len(pts)-1 {
+			if i-start >= 1 {
+				run := append([]geom.Point(nil), pts[start:i+1]...)
+				piece := dedupeVertices(geom.Poly{Pts: run, Closed: false})
+				// A run that returns to its own start is a loop: emit it
+				// as a closed polygon instead of a degenerate open chain.
+				if n := piece.NumVertices(); n >= 4 && piece.Pts[0].Eq(piece.Pts[n-1], 1e-9) {
+					piece = geom.Poly{Pts: piece.Pts[:n-1], Closed: true}
+				}
+				if piece.NumVertices() >= 2 && piece.Validate() == nil {
+					out = append(out, piece)
+				}
+			}
+			start = i
+		}
+	}
+	if len(out) == 0 {
+		// Fall back: per-edge pieces are trivially simple.
+		for i := 0; i < m; i++ {
+			e := p.Edge(i)
+			out = append(out, geom.NewPolyline(e.A, e.B))
+		}
+	}
+	return out
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// TotalLength sums the perimeters of a shape set — used to sanity-check
+// that a decomposition preserves the chain's total length.
+func TotalLength(shapes []geom.Poly) float64 {
+	var s float64
+	for _, p := range shapes {
+		s += p.Perimeter()
+	}
+	return s
+}
+
+// Quantize rounds a coordinate to the given grid (tolerance bucketing for
+// cluster detection on noisy extractions).
+func Quantize(v, grid float64) float64 {
+	if grid <= 0 {
+		return v
+	}
+	return math.Round(v/grid) * grid
+}

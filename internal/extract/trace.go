@@ -1,0 +1,189 @@
+package extract
+
+import (
+	"repro/internal/geom"
+)
+
+// TraceBoundaries extracts the outer boundary of every 8-connected
+// foreground component by Moore neighbor tracing with Jacob's stopping
+// criterion. Each boundary is returned as a closed chain of pixel-center
+// coordinates; single-pixel components are skipped (no boundary to
+// speak of).
+func TraceBoundaries(r *Raster) []geom.Poly {
+	visited := make([]bool, r.W*r.H) // component marker (flood filled)
+	var out []geom.Poly
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			if !r.Get(x, y) || visited[y*r.W+x] {
+				continue
+			}
+			boundary := mooreTrace(r, x, y)
+			floodMark(r, visited, x, y)
+			if len(boundary) >= 3 {
+				pts := make([]geom.Point, len(boundary))
+				for i, c := range boundary {
+					pts[i] = geom.Pt(float64(c[0]), float64(c[1]))
+				}
+				out = append(out, geom.Poly{Pts: pts, Closed: true})
+			}
+		}
+	}
+	return out
+}
+
+// moore neighborhood in clockwise order starting from west.
+var mooreDirs = [8][2]int{
+	{-1, 0}, {-1, -1}, {0, -1}, {1, -1}, {1, 0}, {1, 1}, {0, 1}, {-1, 1},
+}
+
+// mooreTrace walks the outer boundary clockwise starting at the
+// topmost-leftmost pixel of the component containing (sx, sy), which is
+// (sx, sy) itself given the scan order of TraceBoundaries.
+func mooreTrace(r *Raster, sx, sy int) [][2]int {
+	var boundary [][2]int
+	cx, cy := sx, sy
+	// The scan arrived from the west, so begin searching from west.
+	dir := 0
+	boundary = append(boundary, [2]int{cx, cy})
+	firstDir := -1
+	for step := 0; step < 4*r.W*r.H; step++ {
+		found := false
+		for i := 0; i < 8; i++ {
+			d := (dir + i) % 8
+			nx, ny := cx+mooreDirs[d][0], cy+mooreDirs[d][1]
+			if r.Get(nx, ny) {
+				if cx == sx && cy == sy {
+					if firstDir == -1 {
+						firstDir = d
+					} else if d == firstDir && len(boundary) > 1 {
+						// Jacob's criterion: back at start, re-leaving in
+						// the same direction.
+						return boundary[:len(boundary)-1]
+					}
+				}
+				cx, cy = nx, ny
+				boundary = append(boundary, [2]int{cx, cy})
+				// Back up: next search starts from the neighbor before the
+				// one we came from.
+				dir = (d + 6) % 8
+				found = true
+				break
+			}
+		}
+		if !found {
+			return boundary // isolated pixel
+		}
+		if cx == sx && cy == sy && len(boundary) > 2 {
+			// Returned to start: close the loop here if Jacob's check
+			// doesn't fire on the next step.
+			if last := boundary[len(boundary)-1]; last == [2]int{sx, sy} {
+				return boundary[:len(boundary)-1]
+			}
+		}
+	}
+	return boundary
+}
+
+// floodMark marks the whole 8-connected component as visited.
+func floodMark(r *Raster, visited []bool, sx, sy int) {
+	stack := [][2]int{{sx, sy}}
+	visited[sy*r.W+sx] = true
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range mooreDirs {
+			nx, ny := c[0]+d[0], c[1]+d[1]
+			if nx < 0 || ny < 0 || nx >= r.W || ny >= r.H {
+				continue
+			}
+			if r.Get(nx, ny) && !visited[ny*r.W+nx] {
+				visited[ny*r.W+nx] = true
+				stack = append(stack, [2]int{nx, ny})
+			}
+		}
+	}
+}
+
+// DouglasPeucker simplifies a chain to tolerance eps, preserving the
+// first and last vertex of open chains. Closed chains are split at the
+// two mutually farthest vertices and each half is simplified.
+func DouglasPeucker(p geom.Poly, eps float64) geom.Poly {
+	n := len(p.Pts)
+	if n <= 2 || eps <= 0 {
+		return p.Clone()
+	}
+	if !p.Closed {
+		kept := dpRecurse(p.Pts, eps)
+		return geom.Poly{Pts: kept, Closed: false}
+	}
+	// Split a ring at its diameter ends to get two open runs.
+	i, j, _ := p.Diameter()
+	if i == j {
+		return p.Clone()
+	}
+	if i > j {
+		i, j = j, i
+	}
+	run1 := append([]geom.Point(nil), p.Pts[i:j+1]...)
+	run2 := append([]geom.Point(nil), p.Pts[j:]...)
+	run2 = append(run2, p.Pts[:i+1]...)
+	k1 := dpRecurse(run1, eps)
+	k2 := dpRecurse(run2, eps)
+	// Stitch: k1 ends where k2 begins and vice versa.
+	pts := append([]geom.Point(nil), k1...)
+	pts = append(pts, k2[1:len(k2)-1]...)
+	return geom.Poly{Pts: pts, Closed: true}
+}
+
+func dpRecurse(pts []geom.Point, eps float64) []geom.Point {
+	n := len(pts)
+	if n <= 2 {
+		return append([]geom.Point(nil), pts...)
+	}
+	seg := geom.Seg(pts[0], pts[n-1])
+	worst, worstD := -1, eps
+	for i := 1; i < n-1; i++ {
+		if d := seg.DistToPoint(pts[i]); d > worstD {
+			worst, worstD = i, d
+		}
+	}
+	if worst < 0 {
+		return []geom.Point{pts[0], pts[n-1]}
+	}
+	left := dpRecurse(pts[:worst+1], eps)
+	right := dpRecurse(pts[worst:], eps)
+	return append(left, right[1:]...)
+}
+
+// ExtractShapes runs the full pipeline: trace component boundaries, then
+// simplify each with Douglas–Peucker at tolerance eps (in pixels), and
+// keep only the results that are valid simple shapes.
+func ExtractShapes(r *Raster, eps float64) []geom.Poly {
+	var out []geom.Poly
+	for _, b := range TraceBoundaries(r) {
+		s := DouglasPeucker(b, eps)
+		s = dedupeVertices(s)
+		if s.Validate() == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// dedupeVertices removes consecutive (and ring-closing) duplicate
+// vertices that tracing can produce.
+func dedupeVertices(p geom.Poly) geom.Poly {
+	if len(p.Pts) == 0 {
+		return p
+	}
+	pts := p.Pts[:1]
+	for _, q := range p.Pts[1:] {
+		if !q.Eq(pts[len(pts)-1], 1e-9) {
+			pts = append(pts, q)
+		}
+	}
+	if p.Closed && len(pts) > 1 && pts[0].Eq(pts[len(pts)-1], 1e-9) {
+		pts = pts[:len(pts)-1]
+	}
+	return geom.Poly{Pts: pts, Closed: p.Closed}
+}

@@ -1,0 +1,126 @@
+package extstore
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Disk is a simulated block device: an array of BlockSize-byte blocks
+// with read/write accounting.
+type Disk struct {
+	blocks [][]byte
+	reads  int
+	writes int
+}
+
+// NewDisk creates an empty disk.
+func NewDisk() *Disk { return &Disk{} }
+
+// NumBlocks returns the number of allocated blocks.
+func (d *Disk) NumBlocks() int { return len(d.blocks) }
+
+// Reads returns the number of block reads served.
+func (d *Disk) Reads() int { return d.reads }
+
+// Writes returns the number of block writes performed.
+func (d *Disk) Writes() int { return d.writes }
+
+// ResetStats zeroes the I/O counters.
+func (d *Disk) ResetStats() { d.reads, d.writes = 0, 0 }
+
+// Write stores data as block idx (allocating as needed) and counts one
+// write I/O. data must not exceed BlockSize.
+func (d *Disk) Write(idx int, data []byte) error {
+	if len(data) > BlockSize {
+		return fmt.Errorf("extstore: block %d overflows: %d bytes", idx, len(data))
+	}
+	for len(d.blocks) <= idx {
+		d.blocks = append(d.blocks, nil)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.blocks[idx] = buf
+	d.writes++
+	return nil
+}
+
+// Read fetches block idx and counts one read I/O.
+func (d *Disk) Read(idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(d.blocks) {
+		return nil, fmt.Errorf("extstore: block %d out of range [0,%d)", idx, len(d.blocks))
+	}
+	d.reads++
+	return d.blocks[idx], nil
+}
+
+// BufferPool is an LRU cache of disk blocks. Capacity is expressed in
+// blocks (the paper's "internal memory buffer of size 100k" is 100
+// blocks).
+type BufferPool struct {
+	disk   *Disk
+	cap    int
+	lru    *list.List // front = most recent; values are *poolEntry
+	index  map[int]*list.Element
+	hits   int
+	misses int
+}
+
+type poolEntry struct {
+	idx  int
+	data []byte
+}
+
+// NewBufferPool wraps a disk with an LRU cache of the given capacity
+// (≥ 1).
+func NewBufferPool(d *Disk, capBlocks int) *BufferPool {
+	if capBlocks < 1 {
+		capBlocks = 1
+	}
+	return &BufferPool{
+		disk:  d,
+		cap:   capBlocks,
+		lru:   list.New(),
+		index: make(map[int]*list.Element),
+	}
+}
+
+// Get returns block idx, reading through to the disk on a miss.
+func (p *BufferPool) Get(idx int) ([]byte, error) {
+	if el, ok := p.index[idx]; ok {
+		p.hits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*poolEntry).data, nil
+	}
+	p.misses++
+	data, err := p.disk.Read(idx)
+	if err != nil {
+		return nil, err
+	}
+	el := p.lru.PushFront(&poolEntry{idx: idx, data: data})
+	p.index[idx] = el
+	if p.lru.Len() > p.cap {
+		victim := p.lru.Back()
+		p.lru.Remove(victim)
+		delete(p.index, victim.Value.(*poolEntry).idx)
+	}
+	return data, nil
+}
+
+// Hits returns the number of cache hits.
+func (p *BufferPool) Hits() int { return p.hits }
+
+// Misses returns the number of cache misses (equals disk reads through
+// this pool).
+func (p *BufferPool) Misses() int { return p.misses }
+
+// ResetStats zeroes the hit/miss counters (cache contents are kept).
+func (p *BufferPool) ResetStats() { p.hits, p.misses = 0, 0 }
+
+// Flush empties the cache.
+func (p *BufferPool) Flush() {
+	p.lru.Init()
+	p.index = make(map[int]*list.Element)
+}
+
+// Cap returns the capacity in blocks.
+func (p *BufferPool) Cap() int { return p.cap }

@@ -1,0 +1,176 @@
+package extstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geohash"
+	"repro/internal/geom"
+)
+
+func TestRecordMinimalAndMaximal(t *testing.T) {
+	// Zero-vertex record (legal at the serialization layer).
+	r := Record{EntryID: 1}
+	buf, err := r.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeRecord(buf)
+	if err != nil || n != recordHeaderSize || len(got.Pts) != 0 {
+		t.Errorf("zero-vertex round trip: %v %d %v", got, n, err)
+	}
+	// Exactly MaxVertices fits a block.
+	big := Record{EntryID: 2, Pts: make([]geom.Point, MaxVertices)}
+	if big.EncodedSize() > BlockSize {
+		t.Fatalf("MaxVertices record (%d bytes) exceeds a block", big.EncodedSize())
+	}
+	if _, err := big.Encode(nil); err != nil {
+		t.Errorf("MaxVertices record should encode: %v", err)
+	}
+}
+
+func TestDecodeMultipleRecordsFromBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf []byte
+	var want []Record
+	for i := 0; i < 4; i++ {
+		r := randomRecord(rng, int32(i))
+		r.Pts = r.Pts[:8]
+		want = append(want, r)
+		var err error
+		buf, err = r.Encode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; len(buf) > 0; i++ {
+		got, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.EntryID != want[i].EntryID {
+			t.Errorf("record %d: id %d", i, got.EntryID)
+		}
+		buf = buf[n:]
+	}
+}
+
+func TestBufferPoolCapacityFloor(t *testing.T) {
+	d := NewDisk()
+	if err := d.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewBufferPool(d, 0) // clamps to 1
+	if p.Cap() != 1 {
+		t.Errorf("Cap = %d", p.Cap())
+	}
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hits() != 1 {
+		t.Errorf("hits = %d", p.Hits())
+	}
+	if _, err := p.Get(99); err == nil {
+		t.Error("missing block should error through the pool")
+	}
+}
+
+func TestStoreSingleRecordEveryLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rec := []Record{randomRecord(rng, 0)}
+	for _, layout := range Layouts() {
+		st, err := NewStore(rec, layout, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", layout, err)
+		}
+		if st.NumBlocks() != 1 || st.NumRecords() != 1 {
+			t.Errorf("%s: blocks=%d records=%d", layout, st.NumBlocks(), st.NumRecords())
+		}
+		if _, err := st.ReadEntry(0); err != nil {
+			t.Errorf("%s: %v", layout, err)
+		}
+	}
+}
+
+func TestStoreDuplicateEntryIDRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := []Record{randomRecord(rng, 5), randomRecord(rng, 5)}
+	if _, err := NewStore(recs, LayoutLex, 2); err == nil {
+		t.Error("duplicate entry ids should fail")
+	}
+}
+
+func TestIdenticalQuadsStable(t *testing.T) {
+	// All records share one quadruple: every sort layout must fall back
+	// to the entry-id tiebreak and still place everything.
+	rng := rand.New(rand.NewSource(4))
+	recs := make([]Record, 40)
+	for i := range recs {
+		recs[i] = randomRecord(rng, int32(i))
+		recs[i].Quad = geohash.Quadruple{7, 7, 7, 7}
+	}
+	for _, layout := range Layouts() {
+		blocks, _, err := packRecords(recs, layout)
+		if err != nil {
+			t.Fatalf("%s: %v", layout, err)
+		}
+		seen := 0
+		for _, blk := range blocks {
+			seen += len(blk)
+		}
+		if seen != len(recs) {
+			t.Errorf("%s: placed %d of %d", layout, seen, len(recs))
+		}
+	}
+	// Sorted layouts must order ties by entry id.
+	blocks, _, err := packRecords(recs, LayoutMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := int32(-1)
+	for _, blk := range blocks {
+		for _, ri := range blk {
+			if recs[ri].EntryID < last {
+				t.Fatal("tie order not by entry id")
+			}
+			last = recs[ri].EntryID
+		}
+	}
+}
+
+func TestFlushPoolForcesColdReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	recs := randomRecords(rng, 30)
+	st, err := NewStore(recs, LayoutMean, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if _, err := st.ReadEntry(r.EntryID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := st.Stats().DiskReads
+	st.ResetStats()
+	for _, r := range recs {
+		if _, err := st.ReadEntry(r.EntryID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().DiskReads != 0 {
+		t.Errorf("warm pass read %d blocks", st.Stats().DiskReads)
+	}
+	st.ResetStats()
+	st.FlushPool()
+	for _, r := range recs {
+		if _, err := st.ReadEntry(r.EntryID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().DiskReads != warm {
+		t.Errorf("cold pass read %d blocks, want %d", st.Stats().DiskReads, warm)
+	}
+}

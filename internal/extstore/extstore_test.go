@@ -1,0 +1,393 @@
+package extstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geohash"
+	"repro/internal/geom"
+)
+
+func randomRecord(rng *rand.Rand, id int32) Record {
+	n := 8 + rng.Intn(24)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64()*1.6-0.8)
+	}
+	return Record{
+		EntryID: id,
+		ShapeID: id / 4,
+		Image:   id / 16,
+		Quad: geohash.Quadruple{
+			1 + rng.Intn(50), 1 + rng.Intn(50), 1 + rng.Intn(50), 1 + rng.Intn(50),
+		},
+		Closed: rng.Intn(2) == 0,
+		Pts:    pts,
+		Inv:    geom.Transform{S: 1 + rng.Float64(), Theta: rng.Float64(), T: geom.Pt(rng.Float64()*10, rng.Float64()*10)},
+	}
+}
+
+func randomRecords(rng *rand.Rand, n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = randomRecord(rng, int32(i))
+	}
+	return out
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		r := randomRecord(rng, int32(i))
+		buf, err := r.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != r.EncodedSize() {
+			t.Fatalf("EncodedSize %d != actual %d", r.EncodedSize(), len(buf))
+		}
+		got, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d", n, len(buf))
+		}
+		if got.EntryID != r.EntryID || got.ShapeID != r.ShapeID || got.Image != r.Image ||
+			got.Quad != r.Quad || got.Closed != r.Closed || len(got.Pts) != len(r.Pts) {
+			t.Fatalf("metadata mismatch: %+v vs %+v", got, r)
+		}
+		for k := range r.Pts {
+			if !got.Pts[k].Eq(r.Pts[k], 1e-6) { // float32 precision
+				t.Fatalf("vertex %d: %v vs %v", k, got.Pts[k], r.Pts[k])
+			}
+		}
+		if math.Abs(got.Inv.S-r.Inv.S) > 1e-6 || math.Abs(got.Inv.Theta-r.Inv.Theta) > 1e-6 {
+			t.Fatalf("transform mismatch")
+		}
+	}
+}
+
+func TestRecordSizeStatistics(t *testing.T) {
+	// The paper: ~20 vertices → ~200 bytes per record, ~5 per 1K block.
+	r := Record{EntryID: 1, Pts: make([]geom.Point, 20)}
+	if sz := r.EncodedSize(); sz < 150 || sz > 250 {
+		t.Errorf("20-vertex record = %d bytes, want ≈200", sz)
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	big := Record{Pts: make([]geom.Point, MaxVertices+1)}
+	if _, err := big.Encode(nil); err == nil {
+		t.Error("oversized record should fail")
+	}
+	if _, _, err := DecodeRecord([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated header should fail")
+	}
+	r := Record{EntryID: 5, Pts: make([]geom.Point, 4)}
+	buf, _ := r.Encode(nil)
+	if _, _, err := DecodeRecord(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated body should fail")
+	}
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	d := NewDisk()
+	if err := d.Write(0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(3, []byte("sparse")); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBlocks() != 4 {
+		t.Errorf("NumBlocks = %d", d.NumBlocks())
+	}
+	got, err := d.Read(0)
+	if err != nil || string(got) != "hello" {
+		t.Errorf("Read = %q %v", got, err)
+	}
+	if _, err := d.Read(99); err == nil {
+		t.Error("out-of-range read should fail")
+	}
+	if err := d.Write(0, make([]byte, BlockSize+1)); err == nil {
+		t.Error("oversized block should fail")
+	}
+	if d.Reads() != 1 || d.Writes() != 2 {
+		t.Errorf("counters: %d reads %d writes", d.Reads(), d.Writes())
+	}
+	d.ResetStats()
+	if d.Reads() != 0 || d.Writes() != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestBufferPoolLRU(t *testing.T) {
+	d := NewDisk()
+	for i := 0; i < 5; i++ {
+		if err := d.Write(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetStats()
+	p := NewBufferPool(d, 2)
+	mustGet := func(i int) {
+		t.Helper()
+		data, err := p.Get(i)
+		if err != nil || data[0] != byte(i) {
+			t.Fatalf("Get(%d) = %v %v", i, data, err)
+		}
+	}
+	mustGet(0) // miss
+	mustGet(1) // miss
+	mustGet(0) // hit
+	mustGet(2) // miss, evicts 1 (LRU)
+	mustGet(0) // hit (still resident)
+	mustGet(1) // miss (was evicted)
+	if p.Hits() != 2 || p.Misses() != 4 {
+		t.Errorf("hits=%d misses=%d", p.Hits(), p.Misses())
+	}
+	if d.Reads() != 4 {
+		t.Errorf("disk reads = %d", d.Reads())
+	}
+	p.Flush()
+	mustGet(0)
+	if p.Misses() != 5 {
+		t.Error("flush should empty the cache")
+	}
+}
+
+func TestStoreBuildAndRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	records := randomRecords(rng, 200)
+	for _, layout := range Layouts() {
+		st, err := NewStore(records, layout, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", layout, err)
+		}
+		if st.NumRecords() != 200 {
+			t.Fatalf("%s: NumRecords = %d", layout, st.NumRecords())
+		}
+		// ~200 records × ~200B into 1K blocks: tens of blocks.
+		if st.NumBlocks() < 20 || st.NumBlocks() > 200 {
+			t.Errorf("%s: NumBlocks = %d", layout, st.NumBlocks())
+		}
+		// Every record must be retrievable and identical.
+		for _, r := range records {
+			got, err := st.ReadEntry(r.EntryID)
+			if err != nil {
+				t.Fatalf("%s: ReadEntry(%d): %v", layout, r.EntryID, err)
+			}
+			if got.ShapeID != r.ShapeID || len(got.Pts) != len(r.Pts) {
+				t.Fatalf("%s: record %d corrupted", layout, r.EntryID)
+			}
+		}
+		if _, err := st.ReadEntry(9999); err == nil {
+			t.Errorf("%s: unknown entry should fail", layout)
+		}
+	}
+	if _, err := NewStore(nil, LayoutMean, 4); err == nil {
+		t.Error("empty store should fail")
+	}
+	if _, err := NewStore(records, Layout("bogus"), 4); err == nil {
+		t.Error("unknown layout should fail")
+	}
+}
+
+func TestStoreBlockUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	records := randomRecords(rng, 500)
+	st, err := NewStore(records, LayoutMean, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := float64(st.BytesUsed()) / float64(st.NumBlocks()*BlockSize)
+	if util < 0.6 {
+		t.Errorf("block utilization = %.2f, want ≥ 0.6", util)
+	}
+}
+
+func TestStoreIOAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	records := randomRecords(rng, 100)
+	st, err := NewStore(records, LayoutMean, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats() != (IOStats{}) {
+		t.Errorf("fresh store stats: %+v", st.Stats())
+	}
+	if _, err := st.ReadEntry(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ReadEntry(0); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Stats()
+	if got.DiskReads != 1 || got.PoolMisses != 1 || got.PoolHits != 1 {
+		t.Errorf("stats after repeat read: %+v", got)
+	}
+}
+
+// Sorted layouts must put records with equal keys adjacently; spot-check
+// that mean-curve layout clusters identical quadruples in one block run.
+func TestLayoutClustersSimilarQuads(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var records []Record
+	// Three tight quad clusters.
+	for c := 0; c < 3; c++ {
+		base := 10 + c*15
+		for i := 0; i < 30; i++ {
+			r := randomRecord(rng, int32(len(records)))
+			r.Quad = geohash.Quadruple{base, base + 1, base, base + 1}
+			records = append(records, r)
+		}
+	}
+	st, err := NewStore(records, LayoutMean, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records of the same cluster must span a small contiguous block range.
+	for c := 0; c < 3; c++ {
+		minB, maxB := int32(1<<30), int32(-1)
+		for i := 0; i < 30; i++ {
+			bi := st.loc[int32(c*30+i)]
+			if bi < minB {
+				minB = bi
+			}
+			if bi > maxB {
+				maxB = bi
+			}
+		}
+		if span := maxB - minB; span > 10 {
+			t.Errorf("cluster %d spans %d blocks", c, span+1)
+		}
+	}
+}
+
+func TestLocalOptPacksSimilarTogether(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Two families of geometrically distinct records.
+	var records []Record
+	for i := 0; i < 40; i++ {
+		r := randomRecord(rng, int32(i))
+		for k := range r.Pts {
+			r.Pts[k] = geom.Pt(float64(k)*0.01, 0) // flat family
+		}
+		r.Quad = geohash.Quadruple{5, 5, 5, 5}
+		records = append(records, r)
+	}
+	for i := 40; i < 80; i++ {
+		r := randomRecord(rng, int32(i))
+		for k := range r.Pts {
+			r.Pts[k] = geom.Pt(0.5, float64(k)*0.01) // vertical family
+		}
+		r.Quad = geohash.Quadruple{40, 40, 40, 40}
+		records = append(records, r)
+	}
+	blocks, _, err := packRecords(records, LayoutLocalOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks are filled completely, so the single block where the first
+	// family runs out may mix; every other block must be pure.
+	mixed := 0
+	for _, blk := range blocks {
+		hasA, hasB := false, false
+		for _, ri := range blk {
+			if ri < 40 {
+				hasA = true
+			} else {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			mixed++
+		}
+	}
+	if mixed > 1 {
+		t.Errorf("%d blocks mix families, at most the boundary block may", mixed)
+	}
+	// All records placed exactly once.
+	seen := make(map[int]bool)
+	for _, blk := range blocks {
+		for _, ri := range blk {
+			if seen[ri] {
+				t.Fatalf("record %d placed twice", ri)
+			}
+			seen[ri] = true
+		}
+	}
+	if len(seen) != 80 {
+		t.Errorf("placed %d of 80", len(seen))
+	}
+}
+
+func TestRehash(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	records := randomRecords(rng, 150)
+	st, err := NewStore(records, LayoutLex, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := st.NumBlocks()
+	stats, err := st.Rehash(LayoutMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Layout() != LayoutMean {
+		t.Errorf("layout after rehash = %s", st.Layout())
+	}
+	if stats.BlockReads != nb {
+		t.Errorf("rehash reads = %d, want %d", stats.BlockReads, nb)
+	}
+	if stats.BlockWrites < nb-5 || stats.BlockWrites > nb+5 {
+		t.Errorf("rehash writes = %d, blocks %d", stats.BlockWrites, nb)
+	}
+	if stats.Comparisons == 0 {
+		t.Error("no comparisons counted")
+	}
+	// All records still retrievable.
+	for _, r := range records {
+		if _, err := st.ReadEntry(r.EntryID); err != nil {
+			t.Fatalf("post-rehash ReadEntry(%d): %v", r.EntryID, err)
+		}
+	}
+}
+
+// Property: every layout is a permutation — each record appears in
+// exactly one block, and blocks respect the size limit.
+func TestQuickPackingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		records := randomRecords(rng, 1+rng.Intn(120))
+		for _, layout := range Layouts() {
+			blocks, _, err := packRecords(records, layout)
+			if err != nil {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, blk := range blocks {
+				size := 0
+				for _, ri := range blk {
+					if seen[ri] {
+						return false
+					}
+					seen[ri] = true
+					size += records[ri].EncodedSize()
+				}
+				if size > BlockSize {
+					return false
+				}
+			}
+			if len(seen) != len(records) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,305 @@
+package extstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Layout selects how records are arranged into disk blocks.
+type Layout string
+
+// The four layouts of §4.
+const (
+	// LayoutMean sorts by the curve closest to the mean of the
+	// characteristic quadruple — method (i) of §4.1.
+	LayoutMean Layout = "mean-curve"
+	// LayoutLex sorts by lexicographic order of the quadruple —
+	// method (ii).
+	LayoutLex Layout = "lexicographic"
+	// LayoutMedian sorts by the median-near-mean element — method (iii).
+	LayoutMedian Layout = "median-curve"
+	// LayoutLocalOpt greedily packs each block with the remaining record
+	// minimizing the average similarity measure to the block's current
+	// contents (§4.2).
+	LayoutLocalOpt Layout = "local-opt"
+)
+
+// Layouts lists all layout strategies in presentation order.
+func Layouts() []Layout {
+	return []Layout{LayoutMean, LayoutLex, LayoutMedian, LayoutLocalOpt}
+}
+
+// packRecords partitions record indices into blocks per the layout. The
+// returned comparisons counter feeds the rehash-cost model.
+func packRecords(records []Record, layout Layout) (blocks [][]int, comparisons int, err error) {
+	switch layout {
+	case LayoutMean, LayoutLex, LayoutMedian:
+		order := make([]int, len(records))
+		for i := range order {
+			order[i] = i
+		}
+		cmp := 0
+		sort.SliceStable(order, func(a, b int) bool {
+			cmp++
+			ra, rb := &records[order[a]], &records[order[b]]
+			switch layout {
+			case LayoutMean:
+				ma, mb := ra.Quad.Mean(), rb.Quad.Mean()
+				if ma != mb {
+					return ma < mb
+				}
+			case LayoutMedian:
+				ma, mb := ra.Quad.MedianNearMean(), rb.Quad.MedianNearMean()
+				if ma != mb {
+					return ma < mb
+				}
+			}
+			// All methods refine ties by the full quadruple so that a
+			// coarse primary key (mean/median) still clusters
+			// fine-grained neighbors; entry id is the final tiebreak.
+			if ra.Quad != rb.Quad {
+				return ra.Quad.Less(rb.Quad)
+			}
+			return ra.EntryID < rb.EntryID
+		})
+		return packSequential(records, order), cmp, nil
+	case LayoutLocalOpt:
+		b, cmp := packLocalOpt(records)
+		return b, cmp, nil
+	default:
+		return nil, 0, fmt.Errorf("extstore: unknown layout %q", layout)
+	}
+}
+
+// packSequential fills blocks in the given order, starting a new block
+// whenever the next record does not fit.
+func packSequential(records []Record, order []int) [][]int {
+	var blocks [][]int
+	var cur []int
+	size := 0
+	for _, idx := range order {
+		sz := records[idx].EncodedSize()
+		if size+sz > BlockSize && len(cur) > 0 {
+			blocks = append(blocks, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, idx)
+		size += sz
+	}
+	if len(cur) > 0 {
+		blocks = append(blocks, cur)
+	}
+	return blocks
+}
+
+// featureVec is the fast stand-in for the similarity measure used during
+// layout: the normalized copy resampled to featurePts boundary points.
+// Two normalized copies with small average point distance have nearby
+// feature vectors, which is all the greedy packing needs.
+const featurePts = 16
+
+func recordFeature(r *Record) [2 * featurePts]float64 {
+	var v [2 * featurePts]float64
+	p := geom.Poly{Pts: r.Pts, Closed: r.Closed}
+	for i, s := range p.Resample(featurePts) {
+		v[2*i] = s.X
+		v[2*i+1] = s.Y
+	}
+	return v
+}
+
+func featDist(a, b *[2 * featurePts]float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s // squared; monotone in the true distance, enough for argmin
+}
+
+// packLocalOpt implements §4.2: the first record of the first block is
+// chosen by a heuristic rule (smallest lexicographic quadruple); each
+// subsequent record of a block minimizes the average measure to the
+// records already in the block; the first record of each next block
+// minimizes the average distance to the first records of the previous
+// five blocks. Candidate scans are pruned to a window around the anchor
+// in the lexicographically sorted quadruple order, which preserves the
+// greedy's behavior (geometric neighbors have neighboring quadruples) at
+// tractable cost.
+func packLocalOpt(records []Record) ([][]int, int) {
+	n := len(records)
+	if n == 0 {
+		return nil, 0
+	}
+	feats := make([][2 * featurePts]float64, n)
+	for i := range records {
+		feats[i] = recordFeature(&records[i])
+	}
+	// Lexicographic rank: a doubly linked list over the sorted order lets
+	// us remove placed records in O(1) and walk outward from any anchor.
+	order := make([]int, n) // rank → record index
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := &records[order[a]], &records[order[b]]
+		if ra.Quad != rb.Quad {
+			return ra.Quad.Less(rb.Quad)
+		}
+		return ra.EntryID < rb.EntryID
+	})
+	rank := make([]int, n) // record index → rank
+	for r, idx := range order {
+		rank[idx] = r
+	}
+	// Live-rank finders with path compression: findR(r) is the smallest
+	// live rank ≥ r, findL(r) the largest live rank ≤ r. Anchors may have
+	// been placed long ago, so a linked list with stale entry pointers
+	// would be wrong; the DSU-style finders stay correct from any rank.
+	live := make([]bool, n)
+	parR := make([]int, n+1)
+	parL := make([]int, n+1) // shifted by one so -1 maps to 0
+	for r := range live {
+		live[r] = true
+		parR[r] = r
+		parL[r+1] = r + 1
+	}
+	parR[n] = n
+	parL[0] = 0
+	findR := func(r int) int {
+		root := r
+		for root < n && !live[root] {
+			nxt := parR[root]
+			if nxt <= root {
+				nxt = root + 1
+			}
+			root = nxt
+		}
+		if root > n {
+			root = n
+		}
+		for r < root {
+			nxt := parR[r]
+			if nxt <= r {
+				nxt = r + 1
+			}
+			parR[r] = root
+			r = nxt
+		}
+		return root
+	}
+	findL := func(r int) int { // returns -1 when none
+		p := r + 1
+		root := p
+		for root > 0 && !live[root-1] {
+			nxt := parL[root]
+			if nxt >= root {
+				nxt = root - 1
+			}
+			root = nxt
+		}
+		for p > root {
+			nxt := parL[p]
+			if nxt >= p {
+				nxt = p - 1
+			}
+			parL[p] = root
+			p = nxt
+		}
+		return root - 1
+	}
+	remove := func(idx int) { live[rank[idx]] = false }
+	comparisons := 0
+
+	const window = 64
+
+	// candidates walks outward from the anchor's rank collecting up to
+	// `window` unplaced records on each side.
+	candidates := func(anchor int) []int {
+		var out []int
+		for r, cnt := findR(rank[anchor]), 0; cnt < window && r < n; cnt++ {
+			out = append(out, order[r])
+			r = findR(r + 1)
+		}
+		for l, cnt := findL(rank[anchor]), 0; cnt < window && l >= 0; cnt++ {
+			out = append(out, order[l])
+			l = findL(l - 1)
+		}
+		return out
+	}
+
+	pickMin := func(refs [][2 * featurePts]float64, anchor int) int {
+		best, bestD := -1, math.Inf(1)
+		for _, c := range candidates(anchor) {
+			var s float64
+			for r := range refs {
+				s += featDist(&feats[c], &refs[r])
+				comparisons++
+			}
+			if len(refs) > 0 {
+				s /= float64(len(refs))
+			}
+			if s < bestD {
+				best, bestD = c, s
+			}
+		}
+		return best
+	}
+
+	// Heuristic first record: smallest quadruple.
+	first := order[0]
+	remove(first)
+
+	var blocks [][]int
+	var blockFirsts []int
+	cur := []int{first}
+	size := records[first].EncodedSize()
+	blockFirsts = append(blockFirsts, first)
+	placed := 1
+
+	for placed < n {
+		// Fill the current block.
+		refs := make([][2 * featurePts]float64, len(cur))
+		for i, idx := range cur {
+			refs[i] = feats[idx]
+		}
+		nextRec := pickMin(refs, cur[0])
+		if nextRec >= 0 && size+records[nextRec].EncodedSize() <= BlockSize {
+			remove(nextRec)
+			cur = append(cur, nextRec)
+			size += records[nextRec].EncodedSize()
+			placed++
+			continue
+		}
+		// Block full (or no candidate fits): start the next block with the
+		// record closest on average to the first records of the previous
+		// five blocks.
+		blocks = append(blocks, cur)
+		lo := len(blockFirsts) - 5
+		if lo < 0 {
+			lo = 0
+		}
+		var refFirsts [][2 * featurePts]float64
+		for _, fi := range blockFirsts[lo:] {
+			refFirsts = append(refFirsts, feats[fi])
+		}
+		nf := pickMin(refFirsts, blockFirsts[len(blockFirsts)-1])
+		if nf < 0 {
+			// Window exhausted around the anchor: take the first unplaced
+			// record in lexicographic order.
+			if r := findR(0); r < n {
+				nf = order[r]
+			}
+		}
+		remove(nf)
+		cur = []int{nf}
+		size = records[nf].EncodedSize()
+		blockFirsts = append(blockFirsts, nf)
+		placed++
+	}
+	blocks = append(blocks, cur)
+	return blocks, comparisons
+}

@@ -1,0 +1,116 @@
+// Package extstore simulates the external storage of the shape base (§4):
+// fixed-size disk blocks, an LRU buffer pool with I/O accounting, a
+// compact binary record format for normalized shape copies, and the four
+// layout strategies the paper evaluates — sorting by the characteristic
+// hashing curves (mean / lexicographic / median, §4.1) and the local
+// optimization of the average similarity measure (§4.2).
+//
+// Figures 7 and 8 report *numbers of I/O operations*, so a faithful
+// block/buffer model reproduces them in their native unit without
+// needing a physical disk.
+package extstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geohash"
+	"repro/internal/geom"
+)
+
+// BlockSize is the disk block size in bytes. The paper uses 1 Kbyte
+// blocks holding around 5 records of ~200 bytes each.
+const BlockSize = 1024
+
+// Record is the per-normalized-copy information stored externally:
+// identity, the characteristic hash quadruple, the normalized vertices
+// (float32, which is what makes a ~20-vertex record ≈ 200 bytes), and the
+// inverse normalization transform needed by the θ angle computation of
+// the query processor (§5.3).
+type Record struct {
+	EntryID int32
+	ShapeID int32
+	Image   int32
+	Quad    geohash.Quadruple
+	Closed  bool
+	Pts     []geom.Point
+	Inv     geom.Transform
+}
+
+// recordHeaderSize is the fixed part: 3×int32 ids + 4×uint16 quad +
+// 1 byte flags + 2 bytes vertex count + 4×float32 transform.
+const recordHeaderSize = 12 + 8 + 1 + 2 + 16
+
+// EncodedSize returns the on-disk size of r in bytes.
+func (r *Record) EncodedSize() int { return recordHeaderSize + 8*len(r.Pts) }
+
+// MaxVertices is the largest vertex count a record may carry and still
+// fit a block.
+const MaxVertices = (BlockSize - recordHeaderSize) / 8
+
+// Encode appends the binary representation of r to dst and returns the
+// extended slice.
+func (r *Record) Encode(dst []byte) ([]byte, error) {
+	if len(r.Pts) > MaxVertices {
+		return nil, fmt.Errorf("extstore: record %d has %d vertices, max %d per block",
+			r.EntryID, len(r.Pts), MaxVertices)
+	}
+	var buf [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(r.EntryID))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(r.ShapeID))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(r.Image))
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint16(buf[12+2*i:], uint16(r.Quad[i]))
+	}
+	if r.Closed {
+		buf[20] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[21:], uint16(len(r.Pts)))
+	binary.LittleEndian.PutUint32(buf[23:], math.Float32bits(float32(r.Inv.S)))
+	binary.LittleEndian.PutUint32(buf[27:], math.Float32bits(float32(r.Inv.Theta)))
+	binary.LittleEndian.PutUint32(buf[31:], math.Float32bits(float32(r.Inv.T.X)))
+	binary.LittleEndian.PutUint32(buf[35:], math.Float32bits(float32(r.Inv.T.Y)))
+	dst = append(dst, buf[:]...)
+	var pb [8]byte
+	for _, p := range r.Pts {
+		binary.LittleEndian.PutUint32(pb[0:], math.Float32bits(float32(p.X)))
+		binary.LittleEndian.PutUint32(pb[4:], math.Float32bits(float32(p.Y)))
+		dst = append(dst, pb[:]...)
+	}
+	return dst, nil
+}
+
+// DecodeRecord parses one record from the front of src, returning the
+// record and the number of bytes consumed.
+func DecodeRecord(src []byte) (Record, int, error) {
+	if len(src) < recordHeaderSize {
+		return Record{}, 0, fmt.Errorf("extstore: truncated record header (%d bytes)", len(src))
+	}
+	var r Record
+	r.EntryID = int32(binary.LittleEndian.Uint32(src[0:]))
+	r.ShapeID = int32(binary.LittleEndian.Uint32(src[4:]))
+	r.Image = int32(binary.LittleEndian.Uint32(src[8:]))
+	for i := 0; i < 4; i++ {
+		r.Quad[i] = int(binary.LittleEndian.Uint16(src[12+2*i:]))
+	}
+	r.Closed = src[20] == 1
+	n := int(binary.LittleEndian.Uint16(src[21:]))
+	r.Inv.S = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[23:])))
+	r.Inv.Theta = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[27:])))
+	r.Inv.T.X = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[31:])))
+	r.Inv.T.Y = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[35:])))
+	total := recordHeaderSize + 8*n
+	if len(src) < total {
+		return Record{}, 0, fmt.Errorf("extstore: truncated record body: want %d bytes, have %d", total, len(src))
+	}
+	r.Pts = make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		off := recordHeaderSize + 8*i
+		r.Pts[i] = geom.Pt(
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(src[off:]))),
+			float64(math.Float32frombits(binary.LittleEndian.Uint32(src[off+4:]))),
+		)
+	}
+	return r, total, nil
+}

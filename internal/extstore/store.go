@@ -1,0 +1,193 @@
+package extstore
+
+import (
+	"fmt"
+	"time"
+)
+
+// Store is the external shape base: records packed into disk blocks under
+// a layout strategy, read through an LRU buffer pool.
+type Store struct {
+	disk   *Disk
+	pool   *BufferPool
+	layout Layout
+	loc    map[int32]int32 // entry id → block index
+	nrec   int
+}
+
+// NewStore lays out the records, writes the blocks, and attaches a buffer
+// pool of bufBlocks blocks.
+func NewStore(records []Record, layout Layout, bufBlocks int) (*Store, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("extstore: no records")
+	}
+	blocks, _, err := packRecords(records, layout)
+	if err != nil {
+		return nil, err
+	}
+	disk := NewDisk()
+	loc := make(map[int32]int32, len(records))
+	for bi, blk := range blocks {
+		var buf []byte
+		for _, ri := range blk {
+			r := &records[ri]
+			if _, dup := loc[r.EntryID]; dup {
+				return nil, fmt.Errorf("extstore: duplicate entry id %d", r.EntryID)
+			}
+			buf, err = r.Encode(buf)
+			if err != nil {
+				return nil, err
+			}
+			loc[r.EntryID] = int32(bi)
+		}
+		if err := disk.Write(bi, buf); err != nil {
+			return nil, err
+		}
+	}
+	disk.ResetStats() // building is not query I/O
+	return &Store{
+		disk:   disk,
+		pool:   NewBufferPool(disk, bufBlocks),
+		layout: layout,
+		loc:    loc,
+		nrec:   len(records),
+	}, nil
+}
+
+// Layout returns the layout the store was built with.
+func (s *Store) Layout() Layout { return s.layout }
+
+// NumBlocks returns the number of disk blocks in use.
+func (s *Store) NumBlocks() int { return s.disk.NumBlocks() }
+
+// NumRecords returns the number of stored records.
+func (s *Store) NumRecords() int { return s.nrec }
+
+// BytesUsed returns the total payload bytes across blocks.
+func (s *Store) BytesUsed() int {
+	total := 0
+	for i := 0; i < s.disk.NumBlocks(); i++ {
+		total += len(s.disk.blocks[i])
+	}
+	return total
+}
+
+// ReadEntry fetches the record with the given entry id through the buffer
+// pool (one I/O operation if the block is not resident).
+func (s *Store) ReadEntry(entryID int32) (Record, error) {
+	bi, ok := s.loc[entryID]
+	if !ok {
+		return Record{}, fmt.Errorf("extstore: unknown entry id %d", entryID)
+	}
+	data, err := s.pool.Get(int(bi))
+	if err != nil {
+		return Record{}, err
+	}
+	for len(data) > 0 {
+		r, n, err := DecodeRecord(data)
+		if err != nil {
+			return Record{}, fmt.Errorf("extstore: block %d corrupt: %w", bi, err)
+		}
+		if r.EntryID == entryID {
+			return r, nil
+		}
+		data = data[n:]
+	}
+	return Record{}, fmt.Errorf("extstore: entry %d missing from its block %d", entryID, bi)
+}
+
+// IOStats is a snapshot of the store's I/O counters.
+type IOStats struct {
+	DiskReads  int // blocks fetched from disk (buffer-pool misses)
+	DiskWrites int
+	PoolHits   int
+	PoolMisses int
+}
+
+// Stats returns the current I/O counters.
+func (s *Store) Stats() IOStats {
+	return IOStats{
+		DiskReads:  s.disk.Reads(),
+		DiskWrites: s.disk.Writes(),
+		PoolHits:   s.pool.Hits(),
+		PoolMisses: s.pool.Misses(),
+	}
+}
+
+// ResetStats zeroes the counters; the buffer-pool contents survive (use
+// FlushPool for a cold cache).
+func (s *Store) ResetStats() {
+	s.disk.ResetStats()
+	s.pool.ResetStats()
+}
+
+// FlushPool empties the buffer pool (cold-cache experiments).
+func (s *Store) FlushPool() { s.pool.Flush() }
+
+// RehashStats reports the cost of rebuilding the store under a new
+// layout (§4.1: O(N log N) and I/O-bound for the sort layouts;
+// §4.2: O(N^1.5 log N) comparison-bound but less I/O-intensive for the
+// local optimization).
+type RehashStats struct {
+	Comparisons int           // key comparisons / measure evaluations
+	BlockReads  int           // blocks read to extract records
+	BlockWrites int           // blocks written for the new arrangement
+	Elapsed     time.Duration // wall time of the in-memory rebuild
+}
+
+// Rehash rebuilds the store in place under the new layout and reports
+// the cost. All records are read (sequential block scan), re-ordered,
+// and rewritten.
+func (s *Store) Rehash(layout Layout) (RehashStats, error) {
+	start := time.Now()
+	var stats RehashStats
+
+	// Sequential scan of every block.
+	var records []Record
+	for bi := 0; bi < s.disk.NumBlocks(); bi++ {
+		data, err := s.disk.Read(bi)
+		if err != nil {
+			return stats, err
+		}
+		stats.BlockReads++
+		for len(data) > 0 {
+			r, n, err := DecodeRecord(data)
+			if err != nil {
+				return stats, err
+			}
+			records = append(records, r)
+			data = data[n:]
+		}
+	}
+
+	blocks, cmp, err := packRecords(records, layout)
+	if err != nil {
+		return stats, err
+	}
+	stats.Comparisons = cmp
+
+	disk := NewDisk()
+	loc := make(map[int32]int32, len(records))
+	for bi, blk := range blocks {
+		var buf []byte
+		for _, ri := range blk {
+			buf, err = records[ri].Encode(buf)
+			if err != nil {
+				return stats, err
+			}
+			loc[records[ri].EntryID] = int32(bi)
+		}
+		if err := disk.Write(bi, buf); err != nil {
+			return stats, err
+		}
+	}
+	stats.BlockWrites = disk.Writes()
+
+	s.disk = disk
+	s.disk.ResetStats()
+	s.pool = NewBufferPool(s.disk, s.pool.Cap())
+	s.layout = layout
+	s.loc = loc
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}

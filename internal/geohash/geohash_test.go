@@ -1,0 +1,332 @@
+package geohash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEEndpoints(t *testing.T) {
+	if E(0) != 0 {
+		t.Errorf("E(0) = %v", E(0))
+	}
+	// E(1) must equal a quarter of the lune area.
+	if !almostEq(E(1), core.LuneArea/4, 1e-12) {
+		t.Errorf("E(1) = %v, want %v", E(1), core.LuneArea/4)
+	}
+	if E(-0.5) != 0 {
+		t.Errorf("E clamps below 0")
+	}
+	if !almostEq(E(2), E(1), 1e-12) {
+		t.Errorf("E clamps above 1")
+	}
+}
+
+func TestEMatchesNumericalIntegral(t *testing.T) {
+	// Validate the closed form against a direct Riemann sum.
+	for _, x := range []float64{0.05, 0.1, 0.2, 0.25, 0.4, 0.6, 0.8, 0.95} {
+		u := math.Min(2*x, 0.5)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			tt := u * (float64(i) + 0.5) / n
+			sum += math.Sqrt(1-(tt-x)*(tt-x)) - math.Sqrt(1-x*x)
+		}
+		sum *= u / n
+		if !almostEq(E(x), sum, 1e-6) {
+			t.Errorf("E(%v) = %v, integral %v", x, E(x), sum)
+		}
+	}
+}
+
+func TestEMonotoneAndContinuous(t *testing.T) {
+	prev := E(0)
+	for i := 1; i <= 1000; i++ {
+		x := float64(i) / 1000
+		cur := E(x)
+		if cur < prev-1e-12 {
+			t.Fatalf("E not monotone at %v", x)
+		}
+		// E is continuous but its derivative has a √-singularity at x = 1
+		// (see the paper's Figure 5 right plot rising steeply), so the
+		// admissible local increment grows near the right endpoint.
+		// Near x = 1 the increment of a 1e-3 step approaches
+		// 0.5·√(2·1e-3) ≈ 0.022 because of the √-singularity.
+		tol := 0.002
+		if x > 0.9 {
+			tol = 0.025
+		}
+		if cur-prev > tol {
+			t.Fatalf("E jumps at %v: %v -> %v", x, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestDEMatchesFiniteDifference(t *testing.T) {
+	for _, x := range []float64{0.05, 0.2, 0.24, 0.26, 0.5, 0.7, 0.9} {
+		h := 1e-6
+		fd := (E(x+h) - E(x-h)) / (2 * h)
+		if !almostEq(DE(x), fd, 1e-4) {
+			t.Errorf("DE(%v) = %v, finite difference %v", x, DE(x), fd)
+		}
+	}
+	// Continuity across the x = 1/4 regime switch.
+	if !almostEq(DE(0.25-1e-9), DE(0.25+1e-9), 1e-6) {
+		t.Errorf("DE discontinuous at 1/4: %v vs %v", DE(0.25-1e-9), DE(0.25+1e-9))
+	}
+}
+
+func TestNewFamilyEqualAreas(t *testing.T) {
+	for _, k := range []int{1, 5, 50} {
+		f, err := NewFamily(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.xs) != k {
+			t.Fatalf("k=%d: %d curves", k, len(f.xs))
+		}
+		quarter := core.LuneArea / 4
+		for i := 1; i <= k; i++ {
+			want := quarter * float64(i) / float64(k)
+			if got := E(f.CurveX(i)); !almostEq(got, want, 1e-9) {
+				t.Errorf("k=%d curve %d: E = %v, want %v", k, i, got, want)
+			}
+		}
+		// Curves ordered by parameter.
+		for i := 1; i < k; i++ {
+			if f.xs[i] <= f.xs[i-1] {
+				t.Errorf("k=%d: xs not increasing at %d", k, i)
+			}
+		}
+		// Last curve is the lune boundary (x = 1).
+		if !almostEq(f.CurveX(k), 1, 1e-9) {
+			t.Errorf("k=%d: last curve x = %v", k, f.CurveX(k))
+		}
+	}
+	if _, err := NewFamily(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestQuarterOf(t *testing.T) {
+	cases := []struct {
+		p geom.Point
+		q Quarter
+	}{
+		{geom.Pt(0.2, 0.3), Q1},
+		{geom.Pt(0.8, 0.3), Q2},
+		{geom.Pt(0.2, -0.3), Q3},
+		{geom.Pt(0.8, -0.3), Q4},
+		{geom.Pt(0.5, 0.1), Q2}, // boundary x=0.5 goes right
+		{geom.Pt(0.2, 0), Q1},   // y=0 counts as upper
+	}
+	for _, c := range cases {
+		if got := QuarterOf(c.p); got != c.q {
+			t.Errorf("QuarterOf(%v) = %v, want %v", c.p, got, c.q)
+		}
+	}
+}
+
+func TestToQ1RoundTrip(t *testing.T) {
+	p := geom.Pt(0.7, -0.4)
+	q := QuarterOf(p)
+	if q != Q4 {
+		t.Fatal("setup")
+	}
+	m := toQ1(q, p)
+	if !m.Eq(geom.Pt(0.3, 0.4), 1e-12) {
+		t.Errorf("toQ1 = %v", m)
+	}
+	if got := QuarterOf(m); got != Q1 {
+		t.Errorf("mapped point is in %v", got)
+	}
+}
+
+func TestArcDistances(t *testing.T) {
+	f, _ := NewFamily(10)
+	// The last curve (x=1) is the unit circle centered at (1, 0) — wait,
+	// arcCenter(1) = (1, 0); points on the lune's left boundary circle
+	// |p - (1,0)| = 1 are at distance 0.
+	p := geom.Pt(1, 0).Add(geom.Pt(-math.Cos(0.3), math.Sin(0.3)))
+	if d := f.DistToCurve(Q1, 10, p); !almostEq(d, 0, 1e-12) {
+		t.Errorf("boundary point distance = %v", d)
+	}
+	// Curve through (0,0): every curve passes through the origin.
+	for i := 1; i <= 10; i++ {
+		if d := f.DistToCurve(Q1, i, geom.Pt(0, 0)); !almostEq(d, 0, 1e-9) {
+			t.Errorf("curve %d should pass through (0,0): %v", i, d)
+		}
+	}
+}
+
+func TestCharacteristicOnCurvePoints(t *testing.T) {
+	// Points sampled exactly on a family curve must hash to that curve.
+	f, _ := NewFamily(50)
+	for _, i := range []int{5, 17, 30, 44} {
+		x := f.CurveX(i)
+		// Parametrize the arc by its horizontal coordinate t: the curve is
+		// y(t) = √(1-(t-x)²) − √(1-x²) for t ∈ [0, min(2x, 1/2)].
+		u := math.Min(2*x, 0.5)
+		var pts []geom.Point
+		for a := 1; a <= 12; a++ {
+			tt := u * float64(a) / 13
+			p := geom.Pt(tt, math.Sqrt(1-(tt-x)*(tt-x))-math.Sqrt(1-x*x))
+			if p.X >= 0 && p.X < 0.5 && p.Y >= 0 && core.InLune(p) {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) < 3 {
+			t.Fatalf("curve %d: only %d usable sample points", i, len(pts))
+		}
+		quad := f.Characteristic(pts)
+		if quad[Q1] != i {
+			t.Errorf("curve %d hashed to %d", i, quad[Q1])
+		}
+		for _, q := range []Quarter{Q2, Q3, Q4} {
+			if quad[q] != 0 {
+				t.Errorf("empty quarter %v got curve %d", q, quad[q])
+			}
+		}
+	}
+}
+
+func TestCharacteristicClampsOutsideLune(t *testing.T) {
+	f, _ := NewFamily(20)
+	// α-diameter copies can put vertices outside the lune.
+	pts := []geom.Point{geom.Pt(-0.3, 0.4), geom.Pt(0.2, 1.4), geom.Pt(0.3, 0.2)}
+	quad := f.Characteristic(pts)
+	if quad[Q1] < 1 || quad[Q1] > 20 {
+		t.Errorf("clamped characteristic = %v", quad)
+	}
+}
+
+func TestQuadrupleKeys(t *testing.T) {
+	q := Quadruple{4, 8, 6, 2}
+	if q.Mean() != 5 {
+		t.Errorf("Mean = %d", q.Mean())
+	}
+	// sorted: 2 4 6 8, medians 4 and 6, mean 5: tie goes to the lower.
+	if q.MedianNearMean() != 4 {
+		t.Errorf("MedianNearMean = %d", q.MedianNearMean())
+	}
+	q2 := Quadruple{4, 8, 7, 2}
+	// sorted: 2 4 7 8, medians 4, 7; mean 5.25 → 4 is closer.
+	if q2.MedianNearMean() != 4 {
+		t.Errorf("MedianNearMean = %d", q2.MedianNearMean())
+	}
+	// Empty quarters are excluded from the mean.
+	if (Quadruple{0, 10, 0, 20}).Mean() != 15 {
+		t.Errorf("Mean with empties = %d", (Quadruple{0, 10, 0, 20}).Mean())
+	}
+	if (Quadruple{}).Mean() != 0 {
+		t.Error("all-empty Mean should be 0")
+	}
+	if !(Quadruple{1, 2, 3, 4}).Less(Quadruple{1, 2, 4, 0}) {
+		t.Error("lexicographic Less broken")
+	}
+	if (Quadruple{1, 2, 3, 4}).Less(Quadruple{1, 2, 3, 4}) {
+		t.Error("Less on equal should be false")
+	}
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	f, _ := NewFamily(30)
+	tab := NewTable(f)
+	if err := tab.Insert(1, Quadruple{3, 7, 0, 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(2, Quadruple{3, 9, 5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(3, Quadruple{20, 21, 22, 23}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(1, Quadruple{}); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	// Exact lookup: shares curve 3 in Q1 with shapes 1 and 2.
+	got := tab.Lookup(Quadruple{3, 0, 0, 0}, 0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Lookup = %v", got)
+	}
+	// Radius widens the net.
+	got = tab.Lookup(Quadruple{0, 8, 0, 0}, 1)
+	if len(got) != 2 {
+		t.Errorf("radius lookup = %v", got)
+	}
+	// Zero-quarters in the query are skipped.
+	if got := tab.Lookup(Quadruple{}, 3); len(got) != 0 {
+		t.Errorf("empty query returned %v", got)
+	}
+	if q, ok := tab.Quad(3); !ok || q != (Quadruple{20, 21, 22, 23}) {
+		t.Errorf("Quad = %v %v", q, ok)
+	}
+	if _, ok := tab.Quad(99); ok {
+		t.Error("missing id should not be found")
+	}
+	mean, max := tab.BucketStats()
+	if mean <= 0 || max < 2 {
+		t.Errorf("BucketStats = %v %v", mean, max)
+	}
+}
+
+// Similar shapes should land on the same or adjacent curves.
+func TestSimilarShapesShareCurves(t *testing.T) {
+	f, _ := NewFamily(50)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		// A random cluster of points in the lune.
+		n := 6 + rng.Intn(10)
+		base := make([]geom.Point, 0, n)
+		for len(base) < n {
+			p := geom.Pt(rng.Float64(), rng.Float64()*1.7-0.85)
+			if core.InLune(p) {
+				base = append(base, p)
+			}
+		}
+		jig := make([]geom.Point, n)
+		for i, p := range base {
+			jig[i] = p.Add(geom.Pt(rng.NormFloat64()*0.002, rng.NormFloat64()*0.002))
+		}
+		q1 := f.Characteristic(base)
+		q2 := f.Characteristic(jig)
+		for q := 0; q < 4; q++ {
+			if d := q1[q] - q2[q]; d < -1 || d > 1 {
+				t.Errorf("trial %d quarter %d: curves %d vs %d", trial, q, q1[q], q2[q])
+			}
+		}
+	}
+}
+
+// Property: the characteristic curve index is always in [0, K].
+func TestQuickCharacteristicRange(t *testing.T) {
+	f, _ := NewFamily(25)
+	g := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*1.5-0.25, rng.Float64()*2-1)
+		}
+		quad := f.Characteristic(pts)
+		for q := 0; q < 4; q++ {
+			if quad[q] < 0 || quad[q] > 25 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

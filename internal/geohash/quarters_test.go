@@ -1,0 +1,110 @@
+package geohash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Every quarter's characteristic computation must agree with Q1 under the
+// lune's mirror symmetries: reflecting a point set into another quarter
+// yields the same curve index there.
+func TestCharacteristicSymmetryAcrossQuarters(t *testing.T) {
+	f, err := NewFamily(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		// A point cluster strictly inside Q1.
+		var pts []geom.Point
+		for len(pts) < 8 {
+			p := geom.Pt(rng.Float64()*0.45, rng.Float64()*0.8)
+			if core.InLune(p) && p.Y > 0.02 {
+				pts = append(pts, p)
+			}
+		}
+		base := f.Characteristic(pts)
+		mirror := func(m func(geom.Point) geom.Point) []geom.Point {
+			out := make([]geom.Point, len(pts))
+			for i, p := range pts {
+				out[i] = m(p)
+			}
+			return out
+		}
+		q2 := f.Characteristic(mirror(func(p geom.Point) geom.Point { return geom.Pt(1-p.X, p.Y) }))
+		q3 := f.Characteristic(mirror(func(p geom.Point) geom.Point { return geom.Pt(p.X, -p.Y) }))
+		q4 := f.Characteristic(mirror(func(p geom.Point) geom.Point { return geom.Pt(1-p.X, -p.Y) }))
+		if q2[Q2] != base[Q1] {
+			t.Errorf("trial %d: Q2 mirror curve %d != Q1 %d", trial, q2[Q2], base[Q1])
+		}
+		if q3[Q3] != base[Q1] {
+			t.Errorf("trial %d: Q3 mirror curve %d != Q1 %d", trial, q3[Q3], base[Q1])
+		}
+		if q4[Q4] != base[Q1] {
+			t.Errorf("trial %d: Q4 mirror curve %d != Q1 %d", trial, q4[Q4], base[Q1])
+		}
+	}
+}
+
+func TestDistToCurveQuarterConsistency(t *testing.T) {
+	f, _ := NewFamily(20)
+	p1 := geom.Pt(0.2, 0.4)
+	mirrors := map[Quarter]geom.Point{
+		Q1: p1,
+		Q2: geom.Pt(0.8, 0.4),
+		Q3: geom.Pt(0.2, -0.4),
+		Q4: geom.Pt(0.8, -0.4),
+	}
+	for i := 1; i <= 20; i += 6 {
+		want := f.DistToCurve(Q1, i, p1)
+		for q, p := range mirrors {
+			if got := f.DistToCurve(q, i, p); math.Abs(got-want) > 1e-12 {
+				t.Errorf("curve %d quarter %v: %v != %v", i, q, got, want)
+			}
+		}
+	}
+}
+
+func TestCurveXClamping(t *testing.T) {
+	f, _ := NewFamily(10)
+	if f.CurveX(0) != f.CurveX(1) {
+		t.Error("index below 1 should clamp")
+	}
+	if f.CurveX(99) != f.CurveX(10) {
+		t.Error("index above K should clamp")
+	}
+}
+
+func TestTableLookupRadiusWidening(t *testing.T) {
+	f, _ := NewFamily(30)
+	tab := NewTable(f)
+	if err := tab.Insert(7, Quadruple{10, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Exact curve misses, radius 2 catches.
+	if got := tab.Lookup(Quadruple{12, 0, 0, 0}, 0); len(got) != 0 {
+		t.Errorf("radius 0: %v", got)
+	}
+	if got := tab.Lookup(Quadruple{12, 0, 0, 0}, 1); len(got) != 0 {
+		t.Errorf("radius 1: %v", got)
+	}
+	if got := tab.Lookup(Quadruple{12, 0, 0, 0}, 2); len(got) != 1 || got[0] != 7 {
+		t.Errorf("radius 2: %v", got)
+	}
+	// Negative radius behaves as 0.
+	if got := tab.Lookup(Quadruple{10, 0, 0, 0}, -5); len(got) != 1 {
+		t.Errorf("negative radius: %v", got)
+	}
+}
+
+func TestBucketStatsEmpty(t *testing.T) {
+	f, _ := NewFamily(5)
+	tab := NewTable(f)
+	if mean, max := tab.BucketStats(); mean != 0 || max != 0 {
+		t.Errorf("empty table stats: %v %v", mean, max)
+	}
+}

@@ -1,0 +1,195 @@
+package geohash
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// CurveFamily abstracts a family of hash curves over the lune quarters —
+// §3 considers "different families of conic curves, trying to increase
+// the retrieval accuracy, while minimizing the computational complexity".
+// Family (unit-radius arcs through the lune tips) and RadialFamily
+// (concentric arcs about the lune center) both implement it, so the hash
+// table and the experiments can compare them.
+type CurveFamily interface {
+	// Count returns the number of curves per quarter.
+	Count() int
+	// DistToCurve returns the distance from a lune point to curve i
+	// (1-based) of quarter q.
+	DistToCurve(q Quarter, i int, p geom.Point) float64
+	// Characteristic returns the per-quarter characteristic curve indices
+	// of a vertex set (0 for quarters without vertices).
+	Characteristic(pts []geom.Point) Quadruple
+}
+
+// Count implements CurveFamily for the unit-arc family.
+func (f *Family) Count() int { return f.K }
+
+// RadialFamily partitions each lune quarter into K equal-area rings with
+// circular arcs centered at the lune's center (1/2, 0). The i-th curve is
+// the circle of radius rᵢ where the quarter area within radius rᵢ equals
+// (A₀/4)·(i/K). Distances to these curves are the cheapest of any conic
+// family (one subtraction from a center distance), the "minimal
+// computational complexity" end of §3's design space.
+type RadialFamily struct {
+	k  int
+	rs []float64 // rs[i-1] = rᵢ, increasing
+}
+
+// luneCenter is the center of the radial family's circles.
+var luneCenter = geom.Pt(0.5, 0)
+
+// radialRho returns, for polar angle theta around the lune center
+// (θ ∈ [π/2, π] spans the upper-left quarter), the radius at which the
+// ray exits the lune: the binding constraint is the unit circle centered
+// at (1,0) (by symmetry (0,0)'s circle binds the mirrored quarters).
+func radialRho(theta float64) float64 {
+	c := math.Cos(theta)
+	return (c + math.Sqrt(c*c+3)) / 2
+}
+
+// radialArea returns the area of the upper-left quarter within radius r
+// of the lune center (adaptive Simpson over the polar angle).
+func radialArea(r float64) float64 {
+	const n = 512 // even
+	a, b := math.Pi/2, math.Pi
+	h := (b - a) / n
+	f := func(theta float64) float64 {
+		rho := math.Min(r, radialRho(theta))
+		return rho * rho / 2
+	}
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// NewRadialFamily solves the K equal-area radii by bisection.
+func NewRadialFamily(k int) (*RadialFamily, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("geohash: radial family size %d < 1", k)
+	}
+	quarter := core.LuneArea / 4
+	// The largest reachable radius is at θ = π/2.
+	rmax := radialRho(math.Pi / 2)
+	f := &RadialFamily{k: k, rs: make([]float64, k)}
+	for i := 1; i <= k; i++ {
+		target := quarter * float64(i) / float64(k)
+		lo, hi := 0.0, rmax
+		for iter := 0; iter < 80 && hi-lo > 1e-12; iter++ {
+			mid := (lo + hi) / 2
+			if radialArea(mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		f.rs[i-1] = (lo + hi) / 2
+	}
+	// Numerical safety: the last ring reaches the quarter boundary.
+	f.rs[k-1] = rmax
+	return f, nil
+}
+
+// Count implements CurveFamily.
+func (f *RadialFamily) Count() int { return f.k }
+
+// CurveR returns the radius of the 1-based curve i.
+func (f *RadialFamily) CurveR(i int) float64 {
+	if i < 1 {
+		i = 1
+	}
+	if i > f.k {
+		i = f.k
+	}
+	return f.rs[i-1]
+}
+
+// DistToCurve implements CurveFamily. The family is mirror-symmetric, so
+// the quarter does not change the geometry.
+func (f *RadialFamily) DistToCurve(_ Quarter, i int, p geom.Point) float64 {
+	return math.Abs(p.Dist(luneCenter) - f.CurveR(i))
+}
+
+// Characteristic implements CurveFamily: per quarter, the ring whose
+// radius is nearest the quarter's mean center distance (the continuous
+// minimizer of the average |d - r| is the median; the mean is within one
+// ring for the tight vertex clusters hashing cares about, and both are
+// then refined against the two neighboring rings).
+func (f *RadialFamily) Characteristic(pts []geom.Point) Quadruple {
+	var buckets [4][]float64 // center distances per quarter
+	for _, p := range pts {
+		if !core.InLune(p) {
+			p = core.ClampToLune(p)
+		}
+		q := QuarterOf(p)
+		buckets[q] = append(buckets[q], p.Dist(luneCenter))
+	}
+	var out Quadruple
+	for q := 0; q < 4; q++ {
+		ds := buckets[q]
+		if len(ds) == 0 {
+			out[q] = 0
+			continue
+		}
+		// Median minimizes the average absolute deviation.
+		med := medianOf(ds)
+		// Locate the nearest ring by binary search, refine by comparing
+		// the true average distance of the neighbors.
+		idx := lowerBoundF(f.rs, med) + 1 // 1-based candidate
+		best, bestD := 0, math.Inf(1)
+		for _, c := range [3]int{idx - 1, idx, idx + 1} {
+			if c < 1 || c > f.k {
+				continue
+			}
+			var s float64
+			for _, d := range ds {
+				s += math.Abs(d - f.rs[c-1])
+			}
+			if s < bestD {
+				best, bestD = c, s
+			}
+		}
+		if best == 0 {
+			best = f.k
+		}
+		out[q] = best
+	}
+	return out
+}
+
+func medianOf(v []float64) float64 {
+	tmp := append([]float64(nil), v...)
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+func lowerBoundF(v []float64, x float64) int {
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,129 @@
+package geohash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func TestRadialFamilyEqualAreas(t *testing.T) {
+	for _, k := range []int{1, 8, 40} {
+		f, err := NewRadialFamily(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Count() != k {
+			t.Fatalf("Count = %d", f.Count())
+		}
+		quarter := core.LuneArea / 4
+		for i := 1; i < k; i++ { // the last radius is clamped to the rim
+			want := quarter * float64(i) / float64(k)
+			if got := radialArea(f.CurveR(i)); math.Abs(got-want) > 1e-6 {
+				t.Errorf("k=%d ring %d: area %v, want %v", k, i, got, want)
+			}
+		}
+		for i := 2; i <= k; i++ {
+			if f.CurveR(i) <= f.CurveR(i-1) {
+				t.Errorf("radii not increasing at %d", i)
+			}
+		}
+	}
+	if _, err := NewRadialFamily(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestRadialAreaTotalIsQuarter(t *testing.T) {
+	rmax := radialRho(math.Pi / 2)
+	if got := radialArea(rmax * 1.01); math.Abs(got-core.LuneArea/4) > 1e-6 {
+		t.Errorf("total quarter area = %v, want %v", got, core.LuneArea/4)
+	}
+	if radialArea(0) != 0 {
+		t.Error("zero radius has zero area")
+	}
+}
+
+func TestRadialRhoOnLuneBoundary(t *testing.T) {
+	// For several angles, the exit point must lie on the lune boundary.
+	for _, theta := range []float64{math.Pi / 2, 2, 2.5, 3, math.Pi} {
+		rho := radialRho(theta)
+		p := luneCenter.Add(geom.Pt(rho*math.Cos(theta), rho*math.Sin(theta)))
+		d1 := p.Norm()
+		d2 := p.Dist(geom.Pt(1, 0))
+		onBoundary := math.Abs(d1-1) < 1e-9 || math.Abs(d2-1) < 1e-9
+		if !onBoundary {
+			t.Errorf("theta=%v: exit point %v not on lune boundary (%v, %v)", theta, p, d1, d2)
+		}
+	}
+}
+
+func TestRadialCharacteristicOnRings(t *testing.T) {
+	f, err := NewRadialFamily(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{3, 12, 25} {
+		r := f.CurveR(i)
+		var pts []geom.Point
+		for a := 0; a < 10; a++ {
+			theta := math.Pi/2 + 0.4*float64(a)/10 + 0.05
+			p := luneCenter.Add(geom.Pt(r*math.Cos(theta), r*math.Sin(theta)))
+			if core.InLune(p) && QuarterOf(p) == Q1 {
+				pts = append(pts, p)
+			}
+		}
+		if len(pts) < 4 {
+			t.Fatalf("ring %d: only %d samples", i, len(pts))
+		}
+		quad := f.Characteristic(pts)
+		if quad[Q1] != i {
+			t.Errorf("ring %d hashed to %d", i, quad[Q1])
+		}
+	}
+}
+
+func TestRadialTableIntegration(t *testing.T) {
+	f, err := NewRadialFamily(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTableWith(f)
+	rng := rand.New(rand.NewSource(3))
+	// Insert clusters and verify self-retrieval through the table.
+	var quads []Quadruple
+	for id := 0; id < 20; id++ {
+		var pts []geom.Point
+		for len(pts) < 6 {
+			p := geom.Pt(rng.Float64(), rng.Float64()*1.7-0.85)
+			if core.InLune(p) {
+				pts = append(pts, p)
+			}
+		}
+		quad := f.Characteristic(pts)
+		quads = append(quads, quad)
+		if err := tab.Insert(id, quad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, quad := range quads {
+		found := false
+		for _, got := range tab.Lookup(quad, 0) {
+			if got == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("shape %d not retrieved by its own quadruple", id)
+		}
+	}
+}
+
+// Both families implement CurveFamily.
+var (
+	_ CurveFamily = (*Family)(nil)
+	_ CurveFamily = (*RadialFamily)(nil)
+)

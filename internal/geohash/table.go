@@ -1,0 +1,107 @@
+package geohash
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is the geometric hash table: per quarter, a bucket per curve
+// holding the ids of the shapes whose characteristic curve in that
+// quarter is that curve. With enough curves each bucket holds a small,
+// on-average-constant number of shapes, so lookup is logarithmic in the
+// family size (binary search over curves) plus the constant bucket work
+// (§3).
+type Table struct {
+	family  CurveFamily
+	buckets [4]map[int][]int32
+	quads   map[int32]Quadruple
+}
+
+// NewTable creates an empty table over the unit-arc curve family.
+func NewTable(f *Family) *Table { return NewTableWith(f) }
+
+// NewTableWith creates an empty table over any curve family (§3 considers
+// several; see CurveFamily).
+func NewTableWith(f CurveFamily) *Table {
+	t := &Table{family: f, quads: make(map[int32]Quadruple)}
+	for q := range t.buckets {
+		t.buckets[q] = make(map[int][]int32)
+	}
+	return t
+}
+
+// Family returns the table's curve family.
+func (t *Table) Family() CurveFamily { return t.family }
+
+// Insert associates a shape id with its characteristic quadruple.
+func (t *Table) Insert(id int, quad Quadruple) error {
+	if _, dup := t.quads[int32(id)]; dup {
+		return fmt.Errorf("geohash: shape %d already inserted", id)
+	}
+	t.quads[int32(id)] = quad
+	for q := 0; q < 4; q++ {
+		if c := quad[q]; c > 0 {
+			t.buckets[q][c] = append(t.buckets[q][c], int32(id))
+		}
+	}
+	return nil
+}
+
+// Len returns the number of inserted shapes.
+func (t *Table) Len() int { return len(t.quads) }
+
+// Quad returns the stored quadruple of a shape id.
+func (t *Table) Quad(id int) (Quadruple, bool) {
+	q, ok := t.quads[int32(id)]
+	return q, ok
+}
+
+// Lookup returns the ids of all shapes associated, in at least one
+// quarter, with the query quadruple's curve in that quarter or a curve
+// within the given index radius of it (radius 0 = exact curve only;
+// "neighboring curves may however be associated with dissimilar shapes",
+// so callers re-rank with the similarity measure). The result is sorted
+// and duplicate-free.
+func (t *Table) Lookup(quad Quadruple, radius int) []int {
+	if radius < 0 {
+		radius = 0
+	}
+	seen := make(map[int32]bool)
+	for q := 0; q < 4; q++ {
+		c := quad[q]
+		if c <= 0 {
+			continue
+		}
+		for d := -radius; d <= radius; d++ {
+			for _, id := range t.buckets[q][c+d] {
+				seen[id] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, int(id))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BucketStats reports the mean and maximum bucket occupancy over the
+// non-empty buckets of all quarters — the "small, on the average, number
+// of shapes associated with each hash curve" the paper relies on.
+func (t *Table) BucketStats() (mean float64, max int) {
+	total, n := 0, 0
+	for q := 0; q < 4; q++ {
+		for _, ids := range t.buckets[q] {
+			total += len(ids)
+			n++
+			if len(ids) > max {
+				max = len(ids)
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(total) / float64(n), max
+}

@@ -1,0 +1,106 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order,
+// using Andrew's monotone-chain algorithm (O(n log n)). Collinear points
+// on the hull boundary are dropped. The input slice is not modified.
+func ConvexHull(pts []Point) []Point {
+	n := len(pts)
+	if n < 3 {
+		out := make([]Point, n)
+		copy(out, pts)
+		return out
+	}
+	sorted := make([]Point, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Eq(uniq[len(uniq)-1], Eps) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return uniq
+	}
+	hull := make([]Point, 0, 2*len(uniq))
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// diameterCalipers computes the farthest pair of pts by rotating calipers
+// over the convex hull, returning indices into pts and the distance.
+func diameterCalipers(pts []Point) (bi, bj int, bd float64) {
+	hull := ConvexHull(pts)
+	h := len(hull)
+	if h == 0 {
+		return 0, 0, 0
+	}
+	if h == 1 {
+		return 0, 0, 0
+	}
+	// Map hull points back to original indices (first match wins; ties are
+	// irrelevant for the distance).
+	idx := make([]int, h)
+	for k, hp := range hull {
+		for i, p := range pts {
+			if p.Eq(hp, Eps) {
+				idx[k] = i
+				break
+			}
+		}
+	}
+	if h == 2 {
+		return idx[0], idx[1], hull[0].Dist(hull[1])
+	}
+	best2 := 0.0
+	j := 1
+	for i := 0; i < h; i++ {
+		ni := (i + 1) % h
+		edge := hull[ni].Sub(hull[i])
+		// Advance j while the next hull point is farther from edge i.
+		for {
+			nj := (j + 1) % h
+			if edge.Cross(hull[nj].Sub(hull[i])) > edge.Cross(hull[j].Sub(hull[i])) {
+				j = nj
+			} else {
+				break
+			}
+		}
+		for _, cand := range [2]int{i, ni} {
+			if d := hull[cand].Dist2(hull[j]); d > best2 {
+				best2 = d
+				bi, bj = idx[cand], idx[j]
+			}
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj, math.Sqrt(best2)
+}

@@ -1,0 +1,84 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquarePlusInterior(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1),
+		Pt(0.5, 0.5), Pt(0.2, 0.8), Pt(0.9, 0.1),
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4: %v", len(hull), hull)
+	}
+	// CCW orientation.
+	area := NewPolygon(hull...).SignedArea()
+	if area <= 0 {
+		t.Errorf("hull not CCW, area = %v", area)
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}
+	hull := ConvexHull(pts)
+	if len(hull) != 2 {
+		t.Errorf("collinear hull size = %d, want 2: %v", len(hull), hull)
+	}
+}
+
+func TestConvexHullSmallInputs(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("nil hull = %v", got)
+	}
+	if got := ConvexHull([]Point{Pt(1, 2)}); len(got) != 1 {
+		t.Errorf("single hull = %v", got)
+	}
+	if got := ConvexHull([]Point{Pt(1, 2), Pt(1, 2), Pt(1, 2)}); len(got) != 1 {
+		t.Errorf("duplicate hull = %v", got)
+	}
+}
+
+func TestConvexHullContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(100)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		}
+		hull := ConvexHull(pts)
+		hp := NewPolygon(hull...)
+		for _, p := range pts {
+			if !hp.ContainsPoint(p) {
+				t.Fatalf("trial %d: hull does not contain %v", trial, p)
+			}
+		}
+		// Hull must be convex: every turn non-negative.
+		for i := range hull {
+			a := hull[i]
+			b := hull[(i+1)%len(hull)]
+			c := hull[(i+2)%len(hull)]
+			if Orientation(a, b, c) < 0 {
+				t.Fatalf("trial %d: reflex hull corner at %v", trial, b)
+			}
+		}
+	}
+}
+
+func TestDiameterOnCircle(t *testing.T) {
+	// Points on a circle of radius 5: diameter must be ~10.
+	n := 100
+	pts := make([]Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = Pt(5*math.Cos(a), 5*math.Sin(a))
+	}
+	_, _, d := diameterCalipers(pts)
+	if d < 9.98 || d > 10.001 {
+		t.Errorf("circle diameter = %v", d)
+	}
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Neg(); got != Pt(-1, -2) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestPointNormDist(t *testing.T) {
+	p := Pt(3, 4)
+	if p.Norm() != 5 {
+		t.Errorf("Norm = %v", p.Norm())
+	}
+	if p.Norm2() != 25 {
+		t.Errorf("Norm2 = %v", p.Norm2())
+	}
+	if d := Pt(0, 0).Dist(p); d != 5 {
+		t.Errorf("Dist = %v", d)
+	}
+	if d := Pt(0, 0).Dist2(p); d != 25 {
+		t.Errorf("Dist2 = %v", d)
+	}
+}
+
+func TestPointRotate(t *testing.T) {
+	p := Pt(1, 0).Rotate(math.Pi / 2)
+	if !p.Eq(Pt(0, 1), 1e-12) {
+		t.Errorf("Rotate(π/2) = %v", p)
+	}
+	p = Pt(1, 0).Rotate(math.Pi)
+	if !p.Eq(Pt(-1, 0), 1e-12) {
+		t.Errorf("Rotate(π) = %v", p)
+	}
+}
+
+func TestPointUnitPerp(t *testing.T) {
+	u := Pt(3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if got := Pt(0, 0).Unit(); got != Pt(0, 0) {
+		t.Errorf("Unit(0) = %v", got)
+	}
+	if got := Pt(1, 0).Perp(); got != Pt(0, 1) {
+		t.Errorf("Perp = %v", got)
+	}
+	if d := Pt(2, 5).Dot(Pt(2, 5).Perp()); d != 0 {
+		t.Errorf("Perp not orthogonal: %v", d)
+	}
+}
+
+func TestPointLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestOrientation(t *testing.T) {
+	if Orientation(Pt(0, 0), Pt(1, 0), Pt(1, 1)) != 1 {
+		t.Error("expected CCW")
+	}
+	if Orientation(Pt(0, 0), Pt(1, 0), Pt(1, -1)) != -1 {
+		t.Error("expected CW")
+	}
+	if Orientation(Pt(0, 0), Pt(1, 0), Pt(2, 0)) != 0 {
+		t.Error("expected collinear")
+	}
+	if !Collinear(Pt(0, 0), Pt(1, 1), Pt(5, 5)) {
+		t.Error("expected collinear diagonal")
+	}
+}
+
+func TestSignedAngle(t *testing.T) {
+	if a := SignedAngle(Pt(1, 0), Pt(0, 1)); !almostEq(a, math.Pi/2, 1e-12) {
+		t.Errorf("SignedAngle = %v", a)
+	}
+	if a := SignedAngle(Pt(1, 0), Pt(0, -1)); !almostEq(a, -math.Pi/2, 1e-12) {
+		t.Errorf("SignedAngle = %v", a)
+	}
+}
+
+func TestInteriorAngle(t *testing.T) {
+	// Right angle at origin.
+	if a := InteriorAngle(Pt(1, 0), Pt(0, 0), Pt(0, 1)); !almostEq(a, math.Pi/2, 1e-12) {
+		t.Errorf("InteriorAngle = %v", a)
+	}
+	// Straight line.
+	if a := InteriorAngle(Pt(-1, 0), Pt(0, 0), Pt(1, 0)); !almostEq(a, math.Pi, 1e-12) {
+		t.Errorf("straight InteriorAngle = %v", a)
+	}
+	// Degenerate zero vector.
+	if a := InteriorAngle(Pt(0, 0), Pt(0, 0), Pt(1, 0)); a != 0 {
+		t.Errorf("degenerate InteriorAngle = %v", a)
+	}
+}
+
+func TestPointIsFinite(t *testing.T) {
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	if Pt(math.NaN(), 0).IsFinite() || Pt(0, math.Inf(1)).IsFinite() {
+		t.Error("non-finite point reported finite")
+	}
+}
+
+// Property: rotation preserves norms and pairwise distances.
+func TestQuickRotationIsometry(t *testing.T) {
+	f := func(x, y, x2, y2 float64, theta float64) bool {
+		if math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(x2) > 1e6 || math.Abs(y2) > 1e6 {
+			return true
+		}
+		theta = math.Mod(theta, 2*math.Pi)
+		p, q := Pt(x, y), Pt(x2, y2)
+		d0 := p.Dist(q)
+		d1 := p.Rotate(theta).Dist(q.Rotate(theta))
+		return almostEq(d0, d1, 1e-6*(1+d0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cross is antisymmetric and Dot symmetric.
+func TestQuickCrossDotSymmetry(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p, q := Pt(clamp(a), clamp(b)), Pt(clamp(c), clamp(d))
+		return p.Cross(q) == -q.Cross(p) && p.Dot(q) == q.Dot(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

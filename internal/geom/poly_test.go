@@ -1,0 +1,264 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() Poly {
+	return NewPolygon(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+}
+
+func TestPolyEdgesCounts(t *testing.T) {
+	sq := unitSquare()
+	if sq.NumVertices() != 4 || sq.NumEdges() != 4 {
+		t.Fatalf("square counts: %d vertices, %d edges", sq.NumVertices(), sq.NumEdges())
+	}
+	open := NewPolyline(Pt(0, 0), Pt(1, 0), Pt(2, 1))
+	if open.NumEdges() != 2 {
+		t.Errorf("open NumEdges = %d", open.NumEdges())
+	}
+	// Closing edge wraps.
+	last := sq.Edge(3)
+	if last.A != Pt(0, 1) || last.B != Pt(0, 0) {
+		t.Errorf("closing edge = %v", last)
+	}
+}
+
+func TestPolyPerimeterArea(t *testing.T) {
+	sq := unitSquare()
+	if !almostEq(sq.Perimeter(), 4, 1e-12) {
+		t.Errorf("Perimeter = %v", sq.Perimeter())
+	}
+	if !almostEq(sq.SignedArea(), 1, 1e-12) {
+		t.Errorf("SignedArea = %v", sq.SignedArea())
+	}
+	if !almostEq(sq.Reverse().SignedArea(), -1, 1e-12) {
+		t.Errorf("reversed SignedArea = %v", sq.Reverse().SignedArea())
+	}
+	if !almostEq(sq.Area(), 1, 1e-12) {
+		t.Errorf("Area = %v", sq.Area())
+	}
+	open := NewPolyline(Pt(0, 0), Pt(3, 4))
+	if open.SignedArea() != 0 {
+		t.Error("open chain must have zero area")
+	}
+	if !almostEq(open.Perimeter(), 5, 1e-12) {
+		t.Errorf("open Perimeter = %v", open.Perimeter())
+	}
+}
+
+func TestPolyCentroidBounds(t *testing.T) {
+	sq := unitSquare()
+	if !sq.Centroid().Eq(Pt(0.5, 0.5), 1e-12) {
+		t.Errorf("Centroid = %v", sq.Centroid())
+	}
+	b := sq.Bounds()
+	if b.Min != Pt(0, 0) || b.Max != Pt(1, 1) {
+		t.Errorf("Bounds = %v", b)
+	}
+	if (Poly{}).Centroid() != Pt(0, 0) {
+		t.Error("empty centroid")
+	}
+}
+
+func TestPolyContainsPoint(t *testing.T) {
+	sq := unitSquare()
+	inside := []Point{Pt(0.5, 0.5), Pt(0.01, 0.01), Pt(0.99, 0.5)}
+	outside := []Point{Pt(-0.1, 0.5), Pt(1.1, 0.5), Pt(0.5, 2), Pt(-5, -5)}
+	for _, p := range inside {
+		if !sq.ContainsPoint(p) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	for _, p := range outside {
+		if sq.ContainsPoint(p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+	// Boundary points count as contained.
+	if !sq.ContainsPoint(Pt(0.5, 0)) || !sq.ContainsPoint(Pt(0, 0)) {
+		t.Error("boundary should be contained")
+	}
+	// Concave polygon.
+	conc := NewPolygon(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(2, 2), Pt(0, 4))
+	if !conc.ContainsPoint(Pt(1, 1)) {
+		t.Error("(1,1) inside concave")
+	}
+	if conc.ContainsPoint(Pt(2, 3.5)) {
+		t.Error("(2,3.5) in the notch, outside")
+	}
+}
+
+func TestPolyDistToPoint(t *testing.T) {
+	sq := unitSquare()
+	if d := sq.DistToPoint(Pt(0.5, 0.5)); !almostEq(d, 0.5, 1e-12) {
+		t.Errorf("interior boundary distance = %v", d)
+	}
+	if d := sq.DistToPoint(Pt(2, 0.5)); !almostEq(d, 1, 1e-12) {
+		t.Errorf("outside distance = %v", d)
+	}
+	single := Poly{Pts: []Point{Pt(1, 1)}}
+	if d := single.DistToPoint(Pt(4, 5)); d != 5 {
+		t.Errorf("single-point distance = %v", d)
+	}
+}
+
+func TestPolyIsSimple(t *testing.T) {
+	if !unitSquare().IsSimple() {
+		t.Error("square is simple")
+	}
+	bow := NewPolygon(Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)) // bowtie
+	if bow.IsSimple() {
+		t.Error("bowtie is self-intersecting")
+	}
+	openX := NewPolyline(Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2))
+	if openX.IsSimple() {
+		t.Error("crossing polyline is not simple")
+	}
+	zig := NewPolyline(Pt(0, 0), Pt(1, 1), Pt(2, 0), Pt(3, 1))
+	if !zig.IsSimple() {
+		t.Error("zigzag is simple")
+	}
+}
+
+func TestPolyDiameter(t *testing.T) {
+	sq := unitSquare()
+	i, j, d := sq.Diameter()
+	if !almostEq(d, math.Sqrt2, 1e-12) {
+		t.Errorf("square diameter = %v", d)
+	}
+	if sq.Pts[i].Dist(sq.Pts[j]) != d {
+		t.Error("diameter indices inconsistent")
+	}
+	// A long thin shape: diameter between the far ends.
+	thin := NewPolyline(Pt(0, 0), Pt(5, 0.1), Pt(10, 0))
+	_, _, d = thin.Diameter()
+	if !almostEq(d, 10, 1e-12) {
+		t.Errorf("thin diameter = %v", d)
+	}
+}
+
+func TestPolyDiameterCalipersMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 40 + rng.Intn(80)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		}
+		p := Poly{Pts: pts}
+		_, _, dc := p.Diameter() // n > 32 → calipers
+		_, _, db := p.diameterBrute()
+		if !almostEq(dc, db, 1e-9*(1+db)) {
+			t.Fatalf("trial %d: calipers %v != brute %v", trial, dc, db)
+		}
+	}
+}
+
+func TestAlphaDiameters(t *testing.T) {
+	sq := unitSquare()
+	// alpha = 0: only the two diagonals qualify.
+	pairs := sq.AlphaDiameters(0)
+	if len(pairs) != 2 {
+		t.Errorf("alpha=0 pairs = %d, want 2 (both diagonals)", len(pairs))
+	}
+	// alpha large enough to include the sides (1 ≥ (1-α)·√2 → α ≥ 1-1/√2).
+	pairs = sq.AlphaDiameters(0.3)
+	if len(pairs) != 6 {
+		t.Errorf("alpha=0.3 pairs = %d, want 6 (4 sides + 2 diagonals)", len(pairs))
+	}
+	if (Poly{}).AlphaDiameters(0.1) != nil {
+		t.Error("empty shape has no alpha-diameters")
+	}
+}
+
+func TestPolyValidate(t *testing.T) {
+	if err := unitSquare().Validate(); err != nil {
+		t.Errorf("square Validate: %v", err)
+	}
+	if err := NewPolygon(Pt(0, 0), Pt(1, 0)).Validate(); err == nil {
+		t.Error("2-vertex polygon should fail")
+	}
+	if err := NewPolyline(Pt(0, 0)).Validate(); err == nil {
+		t.Error("1-vertex polyline should fail")
+	}
+	if err := NewPolyline(Pt(0, 0), Pt(0, 0), Pt(1, 1)).Validate(); err == nil {
+		t.Error("zero-length edge should fail")
+	}
+	if err := NewPolygon(Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)).Validate(); err == nil {
+		t.Error("bowtie should fail")
+	}
+	if err := NewPolyline(Pt(0, 0), Pt(math.NaN(), 1)).Validate(); err == nil {
+		t.Error("NaN vertex should fail")
+	}
+}
+
+func TestPolyResampleClosed(t *testing.T) {
+	sq := unitSquare()
+	pts := sq.Resample(8)
+	if len(pts) != 8 {
+		t.Fatalf("Resample count = %d", len(pts))
+	}
+	// All samples on the boundary; spacing uniform (perimeter 4 / 8 = 0.5).
+	for _, p := range pts {
+		if d := sq.DistToPoint(p); d > 1e-9 {
+			t.Errorf("sample %v off boundary by %v", p, d)
+		}
+	}
+	if !pts[0].Eq(Pt(0, 0), 1e-12) || !pts[1].Eq(Pt(0.5, 0), 1e-12) {
+		t.Errorf("first samples = %v %v", pts[0], pts[1])
+	}
+}
+
+func TestPolyResampleOpen(t *testing.T) {
+	line := NewPolyline(Pt(0, 0), Pt(10, 0))
+	pts := line.Resample(5)
+	want := []Point{Pt(0, 0), Pt(2.5, 0), Pt(5, 0), Pt(7.5, 0), Pt(10, 0)}
+	for k := range want {
+		if !pts[k].Eq(want[k], 1e-9) {
+			t.Errorf("sample %d = %v, want %v", k, pts[k], want[k])
+		}
+	}
+	if got := line.Resample(1); len(got) != 1 || got[0] != Pt(0, 0) {
+		t.Errorf("Resample(1) = %v", got)
+	}
+	if got := line.Resample(0); got != nil {
+		t.Errorf("Resample(0) = %v", got)
+	}
+}
+
+func TestPolyTransformRoundTrip(t *testing.T) {
+	sq := unitSquare()
+	tr := Transform{S: 2.5, Theta: 0.7, T: Pt(3, -4)}
+	back := sq.Transform(tr).Transform(tr.Inverse())
+	for k := range sq.Pts {
+		if !back.Pts[k].Eq(sq.Pts[k], 1e-9) {
+			t.Errorf("vertex %d: %v != %v", k, back.Pts[k], sq.Pts[k])
+		}
+	}
+}
+
+// Property: resampled points always lie on the chain.
+func TestQuickResampleOnBoundary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		p := Poly{Pts: pts, Closed: seed%2 == 0}
+		for _, s := range p.Resample(17) {
+			if p.DistToPoint(s) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

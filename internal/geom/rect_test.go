@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	if e.Width() != 0 || e.Height() != 0 || e.Area() != 0 {
+		t.Error("empty rect extents should be 0")
+	}
+	if e.Contains(Pt(0, 0)) {
+		t.Error("empty rect contains nothing")
+	}
+	// Union identity.
+	r := Rect{Min: Pt(1, 2), Max: Pt(3, 4)}
+	if got := e.Union(r); got != r {
+		t.Errorf("empty ∪ r = %v", got)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r ∪ empty = %v", got)
+	}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Error("empty intersects nothing")
+	}
+	// Empty is inside everything.
+	if !r.ContainsRect(e) {
+		t.Error("every rect contains the empty rect")
+	}
+}
+
+func TestRectOfAndExtend(t *testing.T) {
+	r := RectOf(Pt(3, -1), Pt(-2, 5), Pt(0, 0))
+	if r.Min != Pt(-2, -1) || r.Max != Pt(3, 5) {
+		t.Errorf("RectOf = %v", r)
+	}
+	r2 := r.ExtendPoint(Pt(10, 10))
+	if r2.Max != Pt(10, 10) || r2.Min != r.Min {
+		t.Errorf("ExtendPoint = %v", r2)
+	}
+	if RectOf().IsEmpty() != true {
+		t.Error("RectOf() should be empty")
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(4, 2)}
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 {
+		t.Errorf("extents: %v %v %v", r.Width(), r.Height(), r.Area())
+	}
+	if r.Center() != Pt(2, 1) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	c := r.Corners()
+	if c[0] != Pt(0, 0) || c[2] != Pt(4, 2) {
+		t.Errorf("Corners = %v", c)
+	}
+	// CCW order: positive polygon area.
+	if a := NewPolygon(c[0], c[1], c[2], c[3]).SignedArea(); a <= 0 {
+		t.Errorf("corners not CCW: area %v", a)
+	}
+}
+
+func TestRectContainsIntersects(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(10, 10)}
+	if !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 10)) || !r.Contains(Pt(5, 5)) {
+		t.Error("closed containment broken")
+	}
+	if r.Contains(Pt(10.001, 5)) {
+		t.Error("outside point contained")
+	}
+	inner := Rect{Min: Pt(2, 2), Max: Pt(3, 3)}
+	if !r.ContainsRect(inner) || inner.ContainsRect(r) {
+		t.Error("ContainsRect broken")
+	}
+	touch := Rect{Min: Pt(10, 0), Max: Pt(12, 2)}
+	if !r.Intersects(touch) {
+		t.Error("edge-touching rects intersect (closed regions)")
+	}
+	apart := Rect{Min: Pt(11, 0), Max: Pt(12, 2)}
+	if r.Intersects(apart) {
+		t.Error("disjoint rects reported intersecting")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(2, 2)}
+	g := r.Expand(1)
+	if g.Min != Pt(-1, -1) || g.Max != Pt(3, 3) {
+		t.Errorf("Expand = %v", g)
+	}
+	shrunk := r.Expand(-2)
+	if !shrunk.IsEmpty() {
+		t.Errorf("over-shrunk rect should be empty: %v", shrunk)
+	}
+	if got := EmptyRect().Expand(5); !got.IsEmpty() {
+		t.Error("expanding empty stays empty")
+	}
+}
+
+func TestRectDistToPoint(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(2, 2)}
+	if d := r.DistToPoint(Pt(1, 1)); d != 0 {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := r.DistToPoint(Pt(5, 1)); d != 3 {
+		t.Errorf("side dist = %v", d)
+	}
+	if d := r.DistToPoint(Pt(5, 6)); math.Abs(d-5) > 1e-12 {
+		t.Errorf("corner dist = %v", d)
+	}
+}
+
+// Property: Union is commutative, associative, and monotone for
+// containment.
+func TestQuickRectUnion(t *testing.T) {
+	gen := func(a, b, c, d float64) Rect {
+		m := func(v float64) float64 { return math.Mod(v, 50) }
+		return RectOf(Pt(m(a), m(b)), Pt(m(c), m(d)))
+	}
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4, c1, c2, c3, c4 float64) bool {
+		ra := gen(a1, a2, a3, a4)
+		rb := gen(b1, b2, b3, b4)
+		rc := gen(c1, c2, c3, c4)
+		if ra.Union(rb) != rb.Union(ra) {
+			return false
+		}
+		if ra.Union(rb).Union(rc) != ra.Union(rb.Union(rc)) {
+			return false
+		}
+		u := ra.Union(rb)
+		return u.ContainsRect(ra) && u.ContainsRect(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Transform composition is associative in effect.
+func TestQuickTransformComposeAssociative(t *testing.T) {
+	f := func(s1, t1, x1, y1, s2, t2, x2, y2, s3, t3, x3, y3, px, py float64) bool {
+		m := func(v float64) float64 { return math.Mod(v, 10) }
+		mk := func(s, th, x, y float64) Transform {
+			return Transform{S: math.Abs(m(s)) + 0.1, Theta: m(th), T: Pt(m(x), m(y))}
+		}
+		a := mk(s1, t1, x1, y1)
+		b := mk(s2, t2, x2, y2)
+		c := mk(s3, t3, x3, y3)
+		p := Pt(m(px), m(py))
+		lhs := Compose(Compose(c, b), a).Apply(p)
+		rhs := Compose(c, Compose(b, a)).Apply(p)
+		return lhs.Eq(rhs, 1e-6*(1+lhs.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if s.Length() != 5 {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if s.Midpoint() != Pt(1.5, 2) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+	if s.Dir() != Pt(3, 4) {
+		t.Errorf("Dir = %v", s.Dir())
+	}
+	if s.Reverse().A != s.B {
+		t.Error("Reverse broken")
+	}
+	b := s.Bounds()
+	if b.Min != Pt(0, 0) || b.Max != Pt(3, 4) {
+		t.Errorf("Bounds = %v", b)
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	cases := []struct {
+		p    Point
+		want Point
+		dist float64
+	}{
+		{Pt(5, 3), Pt(5, 0), 3},
+		{Pt(-2, 0), Pt(0, 0), 2},
+		{Pt(14, 3), Pt(10, 0), 5},
+		{Pt(7, 0), Pt(7, 0), 0},
+	}
+	for _, c := range cases {
+		got := s.ClosestPoint(c.p)
+		if !got.Eq(c.want, 1e-12) {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+		if d := s.DistToPoint(c.p); !almostEq(d, c.dist, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", c.p, d, c.dist)
+		}
+	}
+}
+
+func TestSegmentDegenerateClosest(t *testing.T) {
+	s := Seg(Pt(2, 2), Pt(2, 2)) // zero-length
+	if got := s.ClosestPoint(Pt(5, 6)); got != Pt(2, 2) {
+		t.Errorf("degenerate ClosestPoint = %v", got)
+	}
+	if d := s.DistToPoint(Pt(5, 6)); d != 5 {
+		t.Errorf("degenerate DistToPoint = %v", d)
+	}
+}
+
+func TestSegmentIntersectProper(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 10))
+	u := Seg(Pt(0, 10), Pt(10, 0))
+	hit, p := s.Intersect(u)
+	if !hit || !p.Eq(Pt(5, 5), 1e-9) {
+		t.Errorf("Intersect = %v %v", hit, p)
+	}
+	if !s.ProperlyIntersects(u) {
+		t.Error("expected proper intersection")
+	}
+}
+
+func TestSegmentIntersectDisjoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 0))
+	u := Seg(Pt(0, 1), Pt(1, 1))
+	if hit, _ := s.Intersect(u); hit {
+		t.Error("disjoint segments reported intersecting")
+	}
+	if s.ProperlyIntersects(u) {
+		t.Error("disjoint segments reported properly intersecting")
+	}
+}
+
+func TestSegmentIntersectTouching(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(2, 0))
+	u := Seg(Pt(1, 0), Pt(1, 5)) // T-touch at (1,0)
+	hit, p := s.Intersect(u)
+	if !hit || !p.Eq(Pt(1, 0), 1e-9) {
+		t.Errorf("touching Intersect = %v %v", hit, p)
+	}
+	if s.ProperlyIntersects(u) {
+		t.Error("T-touch is not a proper intersection")
+	}
+	// Shared endpoint.
+	v := Seg(Pt(2, 0), Pt(3, 3))
+	if hit, _ := s.Intersect(v); !hit {
+		t.Error("shared endpoint should intersect")
+	}
+	if s.ProperlyIntersects(v) {
+		t.Error("shared endpoint is not proper")
+	}
+}
+
+func TestSegmentIntersectCollinear(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(4, 0))
+	u := Seg(Pt(2, 0), Pt(6, 0)) // overlapping
+	if hit, _ := s.Intersect(u); !hit {
+		t.Error("overlapping collinear segments should intersect")
+	}
+	w := Seg(Pt(5, 0), Pt(8, 0)) // collinear, disjoint
+	if hit, _ := s.Intersect(w); hit {
+		t.Error("disjoint collinear segments should not intersect")
+	}
+}
+
+func TestSegmentDistToSegment(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 0))
+	u := Seg(Pt(0, 2), Pt(1, 2))
+	if d := s.DistToSegment(u); !almostEq(d, 2, 1e-12) {
+		t.Errorf("parallel DistToSegment = %v", d)
+	}
+	v := Seg(Pt(0.5, -1), Pt(0.5, 1)) // crosses s
+	if d := s.DistToSegment(v); d != 0 {
+		t.Errorf("crossing DistToSegment = %v", d)
+	}
+	w := Seg(Pt(3, 0), Pt(3, 4))
+	if d := s.DistToSegment(w); !almostEq(d, 2, 1e-12) {
+		t.Errorf("endpoint DistToSegment = %v", d)
+	}
+}
+
+func TestSegmentLineSide(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 0))
+	if s.LineSide(Pt(0, 1)) <= 0 {
+		t.Error("left side should be positive")
+	}
+	if s.LineSide(Pt(0, -1)) >= 0 {
+		t.Error("right side should be negative")
+	}
+	if s.LineSide(Pt(5, 0)) != 0 {
+		t.Error("on-line should be zero")
+	}
+}
+
+// Property: the closest point on a segment is never farther than either
+// endpoint, and DistToPoint is symmetric under reversal.
+func TestQuickSegmentClosest(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 100) }
+		s := Seg(Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by)))
+		p := Pt(clamp(px), clamp(py))
+		d := s.DistToPoint(p)
+		if d > p.Dist(s.A)+1e-9 || d > p.Dist(s.B)+1e-9 {
+			return false
+		}
+		return almostEq(d, s.Reverse().DistToPoint(p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package geom
+
+import "fmt"
+
+// Transform is a direct similarity transform of the plane: a rotation by
+// Theta and uniform scaling by S about the origin, followed by a
+// translation by T. It maps p to S·R(Theta)·p + T. Similarity transforms
+// are exactly the normalizations used by the shape base (§2.4): they
+// preserve shape up to translation, rotation, and scaling.
+type Transform struct {
+	S     float64 // uniform scale factor (> 0 for a valid transform)
+	Theta float64 // rotation angle, radians, counter-clockwise
+	T     Point   // translation applied last
+}
+
+// Identity returns the identity transform.
+func Identity() Transform { return Transform{S: 1} }
+
+// Translation returns the transform that translates by t.
+func Translation(t Point) Transform { return Transform{S: 1, T: t} }
+
+// Rotation returns the transform that rotates by theta about the origin.
+func Rotation(theta float64) Transform { return Transform{S: 1, Theta: theta} }
+
+// Scaling returns the transform that scales by s about the origin.
+func Scaling(s float64) Transform { return Transform{S: s} }
+
+// Apply maps the point p through t.
+func (t Transform) Apply(p Point) Point {
+	return p.Rotate(t.Theta).Scale(t.S).Add(t.T)
+}
+
+// ApplySegment maps both endpoints of s through t.
+func (t Transform) ApplySegment(s Segment) Segment {
+	return Segment{t.Apply(s.A), t.Apply(s.B)}
+}
+
+// Compose returns the transform equivalent to applying t first and then u:
+// Compose(u, t).Apply(p) == u.Apply(t.Apply(p)).
+func Compose(u, t Transform) Transform {
+	// u(t(p)) = Su·R(θu)·(St·R(θt)·p + Tt) + Tu
+	//         = Su·St·R(θu+θt)·p + (Su·R(θu)·Tt + Tu)
+	return Transform{
+		S:     u.S * t.S,
+		Theta: u.Theta + t.Theta,
+		T:     t.T.Rotate(u.Theta).Scale(u.S).Add(u.T),
+	}
+}
+
+// Inverse returns the inverse transform. It panics if the scale is zero.
+func (t Transform) Inverse() Transform {
+	if t.S == 0 {
+		panic("geom: cannot invert transform with zero scale")
+	}
+	inv := Transform{S: 1 / t.S, Theta: -t.Theta}
+	inv.T = t.T.Rotate(inv.Theta).Scale(inv.S).Neg()
+	return inv
+}
+
+// String implements fmt.Stringer.
+func (t Transform) String() string {
+	return fmt.Sprintf("Transform{s=%.6g θ=%.6g t=%v}", t.S, t.Theta, t.T)
+}
+
+// NormalizeOnto returns the similarity transform that maps point a to
+// (0,0) and point b to (1,0). This is the paper's normalization about a
+// diameter (§2.3): translate, rotate, and scale so that the chosen vertex
+// pair is positioned at ((0,0),(1,0)). An error is returned if a and b
+// coincide.
+func NormalizeOnto(a, b Point) (Transform, error) {
+	d := b.Sub(a)
+	n := d.Norm()
+	if n <= Eps {
+		return Transform{}, fmt.Errorf("geom: cannot normalize onto coincident points %v, %v", a, b)
+	}
+	t := Transform{
+		S:     1 / n,
+		Theta: -d.Angle(),
+	}
+	// After rotation and scaling, a must land on the origin.
+	t.T = a.Rotate(t.Theta).Scale(t.S).Neg()
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformBasics(t *testing.T) {
+	if got := Identity().Apply(Pt(3, 4)); got != Pt(3, 4) {
+		t.Errorf("Identity = %v", got)
+	}
+	if got := Translation(Pt(1, 2)).Apply(Pt(3, 4)); got != Pt(4, 6) {
+		t.Errorf("Translation = %v", got)
+	}
+	if got := Scaling(2).Apply(Pt(3, 4)); got != Pt(6, 8) {
+		t.Errorf("Scaling = %v", got)
+	}
+	got := Rotation(math.Pi / 2).Apply(Pt(1, 0))
+	if !got.Eq(Pt(0, 1), 1e-12) {
+		t.Errorf("Rotation = %v", got)
+	}
+}
+
+func TestTransformCompose(t *testing.T) {
+	t1 := Transform{S: 2, Theta: 0.3, T: Pt(1, 1)}
+	t2 := Transform{S: 0.5, Theta: -1.1, T: Pt(-3, 4)}
+	p := Pt(2.5, -7)
+	want := t2.Apply(t1.Apply(p))
+	got := Compose(t2, t1).Apply(p)
+	if !got.Eq(want, 1e-9) {
+		t.Errorf("Compose = %v, want %v", got, want)
+	}
+}
+
+func TestTransformInverse(t *testing.T) {
+	tr := Transform{S: 3, Theta: 1.2, T: Pt(-5, 2)}
+	inv := tr.Inverse()
+	for _, p := range []Point{Pt(0, 0), Pt(1, 0), Pt(-3, 7)} {
+		if got := inv.Apply(tr.Apply(p)); !got.Eq(p, 1e-9) {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Inverse of zero-scale should panic")
+		}
+	}()
+	(Transform{S: 0}).Inverse()
+}
+
+func TestNormalizeOnto(t *testing.T) {
+	a, b := Pt(2, 3), Pt(5, 7)
+	tr, err := NormalizeOnto(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Apply(a); !got.Eq(Pt(0, 0), 1e-9) {
+		t.Errorf("a maps to %v", got)
+	}
+	if got := tr.Apply(b); !got.Eq(Pt(1, 0), 1e-9) {
+		t.Errorf("b maps to %v", got)
+	}
+	if _, err := NormalizeOnto(a, a); err == nil {
+		t.Error("coincident points should error")
+	}
+}
+
+func TestNormalizeOntoInverse(t *testing.T) {
+	a, b := Pt(-1, 4), Pt(3, -2)
+	tr, _ := NormalizeOnto(a, b)
+	inv := tr.Inverse()
+	if got := inv.Apply(Pt(0, 0)); !got.Eq(a, 1e-9) {
+		t.Errorf("(0,0) maps back to %v, want %v", got, a)
+	}
+	if got := inv.Apply(Pt(1, 0)); !got.Eq(b, 1e-9) {
+		t.Errorf("(1,0) maps back to %v, want %v", got, b)
+	}
+}
+
+// Property: similarity transforms scale all distances by |S|.
+func TestQuickTransformSimilarity(t *testing.T) {
+	f := func(ax, ay, bx, by, s, theta, tx, ty float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 50) }
+		s = math.Mod(math.Abs(s), 10) + 0.1
+		tr := Transform{S: s, Theta: math.Mod(theta, 7), T: Pt(clamp(tx), clamp(ty))}
+		p, q := Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by))
+		d0 := p.Dist(q)
+		d1 := tr.Apply(p).Dist(tr.Apply(q))
+		return almostEq(d1, s*d0, 1e-6*(1+d0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeOnto always lands its anchors on (0,0) and (1,0).
+func TestQuickNormalizeOntoAnchors(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 100) }
+		a, b := Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by))
+		if a.Dist(b) < 1e-6 {
+			return true
+		}
+		tr, err := NormalizeOnto(a, b)
+		if err != nil {
+			return false
+		}
+		return tr.Apply(a).Eq(Pt(0, 0), 1e-7) && tr.Apply(b).Eq(Pt(1, 0), 1e-7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package geom
+
+import "fmt"
+
+// Triangle is a triangle given by its three corners. Triangles are the
+// query ranges of the simplex range-search layer: the envelope difference
+// of §2.5 is decomposed into triangles before being handed to the range
+// structures.
+type Triangle struct {
+	A, B, C Point
+}
+
+// Tri is shorthand for constructing a Triangle.
+func Tri(a, b, c Point) Triangle { return Triangle{a, b, c} }
+
+// SignedArea returns the signed area of t (positive when A,B,C are in
+// counter-clockwise order).
+func (t Triangle) SignedArea() float64 {
+	return t.B.Sub(t.A).Cross(t.C.Sub(t.A)) / 2
+}
+
+// Area returns the absolute area of t.
+func (t Triangle) Area() float64 {
+	a := t.SignedArea()
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// IsDegenerate reports whether the three corners are (nearly) collinear.
+func (t Triangle) IsDegenerate() bool { return Collinear(t.A, t.B, t.C) }
+
+// Bounds returns the axis-aligned bounding box of t.
+func (t Triangle) Bounds() Rect { return RectOf(t.A, t.B, t.C) }
+
+// Contains reports whether p lies inside t or on its boundary,
+// independent of the corner orientation.
+func (t Triangle) Contains(p Point) bool {
+	d1 := t.B.Sub(t.A).Cross(p.Sub(t.A))
+	d2 := t.C.Sub(t.B).Cross(p.Sub(t.B))
+	d3 := t.A.Sub(t.C).Cross(p.Sub(t.C))
+	hasNeg := d1 < -Eps || d2 < -Eps || d3 < -Eps
+	hasPos := d1 > Eps || d2 > Eps || d3 > Eps
+	return !(hasNeg && hasPos)
+}
+
+// ContainsRect reports whether the entire rectangle r lies inside t.
+func (t Triangle) ContainsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return true
+	}
+	for _, c := range r.Corners() {
+		if !t.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsRect reports whether t and r share any point. It is used for
+// subtree pruning in the range-search structures; it may not be exact for
+// degenerate triangles but never returns false for a true intersection.
+func (t Triangle) IntersectsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return false
+	}
+	if !t.Bounds().Intersects(r) {
+		return false
+	}
+	// Any corner containment in either direction settles it.
+	if r.Contains(t.A) || r.Contains(t.B) || r.Contains(t.C) {
+		return true
+	}
+	if t.Contains(r.Min) || t.Contains(r.Max) ||
+		t.Contains(Point{r.Min.X, r.Max.Y}) || t.Contains(Point{r.Max.X, r.Min.Y}) {
+		return true
+	}
+	// Remaining case: an edge of t crosses an edge of r.
+	corners := r.Corners()
+	tEdges := [3]Segment{{t.A, t.B}, {t.B, t.C}, {t.C, t.A}}
+	for i := 0; i < 4; i++ {
+		re := Segment{corners[i], corners[(i+1)%4]}
+		for _, te := range tEdges {
+			if hit, _ := te.Intersect(re); hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (t Triangle) String() string { return fmt.Sprintf("Tri{%v %v %v}", t.A, t.B, t.C) }
+
+// TriangulateEarClip triangulates a simple closed polygon by ear clipping
+// (O(n²)) and returns n-2 triangles. The polygon may be given in either
+// orientation. It returns nil when the input has fewer than 3 vertices.
+func TriangulateEarClip(poly Poly) []Triangle {
+	n := len(poly.Pts)
+	if !poly.Closed || n < 3 {
+		return nil
+	}
+	pts := make([]Point, n)
+	copy(pts, poly.Pts)
+	if poly.SignedArea() < 0 {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			pts[i], pts[j] = pts[j], pts[i]
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out []Triangle
+	guard := 0
+	for len(idx) > 3 && guard < n*n+n {
+		guard++
+		clipped := false
+		m := len(idx)
+		for k := 0; k < m; k++ {
+			ia, ib, ic := idx[(k+m-1)%m], idx[k], idx[(k+1)%m]
+			a, b, c := pts[ia], pts[ib], pts[ic]
+			if Orientation(a, b, c) <= 0 {
+				continue // reflex or degenerate corner
+			}
+			ear := Triangle{a, b, c}
+			ok := true
+			for _, io := range idx {
+				if io == ia || io == ib || io == ic {
+					continue
+				}
+				p := pts[io]
+				if ear.Contains(p) && !p.Eq(a, Eps) && !p.Eq(b, Eps) && !p.Eq(c, Eps) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			out = append(out, ear)
+			idx = append(idx[:k], idx[k+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			// Numerically stuck (nearly collinear ring): emit a fan and stop.
+			break
+		}
+	}
+	if len(idx) >= 3 {
+		for k := 1; k+1 < len(idx); k++ {
+			tr := Triangle{pts[idx[0]], pts[idx[k]], pts[idx[k+1]]}
+			if !tr.IsDegenerate() {
+				out = append(out, tr)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTriangleContains(t *testing.T) {
+	tr := Tri(Pt(0, 0), Pt(4, 0), Pt(0, 4))
+	if !tr.Contains(Pt(1, 1)) {
+		t.Error("(1,1) inside")
+	}
+	if !tr.Contains(Pt(0, 0)) || !tr.Contains(Pt(2, 0)) || !tr.Contains(Pt(2, 2)) {
+		t.Error("boundary points inside")
+	}
+	if tr.Contains(Pt(3, 3)) || tr.Contains(Pt(-1, 0)) {
+		t.Error("outside points reported inside")
+	}
+	// Orientation independence.
+	cw := Tri(Pt(0, 0), Pt(0, 4), Pt(4, 0))
+	if !cw.Contains(Pt(1, 1)) {
+		t.Error("CW triangle containment broken")
+	}
+}
+
+func TestTriangleAreaDegenerate(t *testing.T) {
+	tr := Tri(Pt(0, 0), Pt(4, 0), Pt(0, 3))
+	if !almostEq(tr.Area(), 6, 1e-12) {
+		t.Errorf("Area = %v", tr.Area())
+	}
+	if tr.SignedArea() != 6 {
+		t.Errorf("SignedArea = %v", tr.SignedArea())
+	}
+	flat := Tri(Pt(0, 0), Pt(1, 1), Pt(2, 2))
+	if !flat.IsDegenerate() {
+		t.Error("collinear triangle should be degenerate")
+	}
+	if tr.IsDegenerate() {
+		t.Error("proper triangle reported degenerate")
+	}
+}
+
+func TestTriangleRectPredicates(t *testing.T) {
+	tr := Tri(Pt(0, 0), Pt(10, 0), Pt(0, 10))
+	inside := Rect{Min: Pt(1, 1), Max: Pt(2, 2)}
+	if !tr.ContainsRect(inside) {
+		t.Error("small rect inside triangle")
+	}
+	straddle := Rect{Min: Pt(4, 4), Max: Pt(8, 8)}
+	if tr.ContainsRect(straddle) {
+		t.Error("straddling rect not contained")
+	}
+	if !tr.IntersectsRect(straddle) {
+		t.Error("straddling rect intersects")
+	}
+	far := Rect{Min: Pt(20, 20), Max: Pt(30, 30)}
+	if tr.IntersectsRect(far) {
+		t.Error("far rect does not intersect")
+	}
+	// Rect fully containing the triangle.
+	big := Rect{Min: Pt(-5, -5), Max: Pt(50, 50)}
+	if !tr.IntersectsRect(big) {
+		t.Error("enclosing rect intersects")
+	}
+	// Edge-crossing with no corner containment:
+	// thin rect crossing the hypotenuse region horizontally.
+	cross := Rect{Min: Pt(-1, 4), Max: Pt(11, 5)}
+	if !tr.IntersectsRect(cross) {
+		t.Error("edge-crossing rect intersects")
+	}
+}
+
+func TestTriangulateEarClipConvex(t *testing.T) {
+	sq := unitSquare()
+	tris := TriangulateEarClip(sq)
+	if len(tris) != 2 {
+		t.Fatalf("square triangulation size = %d", len(tris))
+	}
+	var area float64
+	for _, tr := range tris {
+		area += tr.Area()
+	}
+	if !almostEq(area, 1, 1e-9) {
+		t.Errorf("triangulated area = %v", area)
+	}
+}
+
+func TestTriangulateEarClipConcave(t *testing.T) {
+	conc := NewPolygon(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(2, 2), Pt(0, 4))
+	tris := TriangulateEarClip(conc)
+	if len(tris) != 3 {
+		t.Fatalf("concave triangulation size = %d", len(tris))
+	}
+	var area float64
+	for _, tr := range tris {
+		area += tr.Area()
+	}
+	if !almostEq(area, conc.Area(), 1e-9) {
+		t.Errorf("triangulated area = %v, want %v", area, conc.Area())
+	}
+	// CW input must work too.
+	trisCW := TriangulateEarClip(conc.Reverse())
+	if len(trisCW) != 3 {
+		t.Errorf("CW triangulation size = %d", len(trisCW))
+	}
+}
+
+func TestTriangulateEarClipRandomStars(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		p := randomStarPolygon(rng, 6+rng.Intn(20))
+		tris := TriangulateEarClip(p)
+		if len(tris) != len(p.Pts)-2 {
+			t.Fatalf("trial %d: %d triangles for %d vertices", trial, len(tris), len(p.Pts))
+		}
+		var area float64
+		for _, tr := range tris {
+			area += tr.Area()
+		}
+		if !almostEq(area, p.Area(), 1e-6*(1+p.Area())) {
+			t.Fatalf("trial %d: area %v != %v", trial, area, p.Area())
+		}
+	}
+}
+
+func TestTriangulateDegenerateInputs(t *testing.T) {
+	if got := TriangulateEarClip(NewPolyline(Pt(0, 0), Pt(1, 1))); got != nil {
+		t.Error("open chain should not triangulate")
+	}
+	if got := TriangulateEarClip(NewPolygon(Pt(0, 0), Pt(1, 1))); got != nil {
+		t.Error("2-gon should not triangulate")
+	}
+}
+
+// randomStarPolygon builds a simple star-shaped polygon with n vertices by
+// choosing random radii at sorted angles around the origin.
+func randomStarPolygon(rng *rand.Rand, n int) Poly {
+	pts := make([]Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		r := 1 + 4*rng.Float64()
+		pts[i] = Pt(r*math.Cos(a), r*math.Sin(a))
+	}
+	return NewPolygon(pts...)
+}

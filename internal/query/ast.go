@@ -1,0 +1,139 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a topological query expression (§5.1): similarity and
+// topological operators combined with intersection, union, and
+// complement.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// SimilarOp is similar(Q).
+type SimilarOp struct {
+	Name string // shape binding name (for display)
+}
+
+// TopoOp is r(Q1, Q2, θ).
+type TopoOp struct {
+	Rel   Rel
+	Name1 string
+	Name2 string
+	Theta Angle
+}
+
+// AndExpr is P1 ∩ P2.
+type AndExpr struct{ L, R Expr }
+
+// OrExpr is P1 ∪ P2.
+type OrExpr struct{ L, R Expr }
+
+// NotExpr is COMPLEMENT(P).
+type NotExpr struct{ X Expr }
+
+func (SimilarOp) exprNode() {}
+func (TopoOp) exprNode()    {}
+func (AndExpr) exprNode()   {}
+func (OrExpr) exprNode()    {}
+func (NotExpr) exprNode()   {}
+
+func (e SimilarOp) String() string { return fmt.Sprintf("similar(%s)", e.Name) }
+
+func (e TopoOp) String() string {
+	th := "any"
+	if !e.Theta.Any {
+		th = fmt.Sprintf("%.4g", e.Theta.Rad)
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", e.Rel, e.Name1, e.Name2, th)
+}
+
+func (e AndExpr) String() string { return fmt.Sprintf("(%s AND %s)", e.L, e.R) }
+func (e OrExpr) String() string  { return fmt.Sprintf("(%s OR %s)", e.L, e.R) }
+func (e NotExpr) String() string { return fmt.Sprintf("NOT %s", e.X) }
+
+// Literal is an operator or its complement, the atom of a DNF conjunct.
+type Literal struct {
+	Op  Expr // SimilarOp or TopoOp
+	Neg bool
+}
+
+func (l Literal) String() string {
+	if l.Neg {
+		return "NOT " + l.Op.String()
+	}
+	return l.Op.String()
+}
+
+// Conjunct is an intersection of literals.
+type Conjunct []Literal
+
+func (c Conjunct) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// ToDNF rewrites an expression into disjunctive normal form
+// t₁ ∪ t₂ ∪ … ∪ tₙ where each tᵢ intersects operators and complements of
+// operators (§5.4).
+func ToDNF(e Expr) []Conjunct {
+	switch v := e.(type) {
+	case SimilarOp, TopoOp:
+		return []Conjunct{{Literal{Op: v}}}
+	case NotExpr:
+		return negDNF(v.X)
+	case AndExpr:
+		l := ToDNF(v.L)
+		r := ToDNF(v.R)
+		var out []Conjunct
+		for _, a := range l {
+			for _, b := range r {
+				c := make(Conjunct, 0, len(a)+len(b))
+				c = append(c, a...)
+				c = append(c, b...)
+				out = append(out, c)
+			}
+		}
+		return out
+	case OrExpr:
+		return append(ToDNF(v.L), ToDNF(v.R)...)
+	default:
+		return nil
+	}
+}
+
+// negDNF returns the DNF of NOT e, pushing the complement inward with De
+// Morgan's laws.
+func negDNF(e Expr) []Conjunct {
+	switch v := e.(type) {
+	case SimilarOp, TopoOp:
+		return []Conjunct{{Literal{Op: v, Neg: true}}}
+	case NotExpr:
+		return ToDNF(v.X)
+	case AndExpr:
+		// ¬(L ∧ R) = ¬L ∨ ¬R
+		return append(negDNF(v.L), negDNF(v.R)...)
+	case OrExpr:
+		// ¬(L ∨ R) = ¬L ∧ ¬R
+		l := negDNF(v.L)
+		r := negDNF(v.R)
+		var out []Conjunct
+		for _, a := range l {
+			for _, b := range r {
+				c := make(Conjunct, 0, len(a)+len(b))
+				c = append(c, a...)
+				c = append(c, b...)
+				out = append(out, c)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"repro/internal/geom"
+)
+
+// GraphEdge is a labeled edge (v1, v2, label) of an image graph G_I:
+// v1 →contain v2 means shape v1 contains shape v2; v1 →overlap v2 means
+// they overlap (stored once with From < To, semantically symmetric).
+type GraphEdge struct {
+	From, To int // shape ids (base-wide)
+	Label    Rel
+}
+
+// ImageGraph is the directed labeled graph G_I = (V_I, E_I) maintained
+// per image (§5): vertices are the image's shapes, edges record contain
+// and overlap; disjoint pairs have no edge.
+type ImageGraph struct {
+	Image  int
+	Shapes []int // shape ids in this image
+	Edges  []GraphEdge
+
+	// adjacency: per shape id, the edges touching it.
+	adj map[int][]GraphEdge
+}
+
+// BuildImageGraph computes G_I from the image's shapes. shapeIDs[i] is
+// the base-wide id of polys[i].
+func BuildImageGraph(image int, shapeIDs []int, polys []geom.Poly) *ImageGraph {
+	g := &ImageGraph{
+		Image:  image,
+		Shapes: append([]int(nil), shapeIDs...),
+		adj:    make(map[int][]GraphEdge),
+	}
+	for i := 0; i < len(polys); i++ {
+		for j := 0; j < len(polys); j++ {
+			if i == j {
+				continue
+			}
+			if Contains(polys[i], polys[j]) {
+				g.addEdge(GraphEdge{From: shapeIDs[i], To: shapeIDs[j], Label: RelContain})
+			}
+		}
+	}
+	for i := 0; i < len(polys); i++ {
+		for j := i + 1; j < len(polys); j++ {
+			if Overlaps(polys[i], polys[j]) {
+				g.addEdge(GraphEdge{From: shapeIDs[i], To: shapeIDs[j], Label: RelOverlap})
+			}
+		}
+	}
+	return g
+}
+
+func (g *ImageGraph) addEdge(e GraphEdge) {
+	g.Edges = append(g.Edges, e)
+	g.adj[e.From] = append(g.adj[e.From], e)
+	if e.Label == RelOverlap {
+		// Overlap is symmetric: index it from both endpoints.
+		g.adj[e.To] = append(g.adj[e.To], e)
+	} else {
+		g.adj[e.To] = append(g.adj[e.To], e)
+	}
+}
+
+// Related returns the shape ids related to shape s by rel, honoring
+// direction for contain: RelContain yields the shapes s contains;
+// the reverse direction is exposed by RelatedBy.
+func (g *ImageGraph) Related(s int, rel Rel) []int {
+	var out []int
+	for _, e := range g.adj[s] {
+		if e.Label != rel {
+			continue
+		}
+		switch rel {
+		case RelContain:
+			if e.From == s {
+				out = append(out, e.To)
+			}
+		default: // overlap: symmetric
+			if e.From == s {
+				out = append(out, e.To)
+			} else if e.To == s {
+				out = append(out, e.From)
+			}
+		}
+	}
+	return out
+}
+
+// RelatedBy returns, for RelContain, the shapes that contain s (the
+// reverse edges); for symmetric relations it equals Related.
+func (g *ImageGraph) RelatedBy(s int, rel Rel) []int {
+	if rel != RelContain {
+		return g.Related(s, rel)
+	}
+	var out []int
+	for _, e := range g.adj[s] {
+		if e.Label == RelContain && e.To == s {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// DisjointPairs enumerates the unordered shape pairs of the image with no
+// edge between them (the implicit disjoint relation).
+func (g *ImageGraph) DisjointPairs() [][2]int {
+	related := make(map[[2]int]bool)
+	for _, e := range g.Edges {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		related[[2]int{a, b}] = true
+	}
+	var out [][2]int
+	for i := 0; i < len(g.Shapes); i++ {
+		for j := i + 1; j < len(g.Shapes); j++ {
+			a, b := g.Shapes[i], g.Shapes[j]
+			if a > b {
+				a, b = b, a
+			}
+			if !related[[2]int{a, b}] {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Open polylines participate in topology: they cannot contain, but they
+// can overlap (cross) closed shapes and each other.
+func TestTopologyWithOpenShapes(t *testing.T) {
+	box := sq(0, 0, 10)
+	crossing := geom.NewPolyline(geom.Pt(-2, 5), geom.Pt(12, 5)) // crosses the box
+	apart := geom.NewPolyline(geom.Pt(20, 0), geom.Pt(25, 5))
+
+	if Contains(crossing, box) {
+		t.Error("open chain cannot contain")
+	}
+	if !Overlaps(box, crossing) || !Overlaps(crossing, box) {
+		t.Error("chain crossing the box boundary overlaps it")
+	}
+	if !Disjoint(box, apart) {
+		t.Error("far chain is disjoint")
+	}
+	// Chain fully inside the box: all its vertices are inside and no
+	// boundary crossing — that is containment, not overlap.
+	inside := geom.NewPolyline(geom.Pt(2, 2), geom.Pt(8, 8))
+	if !Contains(box, inside) {
+		t.Error("box should contain the interior chain")
+	}
+	if Overlaps(box, inside) {
+		t.Error("containment is not overlap")
+	}
+}
+
+func TestImageGraphWithOpenShapes(t *testing.T) {
+	box := sq(0, 0, 10)
+	chain := geom.NewPolyline(geom.Pt(-2, 5), geom.Pt(12, 5))
+	g := BuildImageGraph(0, []int{0, 1}, []geom.Poly{box, chain})
+	if got := g.Related(0, RelOverlap); len(got) != 1 || got[0] != 1 {
+		t.Errorf("box overlap partners = %v", got)
+	}
+	if got := g.Related(1, RelContain); len(got) != 0 {
+		t.Errorf("open chain contains %v", got)
+	}
+}
+
+func TestDBWithOpenShapeQueries(t *testing.T) {
+	db := NewDB(DefaultOptions())
+	if err := db.AddImage(0, []geom.Poly{
+		sq(0, 0, 10),
+		geom.NewPolyline(geom.Pt(-2, 5), geom.Pt(12, 5)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddImage(1, []geom.Poly{
+		geom.NewPolyline(geom.Pt(0, 0), geom.Pt(10, 0)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	binds := Bindings{
+		"line": geom.NewPolyline(geom.Pt(0, 0), geom.Pt(7, 0)),
+		"box":  sq(0, 0, 4),
+	}
+	// Lines appear in both images.
+	set, _, err := db.EvalString("similar(line)", binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Sorted(); len(got) != 2 {
+		t.Fatalf("similar(line) = %v", got)
+	}
+	// A box overlapping a line: only image 0.
+	set, _, err = db.EvalString("overlap(box, line, any)", binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Sorted(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("overlap(box,line) = %v", got)
+	}
+}
+
+func TestEstimatorAccessors(t *testing.T) {
+	e := NewEstimator(500)
+	if e.C() <= 0 {
+		t.Errorf("C = %v", e.C())
+	}
+	if e.Observations() != 1 {
+		t.Errorf("seed observations = %d", e.Observations())
+	}
+	e.Observe(sq(0, 0, 1), 10)
+	if e.Observations() != 2 {
+		t.Errorf("after observe = %d", e.Observations())
+	}
+	// Degenerate queries don't poison the estimator.
+	e.Observe(geom.Poly{}, 3)
+	if e.Observations() != 2 {
+		t.Error("degenerate observation should be ignored")
+	}
+}

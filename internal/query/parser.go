@@ -1,0 +1,203 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds an Expr from a textual query. Grammar (case-insensitive
+// keywords):
+//
+//	expr    := term ( ("OR" | "∪") term )*
+//	term    := factor ( ("AND" | "∩") factor )*
+//	factor  := ("NOT" | "COMPLEMENT") factor | "(" expr ")" | op
+//	op      := "similar" "(" name ")"
+//	        |  rel "(" name "," name ["," angle] ")"
+//	rel     := "contain" | "overlap" | "disjoint"
+//	angle   := "any" | float-radians
+//
+// Names refer to query shapes the caller binds at evaluation time; Parse
+// only records them.
+func Parse(src string) (Expr, error) {
+	p := &parser{toks: lex(src)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("query: unexpected %q after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("query: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+func keyword(t string) string { return strings.ToLower(t) }
+
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		k := keyword(p.peek())
+		if k != "or" && p.peek() != "∪" {
+			break
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		k := keyword(p.peek())
+		if k != "and" && p.peek() != "∩" {
+			break
+		}
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("query: unexpected end of input")
+	}
+	switch keyword(p.peek()) {
+	case "not", "complement":
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{X: x}, nil
+	}
+	if p.peek() == "(" {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseOp()
+}
+
+func (p *parser) parseOp() (Expr, error) {
+	name := keyword(p.next())
+	switch name {
+	case "similar":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		arg := p.next()
+		if arg == "" || arg == ")" {
+			return nil, fmt.Errorf("query: similar() needs a shape name")
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return SimilarOp{Name: arg}, nil
+	case "contain", "overlap", "disjoint":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		n1 := p.next()
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		n2 := p.next()
+		theta := AnyAngle()
+		if p.peek() == "," {
+			p.next()
+			av := p.next()
+			if keyword(av) != "any" {
+				rad, err := strconv.ParseFloat(av, 64)
+				if err != nil {
+					return nil, fmt.Errorf("query: bad angle %q: %w", av, err)
+				}
+				theta = AngleOf(rad)
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return TopoOp{Rel: Rel(name), Name1: n1, Name2: n2, Theta: theta}, nil
+	default:
+		return nil, fmt.Errorf("query: unknown operator %q", name)
+	}
+}
+
+// lex splits the source into identifier/number/punct tokens.
+func lex(src string) []string {
+	var toks []string
+	i := 0
+	rs := []rune(src)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(' || r == ')' || r == ',' || r == '∩' || r == '∪':
+			toks = append(toks, string(r))
+			i++
+		default:
+			j := i
+			for j < len(rs) {
+				c := rs[j]
+				if unicode.IsSpace(c) || c == '(' || c == ')' || c == ',' || c == '∩' || c == '∪' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, string(rs[i:j]))
+			i = j
+		}
+	}
+	return toks
+}

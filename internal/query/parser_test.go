@@ -1,0 +1,170 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParsePrecedenceAndBindsTighter(t *testing.T) {
+	// a OR b AND c must parse as a OR (b AND c).
+	e, err := Parse("similar(a) OR similar(b) AND similar(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := e.(OrExpr)
+	if !ok {
+		t.Fatalf("top is %T, want OrExpr", e)
+	}
+	if _, ok := or.L.(SimilarOp); !ok {
+		t.Errorf("left of OR is %T", or.L)
+	}
+	if _, ok := or.R.(AndExpr); !ok {
+		t.Errorf("right of OR is %T", or.R)
+	}
+}
+
+func TestParseParensOverridePrecedence(t *testing.T) {
+	e, err := Parse("(similar(a) OR similar(b)) AND similar(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := e.(AndExpr)
+	if !ok {
+		t.Fatalf("top is %T, want AndExpr", e)
+	}
+	if _, ok := and.L.(OrExpr); !ok {
+		t.Errorf("left of AND is %T, want OrExpr", and.L)
+	}
+}
+
+func TestParseNotChain(t *testing.T) {
+	e, err := Parse("NOT NOT NOT similar(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		ne, ok := e.(NotExpr)
+		if !ok {
+			break
+		}
+		n++
+		e = ne.X
+	}
+	if n != 3 {
+		t.Errorf("NOT depth = %d", n)
+	}
+	if _, ok := e.(SimilarOp); !ok {
+		t.Errorf("innermost is %T", e)
+	}
+}
+
+func TestParseUnicodeOperators(t *testing.T) {
+	e, err := Parse("similar(a) ∩ similar(b) ∪ similar(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(OrExpr); !ok {
+		t.Fatalf("∪ should act as OR: %T", e)
+	}
+	// COMPLEMENT keyword parses like NOT.
+	e, err = Parse("COMPLEMENT(similar(a))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(NotExpr); !ok {
+		t.Fatalf("COMPLEMENT should act as NOT: %T", e)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	for _, src := range []string{
+		"Similar(a) And Not Overlap(b, c, ANY)",
+		"SIMILAR(a) AND NOT OVERLAP(b, c, any)",
+	} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		and, ok := e.(AndExpr)
+		if !ok {
+			t.Fatalf("%q: top %T", src, e)
+		}
+		if _, ok := and.R.(NotExpr); !ok {
+			t.Fatalf("%q: right %T", src, and.R)
+		}
+	}
+}
+
+func TestParseNegativeAngle(t *testing.T) {
+	e, err := Parse("contain(a, b, -1.5708)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := e.(TopoOp)
+	if op.Theta.Any || math.Abs(op.Theta.Rad+1.5708) > 1e-9 {
+		t.Errorf("theta = %+v", op.Theta)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e, err := Parse("NOT (similar(a) AND overlap(b, c, 0.5))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	// The rendering must itself re-parse to an equivalent DNF.
+	e2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s, err)
+	}
+	d1 := ToDNF(e)
+	d2 := ToDNF(e2)
+	if len(d1) != len(d2) {
+		t.Fatalf("round-trip DNF sizes: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i].String() != d2[i].String() {
+			t.Errorf("conjunct %d: %q vs %q", i, d1[i].String(), d2[i].String())
+		}
+	}
+}
+
+func TestDNFComplexExpression(t *testing.T) {
+	// ¬((a ∨ b) ∧ c) = ¬a∧¬c? No: = (¬a ∧ ¬b) ∨ ¬c.
+	e, err := Parse("NOT ((similar(a) OR similar(b)) AND similar(c))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnf := ToDNF(e)
+	// negDNF(AndExpr) = negDNF(L) ∪ negDNF(R):
+	// negDNF(a∨b) = [¬a ∧ ¬b]; negDNF(c) = [¬c]  → 2 conjuncts.
+	if len(dnf) != 2 {
+		t.Fatalf("DNF = %v", dnf)
+	}
+	if len(dnf[0]) != 2 || !dnf[0][0].Neg || !dnf[0][1].Neg {
+		t.Errorf("first conjunct = %v", dnf[0])
+	}
+	if len(dnf[1]) != 1 || !dnf[1][0].Neg {
+		t.Errorf("second conjunct = %v", dnf[1])
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lex("similar(a)∩overlap(b,c)")
+	want := []string{"similar", "(", "a", ")", "∩", "overlap", "(", "b", ",", "c", ")"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+	if got := lex("   "); len(got) != 0 {
+		t.Errorf("whitespace lexes to %v", got)
+	}
+}

@@ -1,0 +1,110 @@
+// Package query implements the topological query processor of §5:
+// per-image shape graphs with contain/overlap edges, the similarity and
+// topological operators, the significant-vertex selectivity estimator,
+// a small query language with union / intersection / COMPLEMENT, DNF
+// rewriting, and a selectivity-driven execution planner.
+package query
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Rel names a topological relation between two shapes.
+type Rel string
+
+// The topological relations of §5.1.
+const (
+	RelContain  Rel = "contain"
+	RelOverlap  Rel = "overlap"
+	RelDisjoint Rel = "disjoint"
+)
+
+// Contains reports g_contain(a, b): a is a closed shape whose interior
+// contains every point of b, with no boundary crossing.
+func Contains(a, b geom.Poly) bool {
+	if !a.Closed {
+		return false
+	}
+	for _, v := range b.Pts {
+		if !a.ContainsPoint(v) {
+			return false
+		}
+	}
+	// A vertex-inclusion test is not enough if boundaries cross.
+	return !boundariesCross(a, b)
+}
+
+// Overlaps reports g_overlap(a, b): the boundaries intersect, and neither
+// shape contains the other (that would be contain, not overlap).
+func Overlaps(a, b geom.Poly) bool {
+	if !boundariesCross(a, b) {
+		return false
+	}
+	return !Contains(a, b) && !Contains(b, a)
+}
+
+// Disjoint reports g_disjoint(a, b): no boundary intersection and no
+// containment either way (§5.1: "there is no edge between shapes that
+// are disjoint").
+func Disjoint(a, b geom.Poly) bool {
+	return !boundariesCross(a, b) && !Contains(a, b) && !Contains(b, a)
+}
+
+func boundariesCross(a, b geom.Poly) bool {
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return false
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		ea := a.Edge(i)
+		for j := 0; j < b.NumEdges(); j++ {
+			if hit, _ := ea.Intersect(b.Edge(j)); hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Angle is the θ argument of a topological predicate: either a specific
+// signed angle between the two shapes' diameters, or "any".
+type Angle struct {
+	Any bool
+	Rad float64 // in [-2π, 2π] per §5.1; normalized internally
+}
+
+// AnyAngle matches any diameter angle.
+func AnyAngle() Angle { return Angle{Any: true} }
+
+// AngleOf builds a specific-angle constraint.
+func AngleOf(rad float64) Angle { return Angle{Rad: rad} }
+
+// normRad maps an angle to (-π, π].
+func normRad(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Matches reports whether the signed angle between two diameters
+// satisfies the constraint within tol radians.
+func (a Angle) Matches(angle, tol float64) bool {
+	if a.Any {
+		return true
+	}
+	d := math.Abs(normRad(angle - normRad(a.Rad)))
+	return d <= tol
+}
+
+// DiameterAngleBetween returns the ordered signed angle between the
+// diameters of two shapes given their diameter orientations in image
+// coordinates (§5.3: apply the inverse normalization transforms to the
+// vector ((0,0),(1,0)) and take the ordered signed angle).
+func DiameterAngleBetween(ang1, ang2 float64) float64 {
+	return normRad(ang2 - ang1)
+}

@@ -1,0 +1,106 @@
+package query
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// SignificantVertices computes V_S(Q) of §5.2 on the diameter-normalized
+// query shape:
+//
+//	V_S(Q) = ½ Σᵢ [ (π−αᵢ)·αᵢ·4/π² + (l₍ᵢ₋₁₎ + lᵢ)/2 ]
+//
+// where αᵢ is the interior angle at vertex i (0 for chain endpoints,
+// whose "angle" is degenerate) and lᵢ the length of the i-th edge in
+// normalized units (diameter = 1). Each vertex contributes a term in
+// [0, 1]: 1 is attained by a right angle whose adjacent edges both have
+// diameter length. Degenerate vertices (angle near 0 or π, short edges)
+// contribute little — V_S counts the structurally dominating vertices.
+func SignificantVertices(q geom.Poly) float64 {
+	e, err := core.NormalizeCanonical(q)
+	if err != nil {
+		return 0
+	}
+	p := e.Poly
+	n := len(p.Pts)
+	if n < 2 {
+		return 0
+	}
+	edgeLen := func(i int) float64 {
+		if p.Closed {
+			return p.Edge(((i % n) + n) % n).Length()
+		}
+		if i < 0 || i >= n-1 {
+			return 0 // beyond an open chain's ends
+		}
+		return p.Edge(i).Length()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var alpha float64
+		if p.Closed {
+			alpha = geom.InteriorAngle(p.Pts[(i+n-1)%n], p.Pts[i], p.Pts[(i+1)%n])
+		} else if i > 0 && i < n-1 {
+			alpha = geom.InteriorAngle(p.Pts[i-1], p.Pts[i], p.Pts[i+1])
+		} else {
+			alpha = 0 // endpoint of an open chain
+		}
+		angleTerm := (math.Pi - alpha) * alpha * 4 / (math.Pi * math.Pi)
+		lenTerm := (edgeLen(i-1) + edgeLen(i)) / 2
+		sum += 0.5 * (angleTerm + lenTerm)
+	}
+	return sum
+}
+
+// Estimator predicts the size of shape_similar(Q) as c / V_S(Q) (§5.2:
+// the result size is experimentally inversely proportional to the number
+// of significant vertices). The constant c depends on the shape base and
+// domain and is "adapted statistically every time a query is performed":
+// Observe folds each measured (V_S, result size) pair into a running
+// average of c = size·V_S.
+type Estimator struct {
+	c float64
+	n int
+}
+
+// NewEstimator seeds the constant from the base size: a fresh estimator
+// guesses that an average query (V_S ≈ 5) matches about 1% of the base.
+func NewEstimator(baseShapes int) *Estimator {
+	c := 0.01 * float64(baseShapes) * 5
+	if c <= 0 {
+		c = 1
+	}
+	return &Estimator{c: c, n: 1}
+}
+
+// C returns the current constant.
+func (e *Estimator) C() float64 { return e.c }
+
+// Estimate returns the predicted size of shape_similar(Q).
+func (e *Estimator) Estimate(q geom.Poly) float64 {
+	vs := SignificantVertices(q)
+	if vs <= 0 {
+		return e.c
+	}
+	return e.c / vs
+}
+
+// Observe adapts the constant with the measured result size of a
+// completed query.
+func (e *Estimator) Observe(q geom.Poly, resultSize int) {
+	vs := SignificantVertices(q)
+	if vs <= 0 {
+		return
+	}
+	obs := float64(resultSize) * vs
+	// Running mean over all observations (the seed counts as one).
+	e.c = (e.c*float64(e.n) + obs) / float64(e.n+1)
+	e.n++
+}
+
+// Observations returns how many (seed-inclusive) observations the
+// estimator has folded in — exposed so the planner's memoization can be
+// verified (each index retrieval observes exactly once).
+func (e *Estimator) Observations() int { return e.n }

@@ -1,0 +1,217 @@
+package rangesearch
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Layered is a layered range tree with fractional cascading.
+//
+// The primary tree is a balanced BST over the points sorted by x
+// (implicit: a node covers a contiguous slice of the x-sorted order and
+// splits at its midpoint). Every node stores the y-sorted sequence of the
+// points in its subtree together with *bridge counters*: cntL[p] is the
+// number of elements among the first p entries of the node's y-array that
+// belong to the left child. A query therefore performs its two binary
+// searches (lower bound of y₁, upper bound of y₂) once, at the root, and
+// then walks down following the counters in O(1) per node — the classic
+// fractional-cascading trick that turns O(log²n) orthogonal queries into
+// O(log n + k).
+//
+// Triangle queries report the points in the triangle's bounding rectangle
+// and filter them through the exact point-in-triangle predicate.
+type Layered struct {
+	pts   []geom.Point // original points (by original id)
+	nodes []ltNode
+	root  int32
+}
+
+type ltNode struct {
+	left, right int32 // child node indices; -1 for none
+	minX, maxX  float64
+	ys          []float64 // y-sorted values of the subtree's points
+	ids         []int32   // original point id per y-array position
+	cntL        []int32   // cntL[p] = #left-child elements among ys[:p]; len = len(ys)+1
+}
+
+// NewLayered builds the structure in O(n log n) time and O(n log n) space.
+func NewLayered(pts []geom.Point) *Layered {
+	t := &Layered{pts: append([]geom.Point(nil), pts...)}
+	n := len(pts)
+	if n == 0 {
+		t.root = -1
+		return t
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	t.nodes = make([]ltNode, 0, 2*n)
+	t.root = t.build(order)
+	return t
+}
+
+// build constructs the subtree over the x-ordered ids and returns its node
+// index. Each node's y-array is produced by merging its children's
+// y-arrays, which also yields the bridge counters for free.
+func (t *Layered) build(order []int32) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, ltNode{left: -1, right: -1})
+
+	n := len(order)
+	nd := ltNode{left: -1, right: -1}
+	nd.minX = t.pts[order[0]].X
+	nd.maxX = t.pts[order[n-1]].X
+
+	if n == 1 {
+		nd.ys = []float64{t.pts[order[0]].Y}
+		nd.ids = []int32{order[0]}
+		nd.cntL = []int32{0, 0}
+		t.nodes[idx] = nd
+		return idx
+	}
+
+	mid := n / 2
+	nd.left = t.build(order[:mid])
+	nd.right = t.build(order[mid:])
+
+	l, r := &t.nodes[nd.left], &t.nodes[nd.right]
+	total := len(l.ys) + len(r.ys)
+	nd.ys = make([]float64, 0, total)
+	nd.ids = make([]int32, 0, total)
+	nd.cntL = make([]int32, 0, total+1)
+	li, ri := 0, 0
+	nd.cntL = append(nd.cntL, 0)
+	for li < len(l.ys) || ri < len(r.ys) {
+		takeLeft := ri >= len(r.ys) || (li < len(l.ys) && l.ys[li] <= r.ys[ri])
+		if takeLeft {
+			nd.ys = append(nd.ys, l.ys[li])
+			nd.ids = append(nd.ids, l.ids[li])
+			li++
+		} else {
+			nd.ys = append(nd.ys, r.ys[ri])
+			nd.ids = append(nd.ids, r.ids[ri])
+			ri++
+		}
+		nd.cntL = append(nd.cntL, int32(li))
+	}
+	t.nodes[idx] = nd
+	return idx
+}
+
+// Len implements Backend.
+func (t *Layered) Len() int { return len(t.pts) }
+
+// lowerBound returns the first index p with ys[p] >= v.
+func lowerBound(ys []float64, v float64) int32 {
+	lo, hi := 0, len(ys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ys[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// upperBound returns the first index p with ys[p] > v.
+func upperBound(ys []float64, v float64) int32 {
+	lo, hi := 0, len(ys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ys[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// query walks the tree once; emit is called with (node, p1, p2) for every
+// canonical node, where [p1, p2) is the y-range slice within that node.
+func (t *Layered) query(r geom.Rect, emit func(nd *ltNode, p1, p2 int32)) {
+	if t.root < 0 || r.IsEmpty() {
+		return
+	}
+	root := &t.nodes[t.root]
+	p1 := lowerBound(root.ys, r.Min.Y)
+	p2 := upperBound(root.ys, r.Max.Y)
+	t.descend(t.root, r, p1, p2, emit)
+}
+
+func (t *Layered) descend(ni int32, r geom.Rect, p1, p2 int32, emit func(nd *ltNode, p1, p2 int32)) {
+	if ni < 0 || p1 >= p2 {
+		return
+	}
+	nd := &t.nodes[ni]
+	if nd.maxX < r.Min.X || nd.minX > r.Max.X {
+		return
+	}
+	if r.Min.X <= nd.minX && nd.maxX <= r.Max.X {
+		emit(nd, p1, p2)
+		return
+	}
+	if nd.left < 0 { // single point not fully inside on x
+		p := t.pts[nd.ids[0]]
+		if r.Contains(p) {
+			emit(nd, 0, 1)
+		}
+		return
+	}
+	// Cascade the y-pointers into both children using the bridge counters.
+	l1, l2 := nd.cntL[p1], nd.cntL[p2]
+	r1, r2 := p1-l1, p2-l2
+	t.descend(nd.left, r, l1, l2, emit)
+	t.descend(nd.right, r, r1, r2, emit)
+}
+
+// CountRect implements Backend.
+func (t *Layered) CountRect(r geom.Rect) int {
+	n := 0
+	t.query(r, func(_ *ltNode, p1, p2 int32) { n += int(p2 - p1) })
+	return n
+}
+
+// ReportRect implements Backend.
+func (t *Layered) ReportRect(r geom.Rect, fn func(id int)) {
+	t.query(r, func(nd *ltNode, p1, p2 int32) {
+		for i := p1; i < p2; i++ {
+			fn(int(nd.ids[i]))
+		}
+	})
+}
+
+// CountTriangle implements Backend.
+func (t *Layered) CountTriangle(tr geom.Triangle) int {
+	n := 0
+	t.query(tr.Bounds(), func(nd *ltNode, p1, p2 int32) {
+		for i := p1; i < p2; i++ {
+			if tr.Contains(t.pts[nd.ids[i]]) {
+				n++
+			}
+		}
+	})
+	return n
+}
+
+// ReportTriangle implements Backend.
+func (t *Layered) ReportTriangle(tr geom.Triangle, fn func(id int)) {
+	t.query(tr.Bounds(), func(nd *ltNode, p1, p2 int32) {
+		for i := p1; i < p2; i++ {
+			if id := nd.ids[i]; tr.Contains(t.pts[id]) {
+				fn(int(id))
+			}
+		}
+	})
+}

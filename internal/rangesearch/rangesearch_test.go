@@ -1,0 +1,237 @@
+package rangesearch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n int, scale float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*scale, rng.Float64()*scale)
+	}
+	return pts
+}
+
+func randomRect(rng *rand.Rand, scale float64) geom.Rect {
+	a := geom.Pt(rng.Float64()*scale, rng.Float64()*scale)
+	b := geom.Pt(rng.Float64()*scale, rng.Float64()*scale)
+	return geom.RectOf(a, b)
+}
+
+func randomTriangle(rng *rand.Rand, scale float64) geom.Triangle {
+	return geom.Tri(
+		geom.Pt(rng.Float64()*scale, rng.Float64()*scale),
+		geom.Pt(rng.Float64()*scale, rng.Float64()*scale),
+		geom.Pt(rng.Float64()*scale, rng.Float64()*scale),
+	)
+}
+
+func collect(report func(fn func(id int))) []int {
+	var out []int
+	report(func(id int) { out = append(out, id) })
+	sort.Ints(out)
+	return out
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewKinds(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}
+	if _, ok := New(KindBrute, pts).(*Brute); !ok {
+		t.Error("KindBrute")
+	}
+	if _, ok := New(KindKDTree, pts).(*KDTree); !ok {
+		t.Error("KindKDTree")
+	}
+	if _, ok := New(KindLayered, pts).(*Layered); !ok {
+		t.Error("KindLayered")
+	}
+	if _, ok := New(Kind("bogus"), pts).(*Brute); !ok {
+		t.Error("unknown kind should fall back to brute")
+	}
+}
+
+func TestEmptyBackends(t *testing.T) {
+	for _, kind := range []Kind{KindBrute, KindKDTree, KindLayered} {
+		b := New(kind, nil)
+		if b.Len() != 0 {
+			t.Errorf("%s: Len = %d", kind, b.Len())
+		}
+		r := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+		if b.CountRect(r) != 0 {
+			t.Errorf("%s: CountRect on empty", kind)
+		}
+		if b.CountTriangle(geom.Tri(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1))) != 0 {
+			t.Errorf("%s: CountTriangle on empty", kind)
+		}
+		b.ReportRect(r, func(int) { t.Errorf("%s: reported from empty", kind) })
+	}
+}
+
+func TestBackendsSmallFixed(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(1, 1),
+		geom.Pt(0.5, 0.5), geom.Pt(2, 2), geom.Pt(-1, -1),
+	}
+	r := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	tri := geom.Tri(geom.Pt(-0.1, -0.1), geom.Pt(1.2, -0.1), geom.Pt(-0.1, 1.2))
+	for _, kind := range []Kind{KindBrute, KindKDTree, KindLayered} {
+		b := New(kind, pts)
+		if got := b.CountRect(r); got != 5 {
+			t.Errorf("%s: CountRect = %d, want 5", kind, got)
+		}
+		// Triangle with vertices (-.1,-.1),(1.2,-.1),(-.1,1.2): contains
+		// (0,0),(1,0),(0,1),(0.5,0.5) but not (1,1).
+		if got := b.CountTriangle(tri); got != 4 {
+			t.Errorf("%s: CountTriangle = %d, want 4", kind, got)
+		}
+	}
+}
+
+func TestBackendsAgreeOnRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 6; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(400), 10)
+		oracle := NewBrute(pts)
+		kd := NewKDTree(pts)
+		lt := NewLayered(pts)
+		for q := 0; q < 60; q++ {
+			r := randomRect(rng, 10)
+			want := oracle.CountRect(r)
+			if got := kd.CountRect(r); got != want {
+				t.Fatalf("kd CountRect = %d, want %d", got, want)
+			}
+			if got := lt.CountRect(r); got != want {
+				t.Fatalf("layered CountRect = %d, want %d", got, want)
+			}
+			wantIDs := collect(func(fn func(int)) { oracle.ReportRect(r, fn) })
+			if got := collect(func(fn func(int)) { kd.ReportRect(r, fn) }); !sameIDs(got, wantIDs) {
+				t.Fatalf("kd ReportRect mismatch")
+			}
+			if got := collect(func(fn func(int)) { lt.ReportRect(r, fn) }); !sameIDs(got, wantIDs) {
+				t.Fatalf("layered ReportRect mismatch: got %v want %v", got, wantIDs)
+			}
+		}
+	}
+}
+
+func TestBackendsAgreeOnTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		pts := randomPoints(rng, 1+rng.Intn(400), 10)
+		oracle := NewBrute(pts)
+		kd := NewKDTree(pts)
+		lt := NewLayered(pts)
+		for q := 0; q < 60; q++ {
+			tri := randomTriangle(rng, 10)
+			want := oracle.CountTriangle(tri)
+			if got := kd.CountTriangle(tri); got != want {
+				t.Fatalf("kd CountTriangle = %d, want %d (tri %v)", got, want, tri)
+			}
+			if got := lt.CountTriangle(tri); got != want {
+				t.Fatalf("layered CountTriangle = %d, want %d", got, want)
+			}
+			wantIDs := collect(func(fn func(int)) { oracle.ReportTriangle(tri, fn) })
+			if got := collect(func(fn func(int)) { kd.ReportTriangle(tri, fn) }); !sameIDs(got, wantIDs) {
+				t.Fatalf("kd ReportTriangle mismatch")
+			}
+			if got := collect(func(fn func(int)) { lt.ReportTriangle(tri, fn) }); !sameIDs(got, wantIDs) {
+				t.Fatalf("layered ReportTriangle mismatch")
+			}
+		}
+	}
+}
+
+func TestDegenerateTriangleQueries(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(1, 1)}
+	flat := geom.Tri(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)) // zero area
+	want := NewBrute(pts).CountTriangle(flat)
+	for _, kind := range []Kind{KindKDTree, KindLayered} {
+		if got := New(kind, pts).CountTriangle(flat); got != want {
+			t.Errorf("%s: degenerate CountTriangle = %d, want %d", kind, got, want)
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]geom.Point, 32)
+	for i := range pts {
+		pts[i] = geom.Pt(1, 1) // all identical
+	}
+	r := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2, 2)}
+	miss := geom.Rect{Min: geom.Pt(3, 3), Max: geom.Pt(4, 4)}
+	for _, kind := range []Kind{KindBrute, KindKDTree, KindLayered} {
+		b := New(kind, pts)
+		if got := b.CountRect(r); got != 32 {
+			t.Errorf("%s: duplicates CountRect = %d", kind, got)
+		}
+		if got := b.CountRect(miss); got != 0 {
+			t.Errorf("%s: miss CountRect = %d", kind, got)
+		}
+	}
+}
+
+// Property: all three backends agree on random configurations.
+func TestQuickBackendsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 1+rng.Intn(60), 5)
+		tri := randomTriangle(rng, 5)
+		r := randomRect(rng, 5)
+		oracle := NewBrute(pts)
+		kd := NewKDTree(pts)
+		lt := NewLayered(pts)
+		return kd.CountTriangle(tri) == oracle.CountTriangle(tri) &&
+			lt.CountTriangle(tri) == oracle.CountTriangle(tri) &&
+			kd.CountRect(r) == oracle.CountRect(r) &&
+			lt.CountRect(r) == oracle.CountRect(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The fractional-cascading bridges must be structurally consistent: cntL
+// is monotone and ends at the left child's length.
+func TestLayeredBridgeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	lt := NewLayered(randomPoints(rng, 300, 10))
+	for ni := range lt.nodes {
+		nd := &lt.nodes[ni]
+		if len(nd.cntL) != len(nd.ys)+1 {
+			t.Fatalf("node %d: cntL length %d for %d ys", ni, len(nd.cntL), len(nd.ys))
+		}
+		for p := 1; p < len(nd.cntL); p++ {
+			if nd.cntL[p] < nd.cntL[p-1] || nd.cntL[p] > nd.cntL[p-1]+1 {
+				t.Fatalf("node %d: cntL not a unit-step monotone sequence at %d", ni, p)
+			}
+		}
+		if nd.left >= 0 {
+			l := &lt.nodes[nd.left]
+			if int(nd.cntL[len(nd.cntL)-1]) != len(l.ys) {
+				t.Fatalf("node %d: final cntL %d != left size %d", ni, nd.cntL[len(nd.cntL)-1], len(l.ys))
+			}
+			// y-array sorted.
+			for p := 1; p < len(nd.ys); p++ {
+				if nd.ys[p-1] > nd.ys[p] {
+					t.Fatalf("node %d: ys unsorted", ni)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package rangesearch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// Degenerate coordinate layouts that historically break tree structures:
+// all points on one vertical line, one horizontal line, a grid with many
+// duplicate coordinates, and a diagonal.
+func degenerateLayouts(rng *rand.Rand) map[string][]geom.Point {
+	n := 200
+	vert := make([]geom.Point, n)
+	horiz := make([]geom.Point, n)
+	grid := make([]geom.Point, 0, n)
+	diag := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		vert[i] = geom.Pt(5, rng.Float64()*10)
+		horiz[i] = geom.Pt(rng.Float64()*10, 5)
+		diag[i] = geom.Pt(float64(i)*0.05, float64(i)*0.05)
+	}
+	for x := 0; x < 14; x++ {
+		for y := 0; y < 14; y++ {
+			grid = append(grid, geom.Pt(float64(x), float64(y)))
+		}
+	}
+	return map[string][]geom.Point{
+		"vertical-line":   vert,
+		"horizontal-line": horiz,
+		"integer-grid":    grid,
+		"diagonal":        diag,
+	}
+}
+
+func TestDegenerateLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for name, pts := range degenerateLayouts(rng) {
+		oracle := NewBrute(pts)
+		kd := NewKDTree(pts)
+		lt := NewLayered(pts)
+		for q := 0; q < 40; q++ {
+			r := randomRect(rng, 12)
+			tri := randomTriangle(rng, 12)
+			if kd.CountRect(r) != oracle.CountRect(r) {
+				t.Fatalf("%s: kd CountRect mismatch", name)
+			}
+			if lt.CountRect(r) != oracle.CountRect(r) {
+				t.Fatalf("%s: layered CountRect mismatch", name)
+			}
+			if kd.CountTriangle(tri) != oracle.CountTriangle(tri) {
+				t.Fatalf("%s: kd CountTriangle mismatch", name)
+			}
+			if lt.CountTriangle(tri) != oracle.CountTriangle(tri) {
+				t.Fatalf("%s: layered CountTriangle mismatch", name)
+			}
+		}
+	}
+}
+
+// Property: count always equals the length of the corresponding report.
+func TestQuickCountEqualsReport(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 1+rng.Intn(150), 6)
+		for _, kind := range []Kind{KindKDTree, KindLayered} {
+			b := New(kind, pts)
+			r := randomRect(rng, 6)
+			got := 0
+			b.ReportRect(r, func(int) { got++ })
+			if got != b.CountRect(r) {
+				return false
+			}
+			tri := randomTriangle(rng, 6)
+			got = 0
+			b.ReportTriangle(tri, func(int) { got++ })
+			if got != b.CountTriangle(tri) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: queries never report an id twice and never an out-of-range
+// id.
+func TestQuickReportedIDsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 1+rng.Intn(120), 5)
+		tri := randomTriangle(rng, 5)
+		for _, kind := range []Kind{KindBrute, KindKDTree, KindLayered} {
+			b := New(kind, pts)
+			seen := make(map[int]bool)
+			ok := true
+			b.ReportTriangle(tri, func(id int) {
+				if id < 0 || id >= len(pts) || seen[id] {
+					ok = false
+				}
+				seen[id] = true
+			})
+			if !ok {
+				return false
+			}
+			// Reported points are truly inside.
+			for id := range seen {
+				if !tri.Contains(pts[id]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Whole-plane query returns everything.
+func TestWholePlaneQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randomPoints(rng, 500, 10)
+	all := geom.Rect{Min: geom.Pt(-1, -1), Max: geom.Pt(11, 11)}
+	bigTri := geom.Tri(geom.Pt(-100, -100), geom.Pt(200, -100), geom.Pt(-100, 200))
+	for _, kind := range []Kind{KindBrute, KindKDTree, KindLayered} {
+		b := New(kind, pts)
+		if got := b.CountRect(all); got != 500 {
+			t.Errorf("%s: whole-plane rect = %d", kind, got)
+		}
+		if got := b.CountTriangle(bigTri); got != 500 {
+			t.Errorf("%s: whole-plane triangle = %d", kind, got)
+		}
+	}
+}

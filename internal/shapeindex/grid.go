@@ -1,0 +1,202 @@
+// Package shapeindex provides nearest-feature query structures over the
+// geometry of a shape: a uniform grid over its edges for
+// nearest-point-on-boundary queries (the inner min of the h_avg similarity
+// measure, evaluated against the continuous boundary), and a kd-tree over
+// point sets for nearest-vertex queries.
+package shapeindex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// SegmentGrid answers nearest-segment queries over a fixed set of
+// segments using a uniform bucket grid with expanding ring search.
+// Build is O(n) for n segments of bounded length; queries on
+// image-extracted shapes (short, evenly sized edges) are O(1) expected.
+type SegmentGrid struct {
+	segs   []geom.Segment
+	bounds geom.Rect
+	nx, ny int
+	cw, ch float64 // cell width/height
+	cells  [][]int32
+}
+
+// NewSegmentGrid indexes the given segments. It panics on an empty input
+// since a grid over nothing has no meaningful queries.
+func NewSegmentGrid(segs []geom.Segment) *SegmentGrid {
+	if len(segs) == 0 {
+		panic("shapeindex: NewSegmentGrid on empty segment set")
+	}
+	b := geom.EmptyRect()
+	for _, s := range segs {
+		b = b.Union(s.Bounds())
+	}
+	// Degenerate extents still need a positive cell size.
+	w := math.Max(b.Width(), 1e-9)
+	h := math.Max(b.Height(), 1e-9)
+	n := len(segs)
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	g := &SegmentGrid{
+		segs:   append([]geom.Segment(nil), segs...),
+		bounds: b,
+		nx:     side,
+		ny:     side,
+		cw:     w / float64(side),
+		ch:     h / float64(side),
+	}
+	g.cells = make([][]int32, g.nx*g.ny)
+	for i, s := range g.segs {
+		g.insert(int32(i), s)
+	}
+	return g
+}
+
+func (g *SegmentGrid) cellIndex(cx, cy int) int { return cy*g.nx + cx }
+
+func (g *SegmentGrid) cellOf(p geom.Point) (int, int) {
+	cx := int((p.X - g.bounds.Min.X) / g.cw)
+	cy := int((p.Y - g.bounds.Min.Y) / g.ch)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+func (g *SegmentGrid) cellRect(cx, cy int) geom.Rect {
+	return geom.Rect{
+		Min: geom.Pt(g.bounds.Min.X+float64(cx)*g.cw, g.bounds.Min.Y+float64(cy)*g.ch),
+		Max: geom.Pt(g.bounds.Min.X+float64(cx+1)*g.cw, g.bounds.Min.Y+float64(cy+1)*g.ch),
+	}
+}
+
+// insert records segment id in every cell its bounding box overlaps whose
+// rectangle it actually approaches within half a cell diagonal.
+func (g *SegmentGrid) insert(id int32, s geom.Segment) {
+	sb := s.Bounds()
+	x0, y0 := g.cellOf(sb.Min)
+	x1, y1 := g.cellOf(sb.Max)
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			r := g.cellRect(cx, cy)
+			// Exact test: does the segment come within the cell?
+			if segmentTouchesRect(s, r) {
+				idx := g.cellIndex(cx, cy)
+				g.cells[idx] = append(g.cells[idx], id)
+			}
+		}
+	}
+}
+
+func segmentTouchesRect(s geom.Segment, r geom.Rect) bool {
+	if r.Contains(s.A) || r.Contains(s.B) {
+		return true
+	}
+	c := r.Corners()
+	for i := 0; i < 4; i++ {
+		if hit, _ := s.Intersect(geom.Seg(c[i], c[(i+1)%4])); hit {
+			return true
+		}
+	}
+	return false
+}
+
+// NumSegments returns the number of indexed segments.
+func (g *SegmentGrid) NumSegments() int { return len(g.segs) }
+
+// Segment returns the i-th indexed segment.
+func (g *SegmentGrid) Segment(i int) geom.Segment { return g.segs[i] }
+
+// Nearest returns the index of the segment closest to p and the distance
+// to it. It searches grid rings outward from p's cell and stops as soon as
+// the best distance found cannot be beaten by any unexplored ring.
+func (g *SegmentGrid) Nearest(p geom.Point) (int, float64) {
+	cx, cy := g.cellOf(p)
+	best := -1
+	bestD := math.Inf(1)
+	maxRing := g.nx + g.ny // enough to cover the whole grid from any cell
+	for ring := 0; ring <= maxRing; ring++ {
+		// Lower bound on the distance to any cell in this ring.
+		if best >= 0 && ring > 0 {
+			lb := (float64(ring - 1)) * math.Min(g.cw, g.ch)
+			if lb > bestD {
+				break
+			}
+		}
+		g.visitRing(cx, cy, ring, func(idx int) {
+			for _, id := range g.cells[idx] {
+				if d := g.segs[id].DistToPoint(p); d < bestD {
+					bestD = d
+					best = int(id)
+				}
+			}
+		})
+	}
+	if best < 0 {
+		// p far outside a sparse grid: fall back to a scan (still correct).
+		for i, s := range g.segs {
+			if d := s.DistToPoint(p); d < bestD {
+				bestD, best = d, i
+			}
+		}
+	}
+	return best, bestD
+}
+
+// Dist returns the distance from p to the nearest indexed segment.
+func (g *SegmentGrid) Dist(p geom.Point) float64 {
+	_, d := g.Nearest(p)
+	return d
+}
+
+// visitRing calls fn for every valid cell index at Chebyshev distance
+// exactly ring from (cx, cy).
+func (g *SegmentGrid) visitRing(cx, cy, ring int, fn func(idx int)) {
+	if ring == 0 {
+		fn(g.cellIndex(cx, cy))
+		return
+	}
+	x0, x1 := cx-ring, cx+ring
+	y0, y1 := cy-ring, cy+ring
+	for x := x0; x <= x1; x++ {
+		if x < 0 || x >= g.nx {
+			continue
+		}
+		if y0 >= 0 && y0 < g.ny {
+			fn(g.cellIndex(x, y0))
+		}
+		if y1 >= 0 && y1 < g.ny {
+			fn(g.cellIndex(x, y1))
+		}
+	}
+	for y := y0 + 1; y <= y1-1; y++ {
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		if x0 >= 0 && x0 < g.nx {
+			fn(g.cellIndex(x0, y))
+		}
+		if x1 >= 0 && x1 < g.nx {
+			fn(g.cellIndex(x1, y))
+		}
+	}
+}
+
+// String implements fmt.Stringer with a capacity summary.
+func (g *SegmentGrid) String() string {
+	return fmt.Sprintf("SegmentGrid{%d segments, %dx%d cells}", len(g.segs), g.nx, g.ny)
+}

@@ -1,0 +1,230 @@
+package shapeindex
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// PointKD is a static 2-d tree over a point set supporting nearest- and
+// k-nearest-neighbor queries. It backs the vertex-set variants of the
+// similarity measures and the Mehrotra–Gary feature-index baseline.
+type PointKD struct {
+	pts  []geom.Point // points in tree order
+	ids  []int        // original index of each tree point
+	axis []int8       // split axis per node (0 = x, 1 = y)
+}
+
+// NewPointKD builds a kd-tree over pts. The input slice is not modified.
+// An empty input yields a tree whose queries return index -1.
+func NewPointKD(pts []geom.Point) *PointKD {
+	n := len(pts)
+	t := &PointKD{
+		pts:  make([]geom.Point, n),
+		ids:  make([]int, n),
+		axis: make([]int8, n),
+	}
+	copy(t.pts, pts)
+	for i := range t.ids {
+		t.ids[i] = i
+	}
+	t.build(0, n, 0)
+	return t
+}
+
+// build organizes pts[lo:hi] as a subtree whose root is the median
+// element, stored at the median position (an implicit balanced tree).
+func (t *PointKD) build(lo, hi int, depth int) {
+	if hi-lo <= 1 {
+		if hi-lo == 1 {
+			t.axis[lo] = int8(depth % 2)
+		}
+		return
+	}
+	mid := (lo + hi) / 2
+	ax := int8(depth % 2)
+	sub := kdSlice{t, lo, hi, ax}
+	sort.Sort(sub)
+	// sort is fine for a static build; nth-element would only shave constants.
+	t.axis[mid] = ax
+	t.build(lo, mid, depth+1)
+	t.build(mid+1, hi, depth+1)
+}
+
+type kdSlice struct {
+	t      *PointKD
+	lo, hi int
+	ax     int8
+}
+
+func (s kdSlice) Len() int { return s.hi - s.lo }
+func (s kdSlice) Less(i, j int) bool {
+	a, b := s.t.pts[s.lo+i], s.t.pts[s.lo+j]
+	if s.ax == 0 {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+func (s kdSlice) Swap(i, j int) {
+	t := s.t
+	t.pts[s.lo+i], t.pts[s.lo+j] = t.pts[s.lo+j], t.pts[s.lo+i]
+	t.ids[s.lo+i], t.ids[s.lo+j] = t.ids[s.lo+j], t.ids[s.lo+i]
+}
+
+// Len returns the number of indexed points.
+func (t *PointKD) Len() int { return len(t.pts) }
+
+// Nearest returns the original index of the point closest to q and the
+// distance. With an empty tree it returns (-1, +Inf).
+func (t *PointKD) Nearest(q geom.Point) (int, float64) {
+	best, bestD2 := -1, math.Inf(1)
+	t.nearest(0, len(t.pts), q, &best, &bestD2)
+	if best < 0 {
+		return -1, math.Inf(1)
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+func (t *PointKD) nearest(lo, hi int, q geom.Point, best *int, bestD2 *float64) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	if d2 := q.Dist2(p); d2 < *bestD2 {
+		*bestD2 = d2
+		*best = t.ids[mid]
+	}
+	var delta float64
+	if t.axis[mid] == 0 {
+		delta = q.X - p.X
+	} else {
+		delta = q.Y - p.Y
+	}
+	near, farLo, farHi := 0, 0, 0
+	if delta < 0 {
+		near, farLo, farHi = -1, mid+1, hi
+	} else {
+		near, farLo, farHi = +1, lo, mid
+	}
+	if near < 0 {
+		t.nearest(lo, mid, q, best, bestD2)
+	} else {
+		t.nearest(mid+1, hi, q, best, bestD2)
+	}
+	if delta*delta < *bestD2 {
+		t.nearest(farLo, farHi, q, best, bestD2)
+	}
+}
+
+// KNearest returns the original indices of the k points closest to q,
+// ordered by increasing distance. Fewer than k are returned when the tree
+// is smaller than k.
+func (t *PointKD) KNearest(q geom.Point, k int) []int {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil
+	}
+	if k > len(t.pts) {
+		k = len(t.pts)
+	}
+	h := &distHeap{}
+	t.knearest(0, len(t.pts), q, k, h)
+	out := make([]int, len(h.ids))
+	// Heap holds the k best with the worst on top; pop into reverse order.
+	for i := len(h.ids) - 1; i >= 0; i-- {
+		out[i] = h.popMax()
+	}
+	return out
+}
+
+func (t *PointKD) knearest(lo, hi int, q geom.Point, k int, h *distHeap) {
+	if lo >= hi {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	h.offer(t.ids[mid], q.Dist2(p), k)
+	var delta float64
+	if t.axis[mid] == 0 {
+		delta = q.X - p.X
+	} else {
+		delta = q.Y - p.Y
+	}
+	if delta < 0 {
+		t.knearest(lo, mid, q, k, h)
+		if len(h.ids) < k || delta*delta < h.max() {
+			t.knearest(mid+1, hi, q, k, h)
+		}
+	} else {
+		t.knearest(mid+1, hi, q, k, h)
+		if len(h.ids) < k || delta*delta < h.max() {
+			t.knearest(lo, mid, q, k, h)
+		}
+	}
+}
+
+// distHeap is a bounded max-heap of (id, squared distance) pairs.
+type distHeap struct {
+	ids []int
+	d2  []float64
+}
+
+func (h *distHeap) max() float64 { return h.d2[0] }
+
+func (h *distHeap) offer(id int, d2 float64, k int) {
+	if len(h.ids) < k {
+		h.ids = append(h.ids, id)
+		h.d2 = append(h.d2, d2)
+		h.up(len(h.ids) - 1)
+		return
+	}
+	if d2 >= h.d2[0] {
+		return
+	}
+	h.ids[0], h.d2[0] = id, d2
+	h.down(0)
+}
+
+func (h *distHeap) popMax() int {
+	id := h.ids[0]
+	n := len(h.ids) - 1
+	h.ids[0], h.d2[0] = h.ids[n], h.d2[n]
+	h.ids, h.d2 = h.ids[:n], h.d2[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return id
+}
+
+func (h *distHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.d2[p] >= h.d2[i] {
+			break
+		}
+		h.d2[p], h.d2[i] = h.d2[i], h.d2[p]
+		h.ids[p], h.ids[i] = h.ids[i], h.ids[p]
+		i = p
+	}
+}
+
+func (h *distHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.d2[l] > h.d2[big] {
+			big = l
+		}
+		if r < n && h.d2[r] > h.d2[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.d2[big], h.d2[i] = h.d2[i], h.d2[big]
+		h.ids[big], h.ids[i] = h.ids[i], h.ids[big]
+		i = big
+	}
+}

@@ -1,0 +1,198 @@
+package shapeindex
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomSegments(rng *rand.Rand, n int, scale float64) []geom.Segment {
+	segs := make([]geom.Segment, n)
+	for i := range segs {
+		a := geom.Pt(rng.Float64()*scale, rng.Float64()*scale)
+		d := geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Unit().Scale(scale / 20)
+		segs[i] = geom.Seg(a, a.Add(d))
+	}
+	return segs
+}
+
+func bruteNearestSeg(segs []geom.Segment, p geom.Point) (int, float64) {
+	best, bd := -1, math.Inf(1)
+	for i, s := range segs {
+		if d := s.DistToPoint(p); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best, bd
+}
+
+func TestSegmentGridPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty input")
+		}
+	}()
+	NewSegmentGrid(nil)
+}
+
+func TestSegmentGridSingle(t *testing.T) {
+	g := NewSegmentGrid([]geom.Segment{geom.Seg(geom.Pt(0, 0), geom.Pt(1, 0))})
+	if g.NumSegments() != 1 {
+		t.Fatalf("NumSegments = %d", g.NumSegments())
+	}
+	i, d := g.Nearest(geom.Pt(0.5, 2))
+	if i != 0 || !almostEq(d, 2, 1e-12) {
+		t.Errorf("Nearest = %d, %v", i, d)
+	}
+	if !almostEq(g.Dist(geom.Pt(-3, 0)), 3, 1e-12) {
+		t.Errorf("Dist = %v", g.Dist(geom.Pt(-3, 0)))
+	}
+}
+
+func TestSegmentGridMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		segs := randomSegments(rng, 50+rng.Intn(200), 10)
+		g := NewSegmentGrid(segs)
+		for q := 0; q < 100; q++ {
+			// Mix of interior and far-outside query points.
+			p := geom.Pt(rng.Float64()*16-3, rng.Float64()*16-3)
+			_, gd := g.Nearest(p)
+			_, bd := bruteNearestSeg(segs, p)
+			if !almostEq(gd, bd, 1e-9*(1+bd)) {
+				t.Fatalf("trial %d: grid %v != brute %v at %v", trial, gd, bd, p)
+			}
+		}
+	}
+}
+
+func TestSegmentGridPolygonBoundary(t *testing.T) {
+	sq := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4))
+	g := NewSegmentGrid(sq.Edges())
+	if d := g.Dist(geom.Pt(2, 2)); !almostEq(d, 2, 1e-12) {
+		t.Errorf("center dist = %v", d)
+	}
+	if d := g.Dist(geom.Pt(6, 2)); !almostEq(d, 2, 1e-12) {
+		t.Errorf("outside dist = %v", d)
+	}
+	if d := g.Dist(geom.Pt(2, 0)); !almostEq(d, 0, 1e-12) {
+		t.Errorf("boundary dist = %v", d)
+	}
+}
+
+func TestPointKDEmptyAndSingle(t *testing.T) {
+	empty := NewPointKD(nil)
+	if i, d := empty.Nearest(geom.Pt(0, 0)); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty Nearest = %d, %v", i, d)
+	}
+	if got := empty.KNearest(geom.Pt(0, 0), 3); got != nil {
+		t.Errorf("empty KNearest = %v", got)
+	}
+	one := NewPointKD([]geom.Point{geom.Pt(1, 1)})
+	if i, d := one.Nearest(geom.Pt(4, 5)); i != 0 || !almostEq(d, 5, 1e-12) {
+		t.Errorf("single Nearest = %d, %v", i, d)
+	}
+}
+
+func TestPointKDMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(500)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.NormFloat64()*10, rng.NormFloat64()*10)
+		}
+		kd := NewPointKD(pts)
+		for q := 0; q < 100; q++ {
+			p := geom.Pt(rng.NormFloat64()*12, rng.NormFloat64()*12)
+			gi, gd := kd.Nearest(p)
+			_, bd := bruteNearestPt(pts, p)
+			if !almostEq(gd, bd, 1e-9*(1+bd)) {
+				t.Fatalf("trial %d: kd %v != brute %v", trial, gd, bd)
+			}
+			if !almostEq(p.Dist(pts[gi]), gd, 1e-9) {
+				t.Fatalf("trial %d: returned id %d inconsistent", trial, gi)
+			}
+		}
+	}
+}
+
+func TestPointKDKNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 200
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	kd := NewPointKD(pts)
+	for q := 0; q < 30; q++ {
+		p := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		k := 1 + rng.Intn(12)
+		got := kd.KNearest(p, k)
+		if len(got) != k {
+			t.Fatalf("KNearest returned %d of %d", len(got), k)
+		}
+		want := bruteKNearest(pts, p, k)
+		for i := range want {
+			// Compare by distance (ties may permute indices).
+			if !almostEq(p.Dist(pts[got[i]]), p.Dist(pts[want[i]]), 1e-9) {
+				t.Fatalf("k=%d position %d: got d=%v want d=%v", k, i,
+					p.Dist(pts[got[i]]), p.Dist(pts[want[i]]))
+			}
+		}
+		// Ordered by increasing distance.
+		for i := 1; i < len(got); i++ {
+			if p.Dist(pts[got[i-1]]) > p.Dist(pts[got[i]])+1e-12 {
+				t.Fatalf("KNearest not sorted at %d", i)
+			}
+		}
+	}
+	// k larger than the tree.
+	if got := kd.KNearest(geom.Pt(0, 0), n+50); len(got) != n {
+		t.Errorf("oversized k returned %d", len(got))
+	}
+}
+
+func bruteNearestPt(pts []geom.Point, q geom.Point) (int, float64) {
+	best, bd := -1, math.Inf(1)
+	for i, p := range pts {
+		if d := q.Dist(p); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best, bd
+}
+
+func bruteKNearest(pts []geom.Point, q geom.Point, k int) []int {
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return q.Dist2(pts[idx[a]]) < q.Dist2(pts[idx[b]]) })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Property: grid nearest distance equals brute force on random inputs.
+func TestQuickSegmentGrid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		segs := randomSegments(rng, 5+rng.Intn(40), 4)
+		g := NewSegmentGrid(segs)
+		p := geom.Pt(rng.Float64()*8-2, rng.Float64()*8-2)
+		_, gd := g.Nearest(p)
+		_, bd := bruteNearestSeg(segs, p)
+		return almostEq(gd, bd, 1e-9*(1+bd))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package synth generates synthetic shapes, images, and query workloads.
+//
+// The paper's experiments (§4, §5.2) run on a base of 10,000 images with
+// an average of 5.5 shapes per image and about 20 vertices per shape,
+// queried with user-drafted sketches. The originals are unavailable, so
+// this package produces the closest synthetic equivalent: a pool of
+// prototype object boundaries, instantiated per image with controlled
+// distortion, rotation, scaling and translation — which preserves exactly
+// the properties the experiments measure (match-cluster structure,
+// vertex-count statistics, locality of similar shapes).
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Image is a synthetic image: a set of object-boundary shapes.
+type Image struct {
+	ID     int
+	Shapes []geom.Poly
+	// Class[i] is the prototype class of Shapes[i] (ground truth for
+	// retrieval-quality checks).
+	Class []int
+}
+
+// BaseSpec configures GenerateBase.
+type BaseSpec struct {
+	Images       int     // number of images
+	MeanShapes   float64 // mean shapes per image (Poisson-ish, ≥ 1)
+	MeanVertices int     // mean vertices per shape
+	Prototypes   int     // size of the prototype pool
+	Distortion   float64 // per-vertex jitter as a fraction of diameter
+	OpenFraction float64 // fraction of prototypes that are open polylines
+	Seed         int64
+}
+
+// PaperSpec returns the paper's base statistics (§4.1) scaled by the
+// given factor in image count: 10,000 images × 5.5 shapes × ~20 vertices.
+func PaperSpec(scale float64, seed int64) BaseSpec {
+	img := int(10000 * scale)
+	if img < 1 {
+		img = 1
+	}
+	return BaseSpec{
+		Images:       img,
+		MeanShapes:   5.5,
+		MeanVertices: 20,
+		Prototypes:   max(8, img/25),
+		Distortion:   0.015,
+		OpenFraction: 0.25,
+		Seed:         seed,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GenerateBase produces the synthetic image base. Deterministic for a
+// fixed spec (all randomness from spec.Seed).
+func GenerateBase(spec BaseSpec) []Image {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.Images < 1 {
+		spec.Images = 1
+	}
+	if spec.MeanShapes < 1 {
+		spec.MeanShapes = 1
+	}
+	if spec.MeanVertices < 4 {
+		spec.MeanVertices = 4
+	}
+	if spec.Prototypes < 1 {
+		spec.Prototypes = 1
+	}
+	protos := make([]geom.Poly, spec.Prototypes)
+	for i := range protos {
+		open := rng.Float64() < spec.OpenFraction
+		protos[i] = Prototype(rng, i, spec.MeanVertices, open)
+	}
+	images := make([]Image, spec.Images)
+	for i := range images {
+		n := 1 + poisson(rng, spec.MeanShapes-1)
+		img := Image{ID: i, Shapes: make([]geom.Poly, 0, n), Class: make([]int, 0, n)}
+		for s := 0; s < n; s++ {
+			class := rng.Intn(len(protos))
+			sh := Instance(rng, protos[class], spec.Distortion)
+			img.Shapes = append(img.Shapes, sh)
+			img.Class = append(img.Class, class)
+		}
+		images[i] = img
+	}
+	return images
+}
+
+// poisson draws a Poisson-distributed count with the given mean (Knuth's
+// method; the means here are small).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// Prototype deterministically generates the class-th prototype boundary:
+// a star polygon whose radial profile is a class-seeded mixture of
+// harmonics, or an open arc-like polyline. Prototypes are simple
+// (non-self-intersecting) by construction.
+func Prototype(rng *rand.Rand, class, meanVerts int, open bool) geom.Poly {
+	n := meanVerts + rng.Intn(meanVerts/2+1) - meanVerts/4
+	if n < 4 {
+		n = 4
+	}
+	// Class-seeded harmonics make prototypes mutually dissimilar.
+	h := rand.New(rand.NewSource(int64(class)*7919 + 17))
+	a1 := 0.1 + 0.25*h.Float64()
+	a2 := 0.1 + 0.2*h.Float64()
+	p1 := h.Float64() * 2 * math.Pi
+	p2 := h.Float64() * 2 * math.Pi
+	k1 := 2 + h.Intn(3)
+	k2 := 3 + h.Intn(4)
+
+	if open {
+		// Open boundary: a wavy arc spanning ~3/4 of the circle.
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			t := float64(i) / float64(n-1)
+			ang := t * 1.5 * math.Pi
+			r := 1 + a1*math.Sin(float64(k1)*ang+p1) + a2*math.Cos(float64(k2)*ang+p2)
+			pts[i] = geom.Pt(r*math.Cos(ang), r*math.Sin(ang))
+		}
+		return geom.NewPolyline(pts...)
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		r := 1 + a1*math.Sin(float64(k1)*ang+p1) + a2*math.Cos(float64(k2)*ang+p2)
+		pts[i] = geom.Pt(r*math.Cos(ang), r*math.Sin(ang))
+	}
+	return geom.NewPolygon(pts...)
+}
+
+// Instance produces a placed, distorted copy of a prototype: jitter each
+// vertex by up to distortion·diameter, then rotate/scale/translate
+// randomly. The result is guaranteed simple (falls back to the undistorted
+// placement if jitter keeps self-intersecting).
+func Instance(rng *rand.Rand, proto geom.Poly, distortion float64) geom.Poly {
+	place := geom.Transform{
+		S:     0.5 + rng.Float64()*2,
+		Theta: rng.Float64() * 2 * math.Pi,
+		T:     geom.Pt(rng.Float64()*100, rng.Float64()*100),
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		q := Distort(rng, proto, distortion)
+		if q.Validate() == nil {
+			return q.Transform(place)
+		}
+	}
+	return proto.Transform(place)
+}
+
+// Distort jitters every vertex by up to mag·diameter in each coordinate.
+func Distort(rng *rand.Rand, p geom.Poly, mag float64) geom.Poly {
+	_, _, d := p.Diameter()
+	q := p.Clone()
+	for i := range q.Pts {
+		q.Pts[i] = q.Pts[i].Add(geom.Pt(
+			(rng.Float64()*2-1)*mag*d,
+			(rng.Float64()*2-1)*mag*d,
+		))
+	}
+	return q
+}
+
+// Queries draws a workload of query shapes: each is a distorted copy of a
+// shape already in the base ("sketches of known objects"), guaranteed
+// valid.
+func Queries(rng *rand.Rand, images []Image, count int, distortion float64) []geom.Poly {
+	out := make([]geom.Poly, 0, count)
+	for len(out) < count {
+		img := images[rng.Intn(len(images))]
+		if len(img.Shapes) == 0 {
+			continue
+		}
+		src := img.Shapes[rng.Intn(len(img.Shapes))]
+		q := Distort(rng, src, distortion)
+		if q.Validate() != nil {
+			q = src.Clone()
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// Star generates a c-pointed star polygon with outer radius 1, inner
+// radius 0.35, and per-vertex radial noise. Star families underlie the
+// Figure 10 selectivity experiment: V_S grows roughly linearly with c,
+// and deep spikes keep different c-classes dissimilar under the average
+// measure.
+func Star(rng *rand.Rand, c int, noise float64) geom.Poly {
+	if c < 3 {
+		c = 3
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		pts := make([]geom.Point, 2*c)
+		for i := range pts {
+			th := math.Pi * float64(i) / float64(c)
+			r := 1.0
+			if i%2 == 1 {
+				r = 0.35
+			}
+			r += noise * (rng.Float64()*2 - 1)
+			pts[i] = geom.Pt(r*math.Cos(th), r*math.Sin(th))
+		}
+		p := geom.NewPolygon(pts...)
+		if p.Validate() == nil {
+			return p
+		}
+	}
+	// Noise-free stars are always simple.
+	return Star(rng, c, 0)
+}
+
+// ZipfStarSpec configures ZipfStarImages.
+type ZipfStarSpec struct {
+	Shapes int     // total shapes to generate
+	MinC   int     // smallest corner count (≥ 3)
+	MaxC   int     // largest corner count
+	Noise  float64 // per-vertex radial noise
+	Seed   int64
+}
+
+// ZipfStarImages generates a complexity-graded base: star shapes whose
+// corner count c follows a Zipf-like 1/c frequency — the natural-image
+// property (simple boundaries are more common than structured ones) on
+// which the paper's Figure 10 selectivity law rests. One shape per image.
+func ZipfStarImages(spec ZipfStarSpec) []Image {
+	if spec.Shapes < 1 {
+		spec.Shapes = 1
+	}
+	if spec.MinC < 3 {
+		spec.MinC = 3
+	}
+	if spec.MaxC < spec.MinC {
+		spec.MaxC = spec.MinC + 9
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var tot float64
+	for c := spec.MinC; c <= spec.MaxC; c++ {
+		tot += 1 / float64(c)
+	}
+	drawC := func() int {
+		u := rng.Float64() * tot
+		for c := spec.MinC; c <= spec.MaxC; c++ {
+			u -= 1 / float64(c)
+			if u <= 0 {
+				return c
+			}
+		}
+		return spec.MaxC
+	}
+	images := make([]Image, spec.Shapes)
+	for i := range images {
+		c := drawC()
+		images[i] = Image{
+			ID:     i,
+			Shapes: []geom.Poly{Star(rng, c, spec.Noise)},
+			Class:  []int{c},
+		}
+	}
+	return images
+}

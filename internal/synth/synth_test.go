@@ -1,0 +1,236 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGenerateBaseDeterministic(t *testing.T) {
+	spec := BaseSpec{Images: 20, MeanShapes: 3, MeanVertices: 12, Prototypes: 4, Distortion: 0.01, Seed: 5}
+	a := GenerateBase(spec)
+	b := GenerateBase(spec)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("image counts %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Shapes) != len(b[i].Shapes) {
+			t.Fatalf("image %d shape counts differ", i)
+		}
+		for s := range a[i].Shapes {
+			for v := range a[i].Shapes[s].Pts {
+				if a[i].Shapes[s].Pts[v] != b[i].Shapes[s].Pts[v] {
+					t.Fatalf("nondeterministic vertex %d/%d/%d", i, s, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateBaseStatistics(t *testing.T) {
+	spec := PaperSpec(0.02, 7) // 200 images
+	images := GenerateBase(spec)
+	if len(images) != 200 {
+		t.Fatalf("images = %d", len(images))
+	}
+	totShapes, totVerts := 0, 0
+	for _, img := range images {
+		if len(img.Shapes) == 0 {
+			t.Fatalf("image %d has no shapes", img.ID)
+		}
+		if len(img.Shapes) != len(img.Class) {
+			t.Fatalf("image %d class labels missing", img.ID)
+		}
+		totShapes += len(img.Shapes)
+		for _, s := range img.Shapes {
+			totVerts += s.NumVertices()
+		}
+	}
+	meanShapes := float64(totShapes) / float64(len(images))
+	if meanShapes < 4 || meanShapes > 7 {
+		t.Errorf("mean shapes per image = %v, want ≈5.5", meanShapes)
+	}
+	meanVerts := float64(totVerts) / float64(totShapes)
+	if meanVerts < 15 || meanVerts > 27 {
+		t.Errorf("mean vertices per shape = %v, want ≈20", meanVerts)
+	}
+}
+
+func TestAllShapesValid(t *testing.T) {
+	images := GenerateBase(BaseSpec{Images: 60, MeanShapes: 4, MeanVertices: 16, Prototypes: 10, Distortion: 0.02, OpenFraction: 0.3, Seed: 11})
+	open, closed := 0, 0
+	for _, img := range images {
+		for si, s := range img.Shapes {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("image %d shape %d invalid: %v", img.ID, si, err)
+			}
+			if s.Closed {
+				closed++
+			} else {
+				open++
+			}
+		}
+	}
+	if open == 0 || closed == 0 {
+		t.Errorf("expected a mix of open (%d) and closed (%d) shapes", open, closed)
+	}
+}
+
+func TestPrototypeClassesDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Prototype(rng, 0, 20, false)
+	b := Prototype(rng, 1, 20, false)
+	// Same class regenerates the same radial profile (vertex counts may
+	// differ because of rng, but profiles are class-seeded): compare
+	// against class 0 again with a fresh rng at the same state.
+	if a.NumVertices() < 4 || b.NumVertices() < 4 {
+		t.Fatal("degenerate prototypes")
+	}
+	// Different classes should differ substantially after normalization.
+	if a.NumVertices() == b.NumVertices() {
+		same := true
+		for i := range a.Pts {
+			if !a.Pts[i].Eq(b.Pts[i], 1e-9) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("distinct classes produced identical prototypes")
+		}
+	}
+}
+
+func TestInstanceIsPlacedCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	proto := Prototype(rng, 2, 16, false)
+	inst := Instance(rng, proto, 0.01)
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+	if inst.NumVertices() != proto.NumVertices() {
+		t.Errorf("vertex count changed: %d vs %d", inst.NumVertices(), proto.NumVertices())
+	}
+	// The instance must actually be moved (placement is random).
+	if inst.Pts[0].Eq(proto.Pts[0], 1e-9) {
+		t.Error("instance not transformed")
+	}
+}
+
+func TestDistortMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10))
+	_, _, d := p.Diameter()
+	q := Distort(rng, p, 0.01)
+	for i := range p.Pts {
+		if dd := p.Pts[i].Dist(q.Pts[i]); dd > 0.01*d*math.Sqrt2+1e-9 {
+			t.Errorf("vertex %d moved %v, max %v", i, dd, 0.01*d*math.Sqrt2)
+		}
+	}
+	if got := Distort(rng, p, 0); got.Pts[0] != p.Pts[0] {
+		t.Error("zero distortion should be identity")
+	}
+}
+
+func TestQueriesValidAndDerived(t *testing.T) {
+	images := GenerateBase(BaseSpec{Images: 30, MeanShapes: 3, MeanVertices: 14, Prototypes: 5, Distortion: 0.01, Seed: 2})
+	rng := rand.New(rand.NewSource(4))
+	qs := Queries(rng, images, 15, 0.02)
+	if len(qs) != 15 {
+		t.Fatalf("query count = %d", len(qs))
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("query %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 4.5)
+	}
+	mean := float64(sum) / n
+	if mean < 4.3 || mean > 4.7 {
+		t.Errorf("poisson mean = %v, want ≈4.5", mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("zero-mean poisson should be 0")
+	}
+}
+
+func TestStarShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, c := range []int{3, 5, 12} {
+		s := Star(rng, c, 0.02)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("c=%d: %v", c, err)
+		}
+		if s.NumVertices() != 2*c {
+			t.Errorf("c=%d: vertices = %d", c, s.NumVertices())
+		}
+		if !s.Closed {
+			t.Errorf("c=%d: star should be closed", c)
+		}
+	}
+	// Degenerate corner counts clamp to 3.
+	if s := Star(rng, 1, 0); s.NumVertices() != 6 {
+		t.Errorf("clamped star vertices = %d", s.NumVertices())
+	}
+	// Zero noise is deterministic.
+	a := Star(rng, 7, 0)
+	b := Star(rng, 7, 0)
+	for i := range a.Pts {
+		if a.Pts[i] != b.Pts[i] {
+			t.Fatal("noise-free stars should be identical")
+		}
+	}
+}
+
+func TestZipfStarImages(t *testing.T) {
+	images := ZipfStarImages(ZipfStarSpec{Shapes: 600, MinC: 3, MaxC: 10, Noise: 0.01, Seed: 4})
+	if len(images) != 600 {
+		t.Fatalf("images = %d", len(images))
+	}
+	counts := map[int]int{}
+	for _, img := range images {
+		if len(img.Shapes) != 1 || len(img.Class) != 1 {
+			t.Fatal("one shape per image expected")
+		}
+		if err := img.Shapes[0].Validate(); err != nil {
+			t.Fatalf("image %d: %v", img.ID, err)
+		}
+		c := img.Class[0]
+		if c < 3 || c > 10 {
+			t.Fatalf("class %d out of range", c)
+		}
+		counts[c]++
+	}
+	// Zipf: class 3 must be clearly more frequent than class 10.
+	if counts[3] < 2*counts[10] {
+		t.Errorf("zipf shape: count(3)=%d count(10)=%d", counts[3], counts[10])
+	}
+	// Defaults clamp.
+	tiny := ZipfStarImages(ZipfStarSpec{Shapes: 0, MinC: 0, MaxC: 0, Seed: 1})
+	if len(tiny) != 1 {
+		t.Errorf("clamped spec images = %d", len(tiny))
+	}
+}
+
+func TestPaperSpecScaling(t *testing.T) {
+	s := PaperSpec(0.5, 9)
+	if s.Images != 5000 {
+		t.Errorf("Images = %d", s.Images)
+	}
+	if s.MeanShapes != 5.5 || s.MeanVertices != 20 {
+		t.Errorf("spec = %+v", s)
+	}
+	if PaperSpec(0, 9).Images != 1 {
+		t.Error("zero scale should clamp to 1 image")
+	}
+}

@@ -1,0 +1,102 @@
+package video
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Two similar squares crossing paths: the motion gate must keep the
+// assignments consistent (each frame's nearer observation goes to the
+// nearer track).
+func TestTrackerCrossingObjects(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	const frames = 9
+	for f := 0; f < frames; f++ {
+		x := float64(f)
+		a := sqAt(x, 0, 3)    // moving right along y=0
+		b := sqAt(8-x, 10, 3) // moving left along y=10
+		if err := tr.Observe([]geom.Poly{a, b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(tracks))
+	}
+	for _, tk := range tracks {
+		if tk.Len() != frames {
+			t.Errorf("track %d has %d observations", tk.ID, tk.Len())
+		}
+		// Monotone motion: x must move in one direction throughout.
+		dir := 0.0
+		for i := 1; i < tk.Len(); i++ {
+			dx := tk.Obs[i].Shape.Centroid().X - tk.Obs[i-1].Shape.Centroid().X
+			if dir == 0 {
+				dir = dx
+			}
+			if dx*dir < 0 {
+				t.Errorf("track %d switched direction at frame %d (identity swap)", tk.ID, i)
+			}
+		}
+	}
+}
+
+// FindTracks must include closed tracks (objects that left the clip).
+func TestFindTracksIncludesClosed(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxGap = 0
+	tr := NewTracker(opts)
+	if err := tr.Observe([]geom.Poly{triAt(0, 0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	// The triangle disappears; a square appears later.
+	if err := tr.Observe(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe([]geom.Poly{sqAt(20, 20, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Tracks()[0].Closed() {
+		t.Fatal("first track should be closed")
+	}
+	ms, err := tr.FindTracks(triAt(5, 5, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].TrackID != 0 {
+		t.Errorf("closed triangle track should rank first: %v", ms)
+	}
+	if ms[0].Frame != 0 {
+		t.Errorf("best frame = %d", ms[0].Frame)
+	}
+}
+
+// Empty tracker: FindTracks returns nothing, Observe of nothing is fine.
+func TestTrackerEmpty(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	if err := tr.Observe(nil); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := tr.FindTracks(sqAt(0, 0, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("matches from empty tracker: %v", ms)
+	}
+	if tr.Frame() != 1 {
+		t.Errorf("frame counter = %d", tr.Frame())
+	}
+}
+
+// Option clamping.
+func TestTrackerOptionDefaults(t *testing.T) {
+	tr := NewTracker(Options{MaxShapeDist: -1, MaxMove: 0, MaxGap: -3, ShapeWeight: 7})
+	if tr.opts.MaxShapeDist <= 0 || tr.opts.MaxMove <= 0 || tr.opts.MaxGap < 0 {
+		t.Errorf("options not clamped: %+v", tr.opts)
+	}
+	if tr.opts.ShapeWeight <= 0 || tr.opts.ShapeWeight > 1 {
+		t.Errorf("weight not clamped: %v", tr.opts.ShapeWeight)
+	}
+}

@@ -1,0 +1,241 @@
+// Package video implements the shape-tracking layer of the video
+// retrieval system the paper names as work in progress (§7: "We are
+// currently incorporating our method in a video retrieval system").
+//
+// A Tracker consumes frames of extracted object boundaries and links
+// shapes across consecutive frames into tracks, using the same
+// geometric-similarity measure as still-image retrieval: a shape in
+// frame t is matched to the track whose last shape minimizes a blend of
+// the normalized shape distance (deformation) and the normalized
+// centroid displacement (motion), subject to per-component gates. Tracks
+// that miss MaxGap consecutive frames are closed. Queries then retrieve
+// whole tracks by shape similarity, so a video base is searched exactly
+// like an image base with time-coherent grouping.
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Options tune the tracker.
+type Options struct {
+	// MaxShapeDist is the largest acceptable normalized shape distance
+	// (symmetric vertex-averaged measure) between consecutive
+	// observations of one object.
+	MaxShapeDist float64
+	// MaxMove is the largest acceptable centroid displacement between
+	// consecutive frames, as a fraction of the shape's diameter.
+	MaxMove float64
+	// MaxGap is how many frames a track survives without an observation.
+	MaxGap int
+	// ShapeWeight blends shape distance vs motion in the assignment cost
+	// (0..1; 1 = shape only).
+	ShapeWeight float64
+}
+
+// DefaultOptions returns a reasonable tracker configuration.
+func DefaultOptions() Options {
+	return Options{MaxShapeDist: 0.08, MaxMove: 0.75, MaxGap: 2, ShapeWeight: 0.6}
+}
+
+// Observation is one shape in one frame.
+type Observation struct {
+	Frame int
+	Shape geom.Poly
+}
+
+// Track is a time-coherent sequence of observations of one object.
+type Track struct {
+	ID     int
+	Obs    []Observation
+	closed bool
+	missed int
+}
+
+// First returns the first observation.
+func (t *Track) First() Observation { return t.Obs[0] }
+
+// Last returns the most recent observation.
+func (t *Track) Last() Observation { return t.Obs[len(t.Obs)-1] }
+
+// Len returns the number of observations.
+func (t *Track) Len() int { return len(t.Obs) }
+
+// Closed reports whether the track has ended.
+func (t *Track) Closed() bool { return t.closed }
+
+// Tracker links per-frame shapes into tracks.
+type Tracker struct {
+	opts   Options
+	tracks []*Track
+	frame  int
+	nextID int
+}
+
+// NewTracker creates a tracker.
+func NewTracker(opts Options) *Tracker {
+	if opts.MaxShapeDist <= 0 {
+		opts.MaxShapeDist = 0.08
+	}
+	if opts.MaxMove <= 0 {
+		opts.MaxMove = 0.75
+	}
+	if opts.MaxGap < 0 {
+		opts.MaxGap = 0
+	}
+	if opts.ShapeWeight <= 0 || opts.ShapeWeight > 1 {
+		opts.ShapeWeight = 0.6
+	}
+	return &Tracker{opts: opts}
+}
+
+// Tracks returns all tracks (open and closed), ordered by creation.
+func (tr *Tracker) Tracks() []*Track { return tr.tracks }
+
+// Frame returns the index of the next frame to be observed.
+func (tr *Tracker) Frame() int { return tr.frame }
+
+// Observe ingests the shapes of the next frame and assigns them to
+// tracks greedily by ascending cost (each track and each shape used at
+// most once per frame). Unassigned shapes start new tracks; open tracks
+// that exceed MaxGap missed frames are closed.
+func (tr *Tracker) Observe(shapes []geom.Poly) error {
+	frame := tr.frame
+	tr.frame++
+	for si, s := range shapes {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("video: frame %d shape %d: %w", frame, si, err)
+		}
+	}
+	type cand struct {
+		cost  float64
+		track int
+		shape int
+	}
+	var cands []cand
+	for ti, t := range tr.tracks {
+		if t.closed {
+			continue
+		}
+		last := t.Last().Shape
+		for si, s := range shapes {
+			c, ok := tr.cost(last, s)
+			if ok {
+				cands = append(cands, cand{c, ti, si})
+			}
+		}
+	}
+	// Greedy minimum-cost assignment (the candidate lists are tiny).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].cost < cands[j-1].cost; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	usedT := make(map[int]bool)
+	usedS := make(map[int]bool)
+	for _, c := range cands {
+		if usedT[c.track] || usedS[c.shape] {
+			continue
+		}
+		usedT[c.track] = true
+		usedS[c.shape] = true
+		t := tr.tracks[c.track]
+		t.Obs = append(t.Obs, Observation{Frame: frame, Shape: shapes[c.shape].Clone()})
+		t.missed = 0
+	}
+	// Close stale tracks, age the rest.
+	for ti, t := range tr.tracks {
+		if t.closed || usedT[ti] {
+			continue
+		}
+		t.missed++
+		if t.missed > tr.opts.MaxGap {
+			t.closed = true
+		}
+	}
+	// New tracks for unmatched shapes.
+	for si, s := range shapes {
+		if usedS[si] {
+			continue
+		}
+		tr.tracks = append(tr.tracks, &Track{
+			ID:  tr.nextID,
+			Obs: []Observation{{Frame: frame, Shape: s.Clone()}},
+		})
+		tr.nextID++
+	}
+	return nil
+}
+
+// cost scores linking shape s to a track whose last shape is `last`.
+func (tr *Tracker) cost(last, s geom.Poly) (float64, bool) {
+	e1, err1 := core.NormalizeCanonical(last)
+	e2, err2 := core.NormalizeCanonical(s)
+	if err1 != nil || err2 != nil {
+		return 0, false
+	}
+	shapeDist := core.AvgMinDistVerticesSym(e1.Poly, e2.Poly)
+	if shapeDist > tr.opts.MaxShapeDist {
+		return 0, false
+	}
+	_, _, d1 := last.Diameter()
+	move := last.Centroid().Dist(s.Centroid())
+	if d1 <= 0 || move/d1 > tr.opts.MaxMove {
+		return 0, false
+	}
+	w := tr.opts.ShapeWeight
+	return w*shapeDist/tr.opts.MaxShapeDist + (1-w)*(move/d1)/tr.opts.MaxMove, true
+}
+
+// TrackMatch is a track retrieved by shape similarity.
+type TrackMatch struct {
+	TrackID  int
+	Distance float64 // best (minimum) shape distance over the track
+	Frame    int     // frame of the best-matching observation
+}
+
+// FindTracks retrieves the k tracks most similar to the query shape: the
+// distance of a track is the minimum, over its observations, of the
+// normalized symmetric measure to the query (video retrieval: "find the
+// clips where something shaped like this appears").
+func (tr *Tracker) FindTracks(q geom.Poly, k int) ([]TrackMatch, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("video: k must be positive")
+	}
+	qe, err := core.NormalizeCanonical(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []TrackMatch
+	for _, t := range tr.tracks {
+		best := math.Inf(1)
+		bestFrame := -1
+		for _, ob := range t.Obs {
+			oe, err := core.NormalizeCanonical(ob.Shape)
+			if err != nil {
+				continue
+			}
+			if d := core.AvgMinDistVerticesSym(oe.Poly, qe.Poly); d < best {
+				best = d
+				bestFrame = ob.Frame
+			}
+		}
+		if bestFrame >= 0 {
+			out = append(out, TrackMatch{TrackID: t.ID, Distance: best, Frame: bestFrame})
+		}
+	}
+	// Sort ascending by distance.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Distance < out[j-1].Distance; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

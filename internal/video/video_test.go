@@ -1,0 +1,186 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// moveShape translates p by (dx, dy) and optionally deforms one vertex.
+func moveShape(p geom.Poly, dx, dy float64) geom.Poly {
+	return p.Transform(geom.Translation(geom.Pt(dx, dy)))
+}
+
+func sqAt(x, y, side float64) geom.Poly {
+	return geom.NewPolygon(
+		geom.Pt(x, y), geom.Pt(x+side, y), geom.Pt(x+side, y+side), geom.Pt(x, y+side))
+}
+
+func triAt(x, y, s float64) geom.Poly {
+	return geom.NewPolygon(geom.Pt(x, y), geom.Pt(x+s, y), geom.Pt(x, y+2*s))
+}
+
+func TestTrackerFollowsMovingShape(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	for f := 0; f < 10; f++ {
+		sq := sqAt(float64(f)*0.5, 0, 4)
+		if err := tr.Observe([]geom.Poly{sq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(tracks))
+	}
+	if tracks[0].Len() != 10 {
+		t.Errorf("track length = %d", tracks[0].Len())
+	}
+	if tracks[0].Closed() {
+		t.Error("active track should be open")
+	}
+	if tracks[0].First().Frame != 0 || tracks[0].Last().Frame != 9 {
+		t.Error("frame bookkeeping broken")
+	}
+}
+
+func TestTrackerSeparatesTwoObjects(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	for f := 0; f < 6; f++ {
+		shapes := []geom.Poly{
+			sqAt(float64(f)*0.4, 0, 4),
+			triAt(30-float64(f)*0.4, 20, 3),
+		}
+		if err := tr.Observe(shapes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(tracks))
+	}
+	for _, tk := range tracks {
+		if tk.Len() != 6 {
+			t.Errorf("track %d length %d, want 6", tk.ID, tk.Len())
+		}
+	}
+}
+
+func TestTrackerGapAndClose(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxGap = 1
+	tr := NewTracker(opts)
+	sq := sqAt(0, 0, 4)
+	if err := tr.Observe([]geom.Poly{sq}); err != nil {
+		t.Fatal(err)
+	}
+	// One missed frame: survives.
+	if err := tr.Observe(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe([]geom.Poly{sq}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tracks()) != 1 || tr.Tracks()[0].Len() != 2 {
+		t.Fatalf("gap bridging failed: %d tracks", len(tr.Tracks()))
+	}
+	// Two missed frames: closes; reappearance starts a new track.
+	if err := tr.Observe(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Tracks()[0].Closed() {
+		t.Error("track should have closed after exceeding MaxGap")
+	}
+	if err := tr.Observe([]geom.Poly{sq}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tracks()) != 2 {
+		t.Errorf("reappearance should start a new track: %d", len(tr.Tracks()))
+	}
+}
+
+func TestTrackerRejectsTeleport(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	if err := tr.Observe([]geom.Poly{sqAt(0, 0, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	// The same shape but displaced by many diameters: must not link.
+	if err := tr.Observe([]geom.Poly{sqAt(100, 100, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tracks()) != 2 {
+		t.Errorf("teleporting shape linked: %d tracks", len(tr.Tracks()))
+	}
+}
+
+func TestTrackerRejectsShapeSwap(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	if err := tr.Observe([]geom.Poly{sqAt(0, 0, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	// A very different shape at the same place: must not link.
+	if err := tr.Observe([]geom.Poly{triAt(0, 0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tracks()) != 2 {
+		t.Errorf("shape-swapped object linked: %d tracks", len(tr.Tracks()))
+	}
+}
+
+func TestTrackerToleratesDeformation(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	base := sqAt(0, 0, 4)
+	for f := 0; f < 8; f++ {
+		p := base.Clone()
+		// A breathing deformation well inside MaxShapeDist.
+		s := 1 + 0.02*math.Sin(float64(f))
+		p = p.Transform(geom.Scaling(s))
+		p = moveShape(p, float64(f)*0.3, 0)
+		if err := tr.Observe([]geom.Poly{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tr.Tracks()) != 1 {
+		t.Errorf("deforming object fragmented into %d tracks", len(tr.Tracks()))
+	}
+}
+
+func TestFindTracks(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	for f := 0; f < 5; f++ {
+		shapes := []geom.Poly{
+			sqAt(float64(f)*0.3, 0, 4),
+			triAt(30, 20+float64(f)*0.3, 3),
+		}
+		if err := tr.Observe(shapes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, err := tr.FindTracks(sqAt(50, 50, 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	if ms[0].Distance > 1e-6 {
+		t.Errorf("square query should match the square track exactly: %v", ms[0].Distance)
+	}
+	if ms[0].Distance > ms[1].Distance {
+		t.Error("matches unsorted")
+	}
+	if _, err := tr.FindTracks(sqAt(0, 0, 1), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	tr := NewTracker(DefaultOptions())
+	bow := geom.NewPolygon(geom.Pt(0, 0), geom.Pt(2, 2), geom.Pt(2, 0), geom.Pt(0, 2))
+	if err := tr.Observe([]geom.Poly{bow}); err == nil {
+		t.Error("self-intersecting observation should fail")
+	}
+}

@@ -1,0 +1,258 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty site set should fail")
+	}
+	if _, err := Build([]geom.Point{geom.Pt(math.NaN(), 0)}); err == nil {
+		t.Error("NaN site should fail")
+	}
+}
+
+func TestSingleSite(t *testing.T) {
+	d, err := Build([]geom.Point{geom.Pt(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSites() != 1 {
+		t.Fatalf("NumSites = %d", d.NumSites())
+	}
+	c := d.Cell(0)
+	if c.Polygon.NumVertices() != 4 {
+		t.Errorf("single-site cell should be the whole box, got %d vertices", c.Polygon.NumVertices())
+	}
+	if len(c.Neighbors) != 0 {
+		t.Errorf("single site has no neighbors: %v", c.Neighbors)
+	}
+	i, dist := d.Nearest(geom.Pt(100, 100))
+	if i != 0 || !almostEq(dist, geom.Pt(3, 4).Dist(geom.Pt(100, 100)), 1e-9) {
+		t.Errorf("Nearest = %d %v", i, dist)
+	}
+}
+
+func TestTwoSitesBisector(t *testing.T) {
+	d, err := Build([]geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell 0 must contain points with x < 1, not points with x > 1.
+	if !d.Cell(0).Polygon.ContainsPoint(geom.Pt(0.5, 0.3)) {
+		t.Error("cell 0 should contain (0.5,0.3)")
+	}
+	if d.Cell(0).Polygon.ContainsPoint(geom.Pt(1.5, 0.3)) {
+		t.Error("cell 0 should not contain (1.5,0.3)")
+	}
+	if len(d.Cell(0).Neighbors) != 1 || d.Cell(0).Neighbors[0] != 1 {
+		t.Errorf("cell 0 neighbors = %v", d.Cell(0).Neighbors)
+	}
+}
+
+func TestDuplicateSites(t *testing.T) {
+	d, err := Build([]geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cell(0).Polygon.NumVertices() == 0 {
+		t.Error("first twin keeps its cell")
+	}
+	if d.Cell(1).Polygon.NumVertices() != 0 {
+		t.Error("second twin should have an empty cell")
+	}
+	i, _ := d.Nearest(geom.Pt(0, 0))
+	if i != 0 && i != 1 {
+		t.Errorf("nearest to origin should be a twin, got %d", i)
+	}
+}
+
+func TestCollinearSites(t *testing.T) {
+	sites := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0)}
+	d, err := Build(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites {
+		if d.Cell(i).Polygon.NumVertices() < 3 {
+			t.Errorf("collinear cell %d degenerate", i)
+		}
+	}
+	// Middle sites have exactly two neighbors on a line.
+	if len(d.Cell(1).Neighbors) != 2 {
+		t.Errorf("middle collinear cell neighbors = %v", d.Cell(1).Neighbors)
+	}
+}
+
+// Property: every point of a cell (sampled on a grid) is at least as close
+// to its own site as to any other site.
+func TestCellMembershipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(20)
+		sites := make([]geom.Point, n)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		d, err := Build(sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			cell := d.Cell(i)
+			if cell.Polygon.NumVertices() == 0 {
+				continue
+			}
+			// Sample the cell's vertex centroid and boundary points.
+			samples := append(cell.Polygon.Resample(10), cell.Polygon.Centroid())
+			for _, p := range samples {
+				di := p.Dist(sites[i])
+				for j, sj := range sites {
+					if j == i {
+						continue
+					}
+					if p.Dist(sj) < di-1e-6 {
+						t.Fatalf("trial %d: point %v of cell %d closer to site %d", trial, p, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(40)
+		sites := make([]geom.Point, n)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.NormFloat64()*5, rng.NormFloat64()*5)
+		}
+		d, err := Build(sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 50; q++ {
+			p := geom.Pt(rng.NormFloat64()*8, rng.NormFloat64()*8)
+			gi, gd := d.NearestFrom(p, rng.Intn(n))
+			_, bd := bruteNearest(sites, p)
+			if !almostEq(gd, bd, 1e-9*(1+bd)) {
+				t.Fatalf("trial %d: walk found site %d at %v, brute found %v", trial, gi, gd, bd)
+			}
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sites := make([]geom.Point, 25)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	d, err := Build(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites {
+		for _, j := range d.Cell(i).Neighbors {
+			found := false
+			for _, k := range d.Cell(j).Neighbors {
+				if k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("neighbor asymmetry: %d lists %d but not vice versa", i, j)
+			}
+		}
+	}
+}
+
+// Property-based: Nearest always agrees with brute force on small random
+// configurations.
+func TestQuickNearest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		sites := make([]geom.Point, n)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.Float64()*4, rng.Float64()*4)
+		}
+		d, err := Build(sites)
+		if err != nil {
+			return false
+		}
+		q := geom.Pt(rng.Float64()*6-1, rng.Float64()*6-1)
+		_, gd := d.Nearest(q)
+		_, bd := bruteNearest(sites, q)
+		return almostEq(gd, bd, 1e-9*(1+bd))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteNearest(sites []geom.Point, q geom.Point) (int, float64) {
+	best, bd := 0, math.Inf(1)
+	for i, s := range sites {
+		if d := q.Dist(s); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best, bd
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// The bounded cells of a diagram partition the clipping box: their areas
+// sum to the box area (cells of duplicate sites are empty).
+func TestCellsPartitionBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(25)
+		sites := make([]geom.Point, n)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.Float64()*8, rng.Float64()*8)
+		}
+		d, err := Build(sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for i := 0; i < n; i++ {
+			total += d.Cell(i).Polygon.Area()
+		}
+		want := d.Bounds().Area()
+		if math.Abs(total-want) > 1e-6*want {
+			t.Fatalf("trial %d: cells cover %v of %v", trial, total, want)
+		}
+	}
+}
+
+// Each site lies inside its own cell.
+func TestSiteInOwnCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sites := make([]geom.Point, 30)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.Float64()*5, rng.Float64()*5)
+	}
+	d, err := Build(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sites {
+		if d.Cell(i).Polygon.NumVertices() == 0 {
+			continue // duplicate twin
+		}
+		if !d.Cell(i).Polygon.ContainsPoint(s) {
+			t.Errorf("site %d outside its own cell", i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package geosir
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// FindSimilarBatch answers many similarity queries concurrently. After
+// Freeze the engine's index structures are immutable, so queries are
+// embarrassingly parallel — the "fast parallel similarity search" setting
+// the paper's related work ([5]) targets. workers ≤ 0 selects GOMAXPROCS.
+//
+// Results are positionally aligned with the queries. The first query
+// error aborts the batch.
+func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, []Stats, error) {
+	if !e.frozen {
+		return nil, nil, fmt.Errorf("geosir: engine must be frozen")
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("geosir: k must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	matches := make([][]Match, len(queries))
+	stats := make([]Stats, len(queries))
+	errs := make([]error, len(queries))
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				m, s, err := e.FindSimilar(queries[i], k)
+				matches[i], stats[i], errs[i] = m, s, err
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("geosir: query %d: %w", i, err)
+		}
+	}
+	return matches, stats, nil
+}

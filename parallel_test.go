@@ -1,0 +1,67 @@
+package geosir
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestFindSimilarBatchMatchesSequential(t *testing.T) {
+	eng := buildEngine(t)
+	rng := rand.New(rand.NewSource(7))
+	var queries []Shape
+	for i := 0; i < 12; i++ {
+		src := eng.Base().Shape(rng.Intn(eng.NumShapes())).Poly
+		q := synth.Distort(rng, src, 0.01)
+		if q.Validate() != nil {
+			q = src
+		}
+		queries = append(queries, q)
+	}
+	batch, bstats, err := eng.FindSimilarBatch(queries, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) || len(bstats) != len(queries) {
+		t.Fatalf("result shape: %d/%d", len(batch), len(bstats))
+	}
+	for i, q := range queries {
+		seq, sstats, err := eng.FindSimilar(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(batch[i]) {
+			t.Fatalf("query %d: %d vs %d matches", i, len(batch[i]), len(seq))
+		}
+		for j := range seq {
+			if seq[j] != batch[i][j] {
+				t.Errorf("query %d rank %d: %+v vs %+v", i, j, batch[i][j], seq[j])
+			}
+		}
+		if sstats != bstats[i] {
+			t.Errorf("query %d stats differ", i)
+		}
+	}
+}
+
+func TestFindSimilarBatchErrors(t *testing.T) {
+	eng := New(DefaultOptions())
+	if _, _, err := eng.FindSimilarBatch([]Shape{square(0, 0, 1)}, 1, 2); err == nil {
+		t.Error("unfrozen batch should fail")
+	}
+	built := buildEngine(t)
+	if _, _, err := built.FindSimilarBatch([]Shape{square(0, 0, 1)}, 0, 2); err == nil {
+		t.Error("k=0 should fail")
+	}
+	// An invalid query inside the batch surfaces with its index.
+	bad := []Shape{square(0, 0, 1), NewPolyline(Pt(0, 0))}
+	if _, _, err := built.FindSimilarBatch(bad, 1, 2); err == nil {
+		t.Error("invalid query in batch should fail")
+	}
+	// Empty batch is fine.
+	ms, st, err := built.FindSimilarBatch(nil, 1, 2)
+	if err != nil || len(ms) != 0 || len(st) != 0 {
+		t.Errorf("empty batch: %v %v %v", ms, st, err)
+	}
+}

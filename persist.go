@@ -1,0 +1,218 @@
+package geosir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Save / Load persist an engine's image base. The format stores the
+// options and the raw shapes; indices (normalized copies, range
+// structures, hash table) are deterministic functions of those, so Load
+// rebuilds them with Freeze and the reloaded engine answers every query
+// identically.
+
+const persistMagic = "GSIR1\n"
+
+// Save writes the engine's configuration and image base to w. The engine
+// may be saved before or after Freeze.
+func (e *Engine) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	writeF := func(v float64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	writeU := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	for _, v := range []float64{e.opts.Alpha, e.opts.Beta, e.opts.Tau, e.opts.AngleTol} {
+		if err := writeF(v); err != nil {
+			return err
+		}
+	}
+	if err := writeU(uint32(e.opts.HashCurves)); err != nil {
+		return err
+	}
+
+	// Group shapes by image, preserving image ids.
+	base := e.db.Base()
+	byImage := make(map[int][]Shape)
+	var order []int
+	for _, s := range base.Shapes() {
+		if _, seen := byImage[s.Image]; !seen {
+			order = append(order, s.Image)
+		}
+		byImage[s.Image] = append(byImage[s.Image], s.Poly)
+	}
+	if err := writeU(uint32(len(order))); err != nil {
+		return err
+	}
+	for _, img := range order {
+		if err := writeU(uint32(img)); err != nil {
+			return err
+		}
+		shapes := byImage[img]
+		if err := writeU(uint32(len(shapes))); err != nil {
+			return err
+		}
+		for _, sh := range shapes {
+			flag := uint32(0)
+			if sh.Closed {
+				flag = 1
+			}
+			if err := writeU(flag); err != nil {
+				return err
+			}
+			if err := writeU(uint32(len(sh.Pts))); err != nil {
+				return err
+			}
+			for _, p := range sh.Pts {
+				if err := writeF(p.X); err != nil {
+					return err
+				}
+				if err := writeF(p.Y); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an engine saved with Save, rebuilds every index, and
+// returns it frozen (ready to query).
+func Load(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("geosir: reading header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("geosir: bad magic %q", magic)
+	}
+	readF := func() (float64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	readU := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+
+	var opts Options
+	var err error
+	if opts.Alpha, err = readF(); err != nil {
+		return nil, fmt.Errorf("geosir: options: %w", err)
+	}
+	if opts.Beta, err = readF(); err != nil {
+		return nil, err
+	}
+	if opts.Tau, err = readF(); err != nil {
+		return nil, err
+	}
+	if opts.AngleTol, err = readF(); err != nil {
+		return nil, err
+	}
+	hc, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	opts.HashCurves = int(hc)
+
+	eng := New(opts)
+	nimg, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	const maxCount = 1 << 28 // sanity bound against corrupt headers
+	if nimg > maxCount {
+		return nil, fmt.Errorf("geosir: implausible image count %d", nimg)
+	}
+	for i := uint32(0); i < nimg; i++ {
+		imgID, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		nsh, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if nsh > maxCount {
+			return nil, fmt.Errorf("geosir: implausible shape count %d", nsh)
+		}
+		shapes := make([]Shape, 0, nsh)
+		for s := uint32(0); s < nsh; s++ {
+			flag, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			nv, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			if nv > maxCount {
+				return nil, fmt.Errorf("geosir: implausible vertex count %d", nv)
+			}
+			pts := make([]Point, nv)
+			for v := uint32(0); v < nv; v++ {
+				x, err := readF()
+				if err != nil {
+					return nil, err
+				}
+				y, err := readF()
+				if err != nil {
+					return nil, err
+				}
+				pts[v] = Pt(x, y)
+			}
+			shapes = append(shapes, Shape{Pts: pts, Closed: flag == 1})
+		}
+		if err := eng.AddImage(int(imgID), shapes); err != nil {
+			return nil, fmt.Errorf("geosir: image %d: %w", imgID, err)
+		}
+	}
+	if err := eng.Freeze(); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// SaveFile saves the engine to a file.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads an engine from a file.
+func LoadFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

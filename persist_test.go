@@ -1,0 +1,99 @@
+package geosir
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := buildEngine(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumImages() != orig.NumImages() ||
+		loaded.NumShapes() != orig.NumShapes() ||
+		loaded.NumEntries() != orig.NumEntries() {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			loaded.NumImages(), loaded.NumShapes(), loaded.NumEntries(),
+			orig.NumImages(), orig.NumShapes(), orig.NumEntries())
+	}
+	// Queries must answer identically.
+	q := lshape(0, 0, 3).Transform(Similarity(1.4, 0.5, Pt(40, 40)))
+	m1, s1, err := orig.FindSimilar(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, s2, err := loaded.FindSimilar(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || len(m1) != len(m2) {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+	// Topological queries too.
+	binds := map[string]Shape{"sq": square(0, 0, 7), "tri": triangle(0, 0, 5)}
+	ids1, _, err := orig.Query("contain(sq, tri, any)", binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, _, err := loaded.Query("contain(sq, tri, any)", binds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids1) != len(ids2) {
+		t.Fatalf("query results differ: %v vs %v", ids1, ids2)
+	}
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatalf("query results differ: %v vs %v", ids1, ids2)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	orig := buildEngine(t)
+	path := filepath.Join(t.TempDir(), "base.gsir")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumShapes() != orig.NumShapes() {
+		t.Errorf("shapes: %d vs %d", loaded.NumShapes(), orig.NumShapes())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Load(bytes.NewReader([]byte("NOTGS\n"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated body.
+	orig := buildEngine(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated input should fail")
+	}
+}
