@@ -1,0 +1,35 @@
+GO ?= go
+
+# Match-driven benchmarks whose throughput we track across PRs.
+QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
+
+.PHONY: ci vet build test race bench-smoke bench-query clean
+
+# The gate every PR must pass.
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of each figure benchmark — catches benchmarks that no
+# longer compile or panic, without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime=1x .
+
+# Headline query-throughput metrics, written to BENCH_query.json so
+# successive PRs can compare trajectories.
+bench-query:
+	$(GO) test -run '^$$' -bench '$(QUERY_BENCH)' -benchmem -benchtime=3x . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_query.json
+
+clean:
+	$(GO) clean -testcache

@@ -98,6 +98,100 @@ func BenchmarkFig2_MGRetrieval(b *testing.B) {
 	}
 }
 
+// --- Query hot path: engine-level retrieval APIs --------------------------
+
+// benchEngine builds a small engine (≈50 images) for the engine-level
+// query benchmarks, once per process.
+var (
+	benchEngOnce sync.Once
+	benchEng     *Engine
+	benchEngErr  error
+)
+
+func sharedEngine(b *testing.B) *Engine {
+	b.Helper()
+	benchEngOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.Scale = 0.005
+		f, err := experiments.BuildFixture(cfg)
+		if err != nil {
+			benchEngErr = err
+			return
+		}
+		eng := New(DefaultOptions())
+		for _, img := range f.Images {
+			if err := eng.AddImage(img.ID, img.Shapes); err != nil {
+				benchEngErr = err
+				return
+			}
+		}
+		benchEngErr = eng.Freeze()
+		benchEng = eng
+	})
+	if benchEngErr != nil {
+		b.Fatal(benchEngErr)
+	}
+	return benchEng
+}
+
+// benchSketch distorts the shapes of one base image into a query sketch.
+func benchSketch(eng *Engine, n int) []Shape {
+	rng := rand.New(rand.NewSource(33))
+	shapes := eng.Base().Shapes()
+	img := shapes[0].Image
+	var sketch []Shape
+	for _, s := range shapes {
+		if s.Image != img || len(sketch) == n {
+			continue
+		}
+		q := synth.Distort(rng, s.Poly, 0.01)
+		if q.Validate() != nil {
+			q = s.Poly
+		}
+		sketch = append(sketch, q)
+	}
+	for len(sketch) < n {
+		s := shapes[rng.Intn(len(shapes))]
+		q := synth.Distort(rng, s.Poly, 0.01)
+		if q.Validate() != nil {
+			q = s.Poly
+		}
+		sketch = append(sketch, q)
+	}
+	return sketch
+}
+
+func BenchmarkFindBySketch(b *testing.B) {
+	eng := sharedEngine(b)
+	sketch := benchSketch(eng, 4)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.FindBySketchWorkers(sketch, 3, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFindApproximate(b *testing.B) {
+	eng := sharedEngine(b)
+	rng := rand.New(rand.NewSource(34))
+	shapes := eng.Base().Shapes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := shapes[rng.Intn(len(shapes))]
+		q := synth.Distort(rng, src.Poly, 0.02)
+		if q.Validate() != nil {
+			continue
+		}
+		if _, err := eng.FindApproximate(q, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Figure 5: solving the equal-area hash-curve family ------------------
 
 func BenchmarkFig5_HashCurveSolve(b *testing.B) {

@@ -20,7 +20,6 @@ package geosir
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -233,6 +232,9 @@ func (e *Engine) FindSimilar(q Shape, k int) ([]Match, Stats, error) {
 // FindApproximate retrieves up to k approximate matches through the
 // geometric hash table alone (§3): hash the query, collect the shapes on
 // the same (or adjacent) curves, rank them with the similarity measure.
+// The query is normalized and its boundary oracle built exactly once;
+// every candidate is then scored through the prepared query against the
+// base's frozen per-entry oracles.
 func (e *Engine) FindApproximate(q Shape, k int) ([]Match, error) {
 	if !e.frozen {
 		return nil, fmt.Errorf("geosir: engine must be frozen")
@@ -240,11 +242,11 @@ func (e *Engine) FindApproximate(q Shape, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("geosir: k must be positive")
 	}
-	ce, err := core.NormalizeCanonical(q)
+	pq, err := core.PrepareQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	quad := e.family.Characteristic(ce.Poly.Pts)
+	quad := e.family.Characteristic(pq.Entry().Poly.Pts)
 	ids := e.table.Lookup(quad, 0)
 	if len(ids) == 0 {
 		ids = e.table.Lookup(quad, 1) // widen once to the neighbor curves
@@ -252,7 +254,7 @@ func (e *Engine) FindApproximate(q Shape, k int) ([]Match, error) {
 	base := e.db.Base()
 	out := make([]Match, 0, len(ids))
 	for _, sid := range ids {
-		d, err := base.ShapeDistance(sid, q)
+		d, err := base.ShapeDistancePrepared(sid, pq)
 		if err != nil {
 			continue
 		}
@@ -302,12 +304,15 @@ func (e *Engine) toMatches(ms []core.Match, approx bool) []Match {
 	return out
 }
 
+// sortMatches orders by increasing distance, breaking ties on ShapeID so
+// results are deterministic regardless of hash-bucket iteration order.
 func sortMatches(ms []Match) {
-	for i := 1; i < len(ms); i++ {
-		for j := i; j > 0 && ms[j].Distance < ms[j-1].Distance; j-- {
-			ms[j], ms[j-1] = ms[j-1], ms[j]
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Distance != ms[j].Distance {
+			return ms[i].Distance < ms[j].Distance
 		}
-	}
+		return ms[i].ShapeID < ms[j].ShapeID
+	})
 }
 
 // SketchMatch is one image retrieved by a multi-shape sketch.
@@ -327,71 +332,10 @@ type SketchMatch struct {
 // image's closest shape. Images missing a counterpart for some sketch
 // shape are penalized with that shape's distance to the image's best
 // effort (never skipped), so partial matches rank below complete ones.
+//
+// The per-sketch-shape retrievals are independent index reads and run
+// concurrently on up to GOMAXPROCS workers; use FindBySketchWorkers to
+// pick the worker count explicitly.
 func (e *Engine) FindBySketch(sketch []Shape, k int) ([]SketchMatch, error) {
-	if !e.frozen {
-		return nil, fmt.Errorf("geosir: engine must be frozen")
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("geosir: k must be positive")
-	}
-	if len(sketch) == 0 {
-		return nil, fmt.Errorf("geosir: empty sketch")
-	}
-	base := e.db.Base()
-	// For each sketch shape, the best distance per image.
-	perImage := make(map[int][]float64)
-	for si, q := range sketch {
-		if err := q.Validate(); err != nil {
-			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
-		}
-		// Retrieve generously: enough shapes to cover every image once.
-		ms, _, err := base.Match(q, base.NumShapes())
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range ms {
-			img := base.Shape(m.ShapeID).Image
-			ds, ok := perImage[img]
-			if !ok {
-				ds = make([]float64, len(sketch))
-				for i := range ds {
-					ds[i] = math.Inf(1)
-				}
-				perImage[img] = ds
-			}
-			if m.DistVertex < ds[si] {
-				ds[si] = m.DistVertex
-			}
-		}
-	}
-	out := make([]SketchMatch, 0, len(perImage))
-	for img, ds := range perImage {
-		var sum float64
-		complete := true
-		for _, d := range ds {
-			if math.IsInf(d, 1) {
-				complete = false
-				break
-			}
-			sum += d
-		}
-		if !complete {
-			continue // the image lacks a counterpart for some sketch shape
-		}
-		out = append(out, SketchMatch{
-			ImageID:  img,
-			Score:    sum / float64(len(ds)),
-			PerShape: ds,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
-		}
-		return out[i].ImageID < out[j].ImageID
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return e.FindBySketchWorkers(sketch, k, 0)
 }

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/rangesearch"
@@ -68,10 +71,23 @@ type Base struct {
 	shapes  []Shape
 	entries []Entry
 
+	// shapeEntries maps a shape id to the indices of its normalized
+	// copies, maintained incrementally by AddShape.
+	shapeEntries [][]int32
+
 	// Flattened index of every vertex of every entry.
 	verts     []geom.Point
 	vertEntry []int32 // vertex id → entry index
 	entryOff  []int32 // entry index → first vertex id (len = len(entries)+1)
+
+	// oracles holds one boundary-distance oracle per entry, built at
+	// Freeze. The base is immutable afterward, so the oracles are shared
+	// by every query instead of being rebuilt per candidate evaluation.
+	oracles []*BoundaryDist
+
+	// scratch recycles per-query working state across Match calls (see
+	// scratch.go). Populated lazily after Freeze.
+	scratch sync.Pool
 
 	backend rangesearch.Backend
 	frozen  bool
@@ -100,10 +116,13 @@ func (b *Base) AddShape(image int, p geom.Poly) (int, error) {
 	}
 	id := len(b.shapes)
 	b.shapes = append(b.shapes, Shape{ID: id, Image: image, Poly: p.Clone()})
+	eis := make([]int32, 0, len(entries))
 	for _, e := range entries {
 		e.ShapeID = id
+		eis = append(eis, int32(len(b.entries)))
 		b.entries = append(b.entries, e)
 	}
+	b.shapeEntries = append(b.shapeEntries, eis)
 	return id, nil
 }
 
@@ -136,8 +155,69 @@ func (b *Base) Freeze() error {
 	} else {
 		b.backend = rangesearch.New(b.opts.Backend, b.verts)
 	}
+	b.buildOracles()
 	b.frozen = true
 	return nil
+}
+
+// buildOracles precomputes one boundary-distance oracle per entry, in
+// parallel: the grids are independent and freeze time is the one moment
+// the base may burn all cores without contending with queries.
+func (b *Base) buildOracles() {
+	b.oracles = make([]*BoundaryDist, len(b.entries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(b.entries) {
+		workers = len(b.entries)
+	}
+	if workers <= 1 {
+		for ei := range b.entries {
+			b.oracles[ei] = NewBoundaryDist(b.entries[ei].Poly)
+		}
+		return
+	}
+	const stride = 64
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(stride)) - stride
+				if start >= len(b.entries) {
+					return
+				}
+				end := start + stride
+				if end > len(b.entries) {
+					end = len(b.entries)
+				}
+				for ei := start; ei < end; ei++ {
+					b.oracles[ei] = NewBoundaryDist(b.entries[ei].Poly)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EntryOracle returns the frozen boundary-distance oracle of entry i —
+// the nearest-boundary structure for the entry's normalized polygon,
+// built once at Freeze and safe for concurrent use. It returns nil
+// before Freeze.
+func (b *Base) EntryOracle(i int) *BoundaryDist {
+	if b.oracles == nil {
+		return nil
+	}
+	return b.oracles[i]
+}
+
+// entryOracle returns the cached oracle of entry ei, building one on the
+// fly only when the base is not frozen yet.
+func (b *Base) entryOracle(ei int32) *BoundaryDist {
+	if b.oracles != nil {
+		return b.oracles[ei]
+	}
+	return NewBoundaryDist(b.entries[ei].Poly)
 }
 
 // NumShapes returns the number of stored shapes.
@@ -203,11 +283,13 @@ func (b *Base) InitialEpsilon(queryPerimeter float64) float64 {
 // EntriesOfShape returns the indices of the normalized copies belonging
 // to the given shape id.
 func (b *Base) EntriesOfShape(shapeID int) []int {
-	var out []int
-	for ei := range b.entries {
-		if b.entries[ei].ShapeID == shapeID {
-			out = append(out, ei)
-		}
+	if shapeID < 0 || shapeID >= len(b.shapeEntries) {
+		return nil
+	}
+	eis := b.shapeEntries[shapeID]
+	out := make([]int, len(eis))
+	for i, ei := range eis {
+		out[i] = int(ei)
 	}
 	return out
 }

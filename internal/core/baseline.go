@@ -50,7 +50,8 @@ func (s *ScanMatcher) Match(q geom.Poly, k int) ([]Match, error) {
 	bestByShape := make(map[int]Match)
 	for ei := range s.base.entries {
 		e := &s.base.entries[ei]
-		dv := symVertexDistTo(e.Poly, qe.Poly, oracle)
+		dv := (AvgMinDistVertices(e.Poly, oracle) +
+			AvgMinDistVertices(qe.Poly, s.base.entryOracle(int32(ei)))) / 2
 		cur, ok := bestByShape[e.ShapeID]
 		if !ok || dv < cur.DistVertex {
 			bestByShape[e.ShapeID] = Match{ShapeID: e.ShapeID, EntryID: ei, DistVertex: dv}

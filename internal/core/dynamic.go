@@ -29,8 +29,9 @@ type Dynamic struct {
 	frozenIDs []int // frozen-base shape id → global id
 	frozenDel int   // tombstones that still shadow the frozen base
 
-	overflow        []int     // global ids not yet in the frozen base
-	overflowEntries [][]Entry // normalized copies per overflow shape
+	overflow        []int             // global ids not yet in the frozen base
+	overflowEntries [][]Entry         // normalized copies per overflow shape
+	overflowOracles [][]*BoundaryDist // boundary oracles per overflow copy
 
 	// RebuildFraction triggers a rebuild once overflow+tombstones exceed
 	// this fraction of the live population (default 0.25).
@@ -66,6 +67,13 @@ func (d *Dynamic) Insert(image int, p geom.Poly) (int, error) {
 	d.live++
 	d.overflow = append(d.overflow, id)
 	d.overflowEntries = append(d.overflowEntries, entries)
+	// Build the copies' oracles once at insert: the overflow area is
+	// scanned exactly on every query until the next rebuild.
+	oracles := make([]*BoundaryDist, len(entries))
+	for i := range entries {
+		oracles[i] = NewBoundaryDist(entries[i].Poly)
+	}
+	d.overflowOracles = append(d.overflowOracles, oracles)
 	d.maybeRebuild()
 	return id, nil
 }
@@ -85,6 +93,7 @@ func (d *Dynamic) Delete(id int) error {
 		if gid == id {
 			d.overflow = append(d.overflow[:i], d.overflow[i+1:]...)
 			d.overflowEntries = append(d.overflowEntries[:i], d.overflowEntries[i+1:]...)
+			d.overflowOracles = append(d.overflowOracles[:i], d.overflowOracles[i+1:]...)
 			return nil
 		}
 	}
@@ -122,6 +131,7 @@ func (d *Dynamic) Rebuild() error {
 		d.frozenDel = 0
 		d.overflow = nil
 		d.overflowEntries = nil
+		d.overflowOracles = nil
 		return nil
 	}
 	b := NewBase(d.opts)
@@ -143,6 +153,7 @@ func (d *Dynamic) Rebuild() error {
 	d.frozenDel = 0
 	d.overflow = nil
 	d.overflowEntries = nil
+	d.overflowOracles = nil
 	return nil
 }
 
@@ -185,12 +196,15 @@ func (d *Dynamic) Match(q geom.Poly, k int) ([]Match, Stats, error) {
 			merged = append(merged, m)
 		}
 	}
-	// Exact scan of the overflow area.
+	// Exact scan of the overflow area, against the oracles cached at
+	// insert time.
 	for i, gid := range d.overflow {
 		best := math.Inf(1)
 		for ei := range d.overflowEntries[i] {
 			e := &d.overflowEntries[i][ei]
-			if dv := symVertexDistTo(e.Poly, qe.Poly, oracle); dv < best {
+			dv := (AvgMinDistVertices(e.Poly, oracle) +
+				AvgMinDistVertices(qe.Poly, d.overflowOracles[i][ei])) / 2
+			if dv < best {
 				best = dv
 			}
 		}

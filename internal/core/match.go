@@ -108,20 +108,18 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		thresholdEps = math.Max(thresholdEps, 2*tau*1.0001)
 	}
 
-	counters := make([]int32, len(b.entries))
-	// distSum accumulates the exact boundary distances of the counted
-	// vertices per entry: with c of v vertices counted at total distance
-	// S, every unevaluated entry obeys
+	// The per-entry counters and distance sums implement the "bounds on
+	// the similarity measure" of the paper's step 4: with c of v vertices
+	// counted at total distance S, every unevaluated entry obeys
 	//   DistVertex ≥ (S + (v-c)·ε) / v / 2
-	// since each uncounted vertex is farther than the current ε. These
-	// are the "bounds on the similarity measure" of the paper's step 4:
-	// they let the algorithm defer (and usually never pay for) entries
-	// that provably cannot enter the top k.
-	distSum := make([]float64, len(b.entries))
-	touched := make([]int32, 0, 256) // entries with ≥1 counted vertex
-	counted := newBitset(len(b.verts))
-	evaluated := newBitset(len(b.entries))
+	// since each uncounted vertex is farther than the current ε. They let
+	// the algorithm defer (and usually never pay for) entries that
+	// provably cannot enter the top k. The arrays live in a pooled,
+	// epoch-stamped scratch recycled across queries (scratch.go).
+	scratch := b.getScratch()
+	defer b.putScratch(scratch)
 	bestByShape := make(map[int]Match)
+	topk := newBoundedTopK(k)
 
 	beta := b.opts.Beta
 	grow := b.opts.GrowthFactor
@@ -137,59 +135,50 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		eps *= grow
 	}
 
+	// kthBound reads the incremental bound: the k-th smallest per-shape
+	// best so far (maintained by the bounded heap) and the number of
+	// shapes with an evaluated copy.
 	kthBound := func() (float64, int) {
-		if len(bestByShape) == 0 {
-			return math.Inf(1), 0
-		}
-		ds := make([]float64, 0, len(bestByShape))
-		for _, m := range bestByShape {
-			ds = append(ds, m.DistVertex)
-		}
-		sort.Float64s(ds)
-		if len(ds) < k {
-			return math.Inf(1), len(ds)
-		}
-		return ds[k-1], len(ds)
+		return topk.Kth(), len(bestByShape)
 	}
 
-	// dirDist caches the exact directed vertex-average distance of an
-	// entry to the query boundary (computed against the query's prebuilt
-	// grid — cheap, and independent of ε). -1 = not yet computed. Since
+	// The scratch's dirDist caches the exact directed vertex-average
+	// distance of an entry to the query boundary (computed against the
+	// query's prebuilt grid — cheap, and independent of ε). Since
 	// DistVertex ≥ dirDist/2, a cached value permanently bounds the entry.
-	dirDist := make([]float64, len(b.entries))
-	for i := range dirDist {
-		dirDist[i] = -1
-	}
 	ensureDir := func(ei int32) float64 {
-		if dirDist[ei] < 0 {
-			dirDist[ei] = AvgMinDistVertices(b.entries[ei].Poly, oracle)
+		d := scratch.dir(ei)
+		if d < 0 {
+			d = AvgMinDistVertices(b.entries[ei].Poly, oracle)
+			scratch.setDir(ei, d)
 		}
-		return dirDist[ei]
+		return d
 	}
 
 	// entryBound returns the proven lower bound on DistVertex for an
 	// unevaluated entry with the current counters at envelope width eps.
 	entryBound := func(ei int32, eps float64) float64 {
 		v := float64(b.entryVertexCount(ei))
-		c := float64(counters[ei])
-		lb := (distSum[ei] + (v-c)*eps) / v / 2
-		if d := dirDist[ei]; d >= 0 && d/2 > lb {
+		c := float64(scratch.count(ei))
+		lb := (scratch.sum(ei) + (v-c)*eps) / v / 2
+		if d := scratch.dir(ei); d >= 0 && d/2 > lb {
 			lb = d / 2
 		}
 		return lb
 	}
 
 	// evaluateFull computes the symmetric measure (reusing the cached
-	// directed half) and folds the entry into the per-shape best.
+	// directed half and the entry's frozen oracle) and folds the entry
+	// into the per-shape best.
 	evaluateFull := func(ei int32) {
-		evaluated.set(int(ei))
+		scratch.setEvaluated(ei)
 		stats.Candidates++
 		if onAccess != nil {
 			onAccess(int(ei))
 		}
 		e := &b.entries[ei]
 		dir := ensureDir(ei)
-		back := AvgMinDistVertices(qe.Poly, NewBoundaryDist(e.Poly))
+		back := AvgMinDistVertices(qe.Poly, b.entryOracle(ei))
 		dv := (dir + back) / 2
 		cur, ok := bestByShape[e.ShapeID]
 		if !ok || dv < cur.DistVertex {
@@ -198,6 +187,33 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 				EntryID:    int(ei),
 				DistVertex: dv,
 			}
+			topk.Update(e.ShapeID, dv)
+		}
+	}
+
+	// The report callback is allocated once and shared by every triangle
+	// query of every fattening iteration (it reads eps and appends to
+	// newCandidates through the enclosing variables).
+	var newCandidates []int32
+	reportVertex := func(vid int) {
+		stats.VerticesReported++
+		if scratch.counted(vid) {
+			return
+		}
+		// Exact filter: the triangle cover may overreach the annulus;
+		// only vertices truly inside the ε-envelope are counted (each
+		// exactly once, in its home iteration).
+		d := env.Dist(b.verts[vid])
+		if d > eps {
+			return
+		}
+		scratch.setCounted(vid)
+		stats.VerticesCounted++
+		ei := b.vertEntry[vid]
+		c := scratch.addVertex(ei, d)
+		need := candidateThreshold(b.entryVertexCount(ei), beta)
+		if c == need && !scratch.evaluated(ei) {
+			newCandidates = append(newCandidates, ei)
 		}
 	}
 
@@ -208,37 +224,13 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		// Step 2: collect vertices in the envelope difference via simplex
 		// range reporting over the O(m) triangle cover.
 		tris := env.AnnulusTriangles(epsPrev, eps)
-		var newCandidates []int32
+		newCandidates = newCandidates[:0]
 		for _, tr := range tris {
 			if tr.IsDegenerate() {
 				continue
 			}
 			stats.TrianglesQueried++
-			b.backend.ReportTriangle(tr, func(vid int) {
-				stats.VerticesReported++
-				if counted.get(vid) {
-					return
-				}
-				// Exact filter: the triangle cover may overreach the
-				// annulus; only vertices truly inside the ε-envelope are
-				// counted (each exactly once, in its home iteration).
-				d := env.Dist(b.verts[vid])
-				if d > eps {
-					return
-				}
-				counted.set(vid)
-				stats.VerticesCounted++
-				ei := b.vertEntry[vid]
-				if counters[ei] == 0 {
-					touched = append(touched, ei)
-				}
-				counters[ei]++
-				distSum[ei] += d
-				need := candidateThreshold(b.entryVertexCount(ei), beta)
-				if counters[ei] == need && !evaluated.get(int(ei)) {
-					newCandidates = append(newCandidates, ei)
-				}
-			})
+			b.backend.ReportTriangle(tr, reportVertex)
 		}
 
 		// Step 4: evaluate candidates, cheapest bound first. An entry is
@@ -246,7 +238,7 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		// (lazily computed, cached) directed distance rules it out.
 		kth, have := kthBound()
 		tryEvaluate := func(ei int32) {
-			if evaluated.get(int(ei)) {
+			if scratch.evaluated(ei) {
 				return
 			}
 			ruledOut := func() bool {
@@ -271,7 +263,7 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 			// β-candidacy (the paper's step 3/4 rule) bootstraps the
 			// top-k before any bound is meaningful.
 			if math.IsInf(tau, 1) && have < k {
-				if !evaluated.get(int(ei)) {
+				if !scratch.evaluated(ei) {
 					evaluateFull(ei)
 					kth, have = kthBound()
 				}
@@ -284,7 +276,7 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		// Before the top-k is populated there is no bound to undercut
 		// (ruledOut would be vacuously false for every touched entry), so
 		// only the β-candidates above bootstrap it.
-		for _, ei := range touched {
+		for _, ei := range scratch.touched {
 			if math.IsInf(tau, 1) && have < k {
 				break
 			}
@@ -335,10 +327,11 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		if onAccess != nil {
 			onAccess(out[i].EntryID)
 		}
-		e := &b.entries[out[i].EntryID]
+		ei := out[i].EntryID
+		e := &b.entries[ei]
 		samples := b.opts.Samples
 		out[i].DistContinuous = (AvgMinDistTo(e.Poly, oracle, samples) +
-			AvgMinDist(qe.Poly, e.Poly, samples)) / 2
+			AvgMinDistTo(qe.Poly, b.entryOracle(int32(ei)), samples)) / 2
 	}
 	return out, stats, nil
 }
@@ -346,16 +339,17 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 // probeEnvelope cheaply checks whether any base vertex lies within eps of
 // the query boundary, using counting queries on the triangle cover.
 func (b *Base) probeEnvelope(env *envelope.Envelope, eps float64) bool {
+	found := false
+	probe := func(vid int) {
+		if !found && env.Dist(b.verts[vid]) <= eps {
+			found = true
+		}
+	}
 	for _, tr := range env.BandTriangles(eps) {
 		if tr.IsDegenerate() {
 			continue
 		}
-		found := false
-		b.backend.ReportTriangle(tr, func(vid int) {
-			if !found && env.Dist(b.verts[vid]) <= eps {
-				found = true
-			}
-		})
+		b.backend.ReportTriangle(tr, probe)
 		if found {
 			return true
 		}
@@ -375,11 +369,3 @@ func candidateThreshold(n int32, beta float64) int32 {
 	}
 	return t
 }
-
-// bitset is a fixed-size bit vector.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
-func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }

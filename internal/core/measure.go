@@ -108,13 +108,6 @@ func AvgMinDistVerticesSym(a, b geom.Poly) float64 {
 		AvgMinDistVertices(b, NewBoundaryDist(a))) / 2
 }
 
-// symVertexDistTo evaluates AvgMinDistVerticesSym(e, q) reusing a
-// prebuilt oracle for q.
-func symVertexDistTo(e, q geom.Poly, qOracle *BoundaryDist) float64 {
-	return (AvgMinDistVertices(e, qOracle) +
-		AvgMinDistVertices(q, NewBoundaryDist(e))) / 2
-}
-
 // AvgMinDistVerticesVoronoi computes the same vertex-averaged measure
 // using the Voronoi diagram of B's vertices for nearest-vertex location
 // (the structure §2.5 prescribes, built in O(m log m)): each vertex of A
@@ -210,26 +203,62 @@ func directedKth(a, b geom.Poly, k int) float64 {
 	return ds[k-1]
 }
 
+// PreparedQuery caches the per-query work of the direct similarity
+// checks: the canonical normalization and its boundary-distance oracle.
+// Preparing once and reusing across many ShapeDistancePrepared calls
+// hoists the normalization and grid build out of candidate loops. A
+// PreparedQuery is immutable and safe for concurrent use.
+type PreparedQuery struct {
+	entry  Entry
+	oracle *BoundaryDist
+}
+
+// PrepareQuery normalizes q canonically and builds its boundary oracle.
+func PrepareQuery(q geom.Poly) (*PreparedQuery, error) {
+	qe, err := NormalizeCanonical(q)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{entry: qe, oracle: NewBoundaryDist(qe.Poly)}, nil
+}
+
+// Entry returns the query's canonical normalization.
+func (pq *PreparedQuery) Entry() Entry { return pq.entry }
+
+// Oracle returns the query's boundary-distance oracle.
+func (pq *PreparedQuery) Oracle() *BoundaryDist { return pq.oracle }
+
 // ShapeDistance returns the similarity distance between a stored shape
 // and an arbitrary query shape: the minimum, over the shape's normalized
 // copies, of the symmetric vertex-averaged measure against the query's
 // canonical normalization. It is the direct (index-free) evaluation of
 // g_similar used when the query processor checks a single image (§5.3).
+// Callers probing many shapes against one query should PrepareQuery once
+// and use ShapeDistancePrepared.
 func (b *Base) ShapeDistance(shapeID int, q geom.Poly) (float64, error) {
 	if shapeID < 0 || shapeID >= len(b.shapes) {
 		return 0, fmt.Errorf("core: shape id %d out of range", shapeID)
 	}
-	qe, err := NormalizeCanonical(q)
+	pq, err := PrepareQuery(q)
 	if err != nil {
 		return 0, err
 	}
-	oracle := NewBoundaryDist(qe.Poly)
+	return b.ShapeDistancePrepared(shapeID, pq)
+}
+
+// ShapeDistancePrepared is ShapeDistance against a prepared query. The
+// shape's normalized copies are located through the shape→entries index
+// and their frozen oracles serve the back direction, so the per-call
+// cost is the distance evaluations alone.
+func (b *Base) ShapeDistancePrepared(shapeID int, pq *PreparedQuery) (float64, error) {
+	if shapeID < 0 || shapeID >= len(b.shapes) {
+		return 0, fmt.Errorf("core: shape id %d out of range", shapeID)
+	}
 	best := math.Inf(1)
-	for ei := range b.entries {
-		if b.entries[ei].ShapeID != shapeID {
-			continue
-		}
-		if d := symVertexDistTo(b.entries[ei].Poly, qe.Poly, oracle); d < best {
+	for _, ei := range b.shapeEntries[shapeID] {
+		d := (AvgMinDistVertices(b.entries[ei].Poly, pq.oracle) +
+			AvgMinDistVertices(pq.entry.Poly, b.entryOracle(ei))) / 2
+		if d < best {
 			best = d
 		}
 	}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// referenceKth computes the k-th smallest of the per-shape bests by the
+// method the heap replaced: rebuild and sort.
+func referenceKth(best map[int]float64, k int) float64 {
+	ds := make([]float64, 0, len(best))
+	for _, d := range best {
+		ds = append(ds, d)
+	}
+	sort.Float64s(ds)
+	if len(ds) < k {
+		return math.Inf(1)
+	}
+	return ds[k-1]
+}
+
+func TestBoundedTopKAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 2, 3, 7, 50} {
+		topk := newBoundedTopK(k)
+		best := make(map[int]float64)
+		for op := 0; op < 5000; op++ {
+			shape := rng.Intn(120)
+			var d float64
+			if cur, ok := best[shape]; ok {
+				// Strict improvement, as in the match loop (including
+				// improvements of shapes far outside the current top k).
+				d = cur * (0.1 + 0.9*rng.Float64())
+				if d >= cur {
+					continue
+				}
+			} else {
+				d = rng.Float64()
+			}
+			best[shape] = d
+			topk.Update(shape, d)
+			if got, want := topk.Kth(), referenceKth(best, k); got != want {
+				t.Fatalf("k=%d after op %d: Kth() = %v, reference = %v", k, op, got, want)
+			}
+		}
+	}
+}
+
+func TestBoundedTopKZeroDistances(t *testing.T) {
+	// Distance 0 (identical shapes) must not be confused with "absent".
+	topk := newBoundedTopK(2)
+	topk.Update(4, 0)
+	topk.Update(9, 0)
+	if got := topk.Kth(); got != 0 {
+		t.Fatalf("Kth with two zero distances = %v, want 0", got)
+	}
+	topk.Update(1, 0.5)
+	if got := topk.Kth(); got != 0 {
+		t.Fatalf("Kth after worse shape = %v, want 0", got)
+	}
+}
+
+func TestMatchScratchEpochReuse(t *testing.T) {
+	s := newMatchScratch(4, 8)
+	s.reset()
+	s.addVertex(2, 0.5)
+	s.addVertex(2, 0.25)
+	s.setCounted(3)
+	s.setDir(1, 0.125)
+	s.setEvaluated(0)
+	if s.count(2) != 2 || s.sum(2) != 0.75 {
+		t.Fatalf("counters: %d / %v", s.count(2), s.sum(2))
+	}
+	if !s.counted(3) || s.dir(1) != 0.125 || !s.evaluated(0) {
+		t.Fatal("scratch state lost within an epoch")
+	}
+	if len(s.touched) != 1 || s.touched[0] != 2 {
+		t.Fatalf("touched = %v", s.touched)
+	}
+
+	// A reset must invalidate everything without clearing the arrays.
+	s.reset()
+	if s.count(2) != 0 || s.sum(2) != 0 || s.counted(3) || s.dir(1) >= 0 || s.evaluated(0) {
+		t.Fatal("stale state visible after reset")
+	}
+	if len(s.touched) != 0 {
+		t.Fatalf("touched not cleared: %v", s.touched)
+	}
+}
+
+func TestMatchScratchEpochWraparound(t *testing.T) {
+	s := newMatchScratch(2, 2)
+	s.epoch = math.MaxUint32 - 1
+	s.reset() // → MaxUint32
+	s.setCounted(0)
+	s.setDir(1, 0.5)
+	s.reset() // wraps: stamps cleared, epoch restarts at 1
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wraparound = %d", s.epoch)
+	}
+	if s.counted(0) || s.dir(1) >= 0 {
+		t.Fatal("stale stamps survived the wraparound")
+	}
+}
+
+// TestEntryOracleEquivalence asserts the freeze-time cached oracles are
+// bit-for-bit interchangeable with freshly built ones: the same grid over
+// the same normalized polygon, so every distance the matcher computes
+// through the cache equals the rebuild-per-candidate result exactly.
+func TestEntryOracleEquivalence(t *testing.T) {
+	b := buildTestBase(t, DefaultOptions())
+	rng := rand.New(rand.NewSource(11))
+	queries := make([]geom.Poly, 0, len(testShapes()))
+	for _, p := range testShapes() {
+		queries = append(queries, distort(p, 0.02, rng))
+	}
+	for qi, q := range queries {
+		qe, err := NormalizeCanonical(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ei := 0; ei < b.NumEntries(); ei++ {
+			cached := b.EntryOracle(ei)
+			if cached == nil {
+				t.Fatalf("entry %d: nil oracle after Freeze", ei)
+			}
+			fresh := NewBoundaryDist(b.Entry(ei).Poly)
+			got := AvgMinDistVertices(qe.Poly, cached)
+			want := AvgMinDistVertices(qe.Poly, fresh)
+			if got != want {
+				t.Fatalf("query %d entry %d: cached %v != fresh %v", qi, ei, got, want)
+			}
+		}
+	}
+}
+
+// TestShapeDistancePreparedEquivalence asserts the prepared-query fast
+// path returns exactly the distances of the one-shot ShapeDistance, and
+// that both agree with a direct evaluation that builds every oracle from
+// scratch.
+func TestShapeDistancePreparedEquivalence(t *testing.T) {
+	b := buildTestBase(t, DefaultOptions())
+	rng := rand.New(rand.NewSource(13))
+	q := distort(testShapes()[3], 0.02, rng)
+	pq, err := PrepareQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := NormalizeCanonical(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qOracle := NewBoundaryDist(qe.Poly)
+	for sid := 0; sid < b.NumShapes(); sid++ {
+		oneShot, err := b.ShapeDistance(sid, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared, err := b.ShapeDistancePrepared(sid, pq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := math.Inf(1)
+		for _, ei := range b.EntriesOfShape(sid) {
+			e := b.Entry(ei)
+			d := (AvgMinDistVertices(e.Poly, qOracle) +
+				AvgMinDistVertices(qe.Poly, NewBoundaryDist(e.Poly))) / 2
+			if d < direct {
+				direct = d
+			}
+		}
+		if oneShot != prepared || oneShot != direct {
+			t.Fatalf("shape %d: one-shot %v, prepared %v, direct %v",
+				sid, oneShot, prepared, direct)
+		}
+	}
+	if _, err := b.ShapeDistancePrepared(-1, pq); err == nil {
+		t.Error("negative shape id should fail")
+	}
+	if _, err := b.ShapeDistancePrepared(b.NumShapes(), pq); err == nil {
+		t.Error("out-of-range shape id should fail")
+	}
+}
+
+// TestEntriesOfShapeIndex asserts the shape→entries index matches the
+// entries' own ShapeID tags, pre- and post-freeze.
+func TestEntriesOfShapeIndex(t *testing.T) {
+	b := NewBase(DefaultOptions())
+	for i, p := range testShapes() {
+		if _, err := b.AddShape(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(stage string) {
+		for sid := 0; sid < b.NumShapes(); sid++ {
+			var want []int
+			for ei := 0; ei < b.NumEntries(); ei++ {
+				if b.Entry(ei).ShapeID == sid {
+					want = append(want, ei)
+				}
+			}
+			got := b.EntriesOfShape(sid)
+			if len(got) != len(want) {
+				t.Fatalf("%s shape %d: index %v, scan %v", stage, sid, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s shape %d: index %v, scan %v", stage, sid, got, want)
+				}
+			}
+		}
+		if out := b.EntriesOfShape(-1); out != nil {
+			t.Errorf("%s: EntriesOfShape(-1) = %v", stage, out)
+		}
+		if out := b.EntriesOfShape(b.NumShapes()); out != nil {
+			t.Errorf("%s: EntriesOfShape(out of range) = %v", stage, out)
+		}
+	}
+	check("pre-freeze")
+	if err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	check("post-freeze")
+}

@@ -215,6 +215,13 @@ func (db *DB) shapeIsSimilar(shapeID int, q geom.Poly) bool {
 	return err == nil && d <= db.opts.Tau
 }
 
+// shapeIsSimilarPrepared is shapeIsSimilar against a prepared query, for
+// the planner loops that probe many stored shapes with the same Q.
+func (db *DB) shapeIsSimilarPrepared(shapeID int, pq *core.PreparedQuery) bool {
+	d, err := db.base.ShapeDistancePrepared(shapeID, pq)
+	return err == nil && d <= db.opts.Tau
+}
+
 // angleBetween returns the ordered signed diameter angle between two
 // stored shapes.
 func (db *DB) angleBetween(s1, s2 int) float64 {
@@ -283,13 +290,19 @@ func (db *DB) topological(rel Rel, q1, q2 geom.Poly, theta Angle, strat TopoStra
 		if err != nil {
 			return nil, err
 		}
+		// The partner side is probed once per graph edge with the same
+		// query: normalize it and build its oracle exactly once.
+		otherPQ, err := core.PrepareQuery(otherQ)
+		if err != nil {
+			return nil, err
+		}
 		for _, m := range ms {
 			img := db.base.Shape(m.ShapeID).Image
 			if out.Has(img) {
 				continue
 			}
 			g := db.graphs[img]
-			if db.driveCheck(g, m.ShapeID, rel, otherQ, theta, swapped) {
+			if db.driveCheck(g, m.ShapeID, rel, otherPQ, theta, swapped) {
 				out.Add(img)
 			}
 		}
@@ -371,11 +384,11 @@ func (db *DB) partners(g *ImageGraph, s int, rel Rel, reversed bool) []int {
 
 // driveCheck implements the inner loop of method 1: given a driving shape
 // (similar to the driving query), test whether some graph partner is
-// similar to the other query with the right angle. swapped=true means the
-// driving shape plays the S1 role.
-func (db *DB) driveCheck(g *ImageGraph, drive int, rel Rel, otherQ geom.Poly, theta Angle, swapped bool) bool {
+// similar to the other (prepared) query with the right angle.
+// swapped=true means the driving shape plays the S1 role.
+func (db *DB) driveCheck(g *ImageGraph, drive int, rel Rel, otherPQ *core.PreparedQuery, theta Angle, swapped bool) bool {
 	for _, p := range db.partners(g, drive, rel, !swapped) {
-		if !db.shapeIsSimilar(p, otherQ) {
+		if !db.shapeIsSimilarPrepared(p, otherPQ) {
 			continue
 		}
 		var ang float64
@@ -399,8 +412,12 @@ func (db *DB) CheckSimilarOnImage(imageID int, q geom.Poly) bool {
 	if !ok {
 		return false
 	}
+	pq, err := core.PrepareQuery(q)
+	if err != nil {
+		return false
+	}
 	for _, s := range g.Shapes {
-		if db.shapeIsSimilar(s, q) {
+		if db.shapeIsSimilarPrepared(s, pq) {
 			return true
 		}
 	}
@@ -413,12 +430,20 @@ func (db *DB) CheckTopologicalOnImage(imageID int, rel Rel, q1, q2 geom.Poly, th
 	if !ok {
 		return false
 	}
+	pq1, err := core.PrepareQuery(q1)
+	if err != nil {
+		return false
+	}
+	pq2, err := core.PrepareQuery(q2)
+	if err != nil {
+		return false
+	}
 	for _, s1 := range g.Shapes {
-		if !db.shapeIsSimilar(s1, q1) {
+		if !db.shapeIsSimilarPrepared(s1, pq1) {
 			continue
 		}
 		for _, s2 := range db.partners(g, s1, rel, false) {
-			if db.shapeIsSimilar(s2, q2) &&
+			if db.shapeIsSimilarPrepared(s2, pq2) &&
 				theta.Matches(db.angleBetween(s1, s2), db.opts.AngleTol) {
 				return true
 			}

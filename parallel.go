@@ -2,7 +2,9 @@ package geosir
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -54,4 +56,120 @@ func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, [
 		}
 	}
 	return matches, stats, nil
+}
+
+// FindBySketchWorkers is FindBySketch with an explicit worker count for
+// the per-sketch-shape retrievals (workers ≤ 0 selects GOMAXPROCS). Each
+// worker runs one sketch shape's Match against the frozen index and
+// collects that shape's best distance per image; the per-image tables
+// are merged after the barrier, so the result is identical to the
+// sequential evaluation order.
+func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMatch, error) {
+	if !e.frozen {
+		return nil, fmt.Errorf("geosir: engine must be frozen")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("geosir: k must be positive")
+	}
+	if len(sketch) == 0 {
+		return nil, fmt.Errorf("geosir: empty sketch")
+	}
+	for si, q := range sketch {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sketch) {
+		workers = len(sketch)
+	}
+
+	base := e.db.Base()
+	// For each sketch shape, the best distance per image, filled in by
+	// that shape's worker (no shared writes before the barrier).
+	perShape := make([]map[int]float64, len(sketch))
+	errs := make([]error, len(sketch))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range next {
+				// Retrieve generously: enough shapes to cover every
+				// image once.
+				ms, _, err := base.Match(sketch[si], base.NumShapes())
+				if err != nil {
+					errs[si] = err
+					continue
+				}
+				best := make(map[int]float64)
+				for _, m := range ms {
+					img := base.Shape(m.ShapeID).Image
+					if d, ok := best[img]; !ok || m.DistVertex < d {
+						best[img] = m.DistVertex
+					}
+				}
+				perShape[si] = best
+			}
+		}()
+	}
+	for si := range sketch {
+		next <- si
+	}
+	close(next)
+	wg.Wait()
+	for si, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+		}
+	}
+
+	// Barrier passed: merge the per-shape tables into the per-image view.
+	perImage := make(map[int][]float64)
+	for si, best := range perShape {
+		for img, d := range best {
+			ds, ok := perImage[img]
+			if !ok {
+				ds = make([]float64, len(sketch))
+				for i := range ds {
+					ds[i] = math.Inf(1)
+				}
+				perImage[img] = ds
+			}
+			ds[si] = d
+		}
+	}
+	out := make([]SketchMatch, 0, len(perImage))
+	for img, ds := range perImage {
+		var sum float64
+		complete := true
+		for _, d := range ds {
+			if math.IsInf(d, 1) {
+				complete = false
+				break
+			}
+			sum += d
+		}
+		if !complete {
+			continue // the image lacks a counterpart for some sketch shape
+		}
+		out = append(out, SketchMatch{
+			ImageID:  img,
+			Score:    sum / float64(len(ds)),
+			PerShape: ds,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ImageID < out[j].ImageID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
 }
