@@ -3,10 +3,11 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query clean
+.PHONY: ci vet build test race bench-smoke bench-query fuzz-smoke cover clean
 
-# The gate every PR must pass.
-ci: vet build race bench-smoke
+# The gate every PR must pass. The race run includes the persistence
+# fault-injection suite; fuzz-smoke gives each fuzz target a short budget.
+ci: vet build race bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +25,21 @@ race:
 # longer compile or panic, without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig' -benchtime=1x .
+
+# Short fuzzing budget per target (Go allows one -fuzz pattern per
+# package invocation, hence one line each). Catches regressions in the
+# snapshot readers and the geometry predicates without a long campaign;
+# crashers land in testdata/fuzz/ and re-run as regular tests afterwards.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzConvexHull$$' -fuzztime $(FUZZTIME) ./internal/geom
+	$(GO) test -run '^$$' -fuzz '^FuzzPointInPolygon$$' -fuzztime $(FUZZTIME) ./internal/geom
+
+# Coverage with a per-package summary and the repo-wide total.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Headline query-throughput metrics, written to BENCH_query.json so
 # successive PRs can compare trajectories.

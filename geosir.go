@@ -173,6 +173,11 @@ func (e *Engine) Freeze() error {
 	return nil
 }
 
+// Options returns the configuration the engine was created with (after
+// defaulting, so a persisted and reloaded engine reports identical
+// options).
+func (e *Engine) Options() Options { return e.opts }
+
 // NumImages returns the number of images.
 func (e *Engine) NumImages() int { return e.db.NumImages() }
 

@@ -3,14 +3,18 @@ package extstore
 import (
 	"container/list"
 	"fmt"
+
+	"repro/internal/iofault"
 )
 
 // Disk is a simulated block device: an array of BlockSize-byte blocks
-// with read/write accounting.
+// with read/write accounting and optional fault injection (failed reads
+// and writes, torn block writes) for crash-safety tests.
 type Disk struct {
 	blocks [][]byte
 	reads  int
 	writes int
+	faults *iofault.BlockPlan
 }
 
 // NewDisk creates an empty disk.
@@ -28,29 +32,48 @@ func (d *Disk) Writes() int { return d.writes }
 // ResetStats zeroes the I/O counters.
 func (d *Disk) ResetStats() { d.reads, d.writes = 0, 0 }
 
+// InjectFaults attaches a fault plan consulted on every subsequent read
+// and write; nil removes injection. Intended for tests only.
+func (d *Disk) InjectFaults(p *iofault.BlockPlan) { d.faults = p }
+
 // Write stores data as block idx (allocating as needed) and counts one
-// write I/O. data must not exceed BlockSize.
+// write I/O. data must not exceed BlockSize. An injected failure leaves
+// the block untouched and does not count as a write; an injected torn
+// write persists only a prefix of data while still reporting success (the
+// crash-mid-write model — callers discover the damage on read).
 func (d *Disk) Write(idx int, data []byte) error {
 	if len(data) > BlockSize {
 		return fmt.Errorf("extstore: block %d overflows: %d bytes", idx, len(data))
 	}
+	keep, err := d.faults.NextWrite(len(data))
+	if err != nil {
+		return fmt.Errorf("extstore: writing block %d: %w", idx, err)
+	}
 	for len(d.blocks) <= idx {
 		d.blocks = append(d.blocks, nil)
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	buf := make([]byte, keep)
+	copy(buf, data[:keep])
 	d.blocks[idx] = buf
 	d.writes++
 	return nil
 }
 
-// Read fetches block idx and counts one read I/O.
+// Read fetches a copy of block idx and counts one read I/O. The returned
+// slice is the caller's to mutate: it never aliases the disk's internal
+// storage (a previous version returned the internal slice by reference,
+// so a caller scribbling on the result silently corrupted the "disk").
 func (d *Disk) Read(idx int) ([]byte, error) {
 	if idx < 0 || idx >= len(d.blocks) {
 		return nil, fmt.Errorf("extstore: block %d out of range [0,%d)", idx, len(d.blocks))
 	}
+	if err := d.faults.NextRead(); err != nil {
+		return nil, fmt.Errorf("extstore: reading block %d: %w", idx, err)
+	}
 	d.reads++
-	return d.blocks[idx], nil
+	out := make([]byte, len(d.blocks[idx]))
+	copy(out, d.blocks[idx])
+	return out, nil
 }
 
 // BufferPool is an LRU cache of disk blocks. Capacity is expressed in

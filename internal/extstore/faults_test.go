@@ -1,0 +1,208 @@
+package extstore
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+// TestDiskReadReturnsCopy is the regression test for the aliasing bug:
+// Disk.Read used to return its internal block slice by reference, so a
+// caller mutating the result silently corrupted the "disk". The returned
+// slice must now be the caller's to scribble on.
+func TestDiskReadReturnsCopy(t *testing.T) {
+	d := NewDisk()
+	orig := []byte{1, 2, 3, 4, 5}
+	if err := d.Write(0, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		got[i] = 0xEE
+	}
+	again, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range orig {
+		if again[i] != b {
+			t.Fatalf("byte %d: disk block mutated through Read's result (%d != %d)", i, again[i], b)
+		}
+	}
+	// Writes must not retain the caller's buffer either.
+	src := []byte{9, 9, 9}
+	if err := d.Write(1, src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 0
+	blk, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk[0] != 9 {
+		t.Fatal("disk block aliases the caller's write buffer")
+	}
+}
+
+// TestStoreReadEntryUnaffectedByCallerMutation drives the aliasing
+// guarantee through the full read path: mutating a decoded record's point
+// slice must not change what a later read of the same entry returns —
+// including when the block is served from the buffer-pool cache.
+func TestStoreReadEntryUnaffectedByCallerMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st, err := NewStore(randomRecords(rng, 40), LayoutMean, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := st.ReadEntry(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), r1.Pts[0].X, r1.Pts[0].Y)
+	r1.Pts[0].X, r1.Pts[0].Y = -777, -777
+	st.FlushPool() // force the next read to go back to the disk
+	r2, err := st.ReadEntry(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Pts[0].X != want[0] || r2.Pts[0].Y != want[1] {
+		t.Fatalf("record mutated through a previous read: got %v, want (%v, %v)",
+			r2.Pts[0], want[0], want[1])
+	}
+}
+
+// TestDiskInjectedWriteFailure checks that an injected write error
+// surfaces, leaves the target block untouched, and does not count as a
+// write I/O.
+func TestDiskInjectedWriteFailure(t *testing.T) {
+	d := NewDisk()
+	if err := d.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	w0 := d.Writes()
+	d.InjectFaults(new(iofault.BlockPlan).FailWrite(0))
+	err := d.Write(0, []byte{7, 7, 7})
+	if !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if d.Writes() != w0 {
+		t.Fatalf("failed write counted as I/O: %d vs %d", d.Writes(), w0)
+	}
+	d.InjectFaults(nil)
+	blk, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk[0] != 1 || blk[1] != 2 || blk[2] != 3 {
+		t.Fatalf("failed write modified the block: %v", blk)
+	}
+}
+
+// TestDiskInjectedReadFailurePropagates drives an injected read error
+// through the buffer pool and Store.ReadEntry, then checks the store
+// recovers once the fault plan is removed.
+func TestDiskInjectedReadFailurePropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	st, err := NewStore(randomRecords(rng, 60), LayoutLex, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the very next disk read; the pool is cold so ReadEntry must hit it.
+	st.FlushPool()
+	st.Disk().InjectFaults(new(iofault.BlockPlan).FailRead(0))
+	if _, err := st.ReadEntry(3); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("want injected read error through ReadEntry, got %v", err)
+	}
+	st.Disk().InjectFaults(nil)
+	if _, err := st.ReadEntry(3); err != nil {
+		t.Fatalf("store did not recover after fault removal: %v", err)
+	}
+}
+
+// TestTornBlockWriteDetected models a crash mid-block-write: the disk
+// persists only a prefix while reporting success. The damage must be
+// caught by Verify and by ReadEntry's record decoding — never a silently
+// shortened record set.
+func TestTornBlockWriteDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	records := randomRecords(rng, 60)
+	st, err := NewStore(records, LayoutMean, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("pristine store fails verification: %v", err)
+	}
+	// Re-write block 0 torn at a few prefix lengths that cannot align with
+	// a record boundary (decode needs at least a header).
+	orig, err := st.Disk().Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{1, 7, len(orig) / 2} {
+		if keep >= len(orig) {
+			continue
+		}
+		st.Disk().InjectFaults(new(iofault.BlockPlan).TornWrite(0, keep))
+		if err := st.Disk().Write(0, orig); err != nil {
+			t.Fatalf("keep=%d: torn write surfaced an error: %v", keep, err)
+		}
+		st.Disk().InjectFaults(nil)
+		if err := st.Verify(); err == nil {
+			t.Fatalf("keep=%d: torn block passed verification", keep)
+		} else if !strings.Contains(err.Error(), "block 0") {
+			t.Fatalf("keep=%d: verification error does not name the block: %v", keep, err)
+		}
+		// Restore for the next iteration.
+		if err := st.Disk().Write(0, orig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("restored store fails verification: %v", err)
+	}
+}
+
+// TestVerifyCatchesIndexSkew corrupts the location index and checks Verify
+// reports the inconsistency in both directions.
+func TestVerifyCatchesIndexSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	st, err := NewStore(randomRecords(rng, 40), LayoutMedian, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id int32
+	var bi int32
+	for k, v := range st.loc {
+		id, bi = k, v
+		break
+	}
+	st.loc[id] = bi + 1 // point the entry at the wrong block
+	if err := st.Verify(); err == nil {
+		t.Fatal("skewed index passed verification")
+	}
+	st.loc[id] = bi
+	delete(st.loc, id) // drop an entry from the index
+	if err := st.Verify(); err == nil {
+		t.Fatal("missing index entry passed verification")
+	}
+	st.loc[id] = bi
+	if err := st.Verify(); err != nil {
+		t.Fatalf("restored index fails verification: %v", err)
+	}
+}
+
+// TestNewStoreRejectsUnknownLayout pins the constructor validation added
+// alongside the fault plumbing.
+func TestNewStoreRejectsUnknownLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := NewStore(randomRecords(rng, 4), Layout("no-such-layout"), 2); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+}

@@ -32,6 +32,15 @@ func Layouts() []Layout {
 	return []Layout{LayoutMean, LayoutLex, LayoutMedian, LayoutLocalOpt}
 }
 
+// Valid reports whether l names one of the defined layout strategies.
+func (l Layout) Valid() bool {
+	switch l {
+	case LayoutMean, LayoutLex, LayoutMedian, LayoutLocalOpt:
+		return true
+	}
+	return false
+}
+
 // packRecords partitions record indices into blocks per the layout. The
 // returned comparisons counter feeds the rehash-cost model.
 func packRecords(records []Record, layout Layout) (blocks [][]int, comparisons int, err error) {

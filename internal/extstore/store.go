@@ -21,6 +21,9 @@ func NewStore(records []Record, layout Layout, bufBlocks int) (*Store, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("extstore: no records")
 	}
+	if !layout.Valid() {
+		return nil, fmt.Errorf("extstore: unknown layout %q", layout)
+	}
 	blocks, _, err := packRecords(records, layout)
 	if err != nil {
 		return nil, err
@@ -56,6 +59,43 @@ func NewStore(records []Record, layout Layout, bufBlocks int) (*Store, error) {
 
 // Layout returns the layout the store was built with.
 func (s *Store) Layout() Layout { return s.layout }
+
+// Disk exposes the underlying block device, primarily so tests can
+// attach a fault plan or inspect the raw blocks.
+func (s *Store) Disk() *Disk { return s.disk }
+
+// Verify decodes every block and cross-checks the location index both
+// ways: every stored record must be findable through loc, and every loc
+// entry must point at a block that actually holds its record. It reads
+// the raw blocks directly (no I/O accounting), so it is safe to run
+// mid-experiment. A torn or corrupted block surfaces here as a decode
+// error naming the block.
+func (s *Store) Verify() error {
+	found := make(map[int32]int32, s.nrec)
+	for bi := 0; bi < len(s.disk.blocks); bi++ {
+		data := s.disk.blocks[bi]
+		for len(data) > 0 {
+			r, n, err := DecodeRecord(data)
+			if err != nil {
+				return fmt.Errorf("extstore: verify: block %d: %w", bi, err)
+			}
+			if prev, dup := found[r.EntryID]; dup {
+				return fmt.Errorf("extstore: verify: entry %d in blocks %d and %d", r.EntryID, prev, bi)
+			}
+			found[r.EntryID] = int32(bi)
+			data = data[n:]
+		}
+	}
+	if len(found) != len(s.loc) {
+		return fmt.Errorf("extstore: verify: %d records on disk, %d indexed", len(found), len(s.loc))
+	}
+	for id, bi := range s.loc {
+		if got, ok := found[id]; !ok || got != bi {
+			return fmt.Errorf("extstore: verify: entry %d indexed at block %d but found at %d", id, bi, got)
+		}
+	}
+	return nil
+}
 
 // NumBlocks returns the number of disk blocks in use.
 func (s *Store) NumBlocks() int { return s.disk.NumBlocks() }

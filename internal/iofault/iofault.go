@@ -1,0 +1,239 @@
+// Package iofault provides injectable I/O fault wrappers for crash-safety
+// and corruption testing. A faulty Writer either fails hard or silently
+// truncates ("torn write") once a configured byte offset is reached; a
+// faulty Reader fails or reports a premature EOF. BlockPlan schedules the
+// same failure modes on a simulated block device by operation index.
+//
+// The wrappers are deliberately deterministic: a test that sweeps the
+// fault offset across every byte of a stream exercises every possible
+// crash point exactly once.
+package iofault
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the error surfaced by fault wrappers configured to fail.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// Writer wraps an io.Writer and misbehaves once limit bytes have been let
+// through. With a non-nil trip error it fails the crossing Write (and all
+// later ones) after passing the bytes that fit — a crash mid-write. With a
+// nil trip error it silently discards everything past the limit while
+// reporting success — a torn write / lost page cache.
+type Writer struct {
+	w       io.Writer
+	limit   int64
+	tripErr error // nil = silent truncation
+	passed  int64 // bytes actually handed to the underlying writer
+	seen    int64 // bytes claimed written to the caller
+	tripped bool
+}
+
+// FailWriter returns a Writer that passes through the first limit bytes
+// and then fails every Write with ErrInjected.
+func FailWriter(w io.Writer, limit int64) *Writer {
+	return &Writer{w: w, limit: limit, tripErr: ErrInjected}
+}
+
+// FailWriterErr is FailWriter with a caller-chosen error.
+func FailWriterErr(w io.Writer, limit int64, err error) *Writer {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &Writer{w: w, limit: limit, tripErr: err}
+}
+
+// TruncWriter returns a Writer that passes through the first limit bytes
+// and silently discards the rest, reporting success — the underlying
+// stream ends up truncated at limit while the caller believes every byte
+// landed.
+func TruncWriter(w io.Writer, limit int64) *Writer {
+	return &Writer{w: w, limit: limit}
+}
+
+// Write implements io.Writer with the configured fault behavior.
+func (f *Writer) Write(p []byte) (int, error) {
+	room := f.limit - f.passed
+	if room < 0 {
+		room = 0
+	}
+	pass := int64(len(p))
+	if pass > room {
+		pass = room
+	}
+	var n int
+	var err error
+	if pass > 0 {
+		n, err = f.w.Write(p[:pass])
+		f.passed += int64(n)
+		if err != nil {
+			f.seen += int64(n)
+			return n, err
+		}
+	}
+	if int64(len(p)) <= room {
+		f.seen += int64(len(p))
+		return len(p), nil
+	}
+	f.tripped = true
+	if f.tripErr != nil {
+		f.seen += int64(n)
+		return n, f.tripErr
+	}
+	// Torn write: lie about the tail.
+	f.seen += int64(len(p))
+	return len(p), nil
+}
+
+// Tripped reports whether the fault fired.
+func (f *Writer) Tripped() bool { return f.tripped }
+
+// BytesPassed returns the bytes that actually reached the underlying
+// writer.
+func (f *Writer) BytesPassed() int64 { return f.passed }
+
+// BytesSeen returns the bytes the caller believes were written.
+func (f *Writer) BytesSeen() int64 { return f.seen }
+
+// Reader wraps an io.Reader and misbehaves once limit bytes have been
+// served: with a non-nil trip error it fails, otherwise it reports a
+// clean EOF (a truncated file).
+type Reader struct {
+	r       io.Reader
+	limit   int64
+	tripErr error // nil = premature EOF
+	served  int64
+	tripped bool
+}
+
+// FailReader returns a Reader that serves the first limit bytes and then
+// fails with ErrInjected.
+func FailReader(r io.Reader, limit int64) *Reader {
+	return &Reader{r: r, limit: limit, tripErr: ErrInjected}
+}
+
+// TruncReader returns a Reader that serves the first limit bytes and then
+// reports EOF, as if the stream had been truncated there.
+func TruncReader(r io.Reader, limit int64) *Reader {
+	return &Reader{r: r, limit: limit}
+}
+
+// Read implements io.Reader with the configured fault behavior.
+func (f *Reader) Read(p []byte) (int, error) {
+	room := f.limit - f.served
+	if room <= 0 {
+		f.tripped = true
+		if f.tripErr != nil {
+			return 0, f.tripErr
+		}
+		return 0, io.EOF
+	}
+	if int64(len(p)) > room {
+		p = p[:room]
+	}
+	n, err := f.r.Read(p)
+	f.served += int64(n)
+	return n, err
+}
+
+// Tripped reports whether the fault fired.
+func (f *Reader) Tripped() bool { return f.tripped }
+
+// BlockPlan schedules faults on a block device by zero-based operation
+// index, counted separately for reads and writes. The zero value (or nil)
+// injects nothing. Configure before use; a plan is not safe for
+// concurrent mutation with device traffic.
+type BlockPlan struct {
+	writeErr  map[int]error
+	writeKeep map[int]int
+	readErr   map[int]error
+	writes    int
+	reads     int
+}
+
+// NewBlockPlan returns an empty plan.
+func NewBlockPlan() *BlockPlan { return &BlockPlan{} }
+
+// FailWrite makes write operation op fail with ErrInjected (the block is
+// left untouched). Returns the plan for chaining.
+func (p *BlockPlan) FailWrite(op int) *BlockPlan {
+	if p.writeErr == nil {
+		p.writeErr = make(map[int]error)
+	}
+	p.writeErr[op] = ErrInjected
+	return p
+}
+
+// TornWrite makes write operation op keep only the first keep bytes of
+// its payload while still reporting success — a block torn by a crash
+// mid-write. Returns the plan for chaining.
+func (p *BlockPlan) TornWrite(op, keep int) *BlockPlan {
+	if p.writeKeep == nil {
+		p.writeKeep = make(map[int]int)
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	p.writeKeep[op] = keep
+	return p
+}
+
+// FailRead makes read operation op fail with ErrInjected. Returns the
+// plan for chaining.
+func (p *BlockPlan) FailRead(op int) *BlockPlan {
+	if p.readErr == nil {
+		p.readErr = make(map[int]error)
+	}
+	p.readErr[op] = ErrInjected
+	return p
+}
+
+// NextWrite advances the write-operation counter and returns the number
+// of payload bytes the device should keep (keep == size means the write
+// is intact) plus the injected error, if any. A nil plan never faults.
+func (p *BlockPlan) NextWrite(size int) (keep int, err error) {
+	if p == nil {
+		return size, nil
+	}
+	op := p.writes
+	p.writes++
+	if e, ok := p.writeErr[op]; ok {
+		return 0, e
+	}
+	if k, ok := p.writeKeep[op]; ok {
+		if k > size {
+			k = size
+		}
+		return k, nil
+	}
+	return size, nil
+}
+
+// NextRead advances the read-operation counter and returns the injected
+// error, if any. A nil plan never faults.
+func (p *BlockPlan) NextRead() error {
+	if p == nil {
+		return nil
+	}
+	op := p.reads
+	p.reads++
+	return p.readErr[op]
+}
+
+// WriteOps returns the number of write operations the plan has seen.
+func (p *BlockPlan) WriteOps() int {
+	if p == nil {
+		return 0
+	}
+	return p.writes
+}
+
+// ReadOps returns the number of read operations the plan has seen.
+func (p *BlockPlan) ReadOps() int {
+	if p == nil {
+		return 0
+	}
+	return p.reads
+}

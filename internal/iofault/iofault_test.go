@@ -1,0 +1,135 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFailWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := FailWriter(&sink, 5)
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: n=%d err=%v", n, err)
+	}
+	if !w.Tripped() {
+		t.Error("not tripped")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip write: %v", err)
+	}
+	if got := sink.String(); got != "abcde" {
+		t.Errorf("sink = %q, want abcde", got)
+	}
+	if w.BytesPassed() != 5 {
+		t.Errorf("passed = %d", w.BytesPassed())
+	}
+}
+
+func TestFailWriterErrCustom(t *testing.T) {
+	sentinel := errors.New("boom")
+	w := FailWriterErr(io.Discard, 0, sentinel)
+	if _, err := w.Write([]byte("a")); !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+	w = FailWriterErr(io.Discard, 0, nil)
+	if _, err := w.Write([]byte("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("nil err should default to ErrInjected, got %v", err)
+	}
+}
+
+func TestTruncWriterLies(t *testing.T) {
+	var sink bytes.Buffer
+	w := TruncWriter(&sink, 4)
+	n, err := w.Write([]byte("abcdef"))
+	if n != 6 || err != nil {
+		t.Fatalf("torn write must claim success: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("gh"))
+	if n != 2 || err != nil {
+		t.Fatalf("post-trip torn write: n=%d err=%v", n, err)
+	}
+	if got := sink.String(); got != "abcd" {
+		t.Errorf("sink = %q, want abcd", got)
+	}
+	if w.BytesSeen() != 8 || w.BytesPassed() != 4 {
+		t.Errorf("seen=%d passed=%d", w.BytesSeen(), w.BytesPassed())
+	}
+}
+
+func TestFailReader(t *testing.T) {
+	r := FailReader(strings.NewReader("abcdef"), 4)
+	buf, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if string(buf) != "abcd" {
+		t.Errorf("read %q, want abcd", buf)
+	}
+	if !r.Tripped() {
+		t.Error("not tripped")
+	}
+}
+
+func TestTruncReader(t *testing.T) {
+	r := TruncReader(strings.NewReader("abcdef"), 4)
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("truncated read should end cleanly: %v", err)
+	}
+	if string(buf) != "abcd" {
+		t.Errorf("read %q, want abcd", buf)
+	}
+}
+
+func TestBlockPlan(t *testing.T) {
+	p := NewBlockPlan().FailWrite(1).TornWrite(2, 3).FailRead(0)
+	if keep, err := p.NextWrite(10); keep != 10 || err != nil {
+		t.Fatalf("op0: keep=%d err=%v", keep, err)
+	}
+	if _, err := p.NextWrite(10); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op1 should fail: %v", err)
+	}
+	if keep, err := p.NextWrite(10); keep != 3 || err != nil {
+		t.Fatalf("op2: keep=%d err=%v", keep, err)
+	}
+	if keep, _ := p.NextWrite(2); keep != 2 {
+		t.Fatalf("torn keep must clamp to size on later ops? op3 untouched, keep=%d", keep)
+	}
+	if err := p.NextRead(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read op0 should fail: %v", err)
+	}
+	if err := p.NextRead(); err != nil {
+		t.Fatalf("read op1: %v", err)
+	}
+	if p.WriteOps() != 4 || p.ReadOps() != 2 {
+		t.Errorf("ops = %d/%d", p.WriteOps(), p.ReadOps())
+	}
+}
+
+func TestNilBlockPlan(t *testing.T) {
+	var p *BlockPlan
+	if keep, err := p.NextWrite(7); keep != 7 || err != nil {
+		t.Fatalf("nil plan write: keep=%d err=%v", keep, err)
+	}
+	if err := p.NextRead(); err != nil {
+		t.Fatalf("nil plan read: %v", err)
+	}
+	if p.WriteOps() != 0 || p.ReadOps() != 0 {
+		t.Error("nil plan counters must be zero")
+	}
+}
+
+func TestTornWriteClamp(t *testing.T) {
+	p := NewBlockPlan().TornWrite(0, 100)
+	if keep, err := p.NextWrite(5); keep != 5 || err != nil {
+		t.Fatalf("keep must clamp to payload size: keep=%d err=%v", keep, err)
+	}
+}

@@ -1,0 +1,108 @@
+package shapeindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomPolyline builds an open or closed chain by a random walk, the shape
+// family the grid actually indexes in the engine (Poly.Edges of extracted
+// contours): consecutive, connected, unevenly sized segments.
+func randomPolyline(rng *rand.Rand, n int, scale float64, closed bool) geom.Poly {
+	pts := make([]geom.Point, n)
+	cur := geom.Pt(rng.Float64()*scale, rng.Float64()*scale)
+	for i := range pts {
+		pts[i] = cur
+		step := geom.Pt(rng.NormFloat64(), rng.NormFloat64()).Scale(scale / 8)
+		cur = cur.Add(step)
+	}
+	return geom.Poly{Pts: pts, Closed: closed}
+}
+
+// TestSegmentGridPolylineProperty checks Nearest against an exhaustive scan
+// over the edge sets of random polylines — open and closed, long and
+// degenerate-short — with queries on, near, and far from the chain.
+func TestSegmentGridPolylineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(90125))
+	for trial := 0; trial < 60; trial++ {
+		closed := trial%2 == 0
+		n := 2 + rng.Intn(40)
+		poly := randomPolyline(rng, n, 4+rng.Float64()*8, closed)
+		segs := poly.Edges()
+		if len(segs) == 0 {
+			continue
+		}
+		g := NewSegmentGrid(segs)
+		if g.NumSegments() != len(segs) {
+			t.Fatalf("trial %d: indexed %d of %d segments", trial, g.NumSegments(), len(segs))
+		}
+		queries := make([]geom.Point, 0, 40)
+		for q := 0; q < 20; q++ {
+			queries = append(queries, geom.Pt(rng.NormFloat64()*10, rng.NormFloat64()*10))
+		}
+		// On-chain queries: vertices and edge midpoints must be at distance 0.
+		for _, s := range segs {
+			queries = append(queries, s.A, s.A.Lerp(s.B, 0.5))
+		}
+		// Far-outside queries exercise the ring-search fallback.
+		b := poly.Bounds()
+		queries = append(queries,
+			geom.Pt(b.Min.X-50, b.Min.Y-50),
+			geom.Pt(b.Max.X+100, b.Min.Y),
+		)
+		for _, p := range queries {
+			gi, gd := g.Nearest(p)
+			_, bd := bruteNearestSeg(segs, p)
+			if !almostEq(gd, bd, 1e-9*(1+bd)) {
+				t.Fatalf("trial %d (closed=%v, %d segs) at %v: grid %v != brute %v",
+					trial, closed, len(segs), p, gd, bd)
+			}
+			if gi < 0 || gi >= len(segs) {
+				t.Fatalf("trial %d: Nearest returned out-of-range index %d", trial, gi)
+			}
+			if !almostEq(segs[gi].DistToPoint(p), gd, 1e-12*(1+gd)) {
+				t.Fatalf("trial %d: returned index %d inconsistent with distance %v", trial, gi, gd)
+			}
+		}
+	}
+}
+
+// TestSegmentGridDegenerateChains pins the edge cases a uniform grid is
+// most likely to mishandle: zero-length segments, a chain collapsed onto a
+// point, and an axis-aligned chain with zero extent in one dimension.
+func TestSegmentGridDegenerateChains(t *testing.T) {
+	cases := []struct {
+		name string
+		segs []geom.Segment
+	}{
+		{"single-degenerate", []geom.Segment{geom.Seg(geom.Pt(3, 3), geom.Pt(3, 3))}},
+		{"all-coincident", []geom.Segment{
+			geom.Seg(geom.Pt(1, 1), geom.Pt(1, 1)),
+			geom.Seg(geom.Pt(1, 1), geom.Pt(1, 1)),
+		}},
+		{"horizontal-line", geom.Poly{Pts: []geom.Point{
+			geom.Pt(0, 2), geom.Pt(3, 2), geom.Pt(7, 2), geom.Pt(11, 2),
+		}}.Edges()},
+		{"vertical-line", geom.Poly{Pts: []geom.Point{
+			geom.Pt(-1, 0), geom.Pt(-1, 5), geom.Pt(-1, 9),
+		}}.Edges()},
+	}
+	queries := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(3, 3), geom.Pt(-4, 7), geom.Pt(100, -100), geom.Pt(1, 1),
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewSegmentGrid(tc.segs)
+			for _, p := range queries {
+				_, gd := g.Nearest(p)
+				_, bd := bruteNearestSeg(tc.segs, p)
+				if !almostEq(gd, bd, 1e-9*(1+bd)) {
+					t.Fatalf("query %v: grid %v != brute %v", p, gd, bd)
+				}
+			}
+		})
+	}
+}

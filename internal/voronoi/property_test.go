@@ -1,0 +1,162 @@
+package voronoi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Degenerate site-set generators. Image-extracted shapes routinely produce
+// exactly these configurations (axis-aligned contours, repeated corners),
+// and they are where the clipping construction and the greedy walk earn
+// their robustness claims.
+
+func collinearSites(rng *rand.Rand, n int) []geom.Point {
+	// Random line through a random anchor; sites at sorted, possibly
+	// coincident parameters.
+	dir := geom.Pt(rng.NormFloat64(), rng.NormFloat64())
+	if dir.Norm() < 1e-9 {
+		dir = geom.Pt(1, 0)
+	}
+	dir = dir.Unit()
+	anchor := geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+	sites := make([]geom.Point, n)
+	for i := range sites {
+		t := rng.Float64() * 8
+		if i > 0 && rng.Intn(4) == 0 {
+			sites[i] = sites[i-1] // duplicate on the line
+			continue
+		}
+		sites[i] = anchor.Add(dir.Scale(t))
+	}
+	return sites
+}
+
+func duplicatedSites(rng *rand.Rand, n int) []geom.Point {
+	// A handful of distinct positions, each repeated several times.
+	k := 1 + rng.Intn(4)
+	base := make([]geom.Point, k)
+	for i := range base {
+		base[i] = geom.Pt(rng.Float64()*6, rng.Float64()*6)
+	}
+	sites := make([]geom.Point, n)
+	for i := range sites {
+		sites[i] = base[rng.Intn(k)]
+	}
+	return sites
+}
+
+func gridSites(rng *rand.Rand, n int) []geom.Point {
+	// Integer-lattice sites: every bisector is axis-aligned or diagonal,
+	// and many queries are exactly equidistant from several sites.
+	sites := make([]geom.Point, n)
+	for i := range sites {
+		sites[i] = geom.Pt(float64(rng.Intn(6)), float64(rng.Intn(6)))
+	}
+	return sites
+}
+
+func mixedSites(rng *rand.Rand, n int) []geom.Point {
+	sites := make([]geom.Point, n)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.NormFloat64()*4, rng.NormFloat64()*4)
+	}
+	return sites
+}
+
+// TestNearestPropertyDegenerate checks Nearest and NearestFrom (with
+// arbitrary, including out-of-range, hints) against a brute-force scan over
+// every degenerate family. Indices may differ on exact ties, so distances
+// are compared.
+func TestNearestPropertyDegenerate(t *testing.T) {
+	families := []struct {
+		name string
+		gen  func(*rand.Rand, int) []geom.Point
+	}{
+		{"collinear", collinearSites},
+		{"duplicates", duplicatedSites},
+		{"grid", gridSites},
+		{"mixed", mixedSites},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(fam.name)) * 971))
+			for trial := 0; trial < 40; trial++ {
+				n := 1 + rng.Intn(24)
+				sites := fam.gen(rng, n)
+				d, err := Build(sites)
+				if err != nil {
+					t.Fatalf("trial %d: Build: %v", trial, err)
+				}
+				for q := 0; q < 25; q++ {
+					// Queries both near the sites and well outside them.
+					p := geom.Pt(rng.NormFloat64()*8, rng.NormFloat64()*8)
+					bi, bd := bruteNearest(sites, p)
+					gi, gd := d.Nearest(p)
+					if !almostEq(gd, bd, 1e-9*(1+bd)) {
+						t.Fatalf("trial %d query %v: Nearest dist %v, brute %v (sites %v)",
+							trial, p, gd, bd, sites)
+					}
+					if !almostEq(p.Dist(sites[gi]), gd, 1e-9*(1+gd)) {
+						t.Fatalf("trial %d: returned index %d inconsistent with distance %v", trial, gi, gd)
+					}
+					// Hints must never change the answer — including hints
+					// outside the valid site range.
+					for _, hint := range []int{bi, rng.Intn(n), -3, n + 7} {
+						hi, hd := d.NearestFrom(p, hint)
+						if !almostEq(hd, bd, 1e-9*(1+bd)) {
+							t.Fatalf("trial %d hint %d: dist %v, brute %v", trial, hint, hd, bd)
+						}
+						if !almostEq(p.Dist(sites[hi]), hd, 1e-9*(1+hd)) {
+							t.Fatalf("trial %d hint %d: index %d inconsistent", trial, hint, hi)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCellDuplicateOwnership pins the documented duplicate-site contract:
+// the first of an exact-duplicate group keeps the cell, later twins get an
+// empty polygon, and queries still resolve to the duplicated position.
+func TestCellDuplicateOwnership(t *testing.T) {
+	sites := []geom.Point{geom.Pt(2, 2), geom.Pt(5, 1), geom.Pt(2, 2), geom.Pt(2, 2)}
+	d, err := Build(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cell(0).Polygon.NumVertices() < 3 {
+		t.Fatal("first duplicate lost its cell")
+	}
+	for _, i := range []int{2, 3} {
+		if d.Cell(i).Polygon.NumVertices() != 0 {
+			t.Fatalf("later duplicate %d kept a cell", i)
+		}
+	}
+	i, dist := d.Nearest(geom.Pt(2.1, 2.1))
+	if !almostEq(dist, geom.Pt(2.1, 2.1).Dist(geom.Pt(2, 2)), 1e-12) {
+		t.Fatalf("nearest to duplicated position: index %d dist %v", i, dist)
+	}
+}
+
+// TestNearestSiteQueriesOnSites is the exactness edge: querying at a site
+// position must return distance zero for every degenerate family.
+func TestNearestSiteQueriesOnSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 30; trial++ {
+		gens := []func(*rand.Rand, int) []geom.Point{collinearSites, duplicatedSites, gridSites}
+		sites := gens[trial%len(gens)](rng, 2+rng.Intn(12))
+		d, err := Build(sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range sites {
+			if _, dist := d.Nearest(s); !almostEq(dist, 0, 1e-9) {
+				t.Fatalf("trial %d: query at site %d returned dist %v", trial, i, dist)
+			}
+		}
+	}
+}

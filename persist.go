@@ -1,12 +1,10 @@
 package geosir
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"os"
+	"path/filepath"
 )
 
 // Save / Load persist an engine's image base. The format stores the
@@ -14,197 +12,209 @@ import (
 // structures, hash table) are deterministic functions of those, so Load
 // rebuilds them with Freeze and the reloaded engine answers every query
 // identically.
+//
+// Two stream formats exist. GSIR1 is the legacy format: a bare
+// concatenation of options and shapes with no integrity protection.
+// GSIR2 is the current format: the same payload split into
+// length-prefixed sections (one for the options, one per image), each
+// followed by a CRC32 of its payload, so truncation and corruption are
+// detected instead of silently loading a skewed image base, and
+// LoadPartial can salvage every image whose section still verifies.
+// Save writes GSIR2; Load reads both.
 
-const persistMagic = "GSIR1\n"
+// Format identifies a snapshot stream format.
+type Format int
 
-// Save writes the engine's configuration and image base to w. The engine
-// may be saved before or after Freeze.
-func (e *Engine) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(persistMagic); err != nil {
-		return err
-	}
-	writeF := func(v float64) error {
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		_, err := bw.Write(buf[:])
-		return err
-	}
-	writeU := func(v uint32) error {
-		var buf [4]byte
-		binary.LittleEndian.PutUint32(buf[:], v)
-		_, err := bw.Write(buf[:])
-		return err
-	}
-	for _, v := range []float64{e.opts.Alpha, e.opts.Beta, e.opts.Tau, e.opts.AngleTol} {
-		if err := writeF(v); err != nil {
-			return err
-		}
-	}
-	if err := writeU(uint32(e.opts.HashCurves)); err != nil {
-		return err
-	}
+const (
+	// FormatGSIR1 is the legacy unchecksummed format (read + write kept
+	// for compatibility).
+	FormatGSIR1 Format = 1
+	// FormatGSIR2 is the current checksummed, section-framed format.
+	FormatGSIR2 Format = 2
+)
 
-	// Group shapes by image, preserving image ids.
-	base := e.db.Base()
-	byImage := make(map[int][]Shape)
-	var order []int
-	for _, s := range base.Shapes() {
-		if _, seen := byImage[s.Image]; !seen {
-			order = append(order, s.Image)
-		}
-		byImage[s.Image] = append(byImage[s.Image], s.Poly)
+const (
+	magicGSIR1 = "GSIR1\n"
+	magicGSIR2 = "GSIR2\n"
+	magicLen   = 6
+)
+
+// maxCount bounds image/shape/vertex counts against corrupt headers.
+const maxCount = 1 << 28
+
+// maxHashCurves bounds the persisted hash-curve count (default is 50;
+// building a family is linear in the count, so a corrupt value must not
+// be allowed to stall Load for minutes).
+const maxHashCurves = 1 << 16
+
+// freezeLoaded freezes a just-decoded engine. An engine with no shapes
+// (an empty snapshot, or a salvage that dropped everything) is returned
+// unfrozen because the core index rejects empty bases; it is still a
+// valid engine that can accept AddImage and be frozen later.
+func freezeLoaded(eng *Engine) error {
+	if eng.NumShapes() == 0 {
+		return nil
 	}
-	if err := writeU(uint32(len(order))); err != nil {
-		return err
-	}
-	for _, img := range order {
-		if err := writeU(uint32(img)); err != nil {
-			return err
-		}
-		shapes := byImage[img]
-		if err := writeU(uint32(len(shapes))); err != nil {
-			return err
-		}
-		for _, sh := range shapes {
-			flag := uint32(0)
-			if sh.Closed {
-				flag = 1
-			}
-			if err := writeU(flag); err != nil {
-				return err
-			}
-			if err := writeU(uint32(len(sh.Pts))); err != nil {
-				return err
-			}
-			for _, p := range sh.Pts {
-				if err := writeF(p.X); err != nil {
-					return err
-				}
-				if err := writeF(p.Y); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return bw.Flush()
+	return eng.Freeze()
 }
 
-// Load reads an engine saved with Save, rebuilds every index, and
-// returns it frozen (ready to query).
+// Save writes the engine's configuration and image base to w in the
+// current (GSIR2, checksummed) format. The engine may be saved before or
+// after Freeze. The encoding is canonical: saving, loading, and saving
+// again reproduces the stream byte for byte.
+func (e *Engine) Save(w io.Writer) error { return e.SaveAs(w, FormatGSIR2) }
+
+// SaveAs writes the engine in the requested stream format. Use
+// FormatGSIR1 only to produce snapshots for pre-GSIR2 readers; it has no
+// checksums.
+func (e *Engine) SaveAs(w io.Writer, f Format) error {
+	switch f {
+	case FormatGSIR1:
+		return e.saveGSIR1(w)
+	case FormatGSIR2:
+		return e.saveGSIR2(w)
+	default:
+		return fmt.Errorf("geosir: unknown snapshot format %d", f)
+	}
+}
+
+// Load reads an engine saved with Save or SaveAs (either format is
+// negotiated from the magic), rebuilds every index, and returns it frozen
+// (ready to query). Any truncation, framing damage, or (for GSIR2
+// streams) checksum mismatch fails the load; use LoadPartial to salvage
+// what survives from a damaged snapshot.
 func Load(r io.Reader) (*Engine, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(persistMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("geosir: reading header: %w", err)
-	}
-	if string(magic) != persistMagic {
-		return nil, fmt.Errorf("geosir: bad magic %q", magic)
-	}
-	readF := func() (float64, error) {
-		var buf [8]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
-		}
-		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
-	}
-	readU := func() (uint32, error) {
-		var buf [4]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(buf[:]), nil
-	}
-
-	var opts Options
-	var err error
-	if opts.Alpha, err = readF(); err != nil {
-		return nil, fmt.Errorf("geosir: options: %w", err)
-	}
-	if opts.Beta, err = readF(); err != nil {
-		return nil, err
-	}
-	if opts.Tau, err = readF(); err != nil {
-		return nil, err
-	}
-	if opts.AngleTol, err = readF(); err != nil {
-		return nil, err
-	}
-	hc, err := readU()
+	cr := &countReader{r: r}
+	magic, err := readMagic(cr)
 	if err != nil {
 		return nil, err
 	}
-	opts.HashCurves = int(hc)
-
-	eng := New(opts)
-	nimg, err := readU()
-	if err != nil {
-		return nil, err
+	switch magic {
+	case magicGSIR1:
+		return loadGSIR1(cr)
+	case magicGSIR2:
+		return loadGSIR2(cr)
 	}
-	const maxCount = 1 << 28 // sanity bound against corrupt headers
-	if nimg > maxCount {
-		return nil, fmt.Errorf("geosir: implausible image count %d", nimg)
-	}
-	for i := uint32(0); i < nimg; i++ {
-		imgID, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		nsh, err := readU()
-		if err != nil {
-			return nil, err
-		}
-		if nsh > maxCount {
-			return nil, fmt.Errorf("geosir: implausible shape count %d", nsh)
-		}
-		shapes := make([]Shape, 0, nsh)
-		for s := uint32(0); s < nsh; s++ {
-			flag, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			nv, err := readU()
-			if err != nil {
-				return nil, err
-			}
-			if nv > maxCount {
-				return nil, fmt.Errorf("geosir: implausible vertex count %d", nv)
-			}
-			pts := make([]Point, nv)
-			for v := uint32(0); v < nv; v++ {
-				x, err := readF()
-				if err != nil {
-					return nil, err
-				}
-				y, err := readF()
-				if err != nil {
-					return nil, err
-				}
-				pts[v] = Pt(x, y)
-			}
-			shapes = append(shapes, Shape{Pts: pts, Closed: flag == 1})
-		}
-		if err := eng.AddImage(int(imgID), shapes); err != nil {
-			return nil, fmt.Errorf("geosir: image %d: %w", imgID, err)
-		}
-	}
-	if err := eng.Freeze(); err != nil {
-		return nil, err
-	}
-	return eng, nil
+	return nil, fmt.Errorf("geosir: bad magic %q", magic)
 }
 
-// SaveFile saves the engine to a file.
-func (e *Engine) SaveFile(path string) error {
-	f, err := os.Create(path)
+// DroppedImage describes one image section that LoadPartial could not
+// recover from a damaged snapshot.
+type DroppedImage struct {
+	// Section is the 1-based index of the image section in the stream.
+	Section int
+	// ImageID is the image id parsed from the damaged section on a
+	// best-effort basis, or -1 when the bytes are too mangled to trust.
+	ImageID int
+	// Offset is the byte offset of the section's length prefix in the
+	// stream (0 for GSIR1 streams, which have no section framing).
+	Offset int64
+	// Err records why the section was dropped.
+	Err error
+}
+
+// Recovery reports what LoadPartial salvaged and what it had to drop.
+type Recovery struct {
+	// Format names the stream format that was read ("GSIR1" or "GSIR2").
+	Format string
+	// ImagesExpected is the image count the snapshot header declared.
+	ImagesExpected int
+	// ImagesLoaded is the number of images recovered into the engine.
+	ImagesLoaded int
+	// Dropped lists every image section that was reached but failed
+	// verification or parsing, in stream order. Sections past a framing
+	// loss are never reached and are counted in ImagesUnread instead
+	// (a corrupt header can claim 2^28 images; enumerating an unreadable
+	// tail individually would let a one-byte flip cost gigabytes).
+	Dropped []DroppedImage
+	// ImagesUnread counts the declared image sections that were never
+	// reached because framing was lost earlier in the stream.
+	ImagesUnread int
+	// Truncated reports that section framing was lost (truncation or a
+	// mangled length prefix) before the declared image count was reached.
+	Truncated bool
+}
+
+// Complete reports whether the snapshot was recovered in full — in that
+// case the engine is identical to a plain Load.
+func (rec *Recovery) Complete() bool {
+	return rec != nil && len(rec.Dropped) == 0 && rec.ImagesUnread == 0 && !rec.Truncated
+}
+
+// LoadPartial reads a possibly damaged snapshot and salvages every image
+// whose bytes still verify, returning the frozen engine plus a Recovery
+// describing exactly what was dropped. For GSIR2 streams each image
+// section is independently CRC-protected, so a single corrupted image
+// costs only that image; for GSIR1 streams (no framing) the undamaged
+// prefix is salvaged. The options section/header must be intact — without
+// it no engine can be constructed and an error is returned.
+func LoadPartial(r io.Reader) (*Engine, *Recovery, error) {
+	cr := &countReader{r: r}
+	magic, err := readMagic(cr)
 	if err != nil {
+		return nil, nil, err
+	}
+	switch magic {
+	case magicGSIR1:
+		return loadPartialGSIR1(cr)
+	case magicGSIR2:
+		return loadPartialGSIR2(cr)
+	}
+	return nil, nil, fmt.Errorf("geosir: bad magic %q", magic)
+}
+
+// SaveFile atomically saves the engine to a file: the snapshot is written
+// to a temporary file in the target directory, fsynced, renamed over the
+// destination, and the directory is fsynced. A crash (or write error) at
+// any point leaves the previous snapshot intact; the new snapshot becomes
+// visible only as a whole.
+func (e *Engine) SaveFile(path string) error {
+	return e.saveFileAtomic(path, nil)
+}
+
+// saveFileAtomic implements SaveFile. The wrap hook lets tests interpose
+// a fault-injecting writer between Save and the temp file to exercise
+// every crash point of the write path.
+func (e *Engine) saveFileAtomic(path string, wrap func(io.Writer) io.Writer) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("geosir: creating temp snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	var w io.Writer = tmp
+	if wrap != nil {
+		w = wrap(tmp)
+	}
+	if err := e.Save(w); err != nil {
+		tmp.Close()
 		return err
 	}
-	if err := e.Save(f); err != nil {
-		f.Close()
-		return err
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("geosir: syncing snapshot: %w", err)
 	}
-	return f.Close()
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("geosir: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("geosir: publishing snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable. Best-effort: some
+// filesystems and platforms reject fsync on directories, and by this
+// point the rename has already succeeded.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
 }
 
 // LoadFile loads an engine from a file.
@@ -215,4 +225,52 @@ func LoadFile(path string) (*Engine, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadPartialFile runs LoadPartial on a file.
+func LoadPartialFile(path string) (*Engine, *Recovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return LoadPartial(f)
+}
+
+// countReader tracks the byte offset of an io.Reader so recovery reports
+// can point at the damaged section.
+type countReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
+func readMagic(r io.Reader) (string, error) {
+	buf := make([]byte, magicLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("geosir: reading header: %w", err)
+	}
+	return string(buf), nil
+}
+
+// readCapped reads exactly n bytes, growing the buffer in bounded chunks
+// so a corrupt length field cannot force a huge up-front allocation: the
+// allocation never outruns the bytes the stream actually supplies.
+func readCapped(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		m := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }

@@ -1,0 +1,329 @@
+package geosir
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+// altEngine builds an engine whose snapshot differs from buildEngine's,
+// so an atomicity violation (new bytes leaking into the old snapshot)
+// cannot go unnoticed.
+func altEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := New(DefaultOptions())
+	images := [][]Shape{
+		{triangle(1, 1, 6)},
+		{lshape(0, 0, 4), square(2, 2, 5)},
+	}
+	for id, shapes := range images {
+		if err := eng.AddImage(id, shapes); err != nil {
+			t.Fatalf("AddImage(%d): %v", id, err)
+		}
+	}
+	return eng
+}
+
+// snapshotBytes returns the canonical GSIR2 encoding of eng.
+func snapshotBytes(t *testing.T, eng *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// faultOffsets returns the crash-point grid for a stream of the given
+// size: every byte of the first 64 (framing & options live there), every
+// seventh byte after, and the exact end-of-stream boundary offsets.
+func faultOffsets(size int) []int {
+	var offs []int
+	for o := 0; o < size && o < 64; o++ {
+		offs = append(offs, o)
+	}
+	for o := 64; o < size; o += 7 {
+		offs = append(offs, o)
+	}
+	if size > 0 {
+		offs = append(offs, size-1)
+	}
+	return offs
+}
+
+// TestSaveFileAtomicUnderWriteFaults kills SaveFile at every grid offset
+// and checks the previous snapshot survives byte-identical, loadable, and
+// without temp-file litter.
+func TestSaveFileAtomicUnderWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.gsir")
+	old := buildEngine(t)
+	if err := old.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := altEngine(t)
+	size := len(snapshotBytes(t, next))
+	for _, off := range faultOffsets(size) {
+		err := next.saveFileAtomic(path, func(w io.Writer) io.Writer {
+			return iofault.FailWriter(w, int64(off))
+		})
+		if !errors.Is(err, iofault.ErrInjected) {
+			t.Fatalf("offset %d: save with injected fault returned %v", off, err)
+		}
+		cur, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("offset %d: prior snapshot unreadable: %v", off, err)
+		}
+		if !bytes.Equal(cur, prior) {
+			t.Fatalf("offset %d: prior snapshot modified by failed save", off)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 {
+			var names []string
+			for _, e := range entries {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("offset %d: temp litter left behind: %v", off, names)
+		}
+	}
+	// The prior snapshot must still load and answer queries.
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("prior snapshot no longer loads: %v", err)
+	}
+	// A clean save finally replaces it.
+	if err := next.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cur, snapshotBytes(t, next)) {
+		t.Fatal("clean save did not publish the new snapshot")
+	}
+}
+
+// TestSaveFileTornWriteDetected models the one failure rename-based
+// atomicity cannot prevent: the writer lies about success (lost page
+// cache without the fsync taking effect), publishing a truncated
+// snapshot. The format must then detect the damage on load — never
+// produce a silently smaller image base — and LoadPartial must salvage
+// the verified prefix.
+func TestSaveFileTornWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.gsir")
+	eng := buildEngine(t)
+	full := snapshotBytes(t, eng)
+	nimg := eng.NumImages()
+	for _, off := range faultOffsets(len(full)) {
+		err := eng.saveFileAtomic(path, func(w io.Writer) io.Writer {
+			return iofault.TruncWriter(w, int64(off))
+		})
+		if err != nil {
+			// The torn writer claims success all the way; Sync/rename
+			// should too.
+			t.Fatalf("offset %d: torn save surfaced an error: %v", off, err)
+		}
+		if _, err := LoadFile(path); err == nil {
+			t.Fatalf("offset %d: truncated snapshot loaded without error", off)
+		}
+		eng2, rec, err := LoadPartialFile(path)
+		if err != nil {
+			// Unrecoverable only while the options section is incomplete.
+			if off >= magicLen+4+optionsSectionLen+4 {
+				t.Fatalf("offset %d: recovery failed past options section: %v", off, err)
+			}
+			continue
+		}
+		if rec.Complete() {
+			t.Fatalf("offset %d: truncated snapshot reported complete", off)
+		}
+		if got := rec.ImagesLoaded + len(rec.Dropped) + rec.ImagesUnread; got != nimg {
+			t.Fatalf("offset %d: %d loaded + %d dropped + %d unread ≠ %d expected",
+				off, rec.ImagesLoaded, len(rec.Dropped), rec.ImagesUnread, nimg)
+		}
+		if eng2.NumImages() != rec.ImagesLoaded {
+			t.Fatalf("offset %d: engine has %d images, report says %d",
+				off, eng2.NumImages(), rec.ImagesLoaded)
+		}
+	}
+}
+
+// TestCorruptionFlipSweep flips every byte of a GSIR2 snapshot (two bit
+// patterns) and checks the acceptance contract: each flip is either
+// caught (Load fails) or harmless (identical image base) — and
+// LoadPartial either reports the damaged images or recovers a base
+// identical to the original. Never a silently different image base.
+func TestCorruptionFlipSweep(t *testing.T) {
+	eng := buildEngine(t)
+	pristine := snapshotBytes(t, eng)
+	for _, xor := range []byte{0xFF, 0x01} {
+		for off := 0; off < len(pristine); off++ {
+			mut := append([]byte(nil), pristine...)
+			mut[off] ^= xor
+			if le, err := Load(bytes.NewReader(mut)); err == nil {
+				resaved := snapshotBytes(t, le)
+				if !bytes.Equal(resaved, pristine) {
+					t.Fatalf("offset %d xor %#x: Load accepted a silently different image base", off, xor)
+				}
+			}
+			pe, rec, err := LoadPartial(bytes.NewReader(mut))
+			if err != nil {
+				continue // refused outright: detection, not silence
+			}
+			if rec.Complete() {
+				resaved := snapshotBytes(t, pe)
+				if !bytes.Equal(resaved, pristine) {
+					t.Fatalf("offset %d xor %#x: LoadPartial claimed complete recovery of a different base", off, xor)
+				}
+			} else if len(rec.Dropped) == 0 && rec.ImagesUnread == 0 {
+				t.Fatalf("offset %d xor %#x: incomplete recovery with no damage reported", off, xor)
+			}
+		}
+	}
+}
+
+// sectionOffsets walks a GSIR2 stream and returns the byte offset of each
+// section's length prefix (options first, then one per image).
+func sectionOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	if string(data[:magicLen]) != magicGSIR2 {
+		t.Fatal("not a GSIR2 stream")
+	}
+	var offs []int
+	off := magicLen
+	for off < len(data) {
+		offs = append(offs, off)
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4 + n + 4
+	}
+	if off != len(data) {
+		t.Fatalf("section walk overran the stream: %d vs %d", off, len(data))
+	}
+	return offs
+}
+
+// TestLoadPartialSalvagesVerifiedImages corrupts exactly one image
+// section and checks every other image survives with the damage reported.
+func TestLoadPartialSalvagesVerifiedImages(t *testing.T) {
+	eng := buildEngine(t)
+	data := snapshotBytes(t, eng)
+	offs := sectionOffsets(t, data)
+	nimg := eng.NumImages()
+	if len(offs) != 1+nimg {
+		t.Fatalf("expected %d sections, found %d", 1+nimg, len(offs))
+	}
+	// Flip one payload byte in the second image's section.
+	mut := append([]byte(nil), data...)
+	target := offs[2] + 4 + 5 // inside the payload
+	mut[target] ^= 0xFF
+	if _, err := Load(bytes.NewReader(mut)); err == nil {
+		t.Fatal("Load accepted a corrupt section")
+	}
+	eng2, rec, err := LoadPartial(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatalf("LoadPartial: %v", err)
+	}
+	if rec.Format != "GSIR2" || rec.Truncated {
+		t.Fatalf("unexpected report: %+v", rec)
+	}
+	if rec.ImagesLoaded != nimg-1 || len(rec.Dropped) != 1 {
+		t.Fatalf("salvaged %d, dropped %d; want %d and 1", rec.ImagesLoaded, len(rec.Dropped), nimg)
+	}
+	d := rec.Dropped[0]
+	if d.Section != 2 || d.ImageID != 1 || d.Offset != int64(offs[2]) || !errors.Is(d.Err, errBadCRC) {
+		t.Fatalf("dropped report wrong: %+v", d)
+	}
+	if eng2.NumImages() != nimg-1 {
+		t.Fatalf("engine has %d images, want %d", eng2.NumImages(), nimg-1)
+	}
+	// The salvaged engine must answer queries.
+	q := lshape(0, 0, 3).Transform(Similarity(1.4, 0.5, Pt(40, 40)))
+	if _, _, err := eng2.FindSimilar(q, 3); err != nil {
+		t.Fatalf("salvaged engine cannot query: %v", err)
+	}
+}
+
+// TestLoadPartialTruncatedTail truncates mid-stream: the verified prefix
+// is salvaged, the remainder is reported dropped with Truncated set.
+func TestLoadPartialTruncatedTail(t *testing.T) {
+	eng := buildEngine(t)
+	data := snapshotBytes(t, eng)
+	offs := sectionOffsets(t, data)
+	nimg := eng.NumImages()
+	cut := offs[3] + 6 // mid-way through the third image's section
+	_, rec, err := LoadPartial(bytes.NewReader(data[:cut]))
+	if err != nil {
+		t.Fatalf("LoadPartial: %v", err)
+	}
+	if !rec.Truncated {
+		t.Fatal("truncation not reported")
+	}
+	if rec.ImagesLoaded != 2 || len(rec.Dropped) != 1 || rec.ImagesUnread != nimg-3 {
+		t.Fatalf("salvaged %d, dropped %d, unread %d; want 2, 1, %d",
+			rec.ImagesLoaded, len(rec.Dropped), rec.ImagesUnread, nimg-3)
+	}
+	if rec.Dropped[0].Offset != int64(offs[3]) {
+		t.Fatalf("dropped offset %d, want %d", rec.Dropped[0].Offset, offs[3])
+	}
+}
+
+// TestLoadPartialGSIR1Prefix salvages the undamaged prefix of a legacy
+// stream (no checksums: recovery stops at the first parse error).
+func TestLoadPartialGSIR1Prefix(t *testing.T) {
+	eng := buildEngine(t)
+	var buf bytes.Buffer
+	if err := eng.SaveAs(&buf, FormatGSIR1); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	eng2, rec, err := LoadPartial(bytes.NewReader(data[:len(data)-20]))
+	if err != nil {
+		t.Fatalf("LoadPartial: %v", err)
+	}
+	if rec.Format != "GSIR1" || !rec.Truncated {
+		t.Fatalf("unexpected report: %+v", rec)
+	}
+	if rec.ImagesLoaded+len(rec.Dropped)+rec.ImagesUnread != eng.NumImages() {
+		t.Fatalf("accounting broken: %d + %d + %d ≠ %d",
+			rec.ImagesLoaded, len(rec.Dropped), rec.ImagesUnread, eng.NumImages())
+	}
+	if rec.ImagesLoaded == 0 || eng2.NumImages() != rec.ImagesLoaded {
+		t.Fatalf("salvage mismatch: engine %d vs report %d", eng2.NumImages(), rec.ImagesLoaded)
+	}
+	// An intact stream reports complete recovery and matches plain Load.
+	eng3, rec3, err := LoadPartial(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec3.Complete() || eng3.NumImages() != eng.NumImages() {
+		t.Fatalf("intact stream not fully recovered: %+v", rec3)
+	}
+}
+
+// TestLoadPartialUnrecoverableOptions verifies the documented failure
+// mode: a destroyed options section cannot be recovered from.
+func TestLoadPartialUnrecoverableOptions(t *testing.T) {
+	eng := buildEngine(t)
+	data := snapshotBytes(t, eng)
+	mut := append([]byte(nil), data...)
+	mut[magicLen+4+3] ^= 0xFF // inside the options payload
+	_, _, err := LoadPartial(bytes.NewReader(mut))
+	if err == nil || !strings.Contains(err.Error(), "options") {
+		t.Fatalf("want unrecoverable-options error, got %v", err)
+	}
+}

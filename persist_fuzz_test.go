@@ -1,0 +1,74 @@
+package geosir
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedEngine builds a small engine without a *testing.T (f.Add runs
+// before the fuzz worker has one).
+func fuzzSeedEngine() *Engine {
+	eng := New(DefaultOptions())
+	_ = eng.AddImage(0, []Shape{
+		NewPolygon(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)),
+		NewPolyline(Pt(1, 1), Pt(2, 3), Pt(3, 1)),
+	})
+	_ = eng.AddImage(7, []Shape{
+		NewPolygon(Pt(0, 0), Pt(3, 0), Pt(0, 5)),
+	})
+	return eng
+}
+
+// FuzzLoad feeds arbitrary bytes to the snapshot readers. Invariants:
+// neither Load nor LoadPartial may panic or over-allocate, and anything
+// Load accepts must re-save canonically (save → load → save is a byte
+// fixed point, so no accepted stream can describe an ambiguous base).
+func FuzzLoad(f *testing.F) {
+	eng := fuzzSeedEngine()
+	var v1, v2 bytes.Buffer
+	if err := eng.SaveAs(&v1, FormatGSIR1); err != nil {
+		f.Fatal(err)
+	}
+	if err := eng.SaveAs(&v2, FormatGSIR2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes()[:v1.Len()/2])
+	f.Add(v2.Bytes()[:v2.Len()/2])
+	f.Add([]byte(magicGSIR1))
+	f.Add([]byte(magicGSIR2))
+	f.Add([]byte("GSIR2\n\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if le, err := Load(bytes.NewReader(data)); err == nil {
+			var b1 bytes.Buffer
+			if err := le.Save(&b1); err != nil {
+				t.Fatalf("accepted stream failed to re-save: %v", err)
+			}
+			le2, err := Load(bytes.NewReader(b1.Bytes()))
+			if err != nil {
+				t.Fatalf("canonical re-save failed to load: %v", err)
+			}
+			var b2 bytes.Buffer
+			if err := le2.Save(&b2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatalf("save→load→save is not a byte fixed point (%d vs %d bytes)", b1.Len(), b2.Len())
+			}
+			if le2.NumImages() != le.NumImages() || le2.NumShapes() != le.NumShapes() {
+				t.Fatalf("reloaded counts differ: %d/%d vs %d/%d",
+					le2.NumImages(), le2.NumShapes(), le.NumImages(), le.NumShapes())
+			}
+		}
+		// The salvage path must hold the same no-panic guarantee, and its
+		// accounting must cover every declared image.
+		if _, rec, err := LoadPartial(bytes.NewReader(data)); err == nil {
+			if got := rec.ImagesLoaded + len(rec.Dropped) + rec.ImagesUnread; got != rec.ImagesExpected {
+				t.Fatalf("recovery accounting: %d loaded + %d dropped + %d unread ≠ %d expected",
+					rec.ImagesLoaded, len(rec.Dropped), rec.ImagesUnread, rec.ImagesExpected)
+			}
+		}
+	})
+}

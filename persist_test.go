@@ -79,6 +79,114 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
+// TestSaveLoadSaveByteIdentity proves both encodings are canonical:
+// saving, loading, and saving again reproduces the stream byte for byte.
+func TestSaveLoadSaveByteIdentity(t *testing.T) {
+	orig := buildEngine(t)
+	for _, f := range []Format{FormatGSIR1, FormatGSIR2} {
+		var b1 bytes.Buffer
+		if err := orig.SaveAs(&b1, f); err != nil {
+			t.Fatalf("format %d: save: %v", f, err)
+		}
+		loaded, err := Load(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("format %d: load: %v", f, err)
+		}
+		if loaded.Options() != orig.Options() {
+			t.Errorf("format %d: options drifted: %+v vs %+v", f, loaded.Options(), orig.Options())
+		}
+		var b2 bytes.Buffer
+		if err := loaded.SaveAs(&b2, f); err != nil {
+			t.Fatalf("format %d: re-save: %v", f, err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("format %d: save→load→save is not byte-identical (%d vs %d bytes)",
+				f, b1.Len(), b2.Len())
+		}
+	}
+}
+
+// TestReloadedQueryEquivalence proves a reloaded engine (from either
+// format) returns identical rankings for every query family.
+func TestReloadedQueryEquivalence(t *testing.T) {
+	orig := buildEngine(t)
+	queries := []Shape{
+		lshape(0, 0, 3).Transform(Similarity(1.4, 0.5, Pt(40, 40))),
+		triangle(0, 0, 4).Transform(Similarity(0.8, 2.1, Pt(-5, 12))),
+		square(0, 0, 9).Transform(Similarity(2.0, -0.7, Pt(3, -8))),
+	}
+	sketch := []Shape{square(0, 0, 10), triangle(2, 2, 3)}
+	for _, f := range []Format{FormatGSIR1, FormatGSIR2} {
+		var buf bytes.Buffer
+		if err := orig.SaveAs(&buf, f); err != nil {
+			t.Fatalf("format %d: save: %v", f, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("format %d: load: %v", f, err)
+		}
+		for qi, q := range queries {
+			m1, s1, err1 := orig.FindSimilar(q, 4)
+			m2, s2, err2 := loaded.FindSimilar(q, 4)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("format %d query %d: errs %v / %v", f, qi, err1, err2)
+			}
+			if s1 != s2 || len(m1) != len(m2) {
+				t.Fatalf("format %d query %d: stats differ: %+v vs %+v", f, qi, s1, s2)
+			}
+			for i := range m1 {
+				if m1[i] != m2[i] {
+					t.Fatalf("format %d query %d match %d: %+v vs %+v", f, qi, i, m1[i], m2[i])
+				}
+			}
+			a1, err1 := orig.FindApproximate(q, 4)
+			a2, err2 := loaded.FindApproximate(q, 4)
+			if err1 != nil || err2 != nil || len(a1) != len(a2) {
+				t.Fatalf("format %d query %d: approximate differs", f, qi)
+			}
+			for i := range a1 {
+				if a1[i] != a2[i] {
+					t.Fatalf("format %d query %d approx %d: %+v vs %+v", f, qi, i, a1[i], a2[i])
+				}
+			}
+		}
+		k1, err1 := orig.FindBySketch(sketch, 3)
+		k2, err2 := loaded.FindBySketch(sketch, 3)
+		if err1 != nil || err2 != nil || len(k1) != len(k2) {
+			t.Fatalf("format %d: sketch retrieval differs: %v / %v", f, err1, err2)
+		}
+		for i := range k1 {
+			if k1[i].ImageID != k2[i].ImageID || k1[i].Score != k2[i].Score {
+				t.Fatalf("format %d sketch match %d: %+v vs %+v", f, i, k1[i], k2[i])
+			}
+		}
+	}
+}
+
+// TestPersistEmptyEngine round-trips an engine with no images.
+func TestPersistEmptyEngine(t *testing.T) {
+	eng := New(DefaultOptions())
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumImages() != 0 || loaded.NumShapes() != 0 {
+		t.Errorf("empty engine gained content: %d images, %d shapes",
+			loaded.NumImages(), loaded.NumShapes())
+	}
+}
+
+func TestSaveAsUnknownFormat(t *testing.T) {
+	eng := New(DefaultOptions())
+	if err := eng.SaveAs(&bytes.Buffer{}, Format(99)); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
 func TestLoadRejectsCorrupt(t *testing.T) {
 	if _, err := Load(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input should fail")

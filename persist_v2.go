@@ -1,0 +1,335 @@
+package geosir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// GSIR2 is the current stream format:
+//
+//	magic "GSIR2\n"
+//	section := u32 payloadLen | payload | u32 crc32(payload)   (little-endian, IEEE CRC)
+//	section 0 (options, 40 bytes): f64 alpha, beta, tau, angleTol | u32 hashCurves | u32 nImages
+//	sections 1..nImages (one per image):
+//	    u32 imageID | u32 nShapes | nShapes × { u32 flags (bit0 = closed) | u32 nVerts | nVerts × (f64 x, f64 y) }
+//
+// Every section is independently framed and checksummed: truncation, a
+// torn tail, or a flipped byte anywhere in a section surfaces as a CRC or
+// framing error rather than a silently different image base, and
+// LoadPartial can drop exactly the damaged sections while keeping the
+// rest.
+
+// maxSectionLen bounds a section length prefix against corrupt framing.
+const maxSectionLen = 1 << 30
+
+// errBadCRC marks a section whose payload read fully but failed its
+// checksum — framing is intact, the content is not.
+var errBadCRC = errors.New("geosir: section checksum mismatch")
+
+const optionsSectionLen = 4*8 + 4 + 4
+
+func appendU32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return append(b, buf[:]...)
+}
+
+// writeSection frames payload with its length prefix and CRC32 trailer.
+func writeSection(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// readSection reads one framed section. It returns errBadCRC (with the
+// suspect payload, for best-effort reporting) when the bytes read fully
+// but the checksum disagrees; any other error means framing itself is
+// broken (truncation, implausible length) and the stream position past
+// this point cannot be trusted.
+func readSection(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxSectionLen {
+		return nil, fmt.Errorf("geosir: implausible section length %d", n)
+	}
+	buf, err := readCapped(r, int(n)+4)
+	if err != nil {
+		return nil, err
+	}
+	payload, sum := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return payload, errBadCRC
+	}
+	return payload, nil
+}
+
+// saveGSIR2 writes the checksummed format.
+func (e *Engine) saveGSIR2(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicGSIR2); err != nil {
+		return err
+	}
+	images := e.imagesInOrder()
+	opt := make([]byte, 0, optionsSectionLen)
+	opt = appendF64(opt, e.opts.Alpha)
+	opt = appendF64(opt, e.opts.Beta)
+	opt = appendF64(opt, e.opts.Tau)
+	opt = appendF64(opt, e.opts.AngleTol)
+	opt = appendU32(opt, uint32(e.opts.HashCurves))
+	opt = appendU32(opt, uint32(len(images)))
+	if err := writeSection(bw, opt); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, img := range images {
+		buf = buf[:0]
+		buf = appendU32(buf, uint32(img.id))
+		buf = appendU32(buf, uint32(len(img.shapes)))
+		for _, sh := range img.shapes {
+			flags := uint32(0)
+			if sh.Closed {
+				flags = 1
+			}
+			buf = appendU32(buf, flags)
+			buf = appendU32(buf, uint32(len(sh.Pts)))
+			for _, p := range sh.Pts {
+				buf = appendF64(buf, p.X)
+				buf = appendF64(buf, p.Y)
+			}
+		}
+		if err := writeSection(bw, buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// cursor is a bounds-checked little-endian reader over a section payload.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.b) < n {
+		c.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	v := c.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (c *cursor) f64() float64 {
+	v := c.take(8)
+	if v == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(v))
+}
+
+func (c *cursor) remaining() int { return len(c.b) }
+
+// readOptionsSection parses section 0: the engine options and the
+// declared image count.
+func readOptionsSection(r io.Reader) (Options, int, error) {
+	payload, err := readSection(r)
+	if err != nil {
+		return Options{}, 0, fmt.Errorf("geosir: options section: %w", err)
+	}
+	if len(payload) != optionsSectionLen {
+		return Options{}, 0, fmt.Errorf("geosir: options section is %d bytes, want %d", len(payload), optionsSectionLen)
+	}
+	c := cursor{b: payload}
+	var opts Options
+	opts.Alpha = c.f64()
+	opts.Beta = c.f64()
+	opts.Tau = c.f64()
+	opts.AngleTol = c.f64()
+	hc := c.u32()
+	nimg := c.u32()
+	if c.err != nil {
+		return Options{}, 0, c.err
+	}
+	if hc > maxHashCurves {
+		return Options{}, 0, fmt.Errorf("geosir: implausible hash-curve count %d", hc)
+	}
+	opts.HashCurves = int(hc)
+	if nimg > maxCount {
+		return Options{}, 0, fmt.Errorf("geosir: implausible image count %d", nimg)
+	}
+	return opts, int(nimg), nil
+}
+
+// parseImagePayload decodes one image section payload. Counts are
+// validated against the bytes actually present before any allocation, so
+// a corrupt (but checksum-colliding) payload cannot force a huge
+// allocation.
+func parseImagePayload(b []byte) (int, []Shape, error) {
+	c := cursor{b: b}
+	imgID := c.u32()
+	nsh := c.u32()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if int64(nsh)*8 > int64(c.remaining()) {
+		return 0, nil, fmt.Errorf("geosir: implausible shape count %d", nsh)
+	}
+	shapes := make([]Shape, 0, nsh)
+	for s := uint32(0); s < nsh; s++ {
+		flags := c.u32()
+		nv := c.u32()
+		if c.err != nil {
+			return 0, nil, c.err
+		}
+		if int64(nv)*16 > int64(c.remaining()) {
+			return 0, nil, fmt.Errorf("geosir: implausible vertex count %d", nv)
+		}
+		pts := make([]Point, nv)
+		for v := range pts {
+			pts[v] = Pt(c.f64(), c.f64())
+		}
+		if c.err != nil {
+			return 0, nil, c.err
+		}
+		shapes = append(shapes, Shape{Pts: pts, Closed: flags&1 == 1})
+	}
+	if c.remaining() != 0 {
+		return 0, nil, fmt.Errorf("geosir: %d trailing bytes in image section", c.remaining())
+	}
+	return int(imgID), shapes, nil
+}
+
+// bestEffortImageID pulls the image id from a damaged payload when
+// enough bytes exist, purely for the recovery report; -1 otherwise.
+func bestEffortImageID(payload []byte) int {
+	if len(payload) >= 4 {
+		return int(binary.LittleEndian.Uint32(payload))
+	}
+	return -1
+}
+
+// loadGSIR2 reads a checksummed stream (magic already consumed) and
+// returns the frozen engine. Any framing damage, checksum mismatch, or
+// trailing garbage fails the load.
+func loadGSIR2(r io.Reader) (*Engine, error) {
+	opts, nimg, err := readOptionsSection(r)
+	if err != nil {
+		return nil, err
+	}
+	eng := New(opts)
+	for i := 0; i < nimg; i++ {
+		payload, err := readSection(r)
+		if err != nil {
+			return nil, fmt.Errorf("geosir: image section %d: %w", i+1, err)
+		}
+		imgID, shapes, err := parseImagePayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("geosir: image section %d: %w", i+1, err)
+		}
+		if err := eng.AddImage(imgID, shapes); err != nil {
+			return nil, fmt.Errorf("geosir: image %d: %w", imgID, err)
+		}
+	}
+	var tail [1]byte
+	if _, err := io.ReadFull(r, tail[:]); err != io.EOF {
+		return nil, fmt.Errorf("geosir: trailing bytes after final section")
+	}
+	if err := freezeLoaded(eng); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// loadPartialGSIR2 salvages every image section that still verifies. A
+// checksum mismatch costs only that section (framing stays intact); a
+// framing error (truncation, mangled length prefix) ends recovery, and
+// every unread section is reported dropped.
+func loadPartialGSIR2(cr *countReader) (*Engine, *Recovery, error) {
+	opts, nimg, err := readOptionsSection(cr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("geosir: unrecoverable options section: %w", err)
+	}
+	eng := New(opts)
+	rec := &Recovery{Format: "GSIR2", ImagesExpected: nimg}
+	for i := 0; i < nimg; i++ {
+		off := cr.off
+		payload, err := readSection(cr)
+		if err != nil && !errors.Is(err, errBadCRC) {
+			// Framing lost: report the section where it broke and count
+			// the unreadable tail rather than enumerating it.
+			rec.Truncated = true
+			rec.Dropped = append(rec.Dropped, DroppedImage{
+				Section: i + 1,
+				ImageID: -1,
+				Offset:  off,
+				Err:     err,
+			})
+			rec.ImagesUnread = nimg - i - 1
+			break
+		}
+		if err != nil { // checksum mismatch: skip just this section
+			rec.Dropped = append(rec.Dropped, DroppedImage{
+				Section: i + 1,
+				ImageID: bestEffortImageID(payload),
+				Offset:  off,
+				Err:     err,
+			})
+			continue
+		}
+		imgID, shapes, perr := parseImagePayload(payload)
+		if perr == nil {
+			perr = eng.AddImage(imgID, shapes)
+		} else {
+			imgID = bestEffortImageID(payload)
+		}
+		if perr != nil {
+			rec.Dropped = append(rec.Dropped, DroppedImage{
+				Section: i + 1,
+				ImageID: imgID,
+				Offset:  off,
+				Err:     perr,
+			})
+			continue
+		}
+		rec.ImagesLoaded++
+	}
+	if err := freezeLoaded(eng); err != nil {
+		return nil, nil, err
+	}
+	return eng, rec, nil
+}
