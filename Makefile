@@ -3,11 +3,13 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query fuzz-smoke cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-serve serve-smoke fuzz-smoke cover clean
 
 # The gate every PR must pass. The race run includes the persistence
-# fault-injection suite; fuzz-smoke gives each fuzz target a short budget.
-ci: vet build race bench-smoke fuzz-smoke
+# fault-injection suite; fuzz-smoke gives each fuzz target a short
+# budget; serve-smoke boots geosird against a demo snapshot and probes
+# every endpoint through geosir-loadgen.
+ci: vet build race bench-smoke fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +48,45 @@ cover:
 bench-query:
 	$(GO) test -run '^$$' -bench '$(QUERY_BENCH)' -benchmem -benchtime=3x . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_query.json
+
+# End-to-end serving check: build the daemon + load generator, freeze a
+# tiny demo base into a snapshot, boot geosird on a local port, and hit
+# every endpoint once through loadgen -smoke. Fails if any probe fails;
+# always tears the daemon down.
+SERVE_ADDR ?= 127.0.0.1:18098
+SERVE_DIR  ?= /tmp/geosir-serve
+serve-smoke:
+	@mkdir -p $(SERVE_DIR)
+	$(GO) build -o $(SERVE_DIR)/geosir ./cmd/geosir
+	$(GO) build -o $(SERVE_DIR)/geosird ./cmd/geosird
+	$(GO) build -o $(SERVE_DIR)/loadgen ./cmd/geosir-loadgen
+	$(SERVE_DIR)/geosir -demo 20 -snapshot-out $(SERVE_DIR)/base.gsir
+	@$(SERVE_DIR)/geosird -snapshot $(SERVE_DIR)/base.gsir -addr $(SERVE_ADDR) & \
+	pid=$$!; \
+	$(SERVE_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s -smoke; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -rf $(SERVE_DIR); exit $$rc
+
+# Serving latency/throughput benchmark, written to BENCH_serve.json so
+# successive PRs can compare serving trajectories. The limiter is sized
+# to the closed-loop worker count so the numbers measure query latency,
+# not admission shedding.
+BENCH_SERVE_CONC ?= 8
+BENCH_SERVE_SECS ?= 20s
+bench-serve:
+	@mkdir -p $(SERVE_DIR)
+	$(GO) build -o $(SERVE_DIR)/geosir ./cmd/geosir
+	$(GO) build -o $(SERVE_DIR)/geosird ./cmd/geosird
+	$(GO) build -o $(SERVE_DIR)/loadgen ./cmd/geosir-loadgen
+	$(SERVE_DIR)/geosir -demo 60 -snapshot-out $(SERVE_DIR)/base.gsir
+	@$(SERVE_DIR)/geosird -snapshot $(SERVE_DIR)/base.gsir -addr $(SERVE_ADDR) \
+		-max-inflight $(BENCH_SERVE_CONC) & \
+	pid=$$!; \
+	$(SERVE_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s \
+		-duration $(BENCH_SERVE_SECS) -concurrency $(BENCH_SERVE_CONC) \
+		-out BENCH_serve.json; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -rf $(SERVE_DIR); exit $$rc
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,408 @@
+// Command geosir-loadgen is a closed-loop load generator for geosird. It
+// drives a mixed query workload (similar / approximate / sketch /
+// topological) at a target QPS (or flat out), measures end-to-end
+// latency, and prints a throughput/latency summary, optionally writing
+// it to a JSON file (BENCH_serve.json) so serving performance is tracked
+// across PRs.
+//
+//	geosir-loadgen -addr http://127.0.0.1:8080 -duration 10s -concurrency 16 -out BENCH_serve.json
+//	geosir-loadgen -addr http://127.0.0.1:8080 -smoke   # readiness probe + one query of each kind
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+type kind struct {
+	name   string
+	path   string
+	bodies [][]byte // pre-marshalled request variants
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "geosird base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 8, "closed-loop worker count")
+		qps         = flag.Float64("qps", 0, "target aggregate QPS (0 = unthrottled)")
+		k           = flag.Int("k", 3, "matches per query")
+		mixSpec     = flag.String("mix", "similar=6,approximate=2,sketch=1,topological=1", "workload mix weights")
+		seed        = flag.Int64("seed", 1, "query-shape generator seed")
+		out         = flag.String("out", "", "write the JSON summary to this file")
+		wait        = flag.Duration("wait", 0, "poll /readyz up to this long before starting")
+		smoke       = flag.Bool("smoke", false, "probe mode: healthz, readyz, one query of each kind; exit 0/1")
+	)
+	flag.Parse()
+	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *seed, *out, *wait, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "geosir-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// buildKinds pre-marshals request-body variants for every query kind so
+// the measurement loop does no encoding work.
+func buildKinds(seed int64, k int) []kind {
+	rng := rand.New(rand.NewSource(seed))
+	const variants = 64
+	shape := func() server.WireShape {
+		for {
+			p := synth.Prototype(rng, rng.Intn(6), 12, false)
+			if p.Validate() != nil {
+				continue
+			}
+			ws := server.WireShape{Closed: p.Closed, Points: make([][2]float64, len(p.Pts))}
+			for i, pt := range p.Pts {
+				ws.Points[i] = [2]float64{pt.X, pt.Y}
+			}
+			return ws
+		}
+	}
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	ks := []kind{
+		{name: "similar", path: "/v1/similar"},
+		{name: "approximate", path: "/v1/approximate"},
+		{name: "sketch", path: "/v1/sketch"},
+		{name: "topological", path: "/v1/topological"},
+	}
+	for v := 0; v < variants; v++ {
+		ks[0].bodies = append(ks[0].bodies, mustJSON(map[string]any{"shape": shape(), "k": k}))
+		ks[1].bodies = append(ks[1].bodies, mustJSON(map[string]any{"shape": shape(), "k": k}))
+		ks[2].bodies = append(ks[2].bodies, mustJSON(map[string]any{"shapes": []server.WireShape{shape(), shape()}, "k": k}))
+		ks[3].bodies = append(ks[3].bodies, mustJSON(map[string]any{"query": "similar(q)", "binds": map[string]server.WireShape{"q": shape()}}))
+	}
+	return ks
+}
+
+// parseMix turns "similar=6,sketch=1" into a weighted pick table over kinds.
+func parseMix(spec string, ks []kind) ([]int, error) {
+	weights := make([]int, len(ks))
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		found := false
+		for i := range ks {
+			if ks[i].name == strings.TrimSpace(name) {
+				weights[i] = w
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown kind %q (want similar|approximate|sketch|topological)", name)
+		}
+	}
+	var table []int
+	for i, w := range weights {
+		for j := 0; j < w; j++ {
+			table = append(table, i)
+		}
+	}
+	if len(table) == 0 {
+		return nil, fmt.Errorf("mix %q selects nothing", spec)
+	}
+	return table, nil
+}
+
+func waitReady(client *http.Client, addr string, wait time.Duration) error {
+	if wait <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(addr + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not ready after %v: %v", wait, err)
+			}
+			return fmt.Errorf("server not ready after %v", wait)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func runSmoke(client *http.Client, addr string, ks []kind) error {
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := client.Get(addr + probe)
+		if err != nil {
+			return fmt.Errorf("%s: %w", probe, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("%s: %d %s", probe, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		fmt.Printf("%-16s ok\n", probe)
+	}
+	for _, kd := range ks {
+		resp, err := client.Post(addr+kd.path, "application/json", bytes.NewReader(kd.bodies[0]))
+		if err != nil {
+			return fmt.Errorf("%s: %w", kd.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("%s: %d %s", kd.path, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		fmt.Printf("%-16s ok (%d bytes)\n", kd.path, len(body))
+	}
+	fmt.Println("smoke ok")
+	return nil
+}
+
+// sample is one measured request.
+type sample struct {
+	kind   int8
+	status int16
+	dur    time.Duration
+}
+
+// KindSummary is the per-kind (and overall) latency/throughput report.
+type KindSummary struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// BenchOut is the JSON document written to -out.
+type BenchOut struct {
+	Target      string                 `json:"target"`
+	DurationS   float64                `json:"duration_s"`
+	Concurrency int                    `json:"concurrency"`
+	TargetQPS   float64                `json:"target_qps"`
+	Mix         string                 `json:"mix"`
+	Requests    int                    `json:"requests"`
+	Errors      int                    `json:"errors"`
+	AchievedQPS float64                `json:"achieved_qps"`
+	Overall     KindSummary            `json:"overall"`
+	ByKind      map[string]KindSummary `json:"by_kind"`
+	Status      map[string]int         `json:"status"`
+}
+
+func summarize(samples []sample, pick func(sample) bool) KindSummary {
+	var durs []time.Duration
+	var sum time.Duration
+	out := KindSummary{}
+	for _, s := range samples {
+		if !pick(s) {
+			continue
+		}
+		out.Requests++
+		if s.status != 200 {
+			out.Errors++
+			continue // error latencies would pollute the quantiles
+		}
+		durs = append(durs, s.dur)
+		sum += s.dur
+	}
+	if len(durs) == 0 {
+		return out
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	q := func(p float64) float64 {
+		i := int(p*float64(len(durs))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(durs) {
+			i = len(durs) - 1
+		}
+		return float64(durs[i]) / float64(time.Millisecond)
+	}
+	out.MeanMs = float64(sum) / float64(len(durs)) / float64(time.Millisecond)
+	out.P50Ms = q(0.50)
+	out.P95Ms = q(0.95)
+	out.P99Ms = q(0.99)
+	out.MaxMs = float64(durs[len(durs)-1]) / float64(time.Millisecond)
+	return out
+}
+
+func run(addr string, duration time.Duration, concurrency int, qps float64, k int,
+	mixSpec string, seed int64, out string, wait time.Duration, smoke bool) error {
+
+	addr = strings.TrimRight(addr, "/")
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency * 2,
+			MaxIdleConnsPerHost: concurrency * 2,
+		},
+	}
+	ks := buildKinds(seed, k)
+	if err := waitReady(client, addr, wait); err != nil {
+		return err
+	}
+	if smoke {
+		return runSmoke(client, addr, ks)
+	}
+	mix, err := parseMix(mixSpec, ks)
+	if err != nil {
+		return err
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+
+	// Closed loop: each worker issues, waits, issues again. With -qps the
+	// aggregate rate is split evenly and each worker paces on its own
+	// schedule (absolute next-fire times, so a slow response doesn't
+	// permanently lower the rate).
+	perWorker := time.Duration(0)
+	if qps > 0 {
+		perWorker = time.Duration(float64(concurrency) / qps * float64(time.Second))
+	}
+	results := make([][]sample, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stopAt := start.Add(duration)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			next := start
+			for {
+				now := time.Now()
+				if now.After(stopAt) {
+					return
+				}
+				if perWorker > 0 {
+					if d := next.Sub(now); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(perWorker)
+				}
+				kd := &ks[mix[rng.Intn(len(mix))]]
+				body := kd.bodies[rng.Intn(len(kd.bodies))]
+				t0 := time.Now()
+				resp, err := client.Post(addr+kd.path, "application/json", bytes.NewReader(body))
+				status := 0
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					status = resp.StatusCode
+				}
+				results[w] = append(results[w], sample{
+					kind:   int8(indexOf(ks, kd.name)),
+					status: int16(status),
+					dur:    time.Since(t0),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests completed against %s", addr)
+	}
+	bench := BenchOut{
+		Target:      addr,
+		DurationS:   elapsed.Seconds(),
+		Concurrency: concurrency,
+		TargetQPS:   qps,
+		Mix:         mixSpec,
+		Requests:    len(all),
+		Overall:     summarize(all, func(sample) bool { return true }),
+		ByKind:      map[string]KindSummary{},
+		Status:      map[string]int{},
+	}
+	bench.Errors = bench.Overall.Errors
+	okCount := bench.Requests - bench.Errors
+	bench.AchievedQPS = float64(okCount) / elapsed.Seconds()
+	for i, kd := range ks {
+		i := int8(i)
+		bench.ByKind[kd.name] = summarize(all, func(s sample) bool { return s.kind == i })
+	}
+	for _, s := range all {
+		bench.Status[strconv.Itoa(int(s.status))]++
+	}
+
+	fmt.Printf("target        %s\n", bench.Target)
+	fmt.Printf("duration      %.2fs   concurrency %d   mix %s\n", bench.DurationS, concurrency, mixSpec)
+	fmt.Printf("requests      %d (%d errors)\n", bench.Requests, bench.Errors)
+	fmt.Printf("throughput    %.1f qps\n", bench.AchievedQPS)
+	fmt.Printf("latency  p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms\n",
+		bench.Overall.P50Ms, bench.Overall.P95Ms, bench.Overall.P99Ms, bench.Overall.MeanMs, bench.Overall.MaxMs)
+	names := make([]string, 0, len(bench.ByKind))
+	for name := range bench.ByKind {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ksum := bench.ByKind[name]
+		if ksum.Requests == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %6d reqs  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+			name, ksum.Requests, ksum.P50Ms, ksum.P95Ms, ksum.P99Ms)
+	}
+	if bench.Errors > 0 {
+		fmt.Printf("status        %v\n", bench.Status)
+	}
+
+	if out != "" {
+		blob, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func indexOf(ks []kind, name string) int {
+	for i := range ks {
+		if ks[i].name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -42,11 +42,19 @@ func main() {
 		binds      = flag.String("bind", "", "semicolon-separated shape bindings: \"q=x1,y1 x2,y2 ...;a=...\"")
 		stats      = flag.Bool("stats", false, "print base statistics and exit")
 		dump       = flag.String("dump", "", "write the loaded/demo base to a shape file and exit")
+		snapOut    = flag.String("snapshot-out", "", "freeze the loaded/demo base and write a snapshot for geosird, then exit")
 	)
 	flag.Parse()
 
 	if *dump != "" {
 		if err := runDump(*basePath, *demo, *seed, *dump); err != nil {
+			fmt.Fprintln(os.Stderr, "geosir:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *snapOut != "" {
+		if err := runSnapshot(*basePath, *demo, *seed, *snapOut); err != nil {
 			fmt.Fprintln(os.Stderr, "geosir:", err)
 			os.Exit(1)
 		}
@@ -205,6 +213,46 @@ func runDump(basePath string, demo int, seed int64, out string) error {
 		return err
 	}
 	fmt.Printf("wrote %d shapes to %s\n", eng.Base().NumShapes(), out)
+	return nil
+}
+
+// runSnapshot materializes a base (demo or loaded), freezes it, and
+// writes a GSIR snapshot ready to serve with geosird -snapshot.
+func runSnapshot(basePath string, demo int, seed int64, out string) error {
+	eng := geosir.New(geosir.DefaultOptions())
+	switch {
+	case demo > 0:
+		spec := synth.PaperSpec(float64(demo)/10000, seed)
+		spec.Images = demo
+		for _, img := range synth.GenerateBase(spec) {
+			valid := img.Shapes[:0]
+			for _, s := range img.Shapes {
+				if s.Validate() == nil {
+					valid = append(valid, s)
+				}
+			}
+			if len(valid) == 0 {
+				continue
+			}
+			if err := eng.AddImage(img.ID, valid); err != nil {
+				return err
+			}
+		}
+	case basePath != "":
+		if err := loadBase(eng, basePath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -base FILE or -demo N")
+	}
+	if err := eng.Freeze(); err != nil {
+		return err
+	}
+	if err := eng.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot %s (%d images, %d shapes, %d entries)\n",
+		out, eng.NumImages(), eng.NumShapes(), eng.NumEntries())
 	return nil
 }
 

@@ -1,0 +1,123 @@
+// Command geosird is the GeoSIR network daemon: it serves a frozen
+// engine loaded from a GSIR1/GSIR2 snapshot over an HTTP JSON API.
+//
+//	geosird -snapshot base.gsir -addr :8080
+//
+// Endpoints: POST /v1/similar, /v1/approximate, /v1/sketch,
+// /v1/topological, POST /admin/reload, GET /healthz /readyz /metrics
+// /statz. See internal/server for the wire format.
+//
+// Signals: SIGHUP hot-swaps the snapshot (re-reads the active snapshot
+// path with zero downtime — the old engine serves until the new one is
+// frozen); SIGINT/SIGTERM shut down gracefully, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		snapshot    = flag.String("snapshot", "", "snapshot file to serve (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4×GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "max queued queries before shedding 429 (0 = 4×max-inflight)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max time a query may wait for a slot before shedding 503")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request execution deadline")
+		maxBody     = flag.Int64("max-body", 8<<20, "max request body bytes")
+		accessLog   = flag.Bool("access-log", false, "write JSON access logs to stderr")
+		drainWait   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+	if err := run(*snapshot, *addr, *maxInFlight, *maxQueue, *queueWait, *timeout, *maxBody, *accessLog, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "geosird:", err)
+		os.Exit(1)
+	}
+}
+
+func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout time.Duration,
+	maxBody int64, accessLog bool, drainWait time.Duration) error {
+
+	if snapshot == "" {
+		return errors.New("need -snapshot FILE")
+	}
+	logger := log.New(os.Stderr, "geosird: ", log.LstdFlags)
+	cfg := server.Config{
+		MaxInFlight:    maxInFlight,
+		MaxQueue:       maxQueue,
+		QueueWait:      queueWait,
+		RequestTimeout: timeout,
+		MaxBodyBytes:   maxBody,
+	}
+	if accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	srv := server.New(cfg)
+
+	start := time.Now()
+	info, err := srv.LoadSnapshot(snapshot)
+	if err != nil {
+		return err
+	}
+	eng := srv.Engine()
+	logger.Printf("loaded %s (%s, %d images, %d shapes, %d entries) in %v",
+		snapshot, info.FormatName, eng.NumImages(), eng.NumShapes(), eng.NumEntries(),
+		time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	logger.Printf("serving on %s", ln.Addr())
+
+	// SIGHUP → hot snapshot swap; SIGINT/SIGTERM → graceful drain.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			logger.Printf("SIGHUP: reloading %s", snapshot)
+			if _, err := srv.LoadSnapshot(snapshot); err != nil {
+				logger.Printf("reload failed (still serving previous snapshot): %v", err)
+				continue
+			}
+			e := srv.Engine()
+			logger.Printf("reloaded %s (%d images, %d shapes)", snapshot, e.NumImages(), e.NumShapes())
+		}
+	}()
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-term:
+		logger.Printf("%v: draining in-flight requests (up to %v)", sig, drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		logger.Printf("drained, bye")
+		return nil
+	}
+}

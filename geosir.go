@@ -19,6 +19,7 @@
 package geosir
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -178,6 +179,9 @@ func (e *Engine) Freeze() error {
 // options).
 func (e *Engine) Options() Options { return e.opts }
 
+// Frozen reports whether Freeze has completed and the engine is queryable.
+func (e *Engine) Frozen() bool { return e.frozen }
+
 // NumImages returns the number of images.
 func (e *Engine) NumImages() int { return e.db.NumImages() }
 
@@ -202,6 +206,19 @@ func (e *Engine) HashTable() *geohash.Table { return e.table }
 // approximate answer (§6: "if it fails to find a close match, geometric
 // hashing is used for approximate retrieval").
 func (e *Engine) FindSimilar(q Shape, k int) ([]Match, Stats, error) {
+	return e.FindSimilarCtx(context.Background(), q, k)
+}
+
+// FindSimilarCtx is FindSimilar under a context. A single exact search is
+// not interruptible mid-flight, but the context is checked at the stage
+// boundaries: before the exact search and again before the geometric-
+// hashing fallback, so a request whose deadline has passed never pays for
+// the second stage. The network server threads per-request deadlines
+// through here.
+func (e *Engine) FindSimilarCtx(ctx context.Context, q Shape, k int) ([]Match, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	if !e.frozen {
 		return nil, Stats{}, fmt.Errorf("geosir: engine must be frozen")
 	}
@@ -220,15 +237,15 @@ func (e *Engine) FindSimilar(q Shape, k int) ([]Match, Stats, error) {
 	if st.Converged && goodEnough {
 		return e.toMatches(ms, false), stats, nil
 	}
-	// Fallback: approximate retrieval through the hash table.
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	approx, err := e.FindApproximate(q, k)
 	if err != nil {
 		return nil, stats, err
 	}
 	stats.UsedHashing = true
 	if len(approx) == 0 {
-		// Nothing in the hash buckets either: report the exact search's
-		// best-so-far.
 		return e.toMatches(ms, false), stats, nil
 	}
 	return approx, stats, nil

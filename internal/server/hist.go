@@ -1,0 +1,97 @@
+package server
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a lock-free latency histogram with geometric (power-of-two)
+// buckets. Recording is a couple of atomic adds, so it sits directly on
+// the request hot path; quantiles are computed on demand from a bucket
+// scan with linear interpolation inside the bucket. Concurrent observe
+// and quantile reads are safe — a read concurrent with writes sees some
+// recent, internally plausible state, which is all a metrics endpoint
+// needs.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// histBase is the width of the first bucket; each subsequent bucket
+// doubles. 24 buckets span 50µs … ~7 min, far beyond any plausible
+// request timeout; slower samples clamp into the last bucket.
+const (
+	histBase    = 50 * time.Microsecond
+	histBuckets = 24
+)
+
+func bucketIndex(d time.Duration) int {
+	if d < histBase {
+		return 0
+	}
+	i := bits.Len64(uint64(d / histBase))
+	if i > histBuckets-1 {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration { return histBase << i }
+
+// bucketLower returns the inclusive lower bound of bucket i.
+func bucketLower(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	return histBase << (i - 1)
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// quantile returns the q-th latency quantile (q in [0,1]), interpolated
+// within the containing bucket. Returns 0 when nothing was recorded.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c > 0 && cum+c >= target {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			frac := float64(target-cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	// Writers raced the scan; report the top of the range we did see.
+	return bucketUpper(histBuckets - 1)
+}
+
+// mean returns the average recorded latency (0 when empty).
+func (h *histogram) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBounds(t *testing.T) {
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d", got)
+	}
+	if got := bucketIndex(histBase - 1); got != 0 {
+		t.Errorf("bucketIndex(base-1) = %d", got)
+	}
+	if got := bucketIndex(histBase); got != 1 {
+		t.Errorf("bucketIndex(base) = %d", got)
+	}
+	if got := bucketIndex(365 * 24 * time.Hour); got != histBuckets-1 {
+		t.Errorf("bucketIndex(1y) = %d, want %d", got, histBuckets-1)
+	}
+	// Every bucket's bounds nest: lower < upper, and upper(i) == lower(i+1).
+	for i := 0; i < histBuckets-1; i++ {
+		if bucketLower(i) >= bucketUpper(i) {
+			t.Errorf("bucket %d: lower %v >= upper %v", i, bucketLower(i), bucketUpper(i))
+		}
+		if bucketUpper(i) != bucketLower(i+1) {
+			t.Errorf("bucket %d/%d: bounds don't nest", i, i+1)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if h.quantile(0.5) != 0 || h.mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	// 90 fast samples, 10 slow ones: p50 lands in the fast bucket's
+	// range, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.observe(60 * time.Microsecond) // bucket [50µs, 100µs)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(70 * time.Millisecond) // bucket [~51.2ms, ~102.4ms)
+	}
+	if p50 := h.quantile(0.50); p50 < 50*time.Microsecond || p50 >= 100*time.Microsecond {
+		t.Errorf("p50 = %v, want within [50µs, 100µs)", p50)
+	}
+	if p99 := h.quantile(0.99); p99 < 51*time.Millisecond || p99 > 103*time.Millisecond {
+		t.Errorf("p99 = %v, want within the slow bucket", p99)
+	}
+	if h.count.Load() != 100 {
+		t.Errorf("count = %d", h.count.Load())
+	}
+	mean := h.mean()
+	if mean < 5*time.Millisecond || mean > 10*time.Millisecond {
+		t.Errorf("mean = %v, want ≈7ms", mean)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.observe(time.Duration(w+1) * time.Millisecond)
+				_ = h.quantile(0.95)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.count.Load(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// limiter is the admission controller: a bounded in-flight semaphore
+// fronted by a bounded wait queue with a deadline. Every request path is
+// O(1) in memory — a request is either executing (holds a token), waiting
+// (counted against maxQueue, parked on the semaphore channel), or shed
+// immediately. Nothing ever queues unboundedly, so overload degrades to
+// fast 429/503 responses instead of memory growth and collapse.
+type limiter struct {
+	tokens   chan struct{} // capacity = max in-flight
+	queued   atomic.Int64
+	maxQueue int64
+	maxWait  time.Duration
+}
+
+func newLimiter(maxInFlight, maxQueue int, maxWait time.Duration) *limiter {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = 100 * time.Millisecond
+	}
+	return &limiter{
+		tokens:   make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+		maxWait:  maxWait,
+	}
+}
+
+// shedError reports an admission decision that turned the request away,
+// carrying the HTTP status the handler should answer with. RetryAfter is
+// the client backoff hint.
+type shedError struct {
+	status     int
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string { return e.reason }
+
+// acquire admits the request or sheds it. On nil the caller holds an
+// in-flight token and must call release. The error is either a *shedError
+// (queue full → 429, wait deadline exceeded → 503) or the context's error
+// when the client went away while queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return &shedError{status: 429, reason: "server overloaded: queue full", retryAfter: l.maxWait}
+	}
+	defer l.queued.Add(-1)
+	timer := time.NewTimer(l.maxWait)
+	defer timer.Stop()
+	select {
+	case l.tokens <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return &shedError{status: 503, reason: "server overloaded: queue wait deadline exceeded", retryAfter: 2 * l.maxWait}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.tokens }
+
+// inFlight returns the number of requests currently holding a token.
+func (l *limiter) inFlight() int { return len(l.tokens) }
+
+// queueDepth returns the number of requests currently waiting.
+func (l *limiter) queueDepth() int64 { return l.queued.Load() }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToCapacity(t *testing.T) {
+	l := newLimiter(3, 0, 10*time.Millisecond)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := l.acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := l.inFlight(); got != 3 {
+		t.Fatalf("inFlight = %d", got)
+	}
+	// Capacity exhausted and the queue is zero-length: immediate 429.
+	err := l.acquire(ctx)
+	var shed *shedError
+	if !errors.As(err, &shed) || shed.status != 429 {
+		t.Fatalf("err = %v, want 429 shed", err)
+	}
+	l.release()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterQueueWaitDeadline(t *testing.T) {
+	l := newLimiter(1, 4, 20*time.Millisecond)
+	ctx := context.Background()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The slot never frees: the queued request must shed with 503 after
+	// the wait deadline, not hang.
+	start := time.Now()
+	err := l.acquire(ctx)
+	var shed *shedError
+	if !errors.As(err, &shed) || shed.status != 503 {
+		t.Fatalf("err = %v, want 503 shed", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("shed after %v, before the wait deadline", elapsed)
+	}
+	if l.queueDepth() != 0 {
+		t.Errorf("queueDepth = %d after shed", l.queueDepth())
+	}
+}
+
+func TestLimiterQueueHandoff(t *testing.T) {
+	l := newLimiter(1, 4, time.Second)
+	ctx := context.Background()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- l.acquire(ctx) }()
+	// Give the waiter time to park, then free the slot; the waiter must
+	// be admitted well before its deadline.
+	time.Sleep(5 * time.Millisecond)
+	l.release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never admitted")
+	}
+}
+
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := newLimiter(1, 4, time.Minute)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- l.acquire(ctx) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+}
+
+func TestLimiterQueueOverflowSheds(t *testing.T) {
+	l := newLimiter(1, 2, time.Minute)
+	ctx := context.Background()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue with two parked waiters.
+	parked := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { parked <- l.acquire(ctx) }()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.queueDepth() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The third arrival overflows the queue: immediate 429.
+	err := l.acquire(ctx)
+	var shed *shedError
+	if !errors.As(err, &shed) || shed.status != 429 {
+		t.Fatalf("err = %v, want 429 shed", err)
+	}
+	// Drain: release twice, both parked waiters get slots.
+	l.release()
+	if err := <-parked; err != nil {
+		t.Fatalf("first parked waiter: %v", err)
+	}
+	l.release()
+	if err := <-parked; err != nil {
+		t.Fatalf("second parked waiter: %v", err)
+	}
+}

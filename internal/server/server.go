@@ -1,0 +1,662 @@
+// Package server is geosird's HTTP serving layer: it puts a frozen
+// GeoSIR engine behind a JSON API and owns the production concerns the
+// library deliberately does not — admission control (bounded in-flight
+// plus a bounded, deadlined wait queue; overload sheds with 429/503 and
+// Retry-After instead of queueing unboundedly), per-request timeouts
+// threaded through context into the engine's fan-out paths, zero-downtime
+// snapshot hot-swap behind an atomic engine pointer, and live metrics
+// (per-endpoint counters and latency quantiles) on /metrics and /statz.
+//
+// Endpoints:
+//
+//	POST /v1/similar       {"shape": {...}, "k": 5}
+//	POST /v1/approximate   {"shape": {...}, "k": 5}
+//	POST /v1/sketch        {"shapes": [{...}, ...], "k": 5}
+//	POST /v1/topological   {"query": "similar(a) AND ...", "binds": {"a": {...}}}
+//	POST /admin/reload     {"path": "other.gsir"}  (empty body reloads the current snapshot)
+//	GET  /healthz /readyz /metrics /statz
+//
+// Engines are immutable after Freeze, so a request loads the engine
+// pointer once at admission and keeps answering from that engine even if
+// a reload swaps the pointer mid-request: no request ever observes a
+// half-loaded engine, and reloads never fail in-flight traffic.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	geosir "repro"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries
+	// (default 4×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an in-flight slot (default
+	// 4×MaxInFlight). Arrivals beyond it are shed immediately with 429.
+	MaxQueue int
+	// QueueWait is how long a queued query may wait for a slot before
+	// being shed with 503 (default 100ms).
+	QueueWait time.Duration
+	// RequestTimeout bounds one query's execution; it becomes the
+	// request context's deadline (default 10s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds a request body (default 8 MiB).
+	MaxBodyBytes int64
+	// AccessLog, when non-nil, receives one JSON line per request.
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// engineState is what the atomic pointer swaps: the frozen engine plus
+// the provenance the status endpoints report.
+type engineState struct {
+	eng      *geosir.Engine
+	source   string
+	info     geosir.SnapshotInfo
+	loadedAt time.Time
+}
+
+// Server serves a frozen engine over HTTP. Create with New, install an
+// engine with LoadSnapshot or SetEngine, and mount Handler.
+type Server struct {
+	cfg     Config
+	state   atomic.Pointer[engineState]
+	limiter *limiter
+	metrics *metrics
+
+	// topoMu serializes topological queries: Engine.Query updates the
+	// shared selectivity estimator and must not race with itself. The
+	// similarity endpoints stay fully concurrent.
+	topoMu sync.Mutex
+	// reloadMu serializes reloads; traffic keeps flowing off the old
+	// engine while the new one loads outside any request path.
+	reloadMu sync.Mutex
+
+	accessMu sync.Mutex // serializes access-log writes
+
+	mux http.Handler
+}
+
+// New creates a server with no engine installed: /healthz answers 200,
+// /readyz answers 503, and query endpoints answer 503 until LoadSnapshot
+// or SetEngine succeeds.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		limiter: newLimiter(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		metrics: newMetrics(),
+	}
+	s.mux = s.routes()
+	publishExpvar("geosird", func() any { return s.Statz() })
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready reports whether an engine is installed and queryable.
+func (s *Server) Ready() bool { return s.state.Load() != nil }
+
+// Engine returns the currently serving engine (nil before the first
+// load). The returned engine is frozen and safe for concurrent reads.
+func (s *Server) Engine() *geosir.Engine {
+	if st := s.state.Load(); st != nil {
+		return st.eng
+	}
+	return nil
+}
+
+// SetEngine installs an already-built frozen engine (tests, demo bases).
+func (s *Server) SetEngine(eng *geosir.Engine, source string) error {
+	if eng == nil || !eng.Frozen() {
+		return errors.New("server: engine must be non-nil and frozen")
+	}
+	s.state.Store(&engineState{eng: eng, source: source, loadedAt: time.Now()})
+	return nil
+}
+
+// LoadSnapshot loads a snapshot file and atomically swaps it in. The old
+// engine (if any) keeps serving every request admitted before the swap;
+// the swap itself is a single pointer store. Only one load runs at a
+// time; a failed load leaves the serving engine untouched.
+func (s *Server) LoadSnapshot(path string) (geosir.SnapshotInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	info, err := geosir.PeekFile(path)
+	if err != nil {
+		s.metrics.reloadFails.Add(1)
+		return geosir.SnapshotInfo{}, fmt.Errorf("server: snapshot header: %w", err)
+	}
+	eng, err := geosir.LoadFile(path)
+	if err != nil {
+		s.metrics.reloadFails.Add(1)
+		return geosir.SnapshotInfo{}, fmt.Errorf("server: loading snapshot: %w", err)
+	}
+	if !eng.Frozen() {
+		// An empty snapshot loads as an unfrozen engine; it cannot serve.
+		s.metrics.reloadFails.Add(1)
+		return geosir.SnapshotInfo{}, fmt.Errorf("server: snapshot %s holds no shapes", path)
+	}
+	s.state.Store(&engineState{eng: eng, source: path, info: info, loadedAt: time.Now()})
+	s.metrics.reloads.Add(1)
+	return info, nil
+}
+
+// apiError carries the HTTP status a handler-level failure maps to.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// unprocessable marks a syntactically valid request whose content the
+// engine rejects (non-simple shape, k ≤ 0, malformed query language).
+func unprocessable(err error) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/admin/reload", s.instrument("admin_reload", s.handleReload))
+	mux.HandleFunc("/v1/similar", s.query("similar", s.handleSimilar))
+	mux.HandleFunc("/v1/approximate", s.query("approximate", s.handleApproximate))
+	mux.HandleFunc("/v1/sketch", s.query("sketch", s.handleSketch))
+	mux.HandleFunc("/v1/topological", s.query("topological", s.handleTopological))
+	// Pre-register the metric rows so /statz lists every endpoint from
+	// the first scrape, not only the ones that saw traffic.
+	for _, name := range []string{"similar", "approximate", "sketch", "topological", "admin_reload"} {
+		s.metrics.endpoint(name)
+	}
+	return mux
+}
+
+// statusRecorder captures the response status for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) accessLog(r *http.Request, status, bytes int, d time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"ts":     time.Now().UTC().Format(time.RFC3339Nano),
+		"method": r.Method,
+		"path":   r.URL.Path,
+		"status": status,
+		"ms":     ms(d),
+		"bytes":  bytes,
+		"remote": r.RemoteAddr,
+	})
+	if err != nil {
+		return
+	}
+	s.accessMu.Lock()
+	_, _ = s.cfg.AccessLog.Write(append(line, '\n'))
+	s.accessMu.Unlock()
+}
+
+// instrument wraps a handler with metrics and access logging (no
+// admission control — used for admin endpoints).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h(rec, r)
+		d := time.Since(start)
+		em.requests.Add(1)
+		em.latency.observe(d)
+		countStatus(em, rec.status)
+		s.accessLog(r, rec.status, rec.bytes, d)
+	}
+}
+
+func countStatus(em *endpointMetrics, status int) {
+	switch {
+	case status >= 500:
+		em.status5x.Add(1)
+	case status >= 400:
+		em.status4x.Add(1)
+	}
+}
+
+// query wraps a query handler with the full serving pipeline: method
+// check, readiness, admission control, per-request deadline, body
+// decoding limits, error mapping, metrics, and access logging. The
+// engine pointer is loaded exactly once per request.
+func (s *Server) query(name string, h func(ctx context.Context, eng *geosir.Engine, body []byte) (any, error)) http.HandlerFunc {
+	em := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		s.serveQuery(rec, r, em, h)
+		s.accessLog(r, rec.status, rec.bytes, time.Since(start))
+	}
+}
+
+func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetrics, h func(ctx context.Context, eng *geosir.Engine, body []byte) (any, error)) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	st := s.state.Load()
+	if st == nil {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "no snapshot loaded")
+		return
+	}
+	if err := s.limiter.acquire(r.Context()); err != nil {
+		var shed *shedError
+		if errors.As(err, &shed) {
+			em.shed.Add(1)
+			w.Header().Set("Retry-After", retryAfter(shed.retryAfter))
+			s.writeError(w, shed.status, shed.reason)
+			return
+		}
+		// Client went away while queued; nothing useful to send.
+		s.writeError(w, 499, "client closed request")
+		return
+	}
+	defer s.limiter.release()
+	em.requests.Add(1)
+	qstart := time.Now()
+	defer func() { em.latency.observe(time.Since(qstart)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		em.status4x.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	resp, err := h(ctx, st.eng, body)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae):
+			status = ae.status
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = 499
+		}
+		countStatus(em, status)
+		s.writeError(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func retryAfter(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// --- query handlers -------------------------------------------------
+
+type similarRequest struct {
+	Shape WireShape `json:"shape"`
+	K     int       `json:"k"`
+}
+
+type similarResponse struct {
+	Matches []MatchJSON `json:"matches"`
+	Stats   StatsJSON   `json:"stats"`
+}
+
+func decodeStrict(body []byte, v any) error {
+	if len(body) == 0 {
+		return badRequest("empty body")
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return badRequest("malformed JSON: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleSimilar(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
+	var req similarRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	q, err := req.Shape.Shape()
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	if req.K <= 0 {
+		return nil, unprocessable(errors.New("k must be positive"))
+	}
+	ms, st, err := eng.FindSimilarCtx(ctx, q, req.K)
+	if err != nil {
+		return nil, err
+	}
+	return similarResponse{Matches: matchesJSON(ms), Stats: statsJSON(st)}, nil
+}
+
+func (s *Server) handleApproximate(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
+	var req similarRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	q, err := req.Shape.Shape()
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	if req.K <= 0 {
+		return nil, unprocessable(errors.New("k must be positive"))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ms, err := eng.FindApproximate(q, req.K)
+	if err != nil {
+		return nil, err
+	}
+	return similarResponse{Matches: matchesJSON(ms), Stats: StatsJSON{UsedHashing: true}}, nil
+}
+
+type sketchRequest struct {
+	Shapes []WireShape `json:"shapes"`
+	K      int         `json:"k"`
+}
+
+type sketchResponse struct {
+	Matches []SketchMatchJSON `json:"matches"`
+}
+
+func (s *Server) handleSketch(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
+	var req sketchRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Shapes) == 0 {
+		return nil, unprocessable(errors.New("sketch needs at least one shape"))
+	}
+	if req.K <= 0 {
+		return nil, unprocessable(errors.New("k must be positive"))
+	}
+	shapes, err := shapesOf(req.Shapes)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	ms, err := eng.FindBySketchWorkersCtx(ctx, shapes, req.K, 0)
+	if err != nil {
+		return nil, err
+	}
+	return sketchResponse{Matches: sketchMatchesJSON(ms)}, nil
+}
+
+type topologicalRequest struct {
+	Query string               `json:"query"`
+	Binds map[string]WireShape `json:"binds"`
+}
+
+type topologicalResponse struct {
+	Images []int  `json:"images"`
+	Plan   string `json:"plan"`
+}
+
+func (s *Server) handleTopological(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
+	var req topologicalRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Query == "" {
+		return nil, unprocessable(errors.New("empty query"))
+	}
+	binds := make(map[string]geosir.Shape, len(req.Binds))
+	for name, ws := range req.Binds {
+		sh, err := ws.Shape()
+		if err != nil {
+			return nil, unprocessable(fmt.Errorf("bind %q: %w", name, err))
+		}
+		binds[name] = sh
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Engine.Query mutates the shared selectivity estimator; serialize.
+	s.topoMu.Lock()
+	ids, plan, err := eng.Query(req.Query, binds)
+	s.topoMu.Unlock()
+	if err != nil {
+		// Parse and bind errors are the client's; the engine has no other
+		// failure mode here on a frozen base.
+		return nil, unprocessable(err)
+	}
+	if ids == nil {
+		ids = []int{}
+	}
+	return topologicalResponse{Images: ids, Plan: plan}, nil
+}
+
+// --- admin & status -------------------------------------------------
+
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+type reloadResponse struct {
+	Source string  `json:"source"`
+	Format string  `json:"format"`
+	Images int     `json:"images"`
+	Shapes int     `json:"shapes"`
+	LoadMs float64 `json:"load_ms"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	var req reloadRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON: %v", err))
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		if st := s.state.Load(); st != nil {
+			path = st.source
+		}
+	}
+	if path == "" {
+		s.writeError(w, http.StatusBadRequest, "no path given and no snapshot previously loaded")
+		return
+	}
+	start := time.Now()
+	info, err := s.LoadSnapshot(path)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	st := s.state.Load()
+	s.writeJSON(w, http.StatusOK, reloadResponse{
+		Source: path,
+		Format: info.FormatName,
+		Images: st.eng.NumImages(),
+		Shapes: st.eng.NumShapes(),
+		LoadMs: ms(time.Since(start)),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no snapshot loaded")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// SnapshotStatz describes the serving snapshot in /statz.
+type SnapshotStatz struct {
+	Source    string    `json:"source"`
+	Format    string    `json:"format,omitempty"`
+	SizeBytes int64     `json:"size_bytes,omitempty"`
+	LoadedAt  time.Time `json:"loaded_at"`
+	Images    int       `json:"images"`
+	Shapes    int       `json:"shapes"`
+	Entries   int       `json:"entries"`
+}
+
+// Statz is the full status document served on /statz (and exported via
+// expvar on /metrics).
+type Statz struct {
+	UptimeS     float64                     `json:"uptime_s"`
+	Ready       bool                        `json:"ready"`
+	InFlight    int                         `json:"in_flight"`
+	QueueDepth  int64                       `json:"queue_depth"`
+	MaxInFlight int                         `json:"max_in_flight"`
+	MaxQueue    int                         `json:"max_queue"`
+	Reloads     int64                       `json:"reloads"`
+	ReloadFails int64                       `json:"reload_fails"`
+	Snapshot    *SnapshotStatz              `json:"snapshot,omitempty"`
+	Endpoints   map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// Statz assembles the live status document.
+func (s *Server) Statz() Statz {
+	out := Statz{
+		UptimeS:     time.Since(s.metrics.start).Seconds(),
+		Ready:       s.Ready(),
+		InFlight:    s.limiter.inFlight(),
+		QueueDepth:  s.limiter.queueDepth(),
+		MaxInFlight: s.cfg.MaxInFlight,
+		MaxQueue:    s.cfg.MaxQueue,
+		Reloads:     s.metrics.reloads.Load(),
+		ReloadFails: s.metrics.reloadFails.Load(),
+		Endpoints:   s.metrics.snapshotEndpoints(),
+	}
+	if st := s.state.Load(); st != nil {
+		out.Snapshot = &SnapshotStatz{
+			Source:    st.source,
+			Format:    st.info.FormatName,
+			SizeBytes: st.info.Size,
+			LoadedAt:  st.loadedAt,
+			Images:    st.eng.NumImages(),
+			Shapes:    st.eng.NumShapes(),
+			Entries:   st.eng.NumEntries(),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Statz())
+}
+
+// handleMetrics renders the expvar-style flat variable map: the serving
+// metrics under "geosird" plus the standard process variables expvar
+// publishes globally (cmdline, memstats).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n")
+	blob, err := json.Marshal(s.Statz())
+	if err != nil {
+		blob = []byte("{}")
+	}
+	fmt.Fprintf(w, "%q: %s", "geosird", blob)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	if blob, err := json.Marshal(struct {
+		Alloc      uint64 `json:"alloc"`
+		TotalAlloc uint64 `json:"total_alloc"`
+		Sys        uint64 `json:"sys"`
+		HeapAlloc  uint64 `json:"heap_alloc"`
+		NumGC      uint32 `json:"num_gc"`
+		Goroutines int    `json:"goroutines"`
+	}{mem.Alloc, mem.TotalAlloc, mem.Sys, mem.HeapAlloc, mem.NumGC, runtime.NumGoroutine()}); err == nil {
+		fmt.Fprintf(w, ",\n%q: %s", "process", blob)
+	}
+	fmt.Fprintf(w, "\n}\n")
+}

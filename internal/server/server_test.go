@@ -1,0 +1,556 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	geosir "repro"
+)
+
+func sq(x, y, side float64) geosir.Shape {
+	return geosir.NewPolygon(geosir.Pt(x, y), geosir.Pt(x+side, y),
+		geosir.Pt(x+side, y+side), geosir.Pt(x, y+side))
+}
+
+func tri(x, y, s float64) geosir.Shape {
+	return geosir.NewPolygon(geosir.Pt(x, y), geosir.Pt(x+s, y), geosir.Pt(x, y+2*s))
+}
+
+func lsh(x, y, s float64) geosir.Shape {
+	return geosir.NewPolygon(
+		geosir.Pt(x, y), geosir.Pt(x+2*s, y), geosir.Pt(x+2*s, y+s),
+		geosir.Pt(x+s, y+s), geosir.Pt(x+s, y+3*s), geosir.Pt(x, y+3*s))
+}
+
+// testEngine builds a small frozen base: squares, triangles, an L-shape.
+func testEngine(t *testing.T) *geosir.Engine {
+	t.Helper()
+	eng := geosir.New(geosir.DefaultOptions())
+	images := [][]geosir.Shape{
+		{sq(0, 0, 20), tri(5, 5, 3)},
+		{sq(0, 0, 10), sq(8, 8, 6)},
+		{tri(0, 0, 4)},
+		{lsh(0, 0, 2)},
+		{sq(0, 0, 20), lsh(3, 3, 1.5)},
+	}
+	for id, shapes := range images {
+		if err := eng.AddImage(id, shapes); err != nil {
+			t.Fatalf("AddImage(%d): %v", id, err)
+		}
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// newTestServer builds a ready server plus its httptest host.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	if err := s.SetEngine(testEngine(t), "(test)"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func wireSquare() WireShape {
+	return WireShape{Points: [][2]float64{{0, 0}, {12, 0}, {12, 12}, {0, 12}}, Closed: true}
+}
+
+func wireL() WireShape {
+	return WireShape{Points: [][2]float64{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 6}, {0, 6}}, Closed: true}
+}
+
+// bowtie is syntactically valid JSON but a non-simple polygon.
+func wireBowtie() WireShape {
+	return WireShape{Points: [][2]float64{{0, 0}, {1, 1}, {1, 0}, {0, 1}}, Closed: true}
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	switch b := body.(type) {
+	case string:
+		buf.WriteString(b)
+	default:
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestHealthAndReady(t *testing.T) {
+	// Before any engine: healthy but not ready.
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, body := get(t, ts.URL+"/healthz"); resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != 503 {
+		t.Errorf("readyz before load: %d, want 503", resp.StatusCode)
+	}
+	// Query endpoints shed with 503 + Retry-After until a snapshot lands.
+	if resp, _ := post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 1}); resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("similar before load: %d Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if err := s.SetEngine(testEngine(t), "(test)"); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != 200 || !strings.Contains(string(body), "ready") {
+		t.Errorf("readyz after load: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestSimilarEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 2})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type %q", ct)
+	}
+	var out struct {
+		Matches []MatchJSON `json:"matches"`
+		Stats   StatsJSON   `json:"stats"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decode: %v in %s", err, raw)
+	}
+	if len(out.Matches) != 2 {
+		t.Fatalf("matches = %d, want 2: %s", len(out.Matches), raw)
+	}
+	// A square query must rank a square image first, exactly.
+	if out.Matches[0].Distance > 1e-6 {
+		t.Errorf("best distance %v", out.Matches[0].Distance)
+	}
+	if out.Stats.Iterations <= 0 {
+		t.Errorf("stats missing: %+v", out.Stats)
+	}
+	// Result must be identical to calling the library directly.
+	eng := testEngine(t)
+	want, _, err := eng.FindSimilar(sq(0, 0, 12), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].ShapeID != out.Matches[i].ShapeID || want[i].ImageID != out.Matches[i].ImageID {
+			t.Errorf("rank %d: got shape %d image %d, want shape %d image %d",
+				i, out.Matches[i].ShapeID, out.Matches[i].ImageID, want[i].ShapeID, want[i].ImageID)
+		}
+	}
+}
+
+func TestApproximateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := post(t, ts.URL+"/v1/approximate", map[string]any{"shape": wireL(), "k": 3})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Matches []MatchJSON `json:"matches"`
+		Stats   StatsJSON   `json:"stats"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stats.UsedHashing {
+		t.Error("approximate endpoint must report used_hashing")
+	}
+	for _, m := range out.Matches {
+		if !m.Approximate {
+			t.Errorf("match %+v not flagged approximate", m)
+		}
+	}
+}
+
+func TestSketchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Image 0 and 4 hold a big square; image 4 holds square + L.
+	body := map[string]any{
+		"shapes": []WireShape{
+			{Points: [][2]float64{{0, 0}, {20, 0}, {20, 20}, {0, 20}}, Closed: true},
+			{Points: [][2]float64{{0, 0}, {3, 0}, {3, 1.5}, {1.5, 1.5}, {1.5, 4.5}, {0, 4.5}}, Closed: true},
+		},
+		"k": 3,
+	}
+	resp, raw := post(t, ts.URL+"/v1/sketch", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Matches []SketchMatchJSON `json:"matches"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matches) == 0 {
+		t.Fatalf("no sketch matches: %s", raw)
+	}
+	if out.Matches[0].ImageID != 4 {
+		t.Errorf("best image = %d, want 4 (square + L): %s", out.Matches[0].ImageID, raw)
+	}
+	if len(out.Matches[0].PerShape) != 2 {
+		t.Errorf("per_shape = %v", out.Matches[0].PerShape)
+	}
+}
+
+func TestTopologicalEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := map[string]any{
+		"query": "similar(q)",
+		"binds": map[string]WireShape{"q": wireL()},
+	}
+	resp, raw := post(t, ts.URL+"/v1/topological", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Images []int  `json:"images"`
+		Plan   string `json:"plan"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan == "" {
+		t.Error("missing plan")
+	}
+	// Images 3 and 4 contain L-shapes.
+	found := map[int]bool{}
+	for _, id := range out.Images {
+		found[id] = true
+	}
+	if !found[3] || !found[4] {
+		t.Errorf("images = %v, want 3 and 4 present", out.Images)
+	}
+	// Malformed query language → 422.
+	resp, _ = post(t, ts.URL+"/v1/topological", map[string]any{"query": "similar(("})
+	if resp.StatusCode != 422 {
+		t.Errorf("bad query: %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"malformed JSON", "/v1/similar", `{"shape": {`, 400},
+		{"empty body", "/v1/similar", ``, 400},
+		{"non-simple shape", "/v1/similar", map[string]any{"shape": wireBowtie(), "k": 1}, 422},
+		{"k zero", "/v1/similar", map[string]any{"shape": wireSquare()}, 422},
+		{"too few vertices", "/v1/similar", map[string]any{"shape": WireShape{Points: [][2]float64{{0, 0}, {1, 1}}, Closed: true}, "k": 1}, 422},
+		{"approximate bowtie", "/v1/approximate", map[string]any{"shape": wireBowtie(), "k": 1}, 422},
+		{"sketch empty", "/v1/sketch", map[string]any{"shapes": []WireShape{}, "k": 1}, 422},
+		{"sketch bad shape", "/v1/sketch", map[string]any{"shapes": []WireShape{wireBowtie()}, "k": 1}, 422},
+		{"sketch malformed", "/v1/sketch", `[1,2`, 400},
+		{"topological empty query", "/v1/topological", map[string]any{"query": ""}, 422},
+		{"topological bad bind", "/v1/topological", map[string]any{"query": "similar(q)", "binds": map[string]WireShape{"q": wireBowtie()}}, 422},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := post(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d: %s", resp.StatusCode, tc.want, raw)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+				t.Errorf("error body missing: %s", raw)
+			}
+		})
+	}
+	// Wrong method → 405 with Allow.
+	resp, _ := get(t, ts.URL+"/v1/similar")
+	if resp.StatusCode != 405 || resp.Header.Get("Allow") != "POST" {
+		t.Errorf("GET similar: %d Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	resp, _ := post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 1})
+	if resp.StatusCode != 400 {
+		t.Errorf("oversized body: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOverloadSheds429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1, QueueWait: 20 * time.Millisecond})
+	// Occupy the only in-flight slot and the only queue slot directly, so
+	// the next HTTP arrival overflows the queue deterministically.
+	if err := s.limiter.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.limiter.release()
+	parked := make(chan error, 1)
+	go func() { parked <- s.limiter.acquire(context.Background()) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.limiter.queueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, raw := post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 1})
+	if resp.StatusCode != 429 {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry Retry-After")
+	}
+	<-parked // the queued waiter sheds with 503 after QueueWait
+	// Shed counter moved.
+	if got := s.metrics.endpoint("similar").shed.Load(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	// After load drains, the endpoint serves again.
+	s.limiter.release()
+	defer func() {
+		if err := s.limiter.acquire(context.Background()); err != nil {
+			t.Errorf("re-acquire for balanced deferred release: %v", err)
+		}
+	}()
+	resp, raw = post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 1})
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-overload status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+func TestStatzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Drive one request of each kind so counters move.
+	post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 1})
+	post(t, ts.URL+"/v1/similar", `{"oops`)
+
+	resp, raw := get(t, ts.URL+"/statz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("statz: %d", resp.StatusCode)
+	}
+	var st Statz
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("statz decode: %v in %s", err, raw)
+	}
+	if !st.Ready || st.Snapshot == nil || st.Snapshot.Shapes != 8 {
+		t.Errorf("statz = %s", raw)
+	}
+	sim, ok := st.Endpoints["similar"]
+	if !ok {
+		t.Fatalf("no similar endpoint in statz: %s", raw)
+	}
+	if sim.Requests != 2 || sim.Status4x != 1 {
+		t.Errorf("similar endpoint stats = %+v", sim)
+	}
+	if sim.P50Ms <= 0 || sim.P99Ms < sim.P50Ms {
+		t.Errorf("latency quantiles implausible: %+v", sim)
+	}
+	// Every endpoint is pre-registered even without traffic.
+	for _, name := range []string{"approximate", "sketch", "topological", "admin_reload"} {
+		if _, ok := st.Endpoints[name]; !ok {
+			t.Errorf("endpoint %q missing from statz", name)
+		}
+	}
+
+	// /metrics is a flat expvar-style JSON document embedding the same data.
+	resp, raw = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var vars struct {
+		Geosird Statz `json:"geosird"`
+		Process struct {
+			Alloc      uint64 `json:"alloc"`
+			Goroutines int    `json:"goroutines"`
+		} `json:"process"`
+	}
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatalf("metrics decode: %v in %s", err, raw)
+	}
+	if vars.Geosird.Endpoints["similar"].Requests != 2 || vars.Process.Goroutines <= 0 {
+		t.Errorf("metrics = %s", raw)
+	}
+}
+
+func saveSnapshot(t *testing.T, eng *geosir.Engine, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := eng.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReloadEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	snapA := saveSnapshot(t, testEngine(t), "a.gsir")
+
+	// Reload with no previous snapshot and no path → 400.
+	resp, _ := post(t, ts.URL+"/admin/reload", "")
+	if resp.StatusCode != 400 {
+		t.Errorf("pathless reload before boot: %d, want 400", resp.StatusCode)
+	}
+	// Load A explicitly.
+	resp, raw := post(t, ts.URL+"/admin/reload", map[string]string{"path": snapA})
+	if resp.StatusCode != 200 {
+		t.Fatalf("reload: %d %s", resp.StatusCode, raw)
+	}
+	var out reloadResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Images != 5 || out.Shapes != 8 || out.Format != "GSIR2" {
+		t.Errorf("reload response = %+v", out)
+	}
+	if resp, _ := get(t, ts.URL+"/readyz"); resp.StatusCode != 200 {
+		t.Error("not ready after reload")
+	}
+	// Empty body now re-reads the active snapshot path.
+	resp, raw = post(t, ts.URL+"/admin/reload", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("implicit reload: %d %s", resp.StatusCode, raw)
+	}
+	// A missing file fails the reload and leaves the old engine serving.
+	resp, _ = post(t, ts.URL+"/admin/reload", map[string]string{"path": filepath.Join(t.TempDir(), "gone.gsir")})
+	if resp.StatusCode != 422 {
+		t.Errorf("missing snapshot reload: %d, want 422", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 1}); resp.StatusCode != 200 {
+		t.Error("old engine must keep serving after failed reload")
+	}
+	// GET → 405.
+	if resp, _ := get(t, ts.URL+"/admin/reload"); resp.StatusCode != 405 {
+		t.Error("GET reload should 405")
+	}
+}
+
+// TestReloadUnderTraffic hammers the query endpoints while snapshots swap
+// repeatedly; no request may fail, and every response must come from a
+// fully-loaded engine (the two bases answer with disjoint image-count
+// signatures, never a mix).
+func TestReloadUnderTraffic(t *testing.T) {
+	s := New(Config{MaxInFlight: 32, MaxQueue: 1024, QueueWait: 5 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Base A: 5 images (testEngine). Base B: 3 images of squares only.
+	engB := geosir.New(geosir.DefaultOptions())
+	for id := 0; id < 3; id++ {
+		if err := engB.AddImage(id, []geosir.Shape{sq(0, 0, float64(5+id))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engB.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	snapA := saveSnapshot(t, testEngine(t), "a.gsir")
+	snapB := saveSnapshot(t, engB, "b.gsir")
+	if _, err := s.LoadSnapshot(snapA); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var failures atomic.Int64
+	var served atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"shape": wireSquare(), "k": 3})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/similar", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("request failed during reload: %d %s", resp.StatusCode, raw)
+					failures.Add(1)
+					continue
+				}
+				var out struct {
+					Matches []MatchJSON `json:"matches"`
+				}
+				if err := json.Unmarshal(raw, &out); err != nil || len(out.Matches) == 0 {
+					t.Errorf("bad response during reload: %v %s", err, raw)
+					failures.Add(1)
+					continue
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	// Swap snapshots back and forth while traffic flows.
+	for i := 0; i < 10; i++ {
+		path := snapA
+		if i%2 == 0 {
+			path = snapB
+		}
+		if _, err := s.LoadSnapshot(path); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d failed requests during reloads (%d served)", failures.Load(), served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no traffic served")
+	}
+	if got := s.metrics.reloads.Load(); got < 11 {
+		t.Errorf("reload counter = %d, want ≥ 11", got)
+	}
+}

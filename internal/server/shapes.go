@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+
+	geosir "repro"
+)
+
+// WireShape is the JSON representation of a query shape:
+//
+//	{"points": [[x1,y1], [x2,y2], ...], "closed": true}
+//
+// closed selects polygon vs polyline, matching geosir.NewPolygon /
+// NewPolyline.
+type WireShape struct {
+	Points [][2]float64 `json:"points"`
+	Closed bool         `json:"closed"`
+}
+
+// Shape converts the wire form into a validated engine shape. The error
+// distinguishes the caller's data being wrong (non-simple polygon, too
+// few vertices, …) from transport problems, so handlers can answer 422.
+func (ws WireShape) Shape() (geosir.Shape, error) {
+	pts := make([]geosir.Point, len(ws.Points))
+	for i, p := range ws.Points {
+		pts[i] = geosir.Pt(p[0], p[1])
+	}
+	sh := geosir.Shape{Pts: pts, Closed: ws.Closed}
+	if err := sh.Validate(); err != nil {
+		return geosir.Shape{}, err
+	}
+	return sh, nil
+}
+
+// shapesOf converts a slice of wire shapes, reporting the index of the
+// first invalid one.
+func shapesOf(ws []WireShape) ([]geosir.Shape, error) {
+	out := make([]geosir.Shape, len(ws))
+	for i, w := range ws {
+		sh, err := w.Shape()
+		if err != nil {
+			return nil, fmt.Errorf("shape %d: %w", i, err)
+		}
+		out[i] = sh
+	}
+	return out, nil
+}
+
+// MatchJSON is one retrieved shape on the wire.
+type MatchJSON struct {
+	ShapeID            int     `json:"shape_id"`
+	ImageID            int     `json:"image_id"`
+	Distance           float64 `json:"distance"`
+	ContinuousDistance float64 `json:"continuous_distance,omitempty"`
+	Approximate        bool    `json:"approximate,omitempty"`
+}
+
+// StatsJSON mirrors geosir.Stats on the wire.
+type StatsJSON struct {
+	Iterations      int     `json:"iterations"`
+	FinalEpsilon    float64 `json:"final_epsilon"`
+	VerticesCounted int     `json:"vertices_counted"`
+	Candidates      int     `json:"candidates"`
+	Converged       bool    `json:"converged"`
+	UsedHashing     bool    `json:"used_hashing"`
+}
+
+// SketchMatchJSON is one image retrieved by a multi-shape sketch.
+type SketchMatchJSON struct {
+	ImageID  int       `json:"image_id"`
+	Score    float64   `json:"score"`
+	PerShape []float64 `json:"per_shape"`
+}
+
+func matchesJSON(ms []geosir.Match) []MatchJSON {
+	out := make([]MatchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = MatchJSON{
+			ShapeID:            m.ShapeID,
+			ImageID:            m.ImageID,
+			Distance:           m.Distance,
+			ContinuousDistance: m.ContinuousDistance,
+			Approximate:        m.Approximate,
+		}
+	}
+	return out
+}
+
+func statsJSON(st geosir.Stats) StatsJSON {
+	return StatsJSON{
+		Iterations:      st.Iterations,
+		FinalEpsilon:    st.FinalEpsilon,
+		VerticesCounted: st.VerticesCounted,
+		Candidates:      st.Candidates,
+		Converged:       st.Converged,
+		UsedHashing:     st.UsedHashing,
+	}
+}
+
+func sketchMatchesJSON(ms []geosir.SketchMatch) []SketchMatchJSON {
+	out := make([]SketchMatchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = SketchMatchJSON{ImageID: m.ImageID, Score: m.Score, PerShape: m.PerShape}
+	}
+	return out
+}

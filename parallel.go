@@ -1,6 +1,7 @@
 package geosir
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -16,11 +17,27 @@ import (
 // Results are positionally aligned with the queries. The first query
 // error aborts the batch.
 func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, []Stats, error) {
+	return e.FindSimilarBatchCtx(context.Background(), queries, k, workers)
+}
+
+// FindSimilarBatchCtx is FindSimilarBatch under a context: when ctx is
+// cancelled (or its deadline passes) the dispatcher stops handing out
+// queries, in-flight workers finish their current query, and the batch
+// returns ctx.Err() promptly instead of draining the remaining input.
+// An empty batch returns empty (non-nil) results without spinning up any
+// workers.
+func (e *Engine) FindSimilarBatchCtx(ctx context.Context, queries []Shape, k, workers int) ([][]Match, []Stats, error) {
 	if !e.frozen {
 		return nil, nil, fmt.Errorf("geosir: engine must be frozen")
 	}
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("geosir: k must be positive")
+	}
+	if len(queries) == 0 {
+		return [][]Match{}, []Stats{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -34,6 +51,7 @@ func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, [
 
 	var wg sync.WaitGroup
 	next := make(chan int)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -44,11 +62,21 @@ func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, [
 			}
 		}()
 	}
+	cancelled := false
+dispatch:
 	for i := range queries {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			cancelled = true
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if cancelled {
+		return nil, nil, ctx.Err()
+	}
 
 	for i, err := range errs {
 		if err != nil {
@@ -65,6 +93,14 @@ func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, [
 // are merged after the barrier, so the result is identical to the
 // sequential evaluation order.
 func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMatch, error) {
+	return e.FindBySketchWorkersCtx(context.Background(), sketch, k, workers)
+}
+
+// FindBySketchWorkersCtx is FindBySketchWorkers under a context: a
+// cancelled context stops the dispatcher before the next sketch shape is
+// handed out and the call returns ctx.Err() without waiting for the
+// remaining retrievals.
+func (e *Engine) FindBySketchWorkersCtx(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
 	if !e.frozen {
 		return nil, fmt.Errorf("geosir: engine must be frozen")
 	}
@@ -78,6 +114,9 @@ func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMa
 		if err := q.Validate(); err != nil {
 			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -93,6 +132,7 @@ func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMa
 	errs := make([]error, len(sketch))
 	var wg sync.WaitGroup
 	next := make(chan int)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -116,11 +156,21 @@ func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMa
 			}
 		}()
 	}
+	cancelled := false
+dispatch:
 	for si := range sketch {
-		next <- si
+		select {
+		case next <- si:
+		case <-done:
+			cancelled = true
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if cancelled {
+		return nil, ctx.Err()
+	}
 	for si, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)

@@ -1,8 +1,11 @@
 package geosir
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/synth"
 )
@@ -63,5 +66,112 @@ func TestFindSimilarBatchErrors(t *testing.T) {
 	ms, st, err := built.FindSimilarBatch(nil, 1, 2)
 	if err != nil || len(ms) != 0 || len(st) != 0 {
 		t.Errorf("empty batch: %v %v %v", ms, st, err)
+	}
+}
+
+func TestFindSimilarBatchSizes(t *testing.T) {
+	eng := buildEngine(t)
+	base := square(0, 0, 10)
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"zero", 0}, {"one", 1}, {"many", 9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			queries := make([]Shape, tc.n)
+			for i := range queries {
+				queries[i] = base
+			}
+			// Worker counts above the batch size must be capped, not
+			// deadlock or spawn idle goroutines.
+			ms, st, err := eng.FindSimilarBatch(queries, 2, tc.n+5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms == nil || st == nil {
+				t.Fatal("batch results must be non-nil")
+			}
+			if len(ms) != tc.n || len(st) != tc.n {
+				t.Fatalf("result shape: %d/%d, want %d", len(ms), len(st), tc.n)
+			}
+			for i := range ms {
+				if len(ms[i]) == 0 {
+					t.Errorf("query %d: no matches", i)
+				}
+			}
+		})
+	}
+}
+
+func TestFindSimilarBatchCtxCancel(t *testing.T) {
+	eng := buildEngine(t)
+	// A batch far larger than the worker pool, under a deadline the batch
+	// cannot possibly meet (a single FindSimilar on this base costs tens
+	// of microseconds and there are 5000 of them on 2 workers). The only
+	// way the call returns an error is the dispatcher observing the
+	// cancelled context mid-batch and aborting early.
+	const n = 5000
+	queries := make([]Shape, n)
+	for i := range queries {
+		queries[i] = lshape(0, 0, 2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := eng.FindSimilarBatchCtx(ctx, queries, 2, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// "Promptly": nowhere near the time the full batch would take.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled batch took %v", elapsed)
+	}
+}
+
+func TestFindSimilarBatchCtxPreCancelled(t *testing.T) {
+	eng := buildEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.FindSimilarBatchCtx(ctx, []Shape{square(0, 0, 1)}, 1, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.FindBySketchWorkersCtx(ctx, []Shape{square(0, 0, 1)}, 1, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sketch err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFindBySketchWorkersCtxCancel(t *testing.T) {
+	eng := buildEngine(t)
+	sketch := make([]Shape, 64)
+	for i := range sketch {
+		sketch[i] = lshape(0, 0, 2)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.FindBySketchWorkersCtx(ctx, sketch, 3, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFindBySketchWorkersCapsWorkers(t *testing.T) {
+	eng := buildEngine(t)
+	// workers far above len(sketch) must behave identically.
+	a, err := eng.FindBySketchWorkers([]Shape{square(0, 0, 10)}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.FindBySketchWorkers([]Shape{square(0, 0, 10)}, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("worker cap changed results: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ImageID != b[i].ImageID || a[i].Score != b[i].Score {
+			t.Errorf("rank %d differs: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }

@@ -217,6 +217,66 @@ func syncDir(dir string) {
 	_ = d.Sync()
 }
 
+// SnapshotInfo is the cheap-to-read header metadata of a snapshot: what
+// Peek returns without decoding (or allocating for) any shape data. The
+// serving layer uses it to validate a reload target and to report the
+// active snapshot in its status endpoints.
+type SnapshotInfo struct {
+	// Format is the stream format the snapshot was written in.
+	Format Format
+	// FormatName is the on-disk magic without the newline ("GSIR1"/"GSIR2").
+	FormatName string
+	// Options are the engine options the snapshot declares.
+	Options Options
+	// Images is the declared image count.
+	Images int
+	// Size is the snapshot size in bytes (PeekFile only, else 0).
+	Size int64
+}
+
+// Peek reads only the snapshot header — magic plus the options section —
+// and returns its metadata. For GSIR2 streams the options section's CRC
+// is verified, so a Peek that succeeds on a GSIR2 snapshot also proves
+// the header is intact; shape sections are not read.
+func Peek(r io.Reader) (SnapshotInfo, error) {
+	magic, err := readMagic(r)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	switch magic {
+	case magicGSIR1:
+		opts, nimg, err := newV1Reader(r).readOptions()
+		if err != nil {
+			return SnapshotInfo{}, err
+		}
+		return SnapshotInfo{Format: FormatGSIR1, FormatName: "GSIR1", Options: opts, Images: int(nimg)}, nil
+	case magicGSIR2:
+		opts, nimg, err := readOptionsSection(r)
+		if err != nil {
+			return SnapshotInfo{}, err
+		}
+		return SnapshotInfo{Format: FormatGSIR2, FormatName: "GSIR2", Options: opts, Images: nimg}, nil
+	}
+	return SnapshotInfo{}, fmt.Errorf("geosir: bad magic %q", magic)
+}
+
+// PeekFile runs Peek on a file and fills in the file size.
+func PeekFile(path string) (SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	defer f.Close()
+	info, err := Peek(f)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if st, err := f.Stat(); err == nil {
+		info.Size = st.Size()
+	}
+	return info, nil
+}
+
 // LoadFile loads an engine from a file.
 func LoadFile(path string) (*Engine, error) {
 	f, err := os.Open(path)

@@ -2,6 +2,7 @@ package geosir
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -203,5 +204,59 @@ func TestLoadRejectsCorrupt(t *testing.T) {
 	data := buf.Bytes()
 	if _, err := Load(bytes.NewReader(data[:len(data)/2])); err == nil {
 		t.Error("truncated input should fail")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	eng := buildEngine(t)
+	for _, f := range []Format{FormatGSIR1, FormatGSIR2} {
+		var buf bytes.Buffer
+		if err := eng.SaveAs(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		info, err := Peek(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Peek(%v): %v", f, err)
+		}
+		if info.Format != f {
+			t.Errorf("format = %v, want %v", info.Format, f)
+		}
+		if info.Images != eng.NumImages() {
+			t.Errorf("images = %d, want %d", info.Images, eng.NumImages())
+		}
+		if info.Options != eng.Options() {
+			t.Errorf("options = %+v, want %+v", info.Options, eng.Options())
+		}
+	}
+	if _, err := Peek(bytes.NewReader([]byte("NOPE!\n rest"))); err == nil {
+		t.Error("bad magic should fail Peek")
+	}
+}
+
+func TestPeekFile(t *testing.T) {
+	eng := buildEngine(t)
+	path := filepath.Join(t.TempDir(), "snap.gsir")
+	if err := eng.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := PeekFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FormatName != "GSIR2" || info.Images != eng.NumImages() || info.Size <= 0 {
+		t.Errorf("info = %+v", info)
+	}
+	// A flipped byte inside the options section must fail the peek (CRC).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[magicLen+4+8] ^= 0xFF
+	bad := filepath.Join(t.TempDir(), "bad.gsir")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekFile(bad); err == nil {
+		t.Error("corrupt options section should fail PeekFile")
 	}
 }
