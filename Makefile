@@ -3,16 +3,27 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query bench-serve serve-smoke fuzz-smoke cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-serve bench-shard serve-smoke fuzz-smoke deprecations cover clean
 
 # The gate every PR must pass. The race run includes the persistence
 # fault-injection suite; fuzz-smoke gives each fuzz target a short
 # budget; serve-smoke boots geosird against a demo snapshot and probes
-# every endpoint through geosir-loadgen.
-ci: vet build race bench-smoke fuzz-smoke serve-smoke
+# every endpoint through geosir-loadgen; deprecations keeps internal
+# code off the deprecated Find* wrappers.
+ci: vet deprecations build race bench-smoke fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
+
+# The deprecated Find* wrappers exist for external callers migrating to
+# Search; nothing inside this repo (outside tests, which pin wrapper
+# equivalence on purpose) may call them.
+deprecations:
+	@hits=$$(grep -rnE '\.Find(Similar|Approximate|BySketch)[A-Za-z]*\(' \
+		--include='*.go' --exclude='*_test.go' cmd internal || true); \
+	if [ -n "$$hits" ]; then \
+		echo "deprecated Find* call sites (use Search):"; echo "$$hits"; exit 1; \
+	fi; echo "deprecations: clean"
 
 build:
 	$(GO) build ./...
@@ -51,8 +62,10 @@ bench-query:
 
 # End-to-end serving check: build the daemon + load generator, freeze a
 # tiny demo base into a snapshot, boot geosird on a local port, and hit
-# every endpoint once through loadgen -smoke. Fails if any probe fails;
-# always tears the daemon down.
+# every endpoint once through loadgen -smoke. Runs twice: once over a
+# single-engine snapshot file, once over a 4-shard snapshot directory
+# (where the smoke also asserts per-shard health via /statz). Fails if
+# any probe fails; always tears the daemon down.
 SERVE_ADDR ?= 127.0.0.1:18098
 SERVE_DIR  ?= /tmp/geosir-serve
 serve-smoke:
@@ -61,9 +74,15 @@ serve-smoke:
 	$(GO) build -o $(SERVE_DIR)/geosird ./cmd/geosird
 	$(GO) build -o $(SERVE_DIR)/loadgen ./cmd/geosir-loadgen
 	$(SERVE_DIR)/geosir -demo 20 -snapshot-out $(SERVE_DIR)/base.gsir
+	$(SERVE_DIR)/geosir -demo 20 -shards 4 -snapshot-out $(SERVE_DIR)/base-sharded
 	@$(SERVE_DIR)/geosird -snapshot $(SERVE_DIR)/base.gsir -addr $(SERVE_ADDR) & \
 	pid=$$!; \
 	$(SERVE_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s -smoke; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then rm -rf $(SERVE_DIR); exit $$rc; fi; \
+	$(SERVE_DIR)/geosird -snapshot $(SERVE_DIR)/base-sharded -addr $(SERVE_ADDR) & \
+	pid=$$!; \
+	$(SERVE_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s -smoke -expect-shards 4; rc=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -rf $(SERVE_DIR); exit $$rc
 
@@ -87,6 +106,18 @@ bench-serve:
 		-out BENCH_serve.json; rc=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -rf $(SERVE_DIR); exit $$rc
+
+# Freeze-scaling benchmark across shard counts, written to
+# BENCH_shard.json. Freeze parallelizes one goroutine per shard, so the
+# speedup column tracks available cores (the report records cores for
+# honest single-core runs); the query column checks fan-out + merge
+# didn't regress single-query latency.
+BENCH_SHARD_DEMO   ?= 400
+BENCH_SHARD_COUNTS ?= 1,2,4,8
+bench-shard:
+	$(GO) run ./cmd/geosir -demo $(BENCH_SHARD_DEMO) \
+		-shard-bench $(BENCH_SHARD_COUNTS) -bench-out BENCH_shard.json
+	@cat BENCH_shard.json
 
 clean:
 	$(GO) clean -testcache

@@ -7,6 +7,7 @@
 //
 //	geosir-loadgen -addr http://127.0.0.1:8080 -duration 10s -concurrency 16 -out BENCH_serve.json
 //	geosir-loadgen -addr http://127.0.0.1:8080 -smoke   # readiness probe + one query of each kind
+//	geosir-loadgen -addr http://127.0.0.1:8080 -smoke -expect-shards 4   # also assert shard health
 package main
 
 import (
@@ -41,14 +42,15 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "closed-loop worker count")
 		qps         = flag.Float64("qps", 0, "target aggregate QPS (0 = unthrottled)")
 		k           = flag.Int("k", 3, "matches per query")
-		mixSpec     = flag.String("mix", "similar=6,approximate=2,sketch=1,topological=1", "workload mix weights")
+		mixSpec     = flag.String("mix", "similar=6,approximate=2,sketch=1,topological=1,search=2", "workload mix weights")
 		seed        = flag.Int64("seed", 1, "query-shape generator seed")
 		out         = flag.String("out", "", "write the JSON summary to this file")
 		wait        = flag.Duration("wait", 0, "poll /readyz up to this long before starting")
 		smoke       = flag.Bool("smoke", false, "probe mode: healthz, readyz, one query of each kind; exit 0/1")
+		expShards   = flag.Int("expect-shards", 0, "with -smoke: require /statz to report exactly N live shards")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *seed, *out, *wait, *smoke); err != nil {
+	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *seed, *out, *wait, *smoke, *expShards); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir-loadgen:", err)
 		os.Exit(1)
 	}
@@ -84,12 +86,14 @@ func buildKinds(seed int64, k int) []kind {
 		{name: "approximate", path: "/v1/approximate"},
 		{name: "sketch", path: "/v1/sketch"},
 		{name: "topological", path: "/v1/topological"},
+		{name: "search", path: "/v1/search"},
 	}
 	for v := 0; v < variants; v++ {
 		ks[0].bodies = append(ks[0].bodies, mustJSON(map[string]any{"shape": shape(), "k": k}))
 		ks[1].bodies = append(ks[1].bodies, mustJSON(map[string]any{"shape": shape(), "k": k}))
 		ks[2].bodies = append(ks[2].bodies, mustJSON(map[string]any{"shapes": []server.WireShape{shape(), shape()}, "k": k}))
 		ks[3].bodies = append(ks[3].bodies, mustJSON(map[string]any{"query": "similar(q)", "binds": map[string]server.WireShape{"q": shape()}}))
+		ks[4].bodies = append(ks[4].bodies, mustJSON(map[string]any{"shape": shape(), "k": k, "mode": "auto"}))
 	}
 	return ks
 }
@@ -118,7 +122,7 @@ func parseMix(spec string, ks []kind) ([]int, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown kind %q (want similar|approximate|sketch|topological)", name)
+			return nil, fmt.Errorf("unknown kind %q (want similar|approximate|sketch|topological|search)", name)
 		}
 	}
 	var table []int
@@ -157,7 +161,51 @@ func waitReady(client *http.Client, addr string, wait time.Duration) error {
 	}
 }
 
-func runSmoke(client *http.Client, addr string, ks []kind) error {
+// checkShards asserts via /statz that the server is backed by a sharded
+// snapshot with exactly expect live, undropped shards.
+func checkShards(client *http.Client, addr string, expect int) error {
+	resp, err := client.Get(addr + "/statz")
+	if err != nil {
+		return fmt.Errorf("/statz: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("/statz: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var stz struct {
+		Snapshot *struct {
+			Shards []struct {
+				Shard   int    `json:"shard"`
+				Live    bool   `json:"live"`
+				Shapes  int    `json:"shapes"`
+				Dropped bool   `json:"dropped"`
+				Error   string `json:"error"`
+			} `json:"shards"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal(body, &stz); err != nil {
+		return fmt.Errorf("/statz: %w", err)
+	}
+	if stz.Snapshot == nil || len(stz.Snapshot.Shards) == 0 {
+		return fmt.Errorf("expected %d shards, but /statz reports no sharded snapshot", expect)
+	}
+	if got := len(stz.Snapshot.Shards); got != expect {
+		return fmt.Errorf("expected %d shards, /statz reports %d", expect, got)
+	}
+	for _, sh := range stz.Snapshot.Shards {
+		if sh.Dropped {
+			return fmt.Errorf("shard %d dropped: %s", sh.Shard, sh.Error)
+		}
+		if sh.Shapes > 0 && !sh.Live {
+			return fmt.Errorf("shard %d has %d shapes but is not live", sh.Shard, sh.Shapes)
+		}
+	}
+	fmt.Printf("%-16s ok (%d shards live)\n", "/statz", expect)
+	return nil
+}
+
+func runSmoke(client *http.Client, addr string, ks []kind, expShards int) error {
 	for _, probe := range []string{"/healthz", "/readyz"} {
 		resp, err := client.Get(addr + probe)
 		if err != nil {
@@ -181,6 +229,11 @@ func runSmoke(client *http.Client, addr string, ks []kind) error {
 			return fmt.Errorf("%s: %d %s", kd.path, resp.StatusCode, bytes.TrimSpace(body))
 		}
 		fmt.Printf("%-16s ok (%d bytes)\n", kd.path, len(body))
+	}
+	if expShards > 0 {
+		if err := checkShards(client, addr, expShards); err != nil {
+			return err
+		}
 	}
 	fmt.Println("smoke ok")
 	return nil
@@ -258,7 +311,7 @@ func summarize(samples []sample, pick func(sample) bool) KindSummary {
 }
 
 func run(addr string, duration time.Duration, concurrency int, qps float64, k int,
-	mixSpec string, seed int64, out string, wait time.Duration, smoke bool) error {
+	mixSpec string, seed int64, out string, wait time.Duration, smoke bool, expShards int) error {
 
 	addr = strings.TrimRight(addr, "/")
 	client := &http.Client{
@@ -273,7 +326,7 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		return err
 	}
 	if smoke {
-		return runSmoke(client, addr, ks)
+		return runSmoke(client, addr, ks, expShards)
 	}
 	mix, err := parseMix(mixSpec, ks)
 	if err != nil {

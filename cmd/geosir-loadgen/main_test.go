@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	geosir "repro"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+// startSharded serves a small sharded engine over httptest.
+func startSharded(t *testing.T, shards int) *httptest.Server {
+	t.Helper()
+	se := geosir.NewSharded(geosir.DefaultOptions(), shards)
+	spec := synth.PaperSpec(0.002, 11)
+	spec.Images = 12
+	for _, img := range synth.GenerateBase(spec) {
+		valid := img.Shapes[:0]
+		for _, sh := range img.Shapes {
+			if sh.Validate() == nil {
+				valid = append(valid, sh)
+			}
+		}
+		if len(valid) == 0 {
+			continue
+		}
+		if err := se.AddImage(img.ID, valid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{})
+	if err := s.SetServing(se, "(loadgen-test)"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSmokeAgainstShardedServer(t *testing.T) {
+	ts := startSharded(t, 3)
+	// Full smoke including the shard-health probe and /v1/search kind.
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", 1, "", 0, true, 3); err != nil {
+		t.Fatalf("smoke: %v", err)
+	}
+	// Wrong shard expectation must fail.
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", 1, "", 0, true, 5); err == nil {
+		t.Fatal("expect-shards mismatch should fail the smoke")
+	} else if !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckShardsRejectsUnsharded(t *testing.T) {
+	eng := geosir.New(geosir.DefaultOptions())
+	spec := synth.PaperSpec(0.002, 11)
+	spec.Images = 6
+	for _, img := range synth.GenerateBase(spec) {
+		valid := img.Shapes[:0]
+		for _, sh := range img.Shapes {
+			if sh.Validate() == nil {
+				valid = append(valid, sh)
+			}
+		}
+		if len(valid) == 0 {
+			continue
+		}
+		if err := eng.AddImage(img.ID, valid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{})
+	if err := s.SetEngine(eng, "(single)"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := checkShards(http.DefaultClient, ts.URL, 2); err == nil {
+		t.Fatal("single-engine server should fail a shard expectation")
+	}
+}
+
+func TestParseMixIncludesSearch(t *testing.T) {
+	ks := buildKinds(1, 2)
+	table, err := parseMix("search=1", ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 1 || ks[table[0]].name != "search" {
+		t.Fatalf("mix table = %v", table)
+	}
+	if _, err := parseMix("nope=1", ks); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}

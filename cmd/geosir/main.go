@@ -12,18 +12,25 @@
 //
 //	geosir -base shapes.txt -query "0,0 1,0 1,1 0,1" -k 5
 //	geosir -demo 200 -query-shape 3            # query with a stored shape
+//	geosir -demo 200 -shards 4 -query-shape 3  # same, over a sharded engine
 //	geosir -base shapes.txt -topo "similar(q)" -bind "q=0,0 1,0 1,1 0,1"
 //	geosir -base shapes.txt -stats
+//	geosir -demo 500 -shards 4 -snapshot-out snapdir   # sharded snapshot directory
+//	geosir -demo 500 -shard-bench 1,2,4 -bench-out BENCH_shard.json
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/synth"
@@ -42,10 +49,20 @@ func main() {
 		binds      = flag.String("bind", "", "semicolon-separated shape bindings: \"q=x1,y1 x2,y2 ...;a=...\"")
 		stats      = flag.Bool("stats", false, "print base statistics and exit")
 		dump       = flag.String("dump", "", "write the loaded/demo base to a shape file and exit")
-		snapOut    = flag.String("snapshot-out", "", "freeze the loaded/demo base and write a snapshot for geosird, then exit")
+		snapOut    = flag.String("snapshot-out", "", "freeze the loaded/demo base and write a snapshot for geosird, then exit (with -shards > 1: a snapshot directory)")
+		shards     = flag.Int("shards", 1, "partition the base across N shards")
+		shardBench = flag.String("shard-bench", "", "comma-separated shard counts to benchmark Freeze + queries over, e.g. \"1,2,4\"")
+		benchOut   = flag.String("bench-out", "", "write -shard-bench results as JSON to this file (default stdout)")
 	)
 	flag.Parse()
 
+	if *shardBench != "" {
+		if err := runShardBench(*basePath, *demo, *seed, *shardBench, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "geosir:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dump != "" {
 		if err := runDump(*basePath, *demo, *seed, *dump); err != nil {
 			fmt.Fprintln(os.Stderr, "geosir:", err)
@@ -54,22 +71,26 @@ func main() {
 		return
 	}
 	if *snapOut != "" {
-		if err := runSnapshot(*basePath, *demo, *seed, *snapOut); err != nil {
+		if err := runSnapshot(*basePath, *demo, *seed, *shards, *snapOut); err != nil {
 			fmt.Fprintln(os.Stderr, "geosir:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*basePath, *demo, *seed, *queryStr, *queryOpen, *queryShape, *k, *topo, *binds, *stats); err != nil {
+	if err := run(*basePath, *demo, *seed, *queryStr, *queryOpen, *queryShape, *k, *topo, *binds, *stats, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir:", err)
 		os.Exit(1)
 	}
 }
 
-func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
-	queryShape, k int, topo, binds string, stats bool) error {
+// imageAdder is the mutation surface shared by Engine and ShardedEngine;
+// the base builders below are agnostic to which one they fill.
+type imageAdder interface {
+	AddImage(imageID int, shapes []geosir.Shape) error
+}
 
-	eng := geosir.New(geosir.DefaultOptions())
+// fillBase populates any engine kind from -demo or -base.
+func fillBase(adder imageAdder, basePath string, demo int, seed int64) error {
 	switch {
 	case demo > 0:
 		spec := synth.PaperSpec(float64(demo)/10000, seed)
@@ -84,16 +105,76 @@ func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
 			if len(valid) == 0 {
 				continue
 			}
-			if err := eng.AddImage(img.ID, valid); err != nil {
+			if err := adder.AddImage(img.ID, valid); err != nil {
 				return err
 			}
 		}
+		return nil
 	case basePath != "":
-		if err := loadBase(eng, basePath); err != nil {
-			return err
+		return loadBase(adder, basePath)
+	}
+	return fmt.Errorf("need -base FILE or -demo N")
+}
+
+// cliEngine is the surface run() needs from either engine kind.
+type cliEngine interface {
+	geosir.Searcher
+	imageAdder
+	Freeze() error
+	NumImages() int
+	NumShapes() int
+	NumEntries() int
+	Query(src string, binds map[string]geosir.Shape) ([]int, string, error)
+}
+
+func newEngine(shards int) cliEngine {
+	if shards > 1 {
+		return geosir.NewSharded(geosir.DefaultOptions(), shards)
+	}
+	return geosir.New(geosir.DefaultOptions())
+}
+
+// storedPoly fetches a stored shape's polygon by global shape id from
+// either engine kind.
+func storedPoly(eng cliEngine, id int) (geosir.Shape, error) {
+	if id < 0 || id >= eng.NumShapes() {
+		return geosir.Shape{}, fmt.Errorf("shape id %d out of range [0,%d)", id, eng.NumShapes())
+	}
+	switch e := eng.(type) {
+	case *geosir.Engine:
+		return e.Base().Shape(id).Poly, nil
+	case *geosir.ShardedEngine:
+		shard, local, ok := e.IDMap().Locate(id)
+		if !ok {
+			return geosir.Shape{}, fmt.Errorf("shape id %d not present (dropped shard?)", id)
 		}
-	default:
-		return fmt.Errorf("need -base FILE or -demo N")
+		return e.Shard(shard).Base().Shape(int(local)).Poly, nil
+	}
+	return geosir.Shape{}, fmt.Errorf("unknown engine kind %T", eng)
+}
+
+func printHashStats(eng cliEngine) {
+	switch e := eng.(type) {
+	case *geosir.Engine:
+		mean, maxB := e.HashTable().BucketStats()
+		fmt.Printf("hash table: %d shapes, mean bucket %.2f, max bucket %d\n",
+			e.HashTable().Len(), mean, maxB)
+	case *geosir.ShardedEngine:
+		for i := 0; i < e.NumShards(); i++ {
+			sh := e.Shard(i)
+			mean, maxB := sh.HashTable().BucketStats()
+			fmt.Printf("shard %d hash table: %d shapes, mean bucket %.2f, max bucket %d\n",
+				i, sh.HashTable().Len(), mean, maxB)
+		}
+	}
+}
+
+func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
+	queryShape, k int, topo, binds string, stats bool, shards int) error {
+
+	eng := newEngine(shards)
+	if err := fillBase(eng, basePath, demo, seed); err != nil {
+		return err
 	}
 	if err := eng.Freeze(); err != nil {
 		return err
@@ -102,9 +183,7 @@ func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
 		eng.NumImages(), eng.NumShapes(), eng.NumEntries())
 
 	if stats {
-		mean, maxB := eng.HashTable().BucketStats()
-		fmt.Printf("hash table: %d shapes, mean bucket %.2f, max bucket %d\n",
-			eng.HashTable().Len(), mean, maxB)
+		printHashStats(eng)
 		return nil
 	}
 
@@ -131,10 +210,10 @@ func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
 			return err
 		}
 	case queryShape >= 0:
-		if queryShape >= eng.NumShapes() {
-			return fmt.Errorf("shape id %d out of range [0,%d)", queryShape, eng.NumShapes())
+		src, err := storedPoly(eng, queryShape)
+		if err != nil {
+			return err
 		}
-		src := eng.Base().Shape(queryShape).Poly
 		// Perturb slightly so the query is a sketch, not the stored copy.
 		rng := rand.New(rand.NewSource(seed + 7))
 		q = synth.Distort(rng, src, 0.01)
@@ -145,17 +224,17 @@ func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
 		return fmt.Errorf("need -query, -query-shape, -topo, or -stats")
 	}
 
-	ms, st, err := eng.FindSimilar(q, k)
+	resp, err := eng.Search(context.Background(), geosir.SearchRequest{Query: q, K: k})
 	if err != nil {
 		return err
 	}
 	mode := "exact (ε-envelope fattening)"
-	if st.UsedHashing {
+	if resp.Stats.UsedHashing {
 		mode = "approximate (geometric hashing)"
 	}
 	fmt.Printf("retrieval: %s — %d iterations, ε=%.4g, %d candidates\n",
-		mode, st.Iterations, st.FinalEpsilon, st.Candidates)
-	for i, m := range ms {
+		mode, resp.Stats.Iterations, resp.Stats.FinalEpsilon, resp.Stats.Candidates)
+	for i, m := range resp.Matches {
 		fmt.Printf("  #%d shape %d (image %d): distance %.5f\n",
 			i+1, m.ShapeID, m.ImageID, m.Distance)
 	}
@@ -166,30 +245,8 @@ func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
 // format, so a -demo base can be edited and re-used with -base.
 func runDump(basePath string, demo int, seed int64, out string) error {
 	eng := geosir.New(geosir.DefaultOptions())
-	switch {
-	case demo > 0:
-		spec := synth.PaperSpec(float64(demo)/10000, seed)
-		spec.Images = demo
-		for _, img := range synth.GenerateBase(spec) {
-			valid := img.Shapes[:0]
-			for _, s := range img.Shapes {
-				if s.Validate() == nil {
-					valid = append(valid, s)
-				}
-			}
-			if len(valid) == 0 {
-				continue
-			}
-			if err := eng.AddImage(img.ID, valid); err != nil {
-				return err
-			}
-		}
-	case basePath != "":
-		if err := loadBase(eng, basePath); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("need -base FILE or -demo N")
+	if err := fillBase(eng, basePath, demo, seed); err != nil {
+		return err
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -217,47 +274,142 @@ func runDump(basePath string, demo int, seed int64, out string) error {
 }
 
 // runSnapshot materializes a base (demo or loaded), freezes it, and
-// writes a GSIR snapshot ready to serve with geosird -snapshot.
-func runSnapshot(basePath string, demo int, seed int64, out string) error {
-	eng := geosir.New(geosir.DefaultOptions())
-	switch {
-	case demo > 0:
-		spec := synth.PaperSpec(float64(demo)/10000, seed)
-		spec.Images = demo
-		for _, img := range synth.GenerateBase(spec) {
-			valid := img.Shapes[:0]
-			for _, s := range img.Shapes {
-				if s.Validate() == nil {
-					valid = append(valid, s)
-				}
-			}
-			if len(valid) == 0 {
-				continue
-			}
-			if err := eng.AddImage(img.ID, valid); err != nil {
-				return err
-			}
-		}
-	case basePath != "":
-		if err := loadBase(eng, basePath); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("need -base FILE or -demo N")
+// writes a GSIR snapshot ready to serve with geosird -snapshot. With
+// shards > 1 the snapshot is a directory of per-shard GSIR2 files plus
+// a manifest.
+func runSnapshot(basePath string, demo int, seed int64, shards int, out string) error {
+	eng := newEngine(shards)
+	if err := fillBase(eng, basePath, demo, seed); err != nil {
+		return err
 	}
 	if err := eng.Freeze(); err != nil {
 		return err
 	}
-	if err := eng.SaveFile(out); err != nil {
-		return err
+	switch e := eng.(type) {
+	case *geosir.ShardedEngine:
+		if err := e.SaveDir(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote sharded snapshot %s (%d shards, %d images, %d shapes, %d entries)\n",
+			out, e.NumShards(), e.NumImages(), e.NumShapes(), e.NumEntries())
+	case *geosir.Engine:
+		if err := e.SaveFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote snapshot %s (%d images, %d shapes, %d entries)\n",
+			out, e.NumImages(), e.NumShapes(), e.NumEntries())
 	}
-	fmt.Printf("wrote snapshot %s (%d images, %d shapes, %d entries)\n",
-		out, eng.NumImages(), eng.NumShapes(), eng.NumEntries())
 	return nil
 }
 
+// shardBenchRow is one shard count's measurements in BENCH_shard.json.
+type shardBenchRow struct {
+	Shards        int     `json:"shards"`
+	FreezeMillis  float64 `json:"freeze_ms"`
+	FreezeSpeedup float64 `json:"freeze_speedup_vs_single"`
+	QueryMicros   float64 `json:"query_us_mean"`
+	Images        int     `json:"images"`
+	Shapes        int     `json:"shapes"`
+}
+
+type shardBenchReport struct {
+	Demo       int             `json:"demo_images"`
+	Seed       int64           `json:"seed"`
+	Queries    int             `json:"queries"`
+	Cores      int             `json:"cores"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Results    []shardBenchRow `json:"results"`
+}
+
+// runShardBench measures Freeze wall time and mean exact-query latency
+// for each requested shard count over the same synthetic base, and
+// emits the result as JSON (BENCH_shard.json in the Makefile target).
+// Freeze parallelizes per shard, so speedup tracks available cores —
+// the report records cores so a single-core run is honest about why
+// speedup hovers near 1×.
+func runShardBench(basePath string, demo int, seed int64, countsStr, out string) error {
+	if basePath != "" {
+		return fmt.Errorf("-shard-bench needs -demo N (query workload is synthesized)")
+	}
+	if demo <= 0 {
+		return fmt.Errorf("need -demo N with -shard-bench")
+	}
+	var counts []int
+	for _, tok := range strings.Split(countsStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad shard count %q in -shard-bench", tok)
+		}
+		counts = append(counts, n)
+	}
+
+	// Query workload: distorted copies of stored shapes, independent of
+	// how the base is partitioned.
+	spec := synth.PaperSpec(float64(demo)/10000, seed)
+	spec.Images = demo
+	images := synth.GenerateBase(spec)
+	queries := synth.Queries(rand.New(rand.NewSource(seed+7)), images, 8, 0.01)
+
+	report := shardBenchReport{
+		Demo:       demo,
+		Seed:       seed,
+		Queries:    len(queries),
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	var singleFreeze time.Duration
+	for _, n := range counts {
+		eng := newEngine(n)
+		if err := fillBase(eng, "", demo, seed); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if err := eng.Freeze(); err != nil {
+			return err
+		}
+		freeze := time.Since(t0)
+		if n == 1 {
+			singleFreeze = freeze
+		}
+
+		t0 = time.Now()
+		for _, q := range queries {
+			if _, err := eng.Search(context.Background(),
+				geosir.SearchRequest{Query: q, K: 5, Mode: geosir.ModeExact}); err != nil {
+				return err
+			}
+		}
+		perQuery := time.Since(t0) / time.Duration(len(queries))
+
+		row := shardBenchRow{
+			Shards:       n,
+			FreezeMillis: float64(freeze.Microseconds()) / 1e3,
+			QueryMicros:  float64(perQuery.Nanoseconds()) / 1e3,
+			Images:       eng.NumImages(),
+			Shapes:       eng.NumShapes(),
+		}
+		if singleFreeze > 0 {
+			row.FreezeSpeedup = float64(singleFreeze) / float64(freeze)
+		}
+		report.Results = append(report.Results, row)
+		fmt.Fprintf(os.Stderr, "shards=%d freeze=%v query=%v speedup=%.2fx\n",
+			n, freeze.Round(time.Microsecond), perQuery.Round(time.Microsecond), row.FreezeSpeedup)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
 // loadBase reads the shape file format described in the package comment.
-func loadBase(eng *geosir.Engine, path string) error {
+func loadBase(eng imageAdder, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -123,27 +124,107 @@ func TestLoadBaseErrors(t *testing.T) {
 
 func TestRunDemoPath(t *testing.T) {
 	// End-to-end: demo base, query by stored shape id.
-	if err := run("", 15, 3, "", false, 2, 2, "", "", false); err != nil {
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 1); err != nil {
 		t.Fatalf("demo run: %v", err)
 	}
-	// Stats mode.
-	if err := run("", 10, 3, "", false, -1, 1, "", "", true); err != nil {
+	// Same demo over a sharded engine.
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 3); err != nil {
+		t.Fatalf("sharded demo run: %v", err)
+	}
+	// Stats mode, both engine kinds.
+	if err := run("", 10, 3, "", false, -1, 1, "", "", true, 1); err != nil {
 		t.Fatalf("stats run: %v", err)
+	}
+	if err := run("", 10, 3, "", false, -1, 1, "", "", true, 2); err != nil {
+		t.Fatalf("sharded stats run: %v", err)
 	}
 	// Topological query.
 	if err := run("", 10, 3, "", false, -1, 1,
-		"similar(q)", "q=0,0 1,0 1,1 0,1", false); err != nil {
+		"similar(q)", "q=0,0 1,0 1,1 0,1", false, 1); err != nil {
 		t.Fatalf("topo run: %v", err)
 	}
+	if err := run("", 10, 3, "", false, -1, 1,
+		"similar(q)", "q=0,0 1,0 1,1 0,1", false, 2); err != nil {
+		t.Fatalf("sharded topo run: %v", err)
+	}
 	// Error cases.
-	if err := run("", 0, 1, "", false, -1, 1, "", "", false); err == nil {
+	if err := run("", 0, 1, "", false, -1, 1, "", "", false, 1); err == nil {
 		t.Error("no base source should fail")
 	}
-	if err := run("", 5, 1, "", false, 10000, 1, "", "", false); err == nil {
+	if err := run("", 5, 1, "", false, 10000, 1, "", "", false, 1); err == nil {
 		t.Error("out-of-range query shape should fail")
 	}
-	if err := run("", 5, 1, "", false, -1, 1, "", "", false); err == nil {
+	if err := run("", 5, 1, "", false, -1, 1, "", "", false, 1); err == nil {
 		t.Error("no query should fail")
+	}
+}
+
+func TestRunSnapshotSharded(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "snapdir")
+	if err := runSnapshot("", 12, 3, 3, out); err != nil {
+		t.Fatal(err)
+	}
+	sv, rec, err := geosir.LoadAny(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil && !rec.Complete() {
+		t.Fatalf("fresh sharded snapshot incomplete: %+v", rec)
+	}
+	se, ok := sv.(*geosir.ShardedEngine)
+	if !ok {
+		t.Fatalf("LoadAny(dir) = %T, want *ShardedEngine", sv)
+	}
+	if se.NumShards() != 3 || se.NumImages() == 0 {
+		t.Fatalf("loaded %d shards / %d images", se.NumShards(), se.NumImages())
+	}
+
+	// Single-file snapshots still work through the same path.
+	file := filepath.Join(dir, "snap.gsir2")
+	if err := runSnapshot("", 12, 3, 1, file); err != nil {
+		t.Fatal(err)
+	}
+	if sv, _, err := geosir.LoadAny(file); err != nil {
+		t.Fatal(err)
+	} else if _, ok := sv.(*geosir.Engine); !ok {
+		t.Fatalf("LoadAny(file) = %T, want *Engine", sv)
+	}
+}
+
+func TestRunShardBench(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := runShardBench("", 10, 3, "1,2", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep shardBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench output not JSON: %v\n%s", err, data)
+	}
+	if rep.Cores < 1 || len(rep.Results) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, row := range rep.Results {
+		if row.FreezeMillis <= 0 || row.Shapes == 0 {
+			t.Fatalf("row = %+v", row)
+		}
+	}
+	if rep.Results[0].Shards != 1 || rep.Results[0].FreezeSpeedup != 1 {
+		t.Fatalf("single-shard baseline row = %+v", rep.Results[0])
+	}
+	// Bad inputs.
+	if err := runShardBench("", 0, 1, "1,2", out); err == nil {
+		t.Error("no demo base should fail")
+	}
+	if err := runShardBench("x.txt", 10, 1, "1,2", out); err == nil {
+		t.Error("-base with -shard-bench should fail")
+	}
+	if err := runShardBench("", 10, 1, "1,zero", out); err == nil {
+		t.Error("bad shard count should fail")
 	}
 }
 

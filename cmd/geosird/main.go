@@ -2,10 +2,15 @@
 // engine loaded from a GSIR1/GSIR2 snapshot over an HTTP JSON API.
 //
 //	geosird -snapshot base.gsir -addr :8080
+//	geosird -snapshot sharded-snapshot-dir/ -addr :8080
 //
-// Endpoints: POST /v1/similar, /v1/approximate, /v1/sketch,
-// /v1/topological, POST /admin/reload, GET /healthz /readyz /metrics
-// /statz. See internal/server for the wire format.
+// A file path serves a single engine; a directory path serves a
+// ShardedEngine from per-shard snapshot files (a damaged shard degrades
+// to partial results and is reported in /statz).
+//
+// Endpoints: POST /v1/search (unified), /v1/similar, /v1/approximate,
+// /v1/sketch, /v1/topological, POST /admin/reload, GET /healthz /readyz
+// /metrics /statz. See internal/server for the wire format.
 //
 // Signals: SIGHUP hot-swaps the snapshot (re-reads the active snapshot
 // path with zero downtime — the old engine serves until the new one is
@@ -31,7 +36,7 @@ import (
 
 func main() {
 	var (
-		snapshot    = flag.String("snapshot", "", "snapshot file to serve (required)")
+		snapshot    = flag.String("snapshot", "", "snapshot file or sharded snapshot directory to serve (required)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4×GOMAXPROCS)")
 		maxQueue    = flag.Int("max-queue", 0, "max queued queries before shedding 429 (0 = 4×max-inflight)")
@@ -72,9 +77,9 @@ func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout ti
 	if err != nil {
 		return err
 	}
-	eng := srv.Engine()
+	sv := srv.Serving()
 	logger.Printf("loaded %s (%s, %d images, %d shapes, %d entries) in %v",
-		snapshot, info.FormatName, eng.NumImages(), eng.NumShapes(), eng.NumEntries(),
+		snapshot, info.FormatName, sv.NumImages(), sv.NumShapes(), sv.NumEntries(),
 		time.Since(start).Round(time.Millisecond))
 
 	ln, err := net.Listen("tcp", addr)
@@ -97,7 +102,7 @@ func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout ti
 				logger.Printf("reload failed (still serving previous snapshot): %v", err)
 				continue
 			}
-			e := srv.Engine()
+			e := srv.Serving()
 			logger.Printf("reloaded %s (%d images, %d shapes)", snapshot, e.NumImages(), e.NumShapes())
 		}
 	}()

@@ -15,7 +15,12 @@
 //	eng := geosir.New(geosir.DefaultOptions())
 //	eng.AddImage(0, []geosir.Shape{geosir.NewPolygon(...)})
 //	eng.Freeze()
-//	matches, _, _ := eng.FindSimilar(sketch, 3)
+//	resp, _ := eng.Search(ctx, geosir.SearchRequest{Query: sketch, K: 3})
+//
+// All retrieval goes through the unified Search method (see Searcher);
+// a ShardedEngine partitions the image base across independent shards
+// and answers the same Search requests by parallel fan-out with an
+// exact top-k merge.
 package geosir
 
 import (
@@ -104,11 +109,10 @@ type Stats struct {
 // graphs, and the geometric hash table.
 //
 // Concurrency: an Engine is not safe for concurrent mutation, but after
-// Freeze every index structure is immutable and FindSimilar,
-// FindApproximate, FindBySketch and FindSimilarBatch may be called from
-// any number of goroutines. Query updates the shared selectivity
-// estimator and should not race with itself; use one goroutine for
-// topological queries or fan out with FindSimilarBatch instead.
+// Freeze every index structure is immutable and Search (and the
+// deprecated Find* wrappers) may be called from any number of
+// goroutines. Query updates the shared selectivity estimator and should
+// not race with itself; use one goroutine for topological queries.
 type Engine struct {
 	opts   Options
 	db     *query.DB
@@ -139,8 +143,12 @@ func New(opts Options) *Engine {
 }
 
 // AddImage registers an image with its object-boundary shapes. Shapes
-// must be valid (simple, ≥2 distinct vertices; ≥3 for polygons).
+// must be valid (simple, ≥2 distinct vertices; ≥3 for polygons). After
+// Freeze it fails with ErrFrozen.
 func (e *Engine) AddImage(imageID int, shapes []Shape) error {
+	if e.frozen {
+		return ErrFrozen
+	}
 	return e.db.AddImage(imageID, shapes)
 }
 
@@ -205,93 +213,39 @@ func (e *Engine) HashTable() *geohash.Table { return e.table }
 // sufficiently close match, it falls back to geometric hashing for an
 // approximate answer (§6: "if it fails to find a close match, geometric
 // hashing is used for approximate retrieval").
+//
+// Deprecated: use Search with ModeAuto (the zero Mode):
+//
+//	resp, err := e.Search(ctx, SearchRequest{Query: q, K: k})
 func (e *Engine) FindSimilar(q Shape, k int) ([]Match, Stats, error) {
 	return e.FindSimilarCtx(context.Background(), q, k)
 }
 
-// FindSimilarCtx is FindSimilar under a context. A single exact search is
-// not interruptible mid-flight, but the context is checked at the stage
-// boundaries: before the exact search and again before the geometric-
-// hashing fallback, so a request whose deadline has passed never pays for
-// the second stage. The network server threads per-request deadlines
-// through here.
+// FindSimilarCtx is FindSimilar under a context.
+//
+// Deprecated: use Search with ModeAuto (the zero Mode):
+//
+//	resp, err := e.Search(ctx, SearchRequest{Query: q, K: k})
 func (e *Engine) FindSimilarCtx(ctx context.Context, q Shape, k int) ([]Match, Stats, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, Stats{}, err
-	}
-	if !e.frozen {
-		return nil, Stats{}, fmt.Errorf("geosir: engine must be frozen")
-	}
-	ms, st, err := e.db.Base().Match(q, k)
+	resp, err := e.Search(ctx, SearchRequest{Query: q, K: k, Mode: ModeAuto})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	stats := Stats{
-		Iterations:      st.Iterations,
-		FinalEpsilon:    st.FinalEpsilon,
-		VerticesCounted: st.VerticesCounted,
-		Candidates:      st.Candidates,
-		Converged:       st.Converged,
-	}
-	goodEnough := len(ms) > 0 && ms[0].DistVertex <= e.db.Tau()
-	if st.Converged && goodEnough {
-		return e.toMatches(ms, false), stats, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, stats, err
-	}
-	approx, err := e.FindApproximate(q, k)
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.UsedHashing = true
-	if len(approx) == 0 {
-		return e.toMatches(ms, false), stats, nil
-	}
-	return approx, stats, nil
+	return resp.Matches, resp.Stats, nil
 }
 
 // FindApproximate retrieves up to k approximate matches through the
-// geometric hash table alone (§3): hash the query, collect the shapes on
-// the same (or adjacent) curves, rank them with the similarity measure.
-// The query is normalized and its boundary oracle built exactly once;
-// every candidate is then scored through the prepared query against the
-// base's frozen per-entry oracles.
+// geometric hash table alone (§3).
+//
+// Deprecated: use Search with ModeApproximate:
+//
+//	resp, err := e.Search(ctx, SearchRequest{Query: q, K: k, Mode: ModeApproximate})
 func (e *Engine) FindApproximate(q Shape, k int) ([]Match, error) {
-	if !e.frozen {
-		return nil, fmt.Errorf("geosir: engine must be frozen")
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("geosir: k must be positive")
-	}
-	pq, err := core.PrepareQuery(q)
+	resp, err := e.Search(context.Background(), SearchRequest{Query: q, K: k, Mode: ModeApproximate})
 	if err != nil {
 		return nil, err
 	}
-	quad := e.family.Characteristic(pq.Entry().Poly.Pts)
-	ids := e.table.Lookup(quad, 0)
-	if len(ids) == 0 {
-		ids = e.table.Lookup(quad, 1) // widen once to the neighbor curves
-	}
-	base := e.db.Base()
-	out := make([]Match, 0, len(ids))
-	for _, sid := range ids {
-		d, err := base.ShapeDistancePrepared(sid, pq)
-		if err != nil {
-			continue
-		}
-		out = append(out, Match{
-			ShapeID:     sid,
-			ImageID:     base.Shape(sid).Image,
-			Distance:    d,
-			Approximate: true,
-		})
-	}
-	sortMatches(out)
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return resp.Matches, nil
 }
 
 // Query parses and executes a topological query (§5), e.g.
@@ -302,7 +256,7 @@ func (e *Engine) FindApproximate(q Shape, k int) ([]Match, error) {
 // ids (sorted) and a rendering of the execution plan.
 func (e *Engine) Query(src string, binds map[string]Shape) ([]int, string, error) {
 	if !e.frozen {
-		return nil, "", fmt.Errorf("geosir: engine must be frozen")
+		return nil, "", ErrNotFrozen
 	}
 	set, plan, err := e.db.EvalString(src, query.Bindings(binds))
 	if err != nil {
@@ -351,13 +305,11 @@ type SketchMatch struct {
 // FindBySketch implements the §6 user flow: a query sketch is decomposed
 // into several polylines, and images are ranked by how well they match
 // *all* of them — the mean over sketch shapes of the distance to the
-// image's closest shape. Images missing a counterpart for some sketch
-// shape are penalized with that shape's distance to the image's best
-// effort (never skipped), so partial matches rank below complete ones.
+// image's closest shape.
 //
-// The per-sketch-shape retrievals are independent index reads and run
-// concurrently on up to GOMAXPROCS workers; use FindBySketchWorkers to
-// pick the worker count explicitly.
+// Deprecated: use Search with ModeSketch:
+//
+//	resp, err := e.Search(ctx, SearchRequest{Sketch: sketch, K: k, Mode: ModeSketch})
 func (e *Engine) FindBySketch(sketch []Shape, k int) ([]SketchMatch, error) {
 	return e.FindBySketchWorkers(sketch, k, 0)
 }

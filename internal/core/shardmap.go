@@ -1,0 +1,107 @@
+package core
+
+// Shard-stable id mapping. A sharded base partitions images across N
+// independent shards, each of which numbers its shapes locally from 0 in
+// insertion order. Query results must still report the *global* shape
+// ids a single unpartitioned base would have assigned (so results are
+// byte-identical across shard counts, and ids survive re-sharding a
+// saved base). ShardMap records that correspondence: global ids are
+// handed out in image-insertion order, and each is pinned to the
+// (shard, local) slot that holds the shape — or to no slot at all when a
+// damaged snapshot shard dropped the image, in which case the global id
+// stays reserved so every surviving shape keeps its id.
+
+// ShardFor returns the shard an image id is assigned to, out of shards
+// partitions. The mapping is a pure function of (imageID, shards) —
+// stable across processes, insertion orders, and restarts — using an
+// FNV-1a hash so that sequential, clustered, or negative image ids all
+// spread evenly.
+func ShardFor(imageID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	// FNV-1a over the 8 little-endian bytes of the id.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	v := uint64(int64(imageID))
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// ShardLoc is the physical slot of one shape: the shard holding it and
+// its local id there.
+type ShardLoc struct {
+	Shard int32
+	Local int32
+}
+
+// ShardMap is the bidirectional global⇄(shard, local) shape-id mapping.
+// Build it by replaying the image-insertion order through AssignImage
+// (or Skip for images that no longer load); afterwards it is immutable
+// and safe for concurrent readers.
+type ShardMap struct {
+	shards  int
+	globals [][]int32  // per shard: local id → global id
+	locs    []ShardLoc // global id → slot; Shard < 0 when unmapped
+}
+
+// NewShardMap creates an empty mapping over the given shard count.
+func NewShardMap(shards int) *ShardMap {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardMap{shards: shards, globals: make([][]int32, shards)}
+}
+
+// Shards returns the shard count the mapping was built for.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// AssignImage reserves the next count global ids for an image stored on
+// the given shard, binding them to that shard's next count local ids.
+func (m *ShardMap) AssignImage(shard, count int) {
+	for i := 0; i < count; i++ {
+		local := int32(len(m.globals[shard]))
+		m.globals[shard] = append(m.globals[shard], int32(len(m.locs)))
+		m.locs = append(m.locs, ShardLoc{Shard: int32(shard), Local: local})
+	}
+}
+
+// Skip reserves count global ids with no backing slot: the image that
+// owned them was dropped (damaged snapshot section), and consuming its
+// ids keeps every later shape's global id unchanged.
+func (m *ShardMap) Skip(count int) {
+	for i := 0; i < count; i++ {
+		m.locs = append(m.locs, ShardLoc{Shard: -1, Local: -1})
+	}
+}
+
+// Global translates a shard-local shape id to its global id.
+func (m *ShardMap) Global(shard, local int) int {
+	return int(m.globals[shard][local])
+}
+
+// Locate translates a global shape id to its slot. ok is false for ids
+// whose image was dropped or that were never assigned.
+func (m *ShardMap) Locate(global int) (shard, local int, ok bool) {
+	if global < 0 || global >= len(m.locs) {
+		return 0, 0, false
+	}
+	loc := m.locs[global]
+	if loc.Shard < 0 {
+		return 0, 0, false
+	}
+	return int(loc.Shard), int(loc.Local), true
+}
+
+// NumGlobal returns the number of reserved global ids (mapped or
+// skipped).
+func (m *ShardMap) NumGlobal() int { return len(m.locs) }
+
+// ShardSize returns the number of mapped shapes on one shard.
+func (m *ShardMap) ShardSize(shard int) int { return len(m.globals[shard]) }

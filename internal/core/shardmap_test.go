@@ -1,0 +1,89 @@
+package core
+
+import "testing"
+
+func TestShardForStableAndBounded(t *testing.T) {
+	ids := []int{0, 1, 2, 17, -3, 1 << 40, -(1 << 40), 999999}
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		for _, id := range ids {
+			s := ShardFor(id, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardFor(%d, %d) = %d out of range", id, shards, s)
+			}
+			if s2 := ShardFor(id, shards); s2 != s {
+				t.Fatalf("ShardFor(%d, %d) not stable: %d then %d", id, shards, s, s2)
+			}
+		}
+	}
+	for _, id := range ids {
+		if s := ShardFor(id, 1); s != 0 {
+			t.Fatalf("ShardFor(%d, 1) = %d, want 0", id, s)
+		}
+	}
+}
+
+func TestShardForSpreads(t *testing.T) {
+	const shards = 4
+	counts := make([]int, shards)
+	for id := 0; id < 1000; id++ {
+		counts[ShardFor(id, shards)]++
+	}
+	for s, c := range counts {
+		if c < 150 || c > 350 {
+			t.Fatalf("shard %d got %d of 1000 sequential ids; want a roughly even spread", s, c)
+		}
+	}
+}
+
+func TestShardMapRoundTrip(t *testing.T) {
+	m := NewShardMap(3)
+	// Image A: 2 shapes on shard 1; image B: dropped, 3 shapes; image C:
+	// 1 shape on shard 0.
+	m.AssignImage(1, 2)
+	m.Skip(3)
+	m.AssignImage(0, 1)
+
+	if got := m.NumGlobal(); got != 6 {
+		t.Fatalf("NumGlobal = %d, want 6", got)
+	}
+	if got := m.Shards(); got != 3 {
+		t.Fatalf("Shards = %d, want 3", got)
+	}
+	if got := m.ShardSize(1); got != 2 {
+		t.Fatalf("ShardSize(1) = %d, want 2", got)
+	}
+	if got := m.ShardSize(0); got != 1 {
+		t.Fatalf("ShardSize(0) = %d, want 1", got)
+	}
+	if got := m.ShardSize(2); got != 0 {
+		t.Fatalf("ShardSize(2) = %d, want 0", got)
+	}
+
+	if g := m.Global(1, 0); g != 0 {
+		t.Fatalf("Global(1, 0) = %d, want 0", g)
+	}
+	if g := m.Global(1, 1); g != 1 {
+		t.Fatalf("Global(1, 1) = %d, want 1", g)
+	}
+	if g := m.Global(0, 0); g != 5 {
+		t.Fatalf("Global(0, 0) = %d, want 5", g)
+	}
+
+	for global, want := range map[int]ShardLoc{0: {1, 0}, 1: {1, 1}, 5: {0, 0}} {
+		shard, local, ok := m.Locate(global)
+		if !ok || int32(shard) != want.Shard || int32(local) != want.Local {
+			t.Fatalf("Locate(%d) = (%d, %d, %v), want (%d, %d, true)",
+				global, shard, local, ok, want.Shard, want.Local)
+		}
+	}
+	for _, global := range []int{2, 3, 4} { // dropped image B
+		if _, _, ok := m.Locate(global); ok {
+			t.Fatalf("Locate(%d) mapped a dropped shape", global)
+		}
+	}
+	for _, global := range []int{-1, 6, 100} {
+		if _, _, ok := m.Locate(global); ok {
+			t.Fatalf("Locate(%d) mapped an unassigned id", global)
+		}
+	}
+}

@@ -9,12 +9,20 @@
 //
 // Endpoints:
 //
+//	POST /v1/search        {"shape": {...}, "k": 5, "mode": "auto"}  (unified; sketch mode takes "shapes")
 //	POST /v1/similar       {"shape": {...}, "k": 5}
 //	POST /v1/approximate   {"shape": {...}, "k": 5}
 //	POST /v1/sketch        {"shapes": [{...}, ...], "k": 5}
 //	POST /v1/topological   {"query": "similar(a) AND ...", "binds": {"a": {...}}}
 //	POST /admin/reload     {"path": "other.gsir"}  (empty body reloads the current snapshot)
 //	GET  /healthz /readyz /metrics /statz
+//
+// The server is engine-kind agnostic: every query flows through the
+// unified geosir.Searcher interface, so a snapshot may be a single
+// engine (a .gsir2 file) or a ShardedEngine (a snapshot directory with
+// per-shard files); /statz reports per-shard rows for the latter.
+// Engine failures map to HTTP statuses via the geosir sentinel errors
+// (errors.Is), not string matching.
 //
 // Engines are immutable after Freeze, so a request loads the engine
 // pointer once at admission and keeps answering from that engine even if
@@ -29,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -77,13 +86,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Serving is what the server needs from an engine: the unified Search
+// surface, the topological query entry point, and the size accessors
+// the status endpoints report. Both geosir.Engine and
+// geosir.ShardedEngine satisfy it.
+type Serving interface {
+	geosir.Searcher
+	Query(src string, binds map[string]geosir.Shape) ([]int, string, error)
+	NumImages() int
+	NumShapes() int
+	NumEntries() int
+	Frozen() bool
+}
+
 // engineState is what the atomic pointer swaps: the frozen engine plus
 // the provenance the status endpoints report.
 type engineState struct {
-	eng      *geosir.Engine
+	serving  Serving
 	source   string
 	info     geosir.SnapshotInfo
 	loadedAt time.Time
+	// shards holds per-shard status rows when serving a ShardedEngine
+	// (nil for a single engine).
+	shards []ShardStatz
 }
 
 // Server serves a frozen engine over HTTP. Create with New, install an
@@ -128,49 +153,138 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Ready reports whether an engine is installed and queryable.
 func (s *Server) Ready() bool { return s.state.Load() != nil }
 
-// Engine returns the currently serving engine (nil before the first
-// load). The returned engine is frozen and safe for concurrent reads.
+// Engine returns the currently serving single engine (nil before the
+// first load, and nil when a ShardedEngine is serving — use Serving for
+// kind-agnostic access). The returned engine is frozen and safe for
+// concurrent reads.
 func (s *Server) Engine() *geosir.Engine {
 	if st := s.state.Load(); st != nil {
-		return st.eng
+		if eng, ok := st.serving.(*geosir.Engine); ok {
+			return eng
+		}
+	}
+	return nil
+}
+
+// Serving returns whatever engine kind currently serves (nil before the
+// first load).
+func (s *Server) Serving() Serving {
+	if st := s.state.Load(); st != nil {
+		return st.serving
 	}
 	return nil
 }
 
 // SetEngine installs an already-built frozen engine (tests, demo bases).
 func (s *Server) SetEngine(eng *geosir.Engine, source string) error {
-	if eng == nil || !eng.Frozen() {
+	if eng == nil {
 		return errors.New("server: engine must be non-nil and frozen")
 	}
-	s.state.Store(&engineState{eng: eng, source: source, loadedAt: time.Now()})
+	return s.SetServing(eng, source)
+}
+
+// SetServing installs any frozen engine kind.
+func (s *Server) SetServing(sv Serving, source string) error {
+	if sv == nil || !sv.Frozen() {
+		return errors.New("server: engine must be non-nil and frozen")
+	}
+	st := &engineState{serving: sv, source: source, loadedAt: time.Now()}
+	if se, ok := sv.(*geosir.ShardedEngine); ok {
+		st.shards = shardStatz(se, nil)
+	}
+	s.state.Store(st)
 	return nil
 }
 
-// LoadSnapshot loads a snapshot file and atomically swaps it in. The old
-// engine (if any) keeps serving every request admitted before the swap;
-// the swap itself is a single pointer store. Only one load runs at a
-// time; a failed load leaves the serving engine untouched.
+// LoadSnapshot loads a snapshot and atomically swaps it in. A file path
+// loads a single engine strictly (any damage fails the load and leaves
+// the serving engine untouched); a directory path loads a sharded
+// snapshot, where damage degrades — a corrupt image or a dead shard
+// file costs that much data, the rest serves, and /statz reports what
+// was dropped. The old engine keeps serving every request admitted
+// before the swap; the swap itself is a single pointer store. Only one
+// load runs at a time.
 func (s *Server) LoadSnapshot(path string) (geosir.SnapshotInfo, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	info, err := geosir.PeekFile(path)
+	st, err := s.loadState(path)
 	if err != nil {
 		s.metrics.reloadFails.Add(1)
-		return geosir.SnapshotInfo{}, fmt.Errorf("server: snapshot header: %w", err)
+		return geosir.SnapshotInfo{}, err
+	}
+	s.state.Store(st)
+	s.metrics.reloads.Add(1)
+	return st.info, nil
+}
+
+func (s *Server) loadState(path string) (*engineState, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		se, rec, err := geosir.LoadShardedDir(path)
+		if err != nil {
+			return nil, fmt.Errorf("server: loading sharded snapshot: %w", err)
+		}
+		if !se.Frozen() || se.NumShapes() == 0 {
+			return nil, fmt.Errorf("server: snapshot %s holds no shapes", path)
+		}
+		return &engineState{
+			serving: se,
+			source:  path,
+			info: geosir.SnapshotInfo{
+				Format:     geosir.FormatGSIR2,
+				FormatName: shardedFormatName,
+				Options:    se.Options(),
+				Images:     se.NumImages(),
+			},
+			loadedAt: time.Now(),
+			shards:   shardStatz(se, rec),
+		}, nil
+	}
+	info, err := geosir.PeekFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot header: %w", err)
 	}
 	eng, err := geosir.LoadFile(path)
 	if err != nil {
-		s.metrics.reloadFails.Add(1)
-		return geosir.SnapshotInfo{}, fmt.Errorf("server: loading snapshot: %w", err)
+		return nil, fmt.Errorf("server: loading snapshot: %w", err)
 	}
 	if !eng.Frozen() {
 		// An empty snapshot loads as an unfrozen engine; it cannot serve.
-		s.metrics.reloadFails.Add(1)
-		return geosir.SnapshotInfo{}, fmt.Errorf("server: snapshot %s holds no shapes", path)
+		return nil, fmt.Errorf("server: snapshot %s holds no shapes", path)
 	}
-	s.state.Store(&engineState{eng: eng, source: path, info: info, loadedAt: time.Now()})
-	s.metrics.reloads.Add(1)
-	return info, nil
+	return &engineState{serving: eng, source: path, info: info, loadedAt: time.Now()}, nil
+}
+
+// shardedFormatName is the FormatName /statz and reload responses
+// report for sharded snapshot directories.
+const shardedFormatName = "GSIR2-SHARDED"
+
+// shardStatz builds the per-shard status rows, folding in the load-time
+// recovery report when the engine came from a snapshot directory.
+func shardStatz(se *geosir.ShardedEngine, rec *geosir.ShardRecovery) []ShardStatz {
+	out := make([]ShardStatz, se.NumShards())
+	for i := range out {
+		sh := se.Shard(i)
+		out[i] = ShardStatz{
+			Shard:  i,
+			Live:   sh.Frozen() && sh.NumShapes() > 0,
+			Images: sh.NumImages(),
+			Shapes: sh.NumShapes(),
+		}
+		if out[i].Live {
+			out[i].Entries = sh.NumEntries()
+		}
+		if rec != nil && i < len(rec.Shards) {
+			fr := rec.Shards[i]
+			out[i].Dropped = fr.Dropped
+			if fr.Err != nil {
+				out[i].Error = fr.Err.Error()
+			}
+			if fr.Recovery != nil {
+				out[i].ImagesDropped = len(fr.Recovery.Dropped) + fr.Recovery.ImagesUnread
+			}
+		}
+	}
+	return out
 }
 
 // apiError carries the HTTP status a handler-level failure maps to.
@@ -198,13 +312,14 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/admin/reload", s.instrument("admin_reload", s.handleReload))
+	mux.HandleFunc("/v1/search", s.query("search", s.handleSearch))
 	mux.HandleFunc("/v1/similar", s.query("similar", s.handleSimilar))
 	mux.HandleFunc("/v1/approximate", s.query("approximate", s.handleApproximate))
 	mux.HandleFunc("/v1/sketch", s.query("sketch", s.handleSketch))
 	mux.HandleFunc("/v1/topological", s.query("topological", s.handleTopological))
 	// Pre-register the metric rows so /statz lists every endpoint from
 	// the first scrape, not only the ones that saw traffic.
-	for _, name := range []string{"similar", "approximate", "sketch", "topological", "admin_reload"} {
+	for _, name := range []string{"search", "similar", "approximate", "sketch", "topological", "admin_reload"} {
 		s.metrics.endpoint(name)
 	}
 	return mux
@@ -292,7 +407,7 @@ func countStatus(em *endpointMetrics, status int) {
 // check, readiness, admission control, per-request deadline, body
 // decoding limits, error mapping, metrics, and access logging. The
 // engine pointer is loaded exactly once per request.
-func (s *Server) query(name string, h func(ctx context.Context, eng *geosir.Engine, body []byte) (any, error)) http.HandlerFunc {
+func (s *Server) query(name string, h func(ctx context.Context, sv Serving, body []byte) (any, error)) http.HandlerFunc {
 	em := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
@@ -302,7 +417,7 @@ func (s *Server) query(name string, h func(ctx context.Context, eng *geosir.Engi
 	}
 }
 
-func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetrics, h func(ctx context.Context, eng *geosir.Engine, body []byte) (any, error)) {
+func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetrics, h func(ctx context.Context, sv Serving, body []byte) (any, error)) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
@@ -340,7 +455,7 @@ func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetr
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
-	resp, err := h(ctx, st.eng, body)
+	resp, err := h(ctx, st.serving, body)
 	if err != nil {
 		status := http.StatusInternalServerError
 		var ae *apiError
@@ -351,6 +466,16 @@ func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetr
 			status = http.StatusGatewayTimeout
 		case errors.Is(err, context.Canceled):
 			status = 499
+		// The geosir sentinels carry the client/server distinction:
+		// argument problems (bad k, empty query, frozen-state misuse) are
+		// the request's fault, an unfrozen engine is a serving-side
+		// sequencing bug.
+		case errors.Is(err, geosir.ErrBadK),
+			errors.Is(err, geosir.ErrEmptyQuery),
+			errors.Is(err, geosir.ErrFrozen):
+			status = http.StatusUnprocessableEntity
+		case errors.Is(err, geosir.ErrNotFrozen):
+			status = http.StatusServiceUnavailable
 		}
 		countStatus(em, status)
 		s.writeError(w, status, err.Error())
@@ -389,26 +514,18 @@ func decodeStrict(body []byte, v any) error {
 	return nil
 }
 
-func (s *Server) handleSimilar(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
-	var req similarRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
-	}
-	q, err := req.Shape.Shape()
-	if err != nil {
-		return nil, unprocessable(err)
-	}
-	if req.K <= 0 {
-		return nil, unprocessable(errors.New("k must be positive"))
-	}
-	ms, st, err := eng.FindSimilarCtx(ctx, q, req.K)
+// runSearch funnels every similarity endpoint through the unified
+// Search API, translating the engine's sentinel failures to statuses in
+// serveQuery's error switch.
+func runSearch(ctx context.Context, sv Serving, req geosir.SearchRequest) (*geosir.SearchResponse, error) {
+	resp, err := sv.Search(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return similarResponse{Matches: matchesJSON(ms), Stats: statsJSON(st)}, nil
+	return resp, nil
 }
 
-func (s *Server) handleApproximate(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
+func (s *Server) handleSimilar(ctx context.Context, sv Serving, body []byte) (any, error) {
 	var req similarRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
@@ -417,17 +534,82 @@ func (s *Server) handleApproximate(ctx context.Context, eng *geosir.Engine, body
 	if err != nil {
 		return nil, unprocessable(err)
 	}
-	if req.K <= 0 {
-		return nil, unprocessable(errors.New("k must be positive"))
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	ms, err := eng.FindApproximate(q, req.K)
+	resp, err := runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto})
 	if err != nil {
 		return nil, err
 	}
-	return similarResponse{Matches: matchesJSON(ms), Stats: StatsJSON{UsedHashing: true}}, nil
+	return similarResponse{Matches: matchesJSON(resp.Matches), Stats: statsJSON(resp.Stats)}, nil
+}
+
+func (s *Server) handleApproximate(ctx context.Context, sv Serving, body []byte) (any, error) {
+	var req similarRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	q, err := req.Shape.Shape()
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	resp, err := runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate})
+	if err != nil {
+		return nil, err
+	}
+	return similarResponse{Matches: matchesJSON(resp.Matches), Stats: statsJSON(resp.Stats)}, nil
+}
+
+// searchRequest is the unified /v1/search wire request: one shape (or,
+// for sketch mode, several), k, and an optional mode name.
+type searchRequest struct {
+	Shape   *WireShape  `json:"shape,omitempty"`
+	Shapes  []WireShape `json:"shapes,omitempty"`
+	K       int         `json:"k"`
+	Mode    string      `json:"mode,omitempty"`
+	Workers int         `json:"workers,omitempty"`
+}
+
+type searchResponse struct {
+	Mode          string            `json:"mode"`
+	Matches       []MatchJSON       `json:"matches,omitempty"`
+	SketchMatches []SketchMatchJSON `json:"sketch_matches,omitempty"`
+	Stats         StatsJSON         `json:"stats"`
+}
+
+func (s *Server) handleSearch(ctx context.Context, sv Serving, body []byte) (any, error) {
+	var req searchRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, err
+	}
+	mode, err := geosir.ParseMode(req.Mode)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	greq := geosir.SearchRequest{K: req.K, Workers: req.Workers, Mode: mode}
+	if req.Shape != nil {
+		q, err := req.Shape.Shape()
+		if err != nil {
+			return nil, unprocessable(err)
+		}
+		greq.Query = q
+	}
+	if len(req.Shapes) > 0 {
+		shapes, err := shapesOf(req.Shapes)
+		if err != nil {
+			return nil, unprocessable(err)
+		}
+		greq.Sketch = shapes
+	}
+	resp, err := runSearch(ctx, sv, greq)
+	if err != nil {
+		return nil, err
+	}
+	out := searchResponse{Mode: mode.String(), Stats: statsJSON(resp.Stats)}
+	if resp.Matches != nil {
+		out.Matches = matchesJSON(resp.Matches)
+	}
+	if resp.SketchMatches != nil {
+		out.SketchMatches = sketchMatchesJSON(resp.SketchMatches)
+	}
+	return out, nil
 }
 
 type sketchRequest struct {
@@ -439,26 +621,20 @@ type sketchResponse struct {
 	Matches []SketchMatchJSON `json:"matches"`
 }
 
-func (s *Server) handleSketch(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
+func (s *Server) handleSketch(ctx context.Context, sv Serving, body []byte) (any, error) {
 	var req sketchRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
-	}
-	if len(req.Shapes) == 0 {
-		return nil, unprocessable(errors.New("sketch needs at least one shape"))
-	}
-	if req.K <= 0 {
-		return nil, unprocessable(errors.New("k must be positive"))
 	}
 	shapes, err := shapesOf(req.Shapes)
 	if err != nil {
 		return nil, unprocessable(err)
 	}
-	ms, err := eng.FindBySketchWorkersCtx(ctx, shapes, req.K, 0)
+	resp, err := runSearch(ctx, sv, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch})
 	if err != nil {
 		return nil, err
 	}
-	return sketchResponse{Matches: sketchMatchesJSON(ms)}, nil
+	return sketchResponse{Matches: sketchMatchesJSON(resp.SketchMatches)}, nil
 }
 
 type topologicalRequest struct {
@@ -471,7 +647,7 @@ type topologicalResponse struct {
 	Plan   string `json:"plan"`
 }
 
-func (s *Server) handleTopological(ctx context.Context, eng *geosir.Engine, body []byte) (any, error) {
+func (s *Server) handleTopological(ctx context.Context, sv Serving, body []byte) (any, error) {
 	var req topologicalRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return nil, err
@@ -492,7 +668,7 @@ func (s *Server) handleTopological(ctx context.Context, eng *geosir.Engine, body
 	}
 	// Engine.Query mutates the shared selectivity estimator; serialize.
 	s.topoMu.Lock()
-	ids, plan, err := eng.Query(req.Query, binds)
+	ids, plan, err := sv.Query(req.Query, binds)
 	s.topoMu.Unlock()
 	if err != nil {
 		// Parse and bind errors are the client's; the engine has no other
@@ -516,6 +692,7 @@ type reloadResponse struct {
 	Format string  `json:"format"`
 	Images int     `json:"images"`
 	Shapes int     `json:"shapes"`
+	Shards int     `json:"shards,omitempty"`
 	LoadMs float64 `json:"load_ms"`
 }
 
@@ -557,8 +734,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, reloadResponse{
 		Source: path,
 		Format: info.FormatName,
-		Images: st.eng.NumImages(),
-		Shapes: st.eng.NumShapes(),
+		Images: st.serving.NumImages(),
+		Shapes: st.serving.NumShapes(),
+		Shards: len(st.shards),
 		LoadMs: ms(time.Since(start)),
 	})
 }
@@ -578,6 +756,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// ShardStatz is one shard's row in /statz when a ShardedEngine serves.
+type ShardStatz struct {
+	Shard  int  `json:"shard"`
+	Live   bool `json:"live"`
+	Images int  `json:"images"`
+	Shapes int  `json:"shapes"`
+	Entries int `json:"entries,omitempty"`
+	// Dropped marks a shard whose snapshot file was unreadable or
+	// inconsistent at load time; its images are missing from results.
+	Dropped bool   `json:"dropped,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// ImagesDropped counts images lost to per-file recovery inside an
+	// otherwise live shard.
+	ImagesDropped int `json:"images_dropped,omitempty"`
+}
+
 // SnapshotStatz describes the serving snapshot in /statz.
 type SnapshotStatz struct {
 	Source    string    `json:"source"`
@@ -587,6 +781,8 @@ type SnapshotStatz struct {
 	Images    int       `json:"images"`
 	Shapes    int       `json:"shapes"`
 	Entries   int       `json:"entries"`
+	// Shards holds per-shard rows when serving a sharded snapshot.
+	Shards []ShardStatz `json:"shards,omitempty"`
 }
 
 // Statz is the full status document served on /statz (and exported via
@@ -623,9 +819,10 @@ func (s *Server) Statz() Statz {
 			Format:    st.info.FormatName,
 			SizeBytes: st.info.Size,
 			LoadedAt:  st.loadedAt,
-			Images:    st.eng.NumImages(),
-			Shapes:    st.eng.NumShapes(),
-			Entries:   st.eng.NumEntries(),
+			Images:    st.serving.NumImages(),
+			Shapes:    st.serving.NumShapes(),
+			Entries:   st.serving.NumEntries(),
+			Shards:    st.shards,
 		}
 	}
 	return out

@@ -3,19 +3,20 @@ package geosir
 import (
 	"context"
 	"fmt"
-	"math"
 	"runtime"
-	"sort"
 	"sync"
 )
 
 // FindSimilarBatch answers many similarity queries concurrently. After
 // Freeze the engine's index structures are immutable, so queries are
-// embarrassingly parallel — the "fast parallel similarity search" setting
-// the paper's related work ([5]) targets. workers ≤ 0 selects GOMAXPROCS.
+// embarrassingly parallel. workers ≤ 0 selects GOMAXPROCS.
 //
 // Results are positionally aligned with the queries. The first query
 // error aborts the batch.
+//
+// Deprecated: issue Search requests from your own worker pool; each
+// Search is independent on a frozen engine and a ShardedEngine already
+// parallelizes a single request across shards.
 func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, []Stats, error) {
 	return e.FindSimilarBatchCtx(context.Background(), queries, k, workers)
 }
@@ -26,12 +27,15 @@ func (e *Engine) FindSimilarBatch(queries []Shape, k, workers int) ([][]Match, [
 // returns ctx.Err() promptly instead of draining the remaining input.
 // An empty batch returns empty (non-nil) results without spinning up any
 // workers.
+//
+// Deprecated: issue Search requests from your own worker pool (see
+// FindSimilarBatch).
 func (e *Engine) FindSimilarBatchCtx(ctx context.Context, queries []Shape, k, workers int) ([][]Match, []Stats, error) {
 	if !e.frozen {
-		return nil, nil, fmt.Errorf("geosir: engine must be frozen")
+		return nil, nil, ErrNotFrozen
 	}
 	if k <= 0 {
-		return nil, nil, fmt.Errorf("geosir: k must be positive")
+		return nil, nil, ErrBadK
 	}
 	if len(queries) == 0 {
 		return [][]Match{}, []Stats{}, nil
@@ -57,8 +61,12 @@ func (e *Engine) FindSimilarBatchCtx(ctx context.Context, queries []Shape, k, wo
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				m, s, err := e.FindSimilar(queries[i], k)
-				matches[i], stats[i], errs[i] = m, s, err
+				resp, err := e.Search(context.Background(), SearchRequest{Query: queries[i], K: k, Mode: ModeAuto})
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				matches[i], stats[i] = resp.Matches, resp.Stats
 			}
 		}()
 	}
@@ -87,11 +95,11 @@ dispatch:
 }
 
 // FindBySketchWorkers is FindBySketch with an explicit worker count for
-// the per-sketch-shape retrievals (workers ≤ 0 selects GOMAXPROCS). Each
-// worker runs one sketch shape's Match against the frozen index and
-// collects that shape's best distance per image; the per-image tables
-// are merged after the barrier, so the result is identical to the
-// sequential evaluation order.
+// the per-sketch-shape retrievals (workers ≤ 0 selects GOMAXPROCS).
+//
+// Deprecated: use Search with ModeSketch:
+//
+//	resp, err := e.Search(ctx, SearchRequest{Sketch: sketch, K: k, Workers: workers, Mode: ModeSketch})
 func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMatch, error) {
 	return e.FindBySketchWorkersCtx(context.Background(), sketch, k, workers)
 }
@@ -100,126 +108,12 @@ func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMa
 // cancelled context stops the dispatcher before the next sketch shape is
 // handed out and the call returns ctx.Err() without waiting for the
 // remaining retrievals.
+//
+// Deprecated: use Search with ModeSketch (see FindBySketchWorkers).
 func (e *Engine) FindBySketchWorkersCtx(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
-	if !e.frozen {
-		return nil, fmt.Errorf("geosir: engine must be frozen")
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("geosir: k must be positive")
-	}
-	if len(sketch) == 0 {
-		return nil, fmt.Errorf("geosir: empty sketch")
-	}
-	for si, q := range sketch {
-		if err := q.Validate(); err != nil {
-			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
-		}
-	}
-	if err := ctx.Err(); err != nil {
+	resp, err := e.Search(ctx, SearchRequest{Sketch: sketch, K: k, Workers: workers, Mode: ModeSketch})
+	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sketch) {
-		workers = len(sketch)
-	}
-
-	base := e.db.Base()
-	// For each sketch shape, the best distance per image, filled in by
-	// that shape's worker (no shared writes before the barrier).
-	perShape := make([]map[int]float64, len(sketch))
-	errs := make([]error, len(sketch))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	done := ctx.Done()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for si := range next {
-				// Retrieve generously: enough shapes to cover every
-				// image once.
-				ms, _, err := base.Match(sketch[si], base.NumShapes())
-				if err != nil {
-					errs[si] = err
-					continue
-				}
-				best := make(map[int]float64)
-				for _, m := range ms {
-					img := base.Shape(m.ShapeID).Image
-					if d, ok := best[img]; !ok || m.DistVertex < d {
-						best[img] = m.DistVertex
-					}
-				}
-				perShape[si] = best
-			}
-		}()
-	}
-	cancelled := false
-dispatch:
-	for si := range sketch {
-		select {
-		case next <- si:
-		case <-done:
-			cancelled = true
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	if cancelled {
-		return nil, ctx.Err()
-	}
-	for si, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
-		}
-	}
-
-	// Barrier passed: merge the per-shape tables into the per-image view.
-	perImage := make(map[int][]float64)
-	for si, best := range perShape {
-		for img, d := range best {
-			ds, ok := perImage[img]
-			if !ok {
-				ds = make([]float64, len(sketch))
-				for i := range ds {
-					ds[i] = math.Inf(1)
-				}
-				perImage[img] = ds
-			}
-			ds[si] = d
-		}
-	}
-	out := make([]SketchMatch, 0, len(perImage))
-	for img, ds := range perImage {
-		var sum float64
-		complete := true
-		for _, d := range ds {
-			if math.IsInf(d, 1) {
-				complete = false
-				break
-			}
-			sum += d
-		}
-		if !complete {
-			continue // the image lacks a counterpart for some sketch shape
-		}
-		out = append(out, SketchMatch{
-			ImageID:  img,
-			Score:    sum / float64(len(ds)),
-			PerShape: ds,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
-		}
-		return out[i].ImageID < out[j].ImageID
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return resp.SketchMatches, nil
 }

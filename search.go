@@ -1,0 +1,370 @@
+package geosir
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Mode selects the retrieval strategy of a Search.
+type Mode int
+
+const (
+	// ModeAuto runs the exact ε-envelope fattening search and falls back
+	// to geometric hashing when it fails to converge on a sufficiently
+	// close match — the paper's §6 retrieval flow.
+	ModeAuto Mode = iota
+	// ModeExact runs only the exact fattening search. The response never
+	// contains approximate matches; Stats.Converged reports whether the
+	// result is proven optimal.
+	ModeExact
+	// ModeApproximate skips the exact search and answers from the
+	// geometric hash table alone (§3).
+	ModeApproximate
+	// ModeSketch ranks whole images against the multi-shape sketch in
+	// SearchRequest.Sketch (§6); results land in SketchMatches.
+	ModeSketch
+)
+
+// String names the mode for logs and wire formats.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeExact:
+		return "exact"
+	case ModeApproximate:
+		return "approximate"
+	case ModeSketch:
+		return "sketch"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode maps a mode name back to its Mode value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "exact":
+		return ModeExact, nil
+	case "approximate":
+		return ModeApproximate, nil
+	case "sketch":
+		return ModeSketch, nil
+	}
+	return 0, fmt.Errorf("geosir: unknown search mode %q", s)
+}
+
+// SearchRequest is one parameterized retrieval. The zero Mode is
+// ModeAuto, so the minimal request is {Query: q, K: k}.
+type SearchRequest struct {
+	// Query is the query shape of the single-shape modes.
+	Query Shape
+	// Sketch is the multi-shape query of ModeSketch.
+	Sketch []Shape
+	// K is the maximum number of matches to return; it must be positive
+	// (ErrBadK otherwise).
+	K int
+	// Workers bounds the request's internal fan-out: per-sketch-shape
+	// retrievals on an Engine, per-shard searches on a ShardedEngine.
+	// ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// Mode selects the retrieval strategy.
+	Mode Mode
+}
+
+// SearchResponse is the result of a Search.
+type SearchResponse struct {
+	// Matches holds the retrieved shapes of the single-shape modes,
+	// ordered by increasing Distance with ShapeID tie-break.
+	Matches []Match
+	// SketchMatches holds the ranked images of ModeSketch.
+	SketchMatches []SketchMatch
+	// Stats reports the retrieval work. For a ShardedEngine it
+	// aggregates over shards: counters sum, Iterations/FinalEpsilon are
+	// maxima, and Converged is true only if every shard converged.
+	Stats Stats
+}
+
+// Searcher is the unified query surface: one parameterized method
+// instead of a Find* variant per strategy/knob combination. Engine and
+// ShardedEngine both implement it, so callers (and the HTTP layer) are
+// agnostic to whether the base is partitioned.
+type Searcher interface {
+	Search(ctx context.Context, req SearchRequest) (*SearchResponse, error)
+}
+
+// Search answers one retrieval request against the frozen engine. It is
+// safe for any number of concurrent callers. The context is checked at
+// stage boundaries (before the exact search and again before the
+// hashing fallback), so a request whose deadline has passed never pays
+// for the next stage.
+func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !e.frozen {
+		return nil, ErrNotFrozen
+	}
+	if req.K <= 0 {
+		return nil, ErrBadK
+	}
+	switch req.Mode {
+	case ModeAuto, ModeExact:
+		if len(req.Query.Pts) == 0 {
+			return nil, ErrEmptyQuery
+		}
+		ms, stats, err := e.searchExact(req.Query, req.K)
+		if err != nil {
+			return nil, err
+		}
+		if req.Mode == ModeExact || (stats.Converged && exactGoodEnough(ms, e.db.Tau())) {
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		approx, err := e.searchApprox(req.Query, req.K)
+		if err != nil {
+			return nil, err
+		}
+		stats.UsedHashing = true
+		if len(approx) == 0 {
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
+		return &SearchResponse{Matches: approx, Stats: stats}, nil
+	case ModeApproximate:
+		if len(req.Query.Pts) == 0 {
+			return nil, ErrEmptyQuery
+		}
+		ms, err := e.searchApprox(req.Query, req.K)
+		if err != nil {
+			return nil, err
+		}
+		return &SearchResponse{Matches: ms, Stats: Stats{UsedHashing: true}}, nil
+	case ModeSketch:
+		sms, err := e.searchSketch(ctx, req.Sketch, req.K, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &SearchResponse{SketchMatches: sms}, nil
+	}
+	return nil, fmt.Errorf("geosir: unknown search mode %d", int(req.Mode))
+}
+
+// exactGoodEnough reports whether the exact result is close enough to
+// skip the hashing fallback: the best match is within the τ similarity
+// threshold.
+func exactGoodEnough(ms []Match, tau float64) bool {
+	return len(ms) > 0 && ms[0].Distance <= tau
+}
+
+// searchExact runs the ε-envelope fattening search (§2.5).
+func (e *Engine) searchExact(q Shape, k int) ([]Match, Stats, error) {
+	ms, st, err := e.db.Base().Match(q, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{
+		Iterations:      st.Iterations,
+		FinalEpsilon:    st.FinalEpsilon,
+		VerticesCounted: st.VerticesCounted,
+		Candidates:      st.Candidates,
+		Converged:       st.Converged,
+	}
+	return e.toMatches(ms, false), stats, nil
+}
+
+// searchApprox answers from the geometric hash table alone (§3): hash
+// the query, collect the shapes on the same (widening once to adjacent)
+// curves, rank them with the similarity measure. The query is normalized
+// and its boundary oracle built exactly once; every candidate is scored
+// through the prepared query against the base's frozen per-entry
+// oracles.
+func (e *Engine) searchApprox(q Shape, k int) ([]Match, error) {
+	pq, err := core.PrepareQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	quad := e.family.Characteristic(pq.Entry().Poly.Pts)
+	ids := e.table.Lookup(quad, 0)
+	if len(ids) == 0 {
+		ids = e.table.Lookup(quad, 1) // widen once to the neighbor curves
+	}
+	out := e.scoreApprox(pq, ids)
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// scoreApprox ranks hash-table candidates against a prepared query.
+// Shapes that fail to score (stale ids) are skipped.
+func (e *Engine) scoreApprox(pq *core.PreparedQuery, ids []int) []Match {
+	base := e.db.Base()
+	out := make([]Match, 0, len(ids))
+	for _, sid := range ids {
+		d, err := base.ShapeDistancePrepared(sid, pq)
+		if err != nil {
+			continue
+		}
+		out = append(out, Match{
+			ShapeID:     sid,
+			ImageID:     base.Shape(sid).Image,
+			Distance:    d,
+			Approximate: true,
+		})
+	}
+	return out
+}
+
+// validateSketch applies the shared sketch preconditions.
+func validateSketch(sketch []Shape) error {
+	if len(sketch) == 0 {
+		return ErrEmptyQuery
+	}
+	for si, q := range sketch {
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// searchSketch implements the §6 user flow: a query sketch is decomposed
+// into several polylines, and images are ranked by how well they match
+// *all* of them. The per-sketch-shape retrievals are independent index
+// reads and run concurrently on up to workers goroutines; the per-image
+// tables are merged after the barrier, so the result is identical to
+// the sequential evaluation order.
+func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
+	if err := validateSketch(sketch); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sketch) {
+		workers = len(sketch)
+	}
+
+	// For each sketch shape, the best distance per image, filled in by
+	// that shape's worker (no shared writes before the barrier).
+	perShape := make([]map[int]float64, len(sketch))
+	errs := make([]error, len(sketch))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range next {
+				perShape[si], errs[si] = e.sketchShapeTable(sketch[si])
+			}
+		}()
+	}
+	cancelled := false
+dispatch:
+	for si := range sketch {
+		select {
+		case next <- si:
+		case <-done:
+			cancelled = true
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if cancelled {
+		return nil, ctx.Err()
+	}
+	for si, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+		}
+	}
+	return scoreSketchTables(perShape, k), nil
+}
+
+// sketchShapeTable retrieves one sketch shape generously (enough shapes
+// to cover every image once) and reduces the matches to the best
+// distance per image.
+func (e *Engine) sketchShapeTable(q Shape) (map[int]float64, error) {
+	base := e.db.Base()
+	ms, _, err := base.Match(q, base.NumShapes())
+	if err != nil {
+		return nil, err
+	}
+	best := make(map[int]float64)
+	for _, m := range ms {
+		img := base.Shape(m.ShapeID).Image
+		if d, ok := best[img]; !ok || m.DistVertex < d {
+			best[img] = m.DistVertex
+		}
+	}
+	return best, nil
+}
+
+// scoreSketchTables merges per-sketch-shape best-distance tables into
+// the ranked per-image view: images missing a counterpart for some
+// sketch shape are dropped, complete ones are scored by the mean of
+// their per-shape distances and ordered by (Score, ImageID). Both the
+// single engine and the sharded engine feed their tables through here,
+// so the ranking rule exists exactly once.
+func scoreSketchTables(perShape []map[int]float64, k int) []SketchMatch {
+	perImage := make(map[int][]float64)
+	for si, best := range perShape {
+		for img, d := range best {
+			ds, ok := perImage[img]
+			if !ok {
+				ds = make([]float64, len(perShape))
+				for i := range ds {
+					ds[i] = math.Inf(1)
+				}
+				perImage[img] = ds
+			}
+			ds[si] = d
+		}
+	}
+	out := make([]SketchMatch, 0, len(perImage))
+	for img, ds := range perImage {
+		var sum float64
+		complete := true
+		for _, d := range ds {
+			if math.IsInf(d, 1) {
+				complete = false
+				break
+			}
+			sum += d
+		}
+		if !complete {
+			continue // the image lacks a counterpart for some sketch shape
+		}
+		out = append(out, SketchMatch{
+			ImageID:  img,
+			Score:    sum / float64(len(ds)),
+			PerShape: ds,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].ImageID < out[j].ImageID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

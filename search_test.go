@@ -1,0 +1,171 @@
+package geosir
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSentinelErrors pins the errors.Is contract of the unified API:
+// every state and argument failure surfaces one of the exported
+// sentinels, on both engine kinds, through Search and through the
+// deprecated wrappers alike.
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	q := square(0, 0, 1)
+
+	t.Run("NotFrozen", func(t *testing.T) {
+		eng := New(DefaultOptions())
+		if _, err := eng.Search(ctx, SearchRequest{Query: q, K: 1}); !errors.Is(err, ErrNotFrozen) {
+			t.Fatalf("Engine.Search unfrozen: got %v, want ErrNotFrozen", err)
+		}
+		if _, _, err := eng.FindSimilar(q, 1); !errors.Is(err, ErrNotFrozen) {
+			t.Fatalf("FindSimilar unfrozen: got %v, want ErrNotFrozen", err)
+		}
+		if _, _, err := eng.FindSimilarBatch([]Shape{q}, 1, 1); !errors.Is(err, ErrNotFrozen) {
+			t.Fatalf("FindSimilarBatch unfrozen: got %v, want ErrNotFrozen", err)
+		}
+		if _, _, err := eng.Query("similar(a)", map[string]Shape{"a": q}); !errors.Is(err, ErrNotFrozen) {
+			t.Fatalf("Query unfrozen: got %v, want ErrNotFrozen", err)
+		}
+		se := NewSharded(DefaultOptions(), 2)
+		if _, err := se.Search(ctx, SearchRequest{Query: q, K: 1}); !errors.Is(err, ErrNotFrozen) {
+			t.Fatalf("ShardedEngine.Search unfrozen: got %v, want ErrNotFrozen", err)
+		}
+	})
+
+	t.Run("Frozen", func(t *testing.T) {
+		eng := buildEngine(t)
+		if err := eng.AddImage(99, []Shape{q}); !errors.Is(err, ErrFrozen) {
+			t.Fatalf("AddImage after Freeze: got %v, want ErrFrozen", err)
+		}
+		se := NewSharded(DefaultOptions(), 2)
+		if err := se.AddImage(1, []Shape{q}); err != nil {
+			t.Fatal(err)
+		}
+		if err := se.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+		if err := se.AddImage(99, []Shape{q}); !errors.Is(err, ErrFrozen) {
+			t.Fatalf("sharded AddImage after Freeze: got %v, want ErrFrozen", err)
+		}
+	})
+
+	t.Run("BadK", func(t *testing.T) {
+		eng := buildEngine(t)
+		for _, k := range []int{0, -3} {
+			if _, err := eng.Search(ctx, SearchRequest{Query: q, K: k}); !errors.Is(err, ErrBadK) {
+				t.Fatalf("Search k=%d: got %v, want ErrBadK", k, err)
+			}
+		}
+		if _, _, err := eng.FindSimilar(q, 0); !errors.Is(err, ErrBadK) {
+			t.Fatalf("FindSimilar k=0: got %v, want ErrBadK", err)
+		}
+		if _, _, err := eng.FindSimilarBatch([]Shape{q}, 0, 1); !errors.Is(err, ErrBadK) {
+			t.Fatalf("FindSimilarBatch k=0: got %v, want ErrBadK", err)
+		}
+		if _, err := eng.FindBySketch([]Shape{q}, 0); !errors.Is(err, ErrBadK) {
+			t.Fatalf("FindBySketch k=0: got %v, want ErrBadK", err)
+		}
+	})
+
+	t.Run("EmptyQuery", func(t *testing.T) {
+		eng := buildEngine(t)
+		for _, mode := range []Mode{ModeAuto, ModeExact, ModeApproximate} {
+			if _, err := eng.Search(ctx, SearchRequest{K: 1, Mode: mode}); !errors.Is(err, ErrEmptyQuery) {
+				t.Fatalf("Search %v with no query: got %v, want ErrEmptyQuery", mode, err)
+			}
+		}
+		if _, err := eng.Search(ctx, SearchRequest{K: 1, Mode: ModeSketch}); !errors.Is(err, ErrEmptyQuery) {
+			t.Fatalf("Search sketch with no sketch: got %v, want ErrEmptyQuery", err)
+		}
+		if _, err := eng.FindBySketch(nil, 1); !errors.Is(err, ErrEmptyQuery) {
+			t.Fatalf("FindBySketch nil: got %v, want ErrEmptyQuery", err)
+		}
+	})
+
+	t.Run("ValidationOrder", func(t *testing.T) {
+		// Frozen-state errors outrank argument errors, so callers can
+		// rely on ErrNotFrozen from a mis-sequenced setup regardless of
+		// the request's shape.
+		eng := New(DefaultOptions())
+		if _, err := eng.Search(ctx, SearchRequest{K: 0}); !errors.Is(err, ErrNotFrozen) {
+			t.Fatalf("unfrozen + bad k: got %v, want ErrNotFrozen", err)
+		}
+		frozen := buildEngine(t)
+		if _, err := frozen.Search(ctx, SearchRequest{K: 0}); !errors.Is(err, ErrBadK) {
+			t.Fatalf("bad k + empty query: got %v, want ErrBadK", err)
+		}
+	})
+}
+
+// TestSearchContextCancelled verifies a cancelled context wins over
+// every other validation.
+func TestSearchContextCancelled(t *testing.T) {
+	eng := buildEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Search(ctx, SearchRequest{Query: square(0, 0, 1), K: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestSearchMatchesDeprecatedWrappers proves each deprecated variant is
+// a faithful view of the unified Search — same results, byte for byte.
+func TestSearchMatchesDeprecatedWrappers(t *testing.T) {
+	eng := buildEngine(t)
+	ctx := context.Background()
+	q := square(0.1, -0.1, 1.9)
+
+	wantMs, wantStats, err := eng.FindSimilar(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Search(ctx, SearchRequest{Query: q, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesEqual(t, "FindSimilar vs Search", wantMs, resp.Matches)
+	if resp.Stats != wantStats {
+		t.Fatalf("stats diverge: %+v vs %+v", resp.Stats, wantStats)
+	}
+
+	wantApprox, err := eng.FindApproximate(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = eng.Search(ctx, SearchRequest{Query: q, K: 3, Mode: ModeApproximate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesEqual(t, "FindApproximate vs Search", wantApprox, resp.Matches)
+
+	sketch := []Shape{square(0, 0, 19), triangle(5, 5, 2.9)}
+	wantSketch, err := eng.FindBySketch(sketch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = eng.Search(ctx, SearchRequest{Sketch: sketch, K: 3, Mode: ModeSketch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSketchEqual(t, "FindBySketch vs Search", wantSketch, resp.SketchMatches)
+}
+
+func TestModeStringParseRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeAuto, ModeExact, ModeApproximate, ModeSketch} {
+		got, err := ParseMode(mode.String())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", mode.String(), err)
+		}
+		if got != mode {
+			t.Fatalf("ParseMode(%q) = %v, want %v", mode.String(), got, mode)
+		}
+	}
+	if m, err := ParseMode(""); err != nil || m != ModeAuto {
+		t.Fatalf("ParseMode(\"\") = %v, %v; want ModeAuto", m, err)
+	}
+	if _, err := ParseMode("fuzzy"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+}

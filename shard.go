@@ -1,0 +1,528 @@
+package geosir
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Compile-time check: both engines answer the unified Search API.
+var (
+	_ Searcher = (*Engine)(nil)
+	_ Searcher = (*ShardedEngine)(nil)
+)
+
+// ShardedEngine partitions the image base across N independent shards,
+// each a full Engine with its own fattening index and geometric hash
+// table. Images are routed to shards by a stable hash of their id
+// (core.ShardFor), Freeze builds every shard index in parallel, and
+// Search fans each request out across the shards and merges the
+// per-shard answers with an exact bounded top-k merge — results are
+// identical, byte for byte, to a single Engine over the same base (see
+// DESIGN.md §4.8 for why the merge is exact).
+//
+// Shape ids in results are global: the ids a single unpartitioned
+// Engine would have assigned, via the core.ShardMap recorded at
+// AddImage time. Image ids need no translation (they are caller-chosen
+// and stored verbatim).
+//
+// Concurrency matches Engine: not safe for concurrent mutation, fully
+// concurrent for Search after Freeze.
+type ShardedEngine struct {
+	opts   Options
+	shards []*Engine
+	smap   *core.ShardMap
+	order  []shardImage // AddImage order, persisted as the snapshot manifest
+	frozen bool
+}
+
+// shardImage is one AddImage call: the image id and how many shapes it
+// contributed. The sequence of these fixes every global shape id.
+type shardImage struct {
+	ID     int
+	Shapes int
+}
+
+// NewSharded creates an empty sharded engine over the given number of
+// partitions (values < 1 are treated as 1). Every shard shares the same
+// options.
+func NewSharded(opts Options, shards int) *ShardedEngine {
+	if shards < 1 {
+		shards = 1
+	}
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		engines[i] = New(opts)
+	}
+	return &ShardedEngine{
+		opts:   engines[0].opts, // post-defaulting, same as Engine.Options()
+		shards: engines,
+		smap:   core.NewShardMap(shards),
+	}
+}
+
+// newShardedFromParts assembles a sharded engine from already-loaded
+// shards (see LoadShardedDir). Shards must be frozen or empty.
+func newShardedFromParts(opts Options, shards []*Engine, smap *core.ShardMap, order []shardImage) *ShardedEngine {
+	return &ShardedEngine{opts: opts, shards: shards, smap: smap, order: order, frozen: true}
+}
+
+// AddImage routes an image to its shard. Global shape ids are assigned
+// in AddImage call order, exactly as a single Engine would assign them.
+func (se *ShardedEngine) AddImage(imageID int, shapes []Shape) error {
+	if se.frozen {
+		return ErrFrozen
+	}
+	shard := core.ShardFor(imageID, len(se.shards))
+	if err := se.shards[shard].AddImage(imageID, shapes); err != nil {
+		return err
+	}
+	se.smap.AssignImage(shard, len(shapes))
+	se.order = append(se.order, shardImage{ID: imageID, Shapes: len(shapes)})
+	return nil
+}
+
+// Freeze builds every shard's retrieval index and hash table in
+// parallel, one goroutine per non-empty shard. Empty shards (possible
+// when shards > images) stay unfrozen and are skipped by queries.
+func (se *ShardedEngine) Freeze() error {
+	if se.frozen {
+		return nil
+	}
+	if se.NumImages() == 0 {
+		return errors.New("geosir: cannot freeze an empty engine")
+	}
+	errs := make([]error, len(se.shards))
+	var wg sync.WaitGroup
+	for i, sh := range se.shards {
+		if sh.NumImages() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *Engine) {
+			defer wg.Done()
+			errs[i] = sh.Freeze()
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("geosir: freezing shard %d: %w", i, err)
+		}
+	}
+	se.frozen = true
+	return nil
+}
+
+// Options returns the shared per-shard configuration (after defaulting).
+func (se *ShardedEngine) Options() Options { return se.opts }
+
+// Frozen reports whether Freeze has completed.
+func (se *ShardedEngine) Frozen() bool { return se.frozen }
+
+// NumShards returns the partition count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Shard exposes one partition's Engine for inspection (per-shard statz,
+// tests). Treat it as read-only.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// IDMap exposes the global⇄(shard, local) shape-id mapping.
+func (se *ShardedEngine) IDMap() *core.ShardMap { return se.smap }
+
+// NumImages returns the number of images across all shards.
+func (se *ShardedEngine) NumImages() int {
+	n := 0
+	for _, sh := range se.shards {
+		n += sh.NumImages()
+	}
+	return n
+}
+
+// NumShapes returns the number of stored shapes across all shards.
+func (se *ShardedEngine) NumShapes() int {
+	n := 0
+	for _, sh := range se.shards {
+		if sh.NumImages() > 0 {
+			n += sh.NumShapes()
+		}
+	}
+	return n
+}
+
+// NumEntries returns the number of normalized copies across all shards.
+func (se *ShardedEngine) NumEntries() int {
+	n := 0
+	for _, sh := range se.shards {
+		if sh.NumImages() > 0 {
+			n += sh.NumEntries()
+		}
+	}
+	return n
+}
+
+// liveShards returns the indices of shards that can answer queries:
+// frozen and non-empty. A shard dropped wholesale by snapshot recovery
+// is left empty and simply contributes nothing (partial results).
+func (se *ShardedEngine) liveShards() []int {
+	out := make([]int, 0, len(se.shards))
+	for i, sh := range se.shards {
+		if sh != nil && sh.Frozen() && sh.NumShapes() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// tau returns the shared similarity threshold, used by the ModeAuto
+// fallback decision.
+func (se *ShardedEngine) tau() float64 {
+	for _, si := range se.liveShards() {
+		return se.shards[si].db.Tau()
+	}
+	return 0
+}
+
+// Search answers one retrieval request by fanning it out across the
+// live shards and merging the per-shard answers. The decision structure
+// mirrors Engine.Search stage for stage: same validation order, same
+// ModeAuto fallback rule (fall back to hashing unless every live shard
+// converged and the merged best match is within τ), same
+// empty-approximate recovery.
+func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !se.frozen {
+		return nil, ErrNotFrozen
+	}
+	if req.K <= 0 {
+		return nil, ErrBadK
+	}
+	switch req.Mode {
+	case ModeAuto, ModeExact:
+		if len(req.Query.Pts) == 0 {
+			return nil, ErrEmptyQuery
+		}
+		ms, stats, err := se.exactFanout(ctx, req.Query, req.K, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if req.Mode == ModeExact || (stats.Converged && exactGoodEnough(ms, se.tau())) {
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		approx, err := se.approxFanout(ctx, req.Query, req.K, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		stats.UsedHashing = true
+		if len(approx) == 0 {
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
+		return &SearchResponse{Matches: approx, Stats: stats}, nil
+	case ModeApproximate:
+		if len(req.Query.Pts) == 0 {
+			return nil, ErrEmptyQuery
+		}
+		ms, err := se.approxFanout(ctx, req.Query, req.K, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &SearchResponse{Matches: ms, Stats: Stats{UsedHashing: true}}, nil
+	case ModeSketch:
+		sms, err := se.sketchFanout(ctx, req.Sketch, req.K, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		return &SearchResponse{SketchMatches: sms}, nil
+	}
+	return nil, fmt.Errorf("geosir: unknown search mode %d", int(req.Mode))
+}
+
+// Query evaluates a topological query (§5) against every live shard
+// and unions the matching image ids. Topological predicates relate
+// shapes within one image, and every image lives whole on exactly one
+// shard, so the per-shard evaluation loses nothing. Like Engine.Query
+// it updates shared selectivity estimators and must not race with
+// itself; use one goroutine for topological queries.
+func (se *ShardedEngine) Query(src string, binds map[string]Shape) ([]int, string, error) {
+	if !se.frozen {
+		return nil, "", ErrNotFrozen
+	}
+	var all []int
+	var plan string
+	for _, si := range se.liveShards() {
+		ids, p, err := se.shards[si].Query(src, binds)
+		if err != nil {
+			return nil, "", err
+		}
+		all = append(all, ids...)
+		plan = p
+	}
+	sort.Ints(all)
+	return all, plan, nil
+}
+
+// exactFanout runs the fattening search on every live shard
+// concurrently and merges the sorted per-shard top-k lists exactly.
+//
+// Each shard is asked for min(k, its shape count) matches — a shard
+// cannot supply more than it holds, and capping lets small shards reach
+// the convergence condition (the k-th best must exist to be proven
+// within ε/2). Because the per-shape distances are intrinsic to
+// (query, shape) and every shape lives on exactly one shard, the merged
+// top-k of converged shards is the true global top-k.
+func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers int) ([]Match, Stats, error) {
+	live := se.liveShards()
+	lists := make([][]Match, len(live))
+	stats := make([]Stats, len(live))
+	err := fanoutShards(ctx, len(live), workers, func(i int) error {
+		si := live[i]
+		sh := se.shards[si]
+		ms, st, err := sh.searchExact(q, min(k, sh.NumShapes()))
+		if err != nil {
+			return fmt.Errorf("geosir: shard %d: %w", si, err)
+		}
+		lists[i] = se.toGlobal(si, ms)
+		stats[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	merged := mergeStats(stats)
+	// Mirror the single engine's convergence semantics: asking for more
+	// matches than the base holds can never converge there (the k-th
+	// best does not exist), so it must not count as converged here
+	// either, even though every capped shard proved its own list.
+	if k > se.NumShapes() {
+		merged.Converged = false
+	}
+	return mergeTopK(lists, k), merged, nil
+}
+
+// approxFanout answers from the shards' geometric hash tables. All
+// shards share one deterministic curve family, so the query hashes to
+// the same characteristic quadruple everywhere and a single table's
+// bucket is exactly the union of the shard buckets. The widening
+// decision is therefore global: only if the radius-0 union over every
+// shard is empty do all shards widen to the neighbor curves — per-shard
+// widening would admit candidates a single engine never sees.
+func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers int) ([]Match, error) {
+	pq, err := core.PrepareQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	live := se.liveShards()
+	if len(live) == 0 {
+		return []Match{}, nil
+	}
+	quad := se.shards[live[0]].family.Characteristic(pq.Entry().Poly.Pts)
+	perShard := make([][]int, len(live))
+	total := 0
+	for i, si := range live {
+		perShard[i] = se.shards[si].table.Lookup(quad, 0)
+		total += len(perShard[i])
+	}
+	if total == 0 {
+		for i, si := range live {
+			perShard[i] = se.shards[si].table.Lookup(quad, 1)
+		}
+	}
+	lists := make([][]Match, len(live))
+	err = fanoutShards(ctx, len(live), workers, func(i int) error {
+		ms := se.shards[live[i]].scoreApprox(pq, perShard[i])
+		sortMatches(ms) // local ids; local order == global order within a shard
+		lists[i] = se.toGlobal(live[i], ms)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeTopK(lists, k), nil
+}
+
+// sketchFanout evaluates every (sketch shape, shard) pair concurrently,
+// unions each shape's per-shard best-distance tables (shards hold
+// disjoint image sets, so union is just map merge), and feeds the
+// result through the same scoreSketchTables ranking as the single
+// engine.
+func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
+	if err := validateSketch(sketch); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	live := se.liveShards()
+	nl := len(live)
+	parts := make([]map[int]float64, len(sketch)*nl)
+	err := fanoutShards(ctx, len(parts), workers, func(t int) error {
+		si, li := t/nl, t%nl
+		m, err := se.shards[live[li]].sketchShapeTable(sketch[si])
+		if err != nil {
+			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+		}
+		parts[t] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perShape := make([]map[int]float64, len(sketch))
+	for si := range sketch {
+		best := make(map[int]float64)
+		for li := 0; li < nl; li++ {
+			for img, d := range parts[si*nl+li] {
+				best[img] = d
+			}
+		}
+		perShape[si] = best
+	}
+	return scoreSketchTables(perShape, k), nil
+}
+
+// toGlobal rewrites a shard's local shape ids to global ids in place.
+// Within one shard local id order is ascending global id order, so a
+// list sorted by (Distance, local id) stays sorted by (Distance,
+// global id).
+func (se *ShardedEngine) toGlobal(shard int, ms []Match) []Match {
+	for i := range ms {
+		ms[i].ShapeID = se.smap.Global(shard, ms[i].ShapeID)
+	}
+	return ms
+}
+
+// mergeStats aggregates per-shard retrieval stats: work counters sum,
+// the iteration/ε high-water marks are maxima, and the merged result
+// counts as converged only if every shard converged (only then is the
+// merged top-k proven to be the true global top-k).
+func mergeStats(ss []Stats) Stats {
+	out := Stats{Converged: true}
+	for _, s := range ss {
+		out.Iterations = max(out.Iterations, s.Iterations)
+		out.FinalEpsilon = max(out.FinalEpsilon, s.FinalEpsilon)
+		out.VerticesCounted += s.VerticesCounted
+		out.Candidates += s.Candidates
+		out.Converged = out.Converged && s.Converged
+	}
+	return out
+}
+
+// fanoutShards runs n independent work items on up to workers
+// goroutines. A cancelled context stops the dispatcher before the next
+// item is handed out and returns ctx.Err(); otherwise the first item
+// error (by index) is returned.
+func fanoutShards(ctx context.Context, n, workers int, run func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = run(i)
+			}
+		}()
+	}
+	cancelled := false
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			cancelled = true
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if cancelled {
+		return ctx.Err()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeHeap is the k-way merge frontier over per-shard match lists,
+// each already sorted by (Distance, ShapeID). The heap orders list
+// indices by their head element under the same comparator, so popping
+// heads yields the globally sorted sequence.
+type mergeHeap struct {
+	lists [][]Match
+	pos   []int // cursor into each list
+	order []int // heap of list indices, keyed by lists[i][pos[i]]
+}
+
+func (h *mergeHeap) Len() int { return len(h.order) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	a := h.lists[h.order[i]][h.pos[h.order[i]]]
+	b := h.lists[h.order[j]][h.pos[h.order[j]]]
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.ShapeID < b.ShapeID
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+
+func (h *mergeHeap) Push(x any) { h.order = append(h.order, x.(int)) }
+
+func (h *mergeHeap) Pop() any {
+	x := h.order[len(h.order)-1]
+	h.order = h.order[:len(h.order)-1]
+	return x
+}
+
+// mergeTopK merges sorted match lists into the k smallest elements
+// under the sortMatches order (Distance, then ShapeID). The merge is
+// exact and bounded: it inspects at most k + len(lists) heads, never
+// materializing the full concatenation.
+func mergeTopK(lists [][]Match, k int) []Match {
+	h := &mergeHeap{lists: lists, pos: make([]int, len(lists))}
+	total := 0
+	for li, l := range lists {
+		if len(l) > 0 {
+			h.order = append(h.order, li)
+			total += len(l)
+		}
+	}
+	heap.Init(h)
+	out := make([]Match, 0, min(k, total))
+	for h.Len() > 0 && len(out) < k {
+		li := h.order[0]
+		out = append(out, h.lists[li][h.pos[li]])
+		h.pos[li]++
+		if h.pos[li] == len(h.lists[li]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package geosir
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// A sharded snapshot is a directory:
+//
+//	<dir>/MANIFEST.json      image routing manifest (written last)
+//	<dir>/shard-000.gsir2    shard 0, a standard GSIR2 snapshot
+//	<dir>/shard-001.gsir2    shard 1, ...
+//
+// Each shard file is an ordinary atomic GSIR2 snapshot (PR 2's
+// temp+fsync+rename path), so shard damage is contained: a corrupted or
+// missing shard file degrades that shard — partial results with
+// Recovery accounting — and never poisons its siblings. The manifest
+// records the AddImage call order as (image id, shape count) pairs;
+// replaying it fixes every global shape id, so ids survive reload even
+// when recovery drops images, and a re-save of the loaded engine keeps
+// them stable.
+
+// manifestName is the routing manifest's file name inside a sharded
+// snapshot directory.
+const manifestName = "MANIFEST.json"
+
+// shardManifestVersion is the current manifest schema version.
+const shardManifestVersion = 1
+
+type shardManifest struct {
+	Version int                  `json:"version"`
+	Shards  int                  `json:"shards"`
+	Images  []shardManifestImage `json:"images"`
+}
+
+type shardManifestImage struct {
+	ID     int `json:"id"`
+	Shapes int `json:"shapes"`
+}
+
+// shardFileName names shard i's snapshot file.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%03d.gsir2", i) }
+
+// SaveDir writes the sharded snapshot into dir (created if needed).
+// Every shard file is written atomically, and the manifest is written
+// atomically last — a crash mid-save leaves either the complete old
+// snapshot or a mix of old manifest + new shard files, both of which
+// load (the manifest is authoritative for routing, and shard files are
+// self-checking).
+func (se *ShardedEngine) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("geosir: creating snapshot dir: %w", err)
+	}
+	for i, sh := range se.shards {
+		if err := sh.SaveFile(filepath.Join(dir, shardFileName(i))); err != nil {
+			return fmt.Errorf("geosir: saving shard %d: %w", i, err)
+		}
+	}
+	man := shardManifest{
+		Version: shardManifestVersion,
+		Shards:  len(se.shards),
+		Images:  make([]shardManifestImage, len(se.order)),
+	}
+	for i, im := range se.order {
+		man.Images[i] = shardManifestImage{ID: im.ID, Shapes: im.Shapes}
+	}
+	return writeManifest(filepath.Join(dir, manifestName), &man)
+}
+
+// writeManifest writes the manifest with the same atomic discipline as
+// SaveFile: temp file, fsync, rename, directory fsync.
+func writeManifest(path string, man *shardManifest) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+manifestName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("geosir: creating temp manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(man); err != nil {
+		tmp.Close()
+		return fmt.Errorf("geosir: encoding manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("geosir: syncing manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("geosir: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("geosir: publishing manifest: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// ShardFileRecovery reports how one shard file fared during
+// LoadShardedDir.
+type ShardFileRecovery struct {
+	// Path is the shard file's path.
+	Path string
+	// Err is the whole-file failure (unreadable, bad header, or
+	// inconsistent with the manifest), nil when the shard loaded.
+	Err error
+	// Recovery is the per-file salvage report (nil when Err is set).
+	Recovery *Recovery
+	// Dropped reports that the entire shard was discarded: its images
+	// contribute nothing, but their global ids stay reserved.
+	Dropped bool
+}
+
+// ShardRecovery reports what LoadShardedDir salvaged across the
+// snapshot directory.
+type ShardRecovery struct {
+	// Shards holds one entry per shard file, in shard order. For a
+	// single-file snapshot loaded through LoadAny it holds one entry.
+	Shards []ShardFileRecovery
+	// ImagesExpected is the image count the manifest declares.
+	ImagesExpected int
+	// ImagesLoaded is the number of images recovered across all shards.
+	ImagesLoaded int
+}
+
+// Complete reports whether every shard was recovered in full — the
+// engine is then identical to a freshly built one.
+func (r *ShardRecovery) Complete() bool {
+	if r == nil {
+		return false
+	}
+	for _, s := range r.Shards {
+		if s.Err != nil || s.Dropped || !s.Recovery.Complete() {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadShardedDir loads a sharded snapshot directory, salvaging whatever
+// verifies. Damage is contained at two granularities: a corrupted image
+// section costs that image (per-file Recovery), and an unreadable or
+// manifest-inconsistent shard file costs that shard. Surviving shapes
+// keep the global ids the manifest assigns. The manifest itself must be
+// intact — without it no routing can be reconstructed.
+func LoadShardedDir(dir string) (*ShardedEngine, *ShardRecovery, error) {
+	man, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &ShardRecovery{
+		Shards:         make([]ShardFileRecovery, man.Shards),
+		ImagesExpected: len(man.Images),
+	}
+	shards := make([]*Engine, man.Shards)
+	loaded := make([]map[int]int, man.Shards) // per shard: image id → shape count actually loaded
+	var opts *Options
+	for i := range shards {
+		path := filepath.Join(dir, shardFileName(i))
+		rec.Shards[i].Path = path
+		eng, frec, err := LoadPartialFile(path)
+		if err != nil {
+			rec.Shards[i].Err = err
+			rec.Shards[i].Dropped = true
+			continue
+		}
+		rec.Shards[i].Recovery = frec
+		if groups, ok := consistentGroups(eng, man, i); ok {
+			shards[i] = eng
+			loaded[i] = groups
+			if opts == nil {
+				o := eng.Options()
+				opts = &o
+			}
+		} else {
+			rec.Shards[i].Err = fmt.Errorf("geosir: shard %d content disagrees with manifest; shard dropped", i)
+			rec.Shards[i].Dropped = true
+		}
+	}
+	if opts == nil {
+		// Every shard failed: with no options section readable anywhere
+		// there is nothing to degrade to.
+		return nil, nil, errors.New("geosir: sharded snapshot: no shard loadable")
+	}
+	for i := range shards {
+		if shards[i] == nil {
+			shards[i] = New(*opts)
+		}
+	}
+
+	// Replay the manifest to rebuild the global id map: each image's ids
+	// go to its shard's next local slots when the shard actually holds
+	// it, and are reserved-but-unmapped otherwise.
+	smap := core.NewShardMap(man.Shards)
+	order := make([]shardImage, len(man.Images))
+	for i, im := range man.Images {
+		order[i] = shardImage{ID: im.ID, Shapes: im.Shapes}
+		s := core.ShardFor(im.ID, man.Shards)
+		if n, ok := loaded[s][im.ID]; ok && n == im.Shapes {
+			smap.AssignImage(s, im.Shapes)
+			rec.ImagesLoaded++
+		} else {
+			smap.Skip(im.Shapes)
+		}
+	}
+	return newShardedFromParts(*opts, shards, smap, order), rec, nil
+}
+
+// readManifest reads and validates a routing manifest.
+func readManifest(path string) (*shardManifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("geosir: reading manifest: %w", err)
+	}
+	var man shardManifest
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, fmt.Errorf("geosir: parsing manifest: %w", err)
+	}
+	if man.Version != shardManifestVersion {
+		return nil, fmt.Errorf("geosir: unsupported manifest version %d", man.Version)
+	}
+	if man.Shards < 1 || man.Shards > maxCount {
+		return nil, fmt.Errorf("geosir: manifest declares %d shards", man.Shards)
+	}
+	if len(man.Images) > maxCount {
+		return nil, fmt.Errorf("geosir: manifest declares %d images", len(man.Images))
+	}
+	for _, im := range man.Images {
+		if im.Shapes < 0 || im.Shapes > maxCount {
+			return nil, fmt.Errorf("geosir: manifest image %d declares %d shapes", im.ID, im.Shapes)
+		}
+	}
+	return &man, nil
+}
+
+// consistentGroups checks a loaded shard against the manifest: the
+// shard's images (in its insertion order, recovered from shape id
+// order) must be a subsequence of the manifest images routed to it,
+// with matching shape counts. On success it returns the shard's
+// image id → shape count table. A shard that disagrees — an image the
+// manifest never routed there, out-of-order images, or a shape-count
+// mismatch that would shift every later local id — cannot be given
+// stable global ids and is dropped wholesale by the caller.
+func consistentGroups(eng *Engine, man *shardManifest, shard int) (map[int]int, bool) {
+	groups := engineImageGroups(eng)
+	counts := make(map[int]int, len(groups))
+	g := 0
+	for _, im := range man.Images {
+		if core.ShardFor(im.ID, man.Shards) != shard || im.Shapes == 0 {
+			continue
+		}
+		if g < len(groups) && groups[g].ID == im.ID {
+			if groups[g].Shapes != im.Shapes {
+				return nil, false
+			}
+			counts[im.ID] = groups[g].Shapes
+			g++
+		}
+		// else: the shard dropped this image during per-file recovery —
+		// fine, its ids will be skipped.
+	}
+	if g != len(groups) {
+		return nil, false // shard holds images the manifest doesn't place here
+	}
+	return counts, true
+}
+
+// engineImageGroups recovers an engine's image insertion order as
+// (image id, shape count) runs by walking shapes in id order — shape
+// ids are assigned sequentially per AddImage, so each image's shapes
+// are consecutive.
+func engineImageGroups(eng *Engine) []shardImage {
+	var out []shardImage
+	for _, s := range eng.Base().Shapes() {
+		if n := len(out); n > 0 && out[n-1].ID == s.Image {
+			out[n-1].Shapes++
+		} else {
+			out = append(out, shardImage{ID: s.Image, Shapes: 1})
+		}
+	}
+	return out
+}
+
+// LoadAny loads a snapshot path of either kind: a single GSIR file or a
+// sharded snapshot directory (detected by it being a directory). The
+// recovery report uses the sharded shape in both cases — a single file
+// loads as one "shard" entry — so callers handle degradation uniformly.
+func LoadAny(path string) (Searcher, *ShardRecovery, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.IsDir() {
+		eng, rec, err := LoadShardedDir(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, rec, nil
+	}
+	eng, frec, err := LoadPartialFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, &ShardRecovery{
+		Shards:         []ShardFileRecovery{{Path: path, Recovery: frec}},
+		ImagesExpected: frec.ImagesExpected,
+		ImagesLoaded:   frec.ImagesLoaded,
+	}, nil
+}

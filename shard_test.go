@@ -1,0 +1,418 @@
+package geosir
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func assertMatchesEqual(t *testing.T, label string, want, got []Match) {
+	t.Helper()
+	if len(want) == 0 && len(got) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: matches diverge\nwant: %+v\ngot:  %+v", label, want, got)
+	}
+}
+
+func assertSketchEqual(t *testing.T, label string, want, got []SketchMatch) {
+	t.Helper()
+	if len(want) == 0 && len(got) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: sketch matches diverge\nwant: %+v\ngot:  %+v", label, want, got)
+	}
+}
+
+// equivBase is the shared seeded random base of the equivalence suite:
+// a small paper-statistics base plus distorted-copy queries and a
+// two-shape sketch drawn from it.
+func equivBase(t *testing.T) ([]synth.Image, []Shape, []Shape) {
+	t.Helper()
+	images := synth.GenerateBase(synth.PaperSpec(0.002, 41))
+	rng := rand.New(rand.NewSource(43))
+	queries := synth.Queries(rng, images, 5, 0.01)
+	for i, q := range queries {
+		if q.Validate() != nil {
+			t.Fatalf("query %d invalid", i)
+		}
+	}
+	// Sketch: two shapes from one image, lightly distorted.
+	var sketch []Shape
+	for _, im := range images {
+		if len(im.Shapes) >= 2 {
+			sketch = []Shape{
+				synth.Distort(rng, im.Shapes[0], 0.01),
+				synth.Distort(rng, im.Shapes[1], 0.01),
+			}
+			break
+		}
+	}
+	if sketch == nil || sketch[0].Validate() != nil || sketch[1].Validate() != nil {
+		t.Fatal("no usable sketch in the generated base")
+	}
+	return images, queries, sketch
+}
+
+func buildSingle(t *testing.T, images []synth.Image) *Engine {
+	t.Helper()
+	eng := New(DefaultOptions())
+	for _, im := range images {
+		if err := eng.AddImage(im.ID, im.Shapes); err != nil {
+			t.Fatalf("AddImage(%d): %v", im.ID, err)
+		}
+	}
+	if err := eng.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func buildShardedFrom(t *testing.T, images []synth.Image, shards int) *ShardedEngine {
+	t.Helper()
+	se := NewSharded(DefaultOptions(), shards)
+	for _, im := range images {
+		if err := se.AddImage(im.ID, im.Shapes); err != nil {
+			t.Fatalf("sharded AddImage(%d): %v", im.ID, err)
+		}
+	}
+	if err := se.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+// TestShardedEquivalence is the suite the tentpole's exactness claim
+// rests on: over the same seeded random base, ShardedEngine.Search
+// returns byte-identical matches and ordering to a single Engine, for
+// shard counts {1, 2, 7}, k ∈ {0, 1, many}, and every mode. k = 0 must
+// fail identically (ErrBadK) on both. Run under -race this also
+// exercises the fan-out concurrency.
+func TestShardedEquivalence(t *testing.T) {
+	images, queries, sketch := equivBase(t)
+	single := buildSingle(t, images)
+	ctx := context.Background()
+	many := single.NumShapes() + 5
+	t.Logf("base: %d images, %d shapes", single.NumImages(), single.NumShapes())
+
+	for _, shards := range []int{1, 2, 7} {
+		se := buildShardedFrom(t, images, shards)
+		if se.NumShapes() != single.NumShapes() || se.NumImages() != single.NumImages() {
+			t.Fatalf("shards=%d: size mismatch: %d/%d shapes, %d/%d images",
+				shards, se.NumShapes(), single.NumShapes(), se.NumImages(), single.NumImages())
+		}
+
+		// k = 0 fails identically on both engines.
+		_, errSingle := single.Search(ctx, SearchRequest{Query: queries[0], K: 0})
+		_, errSharded := se.Search(ctx, SearchRequest{Query: queries[0], K: 0})
+		if !errors.Is(errSingle, ErrBadK) || !errors.Is(errSharded, ErrBadK) {
+			t.Fatalf("shards=%d: k=0 errors diverge: single %v, sharded %v", shards, errSingle, errSharded)
+		}
+
+		for _, k := range []int{1, 3, many} {
+			for qi, q := range queries {
+				for _, mode := range []Mode{ModeAuto, ModeExact, ModeApproximate} {
+					req := SearchRequest{Query: q, K: k, Mode: mode}
+					want, err := single.Search(ctx, req)
+					if err != nil {
+						t.Fatalf("single q%d k=%d %v: %v", qi, k, mode, err)
+					}
+					got, err := se.Search(ctx, req)
+					if err != nil {
+						t.Fatalf("shards=%d q%d k=%d %v: %v", shards, qi, k, mode, err)
+					}
+					label := mode.String()
+					assertMatchesEqual(t, label, want.Matches, got.Matches)
+					if got.Stats.UsedHashing != want.Stats.UsedHashing {
+						t.Fatalf("shards=%d q%d k=%d %s: UsedHashing diverges (%v vs %v) — the auto fallback decision is not mirrored",
+							shards, qi, k, label, got.Stats.UsedHashing, want.Stats.UsedHashing)
+					}
+				}
+			}
+			req := SearchRequest{Sketch: sketch, K: k, Mode: ModeSketch}
+			want, err := single.Search(ctx, req)
+			if err != nil {
+				t.Fatalf("single sketch k=%d: %v", k, err)
+			}
+			got, err := se.Search(ctx, req)
+			if err != nil {
+				t.Fatalf("shards=%d sketch k=%d: %v", shards, k, err)
+			}
+			assertSketchEqual(t, "sketch", want.SketchMatches, got.SketchMatches)
+		}
+	}
+}
+
+// TestShardedGlobalIDsMatchSingle verifies the id mapping directly:
+// every global id resolves to the same geometry the single engine
+// stores under that id.
+func TestShardedGlobalIDsMatchSingle(t *testing.T) {
+	images, _, _ := equivBase(t)
+	single := buildSingle(t, images)
+	se := buildShardedFrom(t, images, 7)
+	m := se.IDMap()
+	if m.NumGlobal() != single.NumShapes() {
+		t.Fatalf("NumGlobal = %d, want %d", m.NumGlobal(), single.NumShapes())
+	}
+	for g := 0; g < m.NumGlobal(); g++ {
+		shard, local, ok := m.Locate(g)
+		if !ok {
+			t.Fatalf("global id %d unmapped", g)
+		}
+		got := se.Shard(shard).Base().Shape(local)
+		want := single.Base().Shape(g)
+		if got.Image != want.Image || !reflect.DeepEqual(got.Poly.Pts, want.Poly.Pts) {
+			t.Fatalf("global id %d: shard copy differs from single engine's shape", g)
+		}
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	m := func(dist float64, id int) Match { return Match{ShapeID: id, Distance: dist} }
+	lists := [][]Match{
+		{m(0.1, 4), m(0.3, 0), m(0.3, 9)},
+		{},
+		{m(0.1, 2), m(0.5, 1)},
+		{m(0.3, 5)},
+	}
+	want := []Match{m(0.1, 2), m(0.1, 4), m(0.3, 0), m(0.3, 5), m(0.3, 9), m(0.5, 1)}
+	for k := 1; k <= len(want)+2; k++ {
+		got := mergeTopK(lists, k)
+		wantK := want
+		if k < len(want) {
+			wantK = want[:k]
+		}
+		if !reflect.DeepEqual(got, wantK) {
+			t.Fatalf("k=%d: got %+v, want %+v", k, got, wantK)
+		}
+		// Inputs must not be consumed across calls.
+		if lists[0][0] != m(0.1, 4) {
+			t.Fatal("mergeTopK mutated its input lists")
+		}
+	}
+	if got := mergeTopK(nil, 3); len(got) != 0 {
+		t.Fatalf("merge of no lists returned %+v", got)
+	}
+}
+
+// TestShardedPersistRoundTrip saves a sharded engine, reloads it, and
+// requires complete recovery plus byte-identical search results.
+func TestShardedPersistRoundTrip(t *testing.T) {
+	images, queries, sketch := equivBase(t)
+	se := buildShardedFrom(t, images, 3)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := se.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	re, rec, err := LoadShardedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Complete() {
+		t.Fatalf("recovery not complete: %+v", rec)
+	}
+	if rec.ImagesLoaded != len(images) || rec.ImagesExpected != len(images) {
+		t.Fatalf("recovered %d/%d images, want %d", rec.ImagesLoaded, rec.ImagesExpected, len(images))
+	}
+	if re.NumShapes() != se.NumShapes() || re.NumImages() != se.NumImages() {
+		t.Fatalf("reloaded sizes diverge: %d/%d shapes, %d/%d images",
+			re.NumShapes(), se.NumShapes(), re.NumImages(), se.NumImages())
+	}
+
+	ctx := context.Background()
+	for _, q := range queries {
+		for _, mode := range []Mode{ModeAuto, ModeExact, ModeApproximate} {
+			req := SearchRequest{Query: q, K: 4, Mode: mode}
+			want, err := se.Search(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := re.Search(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertMatchesEqual(t, "reloaded "+mode.String(), want.Matches, got.Matches)
+		}
+	}
+	want, err := se.Search(ctx, SearchRequest{Sketch: sketch, K: 4, Mode: ModeSketch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Search(ctx, SearchRequest{Sketch: sketch, K: 4, Mode: ModeSketch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSketchEqual(t, "reloaded sketch", want.SketchMatches, got.SketchMatches)
+
+	// A re-save of the reloaded engine must keep the manifest stable.
+	dir2 := filepath.Join(t.TempDir(), "snap2")
+	if err := re.SaveDir(dir2); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := os.ReadFile(filepath.Join(dir2, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m1) != string(m2) {
+		t.Fatal("manifest changed across a save/load/save round trip")
+	}
+}
+
+// TestShardedDamagedShardDegrades destroys one shard file and requires
+// the load to degrade — not die: the surviving shards answer, global
+// shape ids are unchanged, and the results equal the full engine's
+// results with the dead shard's images filtered out.
+func TestShardedDamagedShardDegrades(t *testing.T) {
+	images, queries, _ := equivBase(t)
+	const shards = 3
+	se := buildShardedFrom(t, images, shards)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := se.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	const dead = 1
+	if err := os.WriteFile(filepath.Join(dir, shardFileName(dead)), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, rec, err := LoadShardedDir(dir)
+	if err != nil {
+		t.Fatalf("damaged shard should degrade, not fail: %v", err)
+	}
+	if rec.Complete() {
+		t.Fatal("recovery reported complete despite a destroyed shard")
+	}
+	if !rec.Shards[dead].Dropped || rec.Shards[dead].Err == nil {
+		t.Fatalf("shard %d not reported dropped: %+v", dead, rec.Shards[dead])
+	}
+	deadImages := 0
+	for _, im := range images {
+		if core.ShardFor(im.ID, shards) == dead {
+			deadImages++
+		}
+	}
+	if rec.ImagesLoaded != len(images)-deadImages {
+		t.Fatalf("ImagesLoaded = %d, want %d", rec.ImagesLoaded, len(images)-deadImages)
+	}
+
+	ctx := context.Background()
+	k := se.NumShapes()
+	for qi, q := range queries {
+		want, err := se.Search(ctx, SearchRequest{Query: q, K: k, Mode: ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: the intact results minus the dead shard's images,
+		// ids untouched.
+		var filtered []Match
+		for _, m := range want.Matches {
+			if core.ShardFor(m.ImageID, shards) != dead {
+				filtered = append(filtered, m)
+			}
+		}
+		got, err := re.Search(ctx, SearchRequest{Query: q, K: k, Mode: ModeExact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesEqual(t, "degraded exact q"+string(rune('0'+qi)), filtered, got.Matches)
+	}
+}
+
+// TestLoadShardedDirMissingManifest pins the hard-failure case: with no
+// manifest there is no routing to reconstruct.
+func TestLoadShardedDirMissingManifest(t *testing.T) {
+	images, _, _ := equivBase(t)
+	se := buildShardedFrom(t, images, 2)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := se.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadShardedDir(dir); err == nil {
+		t.Fatal("load without manifest succeeded")
+	}
+}
+
+// TestLoadAny covers both snapshot kinds through the one entry point
+// the serving layer uses.
+func TestLoadAny(t *testing.T) {
+	images, queries, _ := equivBase(t)
+	ctx := context.Background()
+	req := SearchRequest{Query: queries[0], K: 3, Mode: ModeExact}
+
+	single := buildSingle(t, images)
+	file := filepath.Join(t.TempDir(), "base.gsir2")
+	if err := single.SaveFile(file); err != nil {
+		t.Fatal(err)
+	}
+	s1, rec1, err := LoadAny(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec1.Complete() || len(rec1.Shards) != 1 {
+		t.Fatalf("file recovery: %+v", rec1)
+	}
+
+	se := buildShardedFrom(t, images, 4)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := se.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec2, err := LoadAny(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec2.Complete() || len(rec2.Shards) != 4 {
+		t.Fatalf("dir recovery: %+v", rec2)
+	}
+
+	want, err := single.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, s := range map[string]Searcher{"file": s1, "dir": s2} {
+		got, err := s.Search(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		assertMatchesEqual(t, "LoadAny "+label, want.Matches, got.Matches)
+	}
+}
+
+// TestShardedEmptyShards: more shards than images leaves some shards
+// empty; they must be skipped, not break Freeze or Search.
+func TestShardedEmptyShards(t *testing.T) {
+	se := NewSharded(DefaultOptions(), 16)
+	if err := se.AddImage(1, []Shape{square(0, 0, 2), triangle(4, 4, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.AddImage(2, []Shape{lshape(9, 9, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := se.Search(context.Background(), SearchRequest{Query: square(0.1, 0.1, 2), K: 5, Mode: ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 {
+		t.Fatal("no matches from a sharded engine with empty shards")
+	}
+}
