@@ -3,13 +3,15 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query bench-serve bench-shard serve-smoke fuzz-smoke deprecations cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard serve-smoke fuzz-smoke deprecations cover clean
 
 # The gate every PR must pass. The race run includes the persistence
 # fault-injection suite; fuzz-smoke gives each fuzz target a short
 # budget; serve-smoke boots geosird against a demo snapshot and probes
 # every endpoint through geosir-loadgen; deprecations keeps internal
-# code off the deprecated Find* wrappers.
+# code off the deprecated Find* wrappers. Perf-sensitive changes should
+# additionally run `make bench-diff` to compare a fresh bench run
+# against the committed BENCH_query.json baseline.
 ci: vet deprecations build race bench-smoke fuzz-smoke serve-smoke
 
 vet:
@@ -59,6 +61,14 @@ cover:
 bench-query:
 	$(GO) test -run '^$$' -bench '$(QUERY_BENCH)' -benchmem -benchtime=3x . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_query.json
+
+# Re-run the tracked query benchmarks into a scratch file and diff them
+# against the committed baseline: per-benchmark ns/op, B/op, and allocs
+# deltas, nonzero exit when ns/op regresses by more than 10%.
+bench-diff:
+	$(GO) test -run '^$$' -bench '$(QUERY_BENCH)' -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -out /tmp/BENCH_query.new.json
+	$(GO) run ./cmd/benchdiff BENCH_query.json /tmp/BENCH_query.new.json
 
 # End-to-end serving check: build the daemon + load generator, freeze a
 # tiny demo base into a snapshot, boot geosird on a local port, and hit

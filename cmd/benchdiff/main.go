@@ -1,0 +1,129 @@
+// Command benchdiff compares two benchmark JSON files produced by
+// cmd/benchjson and prints per-benchmark deltas. It exits nonzero when
+// any benchmark present in both files regressed on ns/op by more than
+// the threshold (default 10%), so CI and pre-commit hooks can gate on
+// committed baselines:
+//
+//	go run ./cmd/benchdiff BENCH_query.json /tmp/BENCH_new.json
+//	go run ./cmd/benchdiff -threshold 5 old.json new.json
+//
+// Benchmarks present in only one of the files are listed but never
+// fail the comparison (new benchmarks appear, retired ones vanish).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors cmd/benchjson's output structure (only the fields the
+// comparison needs).
+type report struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "max allowed ns/op regression in percent before exiting nonzero")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold PCT] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string, threshold float64) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := byName(oldRep)
+	newBy := byName(newRep)
+
+	regressed := 0
+	// Walk the new file's order so the output reads like the bench run.
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-50s  (new benchmark)         %12.0f ns/op\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		d := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		flagStr := ""
+		if d > threshold {
+			flagStr = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-50s  %12.0f → %12.0f ns/op  %+7.2f%%%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, d, flagStr)
+		if ob.BytesPerOp != 0 || nb.BytesPerOp != 0 {
+			fmt.Printf("%-50s  %12.0f → %12.0f B/op   %+7.2f%%\n",
+				"", ob.BytesPerOp, nb.BytesPerOp, pctDelta(ob.BytesPerOp, nb.BytesPerOp))
+		}
+		if ob.AllocsPerOp != 0 || nb.AllocsPerOp != 0 {
+			fmt.Printf("%-50s  %12.0f → %12.0f allocs %+7.2f%%\n",
+				"", ob.AllocsPerOp, nb.AllocsPerOp, pctDelta(ob.AllocsPerOp, nb.AllocsPerOp))
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if _, ok := newBy[ob.Name]; !ok {
+			fmt.Printf("%-50s  (gone: only in %s)\n", ob.Name, oldPath)
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed ns/op by more than %.1f%%", regressed, threshold)
+	}
+	return nil
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+func byName(rep *report) map[string]benchmark {
+	m := make(map[string]benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// pctDelta returns the percent change from old to new; a zero old value
+// (benchmark without that stat) compares as no change.
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}

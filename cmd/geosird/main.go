@@ -16,6 +16,9 @@
 // path with zero downtime — the old engine serves until the new one is
 // frozen); SIGINT/SIGTERM shut down gracefully, draining in-flight
 // requests.
+//
+// -pprof 127.0.0.1:6060 additionally serves net/http/pprof on a
+// separate debug listener (keep it on loopback); it is off by default.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,16 +49,17 @@ func main() {
 		maxBody     = flag.Int64("max-body", 8<<20, "max request body bytes")
 		accessLog   = flag.Bool("access-log", false, "write JSON access logs to stderr")
 		drainWait   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*snapshot, *addr, *maxInFlight, *maxQueue, *queueWait, *timeout, *maxBody, *accessLog, *drainWait); err != nil {
+	if err := run(*snapshot, *addr, *maxInFlight, *maxQueue, *queueWait, *timeout, *maxBody, *accessLog, *drainWait, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "geosird:", err)
 		os.Exit(1)
 	}
 }
 
 func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout time.Duration,
-	maxBody int64, accessLog bool, drainWait time.Duration) error {
+	maxBody int64, accessLog bool, drainWait time.Duration, pprofAddr string) error {
 
 	if snapshot == "" {
 		return errors.New("need -snapshot FILE")
@@ -91,6 +96,30 @@ func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout ti
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Printf("serving on %s", ln.Addr())
+
+	// The profiling endpoints live on their own listener, never on the
+	// public API mux: -pprof is meant for a loopback address an operator
+	// reaches over SSH, and leaving it empty (the default) keeps the
+	// debug surface entirely out of the process.
+	if pprofAddr != "" {
+		dln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+		go func() {
+			dbg := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	// SIGHUP → hot snapshot swap; SIGINT/SIGTERM → graceful drain.
 	hup := make(chan os.Signal, 1)

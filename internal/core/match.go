@@ -44,16 +44,30 @@ type Stats struct {
 // in the latter case the caller is expected to fall back to geometric
 // hashing (§3).
 func (b *Base) Match(q geom.Poly, k int) ([]Match, Stats, error) {
-	return b.match(q, k, math.Inf(1), nil)
+	return b.match(q, k, math.Inf(1), nil, nil, false)
 }
 
 // MatchTrace is Match with an access hook: onAccess is invoked with the
 // entry id of every normalized copy the algorithm touches (candidate
-// evaluations, in discovery order, then the final re-reads for the
+// evaluations, in evaluation order, then the final re-reads for the
 // continuous measure). The external-storage experiments (§4) replay this
 // trace against a disk layout to count I/O operations.
 func (b *Base) MatchTrace(q geom.Poly, k int, onAccess func(entryID int)) ([]Match, Stats, error) {
-	return b.match(q, k, math.Inf(1), onAccess)
+	return b.match(q, k, math.Inf(1), onAccess, nil, false)
+}
+
+// MatchShared is Match pruning against (and, when publish is set,
+// tightening) a bound shared with concurrent searches over disjoint
+// partitions of one logical base. Candidates proven strictly worse than
+// the shared bound are discarded — admissible because the bound only
+// ever holds values ≥ the merged k-th best distance — and once every
+// unresolved entry is proven outside the shared bound the search stops
+// early with Converged set: its contribution to the merged result is
+// final. publish must be set only when the caller's k equals the global
+// k (a capped search's k-th best does not bound the merged k-th best).
+// See DESIGN.md §4.9.
+func (b *Base) MatchShared(q geom.Poly, k int, shared *SharedBound, publish bool) ([]Match, Stats, error) {
+	return b.match(q, k, math.Inf(1), nil, shared, publish)
 }
 
 // SimilarShapes returns every shape whose vertex-averaged distance to q
@@ -62,7 +76,7 @@ func (b *Base) MatchTrace(q geom.Poly, k int, onAccess func(entryID int)) ([]Mat
 // qualify). This is the shape_similar(Q) primitive of the query
 // processor (§5).
 func (b *Base) SimilarShapes(q geom.Poly, tau float64) ([]Match, Stats, error) {
-	matches, stats, err := b.match(q, len(b.shapes), tau, nil)
+	matches, stats, err := b.match(q, len(b.shapes), tau, nil, nil, false)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -78,7 +92,16 @@ func (b *Base) SimilarShapes(q geom.Poly, tau float64) ([]Match, Stats, error) {
 // match is the shared driver. With tau = +Inf it is a pure top-k search
 // honoring the ε_max stopping rule; with finite tau it keeps fattening
 // until ε/2 > tau so that the threshold answer is complete.
-func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)) ([]Match, Stats, error) {
+//
+// The kernel is prune-first (DESIGN.md §4.9): every candidate evaluation
+// runs under the tightest currently-proven cutoff — min of the live k-th
+// distance, its shape's best so far, tau, and the shared cross-shard
+// bound — with an admissible partial-sum early exit; candidates are
+// visited in ascending lower-bound order so the cutoff tightens as fast
+// as possible; and entries proven outside every cutoff are stamped dead
+// exactly once (all cutoffs are monotone non-increasing, so a ruling
+// never has to be revisited).
+func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int), shared *SharedBound, publish bool) ([]Match, Stats, error) {
 	var stats Stats
 	if !b.frozen {
 		return nil, stats, fmt.Errorf("core: base must be frozen before matching")
@@ -98,11 +121,13 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		return nil, stats, err
 	}
 	oracle := NewBoundaryDist(qe.Poly)
+	qBound := GeomBoundOf(qe.Poly.Pts)
 	lQ := qe.Poly.Perimeter()
 	epsMax := b.EpsilonMax(lQ)
 	stats.EpsilonMax = epsMax
 	thresholdEps := epsMax
-	if !math.IsInf(tau, 1) {
+	topkMode := math.IsInf(tau, 1)
+	if !topkMode {
 		// Completeness for the threshold query requires the ε/2 bound on
 		// untouched entries to pass tau.
 		thresholdEps = math.Max(thresholdEps, 2*tau*1.0001)
@@ -142,21 +167,10 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		return topk.Kth(), len(bestByShape)
 	}
 
-	// The scratch's dirDist caches the exact directed vertex-average
-	// distance of an entry to the query boundary (computed against the
-	// query's prebuilt grid — cheap, and independent of ε). Since
-	// DistVertex ≥ dirDist/2, a cached value permanently bounds the entry.
-	ensureDir := func(ei int32) float64 {
-		d := scratch.dir(ei)
-		if d < 0 {
-			d = AvgMinDistVertices(b.entries[ei].Poly, oracle)
-			scratch.setDir(ei, d)
-		}
-		return d
-	}
-
 	// entryBound returns the proven lower bound on DistVertex for an
-	// unevaluated entry with the current counters at envelope width eps.
+	// unevaluated entry: the counting bound with the current counters at
+	// envelope width eps, the cached directed distance (DistVertex ≥
+	// dir/2), and the O(1) geometric bound against the query's summary.
 	entryBound := func(ei int32, eps float64) float64 {
 		v := float64(b.entryVertexCount(ei))
 		c := float64(scratch.count(ei))
@@ -164,31 +178,96 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		if d := scratch.dir(ei); d >= 0 && d/2 > lb {
 			lb = d / 2
 		}
+		if g := qBound.LowerBound(&b.geomBounds[ei]); g > lb {
+			lb = g
+		}
 		return lb
 	}
 
-	// evaluateFull computes the symmetric measure (reusing the cached
-	// directed half and the entry's frozen oracle) and folds the entry
-	// into the per-shape best.
-	evaluateFull := func(ei int32) {
-		scratch.setEvaluated(ei)
+	// evaluate resolves one entry under the tightest proven cutoff: the
+	// exact symmetric measure is computed with an admissible partial-sum
+	// early exit, and an aborted entry — proven strictly worse than
+	// everything that could make it matter — is stamped dead instead of
+	// cached. The directed half is cached only when computed in full (a
+	// partial sum is not the directed distance).
+	evaluate := func(ei int32) {
 		stats.Candidates++
 		if onAccess != nil {
 			onAccess(int(ei))
 		}
 		e := &b.entries[ei]
-		dir := ensureDir(ei)
-		back := AvgMinDistVertices(qe.Poly, b.entryOracle(ei))
+		curBest := math.Inf(1)
+		cur, haveCur := bestByShape[e.ShapeID]
+		if haveCur {
+			curBest = cur.DistVertex
+		}
+		cut := curBest
+		if topkMode {
+			if kv := topk.Kth(); kv < cut {
+				cut = kv
+			}
+		} else if tau < cut {
+			cut = tau
+		}
+		if shared != nil {
+			if sv := shared.Load(); sv < cut {
+				cut = sv
+			}
+		}
+		dir := scratch.dir(ei)
+		if dir < 0 {
+			var full bool
+			dir, full = avgMinDistVerticesBoundedAffine(e.Poly, oracle, 0, cut)
+			if !full {
+				scratch.setDead(ei)
+				return
+			}
+			scratch.setDir(ei, dir)
+		}
+		back, full := avgMinDistVerticesBoundedAffine(qe.Poly, b.entryOracle(ei), dir, cut)
+		if !full {
+			scratch.setDead(ei)
+			return
+		}
+		scratch.setEvaluated(ei)
 		dv := (dir + back) / 2
-		cur, ok := bestByShape[e.ShapeID]
-		if !ok || dv < cur.DistVertex {
+		if dv < curBest {
 			bestByShape[e.ShapeID] = Match{
 				ShapeID:    e.ShapeID,
 				EntryID:    int(ei),
 				DistVertex: dv,
 			}
 			topk.Update(e.ShapeID, dv)
+			if publish && shared != nil {
+				if kv := topk.Kth(); !math.IsInf(kv, 1) {
+					shared.Tighten(kv)
+				}
+			}
+		} else if haveCur && dv == curBest && int(ei) < cur.EntryID {
+			// Deterministic tie-break: among copies realizing the same
+			// distance, report the lowest entry id regardless of the
+			// order pruning happened to evaluate them in.
+			cur.EntryID = int(ei)
+			bestByShape[e.ShapeID] = cur
 		}
+	}
+
+	// ruledOut reports whether lower bound lb proves an entry irrelevant.
+	// Each cutoff is monotone non-increasing over the query, so a true
+	// result is permanent and the caller stamps the entry dead.
+	kth, have := kthBound()
+	ruledOut := func(lb float64) bool {
+		if topkMode {
+			if have >= k && lb >= kth {
+				return true
+			}
+		} else if lb > tau {
+			return true
+		}
+		if shared != nil && lb > shared.Load() {
+			return true
+		}
+		return false
 	}
 
 	// The report callback is allocated once and shared by every triangle
@@ -212,7 +291,7 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		ei := b.vertEntry[vid]
 		c := scratch.addVertex(ei, d)
 		need := candidateThreshold(b.entryVertexCount(ei), beta)
-		if c == need && !scratch.evaluated(ei) {
+		if c == need && !scratch.resolved(ei) {
 			newCandidates = append(newCandidates, ei)
 		}
 	}
@@ -233,62 +312,72 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 			b.backend.ReportTriangle(tr, reportVertex)
 		}
 
-		// Step 4: evaluate candidates, cheapest bound first. An entry is
-		// fully evaluated only if neither the counting bound nor the
-		// (lazily computed, cached) directed distance rules it out.
-		kth, have := kthBound()
-		tryEvaluate := func(ei int32) {
-			if scratch.evaluated(ei) {
-				return
-			}
-			ruledOut := func() bool {
-				lb := entryBound(ei, eps)
-				if math.IsInf(tau, 1) {
-					return have >= k && lb >= kth
+		// Step 4, bootstrap: β-candidacy (the paper's step 3/4 rule)
+		// seeds the top-k before any bound is meaningful.
+		if topkMode {
+			for _, ei := range newCandidates {
+				if have >= k {
+					break
 				}
-				return lb > tau
-			}
-			if ruledOut() {
-				return
-			}
-			// Phase 2: the cheap directed distance, cached forever.
-			ensureDir(ei)
-			if ruledOut() {
-				return
-			}
-			evaluateFull(ei)
-			kth, have = kthBound()
-		}
-		for _, ei := range newCandidates {
-			// β-candidacy (the paper's step 3/4 rule) bootstraps the
-			// top-k before any bound is meaningful.
-			if math.IsInf(tau, 1) && have < k {
-				if !scratch.evaluated(ei) {
-					evaluateFull(ei)
+				if !scratch.resolved(ei) {
+					evaluate(ei)
 					kth, have = kthBound()
 				}
-				continue
 			}
-			tryEvaluate(ei)
 		}
-		// Bounds pass: any touched entry whose bound undercuts the k-th
-		// best (or the threshold) must be resolved before terminating.
-		// Before the top-k is populated there is no bound to undercut
-		// (ruledOut would be vacuously false for every touched entry), so
-		// only the β-candidates above bootstrap it.
-		for _, ei := range scratch.touched {
-			if math.IsInf(tau, 1) && have < k {
-				break
+
+		// Step 4, bounds pass: every touched, unresolved entry is either
+		// ruled out by its proven lower bound (permanently — the cutoffs
+		// only tighten) or evaluated, in ascending lower-bound order so
+		// the k-th best tightens as fast as possible and later entries
+		// face the sharpest cutoff. Before the top-k is populated there
+		// is no bound to undercut, so only the β-candidates above run.
+		if !topkMode || have >= k {
+			scratch.orderEnt = scratch.orderEnt[:0]
+			scratch.orderLB = scratch.orderLB[:0]
+			for _, ei := range scratch.touched {
+				if scratch.resolved(ei) {
+					continue
+				}
+				lb := entryBound(ei, eps)
+				if ruledOut(lb) {
+					scratch.setDead(ei)
+					continue
+				}
+				scratch.orderEnt = append(scratch.orderEnt, ei)
+				scratch.orderLB = append(scratch.orderLB, lb)
 			}
-			tryEvaluate(ei)
+			sort.Sort(boundOrder{scratch})
+			for i, ei := range scratch.orderEnt {
+				if scratch.resolved(ei) {
+					continue
+				}
+				// The cutoffs may have tightened since the list was
+				// built; re-test the stored bound before paying for the
+				// evaluation.
+				if ruledOut(scratch.orderLB[i]) {
+					scratch.setDead(ei)
+					continue
+				}
+				evaluate(ei)
+				kth, have = kthBound()
+			}
 		}
 
 		// Termination: untouched entries have every vertex farther than ε
 		// (DistVertex ≥ ε/2), and every touched entry is either evaluated
 		// or bounded out; so once the k-th best is ≤ ε/2 the result is
 		// provably final.
-		if math.IsInf(tau, 1) {
+		if topkMode {
 			if have >= k && kth <= eps/2 {
+				stats.Converged = true
+				break
+			}
+			// Shared-bound early exit: every unresolved entry has
+			// DistVertex ≥ ε/2 > shared ≥ the merged k-th best, so
+			// nothing this search could still evaluate can enter the
+			// merged result — its contribution is final.
+			if shared != nil && shared.Load() < eps/2 {
 				stats.Converged = true
 				break
 			}
@@ -298,7 +387,7 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		}
 		// Step 5: grow the envelope or give up at the threshold.
 		if eps >= thresholdEps {
-			if math.IsInf(tau, 1) {
+			if topkMode {
 				stats.Converged = have >= k && kth <= eps/2
 			} else {
 				stats.Converged = eps/2 >= tau
@@ -329,11 +418,30 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		}
 		ei := out[i].EntryID
 		e := &b.entries[ei]
-		samples := b.opts.Samples
-		out[i].DistContinuous = (AvgMinDistTo(e.Poly, oracle, samples) +
-			AvgMinDistTo(qe.Poly, b.entryOracle(int32(ei)), samples)) / 2
+		out[i].DistContinuous = (b.avgMinDistToScratch(e.Poly, oracle, scratch) +
+			b.avgMinDistToScratch(qe.Poly, b.entryOracle(int32(ei)), scratch)) / 2
 	}
 	return out, stats, nil
+}
+
+// avgMinDistToScratch is AvgMinDistTo at the base's configured sampling
+// density, resampling into the pooled scratch buffer so the final
+// continuous-measure fill allocates nothing. The produced values are
+// identical to AvgMinDistTo's (same sample points, same accumulation).
+func (b *Base) avgMinDistToScratch(a geom.Poly, o *BoundaryDist, scratch *matchScratch) float64 {
+	samples := b.opts.Samples
+	if samples <= 0 {
+		samples = DefaultSamples(a.NumVertices())
+	}
+	scratch.resample = a.ResampleInto(scratch.resample, samples)
+	if len(scratch.resample) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range scratch.resample {
+		sum += o.Dist(p)
+	}
+	return sum / float64(len(scratch.resample))
 }
 
 // probeEnvelope cheaply checks whether any base vertex lies within eps of

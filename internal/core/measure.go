@@ -211,6 +211,7 @@ func directedKth(a, b geom.Poly, k int) float64 {
 type PreparedQuery struct {
 	entry  Entry
 	oracle *BoundaryDist
+	bound  GeomBound
 }
 
 // PrepareQuery normalizes q canonically and builds its boundary oracle.
@@ -219,7 +220,11 @@ func PrepareQuery(q geom.Poly) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{entry: qe, oracle: NewBoundaryDist(qe.Poly)}, nil
+	return &PreparedQuery{
+		entry:  qe,
+		oracle: NewBoundaryDist(qe.Poly),
+		bound:  GeomBoundOf(qe.Poly.Pts),
+	}, nil
 }
 
 // Entry returns the query's canonical normalization.

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// This file holds the admissible pruning primitives of the prune-first
+// match kernel (DESIGN.md §4.9): per-entry O(1) geometric lower bounds
+// precomputed at Freeze, and the atomic shared top-k bound that lets the
+// shards of a ShardedEngine prune against each other mid-flight.
+
+// geomBoundSlack absorbs the floating-point error of the geometric
+// lower-bound construction. The bound is derived in real arithmetic;
+// evaluated in floats it can overshoot the true separation by a few ulps,
+// so it is slackened before use. Shapes are diameter-normalized (every
+// coordinate is O(1), inside the lune), so an absolute margin of 1e-9 is
+// ~6 orders of magnitude above the accumulated rounding error while
+// costing nothing against the distances the engine ranks (~1e-2 scale).
+const geomBoundSlack = 1e-9
+
+// GeomBound is the O(1) summary of a vertex set used for constant-time
+// lower bounds on the symmetric vertex-averaged distance between two
+// shapes: the vertex centroid with an enclosing radius, and the bounding
+// box. Both regions contain every vertex — and, being convex, the whole
+// boundary (each boundary point is a convex combination of two vertices).
+type GeomBound struct {
+	CX, CY float64 // vertex centroid
+	R      float64 // enclosing radius about the centroid
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// GeomBoundOf summarizes a vertex set. An empty set yields a bound that
+// never prunes (LowerBound returns 0).
+func GeomBoundOf(pts []geom.Point) GeomBound {
+	if len(pts) == 0 {
+		return GeomBound{R: math.Inf(1), MinX: math.Inf(-1), MinY: math.Inf(-1),
+			MaxX: math.Inf(1), MaxY: math.Inf(1)}
+	}
+	g := GeomBound{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+	for _, p := range pts {
+		g.CX += p.X
+		g.CY += p.Y
+		g.MinX = math.Min(g.MinX, p.X)
+		g.MinY = math.Min(g.MinY, p.Y)
+		g.MaxX = math.Max(g.MaxX, p.X)
+		g.MaxY = math.Max(g.MaxY, p.Y)
+	}
+	g.CX /= float64(len(pts))
+	g.CY /= float64(len(pts))
+	for _, p := range pts {
+		dx, dy := p.X-g.CX, p.Y-g.CY
+		if r := math.Hypot(dx, dy); r > g.R {
+			g.R = r
+		}
+	}
+	return g
+}
+
+// LowerBound returns a proven lower bound on the symmetric vertex-
+// averaged distance between the two summarized shapes. Every vertex of
+// one shape is at least D away from every boundary point of the other,
+// where D is the larger of the ball separation |c₁c₂| − r₁ − r₂ and the
+// bounding-box gap; hence both directed averages — and their mean — are
+// at least D. The result is slackened by geomBoundSlack and clamped at 0.
+func (g *GeomBound) LowerBound(o *GeomBound) float64 {
+	d := math.Hypot(o.CX-g.CX, o.CY-g.CY) - g.R - o.R
+	gx := math.Max(math.Max(g.MinX-o.MaxX, o.MinX-g.MaxX), 0)
+	gy := math.Max(math.Max(g.MinY-o.MaxY, o.MinY-g.MaxY), 0)
+	if rd := math.Hypot(gx, gy); rd > d {
+		d = rd
+	}
+	d -= geomBoundSlack
+	if d < 0 || math.IsNaN(d) {
+		return 0
+	}
+	return d
+}
+
+// SharedBound is an atomic, monotonically non-increasing distance bound
+// shared by concurrent searches: any value ever stored is a proven upper
+// bound on the k-th best distance of the merged result, so every reader
+// may discard work strictly above the current value. The zero value is
+// not usable; construct with NewSharedBound (which starts at +Inf).
+//
+// Values are non-negative, so their IEEE-754 bit patterns order like the
+// floats themselves and a CAS loop over the raw bits implements an
+// atomic min.
+type SharedBound struct {
+	bits atomic.Uint64
+}
+
+// NewSharedBound returns a bound starting at +Inf (nothing pruned).
+func NewSharedBound() *SharedBound {
+	s := &SharedBound{}
+	s.bits.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+// Load returns the current bound.
+func (s *SharedBound) Load() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Tighten lowers the bound to v if v improves it. NaN and negative
+// values are ignored.
+func (s *SharedBound) Tighten(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	nb := math.Float64bits(v)
+	for {
+		ob := s.bits.Load()
+		if math.Float64frombits(ob) <= v {
+			return
+		}
+		if s.bits.CompareAndSwap(ob, nb) {
+			return
+		}
+	}
+}
+
+// avgMinDistVerticesBoundedAffine iterates AvgMinDistVertices(a, b) with
+// an admissible early exit: it aborts as soon as the partial sum proves
+//
+//	(base + full/n) / 2 > cut
+//
+// under the exact float operations the caller uses to combine the two
+// directed halves into the symmetric measure. The proof needs only
+// monotonicity: the running sum is non-decreasing (non-negative terms),
+// float division by n and float addition are monotone, so the partial
+// value (base + sum/n)/2 — computed with the same operation sequence —
+// never exceeds the final one. When it completes, the returned value is
+// bit-identical to AvgMinDistVertices (same loop, same accumulator).
+//
+// The abort test costs a division, so a cheap product gate (sum >
+// (2·cut − base)·n, exact in the cases that matter and conservative
+// otherwise) guards it.
+func avgMinDistVerticesBoundedAffine(a geom.Poly, b *BoundaryDist, base, cut float64) (float64, bool) {
+	n := len(a.Pts)
+	if n == 0 {
+		return math.Inf(1), true
+	}
+	nf := float64(n)
+	// NaN when both base and cut are +Inf — then the gate never fires and
+	// the loop runs to completion, which is the correct "no cutoff" mode.
+	trigger := (2*cut - base) * nf
+	var sum float64
+	for _, p := range a.Pts {
+		sum += b.Dist(p)
+		if sum > trigger && (base+sum/nf)/2 > cut {
+			return 0, false
+		}
+	}
+	return sum / nf, true
+}
+
+// AvgMinDistVerticesBounded is AvgMinDistVertices with an admissible
+// early exit: it returns (value, true) with the exact directed measure
+// when it is ≤ cutoff (or when cutoff is +Inf), and (0, false) as soon
+// as the partial sum proves the final value exceeds cutoff — every
+// remaining min-term is ≥ 0, so the partial average only grows. Values
+// exactly equal to cutoff are never aborted (the test is strict), so
+// ties survive pruning.
+func AvgMinDistVerticesBounded(a geom.Poly, b *BoundaryDist, cutoff float64) (float64, bool) {
+	n := len(a.Pts)
+	if n == 0 {
+		return math.Inf(1), true
+	}
+	nf := float64(n)
+	trigger := cutoff * nf
+	var sum float64
+	for _, p := range a.Pts {
+		sum += b.Dist(p)
+		if sum > trigger && sum/nf > cutoff {
+			return 0, false
+		}
+	}
+	return sum / nf, true
+}
+
+// AvgMinDistToBounded is AvgMinDistTo with the same admissible early
+// exit over the resampled boundary: it aborts the moment
+// sum > cutoff·samples, returning (0, false); otherwise the exact
+// continuous measure and true. samples ≤ 0 selects DefaultSamples.
+func AvgMinDistToBounded(a geom.Poly, b *BoundaryDist, samples int, cutoff float64) (float64, bool) {
+	if samples <= 0 {
+		samples = DefaultSamples(a.NumVertices())
+	}
+	pts := a.Resample(samples)
+	if len(pts) == 0 {
+		return math.Inf(1), true
+	}
+	nf := float64(len(pts))
+	trigger := cutoff * nf
+	var sum float64
+	for _, p := range pts {
+		sum += b.Dist(p)
+		if sum > trigger && sum/nf > cutoff {
+			return 0, false
+		}
+	}
+	return sum / nf, true
+}
+
+// ShapeDistancePreparedBounded is ShapeDistancePrepared with an
+// admissible cutoff: it returns the exact shape distance and true when
+// the distance is ≤ cutoff, and (+Inf, false) once every normalized copy
+// is proven to exceed cutoff — via the O(1) geometric lower bound first,
+// then the partial-sum early exit. The pruning is exact: a copy is
+// discarded only when the value the unpruned evaluation would have
+// produced is strictly above both cutoff and the running best, so the
+// minimum over surviving copies equals the unpruned minimum whenever
+// that minimum is ≤ cutoff.
+func (b *Base) ShapeDistancePreparedBounded(shapeID int, pq *PreparedQuery, cutoff float64) (float64, bool, error) {
+	if shapeID < 0 || shapeID >= len(b.shapes) {
+		return 0, false, fmt.Errorf("core: shape id %d out of range", shapeID)
+	}
+	best := math.Inf(1)
+	for _, ei := range b.shapeEntries[shapeID] {
+		cut := math.Min(cutoff, best)
+		if b.geomBounds != nil && pq.bound.LowerBound(&b.geomBounds[ei]) > cut {
+			continue
+		}
+		dir, ok := avgMinDistVerticesBoundedAffine(b.entries[ei].Poly, pq.oracle, 0, cut)
+		if !ok {
+			continue
+		}
+		back, ok := avgMinDistVerticesBoundedAffine(pq.entry.Poly, b.entryOracle(ei), dir, cut)
+		if !ok {
+			continue
+		}
+		if d := (dir + back) / 2; d < best {
+			best = d
+		}
+	}
+	return best, best <= cutoff, nil
+}

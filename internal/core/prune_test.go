@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synth"
+)
+
+// unitSquare is the shared oracle target of the measure edge-case tests:
+// any valid shape works, the degenerate inputs are always on the
+// measured side.
+func unitSquare() geom.Poly {
+	return geom.NewPolygon(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1))
+}
+
+// TestBoundedMeasuresMatchUnbounded pins the contract the whole pruning
+// kernel rests on: with cutoff +Inf the bounded evaluators return the
+// exact unbounded value bit for bit, with the cutoff exactly at the
+// value they still complete (ties survive the strict test), and with a
+// cutoff strictly below they abort.
+func TestBoundedMeasuresMatchUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	square := unitSquare()
+	oracle := NewBoundaryDist(square)
+	for trial := 0; trial < 50; trial++ {
+		pts := make([]geom.Point, 3+rng.Intn(8))
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*6-3, rng.Float64()*6-3)
+		}
+		a := geom.Poly{Pts: pts, Closed: false}
+
+		want := AvgMinDistVertices(a, oracle)
+		got, ok := AvgMinDistVerticesBounded(a, oracle, math.Inf(1))
+		if !ok || got != want {
+			t.Fatalf("trial %d: unbounded cutoff: got (%v, %v), want (%v, true)", trial, got, ok, want)
+		}
+		if got, ok := AvgMinDistVerticesBounded(a, oracle, want); !ok || got != want {
+			t.Fatalf("trial %d: cutoff==value must not abort: got (%v, %v)", trial, got, ok)
+		}
+		if want > 0 {
+			if _, ok := AvgMinDistVerticesBounded(a, oracle, want*(1-1e-9)); ok {
+				t.Fatalf("trial %d: cutoff below value %v did not abort", trial, want)
+			}
+		}
+
+		samples := 16 + rng.Intn(64)
+		wantC := AvgMinDistTo(a, oracle, samples)
+		gotC, ok := AvgMinDistToBounded(a, oracle, samples, math.Inf(1))
+		if !ok || gotC != wantC {
+			t.Fatalf("trial %d: continuous unbounded: got (%v, %v), want (%v, true)", trial, gotC, ok, wantC)
+		}
+		if gotC, ok := AvgMinDistToBounded(a, oracle, samples, wantC); !ok || gotC != wantC {
+			t.Fatalf("trial %d: continuous cutoff==value aborted", trial)
+		}
+	}
+}
+
+// TestBoundedMeasureEdgeCases drives the evaluators through the
+// degenerate inputs the validation layer normally filters out: empty
+// vertex sets, single-vertex shapes, zero-length chains, and
+// non-positive sample counts.
+func TestBoundedMeasureEdgeCases(t *testing.T) {
+	oracle := NewBoundaryDist(unitSquare())
+
+	empty := geom.Poly{}
+	if d, ok := AvgMinDistVerticesBounded(empty, oracle, 0.5); !ok || !math.IsInf(d, 1) {
+		t.Fatalf("empty poly: got (%v, %v), want (+Inf, true)", d, ok)
+	}
+	if d := AvgMinDistVertices(empty, oracle); !math.IsInf(d, 1) {
+		t.Fatalf("empty poly unbounded: got %v, want +Inf", d)
+	}
+	if d, ok := AvgMinDistToBounded(empty, oracle, 32, 0.5); !ok || !math.IsInf(d, 1) {
+		t.Fatalf("empty poly continuous: got (%v, %v), want (+Inf, true)", d, ok)
+	}
+
+	// A single-vertex "shape": every resample point is the vertex itself,
+	// so the continuous and vertex averages coincide at its distance.
+	single := geom.Poly{Pts: []geom.Point{geom.Pt(3, 0.5)}}
+	wantD := oracle.Dist(geom.Pt(3, 0.5))
+	if d := AvgMinDistVertices(single, oracle); d != wantD {
+		t.Fatalf("single vertex: got %v, want %v", d, wantD)
+	}
+	wantD7 := AvgMinDistTo(single, oracle, 7)
+	if d, ok := AvgMinDistToBounded(single, oracle, 7, math.Inf(1)); !ok || d != wantD7 {
+		t.Fatalf("single vertex continuous: got (%v, %v), want (%v, true)", d, ok, wantD7)
+	}
+	if _, ok := AvgMinDistToBounded(single, oracle, 7, wantD/2); ok {
+		t.Fatal("single vertex: cutoff below distance did not abort")
+	}
+
+	// A zero-length chain (two identical vertices) has zero perimeter:
+	// resampling collapses to the first vertex.
+	zero := geom.Poly{Pts: []geom.Point{geom.Pt(2, 2), geom.Pt(2, 2)}}
+	wantZ := oracle.Dist(geom.Pt(2, 2))
+	if d := AvgMinDistVertices(zero, oracle); d != wantZ {
+		t.Fatalf("zero-length chain: got %v, want %v", d, wantZ)
+	}
+	wantZ16 := AvgMinDistTo(zero, oracle, 16)
+	if d, ok := AvgMinDistToBounded(zero, oracle, 16, math.Inf(1)); !ok || d != wantZ16 {
+		t.Fatalf("zero-length chain continuous: got (%v, %v), want (%v, true)", d, ok, wantZ16)
+	}
+
+	// samples <= 0 selects the same default density as the unbounded path.
+	tri := geom.NewPolygon(geom.Pt(4, 4), geom.Pt(5, 4), geom.Pt(4.5, 5))
+	want := AvgMinDistTo(tri, oracle, 0)
+	if got, ok := AvgMinDistToBounded(tri, oracle, 0, math.Inf(1)); !ok || got != want {
+		t.Fatalf("default samples: got (%v, %v), want (%v, true)", got, ok, want)
+	}
+	if got, ok := AvgMinDistToBounded(tri, oracle, -5, math.Inf(1)); !ok || got != want {
+		t.Fatalf("negative samples: got (%v, %v), want (%v, true)", got, ok, want)
+	}
+}
+
+// TestGeomBoundAdmissible checks the O(1) lower bound against the exact
+// symmetric vertex-averaged measure on random shape pairs: it must never
+// exceed the true distance (that would prune true matches), and it must
+// be strictly positive for well-separated shapes (otherwise it prunes
+// nothing).
+func TestGeomBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		a := randBlob(rng, rng.Float64()*4-2, rng.Float64()*4-2)
+		b := randBlob(rng, rng.Float64()*8-4, rng.Float64()*8-4)
+		ga := GeomBoundOf(a.Pts)
+		gb := GeomBoundOf(b.Pts)
+		lb := ga.LowerBound(&gb)
+		true1 := AvgMinDistVerticesSym(a, b)
+		if lb > true1 {
+			t.Fatalf("trial %d: lower bound %v exceeds true distance %v", trial, lb, true1)
+		}
+	}
+	// Far-apart shapes must produce a useful (positive) bound.
+	a := randBlob(rng, 0, 0)
+	b := randBlob(rng, 50, 0)
+	ga, gb := GeomBoundOf(a.Pts), GeomBoundOf(b.Pts)
+	if lb := ga.LowerBound(&gb); lb < 40 {
+		t.Fatalf("distant shapes: bound %v too weak", lb)
+	}
+	// The empty summary never prunes.
+	e := GeomBoundOf(nil)
+	if lb := e.LowerBound(&ga); lb != 0 {
+		t.Fatalf("empty bound: got %v, want 0", lb)
+	}
+	if lb := ga.LowerBound(&e); lb != 0 {
+		t.Fatalf("vs empty bound: got %v, want 0", lb)
+	}
+}
+
+// randBlob returns a small random closed polygon around (cx, cy).
+func randBlob(rng *rand.Rand, cx, cy float64) geom.Poly {
+	n := 4 + rng.Intn(6)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		ang := (float64(i) + rng.Float64()*0.5) / float64(n) * 2 * math.Pi
+		r := 0.5 + rng.Float64()
+		pts[i] = geom.Pt(cx+r*math.Cos(ang), cy+r*math.Sin(ang))
+	}
+	return geom.Poly{Pts: pts, Closed: true}
+}
+
+// TestSharedBound exercises the atomic min: monotone tightening,
+// rejection of NaN and negatives, and a concurrent hammering that -race
+// watches for unsynchronized access.
+func TestSharedBound(t *testing.T) {
+	s := NewSharedBound()
+	if !math.IsInf(s.Load(), 1) {
+		t.Fatalf("fresh bound: got %v, want +Inf", s.Load())
+	}
+	s.Tighten(2)
+	s.Tighten(3) // looser: ignored
+	if got := s.Load(); got != 2 {
+		t.Fatalf("after Tighten(2), Tighten(3): got %v, want 2", got)
+	}
+	s.Tighten(math.NaN())
+	s.Tighten(-1)
+	if got := s.Load(); got != 2 {
+		t.Fatalf("NaN/negative must be ignored: got %v", got)
+	}
+
+	c := NewSharedBound()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 100; i >= 0; i-- {
+				c.Tighten(float64(g*100+i) / 1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("concurrent min: got %v, want 0", got)
+	}
+}
+
+// TestShapeDistancePreparedBounded checks the bounded shape-level
+// evaluation against the exhaustive one: same value whenever the true
+// distance is within the cutoff (including exactly at it), a definite
+// rejection otherwise, and the same range-error contract.
+func TestShapeDistancePreparedBounded(t *testing.T) {
+	b := NewBase(DefaultOptions())
+	images := synth.GenerateBase(synth.BaseSpec{
+		Images: 12, MeanShapes: 2, MeanVertices: 12, Prototypes: 5,
+		Distortion: 0.03, OpenFraction: 0.25, Seed: 3,
+	})
+	rng := rand.New(rand.NewSource(5))
+	for _, img := range images {
+		for _, s := range img.Shapes {
+			if _, err := b.AddShape(img.ID, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	q := synth.Distort(rng, b.Shape(0).Poly, 0.02)
+	pq, err := PrepareQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.ShapeDistancePreparedBounded(-1, pq, 1); err == nil {
+		t.Fatal("negative shape id must error")
+	}
+	if _, _, err := b.ShapeDistancePreparedBounded(b.NumShapes(), pq, 1); err == nil {
+		t.Fatal("out-of-range shape id must error")
+	}
+	for sid := 0; sid < b.NumShapes(); sid++ {
+		want, err := b.ShapeDistancePrepared(sid, pq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := b.ShapeDistancePreparedBounded(sid, pq, math.Inf(1))
+		if err != nil || !ok || got != want {
+			t.Fatalf("shape %d: unbounded: got (%v, %v, %v), want (%v, true, nil)", sid, got, ok, err, want)
+		}
+		if got, ok, _ := b.ShapeDistancePreparedBounded(sid, pq, want); !ok || got != want {
+			t.Fatalf("shape %d: cutoff==value: got (%v, %v), want (%v, true)", sid, got, ok, want)
+		}
+		if want > 0 {
+			if _, ok, _ := b.ShapeDistancePreparedBounded(sid, pq, want/2); ok {
+				t.Fatalf("shape %d: cutoff %v below value %v not rejected", sid, want/2, want)
+			}
+		}
+	}
+}
+
+// TestPrunedTopKAgainstScan is the byte-identity property test of the
+// prune-first kernel (DESIGN.md §4.9): over a seeded random base, every
+// converged Match result — distances, shape ids, entry ids, continuous
+// measures — must equal the exhaustive linear scan's exactly, not just
+// within tolerance. The pruning is only admissible if no float in the
+// output moves.
+func TestPrunedTopKAgainstScan(t *testing.T) {
+	b := NewBase(DefaultOptions())
+	images := synth.GenerateBase(synth.BaseSpec{
+		Images: 30, MeanShapes: 3, MeanVertices: 13, Prototypes: 8,
+		Distortion: 0.02, OpenFraction: 0.3, Seed: 17,
+	})
+	for _, img := range images {
+		for _, s := range img.Shapes {
+			if _, err := b.AddShape(img.ID, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := NewScanMatcher(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	converged := 0
+	for trial := 0; trial < 30; trial++ {
+		q := synth.Distort(rng, b.Shape(rng.Intn(b.NumShapes())).Poly, 0.025)
+		if q.Validate() != nil {
+			continue
+		}
+		k := 1 + rng.Intn(5)
+		fast, st, err := b.Match(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			continue
+		}
+		converged++
+		ref, err := scan.Match(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("trial %d (k=%d): pruned result diverges from scan:\nfast: %+v\nscan: %+v",
+				trial, k, fast, ref)
+		}
+
+		// MatchShared over the whole base with a fresh bound must agree
+		// byte for byte with Match: publishing its own k-th best back to
+		// itself never prunes anything the local bound would not.
+		shared, sst, err := b.MatchShared(q, k, NewSharedBound(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sst.Converged || !reflect.DeepEqual(shared, fast) {
+			t.Fatalf("trial %d: MatchShared diverges from Match (converged=%v)", trial, sst.Converged)
+		}
+	}
+	if converged < 20 {
+		t.Errorf("only %d/30 queries converged", converged)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/geom"
+)
 
 // This file holds the per-query working state of the fattening search
 // (§2.5) in a form that can be recycled across queries. A frozen base
@@ -30,12 +34,27 @@ type matchScratch struct {
 	// Per-entry "fully evaluated" flag.
 	evalStamp []uint32
 
+	// Per-entry "proven irrelevant" flag: the entry's distance is proven
+	// strictly above every cutoff that could make it matter (current kth,
+	// its shape's best, tau, the shared cross-shard bound). All cutoffs
+	// are monotonically non-increasing over a query, so the ruling is
+	// permanent and the entry is skipped by every later pass.
+	deadStamp []uint32
+
 	// Per-vertex "already counted" flag (each vertex enters the counters
 	// exactly once, in its home iteration).
 	vertStamp []uint32
 
 	// Entries with at least one counted vertex, in discovery order.
 	touched []int32
+
+	// Best-first ordering buffers of the per-iteration bounds pass
+	// (entries paired with their lower bounds, sorted ascending).
+	orderEnt []int32
+	orderLB  []float64
+
+	// Resample buffer for the final continuous-measure fill.
+	resample []geom.Point
 }
 
 func newMatchScratch(entries, verts int) *matchScratch {
@@ -46,6 +65,7 @@ func newMatchScratch(entries, verts int) *matchScratch {
 		dirDist:    make([]float64, entries),
 		dirStamp:   make([]uint32, entries),
 		evalStamp:  make([]uint32, entries),
+		deadStamp:  make([]uint32, entries),
 		vertStamp:  make([]uint32, verts),
 		touched:    make([]int32, 0, 256),
 	}
@@ -60,6 +80,7 @@ func (s *matchScratch) reset() {
 		clearU32(s.entryStamp)
 		clearU32(s.dirStamp)
 		clearU32(s.evalStamp)
+		clearU32(s.deadStamp)
 		clearU32(s.vertStamp)
 		s.epoch = 1
 	}
@@ -121,6 +142,15 @@ func (s *matchScratch) setDir(ei int32, d float64) {
 func (s *matchScratch) evaluated(ei int32) bool { return s.evalStamp[ei] == s.epoch }
 func (s *matchScratch) setEvaluated(ei int32)   { s.evalStamp[ei] = s.epoch }
 
+func (s *matchScratch) dead(ei int32) bool { return s.deadStamp[ei] == s.epoch }
+func (s *matchScratch) setDead(ei int32)   { s.deadStamp[ei] = s.epoch }
+
+// resolved reports that the entry needs no further work this query:
+// its exact distance is known, or it is proven irrelevant.
+func (s *matchScratch) resolved(ei int32) bool {
+	return s.evalStamp[ei] == s.epoch || s.deadStamp[ei] == s.epoch
+}
+
 func (s *matchScratch) counted(vid int) bool { return s.vertStamp[vid] == s.epoch }
 func (s *matchScratch) setCounted(vid int)   { s.vertStamp[vid] = s.epoch }
 
@@ -137,6 +167,23 @@ func (b *Base) getScratch() *matchScratch {
 }
 
 func (b *Base) putScratch(s *matchScratch) { b.scratch.Put(s) }
+
+// boundOrder sorts the bounds-pass work list ascending by lower bound,
+// breaking ties on entry index so the evaluation order — and with it the
+// Stats counters — is deterministic.
+type boundOrder struct{ s *matchScratch }
+
+func (o boundOrder) Len() int { return len(o.s.orderEnt) }
+func (o boundOrder) Less(i, j int) bool {
+	if o.s.orderLB[i] != o.s.orderLB[j] {
+		return o.s.orderLB[i] < o.s.orderLB[j]
+	}
+	return o.s.orderEnt[i] < o.s.orderEnt[j]
+}
+func (o boundOrder) Swap(i, j int) {
+	o.s.orderEnt[i], o.s.orderEnt[j] = o.s.orderEnt[j], o.s.orderEnt[i]
+	o.s.orderLB[i], o.s.orderLB[j] = o.s.orderLB[j], o.s.orderLB[i]
+}
 
 // boundedTopK maintains the k-th smallest of the per-shape best
 // distances incrementally. The old implementation rebuilt and sorted the

@@ -290,21 +290,28 @@ func (p Poly) Validate() error {
 // chains include the final vertex as the k-th point when k ≥ 2.
 // Resample is the basis of the continuous-boundary average distance.
 func (p Poly) Resample(k int) []Point {
+	return p.ResampleInto(nil, k)
+}
+
+// ResampleInto is Resample writing into dst's backing array (grown as
+// needed), so hot loops can reuse one buffer across calls instead of
+// allocating k points per evaluation. It returns the filled slice; the
+// produced points are identical to Resample's.
+func (p Poly) ResampleInto(dst []Point, k int) []Point {
 	if k <= 0 || len(p.Pts) == 0 {
 		return nil
 	}
+	out := dst[:0]
 	if len(p.Pts) == 1 {
-		out := make([]Point, k)
-		for i := range out {
-			out[i] = p.Pts[0]
+		for i := 0; i < k; i++ {
+			out = append(out, p.Pts[0])
 		}
 		return out
 	}
 	total := p.Perimeter()
 	if total == 0 {
-		out := make([]Point, k)
-		for i := range out {
-			out[i] = p.Pts[0]
+		for i := 0; i < k; i++ {
+			out = append(out, p.Pts[0])
 		}
 		return out
 	}
@@ -313,11 +320,10 @@ func (p Poly) Resample(k int) []Point {
 		step = total / float64(k)
 	} else {
 		if k == 1 {
-			return []Point{p.Pts[0]}
+			return append(out, p.Pts[0])
 		}
 		step = total / float64(k-1)
 	}
-	out := make([]Point, 0, k)
 	edge := 0
 	edgeLen := p.Edge(0).Length()
 	pos := 0.0 // distance consumed on current edge

@@ -1,6 +1,9 @@
 package geom
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Triangle is a triangle given by its three corners. Triangles are the
 // query ranges of the simplex range-search layer: the envelope difference
@@ -92,6 +95,98 @@ func (t Triangle) IntersectsRect(r Rect) bool {
 
 // String implements fmt.Stringer.
 func (t Triangle) String() string { return fmt.Sprintf("Tri{%v %v %v}", t.A, t.B, t.C) }
+
+// TriQuery is a Triangle prepared for many point/rectangle tests against
+// the same triangle — the access pattern of a range-search traversal,
+// which probes one triangle against every visited tree node. Prepare
+// hoists the bounding box, the edge vectors, and the separating-axis
+// projection intervals out of the per-node work, so the rectangle overlap
+// test is a handful of multiply-adds instead of twelve segment
+// intersections.
+type TriQuery struct {
+	bounds Rect
+	// Edge origins and vectors in Contains order: (A, B−A), (B, C−B),
+	// (C, A−C). Contains must reproduce Triangle.Contains bit for bit, so
+	// the vectors are the exact differences that method computes.
+	ox, oy [3]float64
+	ex, ey [3]float64
+	// Projection interval of the triangle onto each edge normal
+	// (−ey[i], ex[i]), for the separating-axis rectangle test.
+	pmin, pmax [3]float64
+}
+
+// Prepare returns t's query form.
+func (t Triangle) Prepare() TriQuery {
+	var q TriQuery
+	q.bounds = t.Bounds()
+	corners := [3]Point{t.A, t.B, t.C}
+	for i := 0; i < 3; i++ {
+		a, b := corners[i], corners[(i+1)%3]
+		q.ox[i], q.oy[i] = a.X, a.Y
+		q.ex[i], q.ey[i] = b.X-a.X, b.Y-a.Y
+		nx, ny := -q.ey[i], q.ex[i]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range corners {
+			p := nx*c.X + ny*c.Y
+			lo = math.Min(lo, p)
+			hi = math.Max(hi, p)
+		}
+		q.pmin[i], q.pmax[i] = lo, hi
+	}
+	return q
+}
+
+// Contains is Triangle.Contains with the edge vectors precomputed. The
+// arithmetic — operand values and operation order — is identical, so a
+// TriQuery reports exactly the same point set as its Triangle.
+func (q *TriQuery) Contains(p Point) bool {
+	d1 := q.ex[0]*(p.Y-q.oy[0]) - q.ey[0]*(p.X-q.ox[0])
+	d2 := q.ex[1]*(p.Y-q.oy[1]) - q.ey[1]*(p.X-q.ox[1])
+	d3 := q.ex[2]*(p.Y-q.oy[2]) - q.ey[2]*(p.X-q.ox[2])
+	hasNeg := d1 < -Eps || d2 < -Eps || d3 < -Eps
+	hasPos := d1 > Eps || d2 > Eps || d3 > Eps
+	return !(hasNeg && hasPos)
+}
+
+// ContainsRect reports whether the entire rectangle r lies inside the
+// triangle, by the same four-corner test as Triangle.ContainsRect.
+func (q *TriQuery) ContainsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return true
+	}
+	return q.Contains(r.Min) && q.Contains(Point{r.Max.X, r.Min.Y}) &&
+		q.Contains(r.Max) && q.Contains(Point{r.Min.X, r.Max.Y})
+}
+
+// IntersectsRect reports whether the triangle and r share any point,
+// via separating axes: the two box axes (the bounds test) and the three
+// edge normals, each slackened by Eps so the test is conservative — it
+// may keep a rectangle that misses the triangle by less than Eps, but
+// never discards one that truly intersects. Used for subtree pruning;
+// any over-approximation only costs extra node visits, since the points
+// themselves are filtered by the exact Contains.
+func (q *TriQuery) IntersectsRect(r Rect) bool {
+	if r.IsEmpty() || !q.bounds.Intersects(r) {
+		return false
+	}
+	for i := 0; i < 3; i++ {
+		nx, ny := -q.ey[i], q.ex[i]
+		// Projection interval of r onto (nx, ny): each coordinate
+		// contributes its min/max independently.
+		ax, bx := nx*r.Min.X, nx*r.Max.X
+		if ax > bx {
+			ax, bx = bx, ax
+		}
+		ay, by := ny*r.Min.Y, ny*r.Max.Y
+		if ay > by {
+			ay, by = by, ay
+		}
+		if ax+ay > q.pmax[i]+Eps || bx+by < q.pmin[i]-Eps {
+			return false
+		}
+	}
+	return true
+}
 
 // TriangulateEarClip triangulates a simple closed polygon by ear clipping
 // (O(n²)) and returns n-2 triangles. The polygon may be given in either

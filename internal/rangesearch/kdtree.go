@@ -119,53 +119,57 @@ func (t *KDTree) reportRect(lo, hi int, r geom.Rect, fn func(id int)) {
 	t.reportRect(mid+1, hi, r, fn)
 }
 
-// CountTriangle implements Backend.
+// CountTriangle implements Backend. The triangle is prepared once (edge
+// vectors, separating-axis intervals) and the query form is shared by the
+// whole traversal; see geom.TriQuery.
 func (t *KDTree) CountTriangle(tr geom.Triangle) int {
-	return t.countTri(0, len(t.pts), tr)
+	q := tr.Prepare()
+	return t.countTri(0, len(t.pts), &q)
 }
 
-func (t *KDTree) countTri(lo, hi int, tr geom.Triangle) int {
+func (t *KDTree) countTri(lo, hi int, q *geom.TriQuery) int {
 	if lo >= hi {
 		return 0
 	}
 	mid := (lo + hi) / 2
 	b := t.bounds[mid]
-	if !tr.IntersectsRect(b) {
+	if !q.IntersectsRect(b) {
 		return 0
 	}
-	if tr.ContainsRect(b) {
+	if q.ContainsRect(b) {
 		return hi - lo
 	}
 	n := 0
-	if tr.Contains(t.pts[mid]) {
+	if q.Contains(t.pts[mid]) {
 		n++
 	}
-	return n + t.countTri(lo, mid, tr) + t.countTri(mid+1, hi, tr)
+	return n + t.countTri(lo, mid, q) + t.countTri(mid+1, hi, q)
 }
 
 // ReportTriangle implements Backend.
 func (t *KDTree) ReportTriangle(tr geom.Triangle, fn func(id int)) {
-	t.reportTri(0, len(t.pts), tr, fn)
+	q := tr.Prepare()
+	t.reportTri(0, len(t.pts), &q, fn)
 }
 
-func (t *KDTree) reportTri(lo, hi int, tr geom.Triangle, fn func(id int)) {
+func (t *KDTree) reportTri(lo, hi int, q *geom.TriQuery, fn func(id int)) {
 	if lo >= hi {
 		return
 	}
 	mid := (lo + hi) / 2
 	b := t.bounds[mid]
-	if !tr.IntersectsRect(b) {
+	if !q.IntersectsRect(b) {
 		return
 	}
-	if tr.ContainsRect(b) {
+	if q.ContainsRect(b) {
 		for i := lo; i < hi; i++ {
 			fn(int(t.ids[i]))
 		}
 		return
 	}
-	if tr.Contains(t.pts[mid]) {
+	if q.Contains(t.pts[mid]) {
 		fn(int(t.ids[mid]))
 	}
-	t.reportTri(lo, mid, tr, fn)
-	t.reportTri(mid+1, hi, tr, fn)
+	t.reportTri(lo, mid, q, fn)
+	t.reportTri(mid+1, hi, q, fn)
 }

@@ -16,12 +16,21 @@ import (
 // segments using a uniform bucket grid with expanding ring search.
 // Build is O(n) for n segments of bounded length; queries on
 // image-extracted shapes (short, evenly sized edges) are O(1) expected.
+//
+// The segments are stored flattened into contiguous structure-of-arrays
+// float64 slices (endpoint, direction, inverse squared length) and the
+// cells as a CSR layout (cellStart offsets into one shared id slice), so
+// the inner distance loop of a query touches only dense sequential
+// float64 data — no per-cell slice headers, no geom.Point indirection —
+// and works in squared distances with a single square root at the end.
 type SegmentGrid struct {
-	segs   []geom.Segment
-	bounds geom.Rect
-	nx, ny int
-	cw, ch float64 // cell width/height
-	cells  [][]int32
+	ax, ay, dx, dy []float64 // segment start points and direction vectors
+	invL2          []float64 // 1 / |d|² (0 for degenerate segments)
+	bounds         geom.Rect
+	nx, ny         int
+	cw, ch         float64 // cell width/height
+	cellStart      []int32 // len nx*ny+1: CSR offsets into cellIDs
+	cellIDs        []int32
 }
 
 // NewSegmentGrid indexes the given segments. It panics on an empty input
@@ -43,18 +52,55 @@ func NewSegmentGrid(segs []geom.Segment) *SegmentGrid {
 		side = 1
 	}
 	g := &SegmentGrid{
-		segs:   append([]geom.Segment(nil), segs...),
+		ax:     make([]float64, n),
+		ay:     make([]float64, n),
+		dx:     make([]float64, n),
+		dy:     make([]float64, n),
+		invL2:  make([]float64, n),
 		bounds: b,
 		nx:     side,
 		ny:     side,
 		cw:     w / float64(side),
 		ch:     h / float64(side),
 	}
-	g.cells = make([][]int32, g.nx*g.ny)
-	for i, s := range g.segs {
-		g.insert(int32(i), s)
+	for i, s := range segs {
+		g.ax[i], g.ay[i] = s.A.X, s.A.Y
+		g.dx[i], g.dy[i] = s.B.X-s.A.X, s.B.Y-s.A.Y
+		if l2 := g.dx[i]*g.dx[i] + g.dy[i]*g.dy[i]; l2 > 0 {
+			g.invL2[i] = 1 / l2
+		}
 	}
+	// CSR cell build: count memberships, prefix-sum, then fill.
+	counts := make([]int32, g.nx*g.ny)
+	g.eachCell(segs, func(idx int, id int32) { counts[idx]++ })
+	g.cellStart = make([]int32, len(counts)+1)
+	for i, c := range counts {
+		g.cellStart[i+1] = g.cellStart[i] + c
+	}
+	g.cellIDs = make([]int32, g.cellStart[len(counts)])
+	fill := make([]int32, len(counts))
+	g.eachCell(segs, func(idx int, id int32) {
+		g.cellIDs[g.cellStart[idx]+fill[idx]] = id
+		fill[idx]++
+	})
 	return g
+}
+
+// eachCell invokes fn for every (cell, segment) membership: each segment
+// is recorded in every cell of its bounding box that it actually touches.
+func (g *SegmentGrid) eachCell(segs []geom.Segment, fn func(idx int, id int32)) {
+	for i, s := range segs {
+		sb := s.Bounds()
+		x0, y0 := g.cellOf(sb.Min)
+		x1, y1 := g.cellOf(sb.Max)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				if segmentTouchesRect(s, g.cellRect(cx, cy)) {
+					fn(g.cellIndex(cx, cy), int32(i))
+				}
+			}
+		}
+	}
 }
 
 func (g *SegmentGrid) cellIndex(cx, cy int) int { return cy*g.nx + cx }
@@ -84,24 +130,6 @@ func (g *SegmentGrid) cellRect(cx, cy int) geom.Rect {
 	}
 }
 
-// insert records segment id in every cell its bounding box overlaps whose
-// rectangle it actually approaches within half a cell diagonal.
-func (g *SegmentGrid) insert(id int32, s geom.Segment) {
-	sb := s.Bounds()
-	x0, y0 := g.cellOf(sb.Min)
-	x1, y1 := g.cellOf(sb.Max)
-	for cy := y0; cy <= y1; cy++ {
-		for cx := x0; cx <= x1; cx++ {
-			r := g.cellRect(cx, cy)
-			// Exact test: does the segment come within the cell?
-			if segmentTouchesRect(s, r) {
-				idx := g.cellIndex(cx, cy)
-				g.cells[idx] = append(g.cells[idx], id)
-			}
-		}
-	}
-}
-
 func segmentTouchesRect(s geom.Segment, r geom.Rect) bool {
 	if r.Contains(s.A) || r.Contains(s.B) {
 		return true
@@ -116,45 +144,100 @@ func segmentTouchesRect(s geom.Segment, r geom.Rect) bool {
 }
 
 // NumSegments returns the number of indexed segments.
-func (g *SegmentGrid) NumSegments() int { return len(g.segs) }
+func (g *SegmentGrid) NumSegments() int { return len(g.ax) }
 
 // Segment returns the i-th indexed segment.
-func (g *SegmentGrid) Segment(i int) geom.Segment { return g.segs[i] }
+func (g *SegmentGrid) Segment(i int) geom.Segment {
+	return geom.Seg(geom.Pt(g.ax[i], g.ay[i]), geom.Pt(g.ax[i]+g.dx[i], g.ay[i]+g.dy[i]))
+}
+
+// scanCell folds every segment of cell idx into the running squared-
+// distance minimum and returns the updated (best index, best distance²).
+func (g *SegmentGrid) scanCell(idx int, px, py float64, best int, best2 float64) (int, float64) {
+	lo, hi := g.cellStart[idx], g.cellStart[idx+1]
+	for _, id := range g.cellIDs[lo:hi] {
+		wx, wy := px-g.ax[id], py-g.ay[id]
+		t := (wx*g.dx[id] + wy*g.dy[id]) * g.invL2[id]
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		ex, ey := wx-t*g.dx[id], wy-t*g.dy[id]
+		if d2 := ex*ex + ey*ey; d2 < best2 {
+			best2 = d2
+			best = int(id)
+		}
+	}
+	return best, best2
+}
 
 // Nearest returns the index of the segment closest to p and the distance
 // to it. It searches grid rings outward from p's cell and stops as soon as
-// the best distance found cannot be beaten by any unexplored ring.
+// the best distance found cannot be beaten by any unexplored ring. The
+// ring walk is open-coded (no callback) so the whole query runs without
+// allocating.
 func (g *SegmentGrid) Nearest(p geom.Point) (int, float64) {
 	cx, cy := g.cellOf(p)
+	px, py := p.X, p.Y
 	best := -1
-	bestD := math.Inf(1)
+	best2 := math.Inf(1)
 	maxRing := g.nx + g.ny // enough to cover the whole grid from any cell
 	for ring := 0; ring <= maxRing; ring++ {
 		// Lower bound on the distance to any cell in this ring.
 		if best >= 0 && ring > 0 {
 			lb := (float64(ring - 1)) * math.Min(g.cw, g.ch)
-			if lb > bestD {
+			if lb*lb > best2 {
 				break
 			}
 		}
-		g.visitRing(cx, cy, ring, func(idx int) {
-			for _, id := range g.cells[idx] {
-				if d := g.segs[id].DistToPoint(p); d < bestD {
-					bestD = d
-					best = int(id)
-				}
+		if ring == 0 {
+			best, best2 = g.scanCell(g.cellIndex(cx, cy), px, py, best, best2)
+			continue
+		}
+		x0, x1 := cx-ring, cx+ring
+		y0, y1 := cy-ring, cy+ring
+		for x := x0; x <= x1; x++ {
+			if x < 0 || x >= g.nx {
+				continue
 			}
-		})
-	}
-	if best < 0 {
-		// p far outside a sparse grid: fall back to a scan (still correct).
-		for i, s := range g.segs {
-			if d := s.DistToPoint(p); d < bestD {
-				bestD, best = d, i
+			if y0 >= 0 && y0 < g.ny {
+				best, best2 = g.scanCell(g.cellIndex(x, y0), px, py, best, best2)
+			}
+			if y1 >= 0 && y1 < g.ny {
+				best, best2 = g.scanCell(g.cellIndex(x, y1), px, py, best, best2)
+			}
+		}
+		for y := y0 + 1; y <= y1-1; y++ {
+			if y < 0 || y >= g.ny {
+				continue
+			}
+			if x0 >= 0 && x0 < g.nx {
+				best, best2 = g.scanCell(g.cellIndex(x0, y), px, py, best, best2)
+			}
+			if x1 >= 0 && x1 < g.nx {
+				best, best2 = g.scanCell(g.cellIndex(x1, y), px, py, best, best2)
 			}
 		}
 	}
-	return best, bestD
+	if best < 0 {
+		// p far outside a sparse grid: fall back to a scan (still correct).
+		for id := range g.ax {
+			wx, wy := px-g.ax[id], py-g.ay[id]
+			t := (wx*g.dx[id] + wy*g.dy[id]) * g.invL2[id]
+			if t < 0 {
+				t = 0
+			} else if t > 1 {
+				t = 1
+			}
+			ex, ey := wx-t*g.dx[id], wy-t*g.dy[id]
+			if d2 := ex*ex + ey*ey; d2 < best2 {
+				best2 = d2
+				best = id
+			}
+		}
+	}
+	return best, math.Sqrt(best2)
 }
 
 // Dist returns the distance from p to the nearest indexed segment.
@@ -163,40 +246,7 @@ func (g *SegmentGrid) Dist(p geom.Point) float64 {
 	return d
 }
 
-// visitRing calls fn for every valid cell index at Chebyshev distance
-// exactly ring from (cx, cy).
-func (g *SegmentGrid) visitRing(cx, cy, ring int, fn func(idx int)) {
-	if ring == 0 {
-		fn(g.cellIndex(cx, cy))
-		return
-	}
-	x0, x1 := cx-ring, cx+ring
-	y0, y1 := cy-ring, cy+ring
-	for x := x0; x <= x1; x++ {
-		if x < 0 || x >= g.nx {
-			continue
-		}
-		if y0 >= 0 && y0 < g.ny {
-			fn(g.cellIndex(x, y0))
-		}
-		if y1 >= 0 && y1 < g.ny {
-			fn(g.cellIndex(x, y1))
-		}
-	}
-	for y := y0 + 1; y <= y1-1; y++ {
-		if y < 0 || y >= g.ny {
-			continue
-		}
-		if x0 >= 0 && x0 < g.nx {
-			fn(g.cellIndex(x0, y))
-		}
-		if x1 >= 0 && x1 < g.nx {
-			fn(g.cellIndex(x1, y))
-		}
-	}
-}
-
 // String implements fmt.Stringer with a capacity summary.
 func (g *SegmentGrid) String() string {
-	return fmt.Sprintf("SegmentGrid{%d segments, %dx%d cells}", len(g.segs), g.nx, g.ny)
+	return fmt.Sprintf("SegmentGrid{%d segments, %dx%d cells}", len(g.ax), g.nx, g.ny)
 }

@@ -1,0 +1,52 @@
+package geosir
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestSharedBoundDeterministic is the property test for the cross-shard
+// shared top-k bound (DESIGN.md §4.9): the bound makes each shard's
+// *work* depend on scheduling — which shard publishes first decides what
+// the others skip — so this test re-runs the same ModeExact and
+// ModeApproximate queries many times on multi-shard engines with real
+// fan-out concurrency and demands the matches stay byte-identical to
+// each other and to the single unsharded engine. Run under -race this
+// also checks the bound's atomics.
+func TestSharedBoundDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property soak")
+	}
+	images, queries, _ := equivBase(t)
+	single := buildSingle(t, images)
+	ctx := context.Background()
+	const k = 4
+	const rounds = 6
+
+	for _, mode := range []Mode{ModeExact, ModeApproximate} {
+		want := make([][]Match, len(queries))
+		for qi, q := range queries {
+			resp, err := single.Search(ctx, SearchRequest{Query: q, K: k, Mode: mode})
+			if err != nil {
+				t.Fatalf("%s single q%d: %v", mode, qi, err)
+			}
+			want[qi] = resp.Matches
+		}
+		for _, shards := range []int{2, 7} {
+			se := buildShardedFrom(t, images, shards)
+			for round := 0; round < rounds; round++ {
+				for qi, q := range queries {
+					resp, err := se.Search(ctx, SearchRequest{Query: q, K: k, Mode: mode, Workers: 4})
+					if err != nil {
+						t.Fatalf("%s shards=%d round %d q%d: %v", mode, shards, round, qi, err)
+					}
+					if !reflect.DeepEqual(resp.Matches, want[qi]) {
+						t.Fatalf("%s shards=%d round %d q%d: matches diverge from single engine\ngot:  %+v\nwant: %+v",
+							mode, shards, round, qi, resp.Matches, want[qi])
+					}
+				}
+			}
+		}
+	}
+}

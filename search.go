@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 )
@@ -167,7 +165,14 @@ func exactGoodEnough(ms []Match, tau float64) bool {
 
 // searchExact runs the ε-envelope fattening search (§2.5).
 func (e *Engine) searchExact(q Shape, k int) ([]Match, Stats, error) {
-	ms, st, err := e.db.Base().Match(q, k)
+	return e.searchExactShared(q, k, nil, false)
+}
+
+// searchExactShared is searchExact pruning against (and, when publish is
+// set, tightening) a top-k bound shared with the sibling shards of a
+// partitioned base; see core.MatchShared. A nil bound is plain searchExact.
+func (e *Engine) searchExactShared(q Shape, k int, shared *core.SharedBound, publish bool) ([]Match, Stats, error) {
+	ms, st, err := e.db.Base().MatchShared(q, k, shared, publish)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -197,7 +202,7 @@ func (e *Engine) searchApprox(q Shape, k int) ([]Match, error) {
 	if len(ids) == 0 {
 		ids = e.table.Lookup(quad, 1) // widen once to the neighbor curves
 	}
-	out := e.scoreApprox(pq, ids)
+	out := e.scoreApprox(pq, ids, k, nil)
 	sortMatches(out)
 	if len(out) > k {
 		out = out[:k]
@@ -205,15 +210,36 @@ func (e *Engine) searchApprox(q Shape, k int) ([]Match, error) {
 	return out, nil
 }
 
-// scoreApprox ranks hash-table candidates against a prepared query.
-// Shapes that fail to score (stale ids) are skipped.
-func (e *Engine) scoreApprox(pq *core.PreparedQuery, ids []int) []Match {
+// scoreApprox ranks hash-table candidates against a prepared query,
+// skipping shapes proven unable to make the final top-k: every candidate
+// is scored under the tightest currently-proven cutoff — the k-th best
+// distance scored so far, and (when non-nil) the bound shared with the
+// sibling shards of a partitioned base — and the bounded evaluation
+// abandons a shape as soon as a partial sum proves its distance strictly
+// above that cutoff. Both cutoffs only ever hold values ≥ the final k-th
+// best, and the skip is strict, so the surviving list truncates to a
+// top-k byte-identical to the exhaustive ranking (DESIGN.md §4.9).
+// Shapes that fail to score (stale ids) are also skipped.
+func (e *Engine) scoreApprox(pq *core.PreparedQuery, ids []int, k int, shared *core.SharedBound) []Match {
 	base := e.db.Base()
 	out := make([]Match, 0, len(ids))
+	kth := newDistTopK(k)
 	for _, sid := range ids {
-		d, err := base.ShapeDistancePrepared(sid, pq)
-		if err != nil {
+		cut := kth.Kth()
+		if shared != nil {
+			if sv := shared.Load(); sv < cut {
+				cut = sv
+			}
+		}
+		d, ok, err := base.ShapeDistancePreparedBounded(sid, pq, cut)
+		if err != nil || !ok {
 			continue
+		}
+		kth.Add(d)
+		if shared != nil {
+			if v := kth.Kth(); !math.IsInf(v, 1) {
+				shared.Tighten(v)
+			}
 		}
 		out = append(out, Match{
 			ShapeID:     sid,
@@ -223,6 +249,57 @@ func (e *Engine) scoreApprox(pq *core.PreparedQuery, ids []int) []Match {
 		})
 	}
 	return out
+}
+
+// distTopK tracks the k-th smallest of a distance stream with a size-
+// bounded max-heap: Kth is +Inf until k distances have been seen, so the
+// cutoff it feeds never prunes while the top-k is under-filled.
+type distTopK struct {
+	k int
+	h []float64 // max-heap
+}
+
+func newDistTopK(k int) *distTopK { return &distTopK{k: k} }
+
+func (t *distTopK) Kth() float64 {
+	if t.k <= 0 || len(t.h) < t.k {
+		return math.Inf(1)
+	}
+	return t.h[0]
+}
+
+func (t *distTopK) Add(d float64) {
+	if len(t.h) < t.k {
+		t.h = append(t.h, d)
+		for i := len(t.h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if t.h[p] >= t.h[i] {
+				break
+			}
+			t.h[p], t.h[i] = t.h[i], t.h[p]
+			i = p
+		}
+		return
+	}
+	if t.k == 0 || d >= t.h[0] {
+		return
+	}
+	t.h[0] = d
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(t.h) && t.h[l] > t.h[big] {
+			big = l
+		}
+		if r < len(t.h) && t.h[r] > t.h[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		t.h[i], t.h[big] = t.h[big], t.h[i]
+		i = big
+	}
 }
 
 // validateSketch applies the shared sketch preconditions.
@@ -241,9 +318,9 @@ func validateSketch(sketch []Shape) error {
 // searchSketch implements the §6 user flow: a query sketch is decomposed
 // into several polylines, and images are ranked by how well they match
 // *all* of them. The per-sketch-shape retrievals are independent index
-// reads and run concurrently on up to workers goroutines; the per-image
-// tables are merged after the barrier, so the result is identical to
-// the sequential evaluation order.
+// reads and run concurrently on up to workers goroutines (work-stealing,
+// see fanout); the per-image tables are merged after the barrier, so the
+// result is identical to the sequential evaluation order.
 func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
 	if err := validateSketch(sketch); err != nil {
 		return nil, err
@@ -251,48 +328,20 @@ func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers in
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sketch) {
-		workers = len(sketch)
-	}
 
 	// For each sketch shape, the best distance per image, filled in by
 	// that shape's worker (no shared writes before the barrier).
 	perShape := make([]map[int]float64, len(sketch))
-	errs := make([]error, len(sketch))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	done := ctx.Done()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for si := range next {
-				perShape[si], errs[si] = e.sketchShapeTable(sketch[si])
-			}
-		}()
-	}
-	cancelled := false
-dispatch:
-	for si := range sketch {
-		select {
-		case next <- si:
-		case <-done:
-			cancelled = true
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	if cancelled {
-		return nil, ctx.Err()
-	}
-	for si, err := range errs {
+	err := fanout(ctx, len(sketch), workers, func(si int) error {
+		t, err := e.sketchShapeTable(sketch[si])
 		if err != nil {
-			return nil, fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
 		}
+		perShape[si] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return scoreSketchTables(perShape, k), nil
 }

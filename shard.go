@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -210,7 +211,14 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
-		ms, stats, err := se.exactFanout(ctx, req.Query, req.K, req.Workers)
+		// The cross-shard shared bound makes each shard's candidate
+		// pruning depend on what the other shards found first, which
+		// perturbs the (timing-dependent) per-shard Stats and convergence
+		// flags without affecting the merged matches. ModeAuto's fallback
+		// decision reads stats.Converged and must stay deterministic, so
+		// only ModeExact — where convergence is reporting, not control
+		// flow — shares the bound.
+		ms, stats, err := se.exactFanout(ctx, req.Query, req.K, req.Workers, req.Mode == ModeExact)
 		if err != nil {
 			return nil, err
 		}
@@ -281,14 +289,27 @@ func (se *ShardedEngine) Query(src string, binds map[string]Shape) ([]int, strin
 // within ε/2). Because the per-shape distances are intrinsic to
 // (query, shape) and every shape lives on exactly one shard, the merged
 // top-k of converged shards is the true global top-k.
-func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers int) ([]Match, Stats, error) {
+//
+// With useShared set the shards additionally prune against each other
+// mid-flight through one atomic shared bound: every uncapped shard
+// publishes its live k-th best, every shard discards candidates proven
+// strictly worse than the tightest published value. Capped shards must
+// not publish — their k'-th best does not bound the global k-th — but
+// may consume, since anything they discard is proven outside the merged
+// top-k (DESIGN.md §4.9).
+func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers int, useShared bool) ([]Match, Stats, error) {
 	live := se.liveShards()
 	lists := make([][]Match, len(live))
 	stats := make([]Stats, len(live))
-	err := fanoutShards(ctx, len(live), workers, func(i int) error {
+	var shared *core.SharedBound
+	if useShared && len(live) > 1 {
+		shared = core.NewSharedBound()
+	}
+	err := fanout(ctx, len(live), workers, func(i int) error {
 		si := live[i]
 		sh := se.shards[si]
-		ms, st, err := sh.searchExact(q, min(k, sh.NumShapes()))
+		kk := min(k, sh.NumShapes())
+		ms, st, err := sh.searchExactShared(q, kk, shared, kk == k)
 		if err != nil {
 			return fmt.Errorf("geosir: shard %d: %w", si, err)
 		}
@@ -338,9 +359,18 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers i
 			perShard[i] = se.shards[si].table.Lookup(quad, 1)
 		}
 	}
+	// Shards hold disjoint shape sets, so any shard's running k-th best
+	// bounds the merged k-th best from above; sharing it lets shards
+	// abandon each other's hopeless candidates mid-score. The skipped
+	// shapes are exactly those proven outside the merged top-k, so the
+	// merge below is unchanged (DESIGN.md §4.9).
+	var shared *core.SharedBound
+	if len(live) > 1 {
+		shared = core.NewSharedBound()
+	}
 	lists := make([][]Match, len(live))
-	err = fanoutShards(ctx, len(live), workers, func(i int) error {
-		ms := se.shards[live[i]].scoreApprox(pq, perShard[i])
+	err = fanout(ctx, len(live), workers, func(i int) error {
+		ms := se.shards[live[i]].scoreApprox(pq, perShard[i], k, shared)
 		sortMatches(ms) // local ids; local order == global order within a shard
 		lists[i] = se.toGlobal(live[i], ms)
 		return nil
@@ -366,7 +396,7 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, wo
 	live := se.liveShards()
 	nl := len(live)
 	parts := make([]map[int]float64, len(sketch)*nl)
-	err := fanoutShards(ctx, len(parts), workers, func(t int) error {
+	err := fanout(ctx, len(parts), workers, func(t int) error {
 		si, li := t/nl, t%nl
 		m, err := se.shards[live[li]].sketchShapeTable(sketch[si])
 		if err != nil {
@@ -418,11 +448,16 @@ func mergeStats(ss []Stats) Stats {
 	return out
 }
 
-// fanoutShards runs n independent work items on up to workers
-// goroutines. A cancelled context stops the dispatcher before the next
-// item is handed out and returns ctx.Err(); otherwise the first item
-// error (by index) is returned.
-func fanoutShards(ctx context.Context, n, workers int, run func(i int) error) error {
+// fanout runs n independent work items on up to workers goroutines.
+// Items are claimed from one atomic counter, so workers that finish
+// cheap items immediately steal the next pending one — unlike a static
+// split (or a single dispatcher goroutine feeding an unbuffered
+// channel, which adds one rendezvous per item and idles workers while
+// the dispatcher is descheduled), uneven item costs never strand work
+// behind a slow peer. A context cancelled while items are still
+// unclaimed stops the claiming and returns ctx.Err(); otherwise the
+// first item error (by index) is returned.
+func fanout(ctx context.Context, n, workers int, run func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -433,31 +468,30 @@ func fanoutShards(ctx context.Context, n, workers int, run func(i int) error) er
 		workers = n
 	}
 	errs := make([]error, n)
+	var next atomic.Int64
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
-	next := make(chan int)
-	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				if ctx.Err() != nil {
+					if next.Load() < int64(n) {
+						aborted.Store(true)
+					}
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				errs[i] = run(i)
 			}
 		}()
 	}
-	cancelled := false
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-done:
-			cancelled = true
-			break dispatch
-		}
-	}
-	close(next)
 	wg.Wait()
-	if cancelled {
+	if aborted.Load() {
 		return ctx.Err()
 	}
 	for _, err := range errs {
