@@ -64,9 +64,13 @@ bench-query:
 
 # Re-run the tracked query benchmarks into a scratch file and diff them
 # against the committed baseline: per-benchmark ns/op, B/op, and allocs
-# deltas, nonzero exit when ns/op regresses by more than 10%.
+# deltas, nonzero exit when ns/op regresses by more than 10%. Unlike
+# bench-query's quick 3x pass, the diff gate needs low-noise numbers, so
+# each benchmark runs for a full BENCHDIFF_TIME (override for slower or
+# faster machines).
+BENCHDIFF_TIME ?= 1s
 bench-diff:
-	$(GO) test -run '^$$' -bench '$(QUERY_BENCH)' -benchmem -benchtime=3x . \
+	$(GO) test -run '^$$' -bench '$(QUERY_BENCH)' -benchmem -benchtime=$(BENCHDIFF_TIME) . \
 		| $(GO) run ./cmd/benchjson -out /tmp/BENCH_query.new.json
 	$(GO) run ./cmd/benchdiff BENCH_query.json /tmp/BENCH_query.new.json
 

@@ -373,11 +373,17 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 				stats.Converged = true
 				break
 			}
-			// Shared-bound early exit: every unresolved entry has
-			// DistVertex ≥ ε/2 > shared ≥ the merged k-th best, so
-			// nothing this search could still evaluate can enter the
-			// merged result — its contribution is final.
-			if shared != nil && shared.Load() < eps/2 {
+			// Shared-bound early exit: once the local top-k is full
+			// (have >= k) the bounds pass above has run, so every
+			// touched entry is evaluated or ruled out and every
+			// unresolved entry has DistVertex ≥ ε/2 > shared ≥ the
+			// merged k-th best — nothing this search could still
+			// evaluate can enter the merged result, so its
+			// contribution is final. Before the top-k fills, touched
+			// entries below the β-candidacy threshold are only
+			// guaranteed DistVertex > β·ε/2, which a shared bound in
+			// (β·ε/2, ε/2) would not dominate, so the exit must wait.
+			if shared != nil && have >= k && shared.Load() < eps/2 {
 				stats.Converged = true
 				break
 			}

@@ -317,3 +317,64 @@ func TestPrunedTopKAgainstScan(t *testing.T) {
 		t.Errorf("only %d/30 queries converged", converged)
 	}
 }
+
+// TestSharedBoundPretightenedExact is the regression test for the
+// shared-bound early exit firing while the local top-k is under-filled.
+// A sibling shard may legally publish any value ≥ the merged k-th best —
+// including one below this shard's current ε/2 while touched entries
+// under the β-candidacy threshold are still unresolved (they are only
+// guaranteed DistVertex > β·ε/2 until the bounds pass has run, which
+// requires a full top-k). Pre-tightening the bound to exactly the true
+// k-th distance — the tightest legal value, injected before the search
+// starts so no goroutine timing is involved — must not change one byte
+// of the result.
+func TestSharedBoundPretightenedExact(t *testing.T) {
+	b := NewBase(DefaultOptions())
+	images := synth.GenerateBase(synth.BaseSpec{
+		Images: 40, MeanShapes: 3, MeanVertices: 14, Prototypes: 6,
+		Distortion: 0.05, OpenFraction: 0.3, Seed: 41,
+	})
+	for _, img := range images {
+		for _, s := range img.Shapes {
+			if _, err := b.AddShape(img.ID, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	tested := 0
+	for trial := 0; trial < 40; trial++ {
+		q := synth.Distort(rng, b.Shape(rng.Intn(b.NumShapes())).Poly, 0.03)
+		if q.Validate() != nil {
+			continue
+		}
+		k := 1 + rng.Intn(10)
+		exact, st, err := b.Match(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged || len(exact) < k {
+			continue
+		}
+		tested++
+		sb := NewSharedBound()
+		sb.Tighten(exact[k-1].DistVertex)
+		got, gst, err := b.MatchShared(q, k, sb, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gst.Converged {
+			t.Fatalf("trial %d (k=%d): pre-tightened MatchShared did not converge", trial, k)
+		}
+		if !reflect.DeepEqual(got, exact) {
+			t.Fatalf("trial %d (k=%d): pre-tightened shared bound changed the result:\ngot:   %+v\nexact: %+v",
+				trial, k, got, exact)
+		}
+	}
+	if tested < 20 {
+		t.Errorf("only %d/40 queries exercised the pre-tightened bound", tested)
+	}
+}

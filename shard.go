@@ -456,7 +456,13 @@ func mergeStats(ss []Stats) Stats {
 // the dispatcher is descheduled), uneven item costs never strand work
 // behind a slow peer. A context cancelled while items are still
 // unclaimed stops the claiming and returns ctx.Err(); otherwise the
-// first item error (by index) is returned.
+// first item error (by index) is returned. Cancellation detection is
+// deliberately best-effort: a cancel that lands after every item has
+// been claimed (but while some still run) is ignored and the call
+// returns full results, and a cancel racing the final claims may
+// resolve either way depending on which a worker observes first —
+// callers get ctx.Err() only as a guarantee that some items never ran,
+// never as a guarantee that the deadline was strictly respected.
 func fanout(ctx context.Context, n, workers int, run func(i int) error) error {
 	if n == 0 {
 		return nil
