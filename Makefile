@@ -3,16 +3,18 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard serve-smoke fuzz-smoke deprecations cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke serve-smoke fuzz-smoke deprecations cover clean
 
 # The gate every PR must pass. The race run includes the persistence
 # fault-injection suite; fuzz-smoke gives each fuzz target a short
 # budget; serve-smoke boots geosird against a demo snapshot and probes
-# every endpoint through geosir-loadgen; deprecations keeps internal
-# code off the deprecated Find* wrappers. Perf-sensitive changes should
-# additionally run `make bench-diff` to compare a fresh bench run
-# against the committed BENCH_query.json baseline.
-ci: vet deprecations build race bench-smoke fuzz-smoke serve-smoke
+# every endpoint through geosir-loadgen; bench-ann-smoke runs the ANN
+# recall/speedup benchmarks once on a small base; deprecations keeps
+# internal code off the deprecated Find* wrappers. Perf-sensitive
+# changes should additionally run `make bench-diff` to compare a fresh
+# bench run against the committed BENCH_query.json baseline (the diff
+# also gates on any recall metrics present in both files).
+ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -132,6 +134,25 @@ bench-shard:
 	$(GO) run ./cmd/geosir -demo $(BENCH_SHARD_DEMO) \
 		-shard-bench $(BENCH_SHARD_COUNTS) -bench-out BENCH_shard.json
 	@cat BENCH_shard.json
+
+# ANN candidate-tier recall/speedup benchmark on the demo base, written
+# to BENCH_ann.json. Each approximate benchmark reports recall against
+# the exact top-k and speedup over the exact mean latency; benchjson
+# records the custom metrics, and cmd/benchdiff fails on a recall drop
+# of more than 0.02 absolute. Targets: recall >= 0.95 at >= 5x speedup.
+BENCH_ANN_IMAGES ?= 400
+bench-ann:
+	GEOSIR_ANN_BENCH_IMAGES=$(BENCH_ANN_IMAGES) \
+		$(GO) test -run '^$$' -bench 'BenchmarkAnn' -benchtime=10x . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_ann.json
+	@cat BENCH_ann.json
+
+# CI variant: one iteration on a small base — compiles and exercises the
+# full approximate path (probe, cap, bounded scoring, recall metric)
+# without paying for stable timings.
+bench-ann-smoke:
+	GEOSIR_ANN_BENCH_IMAGES=60 \
+		$(GO) test -run '^$$' -bench 'BenchmarkAnn' -benchtime=1x .
 
 clean:
 	$(GO) clean -testcache

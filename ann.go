@@ -1,0 +1,271 @@
+package geosir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/annindex"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// AnnMode selects how the MinHash/LSH candidate tier (internal/annindex,
+// built at Freeze) participates in a Search.
+type AnnMode int
+
+const (
+	// AnnOff (the zero value) ignores the ANN tier entirely.
+	AnnOff AnnMode = iota
+	// AnnVerify uses the tier only to *order* work: the exact kernel's
+	// bootstrap evaluations and the hashing fallback's candidate scoring
+	// visit ANN-similar shapes first, which tightens the admissible
+	// cutoffs (and the cross-shard shared bound) sooner. Results are
+	// byte-identical to AnnOff — the tier never decides what is
+	// evaluated, only when (DESIGN.md §4.10).
+	AnnVerify
+	// AnnApprox answers ModeAuto/ModeApproximate/ModeSketch requests
+	// from the ANN candidate set alone: probed buckets (extended to a
+	// minimum candidate floor by a signature scan) are scored exactly by
+	// the bounded evaluators, unprobed shapes are skipped. Sublinear in
+	// the base's geometry at a measured recall (BENCH_ann.json).
+	// ModeExact ignores the approximation and degrades to AnnVerify —
+	// its contract is exactness.
+	AnnApprox
+)
+
+// String names the mode for logs and wire formats.
+func (m AnnMode) String() string {
+	switch m {
+	case AnnOff:
+		return "off"
+	case AnnVerify:
+		return "verify"
+	case AnnApprox:
+		return "approx"
+	}
+	return fmt.Sprintf("ann(%d)", int(m))
+}
+
+// ParseAnnMode maps an ANN mode name back to its AnnMode value.
+func ParseAnnMode(s string) (AnnMode, error) {
+	switch s {
+	case "", "off":
+		return AnnOff, nil
+	case "verify":
+		return AnnVerify, nil
+	case "approx", "approximate":
+		return AnnApprox, nil
+	}
+	return 0, fmt.Errorf("geosir: unknown ann mode %q", s)
+}
+
+// annMinShapes is the candidate floor of a single-shape AnnApprox
+// search: enough shapes that the exact top-k has headroom to be found
+// among the candidates.
+func annMinShapes(k int) int {
+	if n := 12 * k; n > 64 {
+		return n
+	}
+	return 64
+}
+
+// annCapShapes bounds how many of the ranked candidates an approximate
+// search evaluates. Probe returns the *whole* bucket union best-first —
+// on bases dense with near-duplicates that union can approach the full
+// shape count, which would silently degrade the approximate path back
+// to a linear scan. The cap keeps the evaluated set proportional to the
+// floor, preserving the sublinear claim; recall relies on agreement
+// ranking putting the true neighbors in this prefix (BENCH_ann.json).
+func annCapShapes(minShapes int) int { return 2 * minShapes }
+
+// annSketchMinShapes is the per-sketch-shape candidate floor. Sketch
+// ranking drops images lacking a counterpart for any sketch shape, so
+// each shape's candidates must cover the top images of the whole
+// sketch; the floor is correspondingly wider.
+func annSketchMinShapes(k int) int {
+	if n := 16 * k; n > 96 {
+		return n
+	}
+	return 96
+}
+
+// annPreload carries a persisted ANN section from Load to Freeze, where
+// it is adopted (skipping signature computation) if it still matches
+// the rebuilt entry count.
+type annPreload struct {
+	params annindex.Params
+	sigs   []uint64
+	n      int
+}
+
+// buildANN builds (or adopts the preloaded) candidate-generation index.
+// Called under Freeze, after the core base froze; deterministic, so a
+// rebuilt index is identical to a persisted one.
+func (e *Engine) buildANN() {
+	base := e.db.Base()
+	n := base.NumEntries()
+	if pre := e.annPre; pre != nil && pre.n == n {
+		shapeOf := make([]int32, n)
+		for i := 0; i < n; i++ {
+			shapeOf[i] = int32(base.Entry(i).ShapeID)
+		}
+		e.ann = annindex.FromSignatures(pre.params, pre.sigs, shapeOf)
+	} else {
+		e.ann = annindex.Build(annindex.DefaultParams(), n, func(i int) (geom.Poly, int32) {
+			en := base.Entry(i)
+			return en.Poly, int32(en.ShapeID)
+		})
+	}
+	e.annPre = nil
+}
+
+// annSignatures returns the signature family to persist: the frozen
+// index's if one exists, a preloaded section's if the engine was loaded
+// but never frozen, and otherwise a transient recomputation — so the
+// snapshot encoding stays canonical whether or not Freeze ran.
+func (e *Engine) annSignatures() (annindex.Params, []uint64, int) {
+	if e.ann != nil {
+		return e.ann.Params(), e.ann.Signatures(), e.ann.NumEntries()
+	}
+	if pre := e.annPre; pre != nil {
+		return pre.params, pre.sigs, pre.n
+	}
+	base := e.db.Base()
+	n := base.NumEntries()
+	p := annindex.DefaultParams()
+	sigs := annindex.ComputeSignatures(p, n, func(i int) geom.Poly { return base.Entry(i).Poly })
+	return p, sigs, n
+}
+
+// ANNIndex exposes the candidate-generation index for advanced use
+// (nil before Freeze).
+func (e *Engine) ANNIndex() *annindex.Index { return e.ann }
+
+// annProbe prepares the query against the ANN tier: canonical
+// normalization, signature, bucket probe with the given candidate
+// floor. Returns ok=false when the tier is absent or the query does not
+// normalize (the caller's own normalization will surface the error).
+func (e *Engine) annProbe(q Shape, minShapes int) (annindex.Candidates, bool) {
+	if e.ann == nil {
+		return annindex.Candidates{}, false
+	}
+	pq, err := core.PrepareQuery(q)
+	if err != nil {
+		return annindex.Candidates{}, false
+	}
+	return e.ann.Probe(e.ann.Signature(pq.Entry().Poly), minShapes), true
+}
+
+// annRank probes the tier for verify-mode ordering: a sparse entry→
+// score map the exact kernel uses to evaluate promising bootstrap
+// candidates first. Any non-off mode ranks (AnnApprox degrades to
+// ordering on the exact path). A nil map means no ordering.
+func (e *Engine) annRank(q Shape, ann AnnMode) (map[int32]int32, Stats) {
+	if ann == AnnOff {
+		return nil, Stats{}
+	}
+	cand, ok := e.annProbe(q, 0)
+	if !ok {
+		return nil, Stats{}
+	}
+	st := Stats{UsedANN: true, ANNProbes: cand.Probes, ANNCandidates: len(cand.Entries)}
+	if len(cand.Entries) == 0 {
+		return nil, st
+	}
+	rank := make(map[int32]int32, len(cand.Entries))
+	for i, ei := range cand.Entries {
+		rank[ei] = cand.Scores[i]
+	}
+	return rank, st
+}
+
+// annOrderShapes reorders candidate shape ids best-first by ANN
+// signature agreement (stable: unprobed shapes keep their relative
+// order after the probed ones). Pure reordering — the §4.9 admissible
+// scoring cutoffs make the surviving top-k independent of visit order —
+// so AnnVerify results stay byte-identical while the k-th-best cutoff
+// tightens sooner.
+func (e *Engine) annOrderShapes(q Shape, ids []int) ([]int, Stats) {
+	if len(ids) < 2 {
+		return ids, Stats{}
+	}
+	cand, ok := e.annProbe(q, 0)
+	if !ok {
+		return ids, Stats{}
+	}
+	st := Stats{UsedANN: true, ANNProbes: cand.Probes, ANNCandidates: len(cand.Shapes)}
+	if len(cand.Shapes) == 0 {
+		return ids, st
+	}
+	score := make(map[int]int32, len(cand.Shapes))
+	for i, s := range cand.Shapes {
+		score[s] = cand.ShapeScores[i]
+	}
+	sort.SliceStable(ids, func(i, j int) bool { return score[ids[i]] > score[ids[j]] })
+	return ids, st
+}
+
+// searchAnnApprox is the sublinear single-shape path: ANN candidates
+// (bucket probes plus the signature-scan floor) scored exactly by the
+// bounded evaluator under the running k-th-best cutoff. Matches are
+// marked Approximate — the candidate set, not the distances, is the
+// approximation.
+func (e *Engine) searchAnnApprox(q Shape, k int, shared *core.SharedBound) ([]Match, Stats, error) {
+	pq, err := core.PrepareQuery(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cand := e.ann.Probe(e.ann.Signature(pq.Entry().Poly), annMinShapes(k))
+	shapes := cand.Shapes
+	if max := annCapShapes(annMinShapes(k)); len(shapes) > max {
+		shapes = shapes[:max]
+	}
+	st := Stats{UsedANN: true, ANNProbes: cand.Probes, ANNCandidates: len(shapes)}
+	out := e.scoreApprox(pq, shapes, k, shared)
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, st, nil
+}
+
+// sketchShapeTableAnn is sketchShapeTable over the ANN candidate set:
+// instead of matching the sketch shape against every stored shape, only
+// the probed candidates are scored (exactly), and the per-image best
+// distances are reduced from those. Images whose every shape went
+// unprobed are absent — the sketch ranking's recall cost, measured in
+// BENCH_ann.json.
+func (e *Engine) sketchShapeTableAnn(q Shape, k int) (map[int]float64, Stats, error) {
+	pq, err := core.PrepareQuery(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	cand := e.ann.Probe(e.ann.Signature(pq.Entry().Poly), annSketchMinShapes(k))
+	shapes := cand.Shapes
+	if max := annCapShapes(annSketchMinShapes(k)); len(shapes) > max {
+		shapes = shapes[:max]
+	}
+	st := Stats{UsedANN: true, ANNProbes: cand.Probes, ANNCandidates: len(shapes)}
+	base := e.db.Base()
+	best := make(map[int]float64, len(shapes))
+	inf := math.Inf(1)
+	for _, sid := range shapes {
+		d, _, err := base.ShapeDistancePreparedBounded(sid, pq, inf)
+		if err != nil {
+			continue
+		}
+		img := base.Shape(sid).Image
+		if cur, ok := best[img]; !ok || d < cur {
+			best[img] = d
+		}
+	}
+	return best, st, nil
+}
+
+// addANN folds another stage's ANN accounting into s.
+func (s *Stats) addANN(o Stats) {
+	s.UsedANN = s.UsedANN || o.UsedANN
+	s.ANNProbes += o.ANNProbes
+	s.ANNCandidates += o.ANNCandidates
+}

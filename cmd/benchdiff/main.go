@@ -1,11 +1,15 @@
 // Command benchdiff compares two benchmark JSON files produced by
 // cmd/benchjson and prints per-benchmark deltas. It exits nonzero when
 // any benchmark present in both files regressed on ns/op by more than
-// the threshold (default 10%), so CI and pre-commit hooks can gate on
-// committed baselines:
+// the threshold (default 10%), or dropped a reported "recall" metric by
+// more than -recall-threshold absolute (default 0.02 — recall is a
+// fraction in [0,1], so percent-relative gating would be far too lax
+// near 1.0), so CI and pre-commit hooks can gate on committed
+// baselines:
 //
 //	go run ./cmd/benchdiff BENCH_query.json /tmp/BENCH_new.json
 //	go run ./cmd/benchdiff -threshold 5 old.json new.json
+//	go run ./cmd/benchdiff -recall-threshold 0.01 BENCH_ann.json /tmp/BENCH_ann_new.json
 //
 // Benchmarks present in only one of the files are listed but never
 // fail the comparison (new benchmarks appear, retired ones vanish).
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // report mirrors cmd/benchjson's output structure (only the fields the
@@ -25,16 +30,18 @@ type report struct {
 }
 
 type benchmark struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "max allowed ns/op regression in percent before exiting nonzero")
+	recallThreshold := flag.Float64("recall-threshold", 0.02, "max allowed absolute drop in a reported recall metric before exiting nonzero")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold PCT] OLD.json NEW.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold PCT] [-recall-threshold ABS] OLD.json NEW.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,13 +49,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *recallThreshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath string, threshold float64) error {
+func run(oldPath, newPath string, threshold, recallThreshold float64) error {
 	oldRep, err := load(oldPath)
 	if err != nil {
 		return err
@@ -61,6 +68,7 @@ func run(oldPath, newPath string, threshold float64) error {
 	newBy := byName(newRep)
 
 	regressed := 0
+	recallRegressed := 0
 	// Walk the new file's order so the output reads like the bench run.
 	for _, nb := range newRep.Benchmarks {
 		ob, ok := oldBy[nb.Name]
@@ -84,14 +92,41 @@ func run(oldPath, newPath string, threshold float64) error {
 			fmt.Printf("%-50s  %12.0f → %12.0f allocs %+7.2f%%\n",
 				"", ob.AllocsPerOp, nb.AllocsPerOp, pctDelta(ob.AllocsPerOp, nb.AllocsPerOp))
 		}
+		// Recall is gated on absolute drop: it lives in [0,1] and CI cares
+		// about "lost 3 points of recall", not relative change. A recall
+		// metric that vanished entirely also fails — silently dropping the
+		// measurement must not pass the gate.
+		oldRecall, oldHas := ob.Metrics["recall"]
+		newRecall, newHas := nb.Metrics["recall"]
+		switch {
+		case oldHas && !newHas:
+			fmt.Printf("%-50s  %12.4f → %12s recall  RECALL GONE\n", "", oldRecall, "(missing)")
+			recallRegressed++
+		case oldHas && newHas:
+			drop := oldRecall - newRecall
+			flagStr := ""
+			if drop > recallThreshold {
+				flagStr = "  RECALL REGRESSION"
+				recallRegressed++
+			}
+			fmt.Printf("%-50s  %12.4f → %12.4f recall %+7.4f%s\n",
+				"", oldRecall, newRecall, newRecall-oldRecall, flagStr)
+		}
 	}
 	for _, ob := range oldRep.Benchmarks {
 		if _, ok := newBy[ob.Name]; !ok {
 			fmt.Printf("%-50s  (gone: only in %s)\n", ob.Name, oldPath)
 		}
 	}
-	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed ns/op by more than %.1f%%", regressed, threshold)
+	if regressed > 0 || recallRegressed > 0 {
+		var parts []string
+		if regressed > 0 {
+			parts = append(parts, fmt.Sprintf("%d benchmark(s) regressed ns/op by more than %.1f%%", regressed, threshold))
+		}
+		if recallRegressed > 0 {
+			parts = append(parts, fmt.Sprintf("%d benchmark(s) dropped recall by more than %.3f", recallRegressed, recallThreshold))
+		}
+		return fmt.Errorf("%s", strings.Join(parts, "; "))
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLatencyGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkQ", NsPerOp: 1000},
+	}})
+	okP := writeReport(t, dir, "ok.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkQ", NsPerOp: 1050},
+	}})
+	badP := writeReport(t, dir, "bad.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkQ", NsPerOp: 1200},
+	}})
+	if err := run(oldP, okP, 10, 0.02); err != nil {
+		t.Fatalf("5%% slower should pass the 10%% gate: %v", err)
+	}
+	if err := run(oldP, badP, 10, 0.02); err == nil {
+		t.Fatal("20% slower should fail the 10% gate")
+	}
+}
+
+func TestRunRecallGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkAnnRecall", NsPerOp: 1000, Metrics: map[string]float64{"recall": 0.97}},
+	}})
+	okP := writeReport(t, dir, "ok.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkAnnRecall", NsPerOp: 1000, Metrics: map[string]float64{"recall": 0.96}},
+	}})
+	badP := writeReport(t, dir, "bad.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkAnnRecall", NsPerOp: 1000, Metrics: map[string]float64{"recall": 0.90}},
+	}})
+	goneP := writeReport(t, dir, "gone.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkAnnRecall", NsPerOp: 1000},
+	}})
+	if err := run(oldP, okP, 10, 0.02); err != nil {
+		t.Fatalf("0.01 absolute drop should pass the 0.02 gate: %v", err)
+	}
+	if err := run(oldP, badP, 10, 0.02); err == nil {
+		t.Fatal("0.07 absolute drop should fail the 0.02 gate")
+	} else if !strings.Contains(err.Error(), "recall") {
+		t.Fatalf("error should name recall: %v", err)
+	}
+	if err := run(oldP, goneP, 10, 0.02); err == nil {
+		t.Fatal("vanished recall metric should fail the gate")
+	}
+	// New benchmarks gaining recall never fail (no baseline to regress from).
+	if err := run(goneP, oldP, 10, 0.02); err != nil {
+		t.Fatalf("gaining a recall metric should pass: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 // across PRs.
 //
 //	geosir-loadgen -addr http://127.0.0.1:8080 -duration 10s -concurrency 16 -out BENCH_serve.json
+//	geosir-loadgen -addr http://127.0.0.1:8080 -dist zipf -zipf-s 1.1   # skewed key popularity
 //	geosir-loadgen -addr http://127.0.0.1:8080 -smoke   # readiness probe + one query of each kind
 //	geosir-loadgen -addr http://127.0.0.1:8080 -smoke -expect-shards 4   # also assert shard health
 package main
@@ -43,6 +44,8 @@ func main() {
 		qps         = flag.Float64("qps", 0, "target aggregate QPS (0 = unthrottled)")
 		k           = flag.Int("k", 3, "matches per query")
 		mixSpec     = flag.String("mix", "similar=6,approximate=2,sketch=1,topological=1,search=2", "workload mix weights")
+		dist        = flag.String("dist", "uniform", "request-variant key distribution: uniform or zipf")
+		zipfS       = flag.Float64("zipf-s", 1.1, "Zipf exponent for -dist zipf (must be > 1)")
 		seed        = flag.Int64("seed", 1, "query-shape generator seed")
 		out         = flag.String("out", "", "write the JSON summary to this file")
 		wait        = flag.Duration("wait", 0, "poll /readyz up to this long before starting")
@@ -50,7 +53,7 @@ func main() {
 		expShards   = flag.Int("expect-shards", 0, "with -smoke: require /statz to report exactly N live shards")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *seed, *out, *wait, *smoke, *expShards); err != nil {
+	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *dist, *zipfS, *seed, *out, *wait, *smoke, *expShards); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir-loadgen:", err)
 		os.Exit(1)
 	}
@@ -264,6 +267,8 @@ type BenchOut struct {
 	Concurrency int                    `json:"concurrency"`
 	TargetQPS   float64                `json:"target_qps"`
 	Mix         string                 `json:"mix"`
+	Dist        string                 `json:"dist"`
+	ZipfS       float64                `json:"zipf_s,omitempty"`
 	Requests    int                    `json:"requests"`
 	Errors      int                    `json:"errors"`
 	AchievedQPS float64                `json:"achieved_qps"`
@@ -310,8 +315,37 @@ func summarize(samples []sample, pick func(sample) bool) KindSummary {
 	return out
 }
 
+// variantPicker returns a factory building one per-worker chooser over
+// the pre-marshalled body variants (rand.Zipf carries draw state, so it
+// cannot be shared across goroutines). "uniform" spreads requests
+// evenly; "zipf" skews them so a few hot variants dominate (exponent s;
+// rank-1 mass grows with s), which exercises server-side behavior under
+// realistic key popularity instead of a flat synthetic spread.
+func variantPicker(dist string, zipfS float64, nVariants int) (func(rng *rand.Rand) func(n int) int, error) {
+	switch dist {
+	case "uniform":
+		return func(rng *rand.Rand) func(n int) int {
+			return func(n int) int { return rng.Intn(n) }
+		}, nil
+	case "zipf":
+		if zipfS <= 1 {
+			return nil, fmt.Errorf("-zipf-s must be > 1, got %v", zipfS)
+		}
+		if nVariants < 1 {
+			nVariants = 1
+		}
+		return func(rng *rand.Rand) func(n int) int {
+			z := rand.NewZipf(rng, zipfS, 1, uint64(nVariants-1))
+			return func(n int) int { return int(z.Uint64()) % n }
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -dist %q (want uniform or zipf)", dist)
+	}
+}
+
 func run(addr string, duration time.Duration, concurrency int, qps float64, k int,
-	mixSpec string, seed int64, out string, wait time.Duration, smoke bool, expShards int) error {
+	mixSpec, dist string, zipfS float64, seed int64, out string, wait time.Duration,
+	smoke bool, expShards int) error {
 
 	addr = strings.TrimRight(addr, "/")
 	client := &http.Client{
@@ -329,6 +363,16 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		return runSmoke(client, addr, ks, expShards)
 	}
 	mix, err := parseMix(mixSpec, ks)
+	if err != nil {
+		return err
+	}
+	maxBodies := 0
+	for i := range ks {
+		if len(ks[i].bodies) > maxBodies {
+			maxBodies = len(ks[i].bodies)
+		}
+	}
+	newPick, err := variantPicker(dist, zipfS, maxBodies)
 	if err != nil {
 		return err
 	}
@@ -353,6 +397,7 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			pick := newPick(rng)
 			next := start
 			for {
 				now := time.Now()
@@ -366,7 +411,7 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 					next = next.Add(perWorker)
 				}
 				kd := &ks[mix[rng.Intn(len(mix))]]
-				body := kd.bodies[rng.Intn(len(kd.bodies))]
+				body := kd.bodies[pick(len(kd.bodies))]
 				t0 := time.Now()
 				resp, err := client.Post(addr+kd.path, "application/json", bytes.NewReader(body))
 				status := 0
@@ -399,10 +444,14 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		Concurrency: concurrency,
 		TargetQPS:   qps,
 		Mix:         mixSpec,
+		Dist:        dist,
 		Requests:    len(all),
 		Overall:     summarize(all, func(sample) bool { return true }),
 		ByKind:      map[string]KindSummary{},
 		Status:      map[string]int{},
+	}
+	if dist == "zipf" {
+		bench.ZipfS = zipfS
 	}
 	bench.Errors = bench.Overall.Errors
 	okCount := bench.Requests - bench.Errors
@@ -416,7 +465,7 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 	}
 
 	fmt.Printf("target        %s\n", bench.Target)
-	fmt.Printf("duration      %.2fs   concurrency %d   mix %s\n", bench.DurationS, concurrency, mixSpec)
+	fmt.Printf("duration      %.2fs   concurrency %d   mix %s   dist %s\n", bench.DurationS, concurrency, mixSpec, dist)
 	fmt.Printf("requests      %d (%d errors)\n", bench.Requests, bench.Errors)
 	fmt.Printf("throughput    %.1f qps\n", bench.AchievedQPS)
 	fmt.Printf("latency  p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms\n",

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -47,11 +48,11 @@ func startSharded(t *testing.T, shards int) *httptest.Server {
 func TestSmokeAgainstShardedServer(t *testing.T) {
 	ts := startSharded(t, 3)
 	// Full smoke including the shard-health probe and /v1/search kind.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", 1, "", 0, true, 3); err != nil {
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", 0, true, 3); err != nil {
 		t.Fatalf("smoke: %v", err)
 	}
 	// Wrong shard expectation must fail.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", 1, "", 0, true, 5); err == nil {
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", 0, true, 5); err == nil {
 		t.Fatal("expect-shards mismatch should fail the smoke")
 	} else if !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("unexpected error: %v", err)
@@ -87,6 +88,44 @@ func TestCheckShardsRejectsUnsharded(t *testing.T) {
 	defer ts.Close()
 	if err := checkShards(http.DefaultClient, ts.URL, 2); err == nil {
 		t.Fatal("single-engine server should fail a shard expectation")
+	}
+}
+
+func TestVariantPickerZipfSkewsLowRanks(t *testing.T) {
+	newPick, err := variantPicker("zipf", 1.1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := newPick(rand.New(rand.NewSource(42)))
+	counts := make([]int, 64)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[pick(64)]++
+	}
+	head := counts[0] + counts[1] + counts[2] + counts[3]
+	if head < draws/3 {
+		t.Fatalf("zipf s=1.1: top-4 variants got %d/%d draws, want a skewed head", head, draws)
+	}
+	// Uniform must not show that skew.
+	newPick, err = variantPicker("uniform", 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick = newPick(rand.New(rand.NewSource(42)))
+	counts = make([]int, 64)
+	for i := 0; i < draws; i++ {
+		counts[pick(64)]++
+	}
+	head = counts[0] + counts[1] + counts[2] + counts[3]
+	if head > draws/6 {
+		t.Fatalf("uniform: top-4 variants got %d/%d draws, too skewed", head, draws)
+	}
+	// Invalid configurations are rejected.
+	if _, err := variantPicker("zipf", 1.0, 64); err == nil {
+		t.Fatal("zipf s=1.0 should be rejected")
+	}
+	if _, err := variantPicker("pareto", 1.1, 64); err == nil {
+		t.Fatal("unknown dist should be rejected")
 	}
 }
 

@@ -53,6 +53,7 @@ func main() {
 		shards     = flag.Int("shards", 1, "partition the base across N shards")
 		shardBench = flag.String("shard-bench", "", "comma-separated shard counts to benchmark Freeze + queries over, e.g. \"1,2,4\"")
 		benchOut   = flag.String("bench-out", "", "write -shard-bench results as JSON to this file (default stdout)")
+		annMode    = flag.String("ann", "off", "ANN candidate tier: off, verify (reorder only, exact results), approx (sublinear)")
 	)
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*basePath, *demo, *seed, *queryStr, *queryOpen, *queryShape, *k, *topo, *binds, *stats, *shards); err != nil {
+	if err := run(*basePath, *demo, *seed, *queryStr, *queryOpen, *queryShape, *k, *topo, *binds, *stats, *shards, *annMode); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir:", err)
 		os.Exit(1)
 	}
@@ -170,8 +171,12 @@ func printHashStats(eng cliEngine) {
 }
 
 func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
-	queryShape, k int, topo, binds string, stats bool, shards int) error {
+	queryShape, k int, topo, binds string, stats bool, shards int, annMode string) error {
 
+	ann, err := geosir.ParseAnnMode(annMode)
+	if err != nil {
+		return err
+	}
 	eng := newEngine(shards)
 	if err := fillBase(eng, basePath, demo, seed); err != nil {
 		return err
@@ -224,16 +229,23 @@ func run(basePath string, demo int, seed int64, queryStr string, queryOpen bool,
 		return fmt.Errorf("need -query, -query-shape, -topo, or -stats")
 	}
 
-	resp, err := eng.Search(context.Background(), geosir.SearchRequest{Query: q, K: k})
+	resp, err := eng.Search(context.Background(), geosir.SearchRequest{Query: q, K: k, Ann: ann})
 	if err != nil {
 		return err
 	}
 	mode := "exact (ε-envelope fattening)"
-	if resp.Stats.UsedHashing {
+	switch {
+	case resp.Stats.UsedANN && !resp.Stats.UsedHashing && resp.Stats.Iterations == 0:
+		mode = "approximate (ANN candidate tier)"
+	case resp.Stats.UsedHashing:
 		mode = "approximate (geometric hashing)"
 	}
 	fmt.Printf("retrieval: %s — %d iterations, ε=%.4g, %d candidates\n",
 		mode, resp.Stats.Iterations, resp.Stats.FinalEpsilon, resp.Stats.Candidates)
+	if resp.Stats.UsedANN {
+		fmt.Printf("ann tier: %d bucket probes, %d candidates\n",
+			resp.Stats.ANNProbes, resp.Stats.ANNCandidates)
+	}
 	for i, m := range resp.Matches {
 		fmt.Printf("  #%d shape %d (image %d): distance %.5f\n",
 			i+1, m.ShapeID, m.ImageID, m.Distance)
@@ -302,9 +314,11 @@ func runSnapshot(basePath string, demo int, seed int64, shards int, out string) 
 	return nil
 }
 
-// shardBenchRow is one shard count's measurements in BENCH_shard.json.
+// shardBenchRow is one (gomaxprocs, shard count) cell's measurements in
+// BENCH_shard.json.
 type shardBenchRow struct {
 	Shards        int     `json:"shards"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
 	FreezeMillis  float64 `json:"freeze_ms"`
 	FreezeSpeedup float64 `json:"freeze_speedup_vs_single"`
 	QueryMicros   float64 `json:"query_us_mean"`
@@ -313,20 +327,22 @@ type shardBenchRow struct {
 }
 
 type shardBenchReport struct {
-	Demo       int             `json:"demo_images"`
-	Seed       int64           `json:"seed"`
-	Queries    int             `json:"queries"`
-	Cores      int             `json:"cores"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Results    []shardBenchRow `json:"results"`
+	Demo    int             `json:"demo_images"`
+	Seed    int64           `json:"seed"`
+	Queries int             `json:"queries"`
+	Cores   int             `json:"cores"`
+	Results []shardBenchRow `json:"results"`
 }
 
 // runShardBench measures Freeze wall time and mean exact-query latency
 // for each requested shard count over the same synthetic base, and
 // emits the result as JSON (BENCH_shard.json in the Makefile target).
-// Freeze parallelizes per shard, so speedup tracks available cores —
-// the report records cores so a single-core run is honest about why
-// speedup hovers near 1×.
+// Freeze parallelizes per shard, so speedup tracks available cores; the
+// whole sweep runs twice, at GOMAXPROCS=1 and GOMAXPROCS=NumCPU, so the
+// report separates fan-out coordination overhead (visible when shards
+// outnumber usable cores) from genuine parallel speedup. Each row
+// records which setting produced it, and freeze speedups are relative
+// to the single-shard run at the same GOMAXPROCS.
 func runShardBench(basePath string, demo int, seed int64, countsStr, out string) error {
 	if basePath != "" {
 		return fmt.Errorf("-shard-bench needs -demo N (query workload is synthesized)")
@@ -351,50 +367,60 @@ func runShardBench(basePath string, demo int, seed int64, countsStr, out string)
 	queries := synth.Queries(rand.New(rand.NewSource(seed+7)), images, 8, 0.01)
 
 	report := shardBenchReport{
-		Demo:       demo,
-		Seed:       seed,
-		Queries:    len(queries),
-		Cores:      runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Demo:    demo,
+		Seed:    seed,
+		Queries: len(queries),
+		Cores:   runtime.NumCPU(),
 	}
-	var singleFreeze time.Duration
-	for _, n := range counts {
-		eng := newEngine(n)
-		if err := fillBase(eng, "", demo, seed); err != nil {
-			return err
-		}
-		t0 := time.Now()
-		if err := eng.Freeze(); err != nil {
-			return err
-		}
-		freeze := time.Since(t0)
-		if n == 1 {
-			singleFreeze = freeze
-		}
-
-		t0 = time.Now()
-		for _, q := range queries {
-			if _, err := eng.Search(context.Background(),
-				geosir.SearchRequest{Query: q, K: 5, Mode: geosir.ModeExact}); err != nil {
+	procSweep := []int{1, runtime.NumCPU()}
+	if procSweep[1] == 1 {
+		procSweep = procSweep[:1]
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, gp := range procSweep {
+		runtime.GOMAXPROCS(gp)
+		var singleFreeze time.Duration
+		for _, n := range counts {
+			eng := newEngine(n)
+			if err := fillBase(eng, "", demo, seed); err != nil {
 				return err
 			}
-		}
-		perQuery := time.Since(t0) / time.Duration(len(queries))
+			t0 := time.Now()
+			if err := eng.Freeze(); err != nil {
+				return err
+			}
+			freeze := time.Since(t0)
+			if n == 1 {
+				singleFreeze = freeze
+			}
 
-		row := shardBenchRow{
-			Shards:       n,
-			FreezeMillis: float64(freeze.Microseconds()) / 1e3,
-			QueryMicros:  float64(perQuery.Nanoseconds()) / 1e3,
-			Images:       eng.NumImages(),
-			Shapes:       eng.NumShapes(),
+			t0 = time.Now()
+			for _, q := range queries {
+				if _, err := eng.Search(context.Background(),
+					geosir.SearchRequest{Query: q, K: 5, Mode: geosir.ModeExact}); err != nil {
+					return err
+				}
+			}
+			perQuery := time.Since(t0) / time.Duration(len(queries))
+
+			row := shardBenchRow{
+				Shards:       n,
+				GoMaxProcs:   gp,
+				FreezeMillis: float64(freeze.Microseconds()) / 1e3,
+				QueryMicros:  float64(perQuery.Nanoseconds()) / 1e3,
+				Images:       eng.NumImages(),
+				Shapes:       eng.NumShapes(),
+			}
+			if singleFreeze > 0 {
+				row.FreezeSpeedup = float64(singleFreeze) / float64(freeze)
+			}
+			report.Results = append(report.Results, row)
+			fmt.Fprintf(os.Stderr, "gomaxprocs=%d shards=%d freeze=%v query=%v speedup=%.2fx\n",
+				gp, n, freeze.Round(time.Microsecond), perQuery.Round(time.Microsecond), row.FreezeSpeedup)
 		}
-		if singleFreeze > 0 {
-			row.FreezeSpeedup = float64(singleFreeze) / float64(freeze)
-		}
-		report.Results = append(report.Results, row)
-		fmt.Fprintf(os.Stderr, "shards=%d freeze=%v query=%v speedup=%.2fx\n",
-			n, freeze.Round(time.Microsecond), perQuery.Round(time.Microsecond), row.FreezeSpeedup)
 	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -124,37 +124,47 @@ func TestLoadBaseErrors(t *testing.T) {
 
 func TestRunDemoPath(t *testing.T) {
 	// End-to-end: demo base, query by stored shape id.
-	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 1); err != nil {
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 1, "off"); err != nil {
 		t.Fatalf("demo run: %v", err)
 	}
 	// Same demo over a sharded engine.
-	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 3); err != nil {
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 3, "off"); err != nil {
 		t.Fatalf("sharded demo run: %v", err)
 	}
 	// Stats mode, both engine kinds.
-	if err := run("", 10, 3, "", false, -1, 1, "", "", true, 1); err != nil {
+	if err := run("", 10, 3, "", false, -1, 1, "", "", true, 1, "off"); err != nil {
 		t.Fatalf("stats run: %v", err)
 	}
-	if err := run("", 10, 3, "", false, -1, 1, "", "", true, 2); err != nil {
+	if err := run("", 10, 3, "", false, -1, 1, "", "", true, 2, "off"); err != nil {
 		t.Fatalf("sharded stats run: %v", err)
 	}
 	// Topological query.
 	if err := run("", 10, 3, "", false, -1, 1,
-		"similar(q)", "q=0,0 1,0 1,1 0,1", false, 1); err != nil {
+		"similar(q)", "q=0,0 1,0 1,1 0,1", false, 1, "off"); err != nil {
 		t.Fatalf("topo run: %v", err)
 	}
 	if err := run("", 10, 3, "", false, -1, 1,
-		"similar(q)", "q=0,0 1,0 1,1 0,1", false, 2); err != nil {
+		"similar(q)", "q=0,0 1,0 1,1 0,1", false, 2, "off"); err != nil {
 		t.Fatalf("sharded topo run: %v", err)
 	}
+	// ANN candidate tier, both modes, both engine kinds.
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 1, "verify"); err != nil {
+		t.Fatalf("ann verify run: %v", err)
+	}
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 2, "approx"); err != nil {
+		t.Fatalf("sharded ann approx run: %v", err)
+	}
+	if err := run("", 15, 3, "", false, 2, 2, "", "", false, 1, "bogus"); err == nil {
+		t.Error("bad ann mode should fail")
+	}
 	// Error cases.
-	if err := run("", 0, 1, "", false, -1, 1, "", "", false, 1); err == nil {
+	if err := run("", 0, 1, "", false, -1, 1, "", "", false, 1, "off"); err == nil {
 		t.Error("no base source should fail")
 	}
-	if err := run("", 5, 1, "", false, 10000, 1, "", "", false, 1); err == nil {
+	if err := run("", 5, 1, "", false, 10000, 1, "", "", false, 1, "off"); err == nil {
 		t.Error("out-of-range query shape should fail")
 	}
-	if err := run("", 5, 1, "", false, -1, 1, "", "", false, 1); err == nil {
+	if err := run("", 5, 1, "", false, -1, 1, "", "", false, 1, "off"); err == nil {
 		t.Error("no query should fail")
 	}
 }

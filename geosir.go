@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/annindex"
 	"repro/internal/core"
 	"repro/internal/geohash"
 	"repro/internal/geom"
@@ -103,6 +104,13 @@ type Stats struct {
 	Candidates      int
 	Converged       bool
 	UsedHashing     bool
+	// UsedANN reports that the MinHash/LSH candidate tier participated
+	// (ordering in AnnVerify, candidate generation in AnnApprox);
+	// ANNProbes counts LSH buckets probed and ANNCandidates the
+	// candidates the tier emitted, summed over stages and shards.
+	UsedANN       bool
+	ANNProbes     int
+	ANNCandidates int
 }
 
 // Engine is a GeoSIR instance: the shape base, the per-image topology
@@ -118,6 +126,8 @@ type Engine struct {
 	db     *query.DB
 	family *geohash.Family
 	table  *geohash.Table
+	ann    *annindex.Index
+	annPre *annPreload
 	frozen bool
 }
 
@@ -178,6 +188,7 @@ func (e *Engine) Freeze() error {
 			return fmt.Errorf("geosir: hashing shape %d: %w", s.ID, err)
 		}
 	}
+	e.buildANN()
 	e.frozen = true
 	return nil
 }

@@ -1,0 +1,119 @@
+package annindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// ngon builds a regular n-gon of radius r centered at (cx, cy), with
+// per-vertex jitter drawn from rng.
+func ngon(rng *rand.Rand, n int, cx, cy, r, jitter float64) geom.Poly {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		rr := r * (1 + jitter*(2*rng.Float64()-1))
+		pts[i] = geom.Pt(cx+rr*math.Cos(a), cy+rr*math.Sin(a))
+	}
+	return geom.NewPolygon(pts...)
+}
+
+func TestSignatureDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := DefaultParams()
+	poly := ngon(rng, 9, 0.5, 0.1, 0.4, 0.2)
+	polys := []geom.Poly{poly}
+	a := ComputeSignatures(p, 1, func(i int) geom.Poly { return polys[i] })
+	b := ComputeSignatures(p, 1, func(i int) geom.Poly { return polys[i] })
+	if len(a) != p.hashCount() {
+		t.Fatalf("signature length %d, want %d", len(a), p.hashCount())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signature not deterministic at position %d", i)
+		}
+	}
+}
+
+func TestSimilarShapesAgreeMoreThanDissimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := DefaultParams()
+	base := ngon(rng, 12, 0.5, 0.0, 0.45, 0)
+	near := geom.NewPolygon(base.Pts...)
+	near.Pts = append([]geom.Point(nil), base.Pts...)
+	for i := range near.Pts {
+		near.Pts[i].X += 0.004 * (2*rng.Float64() - 1)
+		near.Pts[i].Y += 0.004 * (2*rng.Float64() - 1)
+	}
+	far := ngon(rng, 3, 0.5, 0.0, 0.45, 0)
+
+	polys := []geom.Poly{base, near, far}
+	ix := Build(p, len(polys), func(i int) (geom.Poly, int32) { return polys[i], int32(i) })
+	sig := ix.Signature(base)
+	nearAgree := ix.agreement(sig, 1)
+	farAgree := ix.agreement(sig, 2)
+	if nearAgree <= farAgree {
+		t.Fatalf("near shape agreement %d not above far shape agreement %d", nearAgree, farAgree)
+	}
+	cand := ix.Probe(sig, 0)
+	if len(cand.Shapes) == 0 {
+		t.Fatalf("probe found no candidates for an indexed shape")
+	}
+	if cand.Shapes[0] != 0 {
+		t.Fatalf("probe ranked shape %d first, want the identical shape 0", cand.Shapes[0])
+	}
+}
+
+func TestProbeFloorScansWhenBucketsMiss(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := DefaultParams()
+	polys := make([]geom.Poly, 20)
+	for i := range polys {
+		polys[i] = ngon(rng, 5+i%5, 0.5, 0.0, 0.3, 0.3)
+	}
+	ix := Build(p, len(polys), func(i int) (geom.Poly, int32) { return polys[i], int32(i) })
+	// A signature of an un-indexed frame corner: buckets will likely
+	// miss, the floor must still be met by the signature scan.
+	probe := ix.Probe(ix.Signature(ngon(rng, 32, -0.3, -0.8, 0.05, 0)), 7)
+	if len(probe.Shapes) < 7 {
+		t.Fatalf("probe returned %d shapes, want the floor of 7", len(probe.Shapes))
+	}
+	if probe.Probes != p.Bands {
+		t.Fatalf("probe count %d, want %d", probe.Probes, p.Bands)
+	}
+}
+
+func TestProbeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := DefaultParams()
+	polys := make([]geom.Poly, 50)
+	for i := range polys {
+		polys[i] = ngon(rng, 6+i%7, 0.5, 0.0, 0.4, 0.2)
+	}
+	ix := Build(p, len(polys), func(i int) (geom.Poly, int32) { return polys[i], int32(i / 2) })
+	ix2 := FromSignatures(p, append([]uint64(nil), ix.Signatures()...), func() []int32 {
+		so := make([]int32, len(polys))
+		for i := range so {
+			so[i] = int32(i / 2)
+		}
+		return so
+	}())
+	sig := ix.Signature(polys[17])
+	a := ix.Probe(sig, 10)
+	b := ix2.Probe(sig, 10)
+	if len(a.Shapes) != len(b.Shapes) {
+		t.Fatalf("rebuilt index probe differs: %d vs %d shapes", len(a.Shapes), len(b.Shapes))
+	}
+	for i := range a.Shapes {
+		if a.Shapes[i] != b.Shapes[i] {
+			t.Fatalf("rebuilt index probe differs at %d: %d vs %d", i, a.Shapes[i], b.Shapes[i])
+		}
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] || a.Scores[i] != b.Scores[i] {
+			t.Fatalf("rebuilt index entries differ at %d", i)
+		}
+	}
+}

@@ -44,7 +44,7 @@ type Stats struct {
 // in the latter case the caller is expected to fall back to geometric
 // hashing (§3).
 func (b *Base) Match(q geom.Poly, k int) ([]Match, Stats, error) {
-	return b.match(q, k, math.Inf(1), nil, nil, false)
+	return b.match(q, k, math.Inf(1), nil, nil, nil, false)
 }
 
 // MatchTrace is Match with an access hook: onAccess is invoked with the
@@ -53,7 +53,7 @@ func (b *Base) Match(q geom.Poly, k int) ([]Match, Stats, error) {
 // continuous measure). The external-storage experiments (§4) replay this
 // trace against a disk layout to count I/O operations.
 func (b *Base) MatchTrace(q geom.Poly, k int, onAccess func(entryID int)) ([]Match, Stats, error) {
-	return b.match(q, k, math.Inf(1), onAccess, nil, false)
+	return b.match(q, k, math.Inf(1), onAccess, nil, nil, false)
 }
 
 // MatchShared is Match pruning against (and, when publish is set,
@@ -67,7 +67,22 @@ func (b *Base) MatchTrace(q geom.Poly, k int, onAccess func(entryID int)) ([]Mat
 // k (a capped search's k-th best does not bound the merged k-th best).
 // See DESIGN.md §4.9.
 func (b *Base) MatchShared(q geom.Poly, k int, shared *SharedBound, publish bool) ([]Match, Stats, error) {
-	return b.match(q, k, math.Inf(1), nil, shared, publish)
+	return b.match(q, k, math.Inf(1), nil, nil, shared, publish)
+}
+
+// MatchSharedRanked is MatchShared with an a-priori candidate ranking:
+// rank maps entry ids to a promisingness score (higher is more
+// promising; missing means 0), and the bootstrap evaluations that seed
+// the top-k visit higher-ranked candidates first. The ranking changes
+// only the order in which the envelope's own candidates are evaluated —
+// never which entries are discovered, and every pruning decision stays
+// admissible — so the returned matches are byte-identical to
+// MatchShared's for any rank; a good ranking (e.g. the ANN tier's
+// signature agreement, DESIGN.md §4.10) merely tightens the k-th-best
+// cutoff sooner, which prunes more and publishes a tighter shared bound
+// earlier. Stats may differ (fewer candidates paid for).
+func (b *Base) MatchSharedRanked(q geom.Poly, k int, rank map[int32]int32, shared *SharedBound, publish bool) ([]Match, Stats, error) {
+	return b.match(q, k, math.Inf(1), nil, rank, shared, publish)
 }
 
 // SimilarShapes returns every shape whose vertex-averaged distance to q
@@ -76,7 +91,7 @@ func (b *Base) MatchShared(q geom.Poly, k int, shared *SharedBound, publish bool
 // qualify). This is the shape_similar(Q) primitive of the query
 // processor (§5).
 func (b *Base) SimilarShapes(q geom.Poly, tau float64) ([]Match, Stats, error) {
-	matches, stats, err := b.match(q, len(b.shapes), tau, nil, nil, false)
+	matches, stats, err := b.match(q, len(b.shapes), tau, nil, nil, nil, false)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -101,7 +116,7 @@ func (b *Base) SimilarShapes(q geom.Poly, tau float64) ([]Match, Stats, error) {
 // as possible; and entries proven outside every cutoff are stamped dead
 // exactly once (all cutoffs are monotone non-increasing, so a ruling
 // never has to be revisited).
-func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int), shared *SharedBound, publish bool) ([]Match, Stats, error) {
+func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int), rank map[int32]int32, shared *SharedBound, publish bool) ([]Match, Stats, error) {
 	var stats Stats
 	if !b.frozen {
 		return nil, stats, fmt.Errorf("core: base must be frozen before matching")
@@ -313,8 +328,19 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		}
 
 		// Step 4, bootstrap: β-candidacy (the paper's step 3/4 rule)
-		// seeds the top-k before any bound is meaningful.
+		// seeds the top-k before any bound is meaningful. An a-priori
+		// ranking (the ANN tier) reorders this seeding best-first: the
+		// bootstrap stops once the top-k is filled, so starting from the
+		// likeliest matches fills it with tighter distances and every
+		// later cutoff starts sharper. Candidates not evaluated here are
+		// still evaluated or admissibly ruled out in the bounds pass
+		// below, so the reordering cannot change the result.
 		if topkMode {
+			if rank != nil && len(newCandidates) > 1 {
+				sort.SliceStable(newCandidates, func(i, j int) bool {
+					return rank[newCandidates[i]] > rank[newCandidates[j]]
+				})
+			}
 			for _, ei := range newCandidates {
 				if have >= k {
 					break

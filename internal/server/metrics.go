@@ -38,6 +38,12 @@ type metrics struct {
 
 	reloads     atomic.Int64
 	reloadFails atomic.Int64
+
+	// ANN candidate-tier counters, cumulative over all queries the tier
+	// participated in (see geosir.Stats).
+	annQueries    atomic.Int64
+	annProbes     atomic.Int64
+	annCandidates atomic.Int64
 }
 
 func newMetrics() *metrics {

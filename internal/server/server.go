@@ -516,11 +516,17 @@ func decodeStrict(body []byte, v any) error {
 
 // runSearch funnels every similarity endpoint through the unified
 // Search API, translating the engine's sentinel failures to statuses in
-// serveQuery's error switch.
-func runSearch(ctx context.Context, sv Serving, req geosir.SearchRequest) (*geosir.SearchResponse, error) {
+// serveQuery's error switch, and folds the response's ANN accounting
+// into the cumulative /statz counters.
+func (s *Server) runSearch(ctx context.Context, sv Serving, req geosir.SearchRequest) (*geosir.SearchResponse, error) {
 	resp, err := sv.Search(ctx, req)
 	if err != nil {
 		return nil, err
+	}
+	if resp.Stats.UsedANN {
+		s.metrics.annQueries.Add(1)
+		s.metrics.annProbes.Add(int64(resp.Stats.ANNProbes))
+		s.metrics.annCandidates.Add(int64(resp.Stats.ANNCandidates))
 	}
 	return resp, nil
 }
@@ -534,7 +540,7 @@ func (s *Server) handleSimilar(ctx context.Context, sv Serving, body []byte) (an
 	if err != nil {
 		return nil, unprocessable(err)
 	}
-	resp, err := runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto})
+	resp, err := s.runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto})
 	if err != nil {
 		return nil, err
 	}
@@ -550,7 +556,7 @@ func (s *Server) handleApproximate(ctx context.Context, sv Serving, body []byte)
 	if err != nil {
 		return nil, unprocessable(err)
 	}
-	resp, err := runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate})
+	resp, err := s.runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate})
 	if err != nil {
 		return nil, err
 	}
@@ -558,13 +564,15 @@ func (s *Server) handleApproximate(ctx context.Context, sv Serving, body []byte)
 }
 
 // searchRequest is the unified /v1/search wire request: one shape (or,
-// for sketch mode, several), k, and an optional mode name.
+// for sketch mode, several), k, an optional mode name, and an optional
+// ANN tier mode ("off", "verify", "approx").
 type searchRequest struct {
 	Shape   *WireShape  `json:"shape,omitempty"`
 	Shapes  []WireShape `json:"shapes,omitempty"`
 	K       int         `json:"k"`
 	Mode    string      `json:"mode,omitempty"`
 	Workers int         `json:"workers,omitempty"`
+	Ann     string      `json:"ann,omitempty"`
 }
 
 type searchResponse struct {
@@ -583,7 +591,11 @@ func (s *Server) handleSearch(ctx context.Context, sv Serving, body []byte) (any
 	if err != nil {
 		return nil, unprocessable(err)
 	}
-	greq := geosir.SearchRequest{K: req.K, Workers: req.Workers, Mode: mode}
+	ann, err := geosir.ParseAnnMode(req.Ann)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	greq := geosir.SearchRequest{K: req.K, Workers: req.Workers, Mode: mode, Ann: ann}
 	if req.Shape != nil {
 		q, err := req.Shape.Shape()
 		if err != nil {
@@ -598,7 +610,7 @@ func (s *Server) handleSearch(ctx context.Context, sv Serving, body []byte) (any
 		}
 		greq.Sketch = shapes
 	}
-	resp, err := runSearch(ctx, sv, greq)
+	resp, err := s.runSearch(ctx, sv, greq)
 	if err != nil {
 		return nil, err
 	}
@@ -615,6 +627,7 @@ func (s *Server) handleSearch(ctx context.Context, sv Serving, body []byte) (any
 type sketchRequest struct {
 	Shapes []WireShape `json:"shapes"`
 	K      int         `json:"k"`
+	Ann    string      `json:"ann,omitempty"`
 }
 
 type sketchResponse struct {
@@ -630,7 +643,11 @@ func (s *Server) handleSketch(ctx context.Context, sv Serving, body []byte) (any
 	if err != nil {
 		return nil, unprocessable(err)
 	}
-	resp, err := runSearch(ctx, sv, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch})
+	ann, err := geosir.ParseAnnMode(req.Ann)
+	if err != nil {
+		return nil, unprocessable(err)
+	}
+	resp, err := s.runSearch(ctx, sv, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch, Ann: ann})
 	if err != nil {
 		return nil, err
 	}
@@ -785,6 +802,15 @@ type SnapshotStatz struct {
 	Shards []ShardStatz `json:"shards,omitempty"`
 }
 
+// ANNStatz is the cumulative ANN candidate-tier accounting in /statz:
+// how many queries the tier participated in, and the total LSH bucket
+// probes and emitted candidates across them.
+type ANNStatz struct {
+	Queries    int64 `json:"queries"`
+	Probes     int64 `json:"probes"`
+	Candidates int64 `json:"candidates"`
+}
+
 // Statz is the full status document served on /statz (and exported via
 // expvar on /metrics).
 type Statz struct {
@@ -796,6 +822,7 @@ type Statz struct {
 	MaxQueue    int                         `json:"max_queue"`
 	Reloads     int64                       `json:"reloads"`
 	ReloadFails int64                       `json:"reload_fails"`
+	ANN         *ANNStatz                   `json:"ann,omitempty"`
 	Snapshot    *SnapshotStatz              `json:"snapshot,omitempty"`
 	Endpoints   map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -812,6 +839,13 @@ func (s *Server) Statz() Statz {
 		Reloads:     s.metrics.reloads.Load(),
 		ReloadFails: s.metrics.reloadFails.Load(),
 		Endpoints:   s.metrics.snapshotEndpoints(),
+	}
+	if q := s.metrics.annQueries.Load(); q > 0 {
+		out.ANN = &ANNStatz{
+			Queries:    q,
+			Probes:     s.metrics.annProbes.Load(),
+			Candidates: s.metrics.annCandidates.Load(),
+		}
 	}
 	if st := s.state.Load(); st != nil {
 		out.Snapshot = &SnapshotStatz{

@@ -63,6 +63,9 @@ type StatsJSON struct {
 	Candidates      int     `json:"candidates"`
 	Converged       bool    `json:"converged"`
 	UsedHashing     bool    `json:"used_hashing"`
+	UsedANN         bool    `json:"used_ann,omitempty"`
+	ANNProbes       int     `json:"ann_probes,omitempty"`
+	ANNCandidates   int     `json:"ann_candidates,omitempty"`
 }
 
 // SketchMatchJSON is one image retrieved by a multi-shape sketch.
@@ -94,6 +97,9 @@ func statsJSON(st geosir.Stats) StatsJSON {
 		Candidates:      st.Candidates,
 		Converged:       st.Converged,
 		UsedHashing:     st.UsedHashing,
+		UsedANN:         st.UsedANN,
+		ANNProbes:       st.ANNProbes,
+		ANNCandidates:   st.ANNCandidates,
 	}
 }
 

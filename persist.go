@@ -133,12 +133,18 @@ type Recovery struct {
 	// Truncated reports that section framing was lost (truncation or a
 	// mangled length prefix) before the declared image count was reached.
 	Truncated bool
+	// AuxDropped counts declared auxiliary sections (derived data such
+	// as the ANN signatures) that failed verification or were never
+	// reached. The engine is unaffected — Freeze rebuilds derived
+	// structures deterministically — but the snapshot was damaged.
+	AuxDropped int
 }
 
 // Complete reports whether the snapshot was recovered in full — in that
 // case the engine is identical to a plain Load.
 func (rec *Recovery) Complete() bool {
-	return rec != nil && len(rec.Dropped) == 0 && rec.ImagesUnread == 0 && !rec.Truncated
+	return rec != nil && len(rec.Dropped) == 0 && rec.ImagesUnread == 0 && !rec.Truncated &&
+		rec.AuxDropped == 0
 }
 
 // LoadPartial reads a possibly damaged snapshot and salvages every image
@@ -251,7 +257,7 @@ func Peek(r io.Reader) (SnapshotInfo, error) {
 		}
 		return SnapshotInfo{Format: FormatGSIR1, FormatName: "GSIR1", Options: opts, Images: int(nimg)}, nil
 	case magicGSIR2:
-		opts, nimg, err := readOptionsSection(r)
+		opts, nimg, _, err := readOptionsSection(r)
 		if err != nil {
 			return SnapshotInfo{}, err
 		}

@@ -190,7 +190,7 @@ func TestCorruptionFlipSweep(t *testing.T) {
 				if !bytes.Equal(resaved, pristine) {
 					t.Fatalf("offset %d xor %#x: LoadPartial claimed complete recovery of a different base", off, xor)
 				}
-			} else if len(rec.Dropped) == 0 && rec.ImagesUnread == 0 {
+			} else if len(rec.Dropped) == 0 && rec.ImagesUnread == 0 && rec.AuxDropped == 0 {
 				t.Fatalf("offset %d xor %#x: incomplete recovery with no damage reported", off, xor)
 			}
 		}
@@ -224,8 +224,9 @@ func TestLoadPartialSalvagesVerifiedImages(t *testing.T) {
 	data := snapshotBytes(t, eng)
 	offs := sectionOffsets(t, data)
 	nimg := eng.NumImages()
-	if len(offs) != 1+nimg {
-		t.Fatalf("expected %d sections, found %d", 1+nimg, len(offs))
+	// Options, one per image, and the trailing ANN auxiliary section.
+	if len(offs) != 1+nimg+1 {
+		t.Fatalf("expected %d sections, found %d", 1+nimg+1, len(offs))
 	}
 	// Flip one payload byte in the second image's section.
 	mut := append([]byte(nil), data...)

@@ -8,21 +8,35 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"repro/internal/annindex"
 )
 
 // GSIR2 is the current stream format:
 //
 //	magic "GSIR2\n"
 //	section := u32 payloadLen | payload | u32 crc32(payload)   (little-endian, IEEE CRC)
-//	section 0 (options, 40 bytes): f64 alpha, beta, tau, angleTol | u32 hashCurves | u32 nImages
+//	section 0 (options, 44 bytes): f64 alpha, beta, tau, angleTol | u32 hashCurves | u32 nImages | u32 nAux
 //	sections 1..nImages (one per image):
 //	    u32 imageID | u32 nShapes | nShapes × { u32 flags (bit0 = closed) | u32 nVerts | nVerts × (f64 x, f64 y) }
+//	sections nImages+1..nImages+nAux (auxiliary, tagged):
+//	    4-byte tag | tag-specific payload
+//	    tag "ANN1": u32 gridRes | u32 bands | u32 rows | u64 seed | u32 nEntries | nEntries × bands·rows × u64 signature
+//
+// Version negotiation: a 40-byte options payload (written before
+// auxiliary sections existed) implies nAux = 0, so old snapshots load
+// unchanged and Freeze rebuilds the ANN index from the shapes —
+// deterministically, so the rebuilt index matches what the snapshot
+// would have carried. Unknown auxiliary tags from newer writers are
+// framed and checksummed like any section and are skipped.
 //
 // Every section is independently framed and checksummed: truncation, a
 // torn tail, or a flipped byte anywhere in a section surfaces as a CRC or
 // framing error rather than a silently different image base, and
 // LoadPartial can drop exactly the damaged sections while keeping the
-// rest.
+// rest. Declaring nAux up front keeps truncation detection airtight: a
+// tear at the auxiliary-section boundary cannot masquerade as a shorter
+// valid stream.
 
 // maxSectionLen bounds a section length prefix against corrupt framing.
 const maxSectionLen = 1 << 30
@@ -31,7 +45,19 @@ const maxSectionLen = 1 << 30
 // checksum — framing is intact, the content is not.
 var errBadCRC = errors.New("geosir: section checksum mismatch")
 
-const optionsSectionLen = 4*8 + 4 + 4
+// optionsSectionLenV1 is the legacy options payload (no auxiliary
+// count); optionsSectionLen is the current one with the trailing nAux.
+const (
+	optionsSectionLenV1 = 4*8 + 4 + 4
+	optionsSectionLen   = optionsSectionLenV1 + 4
+)
+
+// maxAuxSections bounds the declared auxiliary count against corrupt
+// framing.
+const maxAuxSections = 64
+
+// auxTagANN marks the MinHash/LSH signature section.
+const auxTagANN = "ANN1"
 
 func appendU32(b []byte, v uint32) []byte {
 	var buf [4]byte
@@ -39,10 +65,14 @@ func appendU32(b []byte, v uint32) []byte {
 	return append(b, buf[:]...)
 }
 
-func appendF64(b []byte, v float64) []byte {
+func appendU64(b []byte, v uint64) []byte {
 	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	binary.LittleEndian.PutUint64(buf[:], v)
 	return append(b, buf[:]...)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
 }
 
 // writeSection frames payload with its length prefix and CRC32 trailer.
@@ -100,6 +130,7 @@ func (e *Engine) saveGSIR2(w io.Writer) error {
 	opt = appendF64(opt, e.opts.AngleTol)
 	opt = appendU32(opt, uint32(e.opts.HashCurves))
 	opt = appendU32(opt, uint32(len(images)))
+	opt = appendU32(opt, 1) // auxiliary sections: the ANN signatures
 	if err := writeSection(bw, opt); err != nil {
 		return err
 	}
@@ -124,7 +155,29 @@ func (e *Engine) saveGSIR2(w io.Writer) error {
 			return err
 		}
 	}
+	if err := writeSection(bw, e.annSectionPayload()); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// annSectionPayload encodes the ANN auxiliary section. Signature
+// construction is deterministic, so a loaded-and-resaved snapshot
+// reproduces this section byte for byte whether or not the engine was
+// ever frozen.
+func (e *Engine) annSectionPayload() []byte {
+	p, sigs, n := e.annSignatures()
+	buf := make([]byte, 0, 4+3*4+8+4+len(sigs)*8)
+	buf = append(buf, auxTagANN...)
+	buf = appendU32(buf, uint32(p.GridRes))
+	buf = appendU32(buf, uint32(p.Bands))
+	buf = appendU32(buf, uint32(p.Rows))
+	buf = appendU64(buf, p.Seed)
+	buf = appendU32(buf, uint32(n))
+	for _, s := range sigs {
+		buf = appendU64(buf, s)
+	}
+	return buf
 }
 
 // cursor is a bounds-checked little-endian reader over a section payload.
@@ -154,25 +207,32 @@ func (c *cursor) u32() uint32 {
 	return binary.LittleEndian.Uint32(v)
 }
 
-func (c *cursor) f64() float64 {
+func (c *cursor) u64() uint64 {
 	v := c.take(8)
 	if v == nil {
 		return 0
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(v))
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (c *cursor) f64() float64 {
+	return math.Float64frombits(c.u64())
 }
 
 func (c *cursor) remaining() int { return len(c.b) }
 
-// readOptionsSection parses section 0: the engine options and the
-// declared image count.
-func readOptionsSection(r io.Reader) (Options, int, error) {
+// readOptionsSection parses section 0: the engine options, the declared
+// image count, and the declared auxiliary-section count. A legacy
+// 40-byte payload (written before auxiliary sections existed) implies
+// zero auxiliary sections.
+func readOptionsSection(r io.Reader) (Options, int, int, error) {
 	payload, err := readSection(r)
 	if err != nil {
-		return Options{}, 0, fmt.Errorf("geosir: options section: %w", err)
+		return Options{}, 0, 0, fmt.Errorf("geosir: options section: %w", err)
 	}
-	if len(payload) != optionsSectionLen {
-		return Options{}, 0, fmt.Errorf("geosir: options section is %d bytes, want %d", len(payload), optionsSectionLen)
+	if len(payload) != optionsSectionLen && len(payload) != optionsSectionLenV1 {
+		return Options{}, 0, 0, fmt.Errorf("geosir: options section is %d bytes, want %d or %d",
+			len(payload), optionsSectionLen, optionsSectionLenV1)
 	}
 	c := cursor{b: payload}
 	var opts Options
@@ -182,17 +242,24 @@ func readOptionsSection(r io.Reader) (Options, int, error) {
 	opts.AngleTol = c.f64()
 	hc := c.u32()
 	nimg := c.u32()
+	naux := uint32(0)
+	if len(payload) == optionsSectionLen {
+		naux = c.u32()
+	}
 	if c.err != nil {
-		return Options{}, 0, c.err
+		return Options{}, 0, 0, c.err
 	}
 	if hc > maxHashCurves {
-		return Options{}, 0, fmt.Errorf("geosir: implausible hash-curve count %d", hc)
+		return Options{}, 0, 0, fmt.Errorf("geosir: implausible hash-curve count %d", hc)
 	}
 	opts.HashCurves = int(hc)
 	if nimg > maxCount {
-		return Options{}, 0, fmt.Errorf("geosir: implausible image count %d", nimg)
+		return Options{}, 0, 0, fmt.Errorf("geosir: implausible image count %d", nimg)
 	}
-	return opts, int(nimg), nil
+	if naux > maxAuxSections {
+		return Options{}, 0, 0, fmt.Errorf("geosir: implausible auxiliary-section count %d", naux)
+	}
+	return opts, int(nimg), int(naux), nil
 }
 
 // parseImagePayload decodes one image section payload. Counts are
@@ -234,6 +301,61 @@ func parseImagePayload(b []byte) (int, []Shape, error) {
 	return int(imgID), shapes, nil
 }
 
+// applyAuxSection dispatches one verified auxiliary payload by tag.
+// Unknown tags (from newer writers) are skipped.
+func (e *Engine) applyAuxSection(payload []byte) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("geosir: auxiliary section too short (%d bytes)", len(payload))
+	}
+	switch string(payload[:4]) {
+	case auxTagANN:
+		pre, err := parseAnnPayload(payload[4:])
+		if err != nil {
+			return fmt.Errorf("geosir: ann section: %w", err)
+		}
+		e.annPre = pre
+	}
+	return nil
+}
+
+// parseAnnPayload decodes the ANN signature section (tag already
+// consumed). Counts are validated against the bytes present before any
+// allocation, mirroring parseImagePayload.
+func parseAnnPayload(b []byte) (*annPreload, error) {
+	c := cursor{b: b}
+	var p annindex.Params
+	gridRes := c.u32()
+	bands := c.u32()
+	rows := c.u32()
+	p.Seed = c.u64()
+	n := c.u32()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if gridRes < 1 || gridRes > 4096 {
+		return nil, fmt.Errorf("geosir: implausible ANN grid resolution %d", gridRes)
+	}
+	if bands < 1 || bands > 4096 {
+		return nil, fmt.Errorf("geosir: implausible ANN band count %d", bands)
+	}
+	if rows < 1 || rows > 64 {
+		return nil, fmt.Errorf("geosir: implausible ANN row count %d", rows)
+	}
+	if n > maxCount {
+		return nil, fmt.Errorf("geosir: implausible ANN entry count %d", n)
+	}
+	p.GridRes, p.Bands, p.Rows = int(gridRes), int(bands), int(rows)
+	h := int(bands) * int(rows)
+	if want := int64(n) * int64(h) * 8; want != int64(c.remaining()) {
+		return nil, fmt.Errorf("geosir: ANN section holds %d signature bytes, want %d", c.remaining(), want)
+	}
+	sigs := make([]uint64, int(n)*h)
+	for i := range sigs {
+		sigs[i] = c.u64()
+	}
+	return &annPreload{params: p, sigs: sigs, n: int(n)}, nil
+}
+
 // bestEffortImageID pulls the image id from a damaged payload when
 // enough bytes exist, purely for the recovery report; -1 otherwise.
 func bestEffortImageID(payload []byte) int {
@@ -247,7 +369,7 @@ func bestEffortImageID(payload []byte) int {
 // returns the frozen engine. Any framing damage, checksum mismatch, or
 // trailing garbage fails the load.
 func loadGSIR2(r io.Reader) (*Engine, error) {
-	opts, nimg, err := readOptionsSection(r)
+	opts, nimg, naux, err := readOptionsSection(r)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +387,15 @@ func loadGSIR2(r io.Reader) (*Engine, error) {
 			return nil, fmt.Errorf("geosir: image %d: %w", imgID, err)
 		}
 	}
+	for a := 0; a < naux; a++ {
+		payload, err := readSection(r)
+		if err != nil {
+			return nil, fmt.Errorf("geosir: auxiliary section %d: %w", a+1, err)
+		}
+		if err := eng.applyAuxSection(payload); err != nil {
+			return nil, fmt.Errorf("geosir: auxiliary section %d: %w", a+1, err)
+		}
+	}
 	var tail [1]byte
 	if _, err := io.ReadFull(r, tail[:]); err != io.EOF {
 		return nil, fmt.Errorf("geosir: trailing bytes after final section")
@@ -280,7 +411,7 @@ func loadGSIR2(r io.Reader) (*Engine, error) {
 // framing error (truncation, mangled length prefix) ends recovery, and
 // every unread section is reported dropped.
 func loadPartialGSIR2(cr *countReader) (*Engine, *Recovery, error) {
-	opts, nimg, err := readOptionsSection(cr)
+	opts, nimg, naux, err := readOptionsSection(cr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("geosir: unrecoverable options section: %w", err)
 	}
@@ -327,6 +458,28 @@ func loadPartialGSIR2(cr *countReader) (*Engine, *Recovery, error) {
 			continue
 		}
 		rec.ImagesLoaded++
+	}
+	// Auxiliary sections are derived data: read them best-effort (a
+	// verified ANN section spares Freeze the signature recomputation),
+	// and on any damage just count the loss and let Freeze rebuild
+	// deterministically.
+	if rec.Truncated {
+		rec.AuxDropped = naux
+	} else {
+		for a := 0; a < naux; a++ {
+			payload, err := readSection(cr)
+			if err != nil {
+				rec.AuxDropped++
+				if errors.Is(err, errBadCRC) {
+					continue // next section is still framed
+				}
+				rec.AuxDropped += naux - a - 1
+				break
+			}
+			if eng.applyAuxSection(payload) != nil {
+				rec.AuxDropped++
+			}
+		}
 	}
 	if err := freezeLoaded(eng); err != nil {
 		return nil, nil, err

@@ -75,6 +75,11 @@ type SearchRequest struct {
 	Workers int
 	// Mode selects the retrieval strategy.
 	Mode Mode
+	// Ann selects the MinHash/LSH candidate tier's role: AnnOff (the
+	// zero value) ignores it, AnnVerify uses it to order work without
+	// changing results, AnnApprox answers from its candidate set alone
+	// (sublinear, measured recall). See AnnMode.
+	Ann AnnMode
 }
 
 // SearchResponse is the result of a Search.
@@ -118,21 +123,31 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
-		ms, stats, err := e.searchExact(req.Query, req.K)
+		if req.Mode == ModeAuto && req.Ann == AnnApprox && e.ann != nil {
+			ms, stats, err := e.searchAnnApprox(req.Query, req.K, nil)
+			if err != nil {
+				return nil, err
+			}
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
+		rank, annStats := e.annRank(req.Query, req.Ann)
+		ms, stats, err := e.searchExact(req.Query, req.K, rank)
 		if err != nil {
 			return nil, err
 		}
+		stats.addANN(annStats)
 		if req.Mode == ModeExact || (stats.Converged && exactGoodEnough(ms, e.db.Tau())) {
 			return &SearchResponse{Matches: ms, Stats: stats}, nil
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		approx, err := e.searchApprox(req.Query, req.K)
+		approx, astats, err := e.searchApprox(req.Query, req.K, req.Ann)
 		if err != nil {
 			return nil, err
 		}
 		stats.UsedHashing = true
+		stats.addANN(astats)
 		if len(approx) == 0 {
 			return &SearchResponse{Matches: ms, Stats: stats}, nil
 		}
@@ -141,17 +156,25 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
-		ms, err := e.searchApprox(req.Query, req.K)
+		if req.Ann == AnnApprox && e.ann != nil {
+			ms, stats, err := e.searchAnnApprox(req.Query, req.K, nil)
+			if err != nil {
+				return nil, err
+			}
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
+		ms, stats, err := e.searchApprox(req.Query, req.K, req.Ann)
 		if err != nil {
 			return nil, err
 		}
-		return &SearchResponse{Matches: ms, Stats: Stats{UsedHashing: true}}, nil
+		stats.UsedHashing = true
+		return &SearchResponse{Matches: ms, Stats: stats}, nil
 	case ModeSketch:
-		sms, err := e.searchSketch(ctx, req.Sketch, req.K, req.Workers)
+		sms, stats, err := e.searchSketch(ctx, req.Sketch, req.K, req.Workers, req.Ann)
 		if err != nil {
 			return nil, err
 		}
-		return &SearchResponse{SketchMatches: sms}, nil
+		return &SearchResponse{SketchMatches: sms, Stats: stats}, nil
 	}
 	return nil, fmt.Errorf("geosir: unknown search mode %d", int(req.Mode))
 }
@@ -163,16 +186,18 @@ func exactGoodEnough(ms []Match, tau float64) bool {
 	return len(ms) > 0 && ms[0].Distance <= tau
 }
 
-// searchExact runs the ε-envelope fattening search (§2.5).
-func (e *Engine) searchExact(q Shape, k int) ([]Match, Stats, error) {
-	return e.searchExactShared(q, k, nil, false)
+// searchExact runs the ε-envelope fattening search (§2.5). A non-nil
+// rank (from annRank) only reorders the kernel's bootstrap evaluations;
+// results are byte-identical either way.
+func (e *Engine) searchExact(q Shape, k int, rank map[int32]int32) ([]Match, Stats, error) {
+	return e.searchExactShared(q, k, rank, nil, false)
 }
 
 // searchExactShared is searchExact pruning against (and, when publish is
 // set, tightening) a top-k bound shared with the sibling shards of a
 // partitioned base; see core.MatchShared. A nil bound is plain searchExact.
-func (e *Engine) searchExactShared(q Shape, k int, shared *core.SharedBound, publish bool) ([]Match, Stats, error) {
-	ms, st, err := e.db.Base().MatchShared(q, k, shared, publish)
+func (e *Engine) searchExactShared(q Shape, k int, rank map[int32]int32, shared *core.SharedBound, publish bool) ([]Match, Stats, error) {
+	ms, st, err := e.db.Base().MatchSharedRanked(q, k, rank, shared, publish)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -191,23 +216,30 @@ func (e *Engine) searchExactShared(q Shape, k int, shared *core.SharedBound, pub
 // curves, rank them with the similarity measure. The query is normalized
 // and its boundary oracle built exactly once; every candidate is scored
 // through the prepared query against the base's frozen per-entry
-// oracles.
-func (e *Engine) searchApprox(q Shape, k int) ([]Match, error) {
+// oracles. A non-off ann mode reorders the candidates best-first by ANN
+// agreement before scoring — a pure visit-order change (the admissible
+// cutoffs make the surviving top-k order-invariant), reported in the
+// returned Stats' ANN fields.
+func (e *Engine) searchApprox(q Shape, k int, ann AnnMode) ([]Match, Stats, error) {
 	pq, err := core.PrepareQuery(q)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	quad := e.family.Characteristic(pq.Entry().Poly.Pts)
 	ids := e.table.Lookup(quad, 0)
 	if len(ids) == 0 {
 		ids = e.table.Lookup(quad, 1) // widen once to the neighbor curves
 	}
+	var st Stats
+	if ann != AnnOff {
+		ids, st = e.annOrderShapes(q, ids)
+	}
 	out := e.scoreApprox(pq, ids, k, nil)
 	sortMatches(out)
 	if len(out) > k {
 		out = out[:k]
 	}
-	return out, nil
+	return out, st, nil
 }
 
 // scoreApprox ranks hash-table candidates against a prepared query,
@@ -321,19 +353,27 @@ func validateSketch(sketch []Shape) error {
 // reads and run concurrently on up to workers goroutines (work-stealing,
 // see fanout); the per-image tables are merged after the barrier, so the
 // result is identical to the sequential evaluation order.
-func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
+func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers int, ann AnnMode) ([]SketchMatch, Stats, error) {
 	if err := validateSketch(sketch); err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 
 	// For each sketch shape, the best distance per image, filled in by
 	// that shape's worker (no shared writes before the barrier).
+	useAnn := ann == AnnApprox && e.ann != nil
 	perShape := make([]map[int]float64, len(sketch))
+	perStats := make([]Stats, len(sketch))
 	err := fanout(ctx, len(sketch), workers, func(si int) error {
-		t, err := e.sketchShapeTable(sketch[si])
+		var t map[int]float64
+		var err error
+		if useAnn {
+			t, perStats[si], err = e.sketchShapeTableAnn(sketch[si], k)
+		} else {
+			t, err = e.sketchShapeTable(sketch[si])
+		}
 		if err != nil {
 			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
 		}
@@ -341,9 +381,13 @@ func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers in
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
-	return scoreSketchTables(perShape, k), nil
+	var stats Stats
+	for _, st := range perStats {
+		stats.addANN(st)
+	}
+	return scoreSketchTables(perShape, k), stats, nil
 }
 
 // sketchShapeTable retrieves one sketch shape generously (enough shapes

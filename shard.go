@@ -211,6 +211,13 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
+		if req.Mode == ModeAuto && req.Ann == AnnApprox {
+			ms, stats, err := se.annApproxFanout(ctx, req.Query, req.K, req.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
 		// The cross-shard shared bound makes each shard's candidate
 		// pruning depend on what the other shards found first, which
 		// perturbs the (timing-dependent) per-shard Stats and convergence
@@ -218,7 +225,7 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		// decision reads stats.Converged and must stay deterministic, so
 		// only ModeExact — where convergence is reporting, not control
 		// flow — shares the bound.
-		ms, stats, err := se.exactFanout(ctx, req.Query, req.K, req.Workers, req.Mode == ModeExact)
+		ms, stats, err := se.exactFanout(ctx, req.Query, req.K, req.Workers, req.Mode == ModeExact, req.Ann)
 		if err != nil {
 			return nil, err
 		}
@@ -228,11 +235,12 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		approx, err := se.approxFanout(ctx, req.Query, req.K, req.Workers)
+		approx, astats, err := se.approxFanout(ctx, req.Query, req.K, req.Workers, req.Ann)
 		if err != nil {
 			return nil, err
 		}
 		stats.UsedHashing = true
+		stats.addANN(astats)
 		if len(approx) == 0 {
 			return &SearchResponse{Matches: ms, Stats: stats}, nil
 		}
@@ -241,17 +249,25 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
-		ms, err := se.approxFanout(ctx, req.Query, req.K, req.Workers)
+		if req.Ann == AnnApprox {
+			ms, stats, err := se.annApproxFanout(ctx, req.Query, req.K, req.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return &SearchResponse{Matches: ms, Stats: stats}, nil
+		}
+		ms, stats, err := se.approxFanout(ctx, req.Query, req.K, req.Workers, req.Ann)
 		if err != nil {
 			return nil, err
 		}
-		return &SearchResponse{Matches: ms, Stats: Stats{UsedHashing: true}}, nil
+		stats.UsedHashing = true
+		return &SearchResponse{Matches: ms, Stats: stats}, nil
 	case ModeSketch:
-		sms, err := se.sketchFanout(ctx, req.Sketch, req.K, req.Workers)
+		sms, stats, err := se.sketchFanout(ctx, req.Sketch, req.K, req.Workers, req.Ann)
 		if err != nil {
 			return nil, err
 		}
-		return &SearchResponse{SketchMatches: sms}, nil
+		return &SearchResponse{SketchMatches: sms, Stats: stats}, nil
 	}
 	return nil, fmt.Errorf("geosir: unknown search mode %d", int(req.Mode))
 }
@@ -297,7 +313,7 @@ func (se *ShardedEngine) Query(src string, binds map[string]Shape) ([]int, strin
 // not publish — their k'-th best does not bound the global k-th — but
 // may consume, since anything they discard is proven outside the merged
 // top-k (DESIGN.md §4.9).
-func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers int, useShared bool) ([]Match, Stats, error) {
+func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers int, useShared bool, ann AnnMode) ([]Match, Stats, error) {
 	live := se.liveShards()
 	lists := make([][]Match, len(live))
 	stats := make([]Stats, len(live))
@@ -309,10 +325,15 @@ func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers in
 		si := live[i]
 		sh := se.shards[si]
 		kk := min(k, sh.NumShapes())
-		ms, st, err := sh.searchExactShared(q, kk, shared, kk == k)
+		// Each shard ranks its own bootstrap candidates against its own
+		// ANN index — a per-shard visit-order change, so the per-shard
+		// (and thus merged) matches are byte-identical to AnnOff.
+		rank, annSt := sh.annRank(q, ann)
+		ms, st, err := sh.searchExactShared(q, kk, rank, shared, kk == k)
 		if err != nil {
 			return fmt.Errorf("geosir: shard %d: %w", si, err)
 		}
+		st.addANN(annSt)
 		lists[i] = se.toGlobal(si, ms)
 		stats[i] = st
 		return nil
@@ -338,14 +359,14 @@ func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers in
 // decision is therefore global: only if the radius-0 union over every
 // shard is empty do all shards widen to the neighbor curves — per-shard
 // widening would admit candidates a single engine never sees.
-func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers int) ([]Match, error) {
+func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers int, ann AnnMode) ([]Match, Stats, error) {
 	pq, err := core.PrepareQuery(q)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	live := se.liveShards()
 	if len(live) == 0 {
-		return []Match{}, nil
+		return []Match{}, Stats{}, nil
 	}
 	quad := se.shards[live[0]].family.Characteristic(pq.Entry().Poly.Pts)
 	perShard := make([][]int, len(live))
@@ -369,16 +390,78 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers i
 		shared = core.NewSharedBound()
 	}
 	lists := make([][]Match, len(live))
+	stats := make([]Stats, len(live))
 	err = fanout(ctx, len(live), workers, func(i int) error {
-		ms := se.shards[live[i]].scoreApprox(pq, perShard[i], k, shared)
+		sh := se.shards[live[i]]
+		ids := perShard[i]
+		if ann != AnnOff {
+			// Per-shard best-first ordering against the shard's own ANN
+			// index; the admissible cutoffs keep the surviving top-k
+			// identical (DESIGN.md §4.9), only the bounds tighten sooner.
+			ids, stats[i] = sh.annOrderShapes(q, ids)
+		}
+		ms := sh.scoreApprox(pq, ids, k, shared)
 		sortMatches(ms) // local ids; local order == global order within a shard
 		lists[i] = se.toGlobal(live[i], ms)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
-	return mergeTopK(lists, k), nil
+	var merged Stats
+	for _, st := range stats {
+		merged.addANN(st)
+	}
+	return mergeTopK(lists, k), merged, nil
+}
+
+// annApproxFanout is the sharded sublinear path: every live shard probes
+// its own ANN index for candidates (each shard applies the full
+// annMinShapes floor, so the union is at least as wide as a single
+// engine's candidate set) and scores them exactly under one shared
+// cross-shard bound; the per-shard top-k lists merge exactly. The result
+// can differ from a single engine's AnnApprox answer only by having
+// *more* candidates verified — recall is monotone in the shard count.
+func (se *ShardedEngine) annApproxFanout(ctx context.Context, q Shape, k, workers int) ([]Match, Stats, error) {
+	pq, err := core.PrepareQuery(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	live := se.liveShards()
+	if len(live) == 0 {
+		return []Match{}, Stats{UsedANN: true}, nil
+	}
+	var shared *core.SharedBound
+	if len(live) > 1 {
+		shared = core.NewSharedBound()
+	}
+	lists := make([][]Match, len(live))
+	stats := make([]Stats, len(live))
+	err = fanout(ctx, len(live), workers, func(i int) error {
+		sh := se.shards[live[i]]
+		if sh.ann == nil {
+			lists[i] = []Match{}
+			return nil
+		}
+		cand := sh.ann.Probe(sh.ann.Signature(pq.Entry().Poly), annMinShapes(k))
+		shapes := cand.Shapes
+		if max := annCapShapes(annMinShapes(k)); len(shapes) > max {
+			shapes = shapes[:max]
+		}
+		stats[i] = Stats{UsedANN: true, ANNProbes: cand.Probes, ANNCandidates: len(shapes)}
+		ms := sh.scoreApprox(pq, shapes, k, shared)
+		sortMatches(ms) // local ids; local order == global order within a shard
+		lists[i] = se.toGlobal(live[i], ms)
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	merged := Stats{UsedANN: true}
+	for _, st := range stats {
+		merged.addANN(st)
+	}
+	return mergeTopK(lists, k), merged, nil
 }
 
 // sketchFanout evaluates every (sketch shape, shard) pair concurrently,
@@ -386,19 +469,27 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers i
 // disjoint image sets, so union is just map merge), and feeds the
 // result through the same scoreSketchTables ranking as the single
 // engine.
-func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
+func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, workers int, ann AnnMode) ([]SketchMatch, Stats, error) {
 	if err := validateSketch(sketch); err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	live := se.liveShards()
 	nl := len(live)
 	parts := make([]map[int]float64, len(sketch)*nl)
+	partStats := make([]Stats, len(parts))
 	err := fanout(ctx, len(parts), workers, func(t int) error {
 		si, li := t/nl, t%nl
-		m, err := se.shards[live[li]].sketchShapeTable(sketch[si])
+		sh := se.shards[live[li]]
+		var m map[int]float64
+		var err error
+		if ann == AnnApprox && sh.ann != nil {
+			m, partStats[t], err = sh.sketchShapeTableAnn(sketch[si], k)
+		} else {
+			m, err = sh.sketchShapeTable(sketch[si])
+		}
 		if err != nil {
 			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
 		}
@@ -406,7 +497,11 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, wo
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	for _, st := range partStats {
+		stats.addANN(st)
 	}
 	perShape := make([]map[int]float64, len(sketch))
 	for si := range sketch {
@@ -418,7 +513,7 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, wo
 		}
 		perShape[si] = best
 	}
-	return scoreSketchTables(perShape, k), nil
+	return scoreSketchTables(perShape, k), stats, nil
 }
 
 // toGlobal rewrites a shard's local shape ids to global ids in place.
@@ -444,6 +539,9 @@ func mergeStats(ss []Stats) Stats {
 		out.VerticesCounted += s.VerticesCounted
 		out.Candidates += s.Candidates
 		out.Converged = out.Converged && s.Converged
+		out.UsedANN = out.UsedANN || s.UsedANN
+		out.ANNProbes += s.ANNProbes
+		out.ANNCandidates += s.ANNCandidates
 	}
 	return out
 }
