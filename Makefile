@@ -3,18 +3,20 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke serve-smoke fuzz-smoke deprecations cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke bench-cache bench-cache-smoke serve-smoke fuzz-smoke deprecations cover clean
 
 # The gate every PR must pass. The race run includes the persistence
 # fault-injection suite; fuzz-smoke gives each fuzz target a short
 # budget; serve-smoke boots geosird against a demo snapshot and probes
 # every endpoint through geosir-loadgen; bench-ann-smoke runs the ANN
-# recall/speedup benchmarks once on a small base; deprecations keeps
-# internal code off the deprecated Find* wrappers. Perf-sensitive
-# changes should additionally run `make bench-diff` to compare a fresh
-# bench run against the committed BENCH_query.json baseline (the diff
-# also gates on any recall metrics present in both files).
-ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke
+# recall/speedup benchmarks once on a small base; bench-cache-smoke
+# drives a short cached-vs-uncached serving comparison end to end;
+# deprecations keeps internal code off the deprecated Find* wrappers.
+# Perf-sensitive changes should additionally run `make bench-diff` to
+# compare a fresh bench run against the committed BENCH_query.json
+# baseline (the diff also gates on any recall metrics present in both
+# files).
+ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke bench-cache-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +54,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzConvexHull$$' -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run '^$$' -fuzz '^FuzzPointInPolygon$$' -fuzztime $(FUZZTIME) ./internal/geom
+	$(GO) test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime $(FUZZTIME) ./internal/qcache
 
 # Coverage with a per-package summary and the repo-wide total.
 cover:
@@ -122,6 +125,58 @@ bench-serve:
 		-out BENCH_serve.json; rc=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -rf $(SERVE_DIR); exit $$rc
+
+# Query-result cache benchmark: the same zipfian (s=1.1) search-only
+# workload is driven twice over one demo snapshot — once with the cache
+# off, once with -cache-bytes set — and the two loadgen summaries merge
+# into BENCH_cache.json (baseline QPS, cached QPS, speedup, hit rate).
+# Target: >10x served QPS with the cache on. cmd/benchdiff auto-detects
+# the report shape and fails on a cached-QPS regression of more than 10%
+# or a hit-rate drop of more than 0.02 absolute:
+#
+#	go run ./cmd/benchdiff BENCH_cache.json /tmp/BENCH_cache.new.json
+BENCH_CACHE_SECS  ?= 15s
+BENCH_CACHE_CONC  ?= 8
+BENCH_CACHE_DEMO  ?= 60
+BENCH_CACHE_BYTES ?= 67108864
+BENCH_CACHE_OUT   ?= BENCH_cache.json
+bench-cache:
+	@mkdir -p $(SERVE_DIR)
+	$(GO) build -o $(SERVE_DIR)/geosir ./cmd/geosir
+	$(GO) build -o $(SERVE_DIR)/geosird ./cmd/geosird
+	$(GO) build -o $(SERVE_DIR)/loadgen ./cmd/geosir-loadgen
+	$(GO) build -o $(SERVE_DIR)/benchjson ./cmd/benchjson
+	$(SERVE_DIR)/geosir -demo $(BENCH_CACHE_DEMO) -snapshot-out $(SERVE_DIR)/base.gsir
+	@$(SERVE_DIR)/geosird -snapshot $(SERVE_DIR)/base.gsir -addr $(SERVE_ADDR) \
+		-max-inflight $(BENCH_CACHE_CONC) & \
+	pid=$$!; \
+	$(SERVE_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s \
+		-duration $(BENCH_CACHE_SECS) -concurrency $(BENCH_CACHE_CONC) \
+		-mix search=1 -dist zipf -zipf-s 1.1 -label cache-off \
+		-out $(SERVE_DIR)/cache-off.json; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then rm -rf $(SERVE_DIR); exit $$rc; fi; \
+	$(SERVE_DIR)/geosird -snapshot $(SERVE_DIR)/base.gsir -addr $(SERVE_ADDR) \
+		-max-inflight $(BENCH_CACHE_CONC) -cache-bytes $(BENCH_CACHE_BYTES) & \
+	pid=$$!; \
+	$(SERVE_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s \
+		-duration $(BENCH_CACHE_SECS) -concurrency $(BENCH_CACHE_CONC) \
+		-mix search=1 -dist zipf -zipf-s 1.1 -label cache-on \
+		-out $(SERVE_DIR)/cache-on.json; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -eq 0 ]; then \
+		$(SERVE_DIR)/benchjson -cache -baseline $(SERVE_DIR)/cache-off.json \
+			-cached $(SERVE_DIR)/cache-on.json -out $(BENCH_CACHE_OUT); rc=$$?; \
+	fi; \
+	rm -rf $(SERVE_DIR); exit $$rc
+
+# CI variant: a short two-run comparison on a small base, written to a
+# scratch file — exercises the full cache path (fingerprint, LRU,
+# coalescing, the header loadgen counts) end to end without committing
+# noisy short-run numbers.
+bench-cache-smoke:
+	$(MAKE) bench-cache BENCH_CACHE_SECS=2s BENCH_CACHE_DEMO=20 \
+		BENCH_CACHE_OUT=/tmp/BENCH_cache.smoke.json
 
 # Freeze-scaling benchmark across shard counts, written to
 # BENCH_shard.json. Freeze parallelizes one goroutine per shard, so the

@@ -13,6 +13,13 @@
 //
 // Benchmarks present in only one of the files are listed but never
 // fail the comparison (new benchmarks appear, retired ones vanish).
+//
+// Cache reports (benchjson -cache output, "kind": "cache") are
+// auto-detected and compared on their own axes: cached QPS regressing by
+// more than -threshold percent, or the hit rate dropping by more than
+// -hit-rate-threshold absolute (default 0.02 — like recall, a hit rate
+// lives in [0,1] and percent-relative gating near 1.0 is far too lax),
+// fails the comparison.
 package main
 
 import (
@@ -38,10 +45,11 @@ type benchmark struct {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 10, "max allowed ns/op regression in percent before exiting nonzero")
+	threshold := flag.Float64("threshold", 10, "max allowed ns/op (or cache QPS) regression in percent before exiting nonzero")
 	recallThreshold := flag.Float64("recall-threshold", 0.02, "max allowed absolute drop in a reported recall metric before exiting nonzero")
+	hitRateThreshold := flag.Float64("hit-rate-threshold", 0.02, "max allowed absolute drop in a cache report's hit rate before exiting nonzero")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold PCT] [-recall-threshold ABS] OLD.json NEW.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold PCT] [-recall-threshold ABS] [-hit-rate-threshold ABS] OLD.json NEW.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,13 +57,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *recallThreshold); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *threshold, *recallThreshold, *hitRateThreshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath string, threshold, recallThreshold float64) error {
+func run(oldPath, newPath string, threshold, recallThreshold, hitRateThreshold float64) error {
+	// Cache reports are a different document shape: dispatch on it before
+	// insisting on bench lines. Mixing the two shapes is a usage error.
+	oldCache, err := loadCache(oldPath)
+	if err != nil {
+		return err
+	}
+	newCache, err := loadCache(newPath)
+	if err != nil {
+		return err
+	}
+	if (oldCache != nil) != (newCache != nil) {
+		return fmt.Errorf("cannot compare a cache report with a bench report (%s vs %s)", oldPath, newPath)
+	}
+	if oldCache != nil {
+		return diffCache(oldCache, newCache, threshold, hitRateThreshold)
+	}
+
 	oldRep, err := load(oldPath)
 	if err != nil {
 		return err
@@ -127,6 +152,54 @@ func run(oldPath, newPath string, threshold, recallThreshold float64) error {
 			parts = append(parts, fmt.Sprintf("%d benchmark(s) dropped recall by more than %.3f", recallRegressed, recallThreshold))
 		}
 		return fmt.Errorf("%s", strings.Join(parts, "; "))
+	}
+	return nil
+}
+
+// cacheReport mirrors cmd/benchjson's CacheReport (only the gated
+// fields).
+type cacheReport struct {
+	Kind        string  `json:"kind"`
+	BaselineQPS float64 `json:"baseline_qps"`
+	CachedQPS   float64 `json:"cached_qps"`
+	Speedup     float64 `json:"speedup"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+// loadCache returns the file's cache report, or nil when the file is not
+// one (a plain bench report, handled by load). Read errors are real.
+func loadCache(path string) (*cacheReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep cacheReport
+	if err := json.Unmarshal(data, &rep); err != nil || rep.Kind != "cache" {
+		return nil, nil
+	}
+	return &rep, nil
+}
+
+// diffCache gates a cache report pair on cached QPS (percent-relative)
+// and hit rate (absolute drop). Speedup is printed but not gated
+// directly — it moves with the baseline machine's speed, while cached
+// QPS and hit rate isolate what the cache itself delivers.
+func diffCache(oldRep, newRep *cacheReport, threshold, hitRateThreshold float64) error {
+	qpsDelta := pctDelta(oldRep.CachedQPS, newRep.CachedQPS)
+	hitDrop := oldRep.HitRate - newRep.HitRate
+	var fails []string
+	if -qpsDelta > threshold {
+		fails = append(fails, fmt.Sprintf("cached QPS regressed %.1f%% (limit %.1f%%)", -qpsDelta, threshold))
+	}
+	if hitDrop > hitRateThreshold {
+		fails = append(fails, fmt.Sprintf("hit rate dropped %.3f (limit %.3f)", hitDrop, hitRateThreshold))
+	}
+	fmt.Printf("%-24s  %12.1f → %12.1f qps  %+7.2f%%\n", "cached QPS", oldRep.CachedQPS, newRep.CachedQPS, qpsDelta)
+	fmt.Printf("%-24s  %12.1f → %12.1f qps  %+7.2f%%\n", "baseline QPS", oldRep.BaselineQPS, newRep.BaselineQPS, pctDelta(oldRep.BaselineQPS, newRep.BaselineQPS))
+	fmt.Printf("%-24s  %12.2fx → %11.2fx\n", "speedup", oldRep.Speedup, newRep.Speedup)
+	fmt.Printf("%-24s  %12.3f → %12.3f  %+.4f\n", "hit rate", oldRep.HitRate, newRep.HitRate, -hitDrop)
+	if len(fails) > 0 {
+		return fmt.Errorf("%s", strings.Join(fails, "; "))
 	}
 	return nil
 }

@@ -32,10 +32,10 @@ func TestRunLatencyGate(t *testing.T) {
 	badP := writeReport(t, dir, "bad.json", report{Benchmarks: []benchmark{
 		{Name: "BenchmarkQ", NsPerOp: 1200},
 	}})
-	if err := run(oldP, okP, 10, 0.02); err != nil {
+	if err := run(oldP, okP, 10, 0.02, 0.02); err != nil {
 		t.Fatalf("5%% slower should pass the 10%% gate: %v", err)
 	}
-	if err := run(oldP, badP, 10, 0.02); err == nil {
+	if err := run(oldP, badP, 10, 0.02, 0.02); err == nil {
 		t.Fatal("20% slower should fail the 10% gate")
 	}
 }
@@ -54,19 +54,68 @@ func TestRunRecallGate(t *testing.T) {
 	goneP := writeReport(t, dir, "gone.json", report{Benchmarks: []benchmark{
 		{Name: "BenchmarkAnnRecall", NsPerOp: 1000},
 	}})
-	if err := run(oldP, okP, 10, 0.02); err != nil {
+	if err := run(oldP, okP, 10, 0.02, 0.02); err != nil {
 		t.Fatalf("0.01 absolute drop should pass the 0.02 gate: %v", err)
 	}
-	if err := run(oldP, badP, 10, 0.02); err == nil {
+	if err := run(oldP, badP, 10, 0.02, 0.02); err == nil {
 		t.Fatal("0.07 absolute drop should fail the 0.02 gate")
 	} else if !strings.Contains(err.Error(), "recall") {
 		t.Fatalf("error should name recall: %v", err)
 	}
-	if err := run(oldP, goneP, 10, 0.02); err == nil {
+	if err := run(oldP, goneP, 10, 0.02, 0.02); err == nil {
 		t.Fatal("vanished recall metric should fail the gate")
 	}
 	// New benchmarks gaining recall never fail (no baseline to regress from).
-	if err := run(goneP, oldP, 10, 0.02); err != nil {
+	if err := run(goneP, oldP, 10, 0.02, 0.02); err != nil {
 		t.Fatalf("gaining a recall metric should pass: %v", err)
+	}
+}
+
+func writeCacheReport(t *testing.T, dir, name string, rep cacheReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCacheGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeCacheReport(t, dir, "old.json", cacheReport{
+		Kind: "cache", BaselineQPS: 1000, CachedQPS: 15000, Speedup: 15, HitRate: 0.95,
+	})
+	okP := writeCacheReport(t, dir, "ok.json", cacheReport{
+		Kind: "cache", BaselineQPS: 990, CachedQPS: 14500, Speedup: 14.6, HitRate: 0.94,
+	})
+	slowP := writeCacheReport(t, dir, "slow.json", cacheReport{
+		Kind: "cache", BaselineQPS: 1000, CachedQPS: 12000, Speedup: 12, HitRate: 0.95,
+	})
+	coldP := writeCacheReport(t, dir, "cold.json", cacheReport{
+		Kind: "cache", BaselineQPS: 1000, CachedQPS: 15000, Speedup: 15, HitRate: 0.80,
+	})
+	if err := run(oldP, okP, 10, 0.02, 0.02); err != nil {
+		t.Fatalf("small QPS/hit-rate wiggle should pass: %v", err)
+	}
+	if err := run(oldP, slowP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("20% cached-QPS regression should fail the 10% gate")
+	} else if !strings.Contains(err.Error(), "QPS") {
+		t.Fatalf("error should name QPS: %v", err)
+	}
+	if err := run(oldP, coldP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("0.15 hit-rate drop should fail the 0.02 gate")
+	} else if !strings.Contains(err.Error(), "hit rate") {
+		t.Fatalf("error should name hit rate: %v", err)
+	}
+	// Shape mismatch is a usage error, not a silent pass.
+	benchP := writeReport(t, dir, "bench.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkQ", NsPerOp: 1000},
+	}})
+	if err := run(oldP, benchP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("comparing a cache report with a bench report should fail")
 	}
 }

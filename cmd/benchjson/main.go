@@ -5,6 +5,13 @@
 //
 //	go test -run '^$' -bench 'BenchmarkFig2|BenchmarkMatch_Scaling' \
 //	    -benchmem . | go run ./cmd/benchjson -out BENCH_query.json
+//
+// With -cache it instead merges two geosir-loadgen JSON summaries (a
+// cache-off baseline and a cache-on run of the same workload) into a
+// cache benchmark report (see the Makefile's bench-cache target):
+//
+//	go run ./cmd/benchjson -cache -baseline /tmp/off.json \
+//	    -cached /tmp/on.json -out BENCH_cache.json
 package main
 
 import (
@@ -38,25 +45,50 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// CacheReport merges a cache-off and a cache-on loadgen run of the same
+// workload into one gateable document. Kind is always "cache" so
+// cmd/benchdiff can tell this shape apart from a bench Report.
+type CacheReport struct {
+	Kind        string  `json:"kind"`
+	BaselineQPS float64 `json:"baseline_qps"`
+	CachedQPS   float64 `json:"cached_qps"`
+	// Speedup is CachedQPS / BaselineQPS — the headline number the
+	// bench-cache target prints and benchdiff gates.
+	Speedup float64 `json:"speedup"`
+	HitRate float64 `json:"hit_rate"`
+	// Baseline and Cached embed the full loadgen summaries verbatim so
+	// the BENCH file stands alone (latency percentiles, mix, status).
+	Baseline json.RawMessage `json:"baseline"`
+	Cached   json.RawMessage `json:"cached"`
+}
+
+// loadgenRun is the slice of geosir-loadgen's JSON summary the merge
+// needs.
+type loadgenRun struct {
+	AchievedQPS  float64 `json:"achieved_qps"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_query.json", "output file (- for stdout)")
+	cacheMode := flag.Bool("cache", false, "merge two loadgen JSON summaries into a cache report instead of parsing bench output")
+	baseline := flag.String("baseline", "", "cache-off loadgen JSON summary (with -cache)")
+	cached := flag.String("cached", "", "cache-on loadgen JSON summary (with -cache)")
 	flag.Parse()
 
-	rep, err := parse(bufio.NewScanner(os.Stdin))
+	var enc []byte
+	var err error
+	if *cacheMode {
+		enc, err = mergeCache(*baseline, *cached)
+	} else {
+		enc, err = parseBench()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
 		return
@@ -65,6 +97,76 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func parseBench() ([]byte, error) {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}
+
+// mergeCache builds the CacheReport from the two loadgen summary files.
+// A baseline with zero achieved QPS (or a run that was all errors) is an
+// error rather than a division hazard: the bench did not measure what it
+// claims to.
+func mergeCache(baselinePath, cachedPath string) ([]byte, error) {
+	if baselinePath == "" || cachedPath == "" {
+		return nil, fmt.Errorf("-cache needs both -baseline and -cached")
+	}
+	baseRaw, base, err := loadRun(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	cachedRaw, cach, err := loadRun(cachedPath)
+	if err != nil {
+		return nil, err
+	}
+	if base.AchievedQPS <= 0 {
+		return nil, fmt.Errorf("%s: baseline achieved_qps is %v", baselinePath, base.AchievedQPS)
+	}
+	rep := CacheReport{
+		Kind:        "cache",
+		BaselineQPS: base.AchievedQPS,
+		CachedQPS:   cach.AchievedQPS,
+		Speedup:     cach.AchievedQPS / base.AchievedQPS,
+		HitRate:     cach.CacheHitRate,
+		Baseline:    baseRaw,
+		Cached:      cachedRaw,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: cache speedup %.2fx (%.1f → %.1f qps), hit rate %.3f\n",
+		rep.Speedup, rep.BaselineQPS, rep.CachedQPS, rep.HitRate)
+	return append(enc, '\n'), nil
+}
+
+func loadRun(path string) (json.RawMessage, *loadgenRun, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var run loadgenRun
+	if err := json.Unmarshal(data, &run); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if run.Requests == 0 {
+		return nil, nil, fmt.Errorf("%s: loadgen summary recorded no requests", path)
+	}
+	if run.Errors >= run.Requests {
+		return nil, nil, fmt.Errorf("%s: every request errored (%d/%d)", path, run.Errors, run.Requests)
+	}
+	return json.RawMessage(data), &run, nil
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {

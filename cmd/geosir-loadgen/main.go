@@ -47,13 +47,14 @@ func main() {
 		dist        = flag.String("dist", "uniform", "request-variant key distribution: uniform or zipf")
 		zipfS       = flag.Float64("zipf-s", 1.1, "Zipf exponent for -dist zipf (must be > 1)")
 		seed        = flag.Int64("seed", 1, "query-shape generator seed")
+		label       = flag.String("label", "", "label recorded in the JSON summary (e.g. cache-off)")
 		out         = flag.String("out", "", "write the JSON summary to this file")
 		wait        = flag.Duration("wait", 0, "poll /readyz up to this long before starting")
 		smoke       = flag.Bool("smoke", false, "probe mode: healthz, readyz, one query of each kind; exit 0/1")
 		expShards   = flag.Int("expect-shards", 0, "with -smoke: require /statz to report exactly N live shards")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *dist, *zipfS, *seed, *out, *wait, *smoke, *expShards); err != nil {
+	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *dist, *zipfS, *seed, *label, *out, *wait, *smoke, *expShards); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir-loadgen:", err)
 		os.Exit(1)
 	}
@@ -246,7 +247,32 @@ func runSmoke(client *http.Client, addr string, ks []kind, expShards int) error 
 type sample struct {
 	kind   int8
 	status int16
+	cache  int8 // cacheNone or one of the cache* dispositions
 	dur    time.Duration
+}
+
+// Cache dispositions parsed from the X-Geosir-Cache response header
+// (absent when the server runs with caching disabled).
+const (
+	cacheNone int8 = iota
+	cacheHit
+	cacheMiss
+	cacheCoalesced
+	cacheBypass
+)
+
+func parseCacheHeader(v string) int8 {
+	switch v {
+	case "hit":
+		return cacheHit
+	case "miss":
+		return cacheMiss
+	case "coalesced":
+		return cacheCoalesced
+	case "bypass":
+		return cacheBypass
+	}
+	return cacheNone
 }
 
 // KindSummary is the per-kind (and overall) latency/throughput report.
@@ -262,19 +288,26 @@ type KindSummary struct {
 
 // BenchOut is the JSON document written to -out.
 type BenchOut struct {
-	Target      string                 `json:"target"`
-	DurationS   float64                `json:"duration_s"`
-	Concurrency int                    `json:"concurrency"`
-	TargetQPS   float64                `json:"target_qps"`
-	Mix         string                 `json:"mix"`
-	Dist        string                 `json:"dist"`
-	ZipfS       float64                `json:"zipf_s,omitempty"`
-	Requests    int                    `json:"requests"`
-	Errors      int                    `json:"errors"`
-	AchievedQPS float64                `json:"achieved_qps"`
-	Overall     KindSummary            `json:"overall"`
-	ByKind      map[string]KindSummary `json:"by_kind"`
-	Status      map[string]int         `json:"status"`
+	Label       string  `json:"label,omitempty"`
+	Target      string  `json:"target"`
+	DurationS   float64 `json:"duration_s"`
+	Concurrency int     `json:"concurrency"`
+	TargetQPS   float64 `json:"target_qps"`
+	Mix         string  `json:"mix"`
+	Dist        string  `json:"dist"`
+	ZipfS       float64 `json:"zipf_s,omitempty"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Cache dispositions, counted from the X-Geosir-Cache response
+	// header; all zero when the server runs uncached.
+	CacheHits      int                    `json:"cache_hits,omitempty"`
+	CacheMisses    int                    `json:"cache_misses,omitempty"`
+	CacheCoalesced int                    `json:"cache_coalesced,omitempty"`
+	CacheHitRate   float64                `json:"cache_hit_rate,omitempty"`
+	Overall        KindSummary            `json:"overall"`
+	ByKind         map[string]KindSummary `json:"by_kind"`
+	Status         map[string]int         `json:"status"`
 }
 
 func summarize(samples []sample, pick func(sample) bool) KindSummary {
@@ -344,7 +377,7 @@ func variantPicker(dist string, zipfS float64, nVariants int) (func(rng *rand.Ra
 }
 
 func run(addr string, duration time.Duration, concurrency int, qps float64, k int,
-	mixSpec, dist string, zipfS float64, seed int64, out string, wait time.Duration,
+	mixSpec, dist string, zipfS float64, seed int64, label, out string, wait time.Duration,
 	smoke bool, expShards int) error {
 
 	addr = strings.TrimRight(addr, "/")
@@ -415,14 +448,17 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 				t0 := time.Now()
 				resp, err := client.Post(addr+kd.path, "application/json", bytes.NewReader(body))
 				status := 0
+				cache := cacheNone
 				if err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					status = resp.StatusCode
+					cache = parseCacheHeader(resp.Header.Get("X-Geosir-Cache"))
 				}
 				results[w] = append(results[w], sample{
 					kind:   int8(indexOf(ks, kd.name)),
 					status: int16(status),
+					cache:  cache,
 					dur:    time.Since(t0),
 				})
 			}
@@ -439,6 +475,7 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		return fmt.Errorf("no requests completed against %s", addr)
 	}
 	bench := BenchOut{
+		Label:       label,
 		Target:      addr,
 		DurationS:   elapsed.Seconds(),
 		Concurrency: concurrency,
@@ -462,6 +499,17 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 	}
 	for _, s := range all {
 		bench.Status[strconv.Itoa(int(s.status))]++
+		switch s.cache {
+		case cacheHit:
+			bench.CacheHits++
+		case cacheMiss:
+			bench.CacheMisses++
+		case cacheCoalesced:
+			bench.CacheCoalesced++
+		}
+	}
+	if n := bench.CacheHits + bench.CacheMisses + bench.CacheCoalesced; n > 0 {
+		bench.CacheHitRate = float64(bench.CacheHits) / float64(n)
 	}
 
 	fmt.Printf("target        %s\n", bench.Target)
@@ -470,6 +518,10 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 	fmt.Printf("throughput    %.1f qps\n", bench.AchievedQPS)
 	fmt.Printf("latency  p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms\n",
 		bench.Overall.P50Ms, bench.Overall.P95Ms, bench.Overall.P99Ms, bench.Overall.MeanMs, bench.Overall.MaxMs)
+	if bench.CacheHits+bench.CacheMisses+bench.CacheCoalesced > 0 {
+		fmt.Printf("cache         hits %d  misses %d  coalesced %d  hit-rate %.3f\n",
+			bench.CacheHits, bench.CacheMisses, bench.CacheCoalesced, bench.CacheHitRate)
+	}
 	names := make([]string, 0, len(bench.ByKind))
 	for name := range bench.ByKind {
 		names = append(names, name)

@@ -48,11 +48,11 @@ func startSharded(t *testing.T, shards int) *httptest.Server {
 func TestSmokeAgainstShardedServer(t *testing.T) {
 	ts := startSharded(t, 3)
 	// Full smoke including the shard-health probe and /v1/search kind.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", 0, true, 3); err != nil {
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 3); err != nil {
 		t.Fatalf("smoke: %v", err)
 	}
 	// Wrong shard expectation must fail.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", 0, true, 5); err == nil {
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 5); err == nil {
 		t.Fatal("expect-shards mismatch should fail the smoke")
 	} else if !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("unexpected error: %v", err)

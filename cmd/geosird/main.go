@@ -17,6 +17,13 @@
 // frozen); SIGINT/SIGTERM shut down gracefully, draining in-flight
 // requests.
 //
+// -cache-bytes N enables the query-result cache: canonically
+// fingerprinted search responses are served from a bounded LRU with
+// singleflight coalescing, invalidated atomically on every snapshot
+// hot-swap (see internal/qcache and DESIGN.md §4.11). 0 (the default)
+// disables it. Responses carry their disposition in the X-Geosir-Cache
+// header.
+//
 // -pprof 127.0.0.1:6060 additionally serves net/http/pprof on a
 // separate debug listener (keep it on loopback); it is off by default.
 package main
@@ -47,19 +54,21 @@ func main() {
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max time a query may wait for a slot before shedding 503")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request execution deadline")
 		maxBody     = flag.Int64("max-body", 8<<20, "max request body bytes")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "query-result cache budget in bytes (0 = caching off)")
+		cacheEnts   = flag.Int("cache-entries", 0, "query-result cache entry bound (0 = derived from -cache-bytes)")
 		accessLog   = flag.Bool("access-log", false, "write JSON access logs to stderr")
 		drainWait   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*snapshot, *addr, *maxInFlight, *maxQueue, *queueWait, *timeout, *maxBody, *accessLog, *drainWait, *pprofAddr); err != nil {
+	if err := run(*snapshot, *addr, *maxInFlight, *maxQueue, *queueWait, *timeout, *maxBody, *cacheBytes, *cacheEnts, *accessLog, *drainWait, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "geosird:", err)
 		os.Exit(1)
 	}
 }
 
 func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout time.Duration,
-	maxBody int64, accessLog bool, drainWait time.Duration, pprofAddr string) error {
+	maxBody, cacheBytes int64, cacheEntries int, accessLog bool, drainWait time.Duration, pprofAddr string) error {
 
 	if snapshot == "" {
 		return errors.New("need -snapshot FILE")
@@ -71,6 +80,11 @@ func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout ti
 		QueueWait:      queueWait,
 		RequestTimeout: timeout,
 		MaxBodyBytes:   maxBody,
+		CacheBytes:     cacheBytes,
+		CacheEntries:   cacheEntries,
+	}
+	if cacheBytes > 0 {
+		logger.Printf("query-result cache: %d bytes, singleflight coalescing on", cacheBytes)
 	}
 	if accessLog {
 		cfg.AccessLog = os.Stderr

@@ -16,6 +16,12 @@ type endpointMetrics struct {
 	status4x atomic.Int64 // 4xx answered (excluding sheds)
 	status5x atomic.Int64 // 5xx answered (excluding sheds)
 	latency  histogram    // admitted requests only
+
+	// Query-result cache dispositions (only advanced when a cache is
+	// configured; set counts live on the cache itself).
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCoalesced atomic.Int64
 }
 
 // EndpointSnapshot is the exported view of one endpoint's metrics.
@@ -28,6 +34,10 @@ type EndpointSnapshot struct {
 	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	CacheCoalesced int64 `json:"cache_coalesced,omitempty"`
 }
 
 // metrics aggregates the server's observability state.
@@ -68,14 +78,17 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 func (em *endpointMetrics) snapshot() EndpointSnapshot {
 	return EndpointSnapshot{
-		Requests: em.requests.Load(),
-		Shed:     em.shed.Load(),
-		Status4x: em.status4x.Load(),
-		Status5x: em.status5x.Load(),
-		MeanMs:   ms(em.latency.mean()),
-		P50Ms:    ms(em.latency.quantile(0.50)),
-		P95Ms:    ms(em.latency.quantile(0.95)),
-		P99Ms:    ms(em.latency.quantile(0.99)),
+		Requests:       em.requests.Load(),
+		Shed:           em.shed.Load(),
+		Status4x:       em.status4x.Load(),
+		Status5x:       em.status5x.Load(),
+		MeanMs:         ms(em.latency.mean()),
+		P50Ms:          ms(em.latency.quantile(0.50)),
+		P95Ms:          ms(em.latency.quantile(0.95)),
+		P99Ms:          ms(em.latency.quantile(0.99)),
+		CacheHits:      em.cacheHits.Load(),
+		CacheMisses:    em.cacheMisses.Load(),
+		CacheCoalesced: em.cacheCoalesced.Load(),
 	}
 }
 

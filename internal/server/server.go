@@ -45,6 +45,7 @@ import (
 	"time"
 
 	geosir "repro"
+	"repro/internal/qcache"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -63,6 +64,15 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
+	// CacheBytes bounds the query-result cache (internal/qcache); 0
+	// disables caching entirely. The cache holds marshaled
+	// SearchResponses keyed by canonical query fingerprint + snapshot
+	// epoch, and coalesces concurrent identical requests onto one
+	// engine search.
+	CacheBytes int64
+	// CacheEntries bounds the cache entry count (0 = derived from
+	// CacheBytes).
+	CacheEntries int
 	// AccessLog, when non-nil, receives one JSON line per request.
 	AccessLog io.Writer
 }
@@ -106,6 +116,12 @@ type engineState struct {
 	source   string
 	info     geosir.SnapshotInfo
 	loadedAt time.Time
+	// epoch is the snapshot generation this engine was installed under.
+	// It is part of every cache fingerprint, so a request that loaded
+	// this state can only ever see cache entries computed against this
+	// exact engine — a hot-swap bumps the epoch and thereby makes every
+	// older entry unreachable atomically with the pointer store.
+	epoch uint64
 	// shards holds per-shard status rows when serving a ShardedEngine
 	// (nil for a single engine).
 	shards []ShardStatz
@@ -118,6 +134,12 @@ type Server struct {
 	state   atomic.Pointer[engineState]
 	limiter *limiter
 	metrics *metrics
+
+	// cache is the query-result cache (nil when Config.CacheBytes is 0;
+	// every qcache method is a safe no-op on nil). epochCounter feeds
+	// engineState.epoch on every successful engine install.
+	cache        *qcache.Cache
+	epochCounter atomic.Uint64
 
 	// topoMu serializes topological queries: Engine.Query updates the
 	// shared selectivity estimator and must not race with itself. The
@@ -141,6 +163,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		limiter: newLimiter(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 		metrics: newMetrics(),
+		cache:   qcache.New(qcache.Config{MaxBytes: cfg.CacheBytes, MaxEntries: cfg.CacheEntries}),
 	}
 	s.mux = s.routes()
 	publishExpvar("geosird", func() any { return s.Statz() })
@@ -192,8 +215,21 @@ func (s *Server) SetServing(sv Serving, source string) error {
 	if se, ok := sv.(*geosir.ShardedEngine); ok {
 		st.shards = shardStatz(se, nil)
 	}
-	s.state.Store(st)
+	s.installState(st)
 	return nil
+}
+
+// installState atomically swaps the serving engine in under a fresh
+// snapshot epoch, then purges the cache. The order matters for nothing
+// but memory: old-epoch entries are unreachable from new traffic the
+// instant the pointer store lands (the epoch is part of every
+// fingerprint), so the purge is hygiene; a failed load never reaches
+// here and therefore leaves both the old engine and its still-valid
+// cache intact.
+func (s *Server) installState(st *engineState) {
+	st.epoch = s.epochCounter.Add(1)
+	s.state.Store(st)
+	s.cache.Purge()
 }
 
 // LoadSnapshot loads a snapshot and atomically swaps it in. A file path
@@ -212,7 +248,7 @@ func (s *Server) LoadSnapshot(path string) (geosir.SnapshotInfo, error) {
 		s.metrics.reloadFails.Add(1)
 		return geosir.SnapshotInfo{}, err
 	}
-	s.state.Store(st)
+	s.installState(st)
 	s.metrics.reloads.Add(1)
 	return st.info, nil
 }
@@ -403,11 +439,17 @@ func countStatus(em *endpointMetrics, status int) {
 	}
 }
 
+// queryHandler is one endpoint's decode-and-dispatch step. It receives
+// the engine state loaded once at admission (engine + snapshot epoch —
+// the pair the cache fingerprint must be consistent with) and reports
+// how the cache participated, so the pipeline can record it.
+type queryHandler func(ctx context.Context, st *engineState, body []byte) (any, qcache.Disposition, error)
+
 // query wraps a query handler with the full serving pipeline: method
 // check, readiness, admission control, per-request deadline, body
 // decoding limits, error mapping, metrics, and access logging. The
 // engine pointer is loaded exactly once per request.
-func (s *Server) query(name string, h func(ctx context.Context, sv Serving, body []byte) (any, error)) http.HandlerFunc {
+func (s *Server) query(name string, h queryHandler) http.HandlerFunc {
 	em := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
@@ -417,7 +459,7 @@ func (s *Server) query(name string, h func(ctx context.Context, sv Serving, body
 	}
 }
 
-func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetrics, h func(ctx context.Context, sv Serving, body []byte) (any, error)) {
+func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetrics, h queryHandler) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
@@ -455,7 +497,21 @@ func (s *Server) serveQuery(w *statusRecorder, r *http.Request, em *endpointMetr
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
-	resp, err := h(ctx, st.serving, body)
+	resp, disp, err := h(ctx, st, body)
+	if s.cache != nil {
+		// The disposition is a response *header*, never a body field: the
+		// correctness contract is that cached and uncached serving produce
+		// byte-identical bodies, so the diagnostic must ride outside them.
+		w.Header().Set(cacheHeader, disp.String())
+		switch disp {
+		case qcache.Hit:
+			em.cacheHits.Add(1)
+		case qcache.Miss:
+			em.cacheMisses.Add(1)
+		case qcache.Coalesced:
+			em.cacheCoalesced.Add(1)
+		}
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		var ae *apiError
@@ -514,53 +570,129 @@ func decodeStrict(body []byte, v any) error {
 	return nil
 }
 
+// cacheHeader carries the cache disposition of a query response
+// (hit / miss / coalesced / bypass). It exists so clients and the load
+// generator can measure hit rates without the body ever differing
+// between cached and uncached serving.
+const cacheHeader = "X-Geosir-Cache"
+
+// errUncacheable marks a search response that could not be marshaled
+// for storage (a non-finite float somewhere); the response is served,
+// just never cached.
+var errUncacheable = errors.New("server: response not cacheable")
+
 // runSearch funnels every similarity endpoint through the unified
-// Search API, translating the engine's sentinel failures to statuses in
+// Search API — through the query-result cache when one is configured —
+// translating the engine's sentinel failures to statuses in
 // serveQuery's error switch, and folds the response's ANN accounting
-// into the cumulative /statz counters.
-func (s *Server) runSearch(ctx context.Context, sv Serving, req geosir.SearchRequest) (*geosir.SearchResponse, error) {
-	resp, err := sv.Search(ctx, req)
+// into the cumulative /statz counters. ANN counters track engine work
+// actually performed, so cache hits and coalesced waits (which run no
+// engine search of their own) do not advance them.
+func (s *Server) runSearch(ctx context.Context, st *engineState, req geosir.SearchRequest) (*geosir.SearchResponse, qcache.Disposition, error) {
+	resp, disp, err := s.searchCached(ctx, st, req)
 	if err != nil {
-		return nil, err
+		return nil, disp, err
 	}
-	if resp.Stats.UsedANN {
+	if resp.Stats.UsedANN && disp != qcache.Hit && disp != qcache.Coalesced {
 		s.metrics.annQueries.Add(1)
 		s.metrics.annProbes.Add(int64(resp.Stats.ANNProbes))
 		s.metrics.annCandidates.Add(int64(resp.Stats.ANNCandidates))
 	}
-	return resp, nil
+	return resp, disp, nil
 }
 
-func (s *Server) handleSimilar(ctx context.Context, sv Serving, body []byte) (any, error) {
+// searchCached answers a search through the result cache. The cached
+// value is the engine response marshaled once; hits, coalesced waiters,
+// AND the miss that computed it all decode the same stored bytes, so
+// every disposition renders identical wire bytes by construction.
+//
+// Caching keys on the canonical query fingerprint bound to this
+// request's snapshot epoch (st.epoch): the (engine, epoch) pair was
+// loaded atomically at admission, so even a hot-swap landing mid-request
+// cannot pair this engine's results with another epoch's entries.
+// SearchRequest.Workers is deliberately outside the fingerprint — it
+// schedules work, it never changes results (PR 4/5 equivalence).
+func (s *Server) searchCached(ctx context.Context, st *engineState, req geosir.SearchRequest) (*geosir.SearchResponse, qcache.Disposition, error) {
+	if s.cache == nil {
+		resp, err := st.serving.Search(ctx, req)
+		return resp, qcache.Bypass, err
+	}
+	fp, ok := qcache.SearchFingerprint(req, st.epoch)
+	if !ok {
+		// Unfingerprintable (degenerate shape, bad mode): let the engine
+		// produce its usual error or result, uncached.
+		s.cache.Bypassed()
+		resp, err := st.serving.Search(ctx, req)
+		return resp, qcache.Bypass, err
+	}
+	var uncacheable *geosir.SearchResponse
+	body, disp, err := s.cache.Do(ctx, fp, func() ([]byte, error) {
+		// Detach the computation from this requester's cancellation: any
+		// number of coalesced waiters may be depending on it, so one
+		// client hanging up must not abort the shared search. The
+		// configured request timeout still bounds it.
+		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
+		defer cancel()
+		resp, err := st.serving.Search(dctx, req)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := json.Marshal(resp)
+		if err != nil {
+			uncacheable = resp
+			return nil, errUncacheable
+		}
+		return blob, nil
+	})
+	if err != nil {
+		if errors.Is(err, errUncacheable) {
+			if uncacheable != nil {
+				return uncacheable, qcache.Bypass, nil
+			}
+			// A coalesced waiter saw the leader's uncacheable marker but
+			// holds no response object; run the search itself.
+			resp, serr := st.serving.Search(ctx, req)
+			return resp, qcache.Bypass, serr
+		}
+		return nil, disp, err
+	}
+	resp := new(geosir.SearchResponse)
+	if err := json.Unmarshal(body, resp); err != nil {
+		return nil, disp, fmt.Errorf("server: decoding cached response: %w", err)
+	}
+	return resp, disp, nil
+}
+
+func (s *Server) handleSimilar(ctx context.Context, st *engineState, body []byte) (any, qcache.Disposition, error) {
 	var req similarRequest
 	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
+		return nil, qcache.Bypass, err
 	}
 	q, err := req.Shape.Shape()
 	if err != nil {
-		return nil, unprocessable(err)
+		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, err := s.runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto})
+	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto})
 	if err != nil {
-		return nil, err
+		return nil, disp, err
 	}
-	return similarResponse{Matches: matchesJSON(resp.Matches), Stats: statsJSON(resp.Stats)}, nil
+	return similarResponse{Matches: matchesJSON(resp.Matches), Stats: statsJSON(resp.Stats)}, disp, nil
 }
 
-func (s *Server) handleApproximate(ctx context.Context, sv Serving, body []byte) (any, error) {
+func (s *Server) handleApproximate(ctx context.Context, st *engineState, body []byte) (any, qcache.Disposition, error) {
 	var req similarRequest
 	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
+		return nil, qcache.Bypass, err
 	}
 	q, err := req.Shape.Shape()
 	if err != nil {
-		return nil, unprocessable(err)
+		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, err := s.runSearch(ctx, sv, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate})
+	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate})
 	if err != nil {
-		return nil, err
+		return nil, disp, err
 	}
-	return similarResponse{Matches: matchesJSON(resp.Matches), Stats: statsJSON(resp.Stats)}, nil
+	return similarResponse{Matches: matchesJSON(resp.Matches), Stats: statsJSON(resp.Stats)}, disp, nil
 }
 
 // searchRequest is the unified /v1/search wire request: one shape (or,
@@ -582,37 +714,37 @@ type searchResponse struct {
 	Stats         StatsJSON         `json:"stats"`
 }
 
-func (s *Server) handleSearch(ctx context.Context, sv Serving, body []byte) (any, error) {
+func (s *Server) handleSearch(ctx context.Context, st *engineState, body []byte) (any, qcache.Disposition, error) {
 	var req searchRequest
 	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
+		return nil, qcache.Bypass, err
 	}
 	mode, err := geosir.ParseMode(req.Mode)
 	if err != nil {
-		return nil, unprocessable(err)
+		return nil, qcache.Bypass, unprocessable(err)
 	}
 	ann, err := geosir.ParseAnnMode(req.Ann)
 	if err != nil {
-		return nil, unprocessable(err)
+		return nil, qcache.Bypass, unprocessable(err)
 	}
 	greq := geosir.SearchRequest{K: req.K, Workers: req.Workers, Mode: mode, Ann: ann}
 	if req.Shape != nil {
 		q, err := req.Shape.Shape()
 		if err != nil {
-			return nil, unprocessable(err)
+			return nil, qcache.Bypass, unprocessable(err)
 		}
 		greq.Query = q
 	}
 	if len(req.Shapes) > 0 {
 		shapes, err := shapesOf(req.Shapes)
 		if err != nil {
-			return nil, unprocessable(err)
+			return nil, qcache.Bypass, unprocessable(err)
 		}
 		greq.Sketch = shapes
 	}
-	resp, err := s.runSearch(ctx, sv, greq)
+	resp, disp, err := s.runSearch(ctx, st, greq)
 	if err != nil {
-		return nil, err
+		return nil, disp, err
 	}
 	out := searchResponse{Mode: mode.String(), Stats: statsJSON(resp.Stats)}
 	if resp.Matches != nil {
@@ -621,7 +753,7 @@ func (s *Server) handleSearch(ctx context.Context, sv Serving, body []byte) (any
 	if resp.SketchMatches != nil {
 		out.SketchMatches = sketchMatchesJSON(resp.SketchMatches)
 	}
-	return out, nil
+	return out, disp, nil
 }
 
 type sketchRequest struct {
@@ -634,24 +766,24 @@ type sketchResponse struct {
 	Matches []SketchMatchJSON `json:"matches"`
 }
 
-func (s *Server) handleSketch(ctx context.Context, sv Serving, body []byte) (any, error) {
+func (s *Server) handleSketch(ctx context.Context, st *engineState, body []byte) (any, qcache.Disposition, error) {
 	var req sketchRequest
 	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
+		return nil, qcache.Bypass, err
 	}
 	shapes, err := shapesOf(req.Shapes)
 	if err != nil {
-		return nil, unprocessable(err)
+		return nil, qcache.Bypass, unprocessable(err)
 	}
 	ann, err := geosir.ParseAnnMode(req.Ann)
 	if err != nil {
-		return nil, unprocessable(err)
+		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, err := s.runSearch(ctx, sv, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch, Ann: ann})
+	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch, Ann: ann})
 	if err != nil {
-		return nil, err
+		return nil, disp, err
 	}
-	return sketchResponse{Matches: sketchMatchesJSON(resp.SketchMatches)}, nil
+	return sketchResponse{Matches: sketchMatchesJSON(resp.SketchMatches)}, disp, nil
 }
 
 type topologicalRequest struct {
@@ -664,38 +796,41 @@ type topologicalResponse struct {
 	Plan   string `json:"plan"`
 }
 
-func (s *Server) handleTopological(ctx context.Context, sv Serving, body []byte) (any, error) {
+// handleTopological never caches: Engine.Query feeds the shared
+// selectivity estimator, so repeated identical queries are not pure
+// reads, and the endpoint is a small fraction of traffic.
+func (s *Server) handleTopological(ctx context.Context, st *engineState, body []byte) (any, qcache.Disposition, error) {
 	var req topologicalRequest
 	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
+		return nil, qcache.Bypass, err
 	}
 	if req.Query == "" {
-		return nil, unprocessable(errors.New("empty query"))
+		return nil, qcache.Bypass, unprocessable(errors.New("empty query"))
 	}
 	binds := make(map[string]geosir.Shape, len(req.Binds))
 	for name, ws := range req.Binds {
 		sh, err := ws.Shape()
 		if err != nil {
-			return nil, unprocessable(fmt.Errorf("bind %q: %w", name, err))
+			return nil, qcache.Bypass, unprocessable(fmt.Errorf("bind %q: %w", name, err))
 		}
 		binds[name] = sh
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, qcache.Bypass, err
 	}
 	// Engine.Query mutates the shared selectivity estimator; serialize.
 	s.topoMu.Lock()
-	ids, plan, err := sv.Query(req.Query, binds)
+	ids, plan, err := st.serving.Query(req.Query, binds)
 	s.topoMu.Unlock()
 	if err != nil {
 		// Parse and bind errors are the client's; the engine has no other
 		// failure mode here on a frozen base.
-		return nil, unprocessable(err)
+		return nil, qcache.Bypass, unprocessable(err)
 	}
 	if ids == nil {
 		ids = []int{}
 	}
-	return topologicalResponse{Images: ids, Plan: plan}, nil
+	return topologicalResponse{Images: ids, Plan: plan}, qcache.Bypass, nil
 }
 
 // --- admin & status -------------------------------------------------
@@ -775,11 +910,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // ShardStatz is one shard's row in /statz when a ShardedEngine serves.
 type ShardStatz struct {
-	Shard  int  `json:"shard"`
-	Live   bool `json:"live"`
-	Images int  `json:"images"`
-	Shapes int  `json:"shapes"`
-	Entries int `json:"entries,omitempty"`
+	Shard   int  `json:"shard"`
+	Live    bool `json:"live"`
+	Images  int  `json:"images"`
+	Shapes  int  `json:"shapes"`
+	Entries int  `json:"entries,omitempty"`
 	// Dropped marks a shard whose snapshot file was unreadable or
 	// inconsistent at load time; its images are missing from results.
 	Dropped bool   `json:"dropped,omitempty"`
@@ -814,17 +949,21 @@ type ANNStatz struct {
 // Statz is the full status document served on /statz (and exported via
 // expvar on /metrics).
 type Statz struct {
-	UptimeS     float64                     `json:"uptime_s"`
-	Ready       bool                        `json:"ready"`
-	InFlight    int                         `json:"in_flight"`
-	QueueDepth  int64                       `json:"queue_depth"`
-	MaxInFlight int                         `json:"max_in_flight"`
-	MaxQueue    int                         `json:"max_queue"`
-	Reloads     int64                       `json:"reloads"`
-	ReloadFails int64                       `json:"reload_fails"`
-	ANN         *ANNStatz                   `json:"ann,omitempty"`
-	Snapshot    *SnapshotStatz              `json:"snapshot,omitempty"`
-	Endpoints   map[string]EndpointSnapshot `json:"endpoints"`
+	UptimeS     float64   `json:"uptime_s"`
+	Ready       bool      `json:"ready"`
+	InFlight    int       `json:"in_flight"`
+	QueueDepth  int64     `json:"queue_depth"`
+	MaxInFlight int       `json:"max_in_flight"`
+	MaxQueue    int       `json:"max_queue"`
+	Reloads     int64     `json:"reloads"`
+	ReloadFails int64     `json:"reload_fails"`
+	ANN         *ANNStatz `json:"ann,omitempty"`
+	// Cache reports the query-result cache (absent when caching is off);
+	// Epoch is the serving snapshot's cache generation.
+	Cache     *qcache.Stats               `json:"cache,omitempty"`
+	Epoch     uint64                      `json:"epoch,omitempty"`
+	Snapshot  *SnapshotStatz              `json:"snapshot,omitempty"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
 // Statz assembles the live status document.
@@ -847,7 +986,12 @@ func (s *Server) Statz() Statz {
 			Candidates: s.metrics.annCandidates.Load(),
 		}
 	}
+	if s.cache != nil {
+		cs := s.cache.Snapshot()
+		out.Cache = &cs
+	}
 	if st := s.state.Load(); st != nil {
+		out.Epoch = st.epoch
 		out.Snapshot = &SnapshotStatz{
 			Source:    st.source,
 			Format:    st.info.FormatName,
