@@ -3,12 +3,14 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke bench-cache bench-cache-smoke serve-smoke fuzz-smoke deprecations cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke bench-cache bench-cache-smoke bench-ingest serve-smoke ingest-smoke fuzz-smoke deprecations cover clean
 
 # The gate every PR must pass. The race run includes the persistence
 # fault-injection suite; fuzz-smoke gives each fuzz target a short
 # budget; serve-smoke boots geosird against a demo snapshot and probes
-# every endpoint through geosir-loadgen; bench-ann-smoke runs the ANN
+# every endpoint through geosir-loadgen; ingest-smoke drives the live
+# write path (insert → query → compact → query → delete) against a
+# geosird started with -ingest; bench-ann-smoke runs the ANN
 # recall/speedup benchmarks once on a small base; bench-cache-smoke
 # drives a short cached-vs-uncached serving comparison end to end;
 # deprecations keeps internal code off the deprecated Find* wrappers.
@@ -16,7 +18,7 @@ QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|Be
 # compare a fresh bench run against the committed BENCH_query.json
 # baseline (the diff also gates on any recall metrics present in both
 # files).
-ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke bench-cache-smoke
+ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke ingest-smoke bench-cache-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,8 +39,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The equivalence suites (sharded, ANN, ingest) are the repo's core
+# correctness proof and deliberately exhaustive; under -race on a slow
+# box the root package alone runs >10m, so the default per-package
+# timeout needs raising.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # One iteration of each figure benchmark — catches benchmarks that no
 # longer compile or panic, without paying for stable timings.
@@ -104,6 +110,62 @@ serve-smoke:
 	$(SERVE_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s -smoke -expect-shards 4; rc=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -rf $(SERVE_DIR); exit $$rc
+
+# End-to-end live-ingestion check: freeze a demo base into a sharded
+# snapshot directory, boot geosird with -ingest, and run loadgen's
+# -ingest-smoke sequence — insert a probe image, query it out of the
+# delta, compact via /admin/compact, query it out of the frozen shard,
+# delete it, and verify it stops matching. Manual compaction keeps the
+# sequence deterministic; always tears the daemon down.
+INGEST_DIR ?= /tmp/geosir-ingest
+ingest-smoke:
+	@mkdir -p $(INGEST_DIR)
+	$(GO) build -o $(INGEST_DIR)/geosir ./cmd/geosir
+	$(GO) build -o $(INGEST_DIR)/geosird ./cmd/geosird
+	$(GO) build -o $(INGEST_DIR)/loadgen ./cmd/geosir-loadgen
+	$(INGEST_DIR)/geosir -demo 20 -shards 2 -snapshot-out $(INGEST_DIR)/base-sharded
+	@$(INGEST_DIR)/geosird -snapshot $(INGEST_DIR)/base-sharded -addr $(SERVE_ADDR) \
+		-ingest -compact-threshold -1 & \
+	pid=$$!; \
+	$(INGEST_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s -ingest-smoke; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -rf $(INGEST_DIR); exit $$rc
+
+# Mixed read/write serving benchmark: one geosird with live ingestion on
+# (manual compaction, WAL fsync off so the numbers measure the engine,
+# not the disk), one loadgen run where each worker interleaves
+# -write-ratio inserts/deletes with the read mix. The summary wraps into
+# BENCH_ingest.json (mixed QPS, write ratio, write p95); cmd/benchdiff
+# auto-detects the report shape and fails on a mixed-QPS regression of
+# more than 10% (a changed write ratio refuses to compare):
+#
+#	go run ./cmd/benchdiff BENCH_ingest.json /tmp/BENCH_ingest.new.json
+BENCH_INGEST_SECS  ?= 15s
+BENCH_INGEST_CONC  ?= 8
+BENCH_INGEST_DEMO  ?= 60
+BENCH_INGEST_RATIO ?= 0.2
+BENCH_INGEST_OUT   ?= BENCH_ingest.json
+bench-ingest:
+	@mkdir -p $(INGEST_DIR)
+	$(GO) build -o $(INGEST_DIR)/geosir ./cmd/geosir
+	$(GO) build -o $(INGEST_DIR)/geosird ./cmd/geosird
+	$(GO) build -o $(INGEST_DIR)/loadgen ./cmd/geosir-loadgen
+	$(GO) build -o $(INGEST_DIR)/benchjson ./cmd/benchjson
+	$(INGEST_DIR)/geosir -demo $(BENCH_INGEST_DEMO) -shards 2 \
+		-snapshot-out $(INGEST_DIR)/base-sharded
+	@$(INGEST_DIR)/geosird -snapshot $(INGEST_DIR)/base-sharded -addr $(SERVE_ADDR) \
+		-max-inflight $(BENCH_INGEST_CONC) -ingest -compact-threshold -1 -wal-nosync & \
+	pid=$$!; \
+	$(INGEST_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s \
+		-duration $(BENCH_INGEST_SECS) -concurrency $(BENCH_INGEST_CONC) \
+		-mix search=1 -write-ratio $(BENCH_INGEST_RATIO) -label ingest-mixed \
+		-out $(INGEST_DIR)/mixed.json; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -eq 0 ]; then \
+		$(INGEST_DIR)/benchjson -ingest -run $(INGEST_DIR)/mixed.json \
+			-out $(BENCH_INGEST_OUT); rc=$$?; \
+	fi; \
+	rm -rf $(INGEST_DIR); exit $$rc
 
 # Serving latency/throughput benchmark, written to BENCH_serve.json so
 # successive PRs can compare serving trajectories. The limiter is sized

@@ -20,6 +20,12 @@
 // -hit-rate-threshold absolute (default 0.02 — like recall, a hit rate
 // lives in [0,1] and percent-relative gating near 1.0 is far too lax),
 // fails the comparison.
+//
+// Ingest reports (benchjson -ingest output, "kind": "ingest") are
+// likewise auto-detected: mixed read/write QPS regressing by more than
+// -threshold percent fails; the write-path p95 latency is printed for
+// tracking but not gated (it rides on machine load far more than the
+// throughput does).
 package main
 
 import (
@@ -79,6 +85,20 @@ func run(oldPath, newPath string, threshold, recallThreshold, hitRateThreshold f
 	}
 	if oldCache != nil {
 		return diffCache(oldCache, newCache, threshold, hitRateThreshold)
+	}
+	oldIngest, err := loadIngest(oldPath)
+	if err != nil {
+		return err
+	}
+	newIngest, err := loadIngest(newPath)
+	if err != nil {
+		return err
+	}
+	if (oldIngest != nil) != (newIngest != nil) {
+		return fmt.Errorf("cannot compare an ingest report with a bench report (%s vs %s)", oldPath, newPath)
+	}
+	if oldIngest != nil {
+		return diffIngest(oldIngest, newIngest, threshold)
 	}
 
 	oldRep, err := load(oldPath)
@@ -200,6 +220,49 @@ func diffCache(oldRep, newRep *cacheReport, threshold, hitRateThreshold float64)
 	fmt.Printf("%-24s  %12.3f → %12.3f  %+.4f\n", "hit rate", oldRep.HitRate, newRep.HitRate, -hitDrop)
 	if len(fails) > 0 {
 		return fmt.Errorf("%s", strings.Join(fails, "; "))
+	}
+	return nil
+}
+
+// ingestReport mirrors cmd/benchjson's IngestReport (only the compared
+// fields).
+type ingestReport struct {
+	Kind       string  `json:"kind"`
+	QPS        float64 `json:"qps"`
+	WriteRatio float64 `json:"write_ratio"`
+	Inserts    int     `json:"inserts"`
+	Deletes    int     `json:"deletes"`
+	WriteP95Ms float64 `json:"write_p95_ms"`
+}
+
+// loadIngest returns the file's ingest report, or nil when the file is
+// not one. Read errors are real.
+func loadIngest(path string) (*ingestReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep ingestReport
+	if err := json.Unmarshal(data, &rep); err != nil || rep.Kind != "ingest" {
+		return nil, nil
+	}
+	return &rep, nil
+}
+
+// diffIngest gates an ingest report pair on mixed QPS (percent-relative).
+// A write-ratio mismatch is a usage error: the two runs measured
+// different workloads, so their throughput is not comparable. Write p95
+// and the insert/delete counts are printed but not gated.
+func diffIngest(oldRep, newRep *ingestReport, threshold float64) error {
+	if oldRep.WriteRatio != newRep.WriteRatio {
+		return fmt.Errorf("write ratio changed %.2f → %.2f: reports are not comparable", oldRep.WriteRatio, newRep.WriteRatio)
+	}
+	qpsDelta := pctDelta(oldRep.QPS, newRep.QPS)
+	fmt.Printf("%-24s  %12.1f → %12.1f qps  %+7.2f%%\n", "mixed QPS", oldRep.QPS, newRep.QPS, qpsDelta)
+	fmt.Printf("%-24s  %12.2f → %12.2f ms\n", "write p95", oldRep.WriteP95Ms, newRep.WriteP95Ms)
+	fmt.Printf("%-24s  %6d/%-5d → %6d/%-5d\n", "inserts/deletes", oldRep.Inserts, oldRep.Deletes, newRep.Inserts, newRep.Deletes)
+	if -qpsDelta > threshold {
+		return fmt.Errorf("mixed QPS regressed %.1f%% (limit %.1f%%)", -qpsDelta, threshold)
 	}
 	return nil
 }

@@ -119,3 +119,52 @@ func TestRunCacheGate(t *testing.T) {
 		t.Fatal("comparing a cache report with a bench report should fail")
 	}
 }
+
+func writeIngestReport(t *testing.T, dir, name string, rep ingestReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIngestGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeIngestReport(t, dir, "old.json", ingestReport{
+		Kind: "ingest", QPS: 5000, WriteRatio: 0.2, Inserts: 800, Deletes: 200, WriteP95Ms: 2.5,
+	})
+	okP := writeIngestReport(t, dir, "ok.json", ingestReport{
+		Kind: "ingest", QPS: 4800, WriteRatio: 0.2, Inserts: 790, Deletes: 195, WriteP95Ms: 3.0,
+	})
+	slowP := writeIngestReport(t, dir, "slow.json", ingestReport{
+		Kind: "ingest", QPS: 4000, WriteRatio: 0.2, Inserts: 640, Deletes: 160, WriteP95Ms: 2.5,
+	})
+	ratioP := writeIngestReport(t, dir, "ratio.json", ingestReport{
+		Kind: "ingest", QPS: 5000, WriteRatio: 0.5, Inserts: 2000, Deletes: 500, WriteP95Ms: 2.5,
+	})
+	if err := run(oldP, okP, 10, 0.02, 0.02); err != nil {
+		t.Fatalf("4%% QPS wiggle should pass the 10%% gate: %v", err)
+	}
+	if err := run(oldP, slowP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("20% mixed-QPS regression should fail the 10% gate")
+	} else if !strings.Contains(err.Error(), "QPS") {
+		t.Fatalf("error should name QPS: %v", err)
+	}
+	if err := run(oldP, ratioP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("write-ratio mismatch should be a usage error")
+	} else if !strings.Contains(err.Error(), "ratio") {
+		t.Fatalf("error should name the ratio: %v", err)
+	}
+	// Shape mismatch against a bench report is likewise a usage error.
+	benchP := writeReport(t, dir, "bench.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkQ", NsPerOp: 1000},
+	}})
+	if err := run(oldP, benchP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("comparing an ingest report with a bench report should fail")
+	}
+}

@@ -12,6 +12,13 @@
 //
 //	go run ./cmd/benchjson -cache -baseline /tmp/off.json \
 //	    -cached /tmp/on.json -out BENCH_cache.json
+//
+// With -ingest it wraps a single geosir-loadgen -write-ratio summary
+// into an ingest benchmark report (see the Makefile's bench-ingest
+// target):
+//
+//	go run ./cmd/benchjson -ingest -run /tmp/mixed.json \
+//	    -out BENCH_ingest.json
 package main
 
 import (
@@ -62,13 +69,42 @@ type CacheReport struct {
 	Cached   json.RawMessage `json:"cached"`
 }
 
-// loadgenRun is the slice of geosir-loadgen's JSON summary the merge
-// needs.
+// IngestReport wraps one loadgen -write-ratio run into a gateable
+// document. Kind is always "ingest" so cmd/benchdiff can tell this
+// shape apart from the others.
+type IngestReport struct {
+	Kind string `json:"kind"`
+	// QPS is the mixed read+write throughput the run achieved — the
+	// headline number benchdiff gates.
+	QPS        float64 `json:"qps"`
+	WriteRatio float64 `json:"write_ratio"`
+	Inserts    int     `json:"inserts"`
+	Deletes    int     `json:"deletes"`
+	// WriteP50Ms / WriteP95Ms are the write path's latency quantiles
+	// (the "ingest" kind in the loadgen summary), reported for tracking.
+	WriteP50Ms float64 `json:"write_p50_ms"`
+	WriteP95Ms float64 `json:"write_p95_ms"`
+	// Run embeds the full loadgen summary verbatim so the BENCH file
+	// stands alone.
+	Run json.RawMessage `json:"run"`
+}
+
+// loadgenRun is the slice of geosir-loadgen's JSON summary the merges
+// need.
 type loadgenRun struct {
 	AchievedQPS  float64 `json:"achieved_qps"`
 	Requests     int     `json:"requests"`
 	Errors       int     `json:"errors"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	WriteRatio   float64 `json:"write_ratio"`
+	Inserts      int     `json:"inserts"`
+	Deletes      int     `json:"deletes"`
+	ByKind       map[string]struct {
+		Requests int     `json:"requests"`
+		Errors   int     `json:"errors"`
+		P50Ms    float64 `json:"p50_ms"`
+		P95Ms    float64 `json:"p95_ms"`
+	} `json:"by_kind"`
 }
 
 func main() {
@@ -76,13 +112,20 @@ func main() {
 	cacheMode := flag.Bool("cache", false, "merge two loadgen JSON summaries into a cache report instead of parsing bench output")
 	baseline := flag.String("baseline", "", "cache-off loadgen JSON summary (with -cache)")
 	cached := flag.String("cached", "", "cache-on loadgen JSON summary (with -cache)")
+	ingestMode := flag.Bool("ingest", false, "wrap one loadgen -write-ratio summary into an ingest report instead of parsing bench output")
+	runPath := flag.String("run", "", "mixed read/write loadgen JSON summary (with -ingest)")
 	flag.Parse()
 
 	var enc []byte
 	var err error
-	if *cacheMode {
+	switch {
+	case *cacheMode && *ingestMode:
+		err = fmt.Errorf("-cache and -ingest are mutually exclusive")
+	case *cacheMode:
 		enc, err = mergeCache(*baseline, *cached)
-	} else {
+	case *ingestMode:
+		enc, err = wrapIngest(*runPath)
+	default:
 		enc, err = parseBench()
 	}
 	if err != nil {
@@ -148,6 +191,41 @@ func mergeCache(baselinePath, cachedPath string) ([]byte, error) {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: cache speedup %.2fx (%.1f → %.1f qps), hit rate %.3f\n",
 		rep.Speedup, rep.BaselineQPS, rep.CachedQPS, rep.HitRate)
+	return append(enc, '\n'), nil
+}
+
+// wrapIngest builds the IngestReport from one mixed read/write loadgen
+// summary. A run with no writes (write_ratio 0 or no inserts) is an
+// error: the bench did not exercise the ingest path it claims to.
+func wrapIngest(runPath string) ([]byte, error) {
+	if runPath == "" {
+		return nil, fmt.Errorf("-ingest needs -run")
+	}
+	raw, run, err := loadRun(runPath)
+	if err != nil {
+		return nil, err
+	}
+	if run.WriteRatio <= 0 || run.Inserts == 0 {
+		return nil, fmt.Errorf("%s: not a write workload (write_ratio %v, inserts %d) — run loadgen with -write-ratio", runPath, run.WriteRatio, run.Inserts)
+	}
+	rep := IngestReport{
+		Kind:       "ingest",
+		QPS:        run.AchievedQPS,
+		WriteRatio: run.WriteRatio,
+		Inserts:    run.Inserts,
+		Deletes:    run.Deletes,
+		Run:        raw,
+	}
+	if wk, ok := run.ByKind["ingest"]; ok {
+		rep.WriteP50Ms = wk.P50Ms
+		rep.WriteP95Ms = wk.P95Ms
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: ingest %.1f qps at write ratio %.2f (%d inserts, %d deletes), write p95 %.2f ms\n",
+		rep.QPS, rep.WriteRatio, rep.Inserts, rep.Deletes, rep.WriteP95Ms)
 	return append(enc, '\n'), nil
 }
 

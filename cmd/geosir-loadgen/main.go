@@ -9,6 +9,8 @@
 //	geosir-loadgen -addr http://127.0.0.1:8080 -dist zipf -zipf-s 1.1   # skewed key popularity
 //	geosir-loadgen -addr http://127.0.0.1:8080 -smoke   # readiness probe + one query of each kind
 //	geosir-loadgen -addr http://127.0.0.1:8080 -smoke -expect-shards 4   # also assert shard health
+//	geosir-loadgen -addr http://127.0.0.1:8080 -write-ratio 0.2   # mixed read/write (needs geosird -ingest)
+//	geosir-loadgen -addr http://127.0.0.1:8080 -ingest-smoke   # insert → query → compact → query → delete
 package main
 
 import (
@@ -52,9 +54,11 @@ func main() {
 		wait        = flag.Duration("wait", 0, "poll /readyz up to this long before starting")
 		smoke       = flag.Bool("smoke", false, "probe mode: healthz, readyz, one query of each kind; exit 0/1")
 		expShards   = flag.Int("expect-shards", 0, "with -smoke: require /statz to report exactly N live shards")
+		writeRatio  = flag.Float64("write-ratio", 0, "fraction of requests that are live writes against /v1/images (needs geosird -ingest)")
+		ingestSmoke = flag.Bool("ingest-smoke", false, "probe live ingestion: insert → query → compact → query → delete; exit 0/1")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *dist, *zipfS, *seed, *label, *out, *wait, *smoke, *expShards); err != nil {
+	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *dist, *zipfS, *seed, *label, *out, *wait, *smoke, *expShards, *writeRatio, *ingestSmoke); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir-loadgen:", err)
 		os.Exit(1)
 	}
@@ -243,6 +247,187 @@ func runSmoke(client *http.Client, addr string, ks []kind, expShards int) error 
 	return nil
 }
 
+// runIngestSmoke probes the live-ingestion loop end to end: insert a
+// uniquely shaped image, query it back, fold it with /admin/compact,
+// query it again off the frozen shard, then delete it and verify it is
+// gone. Any prior leftover of the probe id is deleted first so the probe
+// is re-runnable against a long-lived server.
+func runIngestSmoke(client *http.Client, addr string) error {
+	const probeID = 987654321
+	probe := server.WireShape{Closed: true,
+		Points: [][2]float64{{0, 0}, {9, 0}, {11, 5}, {4.5, 9}, {-2, 5}}}
+
+	do := func(step, method, path string, body any) (int, []byte, error) {
+		var rd io.Reader
+		if body != nil {
+			blob, err := json.Marshal(body)
+			if err != nil {
+				return 0, nil, err
+			}
+			rd = bytes.NewReader(blob)
+		}
+		req, err := http.NewRequest(method, addr+path, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		if rd != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%s: %w", step, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, out, nil
+	}
+	expectTop := func(step string, want int) error {
+		status, body, err := do(step, http.MethodPost, "/v1/search",
+			map[string]any{"shape": probe, "k": 1, "mode": "exact"})
+		if err != nil {
+			return err
+		}
+		if status != 200 {
+			return fmt.Errorf("%s: /v1/search: %d %s", step, status, bytes.TrimSpace(body))
+		}
+		var sr struct {
+			Matches []struct {
+				ImageID int `json:"image_id"`
+			} `json:"matches"`
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return fmt.Errorf("%s: %w", step, err)
+		}
+		got := -1
+		if len(sr.Matches) > 0 {
+			got = sr.Matches[0].ImageID
+		}
+		if want >= 0 && got != want {
+			return fmt.Errorf("%s: top match is image %d, want %d", step, got, want)
+		}
+		if want < 0 && got == probeID {
+			return fmt.Errorf("%s: deleted probe image still served", step)
+		}
+		fmt.Printf("%-16s ok\n", step)
+		return nil
+	}
+
+	do("cleanup", http.MethodDelete, fmt.Sprintf("/v1/images/%d", probeID), nil)
+	status, body, err := do("insert", http.MethodPost, "/v1/images",
+		map[string]any{"id": probeID, "shapes": []server.WireShape{probe}})
+	if err != nil {
+		return err
+	}
+	if status != 200 {
+		return fmt.Errorf("insert: %d %s (is geosird running with -ingest on a snapshot directory?)", status, bytes.TrimSpace(body))
+	}
+	fmt.Printf("%-16s ok\n", "insert")
+	if err := expectTop("query-delta", probeID); err != nil {
+		return err
+	}
+	if status, body, err = do("compact", http.MethodPost, "/admin/compact", nil); err != nil {
+		return err
+	} else if status != 200 {
+		return fmt.Errorf("compact: %d %s", status, bytes.TrimSpace(body))
+	}
+	fmt.Printf("%-16s ok\n", "compact")
+	if err := expectTop("query-frozen", probeID); err != nil {
+		return err
+	}
+	if status, body, err = do("delete", http.MethodDelete, fmt.Sprintf("/v1/images/%d", probeID), nil); err != nil {
+		return err
+	} else if status != 200 {
+		return fmt.Errorf("delete: %d %s", status, bytes.TrimSpace(body))
+	}
+	fmt.Printf("%-16s ok\n", "delete")
+	if err := expectTop("query-deleted", -1); err != nil {
+		return err
+	}
+	fmt.Println("ingest smoke ok")
+	return nil
+}
+
+// ingestKindName labels write samples in the per-kind summary; writes
+// are generated from -write-ratio, never from the -mix table (each needs
+// a fresh unique image id, so bodies cannot be pre-marshalled).
+const ingestKindName = "ingest"
+
+// writer issues live writes against /v1/images: inserts of fresh
+// worker-unique image ids, with every fourth write deleting one of its
+// own earlier inserts. Ids start beyond any realistic base id so writes
+// never collide with the served snapshot.
+type writer struct {
+	client   *http.Client
+	addr     string
+	rng      *rand.Rand
+	nextID   int
+	inserted []int
+	writes   int
+	inserts  int
+	deletes  int
+}
+
+func newWriter(client *http.Client, addr string, worker int, seed int64) *writer {
+	return &writer{
+		client: client,
+		addr:   addr,
+		rng:    rand.New(rand.NewSource(seed + 104729*int64(worker+1))),
+		nextID: 1<<30 + worker*(1<<20),
+	}
+}
+
+// do issues one write and returns its HTTP status (0 on transport error).
+func (wr *writer) do() int {
+	wr.writes++
+	if wr.writes%4 == 0 && len(wr.inserted) > 0 {
+		id := wr.inserted[0]
+		wr.inserted = wr.inserted[1:]
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/images/%d", wr.addr, id), nil)
+		if err != nil {
+			return 0
+		}
+		resp, err := wr.client.Do(req)
+		if err != nil {
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		wr.deletes++
+		return resp.StatusCode
+	}
+	id := wr.nextID
+	wr.nextID++
+	body, err := json.Marshal(map[string]any{"id": id, "shapes": []server.WireShape{writeShape(wr.rng)}})
+	if err != nil {
+		return 0
+	}
+	resp, err := wr.client.Post(wr.addr+"/v1/images", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		wr.inserted = append(wr.inserted, id)
+		wr.inserts++
+	}
+	return resp.StatusCode
+}
+
+func writeShape(rng *rand.Rand) server.WireShape {
+	for {
+		p := synth.Prototype(rng, rng.Intn(6), 12, false)
+		if p.Validate() != nil {
+			continue
+		}
+		ws := server.WireShape{Closed: p.Closed, Points: make([][2]float64, len(p.Pts))}
+		for i, pt := range p.Pts {
+			ws.Points[i] = [2]float64{pt.X, pt.Y}
+		}
+		return ws
+	}
+}
+
 // sample is one measured request.
 type sample struct {
 	kind   int8
@@ -301,13 +486,18 @@ type BenchOut struct {
 	AchievedQPS float64 `json:"achieved_qps"`
 	// Cache dispositions, counted from the X-Geosir-Cache response
 	// header; all zero when the server runs uncached.
-	CacheHits      int                    `json:"cache_hits,omitempty"`
-	CacheMisses    int                    `json:"cache_misses,omitempty"`
-	CacheCoalesced int                    `json:"cache_coalesced,omitempty"`
-	CacheHitRate   float64                `json:"cache_hit_rate,omitempty"`
-	Overall        KindSummary            `json:"overall"`
-	ByKind         map[string]KindSummary `json:"by_kind"`
-	Status         map[string]int         `json:"status"`
+	CacheHits      int     `json:"cache_hits,omitempty"`
+	CacheMisses    int     `json:"cache_misses,omitempty"`
+	CacheCoalesced int     `json:"cache_coalesced,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
+	// Live-write accounting when -write-ratio > 0: the configured ratio
+	// and the acknowledged mutations issued against /v1/images.
+	WriteRatio float64                `json:"write_ratio,omitempty"`
+	Inserts    int                    `json:"inserts,omitempty"`
+	Deletes    int                    `json:"deletes,omitempty"`
+	Overall    KindSummary            `json:"overall"`
+	ByKind     map[string]KindSummary `json:"by_kind"`
+	Status     map[string]int         `json:"status"`
 }
 
 func summarize(samples []sample, pick func(sample) bool) KindSummary {
@@ -378,7 +568,7 @@ func variantPicker(dist string, zipfS float64, nVariants int) (func(rng *rand.Ra
 
 func run(addr string, duration time.Duration, concurrency int, qps float64, k int,
 	mixSpec, dist string, zipfS float64, seed int64, label, out string, wait time.Duration,
-	smoke bool, expShards int) error {
+	smoke bool, expShards int, writeRatio float64, ingestSmoke bool) error {
 
 	addr = strings.TrimRight(addr, "/")
 	client := &http.Client{
@@ -392,8 +582,14 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 	if err := waitReady(client, addr, wait); err != nil {
 		return err
 	}
+	if ingestSmoke {
+		return runIngestSmoke(client, addr)
+	}
 	if smoke {
 		return runSmoke(client, addr, ks, expShards)
+	}
+	if writeRatio < 0 || writeRatio >= 1 {
+		return fmt.Errorf("-write-ratio must be in [0, 1), got %v", writeRatio)
 	}
 	mix, err := parseMix(mixSpec, ks)
 	if err != nil {
@@ -422,6 +618,7 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		perWorker = time.Duration(float64(concurrency) / qps * float64(time.Second))
 	}
 	results := make([][]sample, concurrency)
+	writers := make([]*writer, concurrency)
 	var wg sync.WaitGroup
 	start := time.Now()
 	stopAt := start.Add(duration)
@@ -431,6 +628,9 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
 			pick := newPick(rng)
+			if writeRatio > 0 {
+				writers[w] = newWriter(client, addr, w, seed)
+			}
 			next := start
 			for {
 				now := time.Now()
@@ -442,6 +642,16 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 						time.Sleep(d)
 					}
 					next = next.Add(perWorker)
+				}
+				if writeRatio > 0 && rng.Float64() < writeRatio {
+					t0 := time.Now()
+					status := writers[w].do()
+					results[w] = append(results[w], sample{
+						kind:   int8(len(ks)), // the synthetic "ingest" kind
+						status: int16(status),
+						dur:    time.Since(t0),
+					})
+					continue
 				}
 				kd := &ks[mix[rng.Intn(len(mix))]]
 				body := kd.bodies[pick(len(kd.bodies))]
@@ -497,6 +707,17 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		i := int8(i)
 		bench.ByKind[kd.name] = summarize(all, func(s sample) bool { return s.kind == i })
 	}
+	if writeRatio > 0 {
+		bench.WriteRatio = writeRatio
+		wi := int8(len(ks))
+		bench.ByKind[ingestKindName] = summarize(all, func(s sample) bool { return s.kind == wi })
+		for _, wr := range writers {
+			if wr != nil {
+				bench.Inserts += wr.inserts
+				bench.Deletes += wr.deletes
+			}
+		}
+	}
 	for _, s := range all {
 		bench.Status[strconv.Itoa(int(s.status))]++
 		switch s.cache {
@@ -521,6 +742,10 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 	if bench.CacheHits+bench.CacheMisses+bench.CacheCoalesced > 0 {
 		fmt.Printf("cache         hits %d  misses %d  coalesced %d  hit-rate %.3f\n",
 			bench.CacheHits, bench.CacheMisses, bench.CacheCoalesced, bench.CacheHitRate)
+	}
+	if writeRatio > 0 {
+		fmt.Printf("writes        ratio %.2f  inserts %d  deletes %d\n",
+			bench.WriteRatio, bench.Inserts, bench.Deletes)
 	}
 	names := make([]string, 0, len(bench.ByKind))
 	for name := range bench.ByKind {

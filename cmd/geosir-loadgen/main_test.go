@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -48,11 +50,11 @@ func startSharded(t *testing.T, shards int) *httptest.Server {
 func TestSmokeAgainstShardedServer(t *testing.T) {
 	ts := startSharded(t, 3)
 	// Full smoke including the shard-health probe and /v1/search kind.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 3); err != nil {
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 3, 0, false); err != nil {
 		t.Fatalf("smoke: %v", err)
 	}
 	// Wrong shard expectation must fail.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 5); err == nil {
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 5, 0, false); err == nil {
 		t.Fatal("expect-shards mismatch should fail the smoke")
 	} else if !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("unexpected error: %v", err)
@@ -140,5 +142,83 @@ func TestParseMixIncludesSearch(t *testing.T) {
 	}
 	if _, err := parseMix("nope=1", ks); err == nil {
 		t.Fatal("unknown kind should fail")
+	}
+}
+
+// startIngest serves a sharded snapshot directory with live ingestion
+// enabled, as geosird -ingest would.
+func startIngest(t *testing.T) *httptest.Server {
+	t.Helper()
+	se := geosir.NewSharded(geosir.DefaultOptions(), 2)
+	spec := synth.PaperSpec(0.002, 11)
+	spec.Images = 12
+	for _, img := range synth.GenerateBase(spec) {
+		valid := img.Shapes[:0]
+		for _, sh := range img.Shapes {
+			if sh.Validate() == nil {
+				valid = append(valid, sh)
+			}
+		}
+		if len(valid) == 0 {
+			continue
+		}
+		if err := se.AddImage(img.ID, valid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := se.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Ingest: &server.IngestOptions{CompactThreshold: -1, NoSync: true}})
+	if _, err := s.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestIngestSmoke(t *testing.T) {
+	ts := startIngest(t)
+	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err != nil {
+		t.Fatalf("ingest smoke: %v", err)
+	}
+	// Read-only server: the smoke must fail with the insert refused.
+	ro := startSharded(t, 2)
+	if err := run(ro.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err == nil {
+		t.Fatal("ingest smoke should fail against a read-only server")
+	}
+}
+
+func TestWriteRatioWorkload(t *testing.T) {
+	ts := startIngest(t)
+	out := t.TempDir() + "/ingest.json"
+	if err := run(ts.URL, 1500*time.Millisecond, 2, 0, 2, "similar=1", "uniform", 1.1, 1, "", out, 0, false, 0, 0.5, false); err != nil {
+		t.Fatalf("write workload: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench BenchOut
+	if err := json.Unmarshal(blob, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.WriteRatio != 0.5 || bench.Inserts == 0 {
+		t.Fatalf("write accounting: ratio=%v inserts=%d deletes=%d", bench.WriteRatio, bench.Inserts, bench.Deletes)
+	}
+	ing, ok := bench.ByKind[ingestKindName]
+	if !ok || ing.Requests == 0 {
+		t.Fatalf("no ingest kind in summary: %+v", bench.ByKind)
+	}
+	if ing.Errors > 0 {
+		t.Fatalf("%d/%d write requests errored: %v", ing.Errors, ing.Requests, bench.Status)
+	}
+	if bench.Errors-ing.Errors > 0 {
+		t.Fatalf("read-side errors during writes: %v", bench.Status)
 	}
 }

@@ -59,35 +59,39 @@ func main() {
 		accessLog   = flag.Bool("access-log", false, "write JSON access logs to stderr")
 		drainWait   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = disabled)")
+		ingest      = flag.Bool("ingest", false, "enable live ingestion on a sharded snapshot directory (POST/DELETE /v1/images, background compaction)")
+		compactAt   = flag.Int("compact-threshold", 0, "delta shape count that triggers background compaction (0 = default, negative = manual /admin/compact only; needs -ingest)")
+		walNoSync   = flag.Bool("wal-nosync", false, "skip the per-write WAL fsync — a crash may lose acknowledged writes (benchmarks only; needs -ingest)")
 	)
 	flag.Parse()
-	if err := run(*snapshot, *addr, *maxInFlight, *maxQueue, *queueWait, *timeout, *maxBody, *cacheBytes, *cacheEnts, *accessLog, *drainWait, *pprofAddr); err != nil {
+	cfg := server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		CacheBytes:     *cacheBytes,
+		CacheEntries:   *cacheEnts,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	if *ingest {
+		cfg.Ingest = &server.IngestOptions{CompactThreshold: *compactAt, NoSync: *walNoSync}
+	}
+	if err := run(*snapshot, *addr, cfg, *drainWait, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "geosird:", err)
 		os.Exit(1)
 	}
 }
 
-func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout time.Duration,
-	maxBody, cacheBytes int64, cacheEntries int, accessLog bool, drainWait time.Duration, pprofAddr string) error {
-
+func run(snapshot, addr string, cfg server.Config, drainWait time.Duration, pprofAddr string) error {
 	if snapshot == "" {
 		return errors.New("need -snapshot FILE")
 	}
 	logger := log.New(os.Stderr, "geosird: ", log.LstdFlags)
-	cfg := server.Config{
-		MaxInFlight:    maxInFlight,
-		MaxQueue:       maxQueue,
-		QueueWait:      queueWait,
-		RequestTimeout: timeout,
-		MaxBodyBytes:   maxBody,
-		CacheBytes:     cacheBytes,
-		CacheEntries:   cacheEntries,
-	}
-	if cacheBytes > 0 {
-		logger.Printf("query-result cache: %d bytes, singleflight coalescing on", cacheBytes)
-	}
-	if accessLog {
-		cfg.AccessLog = os.Stderr
+	if cfg.CacheBytes > 0 {
+		logger.Printf("query-result cache: %d bytes, singleflight coalescing on", cfg.CacheBytes)
 	}
 	srv := server.New(cfg)
 
@@ -100,6 +104,10 @@ func run(snapshot, addr string, maxInFlight, maxQueue int, queueWait, timeout ti
 	logger.Printf("loaded %s (%s, %d images, %d shapes, %d entries) in %v",
 		snapshot, info.FormatName, sv.NumImages(), sv.NumShapes(), sv.NumEntries(),
 		time.Since(start).Round(time.Millisecond))
+	if cfg.Ingest != nil {
+		logger.Printf("live ingestion on: /v1/images accepts writes (compact threshold %d, wal sync %v)",
+			cfg.Ingest.CompactThreshold, !cfg.Ingest.NoSync)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,629 @@
+package geosir
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+)
+
+// Live ingestion (DESIGN.md §4.12). A frozen ShardedEngine becomes
+// mutable by attaching a write-ahead log and a mutable delta shard:
+//
+//	InsertImage ──▶ delta (queryable immediately) + DELTA.wal record
+//	DeleteImage ──▶ delta tombstone, or manifest tombstone for frozen images
+//	Compact     ──▶ freeze the delta into shard-N, rewrite MANIFEST.json
+//	                (the commit point), truncate the folded WAL prefix
+//
+// Every acknowledged mutation is durable before it is acknowledged: the
+// WAL append (fsynced unless NoSync) happens inside the mutation call.
+// Crash recovery is EnableIngest replaying DELTA.wal against the loaded
+// snapshot, skipping operations at or below the manifest's walSeq
+// watermark — that watermark is what keeps the replay idempotent when a
+// crash lands between compaction's manifest rename and its WAL rewrite.
+
+// Errors of the live-ingestion API.
+var (
+	// ErrIngestOff is returned by mutation calls before EnableIngest.
+	ErrIngestOff = errors.New("geosir: live ingestion not enabled")
+	// ErrCompacting is returned for mutations that cannot proceed while
+	// a compaction is folding the sealed delta: deletes of frozen or
+	// sealed images (inserts are never blocked).
+	ErrCompacting = errors.New("geosir: compaction in progress")
+	// ErrNoImage is returned by DeleteImage for an unknown or already
+	// deleted image id.
+	ErrNoImage = errors.New("geosir: image not found")
+	// ErrImageExists is returned by InsertImage for an id that is
+	// already live (in a frozen shard or the delta).
+	ErrImageExists = errors.New("geosir: image already present")
+)
+
+// DefaultCompactThreshold is the delta shape count that triggers a
+// background compaction when IngestConfig.CompactThreshold is 0.
+const DefaultCompactThreshold = 2048
+
+// IngestConfig configures EnableIngest.
+type IngestConfig struct {
+	// Dir is the snapshot directory that holds (or will hold) the
+	// MANIFEST.json, shard files, and DELTA.wal. Required. If the
+	// directory has no manifest yet, the engine is saved there first.
+	Dir string
+	// CompactThreshold is the delta shape count at which a background
+	// compaction starts: 0 selects DefaultCompactThreshold, negative
+	// disables automatic compaction (Compact must be called manually).
+	CompactThreshold int
+	// NoSync skips the per-append fsync of the WAL. Faster, but a crash
+	// may lose acknowledged writes — for benchmarks and tests only.
+	NoSync bool
+	// WrapWAL and WrapManifest intercept the WAL's and the manifest's
+	// payload writes (fault injection in tests).
+	WrapWAL      func(io.Writer) io.Writer
+	WrapManifest func(io.Writer) io.Writer
+	// CrashStage, when non-nil, is called between compaction stages
+	// ("built", "shard-saved", "manifest-written", "wal-rewritten") and
+	// aborts the compaction at that point when it returns an error —
+	// simulating a crash for recovery tests.
+	CrashStage func(stage string) error
+}
+
+// IngestStats is the live-ingestion section of /statz.
+type IngestStats struct {
+	Enabled    bool   `json:"enabled"`
+	Compacting bool   `json:"compacting"`
+	Generation uint64 `json:"generation"`
+	Epoch      uint64 `json:"epoch"`
+
+	DeltaImages  int `json:"delta_images"`
+	DeltaShapes  int `json:"delta_shapes"`
+	SealedImages int `json:"sealed_images,omitempty"`
+	SealedShapes int `json:"sealed_shapes,omitempty"`
+
+	WALOps   int   `json:"wal_ops"`
+	WALBytes int64 `json:"wal_bytes"`
+	WALTorn  bool  `json:"wal_torn,omitempty"` // a torn tail was cut at startup
+
+	Inserts         uint64 `json:"inserts"`
+	Deletes         uint64 `json:"deletes"`
+	Compactions     uint64 `json:"compactions"`
+	AutoCompactions uint64 `json:"auto_compactions"`
+	Replayed        int    `json:"replayed,omitempty"` // WAL ops re-applied at startup
+
+	LastCompactError string `json:"last_compact_error,omitempty"`
+}
+
+// ingestor coordinates the mutable side of a live ShardedEngine. One
+// mutex serializes every mutation (inserts, deletes, and compaction's
+// two short critical sections); queries never take it — they read the
+// atomically-published view.
+type ingestor struct {
+	se  *ShardedEngine
+	cfg IngestConfig
+
+	mu      sync.Mutex
+	wal     *ingest.WAL
+	pending []ingest.Op // WAL ops not yet folded, ascending Seq
+	// walFloor is the manifest's fold watermark: every op with
+	// Seq ≤ walFloor is reflected in the frozen shards + manifest.
+	walFloor uint64
+	// sealSeq is the watermark a running (or failed, retryable)
+	// compaction is folding up to; meaningful while view.sealed != nil.
+	sealSeq uint64
+	// frozenIdx maps an image id to its latest manifest-log index;
+	// gidStart[i] is order[i]'s first global id (prefix sums).
+	frozenIdx map[int]int
+	gidStart  []int
+
+	compacting atomic.Bool
+
+	copts   core.Options // delta core options, mirroring the shards'
+	walTorn bool
+	replay  int
+	ins     uint64
+	dels    uint64
+	comps   uint64
+	autos   uint64
+	lastErr string
+}
+
+// deltaCoreOptions derives the core options the frozen shards run
+// with — the delta must match them exactly for result identity.
+func (se *ShardedEngine) deltaCoreOptions() core.Options {
+	o := core.DefaultOptions()
+	if se.opts.Alpha > 0 {
+		o.Alpha = se.opts.Alpha
+	}
+	if se.opts.Beta > 0 {
+		o.Beta = se.opts.Beta
+	}
+	return o
+}
+
+// IngestEnabled reports whether EnableIngest has completed.
+func (se *ShardedEngine) IngestEnabled() bool { return se.ing != nil }
+
+// EnableIngest attaches live ingestion to a frozen engine: it opens (or
+// creates) the snapshot directory's write-ahead log, replays any
+// operations past the manifest's fold watermark, and publishes a view
+// with a mutable delta shard. Call once, after Freeze or load, before
+// serving mutations; it is not safe concurrently with itself.
+func (se *ShardedEngine) EnableIngest(cfg IngestConfig) error {
+	if !se.frozen {
+		return ErrNotFrozen
+	}
+	if se.ing != nil {
+		return errors.New("geosir: live ingestion already enabled")
+	}
+	if cfg.Dir == "" {
+		return errors.New("geosir: ingest: snapshot directory required")
+	}
+	manPath := filepath.Join(cfg.Dir, manifestName)
+	if _, err := os.Stat(manPath); err != nil {
+		if !os.IsNotExist(err) {
+			return fmt.Errorf("geosir: ingest: %w", err)
+		}
+		if err := se.SaveDir(cfg.Dir); err != nil {
+			return err
+		}
+	}
+	man, err := readManifest(manPath)
+	if err != nil {
+		return err
+	}
+	v := se.view.Load()
+	if man.Shards != len(v.shards) || len(man.Images) != len(v.order) {
+		return fmt.Errorf("geosir: ingest: snapshot dir %q does not match engine (%d/%d shards, %d/%d images)",
+			cfg.Dir, man.Shards, len(v.shards), len(man.Images), len(v.order))
+	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = DefaultCompactThreshold
+	}
+	g := &ingestor{se: se, cfg: cfg, walFloor: man.WALSeq, copts: se.deltaCoreOptions()}
+	wal, ops, torn, err := ingest.OpenWAL(filepath.Join(cfg.Dir, walName), ingest.Options{
+		NoSync:     cfg.NoSync,
+		WrapWriter: cfg.WrapWAL,
+	})
+	if err != nil {
+		return err
+	}
+	g.wal = wal
+	g.walTorn = torn
+	active, err := ingest.NewDelta(g.copts, se.opts.HashCurves, v.smap.NumGlobal())
+	if err != nil {
+		wal.Close()
+		return err
+	}
+	se.ing = g
+	nv := *v
+	nv.active = active
+	se.view.Store(&nv)
+	g.rebuildIndexLocked(&nv)
+
+	// Crash recovery: re-apply every operation past the fold watermark.
+	// Application is idempotent (an insert of an image that is already
+	// live anywhere is a fold the manifest beat us to; a delete of an
+	// image that is nowhere live already happened), which covers every
+	// crash window and a SaveDir that reset the watermark to 0.
+	for _, op := range ops {
+		if op.Seq <= g.walFloor {
+			continue
+		}
+		if err := g.applyReplay(op); err != nil {
+			se.ing = nil
+			se.view.Store(v)
+			wal.Close()
+			return fmt.Errorf("geosir: ingest: replaying wal op %d: %w", op.Seq, err)
+		}
+		g.pending = append(g.pending, op)
+		g.replay++
+	}
+	return nil
+}
+
+// rebuildIndexLocked refreshes the manifest-log lookup structures from
+// a view. Caller holds mu (or is still single-threaded in setup).
+func (g *ingestor) rebuildIndexLocked(v *shardView) {
+	g.frozenIdx = make(map[int]int, len(v.order))
+	g.gidStart = make([]int, len(v.order))
+	gid := 0
+	for i, im := range v.order {
+		g.frozenIdx[im.ID] = i
+		g.gidStart[i] = gid
+		gid += im.Shapes
+	}
+}
+
+// frozenLive reports whether the image id's latest manifest-log entry
+// is a live, physically-present frozen copy.
+func (g *ingestor) frozenLive(v *shardView, image int) bool {
+	i, ok := g.frozenIdx[image]
+	return ok && !v.order[i].Deleted && v.order[i].Shard >= 0
+}
+
+// applyReplay re-applies one WAL operation during EnableIngest.
+func (g *ingestor) applyReplay(op ingest.Op) error {
+	v := g.se.view.Load()
+	switch op.Kind {
+	case ingest.OpInsert:
+		if g.frozenLive(v, op.Image) || v.active.Has(op.Image) {
+			return nil // already folded or applied
+		}
+		return v.active.Insert(op.Image, op.Shapes)
+	case ingest.OpDelete:
+		if v.active.Has(op.Image) {
+			_, _, err := v.active.Delete(op.Image)
+			return err
+		}
+		if g.frozenLive(v, op.Image) {
+			g.deleteFrozenLocked(op.Image)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown op kind %q", string(op.Kind))
+}
+
+// InsertImage adds an image to the live base: validated and indexed
+// into the mutable delta (visible to the next Search), durably logged
+// before acknowledgment. The image id must not be live anywhere —
+// frozen shards, sealed delta, or active delta; re-using the id of a
+// deleted image is allowed and assigns fresh global shape ids.
+func (se *ShardedEngine) InsertImage(ctx context.Context, imageID int, shapes []Shape) error {
+	g := se.ing
+	if g == nil {
+		return ErrIngestOff
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	v := se.view.Load()
+	if g.frozenLive(v, imageID) || (v.sealed != nil && v.sealed.Has(imageID)) || v.active.Has(imageID) {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: id %d", ErrImageExists, imageID)
+	}
+	// Index first — Insert validates the shapes, and nothing invalid may
+	// reach the log — then append; a failed append rolls the delta back
+	// (including the global-id reservation: the insert was never
+	// acknowledged, so no trace of it may survive).
+	if err := v.active.Insert(imageID, shapes); err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	op := ingest.Op{Kind: ingest.OpInsert, Image: imageID, Shapes: shapes}
+	if err := g.wal.Append(&op); err != nil {
+		v.active.RollbackLast(imageID)
+		g.mu.Unlock()
+		return fmt.Errorf("geosir: logging insert: %w", err)
+	}
+	g.pending = append(g.pending, op)
+	g.ins++
+	se.mutEpoch.Add(1)
+	trigger := g.cfg.CompactThreshold > 0 &&
+		v.active.NumShapes() >= g.cfg.CompactThreshold &&
+		!g.compacting.Load()
+	if trigger {
+		g.autos++
+	}
+	g.mu.Unlock()
+	if trigger {
+		go func() {
+			if err := se.Compact(); err != nil && !errors.Is(err, ErrCompacting) {
+				g.mu.Lock()
+				g.lastErr = err.Error()
+				g.mu.Unlock()
+			}
+		}()
+	}
+	return nil
+}
+
+// DeleteImage removes an image from the live base, durably logged
+// before acknowledgment. Delta-resident images are tombstoned in the
+// delta; frozen images are tombstoned in the manifest log (their shard
+// file is immutable — the tombstone filters them out of every query
+// path). Deletes of frozen or sealed images are refused with
+// ErrCompacting while a compaction is folding, so the fold's input
+// stays exactly the write prefix it sealed.
+func (se *ShardedEngine) DeleteImage(ctx context.Context, imageID int) error {
+	g := se.ing
+	if g == nil {
+		return ErrIngestOff
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := se.view.Load()
+	switch {
+	case v.active.Has(imageID):
+		op := ingest.Op{Kind: ingest.OpDelete, Image: imageID}
+		if err := g.wal.Append(&op); err != nil {
+			return fmt.Errorf("geosir: logging delete: %w", err)
+		}
+		g.pending = append(g.pending, op)
+		if _, _, err := v.active.Delete(imageID); err != nil {
+			return err
+		}
+	case v.sealed != nil && v.sealed.Has(imageID):
+		return ErrCompacting
+	case g.frozenLive(v, imageID):
+		if g.compacting.Load() {
+			return ErrCompacting
+		}
+		op := ingest.Op{Kind: ingest.OpDelete, Image: imageID}
+		if err := g.wal.Append(&op); err != nil {
+			return fmt.Errorf("geosir: logging delete: %w", err)
+		}
+		g.pending = append(g.pending, op)
+		g.deleteFrozenLocked(imageID)
+	default:
+		return fmt.Errorf("%w: id %d", ErrNoImage, imageID)
+	}
+	g.dels++
+	se.mutEpoch.Add(1)
+	return nil
+}
+
+// deleteFrozenLocked tombstones a frozen image by publishing a
+// successor view: the manifest-log entry flips to Deleted, the image's
+// global shape ids join deadGIDs, and its id joins its shard's dead
+// image set. The shard file itself is untouched. Caller holds mu and
+// has verified frozenLive.
+func (g *ingestor) deleteFrozenLocked(imageID int) {
+	v := g.se.view.Load()
+	idx := g.frozenIdx[imageID]
+	im := v.order[idx]
+
+	norder := append([]shardImage(nil), v.order...)
+	norder[idx].Deleted = true
+
+	ndead := make(map[int]bool, len(v.deadGIDs)+im.Shapes)
+	for gid := range v.deadGIDs {
+		ndead[gid] = true
+	}
+	for gid := g.gidStart[idx]; gid < g.gidStart[idx]+im.Shapes; gid++ {
+		ndead[gid] = true
+	}
+
+	ndeadIn := make([]map[int]bool, len(v.shards))
+	copy(ndeadIn, v.deadIn)
+	shardDead := make(map[int]bool, len(ndeadIn[im.Shard])+1)
+	for id := range v.deadImagesIn(im.Shard) {
+		shardDead[id] = true
+	}
+	shardDead[imageID] = true
+	ndeadIn[im.Shard] = shardDead
+
+	nv := *v
+	nv.order = norder
+	nv.deadGIDs = ndead
+	nv.deadIn = ndeadIn
+	g.se.view.Store(&nv)
+}
+
+// Compact folds the delta into a new immutable shard: it seals the
+// current delta (a fresh one takes over new inserts immediately),
+// builds and freezes a full Engine over the sealed live images, writes
+// it as the next shard file, atomically rewrites the manifest — the
+// commit point, recording the placement, the deleted reservations, and
+// the WAL fold watermark — hot-swaps the query view, and finally drops
+// the folded prefix from the WAL. Queries run uninterrupted throughout:
+// they see {shards, sealed, active} until the swap and {shards+1,
+// active} after, both answering identically.
+//
+// A failed compaction leaves the sealed delta in place, still serving
+// queries; calling Compact again retries the fold from where it left
+// off. A crash at any point recovers via EnableIngest: the manifest
+// either still names the old watermark (the fold never happened — the
+// WAL replays it into a fresh delta) or the new one (the fold committed
+// — the folded prefix is skipped).
+func (se *ShardedEngine) Compact() error {
+	g := se.ing
+	if g == nil {
+		return ErrIngestOff
+	}
+	if !g.compacting.CompareAndSwap(false, true) {
+		return ErrCompacting
+	}
+	defer g.compacting.Store(false)
+
+	// Phase 1 (short critical section): seal the delta, install its
+	// successor, fix the fold watermark.
+	g.mu.Lock()
+	v := se.view.Load()
+	var sealed *ingest.Delta
+	if v.sealed != nil {
+		sealed = v.sealed // retrying a failed fold
+	} else {
+		if len(g.pending) == 0 {
+			g.mu.Unlock()
+			return nil // nothing to fold
+		}
+		sealed = v.active
+		sealed.Seal()
+		g.sealSeq = g.pending[len(g.pending)-1].Seq
+		active, err := ingest.NewDelta(g.copts, se.opts.HashCurves, sealed.NextGID())
+		if err != nil {
+			g.mu.Unlock()
+			return err
+		}
+		nv := *v
+		nv.sealed = sealed
+		nv.active = active
+		se.view.Store(&nv)
+		v = &nv
+	}
+	snap := sealed.Snapshot()
+	sealSeq := g.sealSeq
+	g.mu.Unlock()
+
+	// Phase 2 (no lock): build and persist the new shard. Inserts keep
+	// landing in the successor delta; queries keep reading the sealed
+	// one.
+	var eng *Engine
+	liveImages := 0
+	for _, st := range snap {
+		if !st.Deleted {
+			liveImages++
+		}
+	}
+	if liveImages > 0 {
+		eng = New(se.opts)
+		for _, st := range snap {
+			if st.Deleted {
+				continue
+			}
+			if err := eng.AddImage(st.ID, st.Shapes); err != nil {
+				return fmt.Errorf("geosir: compaction rebuild: %w", err)
+			}
+		}
+		if err := eng.Freeze(); err != nil {
+			return fmt.Errorf("geosir: compaction freeze: %w", err)
+		}
+	}
+	if err := g.stage("built"); err != nil {
+		return err
+	}
+	newShard := len(v.shards)
+	if eng != nil {
+		if err := eng.SaveFile(filepath.Join(g.cfg.Dir, shardFileName(newShard))); err != nil {
+			return fmt.Errorf("geosir: saving compacted shard: %w", err)
+		}
+	}
+	if err := g.stage("shard-saved"); err != nil {
+		return err
+	}
+
+	// Phase 3 (short critical section): commit. The manifest rename is
+	// the point of no return; everything after it is idempotent cleanup.
+	g.mu.Lock()
+	cur := se.view.Load()
+	extra := 0
+	if eng != nil {
+		extra = 1
+	}
+	nshards := cur.shards
+	if eng != nil {
+		nshards = append(append([]*Engine(nil), cur.shards...), eng)
+	}
+	nsmap := cur.smap.CloneGrow(extra)
+	norder := append([]shardImage(nil), cur.order...)
+	for _, st := range snap {
+		if st.Deleted {
+			nsmap.Skip(st.NumShapes)
+			norder = append(norder, shardImage{ID: st.ID, Shapes: st.NumShapes, Shard: -1, Deleted: true})
+		} else {
+			nsmap.AssignImage(newShard, st.NumShapes)
+			norder = append(norder, shardImage{ID: st.ID, Shapes: st.NumShapes, Shard: newShard})
+		}
+	}
+	ndeadIn := make([]map[int]bool, len(nshards))
+	copy(ndeadIn, cur.deadIn)
+	nv := &shardView{
+		shards:   nshards,
+		smap:     nsmap,
+		order:    norder,
+		gen:      cur.gen + 1,
+		active:   cur.active,
+		deadGIDs: cur.deadGIDs,
+		deadIn:   ndeadIn,
+	}
+	if err := writeManifest(filepath.Join(g.cfg.Dir, manifestName), manifestFromView(nv, sealSeq), g.cfg.WrapManifest); err != nil {
+		g.mu.Unlock()
+		return fmt.Errorf("geosir: committing compaction: %w", err)
+	}
+	se.view.Store(nv)
+	g.rebuildIndexLocked(nv)
+	g.walFloor = sealSeq
+	keep := g.pending[:0:0]
+	for _, op := range g.pending {
+		if op.Seq > sealSeq {
+			keep = append(keep, op)
+		}
+	}
+	g.pending = keep
+	g.comps++
+	se.mutEpoch.Add(1)
+	postErr := g.stage("manifest-written")
+	var walErr error
+	if postErr == nil {
+		// Drop the folded prefix. Failure here is benign — the watermark
+		// already makes replay skip the stale prefix — so the compaction
+		// still counts as committed.
+		if walErr = g.wal.Rewrite(g.pending); walErr == nil {
+			walErr = g.stage("wal-rewritten")
+		}
+	}
+	g.mu.Unlock()
+	if postErr != nil {
+		return postErr
+	}
+	if walErr != nil {
+		return fmt.Errorf("geosir: compaction committed; wal truncation failed: %w", walErr)
+	}
+	return nil
+}
+
+// stage invokes the compaction crash-test hook.
+func (g *ingestor) stage(name string) error {
+	if g.cfg.CrashStage != nil {
+		return g.cfg.CrashStage(name)
+	}
+	return nil
+}
+
+// IngestStats reports the live-ingestion state for /statz.
+func (se *ShardedEngine) IngestStats() IngestStats {
+	g := se.ing
+	if g == nil {
+		return IngestStats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := se.view.Load()
+	st := IngestStats{
+		Enabled:          true,
+		Compacting:       g.compacting.Load(),
+		Generation:       v.gen,
+		Epoch:            se.mutEpoch.Load(),
+		WALOps:           g.wal.Len(),
+		WALBytes:         g.wal.Size(),
+		WALTorn:          g.walTorn,
+		Inserts:          g.ins,
+		Deletes:          g.dels,
+		Compactions:      g.comps,
+		AutoCompactions:  g.autos,
+		Replayed:         g.replay,
+		LastCompactError: g.lastErr,
+	}
+	if v.active != nil {
+		st.DeltaImages = v.active.NumImages()
+		st.DeltaShapes = v.active.NumShapes()
+	}
+	if v.sealed != nil {
+		st.SealedImages = v.sealed.NumImages()
+		st.SealedShapes = v.sealed.NumShapes()
+	}
+	return st
+}
+
+// CloseIngest releases the WAL file handle. Pending (unfolded) writes
+// stay durable in the log; a later EnableIngest replays them. Mutations
+// after CloseIngest fail.
+func (se *ShardedEngine) CloseIngest() error {
+	g := se.ing
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	se.ing = nil
+	return g.wal.Close()
+}

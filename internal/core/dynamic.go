@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,6 +33,8 @@ type Dynamic struct {
 	overflow        []int             // global ids not yet in the frozen base
 	overflowEntries [][]Entry         // normalized copies per overflow shape
 	overflowOracles [][]*BoundaryDist // boundary oracles per overflow copy
+	overflowIdx     map[int]int       // global id → index into overflow
+	frozenIdx       map[int]int       // global id → frozen-base shape id
 
 	// RebuildFraction triggers a rebuild once overflow+tombstones exceed
 	// this fraction of the live population (default 0.25).
@@ -65,6 +68,10 @@ func (d *Dynamic) Insert(image int, p geom.Poly) (int, error) {
 	d.shapes = append(d.shapes, Shape{ID: id, Image: image, Poly: p.Clone()})
 	d.deleted = append(d.deleted, false)
 	d.live++
+	if d.overflowIdx == nil {
+		d.overflowIdx = make(map[int]int)
+	}
+	d.overflowIdx[id] = len(d.overflow)
 	d.overflow = append(d.overflow, id)
 	d.overflowEntries = append(d.overflowEntries, entries)
 	// Build the copies' oracles once at insert: the overflow area is
@@ -89,13 +96,17 @@ func (d *Dynamic) Delete(id int) error {
 	d.deleted[id] = true
 	d.live--
 	// If the shape is still in overflow, remove it there directly.
-	for i, gid := range d.overflow {
-		if gid == id {
-			d.overflow = append(d.overflow[:i], d.overflow[i+1:]...)
-			d.overflowEntries = append(d.overflowEntries[:i], d.overflowEntries[i+1:]...)
-			d.overflowOracles = append(d.overflowOracles[:i], d.overflowOracles[i+1:]...)
-			return nil
+	if i, ok := d.overflowIdx[id]; ok {
+		d.overflow = append(d.overflow[:i], d.overflow[i+1:]...)
+		d.overflowEntries = append(d.overflowEntries[:i], d.overflowEntries[i+1:]...)
+		d.overflowOracles = append(d.overflowOracles[:i], d.overflowOracles[i+1:]...)
+		delete(d.overflowIdx, id)
+		for gid, j := range d.overflowIdx {
+			if j > i {
+				d.overflowIdx[gid] = j - 1
+			}
 		}
+		return nil
 	}
 	d.frozenDel++
 	d.maybeRebuild()
@@ -128,10 +139,12 @@ func (d *Dynamic) Rebuild() error {
 	if d.live == 0 {
 		d.frozen = nil
 		d.frozenIDs = nil
+		d.frozenIdx = nil
 		d.frozenDel = 0
 		d.overflow = nil
 		d.overflowEntries = nil
 		d.overflowOracles = nil
+		d.overflowIdx = nil
 		return nil
 	}
 	b := NewBase(d.opts)
@@ -150,23 +163,43 @@ func (d *Dynamic) Rebuild() error {
 	}
 	d.frozen = b
 	d.frozenIDs = ids
+	d.frozenIdx = make(map[int]int, len(ids))
+	for local, gid := range ids {
+		d.frozenIdx[gid] = local
+	}
 	d.frozenDel = 0
 	d.overflow = nil
 	d.overflowEntries = nil
 	d.overflowOracles = nil
+	d.overflowIdx = nil
 	return nil
 }
 
 // Match retrieves the k most similar live shapes, merging the frozen
 // index's answer with an exact scan of the overflow area. Returned
-// ShapeIDs are the Dynamic's stable global ids (EntryID is meaningful
-// only for frozen results and is -1 for overflow hits).
+// ShapeIDs are the Dynamic's stable global ids. EntryID is a frozen-base
+// entry id for frozen results; overflow hits carry -(copy+1), the
+// negated ordinal of the normalized copy that realized the distance
+// (always negative, so the two spaces cannot collide), which
+// ContinuousDistance accepts to finish scoring a result.
 func (d *Dynamic) Match(q geom.Poly, k int) ([]Match, Stats, error) {
+	return d.MatchCtx(context.Background(), q, k)
+}
+
+// MatchCtx is Match with cooperative cancellation: it checks ctx before
+// the frozen-index probe and periodically during the overflow scan, so a
+// delta-shard scan inside a serving request respects the request's
+// deadline instead of running the full linear pass after the client has
+// gone away. A cancelled scan returns ctx's error and no matches.
+func (d *Dynamic) MatchCtx(ctx context.Context, q geom.Poly, k int) ([]Match, Stats, error) {
 	var stats Stats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("core: k must be positive")
 	}
 	if err := q.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
 	qe, err := NormalizeCanonical(q)
@@ -197,19 +230,28 @@ func (d *Dynamic) Match(q geom.Poly, k int) ([]Match, Stats, error) {
 		}
 	}
 	// Exact scan of the overflow area, against the oracles cached at
-	// insert time.
+	// insert time. The ctx check is amortized over a small batch of
+	// shapes — each shape costs a few oracle-grid probes, so 32 shapes
+	// keep the cancellation latency well under a millisecond.
 	for i, gid := range d.overflow {
+		if i&31 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		best := math.Inf(1)
+		bestEi := 0
 		for ei := range d.overflowEntries[i] {
 			e := &d.overflowEntries[i][ei]
 			dv := (AvgMinDistVertices(e.Poly, oracle) +
 				AvgMinDistVertices(qe.Poly, d.overflowOracles[i][ei])) / 2
 			if dv < best {
 				best = dv
+				bestEi = ei
 			}
 		}
 		if !math.IsInf(best, 1) {
-			merged = append(merged, Match{ShapeID: gid, EntryID: -1, DistVertex: best})
+			merged = append(merged, Match{ShapeID: gid, EntryID: -(bestEi + 1), DistVertex: best})
 		}
 	}
 	sortMatches(merged)
@@ -217,6 +259,82 @@ func (d *Dynamic) Match(q geom.Poly, k int) ([]Match, Stats, error) {
 		merged = merged[:k]
 	}
 	return merged, stats, nil
+}
+
+// OverflowCopies returns an overflow-resident shape's normalized copies
+// and their cached boundary oracles (shared slices — callers must not
+// mutate). ok is false for deleted shapes and shapes already folded into
+// the frozen part.
+func (d *Dynamic) OverflowCopies(id int) ([]Entry, []*BoundaryDist, bool) {
+	i, ok := d.overflowIdx[id]
+	if !ok {
+		return nil, nil, false
+	}
+	return d.overflowEntries[i], d.overflowOracles[i], true
+}
+
+// ContinuousDistance computes the symmetrized continuous-boundary
+// measure for a match produced by Match/MatchCtx, using the copy that
+// realized the vertex distance (entryID as returned in Match.EntryID:
+// -(copy+1) for overflow hits). The float operations mirror what a
+// frozen Base computes for its final top-k, so a delta shard's reported
+// ContinuousDistance is bit-identical to a freshly frozen engine's.
+func (d *Dynamic) ContinuousDistance(id, entryID int, pq *PreparedQuery) (float64, error) {
+	if id < 0 || id >= len(d.shapes) || d.deleted[id] {
+		return 0, fmt.Errorf("core: shape %d not found", id)
+	}
+	if entryID >= 0 {
+		return 0, fmt.Errorf("core: entry id %d is not an overflow copy", entryID)
+	}
+	copy := -entryID - 1
+	i, ok := d.overflowIdx[id]
+	if !ok {
+		return 0, fmt.Errorf("core: shape %d not in overflow", id)
+	}
+	if copy >= len(d.overflowEntries[i]) {
+		return 0, fmt.Errorf("core: shape %d has no copy %d", id, copy)
+	}
+	e := &d.overflowEntries[i][copy]
+	return (AvgMinDistTo(e.Poly, pq.oracle, d.opts.Samples) +
+		AvgMinDistTo(pq.entry.Poly, d.overflowOracles[i][copy], d.opts.Samples)) / 2, nil
+}
+
+// ShapeDistancePreparedBounded scores one live shape against a prepared
+// query with an admissible cutoff, mirroring Base's method of the same
+// name: the returned value is bit-identical to the one a frozen Base
+// holding the same shape would produce (the cutoff only skips copies
+// that provably cannot improve the minimum). Overflow shapes are scored
+// against the oracles cached at insert; shapes already folded into the
+// frozen part delegate to it. This is what lets a mutable delta shard
+// participate in the approximate (hash-candidate) path with the same
+// distance bytes as a freshly frozen engine.
+func (d *Dynamic) ShapeDistancePreparedBounded(id int, pq *PreparedQuery, cutoff float64) (float64, bool, error) {
+	if id < 0 || id >= len(d.shapes) || d.deleted[id] {
+		return 0, false, fmt.Errorf("core: shape %d not found", id)
+	}
+	if i, ok := d.overflowIdx[id]; ok {
+		best := math.Inf(1)
+		for ei := range d.overflowEntries[i] {
+			cut := math.Min(cutoff, best)
+			dir, ok := avgMinDistVerticesBoundedAffine(d.overflowEntries[i][ei].Poly, pq.oracle, 0, cut)
+			if !ok {
+				continue
+			}
+			back, ok := avgMinDistVerticesBoundedAffine(pq.entry.Poly, d.overflowOracles[i][ei], dir, cut)
+			if !ok {
+				continue
+			}
+			if dv := (dir + back) / 2; dv < best {
+				best = dv
+			}
+		}
+		return best, best <= cutoff, nil
+	}
+	local, ok := d.frozenIdx[id]
+	if !ok {
+		return 0, false, fmt.Errorf("core: shape %d not indexed", id)
+	}
+	return d.frozen.ShapeDistancePreparedBounded(local, pq, cutoff)
 }
 
 func max(a, b int) int {

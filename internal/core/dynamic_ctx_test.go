@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// MatchCtx with a live context must agree exactly with Match.
+func TestDynamicMatchCtxEquivalent(t *testing.T) {
+	d := NewDynamic(DefaultOptions())
+	for i, p := range testShapes() {
+		if _, err := d.Insert(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range testShapes() {
+		want, _, err := d.Match(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := d.MatchCtx(context.Background(), q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("MatchCtx returned %d matches, Match %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("match %d: ctx variant %+v != plain %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDynamicMatchCtxCancelled(t *testing.T) {
+	d := NewDynamic(DefaultOptions())
+	// Keep everything in overflow so the scan loop is the path under test.
+	d.MinRebuild = 1 << 30
+	for i := 0; i < 100; i++ {
+		for im, p := range testShapes() {
+			if _, err := d.Insert(i*10+im, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms, _, err := d.MatchCtx(ctx, testShapes()[0], 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ms != nil {
+		t.Fatalf("cancelled scan still returned %d matches", len(ms))
+	}
+}
+
+// The Dynamic bounded scorer must agree bit-for-bit with a frozen Base
+// holding the same shapes, both in no-cutoff mode and under a tight
+// admissible cutoff.
+func TestDynamicShapeDistancePreparedBounded(t *testing.T) {
+	opts := DefaultOptions()
+	d := NewDynamic(opts)
+	d.MinRebuild = 1 << 30
+	b := NewBase(opts)
+	var dynIDs, baseIDs []int
+	for i, p := range testShapes() {
+		did, err := d.Insert(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bid, err := b.AddShape(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dynIDs = append(dynIDs, did)
+		baseIDs = append(baseIDs, bid)
+	}
+	if err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range testShapes() {
+		pq, err := PrepareQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dynIDs {
+			for _, cut := range []float64{math.Inf(1), 0.5, 0.01} {
+				wantD, wantOK, err := b.ShapeDistancePreparedBounded(baseIDs[i], pq, cut)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotD, gotOK, err := d.ShapeDistancePreparedBounded(dynIDs[i], pq, cut)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotOK != wantOK || (wantOK && gotD != wantD) {
+					t.Fatalf("shape %d cut %v: dynamic (%v,%v) != base (%v,%v)",
+						i, cut, gotD, gotOK, wantD, wantOK)
+				}
+			}
+		}
+	}
+	// After a rebuild the frozen-part delegation must keep agreeing.
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := PrepareQuery(testShapes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dynIDs {
+		wantD, wantOK, err := b.ShapeDistancePreparedBounded(baseIDs[i], pq, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotD, gotOK, err := d.ShapeDistancePreparedBounded(dynIDs[i], pq, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK || gotD != wantD {
+			t.Fatalf("post-rebuild shape %d: dynamic (%v,%v) != base (%v,%v)", i, gotD, gotOK, wantD, wantOK)
+		}
+	}
+}

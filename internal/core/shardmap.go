@@ -81,6 +81,25 @@ func (m *ShardMap) Skip(count int) {
 	}
 }
 
+// CloneGrow returns a deep copy of the mapping widened to shards+extra
+// partitions, the new ones empty. Compaction uses it to append a frozen
+// delta as a brand-new shard without disturbing the (immutable, shared)
+// mapping concurrent readers hold.
+func (m *ShardMap) CloneGrow(extra int) *ShardMap {
+	if extra < 0 {
+		extra = 0
+	}
+	out := &ShardMap{
+		shards:  m.shards + extra,
+		globals: make([][]int32, m.shards+extra),
+		locs:    append([]ShardLoc(nil), m.locs...),
+	}
+	for i, g := range m.globals {
+		out.globals[i] = append([]int32(nil), g...)
+	}
+	return out
+}
+
 // Global translates a shard-local shape id to its global id.
 func (m *ShardMap) Global(shard, local int) int {
 	return int(m.globals[shard][local])

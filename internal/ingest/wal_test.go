@@ -1,0 +1,278 @@
+package ingest
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/iofault"
+)
+
+func tri(dx float64) geom.Poly {
+	return geom.NewPolygon(geom.Pt(dx, 0), geom.Pt(dx+1, 0), geom.Pt(dx+0.5, 1))
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "DELTA.wal")
+	w, ops, truncated, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 || truncated {
+		t.Fatalf("fresh wal replayed %d ops, truncated=%v", len(ops), truncated)
+	}
+	ins := Op{Kind: OpInsert, Image: 7, Shapes: []geom.Poly{tri(0), tri(2)}}
+	if err := w.Append(&ins); err != nil {
+		t.Fatal(err)
+	}
+	del := Op{Kind: OpDelete, Image: 7}
+	if err := w.Append(&del); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Seq != 1 || del.Seq != 2 {
+		t.Fatalf("seqs = %d, %d", ins.Seq, del.Seq)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	w.Close()
+
+	w2, ops, truncated, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if truncated {
+		t.Fatal("clean wal reported truncated")
+	}
+	if len(ops) != 2 || ops[0].Kind != OpInsert || ops[0].Image != 7 || len(ops[0].Shapes) != 2 || ops[1].Kind != OpDelete {
+		t.Fatalf("replayed %+v", ops)
+	}
+	if ops[0].Shapes[0].Pts[2] != geom.Pt(0.5, 1) {
+		t.Fatalf("shape round-trip lost precision: %+v", ops[0].Shapes[0])
+	}
+	// Sequence numbering continues where the log left off.
+	next := Op{Kind: OpDelete, Image: 9}
+	if err := w2.Append(&next); err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq != 3 {
+		t.Fatalf("resumed seq = %d", next.Seq)
+	}
+}
+
+// A torn tail — the crash case — is cut on open, keeping every intact
+// record, and appends resume cleanly.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "DELTA.wal")
+	w, _, _, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(&Op{Kind: OpInsert, Image: i, Shapes: []geom.Poly{tri(float64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	// Simulate a crash mid-append: append garbage that looks like the
+	// start of a record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{40, 0, 0, 0, 1, 2, 3, 4, 'p', 'a', 'r'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, ops, truncated, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("torn tail not reported")
+	}
+	if len(ops) != 3 {
+		t.Fatalf("replayed %d ops, want 3", len(ops))
+	}
+	op := Op{Kind: OpDelete, Image: 0}
+	if err := w2.Append(&op); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, ops, truncated, err = OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated || len(ops) != 4 || ops[3].Seq != 4 {
+		t.Fatalf("post-repair replay: truncated=%v ops=%d", truncated, len(ops))
+	}
+}
+
+// A corrupted checksum invalidates that record and everything after it.
+func TestWALCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "DELTA.wal")
+	w, _, _, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(&Op{Kind: OpInsert, Image: i, Shapes: []geom.Poly{tri(float64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz := w.Size()
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[sz-3] ^= 0xff // flip a byte inside the last record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ops, truncated, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(ops) != 2 {
+		t.Fatalf("corrupt tail: truncated=%v ops=%d, want true/2", truncated, len(ops))
+	}
+}
+
+// An injected append failure rolls the file back to the last intact
+// boundary: nothing torn, nothing acknowledged, later appends fine.
+func TestWALAppendFaultRollback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "DELTA.wal")
+	var limit int64 = -1 // no fault until set
+	wrap := func(w io.Writer) io.Writer {
+		return writerFunc(func(p []byte) (int, error) {
+			if limit >= 0 && int64(len(p)) > limit {
+				n := int(limit)
+				if n > 0 {
+					n, _ = w.Write(p[:n]) // torn write: half the record lands
+				}
+				return n, iofault.ErrInjected
+			}
+			return w.Write(p)
+		})
+	}
+	w, _, _, err := OpenWAL(path, Options{WrapWriter: wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&Op{Kind: OpInsert, Image: 1, Shapes: []geom.Poly{tri(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	limit = 10
+	err = w.Append(&Op{Kind: OpInsert, Image: 2, Shapes: []geom.Poly{tri(1)}})
+	if !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	limit = -1
+	op := Op{Kind: OpInsert, Image: 3, Shapes: []geom.Poly{tri(2)}}
+	if err := w.Append(&op); err != nil {
+		t.Fatal(err)
+	}
+	if op.Seq != 2 {
+		t.Fatalf("seq after rollback = %d, want 2", op.Seq)
+	}
+	w.Close()
+	_, ops, truncated, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("rollback left a torn tail")
+	}
+	if len(ops) != 2 || ops[0].Image != 1 || ops[1].Image != 3 {
+		t.Fatalf("replayed %+v", ops)
+	}
+}
+
+func TestWALRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "DELTA.wal")
+	w, _, _, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Op
+	for i := 0; i < 5; i++ {
+		op := Op{Kind: OpInsert, Image: i, Shapes: []geom.Poly{tri(float64(i))}}
+		if err := w.Append(&op); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, op)
+	}
+	// Compaction folded the first three: keep the tail.
+	if err := w.Rewrite(all[3:]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len after rewrite = %d", w.Len())
+	}
+	op := Op{Kind: OpDelete, Image: 4}
+	if err := w.Append(&op); err != nil {
+		t.Fatal(err)
+	}
+	if op.Seq != 6 {
+		t.Fatalf("seq after rewrite = %d, want 6", op.Seq)
+	}
+	w.Close()
+	_, ops, truncated, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated || len(ops) != 3 {
+		t.Fatalf("truncated=%v ops=%d", truncated, len(ops))
+	}
+	if ops[0].Image != 3 || ops[0].Seq != 4 || ops[2].Kind != OpDelete {
+		t.Fatalf("replayed %+v", ops)
+	}
+}
+
+// A failed rewrite leaves the original log fully intact.
+func TestWALRewriteFaultKeepsOld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "DELTA.wal")
+	fail := false
+	wrap := func(w io.Writer) io.Writer {
+		return writerFunc(func(p []byte) (int, error) {
+			if fail {
+				return 0, iofault.ErrInjected
+			}
+			return w.Write(p)
+		})
+	}
+	w, _, _, err := OpenWAL(path, Options{WrapWriter: wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Op
+	for i := 0; i < 3; i++ {
+		op := Op{Kind: OpInsert, Image: i, Shapes: []geom.Poly{tri(float64(i))}}
+		if err := w.Append(&op); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, op)
+	}
+	fail = true
+	if err := w.Rewrite(all[2:]); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	w.Close()
+	_, ops, truncated, err := OpenWAL(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated || len(ops) != 3 {
+		t.Fatalf("after failed rewrite: truncated=%v ops=%d, want clean 3", truncated, len(ops))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

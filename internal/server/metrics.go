@@ -54,6 +54,10 @@ type metrics struct {
 	annQueries    atomic.Int64
 	annProbes     atomic.Int64
 	annCandidates atomic.Int64
+
+	// Acknowledged live-ingestion writes served over HTTP.
+	inserts atomic.Int64
+	deletes atomic.Int64
 }
 
 func newMetrics() *metrics {

@@ -14,7 +14,10 @@
 //	POST /v1/approximate   {"shape": {...}, "k": 5}
 //	POST /v1/sketch        {"shapes": [{...}, ...], "k": 5}
 //	POST /v1/topological   {"query": "similar(a) AND ...", "binds": {"a": {...}}}
+//	POST /v1/images        {"id": 7, "shapes": [{...}, ...]}  (live insert; Config.Ingest)
+//	DELETE /v1/images/{id}                                    (live delete)
 //	POST /admin/reload     {"path": "other.gsir"}  (empty body reloads the current snapshot)
+//	POST /admin/compact    (fold the live delta into a frozen shard)
 //	GET  /healthz /readyz /metrics /statz
 //
 // The server is engine-kind agnostic: every query flows through the
@@ -75,6 +78,11 @@ type Config struct {
 	CacheEntries int
 	// AccessLog, when non-nil, receives one JSON line per request.
 	AccessLog io.Writer
+	// Ingest, when non-nil, enables live ingestion on sharded snapshot
+	// directories the server installs: /v1/images accepts writes, the
+	// delta WAL lives next to the shard files, and /admin/compact (or
+	// the threshold) folds the delta. File snapshots stay read-only.
+	Ingest *IngestOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -228,8 +236,15 @@ func (s *Server) SetServing(sv Serving, source string) error {
 // cache intact.
 func (s *Server) installState(st *engineState) {
 	st.epoch = s.epochCounter.Add(1)
-	s.state.Store(st)
+	old := s.state.Swap(st)
 	s.cache.Purge()
+	if old != nil && old.serving != st.serving {
+		// The outgoing engine must release its WAL handle: the incoming
+		// one may have (re)opened the same log, and two appenders on one
+		// log would interleave. In-flight queries on the old engine are
+		// unaffected — only its mutations are fenced off.
+		closeIngest(old)
+	}
 }
 
 // LoadSnapshot loads a snapshot and atomically swaps it in. A file path
@@ -243,6 +258,14 @@ func (s *Server) installState(st *engineState) {
 func (s *Server) LoadSnapshot(path string) (geosir.SnapshotInfo, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	if s.cfg.Ingest != nil {
+		// Quiesce writes before the new engine replays the directory's
+		// WAL: an append landing after the replay read it would be
+		// invisible to the incoming engine. Queries keep flowing; writes
+		// answer 409 until the reload completes (or until the next
+		// successful reload, if this one fails).
+		closeIngest(s.state.Load())
+	}
 	st, err := s.loadState(path)
 	if err != nil {
 		s.metrics.reloadFails.Add(1)
@@ -261,6 +284,15 @@ func (s *Server) loadState(path string) (*engineState, error) {
 		}
 		if !se.Frozen() || se.NumShapes() == 0 {
 			return nil, fmt.Errorf("server: snapshot %s holds no shapes", path)
+		}
+		if s.cfg.Ingest != nil {
+			if err := se.EnableIngest(geosir.IngestConfig{
+				Dir:              path,
+				CompactThreshold: s.cfg.Ingest.CompactThreshold,
+				NoSync:           s.cfg.Ingest.NoSync,
+			}); err != nil {
+				return nil, fmt.Errorf("server: enabling ingestion: %w", err)
+			}
 		}
 		return &engineState{
 			serving: se,
@@ -348,14 +380,18 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/admin/reload", s.instrument("admin_reload", s.handleReload))
+	mux.HandleFunc("/admin/compact", s.instrument("admin_compact", s.handleCompact))
 	mux.HandleFunc("/v1/search", s.query("search", s.handleSearch))
 	mux.HandleFunc("/v1/similar", s.query("similar", s.handleSimilar))
 	mux.HandleFunc("/v1/approximate", s.query("approximate", s.handleApproximate))
 	mux.HandleFunc("/v1/sketch", s.query("sketch", s.handleSketch))
 	mux.HandleFunc("/v1/topological", s.query("topological", s.handleTopological))
+	mux.HandleFunc("POST /v1/images", s.mutate("images_insert", s.handleInsertImage))
+	mux.HandleFunc("DELETE /v1/images/{id}", s.mutate("images_delete", s.handleDeleteImage))
 	// Pre-register the metric rows so /statz lists every endpoint from
 	// the first scrape, not only the ones that saw traffic.
-	for _, name := range []string{"search", "similar", "approximate", "sketch", "topological", "admin_reload"} {
+	for _, name := range []string{"search", "similar", "approximate", "sketch", "topological",
+		"images_insert", "images_delete", "admin_reload", "admin_compact"} {
 		s.metrics.endpoint(name)
 	}
 	return mux
@@ -607,9 +643,11 @@ func (s *Server) runSearch(ctx context.Context, st *engineState, req geosir.Sear
 // every disposition renders identical wire bytes by construction.
 //
 // Caching keys on the canonical query fingerprint bound to this
-// request's snapshot epoch (st.epoch): the (engine, epoch) pair was
-// loaded atomically at admission, so even a hot-swap landing mid-request
-// cannot pair this engine's results with another epoch's entries.
+// request's cache epoch (cacheEpoch: install epoch composed with the
+// engine's mutation epoch): the (engine, epoch) pair was loaded
+// atomically at admission, so neither a hot-swap nor a live write
+// landing mid-request can pair this engine's results with another
+// epoch's entries.
 // SearchRequest.Workers is deliberately outside the fingerprint — it
 // schedules work, it never changes results (PR 4/5 equivalence).
 func (s *Server) searchCached(ctx context.Context, st *engineState, req geosir.SearchRequest) (*geosir.SearchResponse, qcache.Disposition, error) {
@@ -617,7 +655,7 @@ func (s *Server) searchCached(ctx context.Context, st *engineState, req geosir.S
 		resp, err := st.serving.Search(ctx, req)
 		return resp, qcache.Bypass, err
 	}
-	fp, ok := qcache.SearchFingerprint(req, st.epoch)
+	fp, ok := qcache.SearchFingerprint(req, cacheEpoch(st))
 	if !ok {
 		// Unfingerprintable (degenerate shape, bad mode): let the engine
 		// produce its usual error or result, uncached.
@@ -960,8 +998,14 @@ type Statz struct {
 	ANN         *ANNStatz `json:"ann,omitempty"`
 	// Cache reports the query-result cache (absent when caching is off);
 	// Epoch is the serving snapshot's cache generation.
-	Cache     *qcache.Stats               `json:"cache,omitempty"`
-	Epoch     uint64                      `json:"epoch,omitempty"`
+	Cache *qcache.Stats `json:"cache,omitempty"`
+	Epoch uint64        `json:"epoch,omitempty"`
+	// Ingest reports the live-ingestion subsystem (absent when the
+	// serving engine is read-only): delta sizes, WAL length, compaction
+	// counters. Inserts/Deletes below count the writes served over HTTP.
+	Ingest    *geosir.IngestStats         `json:"ingest,omitempty"`
+	Inserts   int64                       `json:"inserts,omitempty"`
+	Deletes   int64                       `json:"deletes,omitempty"`
 	Snapshot  *SnapshotStatz              `json:"snapshot,omitempty"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -990,8 +1034,11 @@ func (s *Server) Statz() Statz {
 		cs := s.cache.Snapshot()
 		out.Cache = &cs
 	}
+	out.Inserts = s.metrics.inserts.Load()
+	out.Deletes = s.metrics.deletes.Load()
 	if st := s.state.Load(); st != nil {
 		out.Epoch = st.epoch
+		out.Ingest = ingestStatz(st)
 		out.Snapshot = &SnapshotStatz{
 			Source:    st.source,
 			Format:    st.info.FormatName,

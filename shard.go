@@ -5,12 +5,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/geohash"
+	"repro/internal/ingest"
 )
 
 // Compile-time check: both engines answer the unified Search API.
@@ -33,21 +36,170 @@ var (
 // AddImage time. Image ids need no translation (they are caller-chosen
 // and stored verbatim).
 //
-// Concurrency matches Engine: not safe for concurrent mutation, fully
-// concurrent for Search after Freeze.
+// After Freeze the engine can optionally go live (EnableIngest): a
+// mutable delta shard then accepts InsertImage/DeleteImage without a
+// rebuild, queries union the delta with the frozen shards, and a
+// background compaction folds the delta into a new immutable shard
+// (DESIGN.md §4.12). All of that is coordinated through an immutable
+// shardView swapped atomically, so Search never takes a lock.
+//
+// Concurrency: not safe for concurrent mutation before Freeze; after
+// Freeze, Search is fully concurrent, and with ingestion enabled the
+// mutation API (InsertImage/DeleteImage/Compact) is itself safe for
+// concurrent callers and concurrent with Search.
 type ShardedEngine struct {
 	opts   Options
 	shards []*Engine
 	smap   *core.ShardMap
 	order  []shardImage // AddImage order, persisted as the snapshot manifest
 	frozen bool
+
+	// view is the atomically-published query snapshot; non-nil once
+	// frozen. Mutations (live ingestion, compaction) install a fresh
+	// view; in-flight queries keep the one they loaded.
+	view atomic.Pointer[shardView]
+	// mutEpoch counts visible mutations: every acknowledged insert,
+	// delete, and compaction swap bumps it, so result caches keyed on it
+	// invalidate exactly when answers may change.
+	mutEpoch atomic.Uint64
+	// ing is the live-ingestion coordinator, non-nil after EnableIngest.
+	ing *ingestor
 }
 
-// shardImage is one AddImage call: the image id and how many shapes it
-// contributed. The sequence of these fixes every global shape id.
+// shardImage is one image in the manifest log: the image id, how many
+// shapes it contributed, which shard physically holds it (-1 when it
+// only ever reserved ids), and whether it has since been deleted. The
+// sequence of these fixes every global shape id.
 type shardImage struct {
-	ID     int
-	Shapes int
+	ID      int
+	Shapes  int
+	Shard   int
+	Deleted bool
+}
+
+// shardView is one immutable snapshot of everything a query needs. A
+// view is built once, published with an atomic store, and never mutated
+// afterwards; queries that loaded an old view keep a consistent base
+// while mutations install successors.
+type shardView struct {
+	shards []*Engine
+	smap   *core.ShardMap
+	order  []shardImage
+	gen    uint64 // compaction generation, for statz and the manifest
+
+	// sealed is the delta a running compaction is folding (read-only),
+	// active the delta accepting new writes. Both nil before
+	// EnableIngest; sealed is nil outside a compaction window. sealed
+	// precedes active: its global ids are lower, preserving merge order.
+	sealed *ingest.Delta
+	active *ingest.Delta
+
+	// deadGIDs marks global shape ids whose frozen copy is tombstoned
+	// (image deleted after its shard froze). deadIn is the same set
+	// grouped per shard at image granularity, for the paths that filter
+	// whole images (sketch tables, topological queries). An image id may
+	// legitimately appear dead in one shard and live in another — delete
+	// then re-insert then compact — so the per-shard grouping is not
+	// redundant with a flat image set.
+	deadGIDs map[int]bool
+	deadIn   []map[int]bool
+}
+
+// deltas returns the live mutable parts of the view, sealed first so
+// the k-way merge sees ascending global-id ranges.
+func (v *shardView) deltas() []*ingest.Delta {
+	out := make([]*ingest.Delta, 0, 2)
+	if v.sealed != nil && v.sealed.NumShapes() > 0 {
+		out = append(out, v.sealed)
+	}
+	if v.active != nil && v.active.NumShapes() > 0 {
+		out = append(out, v.active)
+	}
+	return out
+}
+
+// liveShards returns the indices of shards that can answer queries:
+// frozen and non-empty. A shard dropped wholesale by snapshot recovery
+// is left empty and simply contributes nothing (partial results).
+func (v *shardView) liveShards() []int {
+	out := make([]int, 0, len(v.shards))
+	for i, sh := range v.shards {
+		if sh != nil && sh.Frozen() && sh.NumShapes() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// deadImagesIn returns the image ids whose copy on the given shard is
+// tombstoned (nil when none).
+func (v *shardView) deadImagesIn(shard int) map[int]bool {
+	if shard < len(v.deadIn) {
+		return v.deadIn[shard]
+	}
+	return nil
+}
+
+// liveLocal drops candidate local shape ids whose global id is
+// tombstoned, in place. Filtering happens before scoring, so the
+// per-shard running k-th best — and any bound published from it — only
+// ever reflects shapes that can appear in the final answer.
+func (v *shardView) liveLocal(shard int, ids []int) []int {
+	if len(v.deadGIDs) == 0 {
+		return ids
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		if !v.deadGIDs[v.smap.Global(shard, id)] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// toGlobal rewrites a shard's local shape ids to global ids in place.
+// Within one shard local id order is ascending global id order, so a
+// list sorted by (Distance, local id) stays sorted by (Distance,
+// global id).
+func (v *shardView) toGlobal(shard int, ms []Match) []Match {
+	for i := range ms {
+		ms[i].ShapeID = v.smap.Global(shard, ms[i].ShapeID)
+	}
+	return ms
+}
+
+// dropDead removes matches whose global shape id is tombstoned,
+// preserving order. Call after toGlobal.
+func (v *shardView) dropDead(ms []Match) []Match {
+	if len(v.deadGIDs) == 0 {
+		return ms
+	}
+	out := ms[:0]
+	for _, m := range ms {
+		if !v.deadGIDs[m.ShapeID] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// liveShapeCount is the number of shapes a query can return: frozen
+// shapes minus tombstones plus the deltas' live shapes.
+func (v *shardView) liveShapeCount() int {
+	n := 0
+	for _, sh := range v.shards {
+		if sh != nil && sh.NumImages() > 0 {
+			n += sh.NumShapes()
+		}
+	}
+	n -= len(v.deadGIDs)
+	if v.sealed != nil {
+		n += v.sealed.NumShapes()
+	}
+	if v.active != nil {
+		n += v.active.NumShapes()
+	}
+	return n
 }
 
 // NewSharded creates an empty sharded engine over the given number of
@@ -70,8 +222,46 @@ func NewSharded(opts Options, shards int) *ShardedEngine {
 
 // newShardedFromParts assembles a sharded engine from already-loaded
 // shards (see LoadShardedDir). Shards must be frozen or empty.
-func newShardedFromParts(opts Options, shards []*Engine, smap *core.ShardMap, order []shardImage) *ShardedEngine {
-	return &ShardedEngine{opts: opts, shards: shards, smap: smap, order: order, frozen: true}
+func newShardedFromParts(opts Options, shards []*Engine, smap *core.ShardMap, order []shardImage, gen uint64) *ShardedEngine {
+	se := &ShardedEngine{opts: opts, shards: shards, smap: smap, order: order, frozen: true}
+	se.publishBaseView(gen)
+	return se
+}
+
+// publishBaseView installs the initial query view over the frozen
+// shards, deriving the tombstone sets from the manifest log's Deleted
+// flags (all empty on a freshly built engine).
+func (se *ShardedEngine) publishBaseView(gen uint64) {
+	v := &shardView{shards: se.shards, smap: se.smap, order: se.order, gen: gen}
+	gid := 0
+	for _, im := range se.order {
+		if im.Deleted && im.Shard >= 0 {
+			if v.deadGIDs == nil {
+				v.deadGIDs = make(map[int]bool)
+			}
+			for g := gid; g < gid+im.Shapes; g++ {
+				v.deadGIDs[g] = true
+			}
+			if v.deadIn == nil {
+				v.deadIn = make([]map[int]bool, len(se.shards))
+			}
+			if v.deadIn[im.Shard] == nil {
+				v.deadIn[im.Shard] = make(map[int]bool)
+			}
+			v.deadIn[im.Shard][im.ID] = true
+		}
+		gid += im.Shapes
+	}
+	se.view.Store(v)
+}
+
+// snapshot returns the current query view, or a transient one over the
+// build-phase state before Freeze has published the first view.
+func (se *ShardedEngine) snapshot() *shardView {
+	if v := se.view.Load(); v != nil {
+		return v
+	}
+	return &shardView{shards: se.shards, smap: se.smap, order: se.order}
 }
 
 // AddImage routes an image to its shard. Global shape ids are assigned
@@ -85,7 +275,7 @@ func (se *ShardedEngine) AddImage(imageID int, shapes []Shape) error {
 		return err
 	}
 	se.smap.AssignImage(shard, len(shapes))
-	se.order = append(se.order, shardImage{ID: imageID, Shapes: len(shapes)})
+	se.order = append(se.order, shardImage{ID: imageID, Shapes: len(shapes), Shard: shard})
 	return nil
 }
 
@@ -118,6 +308,7 @@ func (se *ShardedEngine) Freeze() error {
 		}
 	}
 	se.frozen = true
+	se.publishBaseView(0)
 	return nil
 }
 
@@ -127,75 +318,88 @@ func (se *ShardedEngine) Options() Options { return se.opts }
 // Frozen reports whether Freeze has completed.
 func (se *ShardedEngine) Frozen() bool { return se.frozen }
 
-// NumShards returns the partition count.
-func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+// NumShards returns the partition count (compaction grows it).
+func (se *ShardedEngine) NumShards() int { return len(se.snapshot().shards) }
 
 // Shard exposes one partition's Engine for inspection (per-shard statz,
 // tests). Treat it as read-only.
-func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+func (se *ShardedEngine) Shard(i int) *Engine { return se.snapshot().shards[i] }
 
-// IDMap exposes the global⇄(shard, local) shape-id mapping.
-func (se *ShardedEngine) IDMap() *core.ShardMap { return se.smap }
+// IDMap exposes the global⇄(shard, local) shape-id mapping of the
+// current view.
+func (se *ShardedEngine) IDMap() *core.ShardMap { return se.snapshot().smap }
 
-// NumImages returns the number of images across all shards.
+// MutationEpoch returns the count of visible mutations (inserts,
+// deletes, compaction swaps) since startup. Any two Searches bracketed
+// by equal epochs saw the same logical base, so caches may key on it.
+func (se *ShardedEngine) MutationEpoch() uint64 { return se.mutEpoch.Load() }
+
+// Generation returns the compaction generation of the current view.
+func (se *ShardedEngine) Generation() uint64 { return se.snapshot().gen }
+
+// NumImages returns the number of live images: frozen images minus
+// tombstones plus the deltas' live images.
 func (se *ShardedEngine) NumImages() int {
+	v := se.snapshot()
 	n := 0
-	for _, sh := range se.shards {
+	for _, sh := range v.shards {
 		n += sh.NumImages()
 	}
-	return n
-}
-
-// NumShapes returns the number of stored shapes across all shards.
-func (se *ShardedEngine) NumShapes() int {
-	n := 0
-	for _, sh := range se.shards {
-		if sh.NumImages() > 0 {
-			n += sh.NumShapes()
-		}
+	for _, dead := range v.deadIn {
+		n -= len(dead)
+	}
+	if v.sealed != nil {
+		n += v.sealed.NumImages()
+	}
+	if v.active != nil {
+		n += v.active.NumImages()
 	}
 	return n
 }
 
-// NumEntries returns the number of normalized copies across all shards.
+// NumShapes returns the number of live shapes (see liveShapeCount).
+func (se *ShardedEngine) NumShapes() int { return se.snapshot().liveShapeCount() }
+
+// NumEntries returns the number of stored normalized copies across all
+// shards and deltas. Tombstoned frozen shapes' copies remain stored
+// until a rebuild and are still counted.
 func (se *ShardedEngine) NumEntries() int {
+	v := se.snapshot()
 	n := 0
-	for _, sh := range se.shards {
+	for _, sh := range v.shards {
 		if sh.NumImages() > 0 {
 			n += sh.NumEntries()
 		}
 	}
-	return n
-}
-
-// liveShards returns the indices of shards that can answer queries:
-// frozen and non-empty. A shard dropped wholesale by snapshot recovery
-// is left empty and simply contributes nothing (partial results).
-func (se *ShardedEngine) liveShards() []int {
-	out := make([]int, 0, len(se.shards))
-	for i, sh := range se.shards {
-		if sh != nil && sh.Frozen() && sh.NumShapes() > 0 {
-			out = append(out, i)
-		}
+	if v.sealed != nil {
+		n += v.sealed.NumEntries()
 	}
-	return out
+	if v.active != nil {
+		n += v.active.NumEntries()
+	}
+	return n
 }
 
 // tau returns the shared similarity threshold, used by the ModeAuto
 // fallback decision.
-func (se *ShardedEngine) tau() float64 {
-	for _, si := range se.liveShards() {
-		return se.shards[si].db.Tau()
+func (se *ShardedEngine) tau(v *shardView) float64 {
+	for _, si := range v.liveShards() {
+		return v.shards[si].db.Tau()
 	}
-	return 0
+	if se.opts.Tau > 0 {
+		return se.opts.Tau
+	}
+	return DefaultOptions().Tau // mirror of New()'s defaulting
 }
 
 // Search answers one retrieval request by fanning it out across the
-// live shards and merging the per-shard answers. The decision structure
-// mirrors Engine.Search stage for stage: same validation order, same
-// ModeAuto fallback rule (fall back to hashing unless every live shard
-// converged and the merged best match is within τ), same
-// empty-approximate recovery.
+// live shards — and, when ingestion is enabled, the mutable delta(s) —
+// and merging the answers. The decision structure mirrors Engine.Search
+// stage for stage: same validation order, same ModeAuto fallback rule
+// (fall back to hashing unless every live part converged and the merged
+// best match is within τ), same empty-approximate recovery. The view is
+// loaded once per request, so a compaction swapping shards mid-request
+// never mixes two bases in one answer.
 func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -206,13 +410,14 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 	if req.K <= 0 {
 		return nil, ErrBadK
 	}
+	v := se.snapshot()
 	switch req.Mode {
 	case ModeAuto, ModeExact:
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
 		if req.Mode == ModeAuto && req.Ann == AnnApprox {
-			ms, stats, err := se.annApproxFanout(ctx, req.Query, req.K, req.Workers)
+			ms, stats, err := se.annApproxFanout(ctx, v, req.Query, req.K, req.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -225,17 +430,17 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		// decision reads stats.Converged and must stay deterministic, so
 		// only ModeExact — where convergence is reporting, not control
 		// flow — shares the bound.
-		ms, stats, err := se.exactFanout(ctx, req.Query, req.K, req.Workers, req.Mode == ModeExact, req.Ann)
+		ms, stats, err := se.exactFanout(ctx, v, req.Query, req.K, req.Workers, req.Mode == ModeExact, req.Ann)
 		if err != nil {
 			return nil, err
 		}
-		if req.Mode == ModeExact || (stats.Converged && exactGoodEnough(ms, se.tau())) {
+		if req.Mode == ModeExact || (stats.Converged && exactGoodEnough(ms, se.tau(v))) {
 			return &SearchResponse{Matches: ms, Stats: stats}, nil
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		approx, astats, err := se.approxFanout(ctx, req.Query, req.K, req.Workers, req.Ann)
+		approx, astats, err := se.approxFanout(ctx, v, req.Query, req.K, req.Workers, req.Ann)
 		if err != nil {
 			return nil, err
 		}
@@ -250,20 +455,20 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 			return nil, ErrEmptyQuery
 		}
 		if req.Ann == AnnApprox {
-			ms, stats, err := se.annApproxFanout(ctx, req.Query, req.K, req.Workers)
+			ms, stats, err := se.annApproxFanout(ctx, v, req.Query, req.K, req.Workers)
 			if err != nil {
 				return nil, err
 			}
 			return &SearchResponse{Matches: ms, Stats: stats}, nil
 		}
-		ms, stats, err := se.approxFanout(ctx, req.Query, req.K, req.Workers, req.Ann)
+		ms, stats, err := se.approxFanout(ctx, v, req.Query, req.K, req.Workers, req.Ann)
 		if err != nil {
 			return nil, err
 		}
 		stats.UsedHashing = true
 		return &SearchResponse{Matches: ms, Stats: stats}, nil
 	case ModeSketch:
-		sms, stats, err := se.sketchFanout(ctx, req.Sketch, req.K, req.Workers, req.Ann)
+		sms, stats, err := se.sketchFanout(ctx, v, req.Sketch, req.K, req.Workers, req.Ann)
 		if err != nil {
 			return nil, err
 		}
@@ -275,19 +480,32 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 // Query evaluates a topological query (§5) against every live shard
 // and unions the matching image ids. Topological predicates relate
 // shapes within one image, and every image lives whole on exactly one
-// shard, so the per-shard evaluation loses nothing. Like Engine.Query
-// it updates shared selectivity estimators and must not race with
-// itself; use one goroutine for topological queries.
+// shard, so the per-shard evaluation loses nothing. Images tombstoned
+// after freeze are filtered out; images still in the mutable delta are
+// not yet visible to topological queries (they gain topology graphs at
+// compaction). Like Engine.Query it updates shared selectivity
+// estimators and must not race with itself; use one goroutine for
+// topological queries.
 func (se *ShardedEngine) Query(src string, binds map[string]Shape) ([]int, string, error) {
 	if !se.frozen {
 		return nil, "", ErrNotFrozen
 	}
+	v := se.snapshot()
 	var all []int
 	var plan string
-	for _, si := range se.liveShards() {
-		ids, p, err := se.shards[si].Query(src, binds)
+	for _, si := range v.liveShards() {
+		ids, p, err := v.shards[si].Query(src, binds)
 		if err != nil {
 			return nil, "", err
+		}
+		if dead := v.deadImagesIn(si); len(dead) > 0 {
+			kept := ids[:0]
+			for _, id := range ids {
+				if !dead[id] {
+					kept = append(kept, id)
+				}
+			}
+			ids = kept
 		}
 		all = append(all, ids...)
 		plan = p
@@ -296,15 +514,18 @@ func (se *ShardedEngine) Query(src string, binds map[string]Shape) ([]int, strin
 	return all, plan, nil
 }
 
-// exactFanout runs the fattening search on every live shard
-// concurrently and merges the sorted per-shard top-k lists exactly.
+// exactFanout runs the fattening search on every live shard — and an
+// exhaustive exact match on every live delta — concurrently and merges
+// the sorted per-part top-k lists exactly.
 //
-// Each shard is asked for min(k, its shape count) matches — a shard
-// cannot supply more than it holds, and capping lets small shards reach
-// the convergence condition (the k-th best must exist to be proven
-// within ε/2). Because the per-shape distances are intrinsic to
-// (query, shape) and every shape lives on exactly one shard, the merged
-// top-k of converged shards is the true global top-k.
+// Each shard is asked for min(k + tombstones, its shape count) matches:
+// a shard cannot supply more than it holds, at most len(deadGIDs) of
+// its best can be filtered as tombstoned, and capping lets small shards
+// reach the convergence condition (the k-th best must exist to be
+// proven within ε/2). Because the per-shape distances are intrinsic to
+// (query, shape) and every shape lives on exactly one part, the merged
+// top-k of converged parts is the true global top-k. Deltas are scanned
+// exhaustively (they are small by construction) and always converge.
 //
 // With useShared set the shards additionally prune against each other
 // mid-flight through one atomic shared bound: every uncapped shard
@@ -312,29 +533,45 @@ func (se *ShardedEngine) Query(src string, binds map[string]Shape) ([]int, strin
 // strictly worse than the tightest published value. Capped shards must
 // not publish — their k'-th best does not bound the global k-th — but
 // may consume, since anything they discard is proven outside the merged
-// top-k (DESIGN.md §4.9).
-func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers int, useShared bool, ann AnnMode) ([]Match, Stats, error) {
-	live := se.liveShards()
-	lists := make([][]Match, len(live))
-	stats := make([]Stats, len(live))
+// top-k (DESIGN.md §4.9). Tombstones disable the bound entirely: a
+// shard's k-th best over a set that still contains dead shapes does not
+// bound the k-th best of the live base.
+func (se *ShardedEngine) exactFanout(ctx context.Context, v *shardView, q Shape, k, workers int, useShared bool, ann AnnMode) ([]Match, Stats, error) {
+	live := v.liveShards()
+	deltas := v.deltas()
+	dead := len(v.deadGIDs)
+	want := k + dead // overfetch so filtering cannot starve the merge
+	n := len(live) + len(deltas)
+	lists := make([][]Match, n)
+	stats := make([]Stats, n)
 	var shared *core.SharedBound
-	if useShared && len(live) > 1 {
+	if useShared && dead == 0 && len(live) > 1 {
 		shared = core.NewSharedBound()
 	}
-	err := fanout(ctx, len(live), workers, func(i int) error {
+	err := fanout(ctx, n, workers, func(i int) error {
+		if i >= len(live) {
+			d := deltas[i-len(live)]
+			dms, err := d.Match(ctx, q, want, true)
+			if err != nil {
+				return fmt.Errorf("geosir: delta: %w", err)
+			}
+			lists[i] = deltaToMatches(dms, false)
+			stats[i] = Stats{Converged: true, Candidates: d.NumShapes()}
+			return nil
+		}
 		si := live[i]
-		sh := se.shards[si]
-		kk := min(k, sh.NumShapes())
+		sh := v.shards[si]
+		kk := min(want, sh.NumShapes())
 		// Each shard ranks its own bootstrap candidates against its own
 		// ANN index — a per-shard visit-order change, so the per-shard
 		// (and thus merged) matches are byte-identical to AnnOff.
 		rank, annSt := sh.annRank(q, ann)
-		ms, st, err := sh.searchExactShared(q, kk, rank, shared, kk == k)
+		ms, st, err := sh.searchExactShared(q, kk, rank, shared, kk == k && dead == 0)
 		if err != nil {
 			return fmt.Errorf("geosir: shard %d: %w", si, err)
 		}
 		st.addANN(annSt)
-		lists[i] = se.toGlobal(si, ms)
+		lists[i] = v.dropDead(v.toGlobal(si, ms))
 		stats[i] = st
 		return nil
 	})
@@ -346,54 +583,77 @@ func (se *ShardedEngine) exactFanout(ctx context.Context, q Shape, k, workers in
 	// matches than the base holds can never converge there (the k-th
 	// best does not exist), so it must not count as converged here
 	// either, even though every capped shard proved its own list.
-	if k > se.NumShapes() {
+	if k > v.liveShapeCount() {
 		merged.Converged = false
 	}
 	return mergeTopK(lists, k), merged, nil
 }
 
-// approxFanout answers from the shards' geometric hash tables. All
-// shards share one deterministic curve family, so the query hashes to
-// the same characteristic quadruple everywhere and a single table's
-// bucket is exactly the union of the shard buckets. The widening
-// decision is therefore global: only if the radius-0 union over every
-// shard is empty do all shards widen to the neighbor curves — per-shard
-// widening would admit candidates a single engine never sees.
-func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers int, ann AnnMode) ([]Match, Stats, error) {
+// approxFanout answers from the shards' and deltas' geometric hash
+// tables. Every part shares one deterministic curve family, so the
+// query hashes to the same characteristic quadruple everywhere and a
+// single table's bucket is exactly the union of the per-part buckets.
+// The widening decision is therefore global: only if the radius-0 union
+// over every part (after tombstone filtering — a deleted shape is no
+// candidate) is empty do all parts widen to the neighbor curves —
+// per-part widening would admit candidates a single engine never sees.
+func (se *ShardedEngine) approxFanout(ctx context.Context, v *shardView, q Shape, k, workers int, ann AnnMode) ([]Match, Stats, error) {
 	pq, err := core.PrepareQuery(q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	live := se.liveShards()
-	if len(live) == 0 {
+	live := v.liveShards()
+	deltas := v.deltas()
+	n := len(live) + len(deltas)
+	if n == 0 {
 		return []Match{}, Stats{}, nil
 	}
-	quad := se.shards[live[0]].family.Characteristic(pq.Entry().Poly.Pts)
-	perShard := make([][]int, len(live))
+	var family *geohash.Family
+	if len(live) > 0 {
+		family = v.shards[live[0]].family
+	} else {
+		family = deltas[0].Family()
+	}
+	quad := family.Characteristic(pq.Entry().Poly.Pts)
+	cand := make([][]int, n)
 	total := 0
 	for i, si := range live {
-		perShard[i] = se.shards[si].table.Lookup(quad, 0)
-		total += len(perShard[i])
+		cand[i] = v.liveLocal(si, v.shards[si].table.Lookup(quad, 0))
+		total += len(cand[i])
+	}
+	for j, d := range deltas {
+		cand[len(live)+j] = d.Candidates(quad, 0)
+		total += len(cand[len(live)+j])
 	}
 	if total == 0 {
 		for i, si := range live {
-			perShard[i] = se.shards[si].table.Lookup(quad, 1)
+			cand[i] = v.liveLocal(si, v.shards[si].table.Lookup(quad, 1))
+		}
+		for j, d := range deltas {
+			cand[len(live)+j] = d.Candidates(quad, 1)
 		}
 	}
-	// Shards hold disjoint shape sets, so any shard's running k-th best
-	// bounds the merged k-th best from above; sharing it lets shards
-	// abandon each other's hopeless candidates mid-score. The skipped
-	// shapes are exactly those proven outside the merged top-k, so the
-	// merge below is unchanged (DESIGN.md §4.9).
+	// Parts hold disjoint live shape sets, so any part's running k-th
+	// best bounds the merged k-th best from above; sharing it lets parts
+	// abandon each other's hopeless candidates mid-score. Candidates are
+	// tombstone-filtered before scoring, so published bounds only ever
+	// reflect live shapes and stay admissible. The skipped shapes are
+	// exactly those proven outside the merged top-k, so the merge below
+	// is unchanged (DESIGN.md §4.9).
 	var shared *core.SharedBound
-	if len(live) > 1 {
+	if n > 1 {
 		shared = core.NewSharedBound()
 	}
-	lists := make([][]Match, len(live))
-	stats := make([]Stats, len(live))
-	err = fanout(ctx, len(live), workers, func(i int) error {
-		sh := se.shards[live[i]]
-		ids := perShard[i]
+	lists := make([][]Match, n)
+	stats := make([]Stats, n)
+	err = fanout(ctx, n, workers, func(i int) error {
+		if i >= len(live) {
+			d := deltas[i-len(live)]
+			lists[i] = scoreDeltaApprox(d, pq, cand[i], k, shared)
+			return nil
+		}
+		sh := v.shards[live[i]]
+		ids := cand[i]
 		if ann != AnnOff {
 			// Per-shard best-first ordering against the shard's own ANN
 			// index; the admissible cutoffs keep the surviving top-k
@@ -402,7 +662,7 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers i
 		}
 		ms := sh.scoreApprox(pq, ids, k, shared)
 		sortMatches(ms) // local ids; local order == global order within a shard
-		lists[i] = se.toGlobal(live[i], ms)
+		lists[i] = v.toGlobal(live[i], ms)
 		return nil
 	})
 	if err != nil {
@@ -419,26 +679,40 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, q Shape, k, workers i
 // its own ANN index for candidates (each shard applies the full
 // annMinShapes floor, so the union is at least as wide as a single
 // engine's candidate set) and scores them exactly under one shared
-// cross-shard bound; the per-shard top-k lists merge exactly. The result
-// can differ from a single engine's AnnApprox answer only by having
-// *more* candidates verified — recall is monotone in the shard count.
-func (se *ShardedEngine) annApproxFanout(ctx context.Context, q Shape, k, workers int) ([]Match, Stats, error) {
+// cross-shard bound; the per-part top-k lists merge exactly. Deltas have
+// no ANN index — they are scanned exhaustively, which is both cheap
+// (deltas are small) and strictly better recall than any probe. The
+// result can differ from a single engine's AnnApprox answer only by
+// having *more* candidates verified — recall is monotone in the shard
+// count.
+func (se *ShardedEngine) annApproxFanout(ctx context.Context, v *shardView, q Shape, k, workers int) ([]Match, Stats, error) {
 	pq, err := core.PrepareQuery(q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	live := se.liveShards()
-	if len(live) == 0 {
+	live := v.liveShards()
+	deltas := v.deltas()
+	n := len(live) + len(deltas)
+	if n == 0 {
 		return []Match{}, Stats{UsedANN: true}, nil
 	}
 	var shared *core.SharedBound
 	if len(live) > 1 {
 		shared = core.NewSharedBound()
 	}
-	lists := make([][]Match, len(live))
-	stats := make([]Stats, len(live))
-	err = fanout(ctx, len(live), workers, func(i int) error {
-		sh := se.shards[live[i]]
+	lists := make([][]Match, n)
+	stats := make([]Stats, n)
+	err = fanout(ctx, n, workers, func(i int) error {
+		if i >= len(live) {
+			d := deltas[i-len(live)]
+			dms, err := d.Match(ctx, q, k, false)
+			if err != nil {
+				return fmt.Errorf("geosir: delta: %w", err)
+			}
+			lists[i] = deltaToMatches(dms, true)
+			return nil
+		}
+		sh := v.shards[live[i]]
 		if sh.ann == nil {
 			lists[i] = []Match{}
 			return nil
@@ -448,10 +722,11 @@ func (se *ShardedEngine) annApproxFanout(ctx context.Context, q Shape, k, worker
 		if max := annCapShapes(annMinShapes(k)); len(shapes) > max {
 			shapes = shapes[:max]
 		}
+		shapes = v.liveLocal(live[i], shapes)
 		stats[i] = Stats{UsedANN: true, ANNProbes: cand.Probes, ANNCandidates: len(shapes)}
 		ms := sh.scoreApprox(pq, shapes, k, shared)
 		sortMatches(ms) // local ids; local order == global order within a shard
-		lists[i] = se.toGlobal(live[i], ms)
+		lists[i] = v.toGlobal(live[i], ms)
 		return nil
 	})
 	if err != nil {
@@ -464,25 +739,35 @@ func (se *ShardedEngine) annApproxFanout(ctx context.Context, q Shape, k, worker
 	return mergeTopK(lists, k), merged, nil
 }
 
-// sketchFanout evaluates every (sketch shape, shard) pair concurrently,
-// unions each shape's per-shard best-distance tables (shards hold
-// disjoint image sets, so union is just map merge), and feeds the
+// sketchFanout evaluates every (sketch shape, part) pair concurrently,
+// unions each shape's per-part best-distance tables (parts hold
+// disjoint live image sets, so union is just map merge; tombstoned
+// images are removed from their shard's table first), and feeds the
 // result through the same scoreSketchTables ranking as the single
 // engine.
-func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, workers int, ann AnnMode) ([]SketchMatch, Stats, error) {
+func (se *ShardedEngine) sketchFanout(ctx context.Context, v *shardView, sketch []Shape, k, workers int, ann AnnMode) ([]SketchMatch, Stats, error) {
 	if err := validateSketch(sketch); err != nil {
 		return nil, Stats{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}
-	live := se.liveShards()
-	nl := len(live)
-	parts := make([]map[int]float64, len(sketch)*nl)
+	live := v.liveShards()
+	deltas := v.deltas()
+	per := len(live) + len(deltas)
+	parts := make([]map[int]float64, len(sketch)*per)
 	partStats := make([]Stats, len(parts))
 	err := fanout(ctx, len(parts), workers, func(t int) error {
-		si, li := t/nl, t%nl
-		sh := se.shards[live[li]]
+		si, pi := t/per, t%per
+		if pi >= len(live) {
+			m, err := deltas[pi-len(live)].SketchTable(ctx, sketch[si])
+			if err != nil {
+				return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+			}
+			parts[t] = m
+			return nil
+		}
+		sh := v.shards[live[pi]]
 		var m map[int]float64
 		var err error
 		if ann == AnnApprox && sh.ann != nil {
@@ -492,6 +777,11 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, wo
 		}
 		if err != nil {
 			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
+		}
+		if dead := v.deadImagesIn(live[pi]); len(dead) > 0 {
+			for img := range dead {
+				delete(m, img)
+			}
 		}
 		parts[t] = m
 		return nil
@@ -506,8 +796,8 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, wo
 	perShape := make([]map[int]float64, len(sketch))
 	for si := range sketch {
 		best := make(map[int]float64)
-		for li := 0; li < nl; li++ {
-			for img, d := range parts[si*nl+li] {
+		for pi := 0; pi < per; pi++ {
+			for img, d := range parts[si*per+pi] {
 				best[img] = d
 			}
 		}
@@ -516,15 +806,58 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, sketch []Shape, k, wo
 	return scoreSketchTables(perShape, k), stats, nil
 }
 
-// toGlobal rewrites a shard's local shape ids to global ids in place.
-// Within one shard local id order is ascending global id order, so a
-// list sorted by (Distance, local id) stays sorted by (Distance,
-// global id).
-func (se *ShardedEngine) toGlobal(shard int, ms []Match) []Match {
-	for i := range ms {
-		ms[i].ShapeID = se.smap.Global(shard, ms[i].ShapeID)
+// deltaToMatches converts delta matches (already global ids) to the
+// public Match shape. Exact-path results carry the continuous measure;
+// hashing-path results (approx) do not, matching the frozen paths.
+func deltaToMatches(ms []ingest.Match, approx bool) []Match {
+	out := make([]Match, 0, len(ms))
+	for _, m := range ms {
+		om := Match{ShapeID: m.GID, ImageID: m.ImageID, Distance: m.Distance, Approximate: approx}
+		if !approx {
+			om.ContinuousDistance = m.Continuous
+		}
+		out = append(out, om)
 	}
-	return ms
+	return out
+}
+
+// scoreDeltaApprox ranks a delta's hash-table candidates against a
+// prepared query, mirroring Engine.scoreApprox exactly: every candidate
+// is scored under the tightest currently-proven cutoff — the local k-th
+// best and the cross-part shared bound — and the bounded evaluation
+// abandons a shape as soon as a partial sum proves it strictly worse.
+// The delta holds only live shapes disjoint from every other part, so
+// its published bounds are admissible for the same reason a shard's are
+// (DESIGN.md §4.9).
+func scoreDeltaApprox(d *ingest.Delta, pq *core.PreparedQuery, ids []int, k int, shared *core.SharedBound) []Match {
+	out := make([]Match, 0, len(ids))
+	kth := newDistTopK(k)
+	for _, id := range ids {
+		cut := kth.Kth()
+		if shared != nil {
+			if sv := shared.Load(); sv < cut {
+				cut = sv
+			}
+		}
+		m, ok := d.ScoreBounded(id, pq, cut)
+		if !ok {
+			continue
+		}
+		kth.Add(m.Distance)
+		if shared != nil {
+			if bound := kth.Kth(); !math.IsInf(bound, 1) {
+				shared.Tighten(bound)
+			}
+		}
+		out = append(out, Match{
+			ShapeID:     m.GID,
+			ImageID:     m.ImageID,
+			Distance:    m.Distance,
+			Approximate: true,
+		})
+	}
+	sortMatches(out)
+	return out
 }
 
 // mergeStats aggregates per-shard retrieval stats: work counters sum,

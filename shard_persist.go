@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -15,32 +16,67 @@ import (
 //	<dir>/MANIFEST.json      image routing manifest (written last)
 //	<dir>/shard-000.gsir2    shard 0, a standard GSIR2 snapshot
 //	<dir>/shard-001.gsir2    shard 1, ...
+//	<dir>/DELTA.wal          live-ingestion write-ahead log (optional)
 //
 // Each shard file is an ordinary atomic GSIR2 snapshot (PR 2's
 // temp+fsync+rename path), so shard damage is contained: a corrupted or
 // missing shard file degrades that shard — partial results with
 // Recovery accounting — and never poisons its siblings. The manifest
-// records the AddImage call order as (image id, shape count) pairs;
-// replaying it fixes every global shape id, so ids survive reload even
-// when recovery drops images, and a re-save of the loaded engine keeps
-// them stable.
+// records the AddImage call order as (image id, shape count, shard,
+// deleted) tuples; replaying it fixes every global shape id, so ids
+// survive reload even when recovery drops images, and a re-save of the
+// loaded engine keeps them stable.
+//
+// Version 2 (live ingestion, DESIGN.md §4.12) adds three things to the
+// v1 schema, all backward compatible (v1 manifests still load):
+//
+//   - per-image "shard" (physical home, -1 = reservation only) and
+//     "deleted" (frozen copy tombstoned after freeze) fields, so
+//     compaction can place an image anywhere — not just at its hash
+//     shard — and deletes need no shard rewrite;
+//   - "generation", bumped by every compaction, for observability;
+//   - "walSeq", the WAL fold watermark: every DELTA.wal operation with
+//     sequence ≤ walSeq is already reflected in the shard files and
+//     manifest and must be skipped on replay. The manifest rename is
+//     compaction's commit point; walSeq is what makes the replay
+//     idempotent if the process dies between that rename and the WAL
+//     rewrite that follows it.
 
 // manifestName is the routing manifest's file name inside a sharded
 // snapshot directory.
 const manifestName = "MANIFEST.json"
 
+// walName is the live-ingestion write-ahead log's file name.
+const walName = "DELTA.wal"
+
 // shardManifestVersion is the current manifest schema version.
-const shardManifestVersion = 1
+const shardManifestVersion = 2
 
 type shardManifest struct {
-	Version int                  `json:"version"`
-	Shards  int                  `json:"shards"`
-	Images  []shardManifestImage `json:"images"`
+	Version    int                  `json:"version"`
+	Shards     int                  `json:"shards"`
+	Generation uint64               `json:"generation,omitempty"`
+	WALSeq     uint64               `json:"walSeq,omitempty"`
+	Images     []shardManifestImage `json:"images"`
 }
 
 type shardManifestImage struct {
 	ID     int `json:"id"`
 	Shapes int `json:"shapes"`
+	// Shard is the image's physical home. nil (absent, v1) means the
+	// hash routing core.ShardFor applies; -1 means the image only
+	// reserves global ids and no shard holds it.
+	Shard   *int `json:"shard,omitempty"`
+	Deleted bool `json:"deleted,omitempty"`
+}
+
+// homeShard resolves the image's physical shard under the manifest's
+// routing rules (explicit v2 placement, hash fallback for v1).
+func (im *shardManifestImage) homeShard(man *shardManifest) int {
+	if im.Shard != nil {
+		return *im.Shard
+	}
+	return core.ShardFor(im.ID, man.Shards)
 }
 
 // shardFileName names shard i's snapshot file.
@@ -52,29 +88,49 @@ func shardFileName(i int) string { return fmt.Sprintf("shard-%03d.gsir2", i) }
 // snapshot or a mix of old manifest + new shard files, both of which
 // load (the manifest is authoritative for routing, and shard files are
 // self-checking).
+//
+// With live ingestion enabled, SaveDir persists the frozen part of the
+// current view: the shards (including every compacted one) and the
+// manifest's placement/tombstone log. Images still in the mutable delta
+// are deliberately not saved here — the write-ahead log is their
+// durable form, and the saved manifest's walSeq of 0 makes a subsequent
+// EnableIngest replay them (mutations are applied idempotently).
 func (se *ShardedEngine) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("geosir: creating snapshot dir: %w", err)
 	}
-	for i, sh := range se.shards {
+	v := se.snapshot()
+	for i, sh := range v.shards {
 		if err := sh.SaveFile(filepath.Join(dir, shardFileName(i))); err != nil {
 			return fmt.Errorf("geosir: saving shard %d: %w", i, err)
 		}
 	}
-	man := shardManifest{
-		Version: shardManifestVersion,
-		Shards:  len(se.shards),
-		Images:  make([]shardManifestImage, len(se.order)),
+	man := manifestFromView(v, 0)
+	return writeManifest(filepath.Join(dir, manifestName), man, nil)
+}
+
+// manifestFromView builds the v2 manifest describing a view's frozen
+// part. walSeq is the WAL fold watermark to record (0 = nothing
+// folded).
+func manifestFromView(v *shardView, walSeq uint64) *shardManifest {
+	man := &shardManifest{
+		Version:    shardManifestVersion,
+		Shards:     len(v.shards),
+		Generation: v.gen,
+		WALSeq:     walSeq,
+		Images:     make([]shardManifestImage, len(v.order)),
 	}
-	for i, im := range se.order {
-		man.Images[i] = shardManifestImage{ID: im.ID, Shapes: im.Shapes}
+	for i, im := range v.order {
+		s := im.Shard
+		man.Images[i] = shardManifestImage{ID: im.ID, Shapes: im.Shapes, Shard: &s, Deleted: im.Deleted}
 	}
-	return writeManifest(filepath.Join(dir, manifestName), &man)
+	return man
 }
 
 // writeManifest writes the manifest with the same atomic discipline as
-// SaveFile: temp file, fsync, rename, directory fsync.
-func writeManifest(path string, man *shardManifest) error {
+// SaveFile: temp file, fsync, rename, directory fsync. A non-nil wrap
+// intercepts the payload writes (fault injection in tests).
+func writeManifest(path string, man *shardManifest, wrap func(io.Writer) io.Writer) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+manifestName+".tmp-*")
 	if err != nil {
@@ -82,7 +138,11 @@ func writeManifest(path string, man *shardManifest) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName)
-	enc := json.NewEncoder(tmp)
+	var w io.Writer = tmp
+	if wrap != nil {
+		w = wrap(tmp)
+	}
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(man); err != nil {
 		tmp.Close()
@@ -125,7 +185,8 @@ type ShardRecovery struct {
 	Shards []ShardFileRecovery
 	// ImagesExpected is the image count the manifest declares.
 	ImagesExpected int
-	// ImagesLoaded is the number of images recovered across all shards.
+	// ImagesLoaded is the number of images recovered across all shards
+	// (tombstoned images whose bytes loaded count as recovered).
 	ImagesLoaded int
 }
 
@@ -148,7 +209,8 @@ func (r *ShardRecovery) Complete() bool {
 // section costs that image (per-file Recovery), and an unreadable or
 // manifest-inconsistent shard file costs that shard. Surviving shapes
 // keep the global ids the manifest assigns. The manifest itself must be
-// intact — without it no routing can be reconstructed.
+// intact — without it no routing can be reconstructed. A DELTA.wal in
+// the directory is not replayed here; EnableIngest owns it.
 func LoadShardedDir(dir string) (*ShardedEngine, *ShardRecovery, error) {
 	man, err := readManifest(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -197,23 +259,31 @@ func LoadShardedDir(dir string) (*ShardedEngine, *ShardRecovery, error) {
 
 	// Replay the manifest to rebuild the global id map: each image's ids
 	// go to its shard's next local slots when the shard actually holds
-	// it, and are reserved-but-unmapped otherwise.
+	// it, and are reserved-but-unmapped otherwise. An image whose shard
+	// did not yield it is demoted to a pure reservation (Shard -1) so
+	// the in-memory log never claims a physical copy that is gone.
 	smap := core.NewShardMap(man.Shards)
 	order := make([]shardImage, len(man.Images))
-	for i, im := range man.Images {
-		order[i] = shardImage{ID: im.ID, Shapes: im.Shapes}
-		s := core.ShardFor(im.ID, man.Shards)
+	for i := range man.Images {
+		im := &man.Images[i]
+		s := im.homeShard(man)
+		order[i] = shardImage{ID: im.ID, Shapes: im.Shapes, Shard: s, Deleted: im.Deleted}
+		if s < 0 {
+			smap.Skip(im.Shapes)
+			continue
+		}
 		if n, ok := loaded[s][im.ID]; ok && n == im.Shapes {
 			smap.AssignImage(s, im.Shapes)
 			rec.ImagesLoaded++
 		} else {
 			smap.Skip(im.Shapes)
+			order[i].Shard = -1
 		}
 	}
-	return newShardedFromParts(*opts, shards, smap, order), rec, nil
+	return newShardedFromParts(*opts, shards, smap, order, man.Generation), rec, nil
 }
 
-// readManifest reads and validates a routing manifest.
+// readManifest reads and validates a routing manifest (v1 or v2).
 func readManifest(path string) (*shardManifest, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -223,7 +293,7 @@ func readManifest(path string) (*shardManifest, error) {
 	if err := json.Unmarshal(buf, &man); err != nil {
 		return nil, fmt.Errorf("geosir: parsing manifest: %w", err)
 	}
-	if man.Version != shardManifestVersion {
+	if man.Version < 1 || man.Version > shardManifestVersion {
 		return nil, fmt.Errorf("geosir: unsupported manifest version %d", man.Version)
 	}
 	if man.Shards < 1 || man.Shards > maxCount {
@@ -236,24 +306,30 @@ func readManifest(path string) (*shardManifest, error) {
 		if im.Shapes < 0 || im.Shapes > maxCount {
 			return nil, fmt.Errorf("geosir: manifest image %d declares %d shapes", im.ID, im.Shapes)
 		}
+		if im.Shard != nil && (*im.Shard < -1 || *im.Shard >= man.Shards) {
+			return nil, fmt.Errorf("geosir: manifest image %d placed on shard %d of %d", im.ID, *im.Shard, man.Shards)
+		}
 	}
 	return &man, nil
 }
 
 // consistentGroups checks a loaded shard against the manifest: the
 // shard's images (in its insertion order, recovered from shape id
-// order) must be a subsequence of the manifest images routed to it,
-// with matching shape counts. On success it returns the shard's
-// image id → shape count table. A shard that disagrees — an image the
-// manifest never routed there, out-of-order images, or a shape-count
-// mismatch that would shift every later local id — cannot be given
-// stable global ids and is dropped wholesale by the caller.
+// order) must be a subsequence of the manifest images placed on it,
+// with matching shape counts. Tombstoned images count — their bytes are
+// still physically in the shard file (deletion is a manifest-side
+// fact). On success it returns the shard's image id → shape count
+// table. A shard that disagrees — an image the manifest never placed
+// there, out-of-order images, or a shape-count mismatch that would
+// shift every later local id — cannot be given stable global ids and is
+// dropped wholesale by the caller.
 func consistentGroups(eng *Engine, man *shardManifest, shard int) (map[int]int, bool) {
 	groups := engineImageGroups(eng)
 	counts := make(map[int]int, len(groups))
 	g := 0
-	for _, im := range man.Images {
-		if core.ShardFor(im.ID, man.Shards) != shard || im.Shapes == 0 {
+	for i := range man.Images {
+		im := &man.Images[i]
+		if im.homeShard(man) != shard || im.Shapes == 0 {
 			continue
 		}
 		if g < len(groups) && groups[g].ID == im.ID {
