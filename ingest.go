@@ -119,7 +119,18 @@ type ingestor struct {
 	// gidStart[i] is order[i]'s first global id (prefix sums).
 	frozenIdx map[int]int
 	gidStart  []int
+	// closed is set (under both compactMu and mu) by CloseIngest;
+	// mutations and compactions against a closed ingestor fail with
+	// ErrIngestOff instead of touching the detached WAL or manifest.
+	closed bool
 
+	// compactMu serializes compactions and is held for a compaction's
+	// whole duration; CloseIngest acquires it to wait out an in-flight
+	// fold before releasing the WAL, so a stale compaction can never
+	// rewrite the manifest a successor engine is serving. compacting
+	// mirrors it for lock-free reads (stats, the auto-compact trigger,
+	// DeleteImage's frozen-delete fence).
+	compactMu  sync.Mutex
 	compacting atomic.Bool
 
 	copts   core.Options // delta core options, mirroring the shards'
@@ -146,7 +157,7 @@ func (se *ShardedEngine) deltaCoreOptions() core.Options {
 }
 
 // IngestEnabled reports whether EnableIngest has completed.
-func (se *ShardedEngine) IngestEnabled() bool { return se.ing != nil }
+func (se *ShardedEngine) IngestEnabled() bool { return se.ing.Load() != nil }
 
 // EnableIngest attaches live ingestion to a frozen engine: it opens (or
 // creates) the snapshot directory's write-ahead log, replays any
@@ -157,7 +168,7 @@ func (se *ShardedEngine) EnableIngest(cfg IngestConfig) error {
 	if !se.frozen {
 		return ErrNotFrozen
 	}
-	if se.ing != nil {
+	if se.ing.Load() != nil {
 		return errors.New("geosir: live ingestion already enabled")
 	}
 	if cfg.Dir == "" {
@@ -199,7 +210,7 @@ func (se *ShardedEngine) EnableIngest(cfg IngestConfig) error {
 		wal.Close()
 		return err
 	}
-	se.ing = g
+	se.ing.Store(g)
 	nv := *v
 	nv.active = active
 	se.view.Store(&nv)
@@ -215,7 +226,7 @@ func (se *ShardedEngine) EnableIngest(cfg IngestConfig) error {
 			continue
 		}
 		if err := g.applyReplay(op); err != nil {
-			se.ing = nil
+			se.ing.Store(nil)
 			se.view.Store(v)
 			wal.Close()
 			return fmt.Errorf("geosir: ingest: replaying wal op %d: %w", op.Seq, err)
@@ -274,7 +285,7 @@ func (g *ingestor) applyReplay(op ingest.Op) error {
 // frozen shards, sealed delta, or active delta; re-using the id of a
 // deleted image is allowed and assigns fresh global shape ids.
 func (se *ShardedEngine) InsertImage(ctx context.Context, imageID int, shapes []Shape) error {
-	g := se.ing
+	g := se.ing.Load()
 	if g == nil {
 		return ErrIngestOff
 	}
@@ -282,6 +293,10 @@ func (se *ShardedEngine) InsertImage(ctx context.Context, imageID int, shapes []
 		return err
 	}
 	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrIngestOff
+	}
 	v := se.view.Load()
 	if g.frozenLive(v, imageID) || (v.sealed != nil && v.sealed.Has(imageID)) || v.active.Has(imageID) {
 		g.mu.Unlock()
@@ -313,7 +328,7 @@ func (se *ShardedEngine) InsertImage(ctx context.Context, imageID int, shapes []
 	g.mu.Unlock()
 	if trigger {
 		go func() {
-			if err := se.Compact(); err != nil && !errors.Is(err, ErrCompacting) {
+			if err := se.Compact(); err != nil && !errors.Is(err, ErrCompacting) && !errors.Is(err, ErrIngestOff) {
 				g.mu.Lock()
 				g.lastErr = err.Error()
 				g.mu.Unlock()
@@ -331,7 +346,7 @@ func (se *ShardedEngine) InsertImage(ctx context.Context, imageID int, shapes []
 // ErrCompacting while a compaction is folding, so the fold's input
 // stays exactly the write prefix it sealed.
 func (se *ShardedEngine) DeleteImage(ctx context.Context, imageID int) error {
-	g := se.ing
+	g := se.ing.Load()
 	if g == nil {
 		return ErrIngestOff
 	}
@@ -340,6 +355,9 @@ func (se *ShardedEngine) DeleteImage(ctx context.Context, imageID int) error {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.closed {
+		return ErrIngestOff
+	}
 	v := se.view.Load()
 	switch {
 	case v.active.Has(imageID):
@@ -425,18 +443,24 @@ func (g *ingestor) deleteFrozenLocked(imageID int) {
 // WAL replays it into a fresh delta) or the new one (the fold committed
 // — the folded prefix is skipped).
 func (se *ShardedEngine) Compact() error {
-	g := se.ing
+	g := se.ing.Load()
 	if g == nil {
 		return ErrIngestOff
 	}
-	if !g.compacting.CompareAndSwap(false, true) {
+	if !g.compactMu.TryLock() {
 		return ErrCompacting
 	}
+	defer g.compactMu.Unlock()
+	g.compacting.Store(true)
 	defer g.compacting.Store(false)
 
 	// Phase 1 (short critical section): seal the delta, install its
 	// successor, fix the fold watermark.
 	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrIngestOff
+	}
 	v := se.view.Load()
 	var sealed *ingest.Delta
 	if v.sealed != nil {
@@ -503,7 +527,13 @@ func (se *ShardedEngine) Compact() error {
 
 	// Phase 3 (short critical section): commit. The manifest rename is
 	// the point of no return; everything after it is idempotent cleanup.
+	// CloseIngest cannot have run — it blocks on compactMu, held since
+	// phase 1 — so the closed re-check only guards future call paths.
 	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrIngestOff
+	}
 	cur := se.view.Load()
 	extra := 0
 	if eng != nil {
@@ -581,7 +611,7 @@ func (g *ingestor) stage(name string) error {
 
 // IngestStats reports the live-ingestion state for /statz.
 func (se *ShardedEngine) IngestStats() IngestStats {
-	g := se.ing
+	g := se.ing.Load()
 	if g == nil {
 		return IngestStats{}
 	}
@@ -614,16 +644,25 @@ func (se *ShardedEngine) IngestStats() IngestStats {
 	return st
 }
 
-// CloseIngest releases the WAL file handle. Pending (unfolded) writes
-// stay durable in the log; a later EnableIngest replays them. Mutations
-// after CloseIngest fail.
+// CloseIngest quiesces ingestion and releases the WAL file handle: it
+// waits out any in-flight compaction (so a stale fold can never rewrite
+// the manifest or WAL after a successor engine opens them), then marks
+// the ingestor closed. Pending (unfolded) writes stay durable in the
+// log; a later EnableIngest replays them. Mutations after CloseIngest
+// fail with ErrIngestOff.
 func (se *ShardedEngine) CloseIngest() error {
-	g := se.ing
+	g := se.ing.Load()
 	if g == nil {
 		return nil
 	}
+	g.compactMu.Lock()
+	defer g.compactMu.Unlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	se.ing = nil
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	se.ing.CompareAndSwap(g, nil)
 	return g.wal.Close()
 }

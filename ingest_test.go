@@ -691,3 +691,72 @@ func TestIngestManifestStability(t *testing.T) {
 			re.NumImages(), se.NumImages(), re.NumShapes(), se.NumShapes())
 	}
 }
+
+// TestCloseIngestQuiescesCompaction pins the shutdown/fold interaction:
+// CloseIngest must wait out an in-flight compaction — otherwise the
+// stale fold's phase 3 would rewrite the MANIFEST.json and DELTA.wal a
+// successor engine (server reload-in-place) is already serving, losing
+// its acknowledged writes. Once CloseIngest returns, every mutation
+// path fails with ErrIngestOff, and the directory reloads to exactly
+// the committed state.
+func TestCloseIngestQuiescesCompaction(t *testing.T) {
+	images, _, _ := equivBase(t)
+	frozenImgs, liveImgs := splitBase(images)
+	dir := t.TempDir()
+	se := buildShardedFrom(t, frozenImgs, 2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	enableIngest(t, se, dir, IngestConfig{CrashStage: func(s string) error {
+		if s == "built" {
+			close(entered)
+			<-release
+		}
+		return nil
+	}})
+	ctx := context.Background()
+	for _, im := range liveImgs {
+		if err := se.InsertImage(ctx, im.ID, im.Shapes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantImages, wantShapes := se.NumImages(), se.NumShapes()
+
+	compactDone := make(chan error, 1)
+	go func() { compactDone <- se.Compact() }()
+	<-entered
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- se.CloseIngest() }()
+	select {
+	case err := <-closeDone:
+		t.Fatalf("CloseIngest returned (%v) while the fold was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-compactDone; err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("CloseIngest: %v", err)
+	}
+	if err := se.InsertImage(ctx, 424242, liveImgs[0].Shapes); !errors.Is(err, ErrIngestOff) {
+		t.Fatalf("insert after close: %v", err)
+	}
+	if err := se.DeleteImage(ctx, liveImgs[0].ID); !errors.Is(err, ErrIngestOff) {
+		t.Fatalf("delete after close: %v", err)
+	}
+	if err := se.Compact(); !errors.Is(err, ErrIngestOff) {
+		t.Fatalf("compact after close: %v", err)
+	}
+
+	re, rec, err := LoadShardedDir(dir)
+	if err != nil {
+		t.Fatalf("recovery load: %v", err)
+	}
+	if !rec.Complete() {
+		t.Fatalf("degraded reload: %+v", rec)
+	}
+	if re.NumImages() != wantImages || re.NumShapes() != wantShapes {
+		t.Fatalf("reload size mismatch: %d/%d images, %d/%d shapes",
+			re.NumImages(), wantImages, re.NumShapes(), wantShapes)
+	}
+}

@@ -121,10 +121,7 @@ func (d *Delta) Insert(image int, shapes []geom.Poly) error {
 	for _, p := range shapes {
 		id, err := d.dyn.Insert(image, p)
 		if err != nil {
-			for _, prev := range rec.DynIDs {
-				_ = d.dyn.Delete(prev)
-				d.deletedDyn[prev] = true
-			}
+			d.rollbackShapesLocked(rec.DynIDs)
 			return err
 		}
 		rec.DynIDs = append(rec.DynIDs, id)
@@ -140,6 +137,7 @@ func (d *Delta) Insert(image int, shapes []geom.Poly) error {
 		if ce, err := core.NormalizeCanonical(p); err == nil {
 			quad := d.family.Characteristic(ce.Poly.Pts)
 			if err := d.table.Insert(id, quad); err != nil {
+				d.rollbackShapesLocked(rec.DynIDs)
 				return fmt.Errorf("ingest: hashing shape %d: %w", id, err)
 			}
 		}
@@ -155,6 +153,21 @@ func (d *Delta) Insert(image int, shapes []geom.Poly) error {
 		}
 	}
 	return nil
+}
+
+// rollbackShapesLocked undoes a failed Insert's already-indexed prefix:
+// the dyn shapes are deleted and their id mappings cleared, so the
+// global ids they briefly held (nextGID never advanced) are free for the
+// next insert with no live phantom claiming them. Any hash-table entries
+// stay behind tombstoned — deletedDyn filters them out of every lookup,
+// exactly as after Delete. Caller holds mu.
+func (d *Delta) rollbackShapesLocked(dynIDs []int) {
+	for _, id := range dynIDs {
+		_ = d.dyn.Delete(id)
+		d.deletedDyn[id] = true
+		d.gids[id] = -1
+		d.imageOf[id] = -1
+	}
 }
 
 // RollbackLast removes the delta's most recent Insert entirely,

@@ -194,6 +194,14 @@ func (w *WAL) Append(op *Op) error {
 	}
 	if !w.opts.NoSync {
 		if err := w.f.Sync(); err != nil {
+			// Same rollback as a failed write: the record is fully in the
+			// file but was never acknowledged, so it must not survive to
+			// replay — and w.size must stay the true intact boundary, or a
+			// later append's write-error truncation would chop into
+			// acknowledged records.
+			w.seq--
+			_ = w.f.Truncate(w.size)
+			_, _ = w.f.Seek(w.size, io.SeekStart)
 			return fmt.Errorf("ingest: syncing wal: %w", err)
 		}
 	}

@@ -63,7 +63,9 @@ type ShardedEngine struct {
 	// invalidate exactly when answers may change.
 	mutEpoch atomic.Uint64
 	// ing is the live-ingestion coordinator, non-nil after EnableIngest.
-	ing *ingestor
+	// Atomic because CloseIngest (snapshot swap/reload) clears it
+	// concurrently with mutations and stats reads.
+	ing atomic.Pointer[ingestor]
 }
 
 // shardImage is one image in the manifest log: the image id, how many
