@@ -3,7 +3,7 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke bench-cache bench-cache-smoke bench-ingest serve-smoke ingest-smoke fuzz-smoke deprecations cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke bench-cache bench-cache-smoke bench-ingest bench-throughput throughput-smoke serve-smoke ingest-smoke fuzz-smoke deprecations cover clean
 
 # The gate every PR must pass. The race run includes the persistence
 # fault-injection suite; fuzz-smoke gives each fuzz target a short
@@ -13,24 +13,33 @@ QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|Be
 # geosird started with -ingest; bench-ann-smoke runs the ANN
 # recall/speedup benchmarks once on a small base; bench-cache-smoke
 # drives a short cached-vs-uncached serving comparison end to end;
-# deprecations keeps internal code off the deprecated Find* wrappers.
-# Perf-sensitive changes should additionally run `make bench-diff` to
-# compare a fresh bench run against the committed BENCH_query.json
-# baseline (the diff also gates on any recall metrics present in both
-# files).
-ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke ingest-smoke bench-cache-smoke
+# throughput-smoke runs a short concurrency sweep through the scheduler;
+# deprecations keeps internal code off the deprecated Find* wrappers and
+# the deprecated SearchRequest.Workers knob. Perf-sensitive changes
+# should additionally run `make bench-diff` to compare a fresh bench run
+# against the committed BENCH_query.json baseline (the diff also gates
+# on any recall metrics present in both files).
+ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke ingest-smoke bench-cache-smoke throughput-smoke
 
 vet:
 	$(GO) vet ./...
 
 # The deprecated Find* wrappers exist for external callers migrating to
 # Search; nothing inside this repo (outside tests, which pin wrapper
-# equivalence on purpose) may call them.
+# equivalence on purpose) may call them. Likewise the deprecated
+# SearchRequest.Workers alias (use Exec/MaxWorkers): the word-boundary
+# match leaves MaxWorkers and the server's LegacyWorkers wire shim
+# alone.
 deprecations:
 	@hits=$$(grep -rnE '\.Find(Similar|Approximate|BySketch)[A-Za-z]*\(' \
 		--include='*.go' --exclude='*_test.go' cmd internal || true); \
 	if [ -n "$$hits" ]; then \
 		echo "deprecated Find* call sites (use Search):"; echo "$$hits"; exit 1; \
+	fi; \
+	whits=$$(grep -rnE '\bWorkers\b' \
+		--include='*.go' --exclude='*_test.go' cmd internal || true); \
+	if [ -n "$$whits" ]; then \
+		echo "deprecated Workers field uses (use Exec/MaxWorkers):"; echo "$$whits"; exit 1; \
 	fi; echo "deprecations: clean"
 
 build:
@@ -239,6 +248,69 @@ bench-cache:
 bench-cache-smoke:
 	$(MAKE) bench-cache BENCH_CACHE_SECS=2s BENCH_CACHE_DEMO=20 \
 		BENCH_CACHE_OUT=/tmp/BENCH_cache.smoke.json
+
+# Concurrency-sweep throughput benchmark over the execution scheduler:
+# one sharded demo snapshot, one geosird sized so admission control
+# never sheds at the deepest sweep level, and two loadgen sweeps over
+# the same search-only workload — one per execution policy (auto, which
+# adapts per-query fan-out to the in-flight load, and fanout, which
+# forces full width per query). The two summaries merge into
+# BENCH_throughput.json with one row per (exec, concurrency) pair.
+# cmd/benchdiff auto-detects the report shape, matches rows by
+# (exec, concurrency), and fails on a QPS regression of more than 10%:
+#
+#	go run ./cmd/benchdiff BENCH_throughput.json /tmp/BENCH_throughput.new.json
+# The demo base is sized so one exact query is tens of milliseconds of
+# real kernel work — small enough that concurrency 64 stays inside the
+# request deadline, large enough that the fan-out-vs-sequential decision
+# moves measurable work (on a tiny base the policies tie and the bench
+# proves nothing).
+BENCH_TPUT_SECS   ?= 20s
+BENCH_TPUT_LEVELS ?= 1,8,64
+BENCH_TPUT_DEMO   ?= 200
+BENCH_TPUT_SHARDS ?= 8
+BENCH_TPUT_OUT    ?= BENCH_throughput.json
+TPUT_DIR          ?= /tmp/geosir-tput
+bench-throughput:
+	@mkdir -p $(TPUT_DIR)
+	$(GO) build -o $(TPUT_DIR)/geosir ./cmd/geosir
+	$(GO) build -o $(TPUT_DIR)/geosird ./cmd/geosird
+	$(GO) build -o $(TPUT_DIR)/loadgen ./cmd/geosir-loadgen
+	$(GO) build -o $(TPUT_DIR)/benchjson ./cmd/benchjson
+	$(TPUT_DIR)/geosir -demo $(BENCH_TPUT_DEMO) -shards $(BENCH_TPUT_SHARDS) \
+		-snapshot-out $(TPUT_DIR)/base-sharded
+	@$(TPUT_DIR)/geosird -snapshot $(TPUT_DIR)/base-sharded -addr $(SERVE_ADDR) \
+		-max-inflight 128 -max-queue 512 -queue-wait 5s -timeout 25s & \
+	pid=$$!; \
+	$(TPUT_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s \
+		-duration 5s -concurrency 8 -mix search=1 -label warmup \
+		>/dev/null; rc=$$?; \
+	if [ $$rc -eq 0 ]; then \
+		$(TPUT_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s \
+			-duration $(BENCH_TPUT_SECS) -concurrency $(BENCH_TPUT_LEVELS) \
+			-exec auto -mix search=1 -label tput-auto \
+			-out $(TPUT_DIR)/auto.json; rc=$$?; \
+	fi; \
+	if [ $$rc -eq 0 ]; then \
+		$(TPUT_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s \
+			-duration $(BENCH_TPUT_SECS) -concurrency $(BENCH_TPUT_LEVELS) \
+			-exec fanout -mix search=1 -label tput-fanout \
+			-out $(TPUT_DIR)/fanout.json; rc=$$?; \
+	fi; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -eq 0 ]; then \
+		$(TPUT_DIR)/benchjson -throughput \
+			-runs $(TPUT_DIR)/auto.json,$(TPUT_DIR)/fanout.json \
+			-out $(BENCH_TPUT_OUT); rc=$$?; \
+	fi; \
+	rm -rf $(TPUT_DIR); exit $$rc
+
+# CI variant: a short sweep on a small base, written to a scratch file —
+# exercises the sweep loop, the exec wire knob, and the benchjson merge
+# end to end without committing noisy short-run numbers.
+throughput-smoke:
+	$(MAKE) bench-throughput BENCH_TPUT_SECS=2s BENCH_TPUT_DEMO=20 \
+		BENCH_TPUT_LEVELS=1,4 BENCH_TPUT_OUT=/tmp/BENCH_throughput.smoke.json
 
 # Freeze-scaling benchmark across shard counts, written to
 # BENCH_shard.json. Freeze parallelizes one goroutine per shard, so the

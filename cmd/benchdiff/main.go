@@ -26,6 +26,13 @@
 // -threshold percent fails; the write-path p95 latency is printed for
 // tracking but not gated (it rides on machine load far more than the
 // throughput does).
+//
+// Throughput reports (benchjson -throughput output, "kind":
+// "throughput") are likewise auto-detected: rows are matched by
+// (exec, concurrency) and any matched row regressing QPS by more than
+// -threshold percent fails. Latency percentiles are printed for
+// tracking but not gated. Rows present in only one file are listed but
+// never fail (sweep levels come and go with the Makefile target).
 package main
 
 import (
@@ -99,6 +106,20 @@ func run(oldPath, newPath string, threshold, recallThreshold, hitRateThreshold f
 	}
 	if oldIngest != nil {
 		return diffIngest(oldIngest, newIngest, threshold)
+	}
+	oldTput, err := loadThroughput(oldPath)
+	if err != nil {
+		return err
+	}
+	newTput, err := loadThroughput(newPath)
+	if err != nil {
+		return err
+	}
+	if (oldTput != nil) != (newTput != nil) {
+		return fmt.Errorf("cannot compare a throughput report with a bench report (%s vs %s)", oldPath, newPath)
+	}
+	if oldTput != nil {
+		return diffThroughput(oldTput, newTput, threshold)
 	}
 
 	oldRep, err := load(oldPath)
@@ -263,6 +284,79 @@ func diffIngest(oldRep, newRep *ingestReport, threshold float64) error {
 	fmt.Printf("%-24s  %6d/%-5d → %6d/%-5d\n", "inserts/deletes", oldRep.Inserts, oldRep.Deletes, newRep.Inserts, newRep.Deletes)
 	if -qpsDelta > threshold {
 		return fmt.Errorf("mixed QPS regressed %.1f%% (limit %.1f%%)", -qpsDelta, threshold)
+	}
+	return nil
+}
+
+// throughputReport mirrors cmd/benchjson's ThroughputReport (only the
+// compared fields).
+type throughputReport struct {
+	Kind string `json:"kind"`
+	Rows []struct {
+		Exec        string  `json:"exec"`
+		Concurrency int     `json:"concurrency"`
+		QPS         float64 `json:"qps"`
+		P50Ms       float64 `json:"p50_ms"`
+		P99Ms       float64 `json:"p99_ms"`
+	} `json:"rows"`
+}
+
+// loadThroughput returns the file's throughput report, or nil when the
+// file is not one. Read errors are real.
+func loadThroughput(path string) (*throughputReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep throughputReport
+	if err := json.Unmarshal(data, &rep); err != nil || rep.Kind != "throughput" {
+		return nil, nil
+	}
+	return &rep, nil
+}
+
+// diffThroughput gates a throughput report pair on per-row QPS
+// (percent-relative), matching rows by (exec, concurrency). Latency is
+// printed but not gated: the QPS rows already express the capacity
+// contract, and tail latency on a saturated sweep level is dominated by
+// queueing noise.
+func diffThroughput(oldRep, newRep *throughputReport, threshold float64) error {
+	type key struct {
+		exec string
+		conc int
+	}
+	oldBy := make(map[key]int, len(oldRep.Rows))
+	for i, row := range oldRep.Rows {
+		oldBy[key{row.Exec, row.Concurrency}] = i
+	}
+	seen := make(map[key]bool, len(newRep.Rows))
+	regressed := 0
+	for _, nr := range newRep.Rows {
+		k := key{nr.Exec, nr.Concurrency}
+		seen[k] = true
+		label := fmt.Sprintf("%s c=%d", nr.Exec, nr.Concurrency)
+		oi, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("%-24s  (new row)     %12.1f qps  p99 %.2f ms\n", label, nr.QPS, nr.P99Ms)
+			continue
+		}
+		or := oldRep.Rows[oi]
+		d := pctDelta(or.QPS, nr.QPS)
+		flagStr := ""
+		if -d > threshold {
+			flagStr = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-24s  %12.1f → %12.1f qps  %+7.2f%%  (p99 %.2f → %.2f ms)%s\n",
+			label, or.QPS, nr.QPS, d, or.P99Ms, nr.P99Ms, flagStr)
+	}
+	for _, or := range oldRep.Rows {
+		if k := (key{or.Exec, or.Concurrency}); !seen[k] {
+			fmt.Printf("%s c=%d  (gone: only in the old report)\n", or.Exec, or.Concurrency)
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d throughput row(s) regressed QPS by more than %.1f%%", regressed, threshold)
 	}
 	return nil
 }

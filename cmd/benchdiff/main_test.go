@@ -120,6 +120,73 @@ func TestRunCacheGate(t *testing.T) {
 	}
 }
 
+func writeThroughputReport(t *testing.T, dir, name string, rep throughputReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func tputReport(cells ...[3]float64) throughputReport {
+	// Each cell is {execIdx (0=auto, 1=fanout), concurrency, qps}.
+	rep := throughputReport{Kind: "throughput"}
+	execs := []string{"auto", "fanout"}
+	for _, c := range cells {
+		rep.Rows = append(rep.Rows, struct {
+			Exec        string  `json:"exec"`
+			Concurrency int     `json:"concurrency"`
+			QPS         float64 `json:"qps"`
+			P50Ms       float64 `json:"p50_ms"`
+			P99Ms       float64 `json:"p99_ms"`
+		}{Exec: execs[int(c[0])], Concurrency: int(c[1]), QPS: c[2], P50Ms: 1, P99Ms: 5})
+	}
+	return rep
+}
+
+func TestRunThroughputGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeThroughputReport(t, dir, "old.json", tputReport(
+		[3]float64{0, 1, 900}, [3]float64{0, 8, 2000}, [3]float64{0, 64, 2100},
+		[3]float64{1, 64, 1500},
+	))
+	okP := writeThroughputReport(t, dir, "ok.json", tputReport(
+		[3]float64{0, 1, 870}, [3]float64{0, 8, 1950}, [3]float64{0, 64, 2050},
+		[3]float64{1, 64, 1480},
+	))
+	badP := writeThroughputReport(t, dir, "bad.json", tputReport(
+		[3]float64{0, 1, 880}, [3]float64{0, 8, 1960}, [3]float64{0, 64, 1500},
+		[3]float64{1, 64, 1480},
+	))
+	// Rows matched by (exec, concurrency): the fanout c=64 row must not
+	// absorb the auto c=64 regression, and extra/missing rows never fail.
+	sparseP := writeThroughputReport(t, dir, "sparse.json", tputReport(
+		[3]float64{0, 8, 1990}, [3]float64{0, 64, 2080}, [3]float64{0, 128, 1700},
+	))
+	if err := run(oldP, okP, 10, 0.02, 0.02); err != nil {
+		t.Fatalf("small QPS wiggle should pass: %v", err)
+	}
+	if err := run(oldP, badP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("29% QPS drop at auto c=64 should fail the 10% gate")
+	} else if !strings.Contains(err.Error(), "QPS") {
+		t.Fatalf("error should name QPS: %v", err)
+	}
+	if err := run(oldP, sparseP, 10, 0.02, 0.02); err != nil {
+		t.Fatalf("added/removed sweep levels should not fail the gate: %v", err)
+	}
+	benchP := writeReport(t, dir, "bench.json", report{Benchmarks: []benchmark{
+		{Name: "BenchmarkQ", NsPerOp: 1000},
+	}})
+	if err := run(oldP, benchP, 10, 0.02, 0.02); err == nil {
+		t.Fatal("comparing a throughput report with a bench report should fail")
+	}
+}
+
 func writeIngestReport(t *testing.T, dir, name string, rep ingestReport) string {
 	t.Helper()
 	data, err := json.Marshal(rep)

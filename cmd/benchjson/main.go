@@ -19,6 +19,15 @@
 //
 //	go run ./cmd/benchjson -ingest -run /tmp/mixed.json \
 //	    -out BENCH_ingest.json
+//
+// With -throughput it merges one or more geosir-loadgen concurrency-
+// sweep summaries (comma-separated paths, typically one per execution
+// policy) into a throughput benchmark report with one row per
+// (exec, concurrency) pair (see the Makefile's bench-throughput
+// target):
+//
+//	go run ./cmd/benchjson -throughput \
+//	    -runs /tmp/auto.json,/tmp/fanout.json -out BENCH_throughput.json
 package main
 
 import (
@@ -89,17 +98,56 @@ type IngestReport struct {
 	Run json.RawMessage `json:"run"`
 }
 
+// ThroughputReport merges one loadgen concurrency sweep per execution
+// policy into a gateable document. Kind is always "throughput" so
+// cmd/benchdiff can tell this shape apart from the others.
+type ThroughputReport struct {
+	Kind string `json:"kind"`
+	// Rows holds one entry per (exec, concurrency) pair, in run order.
+	// QPS is the headline number benchdiff gates per row.
+	Rows []ThroughputRow `json:"rows"`
+	// Runs embeds the full loadgen summaries verbatim so the BENCH file
+	// stands alone.
+	Runs []json.RawMessage `json:"runs"`
+}
+
+// ThroughputRow is one (execution policy, concurrency level) cell of the
+// sweep.
+type ThroughputRow struct {
+	Exec        string  `json:"exec"`
+	Concurrency int     `json:"concurrency"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+}
+
 // loadgenRun is the slice of geosir-loadgen's JSON summary the merges
 // need.
 type loadgenRun struct {
 	AchievedQPS  float64 `json:"achieved_qps"`
+	Concurrency  int     `json:"concurrency"`
 	Requests     int     `json:"requests"`
 	Errors       int     `json:"errors"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	WriteRatio   float64 `json:"write_ratio"`
 	Inserts      int     `json:"inserts"`
 	Deletes      int     `json:"deletes"`
-	ByKind       map[string]struct {
+	Exec         string  `json:"exec"`
+	Overall      struct {
+		P50Ms float64 `json:"p50_ms"`
+		P99Ms float64 `json:"p99_ms"`
+	} `json:"overall"`
+	Sweep []struct {
+		Concurrency int     `json:"concurrency"`
+		Requests    int     `json:"requests"`
+		Errors      int     `json:"errors"`
+		AchievedQPS float64 `json:"achieved_qps"`
+		P50Ms       float64 `json:"p50_ms"`
+		P99Ms       float64 `json:"p99_ms"`
+	} `json:"sweep"`
+	ByKind map[string]struct {
 		Requests int     `json:"requests"`
 		Errors   int     `json:"errors"`
 		P50Ms    float64 `json:"p50_ms"`
@@ -114,17 +162,27 @@ func main() {
 	cached := flag.String("cached", "", "cache-on loadgen JSON summary (with -cache)")
 	ingestMode := flag.Bool("ingest", false, "wrap one loadgen -write-ratio summary into an ingest report instead of parsing bench output")
 	runPath := flag.String("run", "", "mixed read/write loadgen JSON summary (with -ingest)")
+	throughputMode := flag.Bool("throughput", false, "merge loadgen concurrency-sweep summaries into a throughput report instead of parsing bench output")
+	runPaths := flag.String("runs", "", "comma-separated loadgen sweep JSON summaries (with -throughput)")
 	flag.Parse()
 
+	modes := 0
+	for _, on := range []bool{*cacheMode, *ingestMode, *throughputMode} {
+		if on {
+			modes++
+		}
+	}
 	var enc []byte
 	var err error
 	switch {
-	case *cacheMode && *ingestMode:
-		err = fmt.Errorf("-cache and -ingest are mutually exclusive")
+	case modes > 1:
+		err = fmt.Errorf("-cache, -ingest and -throughput are mutually exclusive")
 	case *cacheMode:
 		enc, err = mergeCache(*baseline, *cached)
 	case *ingestMode:
 		enc, err = wrapIngest(*runPath)
+	case *throughputMode:
+		enc, err = mergeThroughput(*runPaths)
 	default:
 		enc, err = parseBench()
 	}
@@ -226,6 +284,70 @@ func wrapIngest(runPath string) ([]byte, error) {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: ingest %.1f qps at write ratio %.2f (%d inserts, %d deletes), write p95 %.2f ms\n",
 		rep.QPS, rep.WriteRatio, rep.Inserts, rep.Deletes, rep.WriteP95Ms)
+	return append(enc, '\n'), nil
+}
+
+// mergeThroughput builds the ThroughputReport from one or more loadgen
+// sweep summaries. A run without sweep rows still contributes one row
+// (its single concurrency level); a run whose levels all errored out is
+// an error rather than a silent gap in the table.
+func mergeThroughput(runPaths string) ([]byte, error) {
+	if runPaths == "" {
+		return nil, fmt.Errorf("-throughput needs -runs FILE[,FILE...]")
+	}
+	rep := ThroughputReport{Kind: "throughput"}
+	for _, path := range strings.Split(runPaths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		raw, run, err := loadRun(path)
+		if err != nil {
+			return nil, err
+		}
+		exec := run.Exec
+		if exec == "" {
+			exec = "default"
+		}
+		if len(run.Sweep) == 0 {
+			rep.Rows = append(rep.Rows, ThroughputRow{
+				Exec:        exec,
+				Concurrency: run.Concurrency,
+				QPS:         run.AchievedQPS,
+				P50Ms:       run.Overall.P50Ms,
+				P99Ms:       run.Overall.P99Ms,
+				Requests:    run.Requests,
+				Errors:      run.Errors,
+			})
+		}
+		for _, lv := range run.Sweep {
+			if lv.Errors >= lv.Requests {
+				return nil, fmt.Errorf("%s: every request errored at concurrency %d (%d/%d)",
+					path, lv.Concurrency, lv.Errors, lv.Requests)
+			}
+			rep.Rows = append(rep.Rows, ThroughputRow{
+				Exec:        exec,
+				Concurrency: lv.Concurrency,
+				QPS:         lv.AchievedQPS,
+				P50Ms:       lv.P50Ms,
+				P99Ms:       lv.P99Ms,
+				Requests:    lv.Requests,
+				Errors:      lv.Errors,
+			})
+		}
+		rep.Runs = append(rep.Runs, raw)
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("-runs %q selected no summaries", runPaths)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rep.Rows {
+		fmt.Fprintf(os.Stderr, "benchjson: throughput %-10s c=%-4d %8.1f qps  p50 %.2f ms  p99 %.2f ms\n",
+			row.Exec, row.Concurrency, row.QPS, row.P50Ms, row.P99Ms)
+	}
 	return append(enc, '\n'), nil
 }
 

@@ -6,6 +6,8 @@
 // across PRs.
 //
 //	geosir-loadgen -addr http://127.0.0.1:8080 -duration 10s -concurrency 16 -out BENCH_serve.json
+//	geosir-loadgen -addr http://127.0.0.1:8080 -concurrency 1,8,64   # sweep levels, one row each
+//	geosir-loadgen -addr http://127.0.0.1:8080 -exec fanout -mix search=1   # pin the exec policy
 //	geosir-loadgen -addr http://127.0.0.1:8080 -dist zipf -zipf-s 1.1   # skewed key popularity
 //	geosir-loadgen -addr http://127.0.0.1:8080 -smoke   # readiness probe + one query of each kind
 //	geosir-loadgen -addr http://127.0.0.1:8080 -smoke -expect-shards 4   # also assert shard health
@@ -41,10 +43,11 @@ type kind struct {
 func main() {
 	var (
 		addr        = flag.String("addr", "http://127.0.0.1:8080", "geosird base URL")
-		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
-		concurrency = flag.Int("concurrency", 8, "closed-loop worker count")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load (per level when sweeping)")
+		concurrency = flag.String("concurrency", "8", "closed-loop worker count, or a comma list (e.g. 1,8,64) to sweep levels")
 		qps         = flag.Float64("qps", 0, "target aggregate QPS (0 = unthrottled)")
 		k           = flag.Int("k", 3, "matches per query")
+		execPolicy  = flag.String("exec", "", "execution policy set on /v1/search bodies: auto, fanout or sequential (empty = omit, server default applies)")
 		mixSpec     = flag.String("mix", "similar=6,approximate=2,sketch=1,topological=1,search=2", "workload mix weights")
 		dist        = flag.String("dist", "uniform", "request-variant key distribution: uniform or zipf")
 		zipfS       = flag.Float64("zipf-s", 1.1, "Zipf exponent for -dist zipf (must be > 1)")
@@ -58,15 +61,38 @@ func main() {
 		ingestSmoke = flag.Bool("ingest-smoke", false, "probe live ingestion: insert → query → compact → query → delete; exit 0/1")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *concurrency, *qps, *k, *mixSpec, *dist, *zipfS, *seed, *label, *out, *wait, *smoke, *expShards, *writeRatio, *ingestSmoke); err != nil {
+	if err := run(*addr, *duration, *concurrency, *qps, *k, *execPolicy, *mixSpec, *dist, *zipfS, *seed, *label, *out, *wait, *smoke, *expShards, *writeRatio, *ingestSmoke); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir-loadgen:", err)
 		os.Exit(1)
 	}
 }
 
+// parseLevels parses the -concurrency spec: a single worker count or a
+// comma list of sweep levels, each ≥ 1.
+func parseLevels(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -concurrency level %q (want a positive integer)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-concurrency %q selects no levels", spec)
+	}
+	return out, nil
+}
+
 // buildKinds pre-marshals request-body variants for every query kind so
-// the measurement loop does no encoding work.
-func buildKinds(seed int64, k int) []kind {
+// the measurement loop does no encoding work. A non-empty exec policy is
+// stamped into the /v1/search bodies (the only endpoint exposing the
+// knob); the other kinds always run under the server's default.
+func buildKinds(seed int64, k int, exec string) []kind {
 	rng := rand.New(rand.NewSource(seed))
 	const variants = 64
 	shape := func() server.WireShape {
@@ -101,7 +127,11 @@ func buildKinds(seed int64, k int) []kind {
 		ks[1].bodies = append(ks[1].bodies, mustJSON(map[string]any{"shape": shape(), "k": k}))
 		ks[2].bodies = append(ks[2].bodies, mustJSON(map[string]any{"shapes": []server.WireShape{shape(), shape()}, "k": k}))
 		ks[3].bodies = append(ks[3].bodies, mustJSON(map[string]any{"query": "similar(q)", "binds": map[string]server.WireShape{"q": shape()}}))
-		ks[4].bodies = append(ks[4].bodies, mustJSON(map[string]any{"shape": shape(), "k": k, "mode": "auto"}))
+		search := map[string]any{"shape": shape(), "k": k, "mode": "auto"}
+		if exec != "" {
+			search["exec"] = exec
+		}
+		ks[4].bodies = append(ks[4].bodies, mustJSON(search))
 	}
 	return ks
 }
@@ -471,19 +501,38 @@ type KindSummary struct {
 	MaxMs    float64 `json:"max_ms"`
 }
 
+// SweepLevel is one concurrency level of a sweep: its worker count,
+// how it ran, and the latency quantiles at that level.
+type SweepLevel struct {
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	MeanMs      float64 `json:"mean_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
 // BenchOut is the JSON document written to -out.
 type BenchOut struct {
-	Label       string  `json:"label,omitempty"`
-	Target      string  `json:"target"`
-	DurationS   float64 `json:"duration_s"`
+	Label     string  `json:"label,omitempty"`
+	Target    string  `json:"target"`
+	DurationS float64 `json:"duration_s"`
+	// Concurrency is the single swept worker count; 0 when Sweep holds
+	// several levels.
 	Concurrency int     `json:"concurrency"`
 	TargetQPS   float64 `json:"target_qps"`
 	Mix         string  `json:"mix"`
 	Dist        string  `json:"dist"`
 	ZipfS       float64 `json:"zipf_s,omitempty"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	AchievedQPS float64 `json:"achieved_qps"`
+	// Exec is the execution policy stamped into the /v1/search bodies
+	// (empty = server default).
+	Exec        string       `json:"exec,omitempty"`
+	Sweep       []SweepLevel `json:"sweep,omitempty"`
+	Requests    int          `json:"requests"`
+	Errors      int          `json:"errors"`
+	AchievedQPS float64      `json:"achieved_qps"`
 	// Cache dispositions, counted from the X-Geosir-Cache response
 	// header; all zero when the server runs uncached.
 	CacheHits      int     `json:"cache_hits,omitempty"`
@@ -566,53 +615,16 @@ func variantPicker(dist string, zipfS float64, nVariants int) (func(rng *rand.Ra
 	}
 }
 
-func run(addr string, duration time.Duration, concurrency int, qps float64, k int,
-	mixSpec, dist string, zipfS float64, seed int64, label, out string, wait time.Duration,
-	smoke bool, expShards int, writeRatio float64, ingestSmoke bool) error {
+// runLevel drives one closed-loop measurement at a fixed worker count:
+// each worker issues, waits, issues again. With qps > 0 the aggregate
+// rate is split evenly and each worker paces on its own schedule
+// (absolute next-fire times, so a slow response doesn't permanently
+// lower the rate). It returns the collected samples, the wall-clock
+// elapsed, and the per-worker writers (nil entries when writeRatio is 0).
+func runLevel(client *http.Client, addr string, ks []kind, mix []int,
+	newPick func(rng *rand.Rand) func(n int) int, concurrency int,
+	duration time.Duration, qps float64, seed int64, writeRatio float64) ([]sample, time.Duration, []*writer) {
 
-	addr = strings.TrimRight(addr, "/")
-	client := &http.Client{
-		Timeout: 30 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConns:        concurrency * 2,
-			MaxIdleConnsPerHost: concurrency * 2,
-		},
-	}
-	ks := buildKinds(seed, k)
-	if err := waitReady(client, addr, wait); err != nil {
-		return err
-	}
-	if ingestSmoke {
-		return runIngestSmoke(client, addr)
-	}
-	if smoke {
-		return runSmoke(client, addr, ks, expShards)
-	}
-	if writeRatio < 0 || writeRatio >= 1 {
-		return fmt.Errorf("-write-ratio must be in [0, 1), got %v", writeRatio)
-	}
-	mix, err := parseMix(mixSpec, ks)
-	if err != nil {
-		return err
-	}
-	maxBodies := 0
-	for i := range ks {
-		if len(ks[i].bodies) > maxBodies {
-			maxBodies = len(ks[i].bodies)
-		}
-	}
-	newPick, err := variantPicker(dist, zipfS, maxBodies)
-	if err != nil {
-		return err
-	}
-	if concurrency < 1 {
-		concurrency = 1
-	}
-
-	// Closed loop: each worker issues, waits, issues again. With -qps the
-	// aggregate rate is split evenly and each worker paces on its own
-	// schedule (absolute next-fire times, so a slow response doesn't
-	// permanently lower the rate).
 	perWorker := time.Duration(0)
 	if qps > 0 {
 		perWorker = time.Duration(float64(concurrency) / qps * float64(time.Second))
@@ -676,33 +688,122 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-
 	var all []sample
 	for _, r := range results {
 		all = append(all, r...)
 	}
-	if len(all) == 0 {
-		return fmt.Errorf("no requests completed against %s", addr)
+	return all, elapsed, writers
+}
+
+func run(addr string, duration time.Duration, concSpec string, qps float64, k int,
+	execPolicy, mixSpec, dist string, zipfS float64, seed int64, label, out string, wait time.Duration,
+	smoke bool, expShards int, writeRatio float64, ingestSmoke bool) error {
+
+	switch execPolicy {
+	case "", "auto", "fanout", "sequential":
+	default:
+		return fmt.Errorf("unknown -exec %q (want auto, fanout or sequential)", execPolicy)
 	}
+	levels, err := parseLevels(concSpec)
+	if err != nil {
+		return err
+	}
+	maxConc := 1
+	for _, c := range levels {
+		if c > maxConc {
+			maxConc = c
+		}
+	}
+
+	addr = strings.TrimRight(addr, "/")
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxConc * 2,
+			MaxIdleConnsPerHost: maxConc * 2,
+		},
+	}
+	ks := buildKinds(seed, k, execPolicy)
+	if err := waitReady(client, addr, wait); err != nil {
+		return err
+	}
+	if ingestSmoke {
+		return runIngestSmoke(client, addr)
+	}
+	if smoke {
+		return runSmoke(client, addr, ks, expShards)
+	}
+	if writeRatio < 0 || writeRatio >= 1 {
+		return fmt.Errorf("-write-ratio must be in [0, 1), got %v", writeRatio)
+	}
+	mix, err := parseMix(mixSpec, ks)
+	if err != nil {
+		return err
+	}
+	maxBodies := 0
+	for i := range ks {
+		if len(ks[i].bodies) > maxBodies {
+			maxBodies = len(ks[i].bodies)
+		}
+	}
+	newPick, err := variantPicker(dist, zipfS, maxBodies)
+	if err != nil {
+		return err
+	}
+
+	var all []sample
+	var sweep []SweepLevel
+	var totalElapsed time.Duration
+	var inserts, deletes int
+	for _, conc := range levels {
+		samples, elapsed, writers := runLevel(client, addr, ks, mix, newPick, conc, duration, qps, seed, writeRatio)
+		if len(samples) == 0 {
+			return fmt.Errorf("no requests completed against %s at concurrency %d", addr, conc)
+		}
+		sum := summarize(samples, func(sample) bool { return true })
+		sweep = append(sweep, SweepLevel{
+			Concurrency: conc,
+			DurationS:   elapsed.Seconds(),
+			Requests:    sum.Requests,
+			Errors:      sum.Errors,
+			AchievedQPS: float64(sum.Requests-sum.Errors) / elapsed.Seconds(),
+			MeanMs:      sum.MeanMs,
+			P50Ms:       sum.P50Ms,
+			P99Ms:       sum.P99Ms,
+		})
+		all = append(all, samples...)
+		totalElapsed += elapsed
+		for _, wr := range writers {
+			if wr != nil {
+				inserts += wr.inserts
+				deletes += wr.deletes
+			}
+		}
+	}
+
 	bench := BenchOut{
-		Label:       label,
-		Target:      addr,
-		DurationS:   elapsed.Seconds(),
-		Concurrency: concurrency,
-		TargetQPS:   qps,
-		Mix:         mixSpec,
-		Dist:        dist,
-		Requests:    len(all),
-		Overall:     summarize(all, func(sample) bool { return true }),
-		ByKind:      map[string]KindSummary{},
-		Status:      map[string]int{},
+		Label:     label,
+		Target:    addr,
+		DurationS: totalElapsed.Seconds(),
+		TargetQPS: qps,
+		Mix:       mixSpec,
+		Dist:      dist,
+		Exec:      execPolicy,
+		Sweep:     sweep,
+		Requests:  len(all),
+		Overall:   summarize(all, func(sample) bool { return true }),
+		ByKind:    map[string]KindSummary{},
+		Status:    map[string]int{},
+	}
+	if len(levels) == 1 {
+		bench.Concurrency = levels[0]
 	}
 	if dist == "zipf" {
 		bench.ZipfS = zipfS
 	}
 	bench.Errors = bench.Overall.Errors
 	okCount := bench.Requests - bench.Errors
-	bench.AchievedQPS = float64(okCount) / elapsed.Seconds()
+	bench.AchievedQPS = float64(okCount) / totalElapsed.Seconds()
 	for i, kd := range ks {
 		i := int8(i)
 		bench.ByKind[kd.name] = summarize(all, func(s sample) bool { return s.kind == i })
@@ -711,12 +812,8 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		bench.WriteRatio = writeRatio
 		wi := int8(len(ks))
 		bench.ByKind[ingestKindName] = summarize(all, func(s sample) bool { return s.kind == wi })
-		for _, wr := range writers {
-			if wr != nil {
-				bench.Inserts += wr.inserts
-				bench.Deletes += wr.deletes
-			}
-		}
+		bench.Inserts = inserts
+		bench.Deletes = deletes
 	}
 	for _, s := range all {
 		bench.Status[strconv.Itoa(int(s.status))]++
@@ -733,12 +830,23 @@ func run(addr string, duration time.Duration, concurrency int, qps float64, k in
 		bench.CacheHitRate = float64(bench.CacheHits) / float64(n)
 	}
 
+	execLabel := execPolicy
+	if execLabel == "" {
+		execLabel = "default"
+	}
 	fmt.Printf("target        %s\n", bench.Target)
-	fmt.Printf("duration      %.2fs   concurrency %d   mix %s   dist %s\n", bench.DurationS, concurrency, mixSpec, dist)
+	fmt.Printf("duration      %.2fs   concurrency %s   exec %s   mix %s   dist %s\n",
+		bench.DurationS, concSpec, execLabel, mixSpec, dist)
 	fmt.Printf("requests      %d (%d errors)\n", bench.Requests, bench.Errors)
 	fmt.Printf("throughput    %.1f qps\n", bench.AchievedQPS)
 	fmt.Printf("latency  p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms\n",
 		bench.Overall.P50Ms, bench.Overall.P95Ms, bench.Overall.P99Ms, bench.Overall.MeanMs, bench.Overall.MaxMs)
+	if len(levels) > 1 {
+		for _, lv := range sweep {
+			fmt.Printf("  c=%-4d %8.1f qps  p50 %.2fms  p99 %.2fms  (%d reqs, %d errors)\n",
+				lv.Concurrency, lv.AchievedQPS, lv.P50Ms, lv.P99Ms, lv.Requests, lv.Errors)
+		}
+	}
 	if bench.CacheHits+bench.CacheMisses+bench.CacheCoalesced > 0 {
 		fmt.Printf("cache         hits %d  misses %d  coalesced %d  hit-rate %.3f\n",
 			bench.CacheHits, bench.CacheMisses, bench.CacheCoalesced, bench.CacheHitRate)

@@ -50,11 +50,11 @@ func startSharded(t *testing.T, shards int) *httptest.Server {
 func TestSmokeAgainstShardedServer(t *testing.T) {
 	ts := startSharded(t, 3)
 	// Full smoke including the shard-health probe and /v1/search kind.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 3, 0, false); err != nil {
+	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, true, 3, 0, false); err != nil {
 		t.Fatalf("smoke: %v", err)
 	}
 	// Wrong shard expectation must fail.
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, true, 5, 0, false); err == nil {
+	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, true, 5, 0, false); err == nil {
 		t.Fatal("expect-shards mismatch should fail the smoke")
 	} else if !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("unexpected error: %v", err)
@@ -131,8 +131,132 @@ func TestVariantPickerZipfSkewsLowRanks(t *testing.T) {
 	}
 }
 
+func TestParseLevels(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want []int
+		ok   bool
+	}{
+		{"8", []int{8}, true},
+		{"1,8,64", []int{1, 8, 64}, true},
+		{" 1 , 4 ", []int{1, 4}, true},
+		{"1,,4", []int{1, 4}, true},
+		{"", nil, false},
+		{"0", nil, false},
+		{"-2", nil, false},
+		{"eight", nil, false},
+	} {
+		got, err := parseLevels(tc.spec)
+		if tc.ok != (err == nil) {
+			t.Fatalf("parseLevels(%q): err=%v, want ok=%v", tc.spec, err, tc.ok)
+		}
+		if tc.ok && !equalInts(got, tc.want) {
+			t.Fatalf("parseLevels(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildKindsExecKnob pins that -exec lands in the search bodies (the
+// only kind whose endpoint accepts it) and stays out when empty.
+func TestBuildKindsExecKnob(t *testing.T) {
+	ks := buildKinds(1, 2, "sequential")
+	found := false
+	for _, kd := range ks {
+		if kd.name != "search" {
+			continue
+		}
+		for _, body := range kd.bodies {
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Fatal(err)
+			}
+			if m["exec"] != "sequential" {
+				t.Fatalf("search body lacks exec: %s", body)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no search bodies generated")
+	}
+	for _, kd := range buildKinds(1, 2, "") {
+		if kd.name != "search" {
+			continue
+		}
+		for _, body := range kd.bodies {
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := m["exec"]; ok {
+				t.Fatalf("empty -exec leaked into body: %s", body)
+			}
+		}
+	}
+}
+
+// TestConcurrencySweep runs a two-level sweep and checks the JSON output
+// carries one row per level plus sane aggregates.
+func TestConcurrencySweep(t *testing.T) {
+	ts := startSharded(t, 2)
+	out := t.TempDir() + "/sweep.json"
+	if err := run(ts.URL, 700*time.Millisecond, "1,2", 0, 2, "auto", "search=1", "uniform", 1.1, 1, "sweep-test", out, 0, false, 0, 0, false); err != nil {
+		t.Fatalf("sweep run: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench BenchOut
+	if err := json.Unmarshal(blob, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Exec != "auto" {
+		t.Fatalf("exec = %q, want auto", bench.Exec)
+	}
+	if bench.Concurrency != 0 {
+		t.Fatalf("multi-level sweep should zero the single concurrency field, got %d", bench.Concurrency)
+	}
+	if len(bench.Sweep) != 2 {
+		t.Fatalf("sweep rows = %d, want 2", len(bench.Sweep))
+	}
+	total := 0
+	for i, lv := range bench.Sweep {
+		want := []int{1, 2}[i]
+		if lv.Concurrency != want {
+			t.Fatalf("row %d concurrency = %d, want %d", i, lv.Concurrency, want)
+		}
+		if lv.Requests == 0 || lv.AchievedQPS <= 0 || lv.P50Ms <= 0 {
+			t.Fatalf("row %d degenerate: %+v", i, lv)
+		}
+		if lv.Errors > 0 {
+			t.Fatalf("row %d has %d errors: %v", i, lv.Errors, bench.Status)
+		}
+		total += lv.Requests
+	}
+	if total != bench.Requests {
+		t.Fatalf("sweep rows sum to %d requests, bench says %d", total, bench.Requests)
+	}
+	// A bad exec policy is rejected before any traffic.
+	if err := run(ts.URL, time.Second, "1", 0, 2, "nope", "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, false); err == nil {
+		t.Fatal("unknown -exec should fail")
+	}
+}
+
 func TestParseMixIncludesSearch(t *testing.T) {
-	ks := buildKinds(1, 2)
+	ks := buildKinds(1, 2, "")
 	table, err := parseMix("search=1", ks)
 	if err != nil {
 		t.Fatal(err)
@@ -184,12 +308,12 @@ func startIngest(t *testing.T) *httptest.Server {
 
 func TestIngestSmoke(t *testing.T) {
 	ts := startIngest(t)
-	if err := run(ts.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err != nil {
+	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err != nil {
 		t.Fatalf("ingest smoke: %v", err)
 	}
 	// Read-only server: the smoke must fail with the insert refused.
 	ro := startSharded(t, 2)
-	if err := run(ro.URL, time.Second, 1, 0, 2, "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err == nil {
+	if err := run(ro.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err == nil {
 		t.Fatal("ingest smoke should fail against a read-only server")
 	}
 }
@@ -197,7 +321,7 @@ func TestIngestSmoke(t *testing.T) {
 func TestWriteRatioWorkload(t *testing.T) {
 	ts := startIngest(t)
 	out := t.TempDir() + "/ingest.json"
-	if err := run(ts.URL, 1500*time.Millisecond, 2, 0, 2, "similar=1", "uniform", 1.1, 1, "", out, 0, false, 0, 0.5, false); err != nil {
+	if err := run(ts.URL, 1500*time.Millisecond, "2", 0, 2, "", "similar=1", "uniform", 1.1, 1, "", out, 0, false, 0, 0.5, false); err != nil {
 		t.Fatalf("write workload: %v", err)
 	}
 	blob, err := os.ReadFile(out)

@@ -28,8 +28,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -324,6 +326,81 @@ type shardBenchRow struct {
 	QueryMicros   float64 `json:"query_us_mean"`
 	Images        int     `json:"images"`
 	Shapes        int     `json:"shapes"`
+	// Concurrency holds closed-loop rows at increasing caller counts
+	// against this same frozen engine, exercising the scheduler's
+	// load-adaptive fan-out (ExecAuto narrows per-query width as the
+	// in-flight gauge rises).
+	Concurrency []shardBenchConcRow `json:"concurrency_sweep,omitempty"`
+}
+
+// shardBenchConcRow is one concurrency level of the closed-loop query
+// sweep: Concurrency goroutines each loop exact searches for a fixed
+// window.
+type shardBenchConcRow struct {
+	Concurrency int     `json:"concurrency"`
+	QPS         float64 `json:"qps"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+}
+
+// shardBenchConcLevels are the caller counts each engine is measured
+// under; shardBenchConcWindow is the per-level measurement window. The
+// window must fit several of the slowest demo-base queries (~600ms on
+// the bench box at 8 shards) or the c=1 row degenerates to a single
+// sample.
+var shardBenchConcLevels = []int{1, 8, 64}
+
+const shardBenchConcWindow = 2 * time.Second
+
+// measureConcLevel runs the closed loop at one concurrency level and
+// summarizes it.
+func measureConcLevel(eng cliEngine, queries []geosir.Shape, conc int) (shardBenchConcRow, error) {
+	lats := make([][]time.Duration, conc)
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stopAt := start.Add(shardBenchConcWindow)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(stopAt); i++ {
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				if _, err := eng.Search(context.Background(),
+					geosir.SearchRequest{Query: q, K: 5, Mode: geosir.ModeExact}); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return shardBenchConcRow{}, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return shardBenchConcRow{}, fmt.Errorf("concurrency %d: no queries completed in %v", conc, shardBenchConcWindow)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	return shardBenchConcRow{
+		Concurrency: conc,
+		QPS:         float64(len(all)) / elapsed.Seconds(),
+		P50Micros:   pct(0.50),
+		P99Micros:   pct(0.99),
+	}, nil
 }
 
 type shardBenchReport struct {
@@ -415,9 +492,20 @@ func runShardBench(basePath string, demo int, seed int64, countsStr, out string)
 			if singleFreeze > 0 {
 				row.FreezeSpeedup = float64(singleFreeze) / float64(freeze)
 			}
+			for _, conc := range shardBenchConcLevels {
+				cr, err := measureConcLevel(eng, queries, conc)
+				if err != nil {
+					return err
+				}
+				row.Concurrency = append(row.Concurrency, cr)
+			}
 			report.Results = append(report.Results, row)
 			fmt.Fprintf(os.Stderr, "gomaxprocs=%d shards=%d freeze=%v query=%v speedup=%.2fx\n",
 				gp, n, freeze.Round(time.Microsecond), perQuery.Round(time.Microsecond), row.FreezeSpeedup)
+			for _, cr := range row.Concurrency {
+				fmt.Fprintf(os.Stderr, "  c=%-3d %9.1f qps  p50 %.1fus  p99 %.1fus\n",
+					cr.Concurrency, cr.QPS, cr.P50Micros, cr.P99Micros)
+			}
 		}
 	}
 	runtime.GOMAXPROCS(prevProcs)

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	geosir "repro"
 	"repro/internal/server"
 )
 
@@ -62,8 +63,14 @@ func main() {
 		ingest      = flag.Bool("ingest", false, "enable live ingestion on a sharded snapshot directory (POST/DELETE /v1/images, background compaction)")
 		compactAt   = flag.Int("compact-threshold", 0, "delta shape count that triggers background compaction (0 = default, negative = manual /admin/compact only; needs -ingest)")
 		walNoSync   = flag.Bool("wal-nosync", false, "skip the per-write WAL fsync — a crash may lose acknowledged writes (benchmarks only; needs -ingest)")
+		execPolicy  = flag.String("exec", "auto", "default execution policy for requests that do not set one: auto (adapt fan-out to load), fanout, sequential")
 	)
 	flag.Parse()
+	defaultExec, err := geosir.ParseExecPolicy(*execPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geosird:", err)
+		os.Exit(2)
+	}
 	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
@@ -72,6 +79,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		CacheBytes:     *cacheBytes,
 		CacheEntries:   *cacheEnts,
+		DefaultExec:    defaultExec,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr

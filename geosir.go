@@ -33,6 +33,7 @@ import (
 	"repro/internal/geohash"
 	"repro/internal/geom"
 	"repro/internal/query"
+	"repro/internal/sched"
 )
 
 // Point is a point in the plane.
@@ -129,6 +130,10 @@ type Engine struct {
 	ann    *annindex.Index
 	annPre *annPreload
 	frozen bool
+
+	// sched plans per-request fan-out width (sketch shapes) from the
+	// live in-flight load; the zero value is ready to use.
+	sched sched.Planner
 }
 
 // New creates an empty engine.

@@ -63,8 +63,9 @@ const fpVersion = "GSIRQFP1"
 //
 // The fingerprint covers everything that can change the response bytes —
 // the canonical vertex stream of every query shape, K, Mode, Ann, and
-// the epoch — and deliberately omits SearchRequest.Workers, which only
-// changes how the work is scheduled, never what is returned.
+// the epoch — and deliberately omits the scheduling knobs (Exec, the
+// MaxWorkers cap, and the deprecated workers alias), which only change
+// how the work is scheduled, never what is returned.
 func SearchFingerprint(req geosir.SearchRequest, epoch uint64) (Fingerprint, bool) {
 	h := sha256.New()
 	var buf [8]byte

@@ -69,12 +69,13 @@ func FuzzFingerprint(f *testing.F) {
 		if fp3, ok3 := SearchFingerprint(req, epoch+1); ok3 && fp3 == fp1 {
 			t.Fatal("epoch bump did not change the fingerprint")
 		}
-		// Workers must not separate: it schedules, it never changes
-		// results.
+		// The scheduling knobs must not separate: they schedule, they
+		// never change results.
 		wreq := req
 		wreq.Workers = 13
+		wreq.Exec, wreq.MaxWorkers = geosir.ExecSequential, 2
 		if fpW, okW := SearchFingerprint(wreq, epoch); !okW || fpW != fp1 {
-			t.Fatal("Workers perturbed the fingerprint")
+			t.Fatal("scheduling knobs perturbed the fingerprint")
 		}
 		// Round-trip stability: a request rebuilt from the same wire bytes
 		// (the save/load path a client would take) fingerprints the same.

@@ -83,6 +83,10 @@ type Config struct {
 	// delta WAL lives next to the shard files, and /admin/compact (or
 	// the threshold) folds the delta. File snapshots stay read-only.
 	Ingest *IngestOptions
+	// DefaultExec is the execution policy applied to requests that do
+	// not set one ("exec" in the /v1/search body). The zero value is
+	// geosir.ExecAuto: fan out at idle, go sequential under load.
+	DefaultExec geosir.ExecPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +119,7 @@ type Serving interface {
 	NumShapes() int
 	NumEntries() int
 	Frozen() bool
+	SchedStats() geosir.SchedStats
 }
 
 // engineState is what the atomic pointer swaps: the frozen engine plus
@@ -648,8 +653,10 @@ func (s *Server) runSearch(ctx context.Context, st *engineState, req geosir.Sear
 // atomically at admission, so neither a hot-swap nor a live write
 // landing mid-request can pair this engine's results with another
 // epoch's entries.
-// SearchRequest.Workers is deliberately outside the fingerprint — it
-// schedules work, it never changes results (PR 4/5 equivalence).
+// The scheduling knobs (exec policy, max-workers cap, and the legacy
+// workers alias) are deliberately outside the fingerprint — they
+// schedule work, they never change results (PR 4/5 and the PR 9 exec
+// equivalence suite).
 func (s *Server) searchCached(ctx context.Context, st *engineState, req geosir.SearchRequest) (*geosir.SearchResponse, qcache.Disposition, error) {
 	if s.cache == nil {
 		resp, err := st.serving.Search(ctx, req)
@@ -710,7 +717,7 @@ func (s *Server) handleSimilar(ctx context.Context, st *engineState, body []byte
 	if err != nil {
 		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto})
+	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto, Exec: s.cfg.DefaultExec})
 	if err != nil {
 		return nil, disp, err
 	}
@@ -726,7 +733,7 @@ func (s *Server) handleApproximate(ctx context.Context, st *engineState, body []
 	if err != nil {
 		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate})
+	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate, Exec: s.cfg.DefaultExec})
 	if err != nil {
 		return nil, disp, err
 	}
@@ -734,15 +741,21 @@ func (s *Server) handleApproximate(ctx context.Context, st *engineState, body []
 }
 
 // searchRequest is the unified /v1/search wire request: one shape (or,
-// for sketch mode, several), k, an optional mode name, and an optional
-// ANN tier mode ("off", "verify", "approx").
+// for sketch mode, several), k, an optional mode name, an optional
+// execution policy ("auto", "fanout", "sequential") with a worker cap,
+// and an optional ANN tier mode ("off", "verify", "approx"). The
+// legacy "workers" field is still accepted: a positive value (with
+// "exec"/"max_workers" unset) behaves as it always did, forcing a
+// fan-out capped at that width.
 type searchRequest struct {
-	Shape   *WireShape  `json:"shape,omitempty"`
-	Shapes  []WireShape `json:"shapes,omitempty"`
-	K       int         `json:"k"`
-	Mode    string      `json:"mode,omitempty"`
-	Workers int         `json:"workers,omitempty"`
-	Ann     string      `json:"ann,omitempty"`
+	Shape         *WireShape  `json:"shape,omitempty"`
+	Shapes        []WireShape `json:"shapes,omitempty"`
+	K             int         `json:"k"`
+	Mode          string      `json:"mode,omitempty"`
+	Exec          string      `json:"exec,omitempty"`
+	MaxWorkersCap int         `json:"max_workers,omitempty"`
+	LegacyWorkers int         `json:"workers,omitempty"`
+	Ann           string      `json:"ann,omitempty"`
 }
 
 type searchResponse struct {
@@ -765,7 +778,21 @@ func (s *Server) handleSearch(ctx context.Context, st *engineState, body []byte)
 	if err != nil {
 		return nil, qcache.Bypass, unprocessable(err)
 	}
-	greq := geosir.SearchRequest{K: req.K, Workers: req.Workers, Mode: mode, Ann: ann}
+	greq := geosir.SearchRequest{K: req.K, Mode: mode, Ann: ann, MaxWorkers: req.MaxWorkersCap}
+	switch {
+	case req.Exec != "":
+		exec, err := geosir.ParseExecPolicy(req.Exec)
+		if err != nil {
+			return nil, qcache.Bypass, unprocessable(err)
+		}
+		greq.Exec = exec
+	case req.LegacyWorkers > 0 && req.MaxWorkersCap <= 0:
+		// The pre-ExecPolicy contract: an explicit positive "workers"
+		// forced a fan-out of that width.
+		greq.Exec, greq.MaxWorkers = geosir.ExecFanout, req.LegacyWorkers
+	default:
+		greq.Exec = s.cfg.DefaultExec
+	}
 	if req.Shape != nil {
 		q, err := req.Shape.Shape()
 		if err != nil {
@@ -817,7 +844,7 @@ func (s *Server) handleSketch(ctx context.Context, st *engineState, body []byte)
 	if err != nil {
 		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch, Ann: ann})
+	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch, Ann: ann, Exec: s.cfg.DefaultExec})
 	if err != nil {
 		return nil, disp, err
 	}
@@ -984,18 +1011,37 @@ type ANNStatz struct {
 	Candidates int64 `json:"candidates"`
 }
 
+// SchedStatz is the engine execution scheduler's section of /statz:
+// the engine-side in-flight gauge and how many request plans chose
+// fan-out versus sequential execution since the engine was installed.
+type SchedStatz struct {
+	InFlight        int64  `json:"in_flight"`
+	PlansFanout     uint64 `json:"plans_fanout"`
+	PlansSequential uint64 `json:"plans_sequential"`
+}
+
+// StatzSchema is the version of the /statz document shape, bumped
+// whenever a field is renamed, removed, or changes meaning (additions
+// alone do not bump it). Schema 2 added this field itself and the
+// "sched" section. The full schema is documented in DESIGN.md §4.13.
+const StatzSchema = 2
+
 // Statz is the full status document served on /statz (and exported via
 // expvar on /metrics).
 type Statz struct {
-	UptimeS     float64   `json:"uptime_s"`
-	Ready       bool      `json:"ready"`
-	InFlight    int       `json:"in_flight"`
-	QueueDepth  int64     `json:"queue_depth"`
-	MaxInFlight int       `json:"max_in_flight"`
-	MaxQueue    int       `json:"max_queue"`
-	Reloads     int64     `json:"reloads"`
-	ReloadFails int64     `json:"reload_fails"`
-	ANN         *ANNStatz `json:"ann,omitempty"`
+	Schema      int     `json:"schema"`
+	UptimeS     float64 `json:"uptime_s"`
+	Ready       bool    `json:"ready"`
+	InFlight    int     `json:"in_flight"`
+	QueueDepth  int64   `json:"queue_depth"`
+	MaxInFlight int     `json:"max_in_flight"`
+	MaxQueue    int     `json:"max_queue"`
+	Reloads     int64   `json:"reloads"`
+	ReloadFails int64   `json:"reload_fails"`
+	// Sched reports the serving engine's execution scheduler (absent
+	// until an engine is installed).
+	Sched *SchedStatz `json:"sched,omitempty"`
+	ANN   *ANNStatz   `json:"ann,omitempty"`
 	// Cache reports the query-result cache (absent when caching is off);
 	// Epoch is the serving snapshot's cache generation.
 	Cache *qcache.Stats `json:"cache,omitempty"`
@@ -1013,6 +1059,7 @@ type Statz struct {
 // Statz assembles the live status document.
 func (s *Server) Statz() Statz {
 	out := Statz{
+		Schema:      StatzSchema,
 		UptimeS:     time.Since(s.metrics.start).Seconds(),
 		Ready:       s.Ready(),
 		InFlight:    s.limiter.inFlight(),
@@ -1038,6 +1085,12 @@ func (s *Server) Statz() Statz {
 	out.Deletes = s.metrics.deletes.Load()
 	if st := s.state.Load(); st != nil {
 		out.Epoch = st.epoch
+		ss := st.serving.SchedStats()
+		out.Sched = &SchedStatz{
+			InFlight:        ss.InFlight,
+			PlansFanout:     ss.PlansFanout,
+			PlansSequential: ss.PlansSequential,
+		}
 		out.Ingest = ingestStatz(st)
 		out.Snapshot = &SnapshotStatz{
 			Source:    st.source,

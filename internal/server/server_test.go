@@ -360,9 +360,11 @@ func TestOverloadSheds429(t *testing.T) {
 
 func TestStatzAndMetrics(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	// Drive one request of each kind so counters move.
+	// Drive one request of each kind so counters move. The sketch search
+	// is the one that exercises the single engine's fan-out planner.
 	post(t, ts.URL+"/v1/similar", map[string]any{"shape": wireSquare(), "k": 1})
 	post(t, ts.URL+"/v1/similar", `{"oops`)
+	post(t, ts.URL+"/v1/sketch", map[string]any{"shapes": []WireShape{wireSquare(), wireL()}, "k": 1})
 
 	resp, raw := get(t, ts.URL+"/statz")
 	if resp.StatusCode != 200 {
@@ -374,6 +376,21 @@ func TestStatzAndMetrics(t *testing.T) {
 	}
 	if !st.Ready || st.Snapshot == nil || st.Snapshot.Shapes != 8 {
 		t.Errorf("statz = %s", raw)
+	}
+	if st.Schema != StatzSchema {
+		t.Errorf("statz schema = %d, want %d", st.Schema, StatzSchema)
+	}
+	// The sched section reports the engine's scheduler: the gauge is
+	// idle between requests, and the sketch search above planned exactly
+	// one execution (a single Engine plans only its sketch fan-out).
+	if st.Sched == nil {
+		t.Fatalf("statz has no sched section: %s", raw)
+	}
+	if st.Sched.InFlight != 0 {
+		t.Errorf("sched.in_flight = %d, want 0 between requests", st.Sched.InFlight)
+	}
+	if st.Sched.PlansFanout+st.Sched.PlansSequential != 1 {
+		t.Errorf("sched plans = %d fanout + %d sequential, want 1 total", st.Sched.PlansFanout, st.Sched.PlansSequential)
 	}
 	sim, ok := st.Endpoints["similar"]
 	if !ok {

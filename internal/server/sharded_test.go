@@ -62,6 +62,12 @@ func TestShardedServesAllEndpoints(t *testing.T) {
 		{"/v1/search", map[string]any{"shape": wireSquare(), "k": 3, "mode": "exact"}},
 		{"/v1/search", map[string]any{"shape": wireSquare(), "k": 3, "mode": "auto"}},
 		{"/v1/search", map[string]any{"shapes": []WireShape{wireSquare(), wireL()}, "k": 2, "mode": "sketch"}},
+		// The execution policy schedules work; it must never change the
+		// wire answer. "workers" is the deprecated alias for a forced
+		// fan-out of that width.
+		{"/v1/search", map[string]any{"shape": wireSquare(), "k": 3, "mode": "exact", "exec": "sequential"}},
+		{"/v1/search", map[string]any{"shape": wireSquare(), "k": 3, "mode": "exact", "exec": "fanout", "max_workers": 2}},
+		{"/v1/search", map[string]any{"shape": wireSquare(), "k": 3, "mode": "exact", "workers": 2}},
 		{"/v1/topological", map[string]any{"query": "similar(a)", "binds": map[string]WireShape{"a": wireSquare()}}},
 	} {
 		respS, bodyS := post(t, single.URL+tc.path, tc.body)
@@ -114,6 +120,10 @@ func TestSentinelStatusMapping(t *testing.T) {
 		resp, body := post(t, base+"/v1/search", map[string]any{"shape": wireSquare(), "k": 3, "mode": "nope"})
 		if resp.StatusCode != http.StatusUnprocessableEntity {
 			t.Fatalf("unknown mode: status %d (%s), want 422", resp.StatusCode, body)
+		}
+		resp, body = post(t, base+"/v1/search", map[string]any{"shape": wireSquare(), "k": 3, "exec": "nope"})
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("unknown exec: status %d (%s), want 422", resp.StatusCode, body)
 		}
 	}
 }

@@ -99,7 +99,10 @@ dispatch:
 //
 // Deprecated: use Search with ModeSketch:
 //
-//	resp, err := e.Search(ctx, SearchRequest{Sketch: sketch, K: k, Workers: workers, Mode: ModeSketch})
+//	resp, err := e.Search(ctx, SearchRequest{Sketch: sketch, K: k, Mode: ModeSketch})
+//
+// with Exec: ExecFanout and MaxWorkers: workers to pin an explicit
+// width, or the default ExecAuto to let the engine plan it.
 func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMatch, error) {
 	return e.FindBySketchWorkersCtx(context.Background(), sketch, k, workers)
 }
@@ -111,7 +114,13 @@ func (e *Engine) FindBySketchWorkers(sketch []Shape, k, workers int) ([]SketchMa
 //
 // Deprecated: use Search with ModeSketch (see FindBySketchWorkers).
 func (e *Engine) FindBySketchWorkersCtx(ctx context.Context, sketch []Shape, k, workers int) ([]SketchMatch, error) {
-	resp, err := e.Search(ctx, SearchRequest{Sketch: sketch, K: k, Workers: workers, Mode: ModeSketch})
+	req := SearchRequest{Sketch: sketch, K: k, Mode: ModeSketch}
+	if workers > 0 {
+		// The historical contract: an explicit positive count pins the
+		// fan-out width (≤ 0 meant "let the engine decide", now ExecAuto).
+		req.Exec, req.MaxWorkers = ExecFanout, workers
+	}
+	resp, err := e.Search(ctx, req)
 	if err != nil {
 		return nil, err
 	}

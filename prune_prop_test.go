@@ -37,7 +37,7 @@ func TestSharedBoundDeterministic(t *testing.T) {
 			se := buildShardedFrom(t, images, shards)
 			for round := 0; round < rounds; round++ {
 				for qi, q := range queries {
-					resp, err := se.Search(ctx, SearchRequest{Query: q, K: k, Mode: mode, Workers: 4})
+					resp, err := se.Search(ctx, SearchRequest{Query: q, K: k, Mode: mode, Exec: ExecFanout, MaxWorkers: 4})
 					if err != nil {
 						t.Fatalf("%s shards=%d round %d q%d: %v", mode, shards, round, qi, err)
 					}

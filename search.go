@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // Mode selects the retrieval strategy of a Search.
@@ -59,6 +60,64 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("geosir: unknown search mode %q", s)
 }
 
+// ExecPolicy selects how a request's internal fan-out width is chosen —
+// how many goroutines it spends walking its independent parts (shards
+// and delta shards on a ShardedEngine, sketch shapes on an Engine). The
+// width never changes results, only how fast they arrive: every plan
+// visits the same parts with the same cross-shard pruning bound and
+// merges identically (DESIGN.md §4.13).
+type ExecPolicy int
+
+const (
+	// ExecAuto (the zero value) plans the width from live signals: full
+	// fan-out when the engine is idle, narrowing toward sequential as
+	// concurrent in-flight requests approach the core count, so cores
+	// are spent within a request when alone and across requests under
+	// load.
+	ExecAuto ExecPolicy = iota
+	// ExecFanout forces one worker per part regardless of load
+	// (MaxWorkers still caps it).
+	ExecFanout
+	// ExecSequential forces a single-goroutine walk over the parts.
+	ExecSequential
+)
+
+// String names the policy for logs and wire formats.
+func (p ExecPolicy) String() string {
+	switch p {
+	case ExecAuto:
+		return "auto"
+	case ExecFanout:
+		return "fanout"
+	case ExecSequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("exec(%d)", int(p))
+}
+
+// ParseExecPolicy maps a policy name back to its ExecPolicy value.
+func ParseExecPolicy(s string) (ExecPolicy, error) {
+	switch s {
+	case "", "auto":
+		return ExecAuto, nil
+	case "fanout":
+		return ExecFanout, nil
+	case "sequential":
+		return ExecSequential, nil
+	}
+	return 0, fmt.Errorf("geosir: unknown exec policy %q", s)
+}
+
+// SchedStats is a snapshot of an engine's execution scheduler: the
+// in-flight request gauge and how many plans chose fan-out versus
+// sequential execution since startup. Served under /statz's "sched"
+// section (schema 2).
+type SchedStats struct {
+	InFlight        int64
+	PlansFanout     uint64
+	PlansSequential uint64
+}
+
 // SearchRequest is one parameterized retrieval. The zero Mode is
 // ModeAuto, so the minimal request is {Query: q, K: k}.
 type SearchRequest struct {
@@ -69,9 +128,19 @@ type SearchRequest struct {
 	// K is the maximum number of matches to return; it must be positive
 	// (ErrBadK otherwise).
 	K int
-	// Workers bounds the request's internal fan-out: per-sketch-shape
-	// retrievals on an Engine, per-shard searches on a ShardedEngine.
-	// ≤ 0 selects GOMAXPROCS.
+	// Exec selects how the request's internal fan-out width is planned:
+	// per-sketch-shape retrievals on an Engine, per-shard searches on a
+	// ShardedEngine. The zero value (ExecAuto) adapts to live load.
+	Exec ExecPolicy
+	// MaxWorkers caps the planned fan-out width under any policy; ≤ 0
+	// means no cap.
+	MaxWorkers int
+	// Workers is the pre-ExecPolicy fan-out knob.
+	//
+	// Deprecated: set Exec and MaxWorkers instead. A positive Workers
+	// (with Exec and MaxWorkers unset) still behaves as it always did —
+	// it maps onto ExecFanout with MaxWorkers = Workers — and ≤ 0, the
+	// old "use GOMAXPROCS" default, maps onto ExecAuto.
 	Workers int
 	// Mode selects the retrieval strategy.
 	Mode Mode
@@ -103,6 +172,39 @@ type Searcher interface {
 	Search(ctx context.Context, req SearchRequest) (*SearchResponse, error)
 }
 
+// execPlan resolves the request's scheduling knobs to a (policy, cap)
+// pair for internal/sched, folding the deprecated Workers alias in: a
+// positive Workers with Exec and MaxWorkers unset reproduces the old
+// explicit-workers behavior exactly — forced fan-out capped at Workers —
+// while the old ≤ 0 default falls through to ExecAuto.
+func (r SearchRequest) execPlan() (sched.Policy, int) {
+	switch r.Exec {
+	case ExecFanout:
+		return sched.Fanout, r.MaxWorkers
+	case ExecSequential:
+		return sched.Sequential, r.MaxWorkers
+	}
+	if r.MaxWorkers <= 0 && r.Workers > 0 {
+		return sched.Fanout, r.Workers
+	}
+	return sched.Auto, r.MaxWorkers
+}
+
+// schedStatsFrom converts the internal planner snapshot to the public
+// SchedStats shape.
+func schedStatsFrom(st sched.Stats) SchedStats {
+	return SchedStats{
+		InFlight:        st.InFlight,
+		PlansFanout:     st.PlansFanout,
+		PlansSequential: st.PlansSequential,
+	}
+}
+
+// SchedStats reports the engine's execution-scheduler counters. Only
+// ModeSketch requests plan a fan-out on a single Engine, so the plan
+// counters stay zero under the single-shape modes.
+func (e *Engine) SchedStats() SchedStats { return schedStatsFrom(e.sched.Stats()) }
+
 // Search answers one retrieval request against the frozen engine. It is
 // safe for any number of concurrent callers. The context is checked at
 // stage boundaries (before the exact search and again before the
@@ -118,6 +220,8 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 	if req.K <= 0 {
 		return nil, ErrBadK
 	}
+	release := e.sched.Enter()
+	defer release()
 	switch req.Mode {
 	case ModeAuto, ModeExact:
 		if len(req.Query.Pts) == 0 {
@@ -170,7 +274,9 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 		stats.UsedHashing = true
 		return &SearchResponse{Matches: ms, Stats: stats}, nil
 	case ModeSketch:
-		sms, stats, err := e.searchSketch(ctx, req.Sketch, req.K, req.Workers, req.Ann)
+		pol, maxw := req.execPlan()
+		width := e.sched.Width(len(req.Sketch), pol, maxw)
+		sms, stats, err := e.searchSketch(ctx, req.Sketch, req.K, width, req.Ann)
 		if err != nil {
 			return nil, err
 		}
@@ -350,10 +456,11 @@ func validateSketch(sketch []Shape) error {
 // searchSketch implements the §6 user flow: a query sketch is decomposed
 // into several polylines, and images are ranked by how well they match
 // *all* of them. The per-sketch-shape retrievals are independent index
-// reads and run concurrently on up to workers goroutines (work-stealing,
-// see fanout); the per-image tables are merged after the barrier, so the
-// result is identical to the sequential evaluation order.
-func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers int, ann AnnMode) ([]SketchMatch, Stats, error) {
+// reads and run concurrently on up to width goroutines — the planned
+// fan-out width from internal/sched (work-stealing, see fanout); the
+// per-image tables are merged after the barrier, so the result is
+// identical to the sequential evaluation order.
+func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, width int, ann AnnMode) ([]SketchMatch, Stats, error) {
 	if err := validateSketch(sketch); err != nil {
 		return nil, Stats{}, err
 	}
@@ -366,7 +473,7 @@ func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, workers in
 	useAnn := ann == AnnApprox && e.ann != nil
 	perShape := make([]map[int]float64, len(sketch))
 	perStats := make([]Stats, len(sketch))
-	err := fanout(ctx, len(sketch), workers, func(si int) error {
+	err := fanout(ctx, len(sketch), width, func(si int) error {
 		var t map[int]float64
 		var err error
 		if useAnn {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geohash"
 	"repro/internal/ingest"
+	"repro/internal/sched"
 )
 
 // Compile-time check: both engines answer the unified Search API.
@@ -66,6 +67,11 @@ type ShardedEngine struct {
 	// Atomic because CloseIngest (snapshot swap/reload) clears it
 	// concurrently with mutations and stats reads.
 	ing atomic.Pointer[ingestor]
+
+	// sched plans each request's fan-out width over the live parts from
+	// the in-flight load gauge; the zero value is ready to use
+	// (DESIGN.md §4.13).
+	sched sched.Planner
 }
 
 // shardImage is one image in the manifest log: the image id, how many
@@ -402,6 +408,13 @@ func (se *ShardedEngine) tau(v *shardView) float64 {
 // best match is within τ), same empty-approximate recovery. The view is
 // loaded once per request, so a compaction swapping shards mid-request
 // never mixes two bases in one answer.
+//
+// The fan-out width is planned once per request by internal/sched from
+// req.Exec, the live in-flight gauge, and GOMAXPROCS; both stages of a
+// ModeAuto request (exact, then the hashing fallback) run under the one
+// plan. Width only changes how fast the answer arrives, never the
+// answer: a sequential plan walks the same parts under the same shared
+// bound and merges identically (DESIGN.md §4.13).
 func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -412,14 +425,19 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 	if req.K <= 0 {
 		return nil, ErrBadK
 	}
+	release := se.sched.Enter()
+	defer release()
 	v := se.snapshot()
+	pol, maxw := req.execPlan()
+	nparts := len(v.liveShards()) + len(v.deltas())
 	switch req.Mode {
 	case ModeAuto, ModeExact:
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
+		width := se.sched.Width(nparts, pol, maxw)
 		if req.Mode == ModeAuto && req.Ann == AnnApprox {
-			ms, stats, err := se.annApproxFanout(ctx, v, req.Query, req.K, req.Workers)
+			ms, stats, err := se.annApproxFanout(ctx, v, req.Query, req.K, width)
 			if err != nil {
 				return nil, err
 			}
@@ -432,7 +450,7 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		// decision reads stats.Converged and must stay deterministic, so
 		// only ModeExact — where convergence is reporting, not control
 		// flow — shares the bound.
-		ms, stats, err := se.exactFanout(ctx, v, req.Query, req.K, req.Workers, req.Mode == ModeExact, req.Ann)
+		ms, stats, err := se.exactFanout(ctx, v, req.Query, req.K, width, req.Mode == ModeExact, req.Ann)
 		if err != nil {
 			return nil, err
 		}
@@ -442,7 +460,7 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		approx, astats, err := se.approxFanout(ctx, v, req.Query, req.K, req.Workers, req.Ann)
+		approx, astats, err := se.approxFanout(ctx, v, req.Query, req.K, width, req.Ann)
 		if err != nil {
 			return nil, err
 		}
@@ -456,21 +474,25 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 		if len(req.Query.Pts) == 0 {
 			return nil, ErrEmptyQuery
 		}
+		width := se.sched.Width(nparts, pol, maxw)
 		if req.Ann == AnnApprox {
-			ms, stats, err := se.annApproxFanout(ctx, v, req.Query, req.K, req.Workers)
+			ms, stats, err := se.annApproxFanout(ctx, v, req.Query, req.K, width)
 			if err != nil {
 				return nil, err
 			}
 			return &SearchResponse{Matches: ms, Stats: stats}, nil
 		}
-		ms, stats, err := se.approxFanout(ctx, v, req.Query, req.K, req.Workers, req.Ann)
+		ms, stats, err := se.approxFanout(ctx, v, req.Query, req.K, width, req.Ann)
 		if err != nil {
 			return nil, err
 		}
 		stats.UsedHashing = true
 		return &SearchResponse{Matches: ms, Stats: stats}, nil
 	case ModeSketch:
-		sms, stats, err := se.sketchFanout(ctx, v, req.Sketch, req.K, req.Workers, req.Ann)
+		// Sketch work items are (sketch shape × part) pairs, so the
+		// plan covers the full task count.
+		width := se.sched.Width(nparts*len(req.Sketch), pol, maxw)
+		sms, stats, err := se.sketchFanout(ctx, v, req.Sketch, req.K, width, req.Ann)
 		if err != nil {
 			return nil, err
 		}
@@ -478,6 +500,10 @@ func (se *ShardedEngine) Search(ctx context.Context, req SearchRequest) (*Search
 	}
 	return nil, fmt.Errorf("geosir: unknown search mode %d", int(req.Mode))
 }
+
+// SchedStats reports the engine's execution-scheduler counters: the
+// in-flight request gauge and the fan-out/sequential plan counts.
+func (se *ShardedEngine) SchedStats() SchedStats { return schedStatsFrom(se.sched.Stats()) }
 
 // Query evaluates a topological query (§5) against every live shard
 // and unions the matching image ids. Topological predicates relate
@@ -538,7 +564,7 @@ func (se *ShardedEngine) Query(src string, binds map[string]Shape) ([]int, strin
 // top-k (DESIGN.md §4.9). Tombstones disable the bound entirely: a
 // shard's k-th best over a set that still contains dead shapes does not
 // bound the k-th best of the live base.
-func (se *ShardedEngine) exactFanout(ctx context.Context, v *shardView, q Shape, k, workers int, useShared bool, ann AnnMode) ([]Match, Stats, error) {
+func (se *ShardedEngine) exactFanout(ctx context.Context, v *shardView, q Shape, k, width int, useShared bool, ann AnnMode) ([]Match, Stats, error) {
 	live := v.liveShards()
 	deltas := v.deltas()
 	dead := len(v.deadGIDs)
@@ -550,7 +576,7 @@ func (se *ShardedEngine) exactFanout(ctx context.Context, v *shardView, q Shape,
 	if useShared && dead == 0 && len(live) > 1 {
 		shared = core.NewSharedBound()
 	}
-	err := fanout(ctx, n, workers, func(i int) error {
+	err := fanout(ctx, n, width, func(i int) error {
 		if i >= len(live) {
 			d := deltas[i-len(live)]
 			dms, err := d.Match(ctx, q, want, true)
@@ -599,7 +625,7 @@ func (se *ShardedEngine) exactFanout(ctx context.Context, v *shardView, q Shape,
 // over every part (after tombstone filtering — a deleted shape is no
 // candidate) is empty do all parts widen to the neighbor curves —
 // per-part widening would admit candidates a single engine never sees.
-func (se *ShardedEngine) approxFanout(ctx context.Context, v *shardView, q Shape, k, workers int, ann AnnMode) ([]Match, Stats, error) {
+func (se *ShardedEngine) approxFanout(ctx context.Context, v *shardView, q Shape, k, width int, ann AnnMode) ([]Match, Stats, error) {
 	pq, err := core.PrepareQuery(q)
 	if err != nil {
 		return nil, Stats{}, err
@@ -648,7 +674,7 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, v *shardView, q Shape
 	}
 	lists := make([][]Match, n)
 	stats := make([]Stats, n)
-	err = fanout(ctx, n, workers, func(i int) error {
+	err = fanout(ctx, n, width, func(i int) error {
 		if i >= len(live) {
 			d := deltas[i-len(live)]
 			lists[i] = scoreDeltaApprox(d, pq, cand[i], k, shared)
@@ -687,7 +713,7 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, v *shardView, q Shape
 // result can differ from a single engine's AnnApprox answer only by
 // having *more* candidates verified — recall is monotone in the shard
 // count.
-func (se *ShardedEngine) annApproxFanout(ctx context.Context, v *shardView, q Shape, k, workers int) ([]Match, Stats, error) {
+func (se *ShardedEngine) annApproxFanout(ctx context.Context, v *shardView, q Shape, k, width int) ([]Match, Stats, error) {
 	pq, err := core.PrepareQuery(q)
 	if err != nil {
 		return nil, Stats{}, err
@@ -704,7 +730,7 @@ func (se *ShardedEngine) annApproxFanout(ctx context.Context, v *shardView, q Sh
 	}
 	lists := make([][]Match, n)
 	stats := make([]Stats, n)
-	err = fanout(ctx, n, workers, func(i int) error {
+	err = fanout(ctx, n, width, func(i int) error {
 		if i >= len(live) {
 			d := deltas[i-len(live)]
 			dms, err := d.Match(ctx, q, k, false)
@@ -747,7 +773,7 @@ func (se *ShardedEngine) annApproxFanout(ctx context.Context, v *shardView, q Sh
 // images are removed from their shard's table first), and feeds the
 // result through the same scoreSketchTables ranking as the single
 // engine.
-func (se *ShardedEngine) sketchFanout(ctx context.Context, v *shardView, sketch []Shape, k, workers int, ann AnnMode) ([]SketchMatch, Stats, error) {
+func (se *ShardedEngine) sketchFanout(ctx context.Context, v *shardView, sketch []Shape, k, width int, ann AnnMode) ([]SketchMatch, Stats, error) {
 	if err := validateSketch(sketch); err != nil {
 		return nil, Stats{}, err
 	}
@@ -759,7 +785,7 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, v *shardView, sketch 
 	per := len(live) + len(deltas)
 	parts := make([]map[int]float64, len(sketch)*per)
 	partStats := make([]Stats, len(parts))
-	err := fanout(ctx, len(parts), workers, func(t int) error {
+	err := fanout(ctx, len(parts), width, func(t int) error {
 		si, pi := t/per, t%per
 		if pi >= len(live) {
 			m, err := deltas[pi-len(live)].SketchTable(ctx, sketch[si])
@@ -905,6 +931,20 @@ func fanout(ctx context.Context, n, workers int, run func(i int) error) error {
 	}
 	if workers > n {
 		workers = n
+	}
+	if workers == 1 {
+		// A sequential plan runs inline on the caller's goroutine: no
+		// spawn, no barrier, same item order and same cancellation
+		// contract (ctx.Err() is returned only when items never ran).
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
