@@ -3,7 +3,7 @@ GO ?= go
 # Match-driven benchmarks whose throughput we track across PRs.
 QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|BenchmarkFindBySketch|BenchmarkFindApproximate
 
-.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke bench-cache bench-cache-smoke bench-ingest bench-throughput throughput-smoke serve-smoke ingest-smoke fuzz-smoke deprecations cover clean
+.PHONY: ci vet build test race bench-smoke bench-query bench-diff bench-serve bench-shard bench-ann bench-ann-smoke bench-cache bench-cache-smoke bench-ingest bench-throughput throughput-smoke bench-load load-smoke serve-smoke ingest-smoke fuzz-smoke deprecations cover clean
 
 # The gate every PR must pass. The race run includes the persistence
 # fault-injection suite; fuzz-smoke gives each fuzz target a short
@@ -14,12 +14,14 @@ QUERY_BENCH := BenchmarkFig2_GeoSIRRetrieval|BenchmarkMatch_Scaling_100images|Be
 # recall/speedup benchmarks once on a small base; bench-cache-smoke
 # drives a short cached-vs-uncached serving comparison end to end;
 # throughput-smoke runs a short concurrency sweep through the scheduler;
-# deprecations keeps internal code off the deprecated Find* wrappers and
-# the deprecated SearchRequest.Workers knob. Perf-sensitive changes
-# should additionally run `make bench-diff` to compare a fresh bench run
-# against the committed BENCH_query.json baseline (the diff also gates
-# on any recall metrics present in both files).
-ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke ingest-smoke bench-cache-smoke throughput-smoke
+# load-smoke serves the same GSIR3 snapshot heap-loaded and mmap-served
+# and asserts the mode is live via /statz; deprecations keeps internal
+# code off the deprecated Find* wrappers and the deprecated
+# SearchRequest.Workers knob. Perf-sensitive changes should additionally
+# run `make bench-diff` to compare a fresh bench run against the
+# committed BENCH_query.json baseline (the diff also gates on any recall
+# metrics present in both files).
+ci: vet deprecations build race bench-smoke bench-ann-smoke fuzz-smoke serve-smoke ingest-smoke bench-cache-smoke throughput-smoke load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +69,7 @@ bench-smoke:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoad$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadV3$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzConvexHull$$' -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run '^$$' -fuzz '^FuzzPointInPolygon$$' -fuzztime $(FUZZTIME) ./internal/geom
 	$(GO) test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime $(FUZZTIME) ./internal/qcache
@@ -323,6 +326,54 @@ bench-shard:
 	$(GO) run ./cmd/geosir -demo $(BENCH_SHARD_DEMO) \
 		-shard-bench $(BENCH_SHARD_COUNTS) -bench-out BENCH_shard.json
 	@cat BENCH_shard.json
+
+# Snapshot open/load benchmark across base sizes, written to
+# BENCH_load.json: for each demo size, geosir freezes a base, saves it
+# as GSIR2 and GSIR3, and times the GSIR2 decode vs the GSIR3 heap
+# assemble vs the GSIR3 mmap open (plus cold-query latency and memory
+# on each side, with every response cross-checked mmap vs heap). The
+# mmap open should be roughly flat in base size — O(1) — and orders of
+# magnitude under the decode; benchjson -load refuses a run where it is
+# not faster at all, and cmd/benchdiff auto-detects the report shape
+# and fails on an mmap open-time regression of more than 10%:
+#
+#	go run ./cmd/benchdiff BENCH_load.json /tmp/BENCH_load.new.json
+BENCH_LOAD_SIZES ?= 100,400
+BENCH_LOAD_OUT   ?= BENCH_load.json
+LOAD_DIR         ?= /tmp/geosir-load
+bench-load:
+	@mkdir -p $(LOAD_DIR)
+	$(GO) run ./cmd/geosir -load-bench $(BENCH_LOAD_SIZES) \
+		-bench-out $(LOAD_DIR)/load.json
+	$(GO) run ./cmd/benchjson -load -run $(LOAD_DIR)/load.json \
+		-out $(BENCH_LOAD_OUT)
+	@rm -rf $(LOAD_DIR)
+	@cat $(BENCH_LOAD_OUT)
+
+# End-to-end mmap-serving check: freeze one demo base into a GSIR3
+# snapshot, serve it twice — heap-decoded and mmap-served — and run the
+# same endpoint smoke against both; each run also asserts via /statz
+# that the daemon is really in the claimed mode (an mmap run must report
+# mapped bytes, so a silent heap fallback fails the smoke).
+load-smoke:
+	@mkdir -p $(LOAD_DIR)
+	$(GO) build -o $(LOAD_DIR)/geosir ./cmd/geosir
+	$(GO) build -o $(LOAD_DIR)/geosird ./cmd/geosird
+	$(GO) build -o $(LOAD_DIR)/loadgen ./cmd/geosir-loadgen
+	$(LOAD_DIR)/geosir -demo 20 -snapshot-out $(LOAD_DIR)/base.gsir3
+	@$(LOAD_DIR)/geosird -snapshot $(LOAD_DIR)/base.gsir3 -addr $(SERVE_ADDR) & \
+	pid=$$!; \
+	$(LOAD_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s -smoke \
+		-expect-load-mode heap; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then rm -rf $(LOAD_DIR); exit $$rc; fi; \
+	$(LOAD_DIR)/geosird -snapshot $(LOAD_DIR)/base.gsir3 -addr $(SERVE_ADDR) \
+		-load-mode mmap & \
+	pid=$$!; \
+	$(LOAD_DIR)/loadgen -addr http://$(SERVE_ADDR) -wait 10s -smoke \
+		-expect-load-mode mmap; rc=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -rf $(LOAD_DIR); exit $$rc
 
 # ANN candidate-tier recall/speedup benchmark on the demo base, written
 # to BENCH_ann.json. Each approximate benchmark reports recall against

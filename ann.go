@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/annindex"
 	"repro/internal/core"
@@ -216,6 +217,8 @@ func (e *Engine) searchAnnApprox(q Shape, k int, shared *core.SharedBound) ([]Ma
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	var blocks atomic.Int64
+	pq.AttachBlockCounter(&blocks)
 	cand := e.ann.Probe(e.ann.Signature(pq.Entry().Poly), annMinShapes(k))
 	shapes := cand.Shapes
 	if max := annCapShapes(annMinShapes(k)); len(shapes) > max {
@@ -223,6 +226,7 @@ func (e *Engine) searchAnnApprox(q Shape, k int, shared *core.SharedBound) ([]Ma
 	}
 	st := Stats{UsedANN: true, ANNProbes: cand.Probes, ANNCandidates: len(shapes)}
 	out := e.scoreApprox(pq, shapes, k, shared)
+	st.BlockReads = int(blocks.Load())
 	sortMatches(out)
 	if len(out) > k {
 		out = out[:k]
@@ -241,6 +245,8 @@ func (e *Engine) sketchShapeTableAnn(q Shape, k int) (map[int]float64, Stats, er
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	var blocks atomic.Int64
+	pq.AttachBlockCounter(&blocks)
 	cand := e.ann.Probe(e.ann.Signature(pq.Entry().Poly), annSketchMinShapes(k))
 	shapes := cand.Shapes
 	if max := annCapShapes(annSketchMinShapes(k)); len(shapes) > max {
@@ -260,6 +266,7 @@ func (e *Engine) sketchShapeTableAnn(q Shape, k int) (map[int]float64, Stats, er
 			best[img] = d
 		}
 	}
+	st.BlockReads = int(blocks.Load())
 	return best, st, nil
 }
 
@@ -268,4 +275,5 @@ func (s *Stats) addANN(o Stats) {
 	s.UsedANN = s.UsedANN || o.UsedANN
 	s.ANNProbes += o.ANNProbes
 	s.ANNCandidates += o.ANNCandidates
+	s.BlockReads += o.BlockReads
 }

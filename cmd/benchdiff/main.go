@@ -33,6 +33,14 @@
 // -threshold percent fails. Latency percentiles are printed for
 // tracking but not gated. Rows present in only one file are listed but
 // never fail (sweep levels come and go with the Makefile target).
+//
+// Load reports (benchjson -load output, "kind": "load") are likewise
+// auto-detected: rows are matched by demo size and any matched row
+// regressing the GSIR3 mmap open time by more than -threshold percent
+// fails. The decode baseline, open speedup, and cold-query percentiles
+// are printed for tracking but not gated (the speedup moves with the
+// decode baseline's machine speed; the open time isolates what the
+// mmap path itself delivers).
 package main
 
 import (
@@ -120,6 +128,20 @@ func run(oldPath, newPath string, threshold, recallThreshold, hitRateThreshold f
 	}
 	if oldTput != nil {
 		return diffThroughput(oldTput, newTput, threshold)
+	}
+	oldLoad, err := loadLoad(oldPath)
+	if err != nil {
+		return err
+	}
+	newLoad, err := loadLoad(newPath)
+	if err != nil {
+		return err
+	}
+	if (oldLoad != nil) != (newLoad != nil) {
+		return fmt.Errorf("cannot compare a load report with a bench report (%s vs %s)", oldPath, newPath)
+	}
+	if oldLoad != nil {
+		return diffLoad(oldLoad, newLoad, threshold)
 	}
 
 	oldRep, err := load(oldPath)
@@ -357,6 +379,74 @@ func diffThroughput(oldRep, newRep *throughputReport, threshold float64) error {
 	}
 	if regressed > 0 {
 		return fmt.Errorf("%d throughput row(s) regressed QPS by more than %.1f%%", regressed, threshold)
+	}
+	return nil
+}
+
+// loadReport mirrors cmd/benchjson's LoadReport (only the compared
+// fields).
+type loadReport struct {
+	Kind string `json:"kind"`
+	Rows []struct {
+		Demo          int     `json:"demo"`
+		Gsir2LoadMs   float64 `json:"gsir2_load_ms"`
+		MmapOpenMs    float64 `json:"gsir3_mmap_open_ms"`
+		OpenSpeedup   float64 `json:"open_speedup_vs_gsir2"`
+		MmapColdP50Us float64 `json:"mmap_cold_p50_us"`
+		MmapColdP99Us float64 `json:"mmap_cold_p99_us"`
+	} `json:"rows"`
+}
+
+// loadLoad returns the file's load report, or nil when the file is not
+// one. Read errors are real.
+func loadLoad(path string) (*loadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadReport
+	if err := json.Unmarshal(data, &rep); err != nil || rep.Kind != "load" {
+		return nil, nil
+	}
+	return &rep, nil
+}
+
+// diffLoad gates a load report pair on the GSIR3 mmap open time
+// (percent-relative, higher is worse), matching rows by demo size.
+// Speedup and cold-query latency are printed but not gated.
+func diffLoad(oldRep, newRep *loadReport, threshold float64) error {
+	oldBy := make(map[int]int, len(oldRep.Rows))
+	for i, row := range oldRep.Rows {
+		oldBy[row.Demo] = i
+	}
+	seen := make(map[int]bool, len(newRep.Rows))
+	regressed := 0
+	for _, nr := range newRep.Rows {
+		seen[nr.Demo] = true
+		label := fmt.Sprintf("load demo=%d", nr.Demo)
+		oi, ok := oldBy[nr.Demo]
+		if !ok {
+			fmt.Printf("%-24s  (new row)     %12.3f ms open  %.0fx vs gsir2\n", label, nr.MmapOpenMs, nr.OpenSpeedup)
+			continue
+		}
+		or := oldRep.Rows[oi]
+		d := pctDelta(or.MmapOpenMs, nr.MmapOpenMs)
+		flagStr := ""
+		if d > threshold {
+			flagStr = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-24s  %12.3f → %12.3f ms open  %+7.2f%%  (%.0fx → %.0fx, cold p99 %.1f → %.1f us)%s\n",
+			label, or.MmapOpenMs, nr.MmapOpenMs, d, or.OpenSpeedup, nr.OpenSpeedup,
+			or.MmapColdP99Us, nr.MmapColdP99Us, flagStr)
+	}
+	for _, or := range oldRep.Rows {
+		if !seen[or.Demo] {
+			fmt.Printf("load demo=%d  (gone: only in the old report)\n", or.Demo)
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d load row(s) regressed mmap open time by more than %.1f%%", regressed, threshold)
 	}
 	return nil
 }

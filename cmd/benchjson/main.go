@@ -28,6 +28,11 @@
 //
 //	go run ./cmd/benchjson -throughput \
 //	    -runs /tmp/auto.json,/tmp/fanout.json -out BENCH_throughput.json
+//
+// With -load it wraps a geosir -load-bench sweep into a snapshot-load
+// benchmark report (see the Makefile's bench-load target):
+//
+//	go run ./cmd/benchjson -load -run /tmp/load.json -out BENCH_load.json
 package main
 
 import (
@@ -123,6 +128,33 @@ type ThroughputRow struct {
 	Errors      int     `json:"errors"`
 }
 
+// LoadReport wraps one geosir -load-bench sweep into a gateable
+// document. Kind is always "load" so cmd/benchdiff can tell this shape
+// apart from the others.
+type LoadReport struct {
+	Kind string `json:"kind"`
+	// Rows holds one entry per demo size, copied from the sweep: the
+	// mmap open time is the headline number benchdiff gates, and
+	// OpenSpeedup (GSIR2 decode time / mmap open time) is the claim the
+	// bench exists to demonstrate.
+	Rows []LoadRow `json:"rows"`
+	// Run embeds the full geosir -load-bench report verbatim so the
+	// BENCH file stands alone.
+	Run json.RawMessage `json:"run"`
+}
+
+// LoadRow is one demo-size cell of the load sweep.
+type LoadRow struct {
+	Demo            int     `json:"demo"`
+	Gsir2LoadMs     float64 `json:"gsir2_load_ms"`
+	Gsir3HeapLoadMs float64 `json:"gsir3_heap_load_ms"`
+	Gsir3MmapOpenMs float64 `json:"gsir3_mmap_open_ms"`
+	OpenSpeedup     float64 `json:"open_speedup_vs_gsir2"`
+	MmapColdP50Us   float64 `json:"mmap_cold_p50_us"`
+	MmapColdP99Us   float64 `json:"mmap_cold_p99_us"`
+	MappedBytes     int64   `json:"mapped_bytes"`
+}
+
 // loadgenRun is the slice of geosir-loadgen's JSON summary the merges
 // need.
 type loadgenRun struct {
@@ -161,13 +193,14 @@ func main() {
 	baseline := flag.String("baseline", "", "cache-off loadgen JSON summary (with -cache)")
 	cached := flag.String("cached", "", "cache-on loadgen JSON summary (with -cache)")
 	ingestMode := flag.Bool("ingest", false, "wrap one loadgen -write-ratio summary into an ingest report instead of parsing bench output")
-	runPath := flag.String("run", "", "mixed read/write loadgen JSON summary (with -ingest)")
+	runPath := flag.String("run", "", "input JSON summary: a mixed read/write loadgen run (with -ingest) or a geosir -load-bench sweep (with -load)")
 	throughputMode := flag.Bool("throughput", false, "merge loadgen concurrency-sweep summaries into a throughput report instead of parsing bench output")
 	runPaths := flag.String("runs", "", "comma-separated loadgen sweep JSON summaries (with -throughput)")
+	loadMode := flag.Bool("load", false, "wrap one geosir -load-bench sweep into a snapshot-load report instead of parsing bench output")
 	flag.Parse()
 
 	modes := 0
-	for _, on := range []bool{*cacheMode, *ingestMode, *throughputMode} {
+	for _, on := range []bool{*cacheMode, *ingestMode, *throughputMode, *loadMode} {
 		if on {
 			modes++
 		}
@@ -176,13 +209,15 @@ func main() {
 	var err error
 	switch {
 	case modes > 1:
-		err = fmt.Errorf("-cache, -ingest and -throughput are mutually exclusive")
+		err = fmt.Errorf("-cache, -ingest, -throughput and -load are mutually exclusive")
 	case *cacheMode:
 		enc, err = mergeCache(*baseline, *cached)
 	case *ingestMode:
 		enc, err = wrapIngest(*runPath)
 	case *throughputMode:
 		enc, err = mergeThroughput(*runPaths)
+	case *loadMode:
+		enc, err = wrapLoad(*runPath)
 	default:
 		enc, err = parseBench()
 	}
@@ -347,6 +382,48 @@ func mergeThroughput(runPaths string) ([]byte, error) {
 	for _, row := range rep.Rows {
 		fmt.Fprintf(os.Stderr, "benchjson: throughput %-10s c=%-4d %8.1f qps  p50 %.2f ms  p99 %.2f ms\n",
 			row.Exec, row.Concurrency, row.QPS, row.P50Ms, row.P99Ms)
+	}
+	return append(enc, '\n'), nil
+}
+
+// wrapLoad builds the LoadReport from one geosir -load-bench sweep. A
+// sweep with no rows, a row that never measured the mmap open, or an
+// mmap open no faster than the GSIR2 decode is an error: the bench did
+// not measure (or did not deliver) what it claims to.
+func wrapLoad(runPath string) ([]byte, error) {
+	if runPath == "" {
+		return nil, fmt.Errorf("-load needs -run")
+	}
+	data, err := os.ReadFile(runPath)
+	if err != nil {
+		return nil, err
+	}
+	var run struct {
+		Rows []LoadRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &run); err != nil {
+		return nil, fmt.Errorf("%s: %w", runPath, err)
+	}
+	if len(run.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no load-bench rows — run geosir -load-bench", runPath)
+	}
+	for _, row := range run.Rows {
+		if row.Gsir3MmapOpenMs <= 0 {
+			return nil, fmt.Errorf("%s: demo %d never measured the mmap open", runPath, row.Demo)
+		}
+		if row.OpenSpeedup <= 1 {
+			return nil, fmt.Errorf("%s: demo %d mmap open (%.3f ms) is not faster than the GSIR2 decode (%.3f ms)",
+				runPath, row.Demo, row.Gsir3MmapOpenMs, row.Gsir2LoadMs)
+		}
+	}
+	rep := LoadReport{Kind: "load", Rows: run.Rows, Run: data}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rep.Rows {
+		fmt.Fprintf(os.Stderr, "benchjson: load demo=%-5d open %8.3f ms (%.0fx vs gsir2 %.1f ms)  cold p99 %.1f us\n",
+			row.Demo, row.Gsir3MmapOpenMs, row.OpenSpeedup, row.Gsir2LoadMs, row.MmapColdP99Us)
 	}
 	return append(enc, '\n'), nil
 }

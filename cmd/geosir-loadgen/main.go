@@ -57,11 +57,12 @@ func main() {
 		wait        = flag.Duration("wait", 0, "poll /readyz up to this long before starting")
 		smoke       = flag.Bool("smoke", false, "probe mode: healthz, readyz, one query of each kind; exit 0/1")
 		expShards   = flag.Int("expect-shards", 0, "with -smoke: require /statz to report exactly N live shards")
+		expLoadMode = flag.String("expect-load-mode", "", "with -smoke: require /statz storage to report this load mode (heap or mmap; mmap also requires mapped bytes)")
 		writeRatio  = flag.Float64("write-ratio", 0, "fraction of requests that are live writes against /v1/images (needs geosird -ingest)")
 		ingestSmoke = flag.Bool("ingest-smoke", false, "probe live ingestion: insert → query → compact → query → delete; exit 0/1")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *concurrency, *qps, *k, *execPolicy, *mixSpec, *dist, *zipfS, *seed, *label, *out, *wait, *smoke, *expShards, *writeRatio, *ingestSmoke); err != nil {
+	if err := run(*addr, *duration, *concurrency, *qps, *k, *execPolicy, *mixSpec, *dist, *zipfS, *seed, *label, *out, *wait, *smoke, *expShards, *expLoadMode, *writeRatio, *ingestSmoke); err != nil {
 		fmt.Fprintln(os.Stderr, "geosir-loadgen:", err)
 		os.Exit(1)
 	}
@@ -243,7 +244,43 @@ func checkShards(client *http.Client, addr string, expect int) error {
 	return nil
 }
 
-func runSmoke(client *http.Client, addr string, ks []kind, expShards int) error {
+// checkLoadMode asserts via /statz that the snapshot is served in the
+// expected storage mode. An mmap expectation also requires a nonzero
+// mapped footprint — "mmap" with nothing mapped means the daemon fell
+// back to heap decoding without saying so.
+func checkLoadMode(client *http.Client, addr, expect string) error {
+	resp, err := client.Get(addr + "/statz")
+	if err != nil {
+		return fmt.Errorf("/statz: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("/statz: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var stz struct {
+		Storage *struct {
+			LoadMode    string `json:"load_mode"`
+			MappedBytes int64  `json:"mapped_bytes"`
+		} `json:"storage"`
+	}
+	if err := json.Unmarshal(body, &stz); err != nil {
+		return fmt.Errorf("/statz: %w", err)
+	}
+	if stz.Storage == nil {
+		return fmt.Errorf("expected load mode %q, but /statz reports no storage section", expect)
+	}
+	if stz.Storage.LoadMode != expect {
+		return fmt.Errorf("expected load mode %q, /statz reports %q", expect, stz.Storage.LoadMode)
+	}
+	if expect == "mmap" && stz.Storage.MappedBytes <= 0 {
+		return fmt.Errorf("load mode is mmap but /statz reports %d mapped bytes", stz.Storage.MappedBytes)
+	}
+	fmt.Printf("%-16s ok (load mode %s, %d bytes mapped)\n", "/statz", expect, stz.Storage.MappedBytes)
+	return nil
+}
+
+func runSmoke(client *http.Client, addr string, ks []kind, expShards int, expLoadMode string) error {
 	for _, probe := range []string{"/healthz", "/readyz"} {
 		resp, err := client.Get(addr + probe)
 		if err != nil {
@@ -270,6 +307,11 @@ func runSmoke(client *http.Client, addr string, ks []kind, expShards int) error 
 	}
 	if expShards > 0 {
 		if err := checkShards(client, addr, expShards); err != nil {
+			return err
+		}
+	}
+	if expLoadMode != "" {
+		if err := checkLoadMode(client, addr, expLoadMode); err != nil {
 			return err
 		}
 	}
@@ -697,7 +739,7 @@ func runLevel(client *http.Client, addr string, ks []kind, mix []int,
 
 func run(addr string, duration time.Duration, concSpec string, qps float64, k int,
 	execPolicy, mixSpec, dist string, zipfS float64, seed int64, label, out string, wait time.Duration,
-	smoke bool, expShards int, writeRatio float64, ingestSmoke bool) error {
+	smoke bool, expShards int, expLoadMode string, writeRatio float64, ingestSmoke bool) error {
 
 	switch execPolicy {
 	case "", "auto", "fanout", "sequential":
@@ -731,7 +773,7 @@ func run(addr string, duration time.Duration, concSpec string, qps float64, k in
 		return runIngestSmoke(client, addr)
 	}
 	if smoke {
-		return runSmoke(client, addr, ks, expShards)
+		return runSmoke(client, addr, ks, expShards, expLoadMode)
 	}
 	if writeRatio < 0 || writeRatio >= 1 {
 		return fmt.Errorf("-write-ratio must be in [0, 1), got %v", writeRatio)

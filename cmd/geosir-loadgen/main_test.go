@@ -50,11 +50,11 @@ func startSharded(t *testing.T, shards int) *httptest.Server {
 func TestSmokeAgainstShardedServer(t *testing.T) {
 	ts := startSharded(t, 3)
 	// Full smoke including the shard-health probe and /v1/search kind.
-	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, true, 3, 0, false); err != nil {
+	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, true, 3, "", 0, false); err != nil {
 		t.Fatalf("smoke: %v", err)
 	}
 	// Wrong shard expectation must fail.
-	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, true, 5, 0, false); err == nil {
+	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, true, 5, "", 0, false); err == nil {
 		t.Fatal("expect-shards mismatch should fail the smoke")
 	} else if !strings.Contains(err.Error(), "shards") {
 		t.Fatalf("unexpected error: %v", err)
@@ -212,7 +212,7 @@ func TestBuildKindsExecKnob(t *testing.T) {
 func TestConcurrencySweep(t *testing.T) {
 	ts := startSharded(t, 2)
 	out := t.TempDir() + "/sweep.json"
-	if err := run(ts.URL, 700*time.Millisecond, "1,2", 0, 2, "auto", "search=1", "uniform", 1.1, 1, "sweep-test", out, 0, false, 0, 0, false); err != nil {
+	if err := run(ts.URL, 700*time.Millisecond, "1,2", 0, 2, "auto", "search=1", "uniform", 1.1, 1, "sweep-test", out, 0, false, 0, "", 0, false); err != nil {
 		t.Fatalf("sweep run: %v", err)
 	}
 	blob, err := os.ReadFile(out)
@@ -250,7 +250,7 @@ func TestConcurrencySweep(t *testing.T) {
 		t.Fatalf("sweep rows sum to %d requests, bench says %d", total, bench.Requests)
 	}
 	// A bad exec policy is rejected before any traffic.
-	if err := run(ts.URL, time.Second, "1", 0, 2, "nope", "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, false); err == nil {
+	if err := run(ts.URL, time.Second, "1", 0, 2, "nope", "", "uniform", 1.1, 1, "", "", 0, false, 0, "", 0, false); err == nil {
 		t.Fatal("unknown -exec should fail")
 	}
 }
@@ -308,12 +308,12 @@ func startIngest(t *testing.T) *httptest.Server {
 
 func TestIngestSmoke(t *testing.T) {
 	ts := startIngest(t)
-	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err != nil {
+	if err := run(ts.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, false, 0, "", 0, true); err != nil {
 		t.Fatalf("ingest smoke: %v", err)
 	}
 	// Read-only server: the smoke must fail with the insert refused.
 	ro := startSharded(t, 2)
-	if err := run(ro.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, false, 0, 0, true); err == nil {
+	if err := run(ro.URL, time.Second, "1", 0, 2, "", "", "uniform", 1.1, 1, "", "", 0, false, 0, "", 0, true); err == nil {
 		t.Fatal("ingest smoke should fail against a read-only server")
 	}
 }
@@ -321,7 +321,7 @@ func TestIngestSmoke(t *testing.T) {
 func TestWriteRatioWorkload(t *testing.T) {
 	ts := startIngest(t)
 	out := t.TempDir() + "/ingest.json"
-	if err := run(ts.URL, 1500*time.Millisecond, "2", 0, 2, "", "similar=1", "uniform", 1.1, 1, "", out, 0, false, 0, 0.5, false); err != nil {
+	if err := run(ts.URL, 1500*time.Millisecond, "2", 0, 2, "", "similar=1", "uniform", 1.1, 1, "", out, 0, false, 0, "", 0.5, false); err != nil {
 		t.Fatalf("write workload: %v", err)
 	}
 	blob, err := os.ReadFile(out)

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/synth"
+)
+
+// loadBenchRow is one demo-size cell of the snapshot open/load sweep in
+// BENCH_load.json. The three timing columns are the point of the bench:
+// GSIR2 decode rebuilds the heap structures, GSIR3 heap load assembles
+// them from sections, and the GSIR3 mmap open maps them in place — the
+// last should be roughly flat in base size (O(1) open), which is what
+// the sweep across Demo sizes demonstrates.
+type loadBenchRow struct {
+	Demo    int `json:"demo"`
+	Images  int `json:"images"`
+	Entries int `json:"entries"`
+	// Snapshot sizes on disk.
+	Gsir2Bytes int64 `json:"gsir2_bytes"`
+	Gsir3Bytes int64 `json:"gsir3_bytes"`
+	// Open/load wall times (best of several runs — opens are
+	// microsecond-scale and a single sample is all scheduler noise).
+	Gsir2LoadMs     float64 `json:"gsir2_load_ms"`
+	Gsir3HeapLoadMs float64 `json:"gsir3_heap_load_ms"`
+	Gsir3MmapOpenMs float64 `json:"gsir3_mmap_open_ms"`
+	// OpenSpeedup is Gsir2LoadMs / Gsir3MmapOpenMs — the headline
+	// column benchdiff tracks.
+	OpenSpeedup float64 `json:"open_speedup_vs_gsir2"`
+	// Memory: bytes mapped by the open vs heap bytes retained by the
+	// full decode (the mmap side's resident set is the page cache's
+	// business and grows only with the pages queries touch).
+	MappedBytes   int64 `json:"mapped_bytes"`
+	HeapLoadBytes int64 `json:"heap_load_bytes"`
+	// First-pass query latencies right after the open (every page fault
+	// and lazy structure is paid here) and a second warm pass for
+	// contrast. HeapColdP50Us is the same first pass on the fully
+	// decoded engine — the bound mmap cold queries should approach.
+	MmapColdP50Us float64 `json:"mmap_cold_p50_us"`
+	MmapColdP99Us float64 `json:"mmap_cold_p99_us"`
+	MmapWarmP50Us float64 `json:"mmap_warm_p50_us"`
+	HeapColdP50Us float64 `json:"heap_cold_p50_us"`
+}
+
+type loadBenchReport struct {
+	Seed    int64          `json:"seed"`
+	Queries int            `json:"queries"`
+	Cores   int            `json:"cores"`
+	Rows    []loadBenchRow `json:"rows"`
+}
+
+// runLoadBench freezes one synthetic base per requested demo size, saves
+// it as both GSIR2 and GSIR3, and measures decode vs assemble vs mmap
+// open, plus cold-query latency and memory on each side. Every query is
+// also cross-checked: the mmap-served engine must return byte-identical
+// responses to the heap-loaded one, so the bench doubles as an
+// end-to-end equivalence smoke.
+func runLoadBench(basePath, sizesStr string, seed int64, out string) error {
+	if basePath != "" {
+		return fmt.Errorf("-load-bench needs -demo-style synthetic bases (sizes come from the flag)")
+	}
+	var sizes []int
+	for _, tok := range strings.Split(sizesStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad demo size %q in -load-bench", tok)
+		}
+		sizes = append(sizes, n)
+	}
+	tmp, err := os.MkdirTemp("", "geosir-loadbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	report := loadBenchReport{Seed: seed, Cores: runtime.NumCPU()}
+	for _, demo := range sizes {
+		row, nq, err := loadBenchOne(tmp, demo, seed)
+		if err != nil {
+			return fmt.Errorf("demo %d: %w", demo, err)
+		}
+		report.Queries = nq
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(os.Stderr,
+			"demo=%-5d gsir2 %8.2fms  v3-heap %8.2fms  v3-mmap %8.3fms  (%.0fx)  cold p50 %.1fus p99 %.1fus\n",
+			demo, row.Gsir2LoadMs, row.Gsir3HeapLoadMs, row.Gsir3MmapOpenMs,
+			row.OpenSpeedup, row.MmapColdP50Us, row.MmapColdP99Us)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// loadBenchOne measures one demo size. It returns the row and the query
+// count (constant across sizes given the fixed per-image query spec).
+func loadBenchOne(tmp string, demo int, seed int64) (loadBenchRow, int, error) {
+	row := loadBenchRow{Demo: demo}
+
+	// Build and freeze the base, then derive the query workload from the
+	// same generator state runShardBench uses.
+	builder := geosir.New(geosir.DefaultOptions())
+	if err := fillBase(builder, "", demo, seed); err != nil {
+		return row, 0, err
+	}
+	if err := builder.Freeze(); err != nil {
+		return row, 0, err
+	}
+	spec := synth.PaperSpec(float64(demo)/10000, seed)
+	spec.Images = demo
+	images := synth.GenerateBase(spec)
+	queries := synth.Queries(rand.New(rand.NewSource(seed+7)), images, 8, 0.01)
+	row.Images = builder.NumImages()
+	row.Entries = builder.NumEntries()
+
+	p2 := filepath.Join(tmp, fmt.Sprintf("base-%d.gsir2", demo))
+	p3 := filepath.Join(tmp, fmt.Sprintf("base-%d.gsir3", demo))
+	if err := builder.SaveFileAs(p2, geosir.FormatGSIR2); err != nil {
+		return row, 0, err
+	}
+	if err := builder.SaveFileAs(p3, geosir.FormatGSIR3); err != nil {
+		return row, 0, err
+	}
+	for _, f := range []struct {
+		path string
+		dst  *int64
+	}{{p2, &row.Gsir2Bytes}, {p3, &row.Gsir3Bytes}} {
+		fi, err := os.Stat(f.path)
+		if err != nil {
+			return row, 0, err
+		}
+		*f.dst = fi.Size()
+	}
+
+	// GSIR2 decode: the baseline every speedup column divides by.
+	d2, _, err := bestLoad(3, func() (*geosir.Engine, error) { return geosir.LoadFile(p2) })
+	if err != nil {
+		return row, 0, err
+	}
+	row.Gsir2LoadMs = millis(d2)
+
+	// GSIR3 heap assemble, with the retained-bytes delta measured once
+	// outside the timing loop (GC runs would pollute the wall times).
+	d3, _, err := bestLoad(3, func() (*geosir.Engine, error) { return geosir.LoadFile(p3) })
+	if err != nil {
+		return row, 0, err
+	}
+	row.Gsir3HeapLoadMs = millis(d3)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	heapEng, err := geosir.LoadFile(p3)
+	if err != nil {
+		return row, 0, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		row.HeapLoadBytes = int64(m1.HeapAlloc - m0.HeapAlloc)
+	}
+
+	// GSIR3 mmap open. Close each probe open so the sweep does not
+	// accumulate mappings; keep the last one for the query passes.
+	dm, mmapEng, err := bestLoad(5, func() (*geosir.Engine, error) { return geosir.LoadFileMmap(p3) })
+	if err != nil {
+		return row, 0, err
+	}
+	row.Gsir3MmapOpenMs = millis(dm)
+	if row.Gsir3MmapOpenMs > 0 {
+		row.OpenSpeedup = row.Gsir2LoadMs / row.Gsir3MmapOpenMs
+	}
+	defer mmapEng.Close()
+	row.MappedBytes = mmapEng.StorageStats().MappedBytes
+
+	// Cold pass on the freshly opened mapping, cross-checked against the
+	// decoded engine; then a warm second pass.
+	heapCold, heapResp, err := queryPass(heapEng, queries)
+	if err != nil {
+		return row, 0, err
+	}
+	mmapCold, mmapResp, err := queryPass(mmapEng, queries)
+	if err != nil {
+		return row, 0, err
+	}
+	for i := range heapResp {
+		if !bytes.Equal(heapResp[i], mmapResp[i]) {
+			return row, 0, fmt.Errorf("query %d: mmap response differs from heap response", i)
+		}
+	}
+	mmapWarm, _, err := queryPass(mmapEng, queries)
+	if err != nil {
+		return row, 0, err
+	}
+	row.HeapColdP50Us = pctUs(heapCold, 0.50)
+	row.MmapColdP50Us = pctUs(mmapCold, 0.50)
+	row.MmapColdP99Us = pctUs(mmapCold, 0.99)
+	row.MmapWarmP50Us = pctUs(mmapWarm, 0.50)
+	runtime.KeepAlive(heapEng)
+	return row, len(queries), nil
+}
+
+// bestLoad runs the loader n times and returns the best wall time with
+// the final engine (intermediate engines are closed — harmless for heap
+// loads, unmapping for mmap opens).
+func bestLoad(n int, load func() (*geosir.Engine, error)) (time.Duration, *geosir.Engine, error) {
+	var best time.Duration = -1
+	var keep *geosir.Engine
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		eng, err := load()
+		d := time.Since(t0)
+		if err != nil {
+			return 0, nil, err
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+		if keep != nil {
+			keep.Close()
+		}
+		keep = eng
+	}
+	return best, keep, nil
+}
+
+// queryPass runs every query once, sequentially, returning per-query
+// latencies and the JSON-encoded responses (for equivalence checks).
+func queryPass(eng *geosir.Engine, queries []geosir.Shape) ([]time.Duration, [][]byte, error) {
+	lats := make([]time.Duration, 0, len(queries))
+	resps := make([][]byte, 0, len(queries))
+	for _, q := range queries {
+		t0 := time.Now()
+		resp, err := eng.Search(context.Background(),
+			geosir.SearchRequest{Query: q, K: 5, Mode: geosir.ModeExact})
+		if err != nil {
+			return nil, nil, err
+		}
+		lats = append(lats, time.Since(t0))
+		enc, err := json.Marshal(resp)
+		if err != nil {
+			return nil, nil, err
+		}
+		resps = append(resps, enc)
+	}
+	return lats, resps, nil
+}
+
+func millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func pctUs(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return float64(s[int(p*float64(len(s)-1))].Nanoseconds()) / 1e3
+}

@@ -17,6 +17,7 @@
 //	geosir -base shapes.txt -stats
 //	geosir -demo 500 -shards 4 -snapshot-out snapdir   # sharded snapshot directory
 //	geosir -demo 500 -shard-bench 1,2,4 -bench-out BENCH_shard.json
+//	geosir -load-bench 100,400 -bench-out BENCH_load.json
 package main
 
 import (
@@ -54,13 +55,21 @@ func main() {
 		snapOut    = flag.String("snapshot-out", "", "freeze the loaded/demo base and write a snapshot for geosird, then exit (with -shards > 1: a snapshot directory)")
 		shards     = flag.Int("shards", 1, "partition the base across N shards")
 		shardBench = flag.String("shard-bench", "", "comma-separated shard counts to benchmark Freeze + queries over, e.g. \"1,2,4\"")
-		benchOut   = flag.String("bench-out", "", "write -shard-bench results as JSON to this file (default stdout)")
+		loadBench  = flag.String("load-bench", "", "comma-separated demo sizes to benchmark snapshot decode vs mmap open over, e.g. \"100,400\"")
+		benchOut   = flag.String("bench-out", "", "write -shard-bench/-load-bench results as JSON to this file (default stdout)")
 		annMode    = flag.String("ann", "off", "ANN candidate tier: off, verify (reorder only, exact results), approx (sublinear)")
 	)
 	flag.Parse()
 
 	if *shardBench != "" {
 		if err := runShardBench(*basePath, *demo, *seed, *shardBench, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "geosir:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadBench != "" {
+		if err := runLoadBench(*basePath, *loadBench, *seed, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "geosir:", err)
 			os.Exit(1)
 		}
@@ -288,9 +297,11 @@ func runDump(basePath string, demo int, seed int64, out string) error {
 }
 
 // runSnapshot materializes a base (demo or loaded), freezes it, and
-// writes a GSIR snapshot ready to serve with geosird -snapshot. With
-// shards > 1 the snapshot is a directory of per-shard GSIR2 files plus
-// a manifest.
+// writes a GSIR snapshot ready to serve with geosird -snapshot. The base
+// is frozen, so the snapshot is GSIR3 — reloads assemble (or, with
+// geosird -load-mode mmap, map) the sections instead of rebuilding. With
+// shards > 1 the snapshot is a directory of per-shard files plus a
+// manifest.
 func runSnapshot(basePath string, demo int, seed int64, shards int, out string) error {
 	eng := newEngine(shards)
 	if err := fillBase(eng, basePath, demo, seed); err != nil {
@@ -307,7 +318,7 @@ func runSnapshot(basePath string, demo int, seed int64, shards int, out string) 
 		fmt.Printf("wrote sharded snapshot %s (%d shards, %d images, %d shapes, %d entries)\n",
 			out, e.NumShards(), e.NumImages(), e.NumShapes(), e.NumEntries())
 	case *geosir.Engine:
-		if err := e.SaveFile(out); err != nil {
+		if err := e.SaveFileAs(out, geosir.FormatGSIR3); err != nil {
 			return err
 		}
 		fmt.Printf("wrote snapshot %s (%d images, %d shapes, %d entries)\n",

@@ -1,12 +1,16 @@
 // Command geosird is the GeoSIR network daemon: it serves a frozen
-// engine loaded from a GSIR1/GSIR2 snapshot over an HTTP JSON API.
+// engine loaded from a GSIR1/GSIR2/GSIR3 snapshot over an HTTP JSON API.
 //
 //	geosird -snapshot base.gsir -addr :8080
 //	geosird -snapshot sharded-snapshot-dir/ -addr :8080
+//	geosird -snapshot sharded-snapshot-dir/ -load-mode mmap -addr :8080
 //
 // A file path serves a single engine; a directory path serves a
 // ShardedEngine from per-shard snapshot files (a damaged shard degrades
-// to partial results and is reported in /statz).
+// to partial results and is reported in /statz). -load-mode mmap maps
+// GSIR3 snapshots and serves the hot sections straight off the page
+// cache — open is O(1) in base size and the base may exceed RAM;
+// non-GSIR3 snapshots silently fall back to a heap load per file.
 //
 // Endpoints: POST /v1/search (unified), /v1/similar, /v1/approximate,
 // /v1/sketch, /v1/topological, POST /admin/reload, GET /healthz /readyz
@@ -64,9 +68,15 @@ func main() {
 		compactAt   = flag.Int("compact-threshold", 0, "delta shape count that triggers background compaction (0 = default, negative = manual /admin/compact only; needs -ingest)")
 		walNoSync   = flag.Bool("wal-nosync", false, "skip the per-write WAL fsync — a crash may lose acknowledged writes (benchmarks only; needs -ingest)")
 		execPolicy  = flag.String("exec", "auto", "default execution policy for requests that do not set one: auto (adapt fan-out to load), fanout, sequential")
+		loadMode    = flag.String("load-mode", "heap", "snapshot load mode: heap (decode into memory) or mmap (serve GSIR3 sections off the page cache; non-GSIR3 files fall back to heap)")
 	)
 	flag.Parse()
 	defaultExec, err := geosir.ParseExecPolicy(*execPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geosird:", err)
+		os.Exit(2)
+	}
+	mode, err := geosir.ParseLoadMode(*loadMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "geosird:", err)
 		os.Exit(2)
@@ -80,6 +90,7 @@ func main() {
 		CacheBytes:     *cacheBytes,
 		CacheEntries:   *cacheEnts,
 		DefaultExec:    defaultExec,
+		LoadMode:       mode,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr

@@ -112,6 +112,11 @@ type Stats struct {
 	UsedANN       bool
 	ANNProbes     int
 	ANNCandidates int
+	// BlockReads is the page-granular storage footprint of the entries
+	// this search evaluated (the paper's §4 block-access measure, live on
+	// the real path instead of the extstore simulation). Under mmap
+	// serving it estimates the pages the query could fault in.
+	BlockReads int
 }
 
 // Engine is a GeoSIR instance: the shape base, the per-image topology
@@ -130,6 +135,11 @@ type Engine struct {
 	ann    *annindex.Index
 	annPre *annPreload
 	frozen bool
+
+	// stor records how the engine's snapshot is backed (nil = heap).
+	// Set by LoadFileMmap, which also pins the mapping's lifetime to the
+	// engine; see persist_v3.go.
+	stor *engineStorage
 
 	// sched plans per-request fan-out width (sketch shapes) from the
 	// live in-flight load; the zero value is ready to use.

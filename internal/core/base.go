@@ -95,6 +95,12 @@ type Base struct {
 	// scratch.go). Populated lazily after Freeze.
 	scratch sync.Pool
 
+	// entryCost holds the page-granular storage footprint of each entry
+	// (vertices + transforms + bound + oracle grid), computed at Freeze
+	// or reassembly. The match kernel charges it into Stats.BlocksRead
+	// whenever an entry is evaluated (§4 block accounting; see parts.go).
+	entryCost []int32
+
 	backend rangesearch.Backend
 	frozen  bool
 }
@@ -166,6 +172,7 @@ func (b *Base) Freeze() error {
 		b.backend = rangesearch.New(b.opts.Backend, b.verts)
 	}
 	b.buildOracles()
+	b.computeEntryCosts()
 	b.frozen = true
 	return nil
 }

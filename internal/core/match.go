@@ -34,6 +34,7 @@ type Stats struct {
 	VerticesReported int     // K plus filtered duplicates from the cover
 	VerticesCounted  int     // K: vertices that entered counters
 	Candidates       int     // entries that crossed the (1-β) threshold
+	BlocksRead       int     // page-granular storage touched (§4 block accounting)
 	Converged        bool    // true: stopped via the similarity bound
 }
 
@@ -207,6 +208,7 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 	// partial sum is not the directed distance).
 	evaluate := func(ei int32) {
 		stats.Candidates++
+		stats.BlocksRead += b.blockCost(ei)
 		if onAccess != nil {
 			onAccess(int(ei))
 		}
@@ -450,6 +452,7 @@ func (b *Base) match(q geom.Poly, k int, tau float64, onAccess func(entryID int)
 		}
 		ei := out[i].EntryID
 		e := &b.entries[ei]
+		stats.BlocksRead += b.blockCost(int32(ei))
 		out[i].DistContinuous = (b.avgMinDistToScratch(e.Poly, oracle, scratch) +
 			b.avgMinDistToScratch(qe.Poly, b.entryOracle(int32(ei)), scratch)) / 2
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/shapeindex"
@@ -212,6 +213,12 @@ type PreparedQuery struct {
 	entry  Entry
 	oracle *BoundaryDist
 	bound  GeomBound
+
+	// blocks, when attached, accumulates the page-granular cost of every
+	// entry this query evaluates through the bounded distance checks (§4
+	// block accounting). Atomic because one prepared query fans out
+	// across shard goroutines.
+	blocks *atomic.Int64
 }
 
 // PrepareQuery normalizes q canonically and builds its boundary oracle.
@@ -229,6 +236,10 @@ func PrepareQuery(q geom.Poly) (*PreparedQuery, error) {
 
 // Entry returns the query's canonical normalization.
 func (pq *PreparedQuery) Entry() Entry { return pq.entry }
+
+// AttachBlockCounter makes the query charge per-entry block costs into
+// c. Attach before sharing the query across goroutines.
+func (pq *PreparedQuery) AttachBlockCounter(c *atomic.Int64) { pq.blocks = c }
 
 // Oracle returns the query's boundary-distance oracle.
 func (pq *PreparedQuery) Oracle() *BoundaryDist { return pq.oracle }

@@ -228,6 +228,9 @@ func (b *Base) ShapeDistancePreparedBounded(shapeID int, pq *PreparedQuery, cuto
 		if b.geomBounds != nil && pq.bound.LowerBound(&b.geomBounds[ei]) > cut {
 			continue
 		}
+		if pq.blocks != nil {
+			pq.blocks.Add(int64(b.blockCost(ei)))
+		}
 		dir, ok := avgMinDistVerticesBoundedAffine(b.entries[ei].Poly, pq.oracle, 0, cut)
 		if !ok {
 			continue

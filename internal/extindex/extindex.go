@@ -58,7 +58,9 @@ func Build(pts []geom.Point, bufBlocks int) (*Tree, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("extindex: no points")
 	}
-	t := &Tree{disk: extstore.NewDisk(), n: len(pts)}
+	// Pin the paper's 1 Kbyte block (BlockCapacity is derived from it):
+	// §4 reports I/O counts in that unit.
+	t := &Tree{disk: extstore.NewDiskSize(extstore.BlockSize), n: len(pts)}
 	ids := make([]int32, len(pts))
 	work := make([]geom.Point, len(pts))
 	copy(work, pts)

@@ -3,22 +3,42 @@ package extstore
 import (
 	"container/list"
 	"fmt"
+	"os"
 
 	"repro/internal/iofault"
 )
 
-// Disk is a simulated block device: an array of BlockSize-byte blocks
-// with read/write accounting and optional fault injection (failed reads
-// and writes, torn block writes) for crash-safety tests.
+// Disk is a simulated block device: an array of fixed-size blocks with
+// read/write accounting and optional fault injection (failed reads and
+// writes, torn block writes) for crash-safety tests.
 type Disk struct {
-	blocks [][]byte
-	reads  int
-	writes int
-	faults *iofault.BlockPlan
+	blockSize int
+	blocks    [][]byte
+	reads     int
+	writes    int
+	faults    *iofault.BlockPlan
 }
 
-// NewDisk creates an empty disk.
-func NewDisk() *Disk { return &Disk{} }
+// NewDisk creates an empty disk whose block size is the operating
+// system's page size, so one simulated block read corresponds to one
+// page touched on the real mmap-served path (GSIR3 block accounting).
+// Use NewDiskSize(BlockSize) for the paper's §4 1 Kbyte experiments.
+func NewDisk() *Disk { return NewDiskSize(os.Getpagesize()) }
+
+// NewDiskSize creates an empty disk with the given block size, which
+// must be a positive power of two and a multiple of the 8-byte section
+// alignment the GSIR3 writer guarantees — the same invariant that makes
+// mapped sections castable lets simulated blocks tile them exactly.
+// An invalid size is a programming error and panics.
+func NewDiskSize(blockSize int) *Disk {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 || blockSize%8 != 0 {
+		panic(fmt.Sprintf("extstore: block size %d must be a positive power of two ≥ 8", blockSize))
+	}
+	return &Disk{blockSize: blockSize}
+}
+
+// BlockSize returns this disk's block size in bytes.
+func (d *Disk) BlockSize() int { return d.blockSize }
 
 // NumBlocks returns the number of allocated blocks.
 func (d *Disk) NumBlocks() int { return len(d.blocks) }
@@ -37,13 +57,14 @@ func (d *Disk) ResetStats() { d.reads, d.writes = 0, 0 }
 func (d *Disk) InjectFaults(p *iofault.BlockPlan) { d.faults = p }
 
 // Write stores data as block idx (allocating as needed) and counts one
-// write I/O. data must not exceed BlockSize. An injected failure leaves
-// the block untouched and does not count as a write; an injected torn
-// write persists only a prefix of data while still reporting success (the
-// crash-mid-write model — callers discover the damage on read).
+// write I/O. data must not exceed the disk's block size. An injected
+// failure leaves the block untouched and does not count as a write; an
+// injected torn write persists only a prefix of data while still
+// reporting success (the crash-mid-write model — callers discover the
+// damage on read).
 func (d *Disk) Write(idx int, data []byte) error {
-	if len(data) > BlockSize {
-		return fmt.Errorf("extstore: block %d overflows: %d bytes", idx, len(data))
+	if len(data) > d.blockSize {
+		return fmt.Errorf("extstore: block %d overflows: %d bytes > block size %d", idx, len(data), d.blockSize)
 	}
 	keep, err := d.faults.NextWrite(len(data))
 	if err != nil {

@@ -113,7 +113,7 @@ func TestIdenticalQuadsStable(t *testing.T) {
 		recs[i].Quad = geohash.Quadruple{7, 7, 7, 7}
 	}
 	for _, layout := range Layouts() {
-		blocks, _, err := packRecords(recs, layout)
+		blocks, _, err := packRecords(recs, layout, BlockSize)
 		if err != nil {
 			t.Fatalf("%s: %v", layout, err)
 		}
@@ -126,7 +126,7 @@ func TestIdenticalQuadsStable(t *testing.T) {
 		}
 	}
 	// Sorted layouts must order ties by entry id.
-	blocks, _, err := packRecords(recs, LayoutMean)
+	blocks, _, err := packRecords(recs, LayoutMean, BlockSize)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package extstore
 import (
 	"math"
 	"math/rand"
+	"os"
 	"testing"
 	"testing/quick"
 
@@ -94,7 +95,7 @@ func TestRecordErrors(t *testing.T) {
 }
 
 func TestDiskReadWrite(t *testing.T) {
-	d := NewDisk()
+	d := NewDiskSize(BlockSize)
 	if err := d.Write(0, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +121,29 @@ func TestDiskReadWrite(t *testing.T) {
 	d.ResetStats()
 	if d.Reads() != 0 || d.Writes() != 0 {
 		t.Error("ResetStats failed")
+	}
+}
+
+func TestDiskBlockSizes(t *testing.T) {
+	// The default disk models the real storage hierarchy: one block is
+	// one OS page, matching the GSIR3 mmap-path accounting.
+	if got := NewDisk().BlockSize(); got != os.Getpagesize() {
+		t.Errorf("NewDisk block size = %d, want page size %d", got, os.Getpagesize())
+	}
+	if got := NewDiskSize(BlockSize).BlockSize(); got != BlockSize {
+		t.Errorf("NewDiskSize(%d) block size = %d", BlockSize, got)
+	}
+	// Non-power-of-two and misaligned sizes violate the section
+	// alignment contract and must be rejected at construction.
+	for _, bad := range []int{0, -8, 1000, 12, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDiskSize(%d) should panic", bad)
+				}
+			}()
+			NewDiskSize(bad)
+		}()
 	}
 }
 
@@ -286,7 +310,7 @@ func TestLocalOptPacksSimilarTogether(t *testing.T) {
 		r.Quad = geohash.Quadruple{40, 40, 40, 40}
 		records = append(records, r)
 	}
-	blocks, _, err := packRecords(records, LayoutLocalOpt)
+	blocks, _, err := packRecords(records, LayoutLocalOpt, BlockSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +387,7 @@ func TestQuickPackingInvariants(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		records := randomRecords(rng, 1+rng.Intn(120))
 		for _, layout := range Layouts() {
-			blocks, _, err := packRecords(records, layout)
+			blocks, _, err := packRecords(records, layout, BlockSize)
 			if err != nil {
 				return false
 			}

@@ -43,7 +43,7 @@ func (l Layout) Valid() bool {
 
 // packRecords partitions record indices into blocks per the layout. The
 // returned comparisons counter feeds the rehash-cost model.
-func packRecords(records []Record, layout Layout) (blocks [][]int, comparisons int, err error) {
+func packRecords(records []Record, layout Layout, blockSize int) (blocks [][]int, comparisons int, err error) {
 	switch layout {
 	case LayoutMean, LayoutLex, LayoutMedian:
 		order := make([]int, len(records))
@@ -74,9 +74,9 @@ func packRecords(records []Record, layout Layout) (blocks [][]int, comparisons i
 			}
 			return ra.EntryID < rb.EntryID
 		})
-		return packSequential(records, order), cmp, nil
+		return packSequential(records, order, blockSize), cmp, nil
 	case LayoutLocalOpt:
-		b, cmp := packLocalOpt(records)
+		b, cmp := packLocalOpt(records, blockSize)
 		return b, cmp, nil
 	default:
 		return nil, 0, fmt.Errorf("extstore: unknown layout %q", layout)
@@ -85,13 +85,13 @@ func packRecords(records []Record, layout Layout) (blocks [][]int, comparisons i
 
 // packSequential fills blocks in the given order, starting a new block
 // whenever the next record does not fit.
-func packSequential(records []Record, order []int) [][]int {
+func packSequential(records []Record, order []int, blockSize int) [][]int {
 	var blocks [][]int
 	var cur []int
 	size := 0
 	for _, idx := range order {
 		sz := records[idx].EncodedSize()
-		if size+sz > BlockSize && len(cur) > 0 {
+		if size+sz > blockSize && len(cur) > 0 {
 			blocks = append(blocks, cur)
 			cur, size = nil, 0
 		}
@@ -138,7 +138,7 @@ func featDist(a, b *[2 * featurePts]float64) float64 {
 // in the lexicographically sorted quadruple order, which preserves the
 // greedy's behavior (geometric neighbors have neighboring quadruples) at
 // tractable cost.
-func packLocalOpt(records []Record) ([][]int, int) {
+func packLocalOpt(records []Record, blockSize int) ([][]int, int) {
 	n := len(records)
 	if n == 0 {
 		return nil, 0
@@ -276,7 +276,7 @@ func packLocalOpt(records []Record) ([][]int, int) {
 			refs[i] = feats[idx]
 		}
 		nextRec := pickMin(refs, cur[0])
-		if nextRec >= 0 && size+records[nextRec].EncodedSize() <= BlockSize {
+		if nextRec >= 0 && size+records[nextRec].EncodedSize() <= blockSize {
 			remove(nextRec)
 			cur = append(cur, nextRec)
 			size += records[nextRec].EncodedSize()

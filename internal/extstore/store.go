@@ -16,19 +16,27 @@ type Store struct {
 }
 
 // NewStore lays out the records, writes the blocks, and attaches a buffer
-// pool of bufBlocks blocks.
+// pool of bufBlocks blocks. The block size is the paper's §4 1 Kbyte
+// (BlockSize), so the figure-7/8 I/O counts keep their native unit; use
+// NewStoreSize to model a different device.
 func NewStore(records []Record, layout Layout, bufBlocks int) (*Store, error) {
+	return NewStoreSize(records, layout, bufBlocks, BlockSize)
+}
+
+// NewStoreSize is NewStore with an explicit block size (a positive
+// power of two, per NewDiskSize).
+func NewStoreSize(records []Record, layout Layout, bufBlocks, blockSize int) (*Store, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("extstore: no records")
 	}
 	if !layout.Valid() {
 		return nil, fmt.Errorf("extstore: unknown layout %q", layout)
 	}
-	blocks, _, err := packRecords(records, layout)
+	blocks, _, err := packRecords(records, layout, blockSize)
 	if err != nil {
 		return nil, err
 	}
-	disk := NewDisk()
+	disk := NewDiskSize(blockSize)
 	loc := make(map[int32]int32, len(records))
 	for bi, blk := range blocks {
 		var buf []byte
@@ -200,13 +208,13 @@ func (s *Store) Rehash(layout Layout) (RehashStats, error) {
 		}
 	}
 
-	blocks, cmp, err := packRecords(records, layout)
+	blocks, cmp, err := packRecords(records, layout, s.disk.blockSize)
 	if err != nil {
 		return stats, err
 	}
 	stats.Comparisons = cmp
 
-	disk := NewDisk()
+	disk := NewDiskSize(s.disk.blockSize)
 	loc := make(map[int32]int32, len(records))
 	for bi, blk := range blocks {
 		var buf []byte

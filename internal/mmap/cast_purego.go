@@ -1,0 +1,11 @@
+//go:build geosir_purego
+
+package mmap
+
+// CanCast reports whether Cast can alias byte ranges in place. The
+// geosir_purego build links no unsafe code, so it never can; every
+// caller takes its explicit little-endian decode path instead.
+func CanCast() bool { return false }
+
+// Cast always declines under geosir_purego.
+func Cast[T any](b []byte) ([]T, bool) { return nil, false }

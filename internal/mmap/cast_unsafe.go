@@ -1,0 +1,42 @@
+//go:build !geosir_purego
+
+package mmap
+
+import "unsafe"
+
+// hostLittleEndian is probed once: slice reinterpretation of a
+// little-endian on-disk section is only an identity on little-endian
+// hosts.
+var hostLittleEndian = func() bool {
+	var x uint32 = 0x01020304
+	return *(*byte)(unsafe.Pointer(&x)) == 0x04
+}()
+
+// CanCast reports whether Cast can alias byte ranges in place on this
+// build/host. When false, callers must decode explicitly.
+func CanCast() bool { return hostLittleEndian }
+
+// Cast reinterprets b as a []T without copying. T must be a fixed-size
+// type whose in-memory layout matches the on-disk little-endian section
+// layout exactly (plain float64/int32/uint64 scalars or padding-free
+// structs of them). It declines (ok=false) — rather than corrupting —
+// when the host is big-endian, b's length is not a multiple of
+// sizeof(T), or b is not aligned for T.
+func Cast[T any](b []byte) ([]T, bool) {
+	if !hostLittleEndian {
+		return nil, false
+	}
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if size == 0 || len(b)%size != 0 {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []T{}, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%unsafe.Alignof(zero) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(p), len(b)/size), true
+}

@@ -1,0 +1,38 @@
+package mmap
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Explicit little-endian decode helpers: the portable counterpart of
+// Cast, used whenever Cast declines (and always under geosir_purego).
+// They copy into fresh heap slices, so the result outlives the source
+// bytes.
+
+// F64s decodes b as little-endian float64s into a fresh slice.
+func F64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// I32s decodes b as little-endian int32s into a fresh slice.
+func I32s(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// U64s decodes b as little-endian uint64s into a fresh slice.
+func U64s(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}

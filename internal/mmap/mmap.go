@@ -1,0 +1,54 @@
+// Package mmap provides read-only memory-mapped file access plus the
+// zero-copy slice reinterpretation that lets a GSIR3 snapshot's aligned
+// little-endian sections be used in place as Go slices.
+//
+// Portability is expressed as a capability matrix rather than build
+// failures:
+//
+//   - Map/Close are implemented on unix (mmap_unix.go) and stubbed
+//     elsewhere (mmap_stub.go); Supported() reports which.
+//   - Cast (cast_unsafe.go) reinterprets aligned byte ranges as typed
+//     slices on little-endian hosts; under the geosir_purego build tag
+//     (cast_purego.go) it always declines, so every caller falls back to
+//     its explicit decode path and no unsafe code is linked in.
+//
+// Callers must treat both capabilities as advisory: when either is
+// absent the portable copy-decode loader produces identical results,
+// just without the O(1) open.
+package mmap
+
+import "errors"
+
+// ErrUnsupported is returned by Map on platforms without mmap support.
+var ErrUnsupported = errors.New("mmap: not supported on this platform")
+
+// Mapping is a read-only memory mapping of an entire file. The byte
+// slice returned by Data aliases the mapping directly: it is valid only
+// until Close, and writes to it fault. Anything that retains a
+// sub-slice (an engine serving from the mapping) must also retain the
+// Mapping and must not Close it while readers are live.
+type Mapping struct {
+	data   []byte
+	closed bool
+}
+
+// Data returns the mapped bytes (nil after Close).
+func (m *Mapping) Data() []byte {
+	if m == nil || m.closed {
+		return nil
+	}
+	return m.data
+}
+
+// Len returns the mapped size in bytes (0 after Close).
+func (m *Mapping) Len() int { return len(m.Data()) }
+
+// Resident estimates how many of the mapped bytes are currently
+// resident in memory (linux: mincore(2)). It returns -1 when no
+// estimate is available on this platform.
+func (m *Mapping) Resident() int64 {
+	if m == nil || m.closed || len(m.data) == 0 {
+		return 0
+	}
+	return resident(m.data)
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package mmap
+
+// Supported reports whether Map works on this platform.
+func Supported() bool { return false }
+
+// Map always fails on non-unix platforms; callers fall back to the
+// portable copy-decode loader.
+func Map(path string) (*Mapping, error) { return nil, ErrUnsupported }
+
+// Close is a no-op on platforms without mappings.
+func (m *Mapping) Close() error {
+	if m != nil {
+		m.closed = true
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+//go:build unix
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Supported reports whether Map works on this platform.
+func Supported() bool { return true }
+
+// Map maps the whole file at path read-only. An empty file maps to an
+// empty (but valid) Mapping so callers need no special case.
+func Map(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: %s: file too large (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %s: %w", path, err)
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Close unmaps the file. It is idempotent. After Close every slice that
+// aliased the mapping is invalid; touching one faults.
+func (m *Mapping) Close() error {
+	if m == nil || m.closed || m.data == nil {
+		if m != nil {
+			m.closed = true
+		}
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	m.closed = true
+	return syscall.Munmap(data)
+}

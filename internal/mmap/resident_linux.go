@@ -1,0 +1,35 @@
+//go:build linux && !geosir_purego
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// resident counts how many pages of data are currently resident in the
+// page cache via mincore(2). Returns the resident byte estimate, or -1
+// if the syscall fails.
+func resident(data []byte) int64 {
+	page := os.Getpagesize()
+	npages := (len(data) + page - 1) / page
+	if npages == 0 {
+		return 0
+	}
+	vec := make([]byte, npages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(unsafe.SliceData(data))),
+		uintptr(len(data)),
+		uintptr(unsafe.Pointer(unsafe.SliceData(vec))))
+	if errno != 0 {
+		return -1
+	}
+	var n int64
+	for _, v := range vec {
+		if v&1 == 1 {
+			n++
+		}
+	}
+	return n * int64(page)
+}

@@ -1,0 +1,6 @@
+//go:build !linux || geosir_purego
+
+package mmap
+
+// resident is unavailable off linux; -1 means "no estimate".
+func resident(data []byte) int64 { return -1 }

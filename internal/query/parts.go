@@ -1,0 +1,83 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file is the persistence seam of the frozen database: accessors
+// for the state a snapshot writer needs beyond the core base (image
+// order, per-shape diameter angles, graph edge lists), and DBFromParts
+// to reassemble a frozen DB around an already-reassembled base without
+// re-running the O(shapes²) graph geometry.
+
+// Images returns the image ids in insertion order (the live slice —
+// callers must not mutate).
+func (db *DB) Images() []int { return db.images }
+
+// DiamAng returns a shape's diameter orientation in the image frame.
+func (db *DB) DiamAng(shapeID int) (float64, bool) {
+	a, ok := db.diamAng[shapeID]
+	return a, ok
+}
+
+// GraphFromParts reassembles an image graph from its persisted vertex
+// and edge lists, rebuilding the adjacency index.
+func GraphFromParts(image int, shapeIDs []int, edges []GraphEdge) *ImageGraph {
+	g := &ImageGraph{
+		Image:  image,
+		Shapes: shapeIDs,
+		adj:    make(map[int][]GraphEdge, len(shapeIDs)),
+	}
+	for _, e := range edges {
+		g.addEdge(e)
+	}
+	return g
+}
+
+// DBParts carries everything DBFromParts needs to reassemble a frozen
+// database.
+type DBParts struct {
+	Opts    Options
+	Base    *core.Base // already reassembled and frozen
+	Images  []int      // image ids in insertion order
+	Graphs  map[int]*ImageGraph
+	DiamAng map[int]float64 // shape id → diameter orientation
+}
+
+// DBFromParts reassembles a frozen DB. The estimator is rebuilt fresh
+// (it is query-time-only state); everything else is adopted as-is.
+func DBFromParts(p DBParts) (*DB, error) {
+	if p.Base == nil {
+		return nil, fmt.Errorf("query: db parts without a base")
+	}
+	if len(p.Images) != len(p.Graphs) {
+		return nil, fmt.Errorf("query: db parts with %d images but %d graphs", len(p.Images), len(p.Graphs))
+	}
+	for _, id := range p.Images {
+		if p.Graphs[id] == nil {
+			return nil, fmt.Errorf("query: db parts image %d has no graph", id)
+		}
+	}
+	if len(p.DiamAng) != p.Base.NumShapes() {
+		return nil, fmt.Errorf("query: db parts with %d diameter angles for %d shapes",
+			len(p.DiamAng), p.Base.NumShapes())
+	}
+	opts := p.Opts
+	if opts.Tau <= 0 {
+		opts.Tau = 0.05
+	}
+	if opts.AngleTol <= 0 {
+		opts.AngleTol = 0.1
+	}
+	return &DB{
+		opts:    opts,
+		base:    p.Base,
+		graphs:  p.Graphs,
+		images:  p.Images,
+		diamAng: p.DiamAng,
+		est:     NewEstimator(p.Base.NumShapes()),
+		frozen:  true,
+	}, nil
+}

@@ -22,6 +22,12 @@ type endpointMetrics struct {
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheCoalesced atomic.Int64
+
+	// blockReads accumulates the engine's block-access accounting
+	// (geosir.Stats.BlockReads) over the searches this endpoint actually
+	// ran — cache hits and coalesced waits touch no storage and are not
+	// charged.
+	blockReads atomic.Int64
 }
 
 // EndpointSnapshot is the exported view of one endpoint's metrics.
@@ -38,6 +44,8 @@ type EndpointSnapshot struct {
 	CacheHits      int64 `json:"cache_hits,omitempty"`
 	CacheMisses    int64 `json:"cache_misses,omitempty"`
 	CacheCoalesced int64 `json:"cache_coalesced,omitempty"`
+
+	BlockReads int64 `json:"block_reads,omitempty"`
 }
 
 // metrics aggregates the server's observability state.
@@ -93,6 +101,7 @@ func (em *endpointMetrics) snapshot() EndpointSnapshot {
 		CacheHits:      em.cacheHits.Load(),
 		CacheMisses:    em.cacheMisses.Load(),
 		CacheCoalesced: em.cacheCoalesced.Load(),
+		BlockReads:     em.blockReads.Load(),
 	}
 }
 

@@ -87,6 +87,12 @@ type Config struct {
 	// not set one ("exec" in the /v1/search body). The zero value is
 	// geosir.ExecAuto: fan out at idle, go sequential under load.
 	DefaultExec geosir.ExecPolicy
+	// LoadMode selects how snapshots install: the zero value
+	// (geosir.LoadModeHeap) decodes into the heap; geosir.LoadModeMmap
+	// maps GSIR3 files and serves the hot sections straight off the page
+	// cache, falling back to a heap load per file when a snapshot
+	// predates GSIR3 or the platform cannot alias mapped memory.
+	LoadMode geosir.LoadMode
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +126,7 @@ type Serving interface {
 	NumEntries() int
 	Frozen() bool
 	SchedStats() geosir.SchedStats
+	StorageStats() geosir.StorageStats
 }
 
 // engineState is what the atomic pointer swaps: the frozen engine plus
@@ -283,7 +290,7 @@ func (s *Server) LoadSnapshot(path string) (geosir.SnapshotInfo, error) {
 
 func (s *Server) loadState(path string) (*engineState, error) {
 	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
-		se, rec, err := geosir.LoadShardedDir(path)
+		se, rec, err := geosir.LoadShardedDirMode(path, s.cfg.LoadMode)
 		if err != nil {
 			return nil, fmt.Errorf("server: loading sharded snapshot: %w", err)
 		}
@@ -316,7 +323,16 @@ func (s *Server) loadState(path string) (*engineState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: snapshot header: %w", err)
 	}
-	eng, err := geosir.LoadFile(path)
+	var eng *geosir.Engine
+	if s.cfg.LoadMode == geosir.LoadModeMmap {
+		// Serve the sections in place when the snapshot and platform
+		// allow it; anything else (GSIR2 file, no mmap support) falls
+		// back to the strict heap load below.
+		eng, err = geosir.LoadFileMmap(path)
+	}
+	if eng == nil {
+		eng, err = geosir.LoadFile(path)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("server: loading snapshot: %w", err)
 	}
@@ -625,19 +641,24 @@ var errUncacheable = errors.New("server: response not cacheable")
 // runSearch funnels every similarity endpoint through the unified
 // Search API — through the query-result cache when one is configured —
 // translating the engine's sentinel failures to statuses in
-// serveQuery's error switch, and folds the response's ANN accounting
-// into the cumulative /statz counters. ANN counters track engine work
-// actually performed, so cache hits and coalesced waits (which run no
-// engine search of their own) do not advance them.
-func (s *Server) runSearch(ctx context.Context, st *engineState, req geosir.SearchRequest) (*geosir.SearchResponse, qcache.Disposition, error) {
+// serveQuery's error switch, and folds the response's ANN and block
+// accounting into the cumulative /statz counters. Both track engine
+// work actually performed, so cache hits and coalesced waits (which run
+// no engine search of their own) do not advance them.
+func (s *Server) runSearch(ctx context.Context, endpoint string, st *engineState, req geosir.SearchRequest) (*geosir.SearchResponse, qcache.Disposition, error) {
 	resp, disp, err := s.searchCached(ctx, st, req)
 	if err != nil {
 		return nil, disp, err
 	}
-	if resp.Stats.UsedANN && disp != qcache.Hit && disp != qcache.Coalesced {
-		s.metrics.annQueries.Add(1)
-		s.metrics.annProbes.Add(int64(resp.Stats.ANNProbes))
-		s.metrics.annCandidates.Add(int64(resp.Stats.ANNCandidates))
+	if disp != qcache.Hit && disp != qcache.Coalesced {
+		if resp.Stats.UsedANN {
+			s.metrics.annQueries.Add(1)
+			s.metrics.annProbes.Add(int64(resp.Stats.ANNProbes))
+			s.metrics.annCandidates.Add(int64(resp.Stats.ANNCandidates))
+		}
+		if resp.Stats.BlockReads > 0 {
+			s.metrics.endpoint(endpoint).blockReads.Add(int64(resp.Stats.BlockReads))
+		}
 	}
 	return resp, disp, nil
 }
@@ -717,7 +738,7 @@ func (s *Server) handleSimilar(ctx context.Context, st *engineState, body []byte
 	if err != nil {
 		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto, Exec: s.cfg.DefaultExec})
+	resp, disp, err := s.runSearch(ctx, "similar", st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeAuto, Exec: s.cfg.DefaultExec})
 	if err != nil {
 		return nil, disp, err
 	}
@@ -733,7 +754,7 @@ func (s *Server) handleApproximate(ctx context.Context, st *engineState, body []
 	if err != nil {
 		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate, Exec: s.cfg.DefaultExec})
+	resp, disp, err := s.runSearch(ctx, "approximate", st, geosir.SearchRequest{Query: q, K: req.K, Mode: geosir.ModeApproximate, Exec: s.cfg.DefaultExec})
 	if err != nil {
 		return nil, disp, err
 	}
@@ -807,7 +828,7 @@ func (s *Server) handleSearch(ctx context.Context, st *engineState, body []byte)
 		}
 		greq.Sketch = shapes
 	}
-	resp, disp, err := s.runSearch(ctx, st, greq)
+	resp, disp, err := s.runSearch(ctx, "search", st, greq)
 	if err != nil {
 		return nil, disp, err
 	}
@@ -844,7 +865,7 @@ func (s *Server) handleSketch(ctx context.Context, st *engineState, body []byte)
 	if err != nil {
 		return nil, qcache.Bypass, unprocessable(err)
 	}
-	resp, disp, err := s.runSearch(ctx, st, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch, Ann: ann, Exec: s.cfg.DefaultExec})
+	resp, disp, err := s.runSearch(ctx, "sketch", st, geosir.SearchRequest{Sketch: shapes, K: req.K, Mode: geosir.ModeSketch, Ann: ann, Exec: s.cfg.DefaultExec})
 	if err != nil {
 		return nil, disp, err
 	}
@@ -1023,8 +1044,24 @@ type SchedStatz struct {
 // StatzSchema is the version of the /statz document shape, bumped
 // whenever a field is renamed, removed, or changes meaning (additions
 // alone do not bump it). Schema 2 added this field itself and the
-// "sched" section. The full schema is documented in DESIGN.md §4.13.
-const StatzSchema = 2
+// "sched" section. Schema 3 promoted block accounting from the
+// extstore simulation to the serving path: the "storage" section
+// (load mode, mapped/resident bytes) and per-endpoint "block_reads".
+// The full schema is documented in DESIGN.md §4.13.
+const StatzSchema = 3
+
+// StorageStatz is the serving snapshot's storage section of /statz:
+// how the engine's frozen sections are held (decoded into the heap, or
+// mmap'd and served off the page cache) and how much is mapped versus
+// memory-resident right now.
+type StorageStatz struct {
+	LoadMode    string `json:"load_mode"`
+	MappedBytes int64  `json:"mapped_bytes"`
+	// ResidentEstimate is the page-cache residency of the mapped
+	// sections sampled at scrape time (mincore); -1 when the platform
+	// cannot report it. Always 0 for heap-loaded engines.
+	ResidentEstimate int64 `json:"resident_estimate"`
+}
 
 // Statz is the full status document served on /statz (and exported via
 // expvar on /metrics).
@@ -1049,9 +1086,12 @@ type Statz struct {
 	// Ingest reports the live-ingestion subsystem (absent when the
 	// serving engine is read-only): delta sizes, WAL length, compaction
 	// counters. Inserts/Deletes below count the writes served over HTTP.
-	Ingest    *geosir.IngestStats         `json:"ingest,omitempty"`
-	Inserts   int64                       `json:"inserts,omitempty"`
-	Deletes   int64                       `json:"deletes,omitempty"`
+	Ingest  *geosir.IngestStats `json:"ingest,omitempty"`
+	Inserts int64               `json:"inserts,omitempty"`
+	Deletes int64               `json:"deletes,omitempty"`
+	// Storage reports how the serving snapshot is held in memory
+	// (absent until an engine is installed).
+	Storage   *StorageStatz               `json:"storage,omitempty"`
 	Snapshot  *SnapshotStatz              `json:"snapshot,omitempty"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -1092,6 +1132,12 @@ func (s *Server) Statz() Statz {
 			PlansSequential: ss.PlansSequential,
 		}
 		out.Ingest = ingestStatz(st)
+		ts := st.serving.StorageStats()
+		out.Storage = &StorageStatz{
+			LoadMode:         ts.LoadMode,
+			MappedBytes:      ts.MappedBytes,
+			ResidentEstimate: ts.ResidentBytes,
+		}
 		out.Snapshot = &SnapshotStatz{
 			Source:    st.source,
 			Format:    st.info.FormatName,

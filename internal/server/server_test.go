@@ -392,12 +392,22 @@ func TestStatzAndMetrics(t *testing.T) {
 	if st.Sched.PlansFanout+st.Sched.PlansSequential != 1 {
 		t.Errorf("sched plans = %d fanout + %d sequential, want 1 total", st.Sched.PlansFanout, st.Sched.PlansSequential)
 	}
+	// Schema 3: the storage section reports how the snapshot is held.
+	// SetEngine installs a heap-built engine, so nothing is mapped.
+	if st.Storage == nil || st.Storage.LoadMode != "heap" || st.Storage.MappedBytes != 0 {
+		t.Errorf("storage section = %+v, want heap with no mapping", st.Storage)
+	}
 	sim, ok := st.Endpoints["similar"]
 	if !ok {
 		t.Fatalf("no similar endpoint in statz: %s", raw)
 	}
 	if sim.Requests != 2 || sim.Status4x != 1 {
 		t.Errorf("similar endpoint stats = %+v", sim)
+	}
+	// The successful similar search evaluated candidates, so the block
+	// accounting must have moved for the endpoint that ran it.
+	if sim.BlockReads <= 0 {
+		t.Errorf("similar block_reads = %d, want > 0", sim.BlockReads)
 	}
 	if sim.P50Ms <= 0 || sim.P99Ms < sim.P50Ms {
 		t.Errorf("latency quantiles implausible: %+v", sim)

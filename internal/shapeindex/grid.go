@@ -250,3 +250,61 @@ func (g *SegmentGrid) Dist(p geom.Point) float64 {
 func (g *SegmentGrid) String() string {
 	return fmt.Sprintf("SegmentGrid{%d segments, %dx%d cells}", len(g.ax), g.nx, g.ny)
 }
+
+// GridParts is the flattened state of a SegmentGrid, exposed so a
+// persistence layer can write the grid's arrays verbatim and rebuild
+// (or alias) them without re-deriving cell memberships from geometry.
+// The slices are the grid's live internals — callers must not mutate
+// them.
+type GridParts struct {
+	Ax, Ay, Dx, Dy []float64 // segment start points and direction vectors
+	InvL2          []float64 // 1 / |d|² (0 for degenerate segments)
+	Bounds         geom.Rect
+	Nx, Ny         int
+	Cw, Ch         float64
+	CellStart      []int32 // len Nx*Ny+1: CSR offsets into CellIDs
+	CellIDs        []int32
+}
+
+// Parts returns the grid's flattened state.
+func (g *SegmentGrid) Parts() GridParts {
+	return GridParts{
+		Ax: g.ax, Ay: g.ay, Dx: g.dx, Dy: g.dy, InvL2: g.invL2,
+		Bounds: g.bounds, Nx: g.nx, Ny: g.ny, Cw: g.cw, Ch: g.ch,
+		CellStart: g.cellStart, CellIDs: g.cellIDs,
+	}
+}
+
+// GridFromParts reassembles a SegmentGrid from previously flattened
+// state, adopting (possibly aliasing) the given slices. Shape checks
+// guard slice-indexing invariants; element values are trusted — the
+// caller is expected to have integrity-checked the bytes (the GSIR3
+// loader verifies every section checksum before assembly).
+func GridFromParts(p GridParts) (*SegmentGrid, error) {
+	n := len(p.Ax)
+	if n == 0 {
+		return nil, fmt.Errorf("shapeindex: grid parts with no segments")
+	}
+	if len(p.Ay) != n || len(p.Dx) != n || len(p.Dy) != n || len(p.InvL2) != n {
+		return nil, fmt.Errorf("shapeindex: grid parts with mismatched segment arrays")
+	}
+	if p.Nx < 1 || p.Ny < 1 || p.Nx > n+1 || p.Ny > n+1 {
+		return nil, fmt.Errorf("shapeindex: grid parts with implausible dimensions %dx%d", p.Nx, p.Ny)
+	}
+	if len(p.CellStart) != p.Nx*p.Ny+1 {
+		return nil, fmt.Errorf("shapeindex: grid parts cellStart len %d, want %d",
+			len(p.CellStart), p.Nx*p.Ny+1)
+	}
+	if !(p.Cw > 0) || !(p.Ch > 0) {
+		return nil, fmt.Errorf("shapeindex: grid parts with non-positive cell size")
+	}
+	if int(p.CellStart[len(p.CellStart)-1]) != len(p.CellIDs) {
+		return nil, fmt.Errorf("shapeindex: grid parts cellIDs len %d, want %d",
+			len(p.CellIDs), p.CellStart[len(p.CellStart)-1])
+	}
+	return &SegmentGrid{
+		ax: p.Ax, ay: p.Ay, dx: p.Dx, dy: p.Dy, invL2: p.InvL2,
+		bounds: p.Bounds, nx: p.Nx, ny: p.Ny, cw: p.Cw, ch: p.Ch,
+		cellStart: p.CellStart, cellIDs: p.CellIDs,
+	}, nil
+}

@@ -13,14 +13,18 @@ import (
 // rebuilds them with Freeze and the reloaded engine answers every query
 // identically.
 //
-// Two stream formats exist. GSIR1 is the legacy format: a bare
+// Three stream formats exist. GSIR1 is the legacy format: a bare
 // concatenation of options and shapes with no integrity protection.
-// GSIR2 is the current format: the same payload split into
+// GSIR2 is the portable format: the same payload split into
 // length-prefixed sections (one for the options, one per image), each
 // followed by a CRC32 of its payload, so truncation and corruption are
 // detected instead of silently loading a skewed image base, and
 // LoadPartial can salvage every image whose section still verifies.
-// Save writes GSIR2; Load reads both.
+// GSIR3 (persist_v3.go) additionally serializes the frozen index
+// itself as aligned, checksummed array sections, so opening a snapshot
+// is assembly instead of a geometry rebuild — and on capable
+// platforms the sections are mmap'd and used in place (LoadFileMmap).
+// Save writes GSIR2; Load reads all three.
 
 // Format identifies a snapshot stream format.
 type Format int
@@ -29,8 +33,11 @@ const (
 	// FormatGSIR1 is the legacy unchecksummed format (read + write kept
 	// for compatibility).
 	FormatGSIR1 Format = 1
-	// FormatGSIR2 is the current checksummed, section-framed format.
+	// FormatGSIR2 is the portable checksummed, section-framed format.
 	FormatGSIR2 Format = 2
+	// FormatGSIR3 is the mmap-friendly frozen-shard format: raw shapes
+	// plus every derived query-time structure as aligned array sections.
+	FormatGSIR3 Format = 3
 )
 
 const (
@@ -73,6 +80,8 @@ func (e *Engine) SaveAs(w io.Writer, f Format) error {
 		return e.saveGSIR1(w)
 	case FormatGSIR2:
 		return e.saveGSIR2(w)
+	case FormatGSIR3:
+		return e.saveGSIR3(w)
 	default:
 		return fmt.Errorf("geosir: unknown snapshot format %d", f)
 	}
@@ -94,6 +103,12 @@ func Load(r io.Reader) (*Engine, error) {
 		return loadGSIR1(cr)
 	case magicGSIR2:
 		return loadGSIR2(cr)
+	case magicGSIR3:
+		data, err := readAllWithMagic(magic, cr)
+		if err != nil {
+			return nil, err
+		}
+		return loadGSIR3Bytes(data, false)
 	}
 	return nil, fmt.Errorf("geosir: bad magic %q", magic)
 }
@@ -165,6 +180,12 @@ func LoadPartial(r io.Reader) (*Engine, *Recovery, error) {
 		return loadPartialGSIR1(cr)
 	case magicGSIR2:
 		return loadPartialGSIR2(cr)
+	case magicGSIR3:
+		data, err := readAllWithMagic(magic, cr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return loadPartialGSIR3Bytes(data)
 	}
 	return nil, nil, fmt.Errorf("geosir: bad magic %q", magic)
 }
@@ -182,6 +203,12 @@ func (e *Engine) SaveFile(path string) error {
 // a fault-injecting writer between Save and the temp file to exercise
 // every crash point of the write path.
 func (e *Engine) saveFileAtomic(path string, wrap func(io.Writer) io.Writer) error {
+	return saveAtomic(path, e.Save, wrap)
+}
+
+// saveAtomic writes whatever save produces to path with the
+// temp-fsync-rename-dirsync discipline shared by every snapshot format.
+func saveAtomic(path string, save func(io.Writer) error, wrap func(io.Writer) io.Writer) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -193,7 +220,7 @@ func (e *Engine) saveFileAtomic(path string, wrap func(io.Writer) io.Writer) err
 	if wrap != nil {
 		w = wrap(tmp)
 	}
-	if err := e.Save(w); err != nil {
+	if err := save(w); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -236,6 +263,11 @@ type SnapshotInfo struct {
 	Options Options
 	// Images is the declared image count.
 	Images int
+	// Shapes is the declared shape count (GSIR3 only, else 0 — earlier
+	// formats do not record it in the header).
+	Shapes int
+	// Sections is the section-table entry count (GSIR3 only, else 0).
+	Sections int
 	// Size is the snapshot size in bytes (PeekFile only, else 0).
 	Size int64
 }
@@ -262,6 +294,8 @@ func Peek(r io.Reader) (SnapshotInfo, error) {
 			return SnapshotInfo{}, err
 		}
 		return SnapshotInfo{Format: FormatGSIR2, FormatName: "GSIR2", Options: opts, Images: nimg}, nil
+	case magicGSIR3:
+		return peekGSIR3(r)
 	}
 	return SnapshotInfo{}, fmt.Errorf("geosir: bad magic %q", magic)
 }

@@ -1,0 +1,1352 @@
+package geosir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+
+	"repro/internal/annindex"
+	"repro/internal/core"
+	"repro/internal/geohash"
+	"repro/internal/geom"
+	"repro/internal/mmap"
+	"repro/internal/query"
+	"repro/internal/rangesearch"
+	"repro/internal/shapeindex"
+)
+
+// GSIR3 is the mmap-friendly frozen-shard format: the on-disk form of
+// every hot query-time structure *is* its runtime form, so opening a
+// snapshot is a map + verify + O(n) pointer stitching instead of a
+// geometry rebuild, and the OS page cache becomes the storage
+// hierarchy for bigger-than-RAM bases.
+//
+//	magic "GSIR3\n" | u16 version=1 | u32 nSections | u32 flags    (16 B)
+//	nSections × { tag [4]byte | u32 rsvd | u64 off | u64 len | u32 crc32(payload) | u32 rsvd }
+//	u32 crc32(section table)
+//	payloads, each at an 8-byte-aligned offset, zero padding between;
+//	the file ends exactly at the end of the last payload.
+//
+// Everything is little-endian. Section payloads are contiguous arrays
+// of fixed-size elements (float64 / int32 / padding-free structs of
+// them), so on a little-endian host an mmap'd payload can be
+// reinterpreted in place as the Go slice the engine serves from
+// (internal/mmap.Cast); everywhere else the same payload is decoded
+// element-wise into fresh heap slices with identical results.
+//
+// Two section families exist. The raw family (IMGS, SHPM, RAWV) is the
+// canonical image base — exactly the information GSIR2 stores — so a
+// GSIR3 snapshot with damaged derived sections can still be rebuilt the
+// slow way, and Save/SaveAs round-trips remain canonical. The derived
+// family is the frozen index: entry metadata and transforms (ENTM,
+// ENTT), the flattened vertex arrays (EOFF, VENT, EVTX), per-entry
+// geometric bounds (GBND), the pooled BoundaryDist segment-grid arrays
+// (GRDH, GSEG, GCEL, GIDS), the kd-tree backend (KDTP, KDTI, KDTB),
+// geometric-hash quadruples (QUAD), diameter angles (DANG), image
+// graphs (GRPH), and the ANN signature family (ANNP, ANNS).
+//
+// Integrity: the loader verifies the table checksum and then every
+// section's CRC32 before assembly — corrupt bytes are refused (or, via
+// LoadPartial, salvaged by rebuilding from the intact raw family),
+// never served. Assembly after verification trusts element values and
+// only re-checks the shape invariants slice indexing depends on.
+
+const (
+	magicGSIR3 = "GSIR3\n"
+
+	v3Version    = 1
+	v3HeaderLen  = 16
+	v3TableEntry = 32
+	v3Align      = 8
+
+	// v3MaxSections bounds the declared section count against corrupt
+	// headers (the writer emits a fixed set of 22).
+	v3MaxSections = 64
+)
+
+// The GSIR3 section tags, in file order.
+var v3Tags = []string{
+	"OPTS", "IMGS", "SHPM", "RAWV",
+	"ENTM", "ENTT", "EOFF", "VENT", "EVTX", "GBND",
+	"GRDH", "GSEG", "GCEL", "GIDS",
+	"KDTP", "KDTI", "KDTB",
+	"QUAD", "DANG", "GRPH",
+	"ANNP", "ANNS",
+}
+
+// v3RawTags is the raw family: sections sufficient (and required) to
+// rebuild the engine from scratch when derived sections are damaged.
+var v3RawTags = map[string]bool{"OPTS": true, "IMGS": true, "SHPM": true, "RAWV": true}
+
+// v3OptsLen is the OPTS payload: 4 float64 options + 8 uint32 counts.
+const v3OptsLen = 4*8 + 8*4
+
+// backend kind enumeration persisted in OPTS.
+const (
+	v3BackendBrute   = 1
+	v3BackendKDTree  = 2
+	v3BackendLayered = 3
+)
+
+func v3BackendCode(k rangesearch.Kind) uint32 {
+	switch k {
+	case rangesearch.KindKDTree:
+		return v3BackendKDTree
+	case rangesearch.KindLayered:
+		return v3BackendLayered
+	case rangesearch.KindBrute:
+		return v3BackendBrute
+	}
+	return 0
+}
+
+func v3BackendKind(code uint32) (rangesearch.Kind, error) {
+	switch code {
+	case v3BackendBrute:
+		return rangesearch.KindBrute, nil
+	case v3BackendKDTree:
+		return rangesearch.KindKDTree, nil
+	case v3BackendLayered:
+		return rangesearch.KindLayered, nil
+	}
+	return "", fmt.Errorf("geosir: unknown backend code %d", code)
+}
+
+// graph edge labels persisted in GRPH.
+const (
+	v3RelContain = 1
+	v3RelOverlap = 2
+)
+
+// gridHeader is the fixed 80-byte per-entry descriptor of a pooled
+// BoundaryDist segment grid: geometry first (8-byte fields), then the
+// int32 offsets into the pooled GSEG/GCEL/GIDS arrays. The layout is
+// padding-free, so a GRDH payload casts directly to []gridHeader.
+type gridHeader struct {
+	MinX, MinY, MaxX, MaxY float64
+	Cw, Ch                 float64
+	Nx, Ny                 int32
+	SegOff, NSegs          int32
+	CellOff, NCells        int32
+	IDOff, NIDs            int32
+}
+
+// SaveFileAs is SaveFile in an explicit stream format.
+func (e *Engine) SaveFileAs(path string, f Format) error {
+	return e.saveFileAtomicAs(path, f, nil)
+}
+
+func (e *Engine) saveFileAtomicAs(path string, f Format, wrap func(io.Writer) io.Writer) error {
+	if f == FormatGSIR2 {
+		return e.saveFileAtomic(path, wrap)
+	}
+	save := func(w io.Writer) error { return e.SaveAs(w, f) }
+	return saveAtomic(path, save, wrap)
+}
+
+// v3sec is one section under construction in the writer.
+type v3sec struct {
+	tag     string
+	payload []byte
+}
+
+// saveGSIR3 writes the mmap-friendly format. Unlike GSIR1/2 it requires
+// a frozen engine: the derived sections *are* the frozen index. (Every
+// production write site — SaveDir, compaction commits — saves frozen
+// engines; use SaveAs(w, FormatGSIR2) to snapshot an unfrozen one.)
+func (e *Engine) saveGSIR3(w io.Writer) error {
+	secs, err := e.buildV3Sections()
+	if err != nil {
+		return err
+	}
+	// Lay out payloads after the header + table + table CRC, each at an
+	// 8-aligned offset, and validate the alignment as we go: a
+	// misaligned section would silently force every reader onto the
+	// copy-decode path.
+	tableLen := len(secs) * v3TableEntry
+	off := uint64(v3HeaderLen + tableLen + 4)
+	off = (off + v3Align - 1) &^ (v3Align - 1)
+	table := make([]byte, 0, tableLen)
+	offs := make([]uint64, len(secs))
+	for i, s := range secs {
+		if off%v3Align != 0 {
+			return fmt.Errorf("geosir: internal error: section %s at misaligned offset %d", s.tag, off)
+		}
+		offs[i] = off
+		table = append(table, s.tag...)
+		table = appendU32(table, 0)
+		table = appendU64(table, off)
+		table = appendU64(table, uint64(len(s.payload)))
+		table = appendU32(table, crc32.ChecksumIEEE(s.payload))
+		table = appendU32(table, 0)
+		off += uint64(len(s.payload))
+		off = (off + v3Align - 1) &^ (v3Align - 1)
+	}
+	// The file ends exactly at the end of the last payload (no trailing
+	// padding), so total size is the last section's end.
+	end := uint64(v3HeaderLen + tableLen + 4)
+	if len(secs) > 0 {
+		end = offs[len(secs)-1] + uint64(len(secs[len(secs)-1].payload))
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicGSIR3); err != nil {
+		return err
+	}
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:], v3Version)
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(secs)))
+	binary.LittleEndian.PutUint32(hdr[6:], 0)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(table); err != nil {
+		return err
+	}
+	var tcrc [4]byte
+	binary.LittleEndian.PutUint32(tcrc[:], crc32.ChecksumIEEE(table))
+	if _, err := bw.Write(tcrc[:]); err != nil {
+		return err
+	}
+	pos := uint64(v3HeaderLen + tableLen + 4)
+	var pad [v3Align]byte
+	for i, s := range secs {
+		if offs[i] > pos {
+			if _, err := bw.Write(pad[:offs[i]-pos]); err != nil {
+				return err
+			}
+			pos = offs[i]
+		}
+		if _, err := bw.Write(s.payload); err != nil {
+			return err
+		}
+		pos += uint64(len(s.payload))
+	}
+	if pos != end {
+		return fmt.Errorf("geosir: internal error: wrote %d bytes, want %d", pos, end)
+	}
+	return bw.Flush()
+}
+
+// buildV3Sections flattens the frozen engine into the fixed section
+// set. Field-by-field append order must mirror the struct layouts the
+// mmap loader casts to (gridHeader, core.EntryMeta, geom.Point,
+// geom.Transform, geom.Rect, core.GeomBound).
+func (e *Engine) buildV3Sections() ([]v3sec, error) {
+	if !e.frozen {
+		return nil, fmt.Errorf("geosir: GSIR3 requires a frozen engine (use FormatGSIR2 for unfrozen snapshots)")
+	}
+	base := e.db.Base()
+	parts, err := base.FrozenParts()
+	if err != nil {
+		return nil, err
+	}
+	images := e.imagesInOrder()
+	shapes := base.Shapes()
+	nsh := len(shapes)
+	ne := len(parts.Entries)
+
+	out := make(map[string][]byte, len(v3Tags))
+
+	// IMGS / SHPM / RAWV — the raw image base, shapes in id order
+	// (imagesInOrder groups by image preserving that order).
+	imgs := appendU32(nil, uint32(len(images)))
+	var shpm, rawv []byte
+	rawOff := uint32(0)
+	for _, img := range images {
+		imgs = appendU32(imgs, uint32(img.id))
+		imgs = appendU32(imgs, uint32(len(img.shapes)))
+		for _, p := range img.shapes {
+			flags := uint32(0)
+			if p.Closed {
+				flags = 1
+			}
+			shpm = appendU32(shpm, flags)
+			shpm = appendU32(shpm, rawOff)
+			shpm = appendU32(shpm, uint32(len(p.Pts)))
+			shpm = appendU32(shpm, 0)
+			for _, pt := range p.Pts {
+				rawv = appendF64(rawv, pt.X)
+				rawv = appendF64(rawv, pt.Y)
+			}
+			rawOff += uint32(len(p.Pts))
+		}
+	}
+	out["IMGS"], out["SHPM"], out["RAWV"] = imgs, shpm, rawv
+
+	// ENTM / ENTT — entry scalar metadata and transforms.
+	entm := make([]byte, 0, ne*16)
+	entt := make([]byte, 0, ne*2*32)
+	for i := range parts.Entries {
+		en := &parts.Entries[i]
+		entm = appendU32(entm, uint32(int32(en.ShapeID)))
+		entm = appendU32(entm, uint32(int32(en.Copy)))
+		entm = appendU32(entm, uint32(int32(en.DiamI)))
+		entm = appendU32(entm, uint32(int32(en.DiamJ)))
+		for _, tr := range [2]geom.Transform{en.Norm, en.Inv} {
+			entt = appendF64(entt, tr.S)
+			entt = appendF64(entt, tr.Theta)
+			entt = appendF64(entt, tr.T.X)
+			entt = appendF64(entt, tr.T.Y)
+		}
+	}
+	out["ENTM"], out["ENTT"] = entm, entt
+
+	// EOFF / VENT / EVTX — the flattened vertex index.
+	out["EOFF"] = appendI32s(nil, parts.EntryOff)
+	out["VENT"] = appendI32s(nil, parts.VertEntry)
+	evtx := make([]byte, 0, len(parts.Verts)*16)
+	for _, p := range parts.Verts {
+		evtx = appendF64(evtx, p.X)
+		evtx = appendF64(evtx, p.Y)
+	}
+	out["EVTX"] = evtx
+
+	// GBND — per-entry geometric bounds.
+	gbnd := make([]byte, 0, ne*7*8)
+	for _, gb := range parts.GeomBounds {
+		gbnd = appendF64(gbnd, gb.CX)
+		gbnd = appendF64(gbnd, gb.CY)
+		gbnd = appendF64(gbnd, gb.R)
+		gbnd = appendF64(gbnd, gb.MinX)
+		gbnd = appendF64(gbnd, gb.MinY)
+		gbnd = appendF64(gbnd, gb.MaxX)
+		gbnd = appendF64(gbnd, gb.MaxY)
+	}
+	out["GBND"] = gbnd
+
+	// GRDH / GSEG / GCEL / GIDS — the pooled oracle grids.
+	var grdh, gseg, gcel, gids []byte
+	segOff, cellOff, idOff := int32(0), int32(0), int32(0)
+	for i, o := range parts.Oracles {
+		if o == nil || o.Grid() == nil {
+			return nil, fmt.Errorf("geosir: entry %d has no oracle grid", i)
+		}
+		gp := o.Grid().Parts()
+		n := int32(len(gp.Ax))
+		grdh = appendF64(grdh, gp.Bounds.Min.X)
+		grdh = appendF64(grdh, gp.Bounds.Min.Y)
+		grdh = appendF64(grdh, gp.Bounds.Max.X)
+		grdh = appendF64(grdh, gp.Bounds.Max.Y)
+		grdh = appendF64(grdh, gp.Cw)
+		grdh = appendF64(grdh, gp.Ch)
+		for _, v := range [8]int32{int32(gp.Nx), int32(gp.Ny), segOff, n,
+			cellOff, int32(len(gp.CellStart)), idOff, int32(len(gp.CellIDs))} {
+			grdh = appendU32(grdh, uint32(v))
+		}
+		for _, arr := range [5][]float64{gp.Ax, gp.Ay, gp.Dx, gp.Dy, gp.InvL2} {
+			for _, v := range arr {
+				gseg = appendF64(gseg, v)
+			}
+		}
+		gcel = appendI32s(gcel, gp.CellStart)
+		gids = appendI32s(gids, gp.CellIDs)
+		segOff += n
+		cellOff += int32(len(gp.CellStart))
+		idOff += int32(len(gp.CellIDs))
+	}
+	out["GRDH"], out["GSEG"], out["GCEL"], out["GIDS"] = grdh, gseg, gcel, gids
+
+	// KDTP / KDTI / KDTB — the kd-tree backend in median layout (empty
+	// for other backends, which are rebuilt from EVTX at load).
+	var kdtp, kdti, kdtb []byte
+	if t, ok := parts.Backend.(*rangesearch.KDTree); ok {
+		kp := t.Parts()
+		for _, p := range kp.Pts {
+			kdtp = appendF64(kdtp, p.X)
+			kdtp = appendF64(kdtp, p.Y)
+		}
+		kdti = appendI32s(kdti, kp.IDs)
+		for _, r := range kp.Bounds {
+			kdtb = appendF64(kdtb, r.Min.X)
+			kdtb = appendF64(kdtb, r.Min.Y)
+			kdtb = appendF64(kdtb, r.Max.X)
+			kdtb = appendF64(kdtb, r.Max.Y)
+		}
+	}
+	out["KDTP"], out["KDTI"], out["KDTB"] = kdtp, kdti, kdtb
+
+	// QUAD / DANG — geometric-hash quadruples and diameter angles, per
+	// shape. A shape the hash table skipped (degenerate canonical
+	// normalization) is stored as an all -1 quadruple.
+	quad := make([]byte, 0, nsh*16)
+	dang := make([]byte, 0, nsh*8)
+	for _, s := range shapes {
+		if q, ok := e.table.Quad(s.ID); ok {
+			for _, c := range q {
+				quad = appendU32(quad, uint32(int32(c)))
+			}
+		} else {
+			for range [4]int{} {
+				quad = appendU32(quad, ^uint32(0)) // -1 sentinel: shape not in table
+			}
+		}
+		ang, _ := e.db.DiamAng(s.ID)
+		dang = appendF64(dang, ang)
+	}
+	out["QUAD"], out["DANG"] = quad, dang
+
+	// GRPH — per-image topology graphs (vertices + labeled edges).
+	grph := appendU32(nil, uint32(len(images)))
+	for _, img := range images {
+		g, ok := e.db.Graph(img.id)
+		if !ok {
+			return nil, fmt.Errorf("geosir: image %d has no graph", img.id)
+		}
+		grph = appendU32(grph, uint32(img.id))
+		grph = appendU32(grph, uint32(len(g.Shapes)))
+		for _, sid := range g.Shapes {
+			grph = appendU32(grph, uint32(sid))
+		}
+		grph = appendU32(grph, uint32(len(g.Edges)))
+		for _, ed := range g.Edges {
+			lbl := uint32(v3RelContain)
+			if ed.Label == query.RelOverlap {
+				lbl = v3RelOverlap
+			} else if ed.Label != query.RelContain {
+				return nil, fmt.Errorf("geosir: image %d has unknown edge label %q", img.id, ed.Label)
+			}
+			grph = appendU32(grph, uint32(ed.From))
+			grph = appendU32(grph, uint32(ed.To))
+			grph = appendU32(grph, lbl)
+		}
+	}
+	out["GRPH"] = grph
+
+	// ANNP / ANNS — the MinHash/LSH signature family.
+	p, sigs, n := e.annSignatures()
+	annp := appendU64(nil, p.Seed)
+	annp = appendU32(annp, uint32(p.GridRes))
+	annp = appendU32(annp, uint32(p.Bands))
+	annp = appendU32(annp, uint32(p.Rows))
+	annp = appendU32(annp, uint32(n))
+	anns := make([]byte, 0, len(sigs)*8)
+	for _, s := range sigs {
+		anns = appendU64(anns, s)
+	}
+	out["ANNP"], out["ANNS"] = annp, anns
+
+	// OPTS — options + counts + backend code, written last so the
+	// counts reflect the arrays above.
+	opt := make([]byte, 0, v3OptsLen)
+	opt = appendF64(opt, e.opts.Alpha)
+	opt = appendF64(opt, e.opts.Beta)
+	opt = appendF64(opt, e.opts.Tau)
+	opt = appendF64(opt, e.opts.AngleTol)
+	opt = appendU32(opt, uint32(e.opts.HashCurves))
+	opt = appendU32(opt, uint32(len(images)))
+	opt = appendU32(opt, uint32(nsh))
+	opt = appendU32(opt, uint32(ne))
+	opt = appendU32(opt, uint32(len(parts.Verts)))
+	opt = appendU32(opt, rawOff) // total raw vertices
+	opt = appendU32(opt, v3BackendCode(rangesearch.KindOf(parts.Backend)))
+	opt = appendU32(opt, 0)
+	out["OPTS"] = opt
+
+	secs := make([]v3sec, 0, len(v3Tags))
+	for _, tag := range v3Tags {
+		payload, ok := out[tag]
+		if !ok {
+			return nil, fmt.Errorf("geosir: internal error: section %s not built", tag)
+		}
+		secs = append(secs, v3sec{tag: tag, payload: payload})
+	}
+	return secs, nil
+}
+
+func appendI32s(b []byte, vs []int32) []byte {
+	for _, v := range vs {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+// v3Section is one parsed section-table row.
+type v3Section struct {
+	tag string
+	off uint64
+	len uint64
+	crc uint32
+}
+
+// parseV3Layout validates the header + section table of a complete
+// GSIR3 byte image (magic included) and returns the table rows. Offsets
+// are checked for alignment, bounds, ordering, and exact file-size
+// coverage; payload CRCs are NOT verified here.
+func parseV3Layout(data []byte) ([]v3Section, error) {
+	if len(data) < v3HeaderLen+4 {
+		return nil, fmt.Errorf("geosir: GSIR3 snapshot truncated at %d bytes", len(data))
+	}
+	if string(data[:magicLen]) != magicGSIR3 {
+		return nil, fmt.Errorf("geosir: bad magic %q", string(data[:magicLen]))
+	}
+	if v := binary.LittleEndian.Uint16(data[6:]); v != v3Version {
+		return nil, fmt.Errorf("geosir: unsupported GSIR3 version %d", v)
+	}
+	nsec := binary.LittleEndian.Uint32(data[8:])
+	if nsec == 0 || nsec > v3MaxSections {
+		return nil, fmt.Errorf("geosir: implausible GSIR3 section count %d", nsec)
+	}
+	tableLen := int(nsec) * v3TableEntry
+	if len(data) < v3HeaderLen+tableLen+4 {
+		return nil, fmt.Errorf("geosir: GSIR3 section table truncated")
+	}
+	table := data[v3HeaderLen : v3HeaderLen+tableLen]
+	wantCRC := binary.LittleEndian.Uint32(data[v3HeaderLen+tableLen:])
+	if crc32.ChecksumIEEE(table) != wantCRC {
+		return nil, fmt.Errorf("geosir: GSIR3 section table checksum mismatch")
+	}
+	secs := make([]v3Section, nsec)
+	prevEnd := uint64(v3HeaderLen + tableLen + 4)
+	for i := range secs {
+		row := table[i*v3TableEntry:]
+		s := v3Section{
+			tag: string(row[0:4]),
+			off: binary.LittleEndian.Uint64(row[8:]),
+			len: binary.LittleEndian.Uint64(row[16:]),
+			crc: binary.LittleEndian.Uint32(row[24:]),
+		}
+		if s.off%v3Align != 0 {
+			return nil, fmt.Errorf("geosir: section %s at misaligned offset %d", s.tag, s.off)
+		}
+		if s.off < prevEnd || s.off > uint64(len(data)) || s.len > uint64(len(data))-s.off {
+			return nil, fmt.Errorf("geosir: section %s [%d,+%d) outside file of %d bytes",
+				s.tag, s.off, s.len, len(data))
+		}
+		prevEnd = s.off + s.len
+		secs[i] = s
+	}
+	if prevEnd != uint64(len(data)) {
+		return nil, fmt.Errorf("geosir: %d trailing bytes after final section", uint64(len(data))-prevEnd)
+	}
+	return secs, nil
+}
+
+// v3Reader is the verified section map of a GSIR3 image plus the decode
+// strategy (alias in place vs copy-decode).
+type v3Reader struct {
+	sec   map[string][]byte
+	alias bool
+}
+
+// v3Verify checks every section CRC and returns the section map plus
+// the tags that failed. Damage never panics and never reaches assembly.
+func v3Verify(data []byte, secs []v3Section) (map[string][]byte, []string) {
+	m := make(map[string][]byte, len(secs))
+	var bad []string
+	for _, s := range secs {
+		payload := data[s.off : s.off+s.len]
+		if crc32.ChecksumIEEE(payload) != s.crc {
+			bad = append(bad, s.tag)
+			continue
+		}
+		m[s.tag] = payload
+	}
+	return m, bad
+}
+
+func (r *v3Reader) need(tag string) ([]byte, error) {
+	b, ok := r.sec[tag]
+	if !ok {
+		return nil, fmt.Errorf("geosir: GSIR3 snapshot missing section %s", tag)
+	}
+	return b, nil
+}
+
+func (r *v3Reader) f64s(b []byte) []float64 {
+	if r.alias {
+		if v, ok := mmap.Cast[float64](b); ok {
+			return v
+		}
+	}
+	return mmap.F64s(b)
+}
+
+func (r *v3Reader) i32s(b []byte) []int32 {
+	if r.alias {
+		if v, ok := mmap.Cast[int32](b); ok {
+			return v
+		}
+	}
+	return mmap.I32s(b)
+}
+
+func (r *v3Reader) u64s(b []byte) []uint64 {
+	if r.alias {
+		if v, ok := mmap.Cast[uint64](b); ok {
+			return v
+		}
+	}
+	return mmap.U64s(b)
+}
+
+func (r *v3Reader) points(b []byte) []geom.Point {
+	if r.alias {
+		if v, ok := mmap.Cast[geom.Point](b); ok {
+			return v
+		}
+	}
+	f := mmap.F64s(b)
+	out := make([]geom.Point, len(f)/2)
+	for i := range out {
+		out[i] = geom.Pt(f[2*i], f[2*i+1])
+	}
+	return out
+}
+
+func (r *v3Reader) transforms(b []byte) []geom.Transform {
+	if r.alias {
+		if v, ok := mmap.Cast[geom.Transform](b); ok {
+			return v
+		}
+	}
+	f := mmap.F64s(b)
+	out := make([]geom.Transform, len(f)/4)
+	for i := range out {
+		out[i] = geom.Transform{S: f[4*i], Theta: f[4*i+1], T: geom.Pt(f[4*i+2], f[4*i+3])}
+	}
+	return out
+}
+
+func (r *v3Reader) rects(b []byte) []geom.Rect {
+	if r.alias {
+		if v, ok := mmap.Cast[geom.Rect](b); ok {
+			return v
+		}
+	}
+	f := mmap.F64s(b)
+	out := make([]geom.Rect, len(f)/4)
+	for i := range out {
+		out[i] = geom.Rect{Min: geom.Pt(f[4*i], f[4*i+1]), Max: geom.Pt(f[4*i+2], f[4*i+3])}
+	}
+	return out
+}
+
+func (r *v3Reader) geomBounds(b []byte) []core.GeomBound {
+	if r.alias {
+		if v, ok := mmap.Cast[core.GeomBound](b); ok {
+			return v
+		}
+	}
+	f := mmap.F64s(b)
+	out := make([]core.GeomBound, len(f)/7)
+	for i := range out {
+		o := f[7*i : 7*i+7]
+		out[i] = core.GeomBound{CX: o[0], CY: o[1], R: o[2], MinX: o[3], MinY: o[4], MaxX: o[5], MaxY: o[6]}
+	}
+	return out
+}
+
+func (r *v3Reader) entryMeta(b []byte) []core.EntryMeta {
+	if r.alias {
+		if v, ok := mmap.Cast[core.EntryMeta](b); ok {
+			return v
+		}
+	}
+	w := mmap.I32s(b)
+	out := make([]core.EntryMeta, len(w)/4)
+	for i := range out {
+		out[i] = core.EntryMeta{ShapeID: w[4*i], Copy: w[4*i+1], DiamI: w[4*i+2], DiamJ: w[4*i+3]}
+	}
+	return out
+}
+
+func (r *v3Reader) gridHeaders(b []byte) []gridHeader {
+	if r.alias {
+		if v, ok := mmap.Cast[gridHeader](b); ok {
+			return v
+		}
+	}
+	out := make([]gridHeader, len(b)/80)
+	for i := range out {
+		row := b[i*80:]
+		f := mmap.F64s(row[:48])
+		w := mmap.I32s(row[48:80])
+		out[i] = gridHeader{
+			MinX: f[0], MinY: f[1], MaxX: f[2], MaxY: f[3], Cw: f[4], Ch: f[5],
+			Nx: w[0], Ny: w[1], SegOff: w[2], NSegs: w[3],
+			CellOff: w[4], NCells: w[5], IDOff: w[6], NIDs: w[7],
+		}
+	}
+	return out
+}
+
+// v3Options is the parsed OPTS section.
+type v3Options struct {
+	opts      Options
+	nImages   int
+	nShapes   int
+	nEntries  int
+	nVerts    int
+	nRawVerts int
+	backend   rangesearch.Kind
+}
+
+func parseV3Options(b []byte) (v3Options, error) {
+	if len(b) != v3OptsLen {
+		return v3Options{}, fmt.Errorf("geosir: OPTS section is %d bytes, want %d", len(b), v3OptsLen)
+	}
+	c := cursor{b: b}
+	var o v3Options
+	o.opts.Alpha = c.f64()
+	o.opts.Beta = c.f64()
+	o.opts.Tau = c.f64()
+	o.opts.AngleTol = c.f64()
+	hc := c.u32()
+	nimg := c.u32()
+	nsh := c.u32()
+	nent := c.u32()
+	nv := c.u32()
+	nraw := c.u32()
+	bk := c.u32()
+	_ = c.u32()
+	if hc > maxHashCurves {
+		return v3Options{}, fmt.Errorf("geosir: implausible hash-curve count %d", hc)
+	}
+	for _, n := range [5]uint32{nimg, nsh, nent, nv, nraw} {
+		if n > maxCount {
+			return v3Options{}, fmt.Errorf("geosir: implausible count %d in OPTS", n)
+		}
+	}
+	kind, err := v3BackendKind(bk)
+	if err != nil {
+		return v3Options{}, err
+	}
+	o.opts.HashCurves = int(hc)
+	o.nImages, o.nShapes, o.nEntries = int(nimg), int(nsh), int(nent)
+	o.nVerts, o.nRawVerts = int(nv), int(nraw)
+	o.backend = kind
+	return o, nil
+}
+
+// v3RawImages parses the raw family into per-image shape lists (the
+// same payload a GSIR2 stream carries), for the slow rebuild path and
+// for shape construction during fast assembly.
+func (r *v3Reader) v3RawImages(o v3Options) ([]savedImage, error) {
+	imgsB, err := r.need("IMGS")
+	if err != nil {
+		return nil, err
+	}
+	shpmB, err := r.need("SHPM")
+	if err != nil {
+		return nil, err
+	}
+	rawvB, err := r.need("RAWV")
+	if err != nil {
+		return nil, err
+	}
+	c := cursor{b: imgsB}
+	nimg := int(c.u32())
+	if c.err != nil || nimg != o.nImages {
+		return nil, fmt.Errorf("geosir: IMGS declares %d images, OPTS %d", nimg, o.nImages)
+	}
+	if len(shpmB) != o.nShapes*16 {
+		return nil, fmt.Errorf("geosir: SHPM is %d bytes for %d shapes", len(shpmB), o.nShapes)
+	}
+	rawv := r.points(rawvB)
+	if len(rawv) != o.nRawVerts {
+		return nil, fmt.Errorf("geosir: RAWV holds %d vertices, OPTS declares %d", len(rawv), o.nRawVerts)
+	}
+	shpm := r.i32s(shpmB)
+	out := make([]savedImage, 0, nimg)
+	sid := 0
+	for i := 0; i < nimg; i++ {
+		id := int(int32(c.u32()))
+		nsh := int(c.u32())
+		if c.err != nil {
+			return nil, fmt.Errorf("geosir: IMGS truncated at image %d", i)
+		}
+		img := savedImage{id: id, shapes: make([]Shape, 0, nsh)}
+		for j := 0; j < nsh; j++ {
+			if sid >= o.nShapes {
+				return nil, fmt.Errorf("geosir: IMGS declares more shapes than SHPM holds")
+			}
+			row := shpm[sid*4 : sid*4+4]
+			flags, off, n := row[0], row[1], row[2]
+			if off < 0 || n < 0 || int(off)+int(n) > len(rawv) {
+				return nil, fmt.Errorf("geosir: shape %d raw range [%d,+%d) outside RAWV", sid, off, n)
+			}
+			img.shapes = append(img.shapes, Shape{
+				Pts:    rawv[off : int(off)+int(n) : int(off)+int(n)],
+				Closed: flags&1 == 1,
+			})
+			sid++
+		}
+		out = append(out, img)
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("geosir: %d trailing bytes in IMGS", c.remaining())
+	}
+	if sid != o.nShapes {
+		return nil, fmt.Errorf("geosir: IMGS covers %d shapes, SHPM holds %d", sid, o.nShapes)
+	}
+	return out, nil
+}
+
+// assembleV3 stitches a frozen engine from verified sections: O(n)
+// slice casts and pointer fills, no geometry. The alias flag decides
+// whether array sections are served in place (mmap) or copied.
+func assembleV3(r *v3Reader, o v3Options) (*Engine, error) {
+	images, err := r.v3RawImages(o)
+	if err != nil {
+		return nil, err
+	}
+	// Shapes, in id order (= image-group order).
+	shapes := make([]core.Shape, 0, o.nShapes)
+	for _, img := range images {
+		for _, p := range img.shapes {
+			shapes = append(shapes, core.Shape{ID: len(shapes), Image: img.id, Poly: p})
+		}
+	}
+
+	get := func(tag string) ([]byte, error) { return r.need(tag) }
+	entmB, err := get("ENTM")
+	if err != nil {
+		return nil, err
+	}
+	enttB, err := get("ENTT")
+	if err != nil {
+		return nil, err
+	}
+	eoffB, err := get("EOFF")
+	if err != nil {
+		return nil, err
+	}
+	ventB, err := get("VENT")
+	if err != nil {
+		return nil, err
+	}
+	evtxB, err := get("EVTX")
+	if err != nil {
+		return nil, err
+	}
+	gbndB, err := get("GBND")
+	if err != nil {
+		return nil, err
+	}
+	if len(entmB) != o.nEntries*16 || len(enttB) != o.nEntries*64 ||
+		len(eoffB) != (o.nEntries+1)*4 || len(ventB) != o.nVerts*4 ||
+		len(evtxB) != o.nVerts*16 || len(gbndB) != o.nEntries*56 {
+		return nil, fmt.Errorf("geosir: entry sections disagree with OPTS counts")
+	}
+	metas := r.entryMeta(entmB)
+	trans := r.transforms(enttB)
+	entryOff := r.i32s(eoffB)
+	vertEntry := r.i32s(ventB)
+	verts := r.points(evtxB)
+	gbounds := r.geomBounds(gbndB)
+
+	// Oracle grids from the pooled arrays.
+	grdhB, err := get("GRDH")
+	if err != nil {
+		return nil, err
+	}
+	gsegB, err := get("GSEG")
+	if err != nil {
+		return nil, err
+	}
+	gcelB, err := get("GCEL")
+	if err != nil {
+		return nil, err
+	}
+	gidsB, err := get("GIDS")
+	if err != nil {
+		return nil, err
+	}
+	if len(grdhB) != o.nEntries*80 {
+		return nil, fmt.Errorf("geosir: GRDH is %d bytes for %d entries", len(grdhB), o.nEntries)
+	}
+	heads := r.gridHeaders(grdhB)
+	gseg := r.f64s(gsegB)
+	gcel := r.i32s(gcelB)
+	gids := r.i32s(gidsB)
+	grids := make([]*shapeindex.SegmentGrid, o.nEntries)
+	for i, h := range heads {
+		n := int(h.NSegs)
+		so, co, io_ := int(h.SegOff), int(h.CellOff), int(h.IDOff)
+		if n <= 0 || so < 0 || 5*(so+n) > 5*so+5*n || so+n > len(gseg)/5 ||
+			co < 0 || int(h.NCells) < 0 || co+int(h.NCells) > len(gcel) ||
+			io_ < 0 || int(h.NIDs) < 0 || io_+int(h.NIDs) > len(gids) {
+			return nil, fmt.Errorf("geosir: entry %d grid header out of bounds", i)
+		}
+		base5 := 5 * so
+		seg := gseg[base5 : base5+5*n]
+		g, err := shapeindex.GridFromParts(shapeindex.GridParts{
+			Ax: seg[0:n:n], Ay: seg[n : 2*n : 2*n], Dx: seg[2*n : 3*n : 3*n],
+			Dy: seg[3*n : 4*n : 4*n], InvL2: seg[4*n : 5*n : 5*n],
+			Bounds: geom.Rect{Min: geom.Pt(h.MinX, h.MinY), Max: geom.Pt(h.MaxX, h.MaxY)},
+			Nx:     int(h.Nx), Ny: int(h.Ny), Cw: h.Cw, Ch: h.Ch,
+			CellStart: gcel[co : co+int(h.NCells) : co+int(h.NCells)],
+			CellIDs:   gids[io_ : io_+int(h.NIDs) : io_+int(h.NIDs)],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("geosir: entry %d: %w", i, err)
+		}
+		grids[i] = g
+	}
+
+	// Range-search backend: the kd-tree sections when present, a
+	// deterministic rebuild from the vertex array otherwise.
+	var backend rangesearch.Backend
+	if o.backend == rangesearch.KindKDTree {
+		kdtpB, err := get("KDTP")
+		if err != nil {
+			return nil, err
+		}
+		kdtiB, err := get("KDTI")
+		if err != nil {
+			return nil, err
+		}
+		kdtbB, err := get("KDTB")
+		if err != nil {
+			return nil, err
+		}
+		if len(kdtpB) != o.nVerts*16 || len(kdtiB) != o.nVerts*4 || len(kdtbB) != o.nVerts*32 {
+			return nil, fmt.Errorf("geosir: kd-tree sections disagree with vertex count %d", o.nVerts)
+		}
+		t, err := rangesearch.KDTreeFromParts(rangesearch.KDTreeParts{
+			Pts: r.points(kdtpB), IDs: r.i32s(kdtiB), Bounds: r.rects(kdtbB),
+		})
+		if err != nil {
+			return nil, err
+		}
+		backend = t
+	} else {
+		backend = rangesearch.New(o.backend, verts)
+	}
+
+	base, err := core.BaseFromParts(core.BaseSpec{
+		Opts:       coreOptsFor(o.opts),
+		Shapes:     shapes,
+		EntryMeta:  metas,
+		EntryTrans: trans,
+		Verts:      verts,
+		VertEntry:  vertEntry,
+		EntryOff:   entryOff,
+		GeomBounds: gbounds,
+		Grids:      grids,
+		Backend:    backend,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Diameter angles and per-image graphs.
+	dangB, err := get("DANG")
+	if err != nil {
+		return nil, err
+	}
+	if len(dangB) != o.nShapes*8 {
+		return nil, fmt.Errorf("geosir: DANG is %d bytes for %d shapes", len(dangB), o.nShapes)
+	}
+	dang := r.f64s(dangB)
+	diamAng := make(map[int]float64, o.nShapes)
+	for sid, a := range dang {
+		diamAng[sid] = a
+	}
+	grphB, err := get("GRPH")
+	if err != nil {
+		return nil, err
+	}
+	graphs, imageOrder, err := parseV3Graphs(grphB, o)
+	if err != nil {
+		return nil, err
+	}
+
+	db, err := query.DBFromParts(query.DBParts{
+		Opts:    queryOptsFor(o.opts),
+		Base:    base,
+		Images:  imageOrder,
+		Graphs:  graphs,
+		DiamAng: diamAng,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	eng := New(o.opts)
+	eng.db = db
+
+	// Geometric hash table from the persisted quadruples — map inserts
+	// only, no curve geometry.
+	quadB, err := get("QUAD")
+	if err != nil {
+		return nil, err
+	}
+	if len(quadB) != o.nShapes*16 {
+		return nil, fmt.Errorf("geosir: QUAD is %d bytes for %d shapes", len(quadB), o.nShapes)
+	}
+	quads := r.i32s(quadB)
+	family, err := geohash.NewFamily(o.opts.HashCurves)
+	if err != nil {
+		return nil, err
+	}
+	eng.family = family
+	eng.table = geohash.NewTable(family)
+	for sid := 0; sid < o.nShapes; sid++ {
+		row := quads[sid*4 : sid*4+4]
+		if row[0] < 0 {
+			continue // shape skipped by the hash table at freeze
+		}
+		q := geohash.Quadruple{int(row[0]), int(row[1]), int(row[2]), int(row[3])}
+		if err := eng.table.Insert(sid, q); err != nil {
+			return nil, fmt.Errorf("geosir: rehashing shape %d: %w", sid, err)
+		}
+	}
+
+	// ANN index from the persisted signature family.
+	annpB, err := get("ANNP")
+	if err != nil {
+		return nil, err
+	}
+	annsB, err := get("ANNS")
+	if err != nil {
+		return nil, err
+	}
+	pre, err := parseV3AnnParams(annpB, annsB, r)
+	if err != nil {
+		return nil, err
+	}
+	eng.annPre = pre
+	eng.buildANN()
+	eng.frozen = true
+	return eng, nil
+}
+
+// coreOptsFor / queryOptsFor mirror New's option derivation so an
+// assembled engine reports identical effective options.
+func queryOptsFor(opts Options) query.Options {
+	qopts := query.DefaultOptions()
+	if opts.Alpha > 0 {
+		qopts.Core.Alpha = opts.Alpha
+	}
+	if opts.Beta > 0 {
+		qopts.Core.Beta = opts.Beta
+	}
+	if opts.Tau > 0 {
+		qopts.Tau = opts.Tau
+	}
+	if opts.AngleTol > 0 {
+		qopts.AngleTol = opts.AngleTol
+	}
+	return qopts
+}
+
+func coreOptsFor(opts Options) core.Options {
+	return queryOptsFor(opts).Core
+}
+
+func parseV3Graphs(b []byte, o v3Options) (map[int]*query.ImageGraph, []int, error) {
+	c := cursor{b: b}
+	nimg := int(c.u32())
+	if c.err != nil || nimg != o.nImages {
+		return nil, nil, fmt.Errorf("geosir: GRPH declares %d images, OPTS %d", nimg, o.nImages)
+	}
+	graphs := make(map[int]*query.ImageGraph, nimg)
+	order := make([]int, 0, nimg)
+	for i := 0; i < nimg; i++ {
+		id := int(int32(c.u32()))
+		nsh := int(c.u32())
+		if c.err != nil || nsh < 0 || nsh > o.nShapes {
+			return nil, nil, fmt.Errorf("geosir: GRPH image %d has implausible shape count", i)
+		}
+		shapeIDs := make([]int, nsh)
+		for j := range shapeIDs {
+			sid := int(int32(c.u32()))
+			if sid < 0 || sid >= o.nShapes {
+				return nil, nil, fmt.Errorf("geosir: GRPH image %d references shape %d of %d", id, sid, o.nShapes)
+			}
+			shapeIDs[j] = sid
+		}
+		nedges := int(c.u32())
+		if c.err != nil || nedges < 0 || nedges > o.nShapes*o.nShapes {
+			return nil, nil, fmt.Errorf("geosir: GRPH image %d has implausible edge count", id)
+		}
+		edges := make([]query.GraphEdge, 0, nedges)
+		for j := 0; j < nedges; j++ {
+			from := int(int32(c.u32()))
+			to := int(int32(c.u32()))
+			lbl := c.u32()
+			var rel query.Rel
+			switch lbl {
+			case v3RelContain:
+				rel = query.RelContain
+			case v3RelOverlap:
+				rel = query.RelOverlap
+			default:
+				return nil, nil, fmt.Errorf("geosir: GRPH image %d edge %d has unknown label %d", id, j, lbl)
+			}
+			edges = append(edges, query.GraphEdge{From: from, To: to, Label: rel})
+		}
+		if c.err != nil {
+			return nil, nil, fmt.Errorf("geosir: GRPH truncated in image %d", id)
+		}
+		if _, dup := graphs[id]; dup {
+			return nil, nil, fmt.Errorf("geosir: GRPH repeats image %d", id)
+		}
+		graphs[id] = query.GraphFromParts(id, shapeIDs, edges)
+		order = append(order, id)
+	}
+	if c.remaining() != 0 {
+		return nil, nil, fmt.Errorf("geosir: %d trailing bytes in GRPH", c.remaining())
+	}
+	return graphs, order, nil
+}
+
+func parseV3AnnParams(annp, anns []byte, r *v3Reader) (*annPreload, error) {
+	if len(annp) != 24 {
+		return nil, fmt.Errorf("geosir: ANNP section is %d bytes, want 24", len(annp))
+	}
+	c := cursor{b: annp}
+	var p annindex.Params
+	p.Seed = c.u64()
+	gridRes := c.u32()
+	bands := c.u32()
+	rows := c.u32()
+	n := c.u32()
+	if gridRes < 1 || gridRes > 4096 || bands < 1 || bands > 4096 || rows < 1 || rows > 64 {
+		return nil, fmt.Errorf("geosir: implausible ANN parameters %d/%d/%d", gridRes, bands, rows)
+	}
+	if n > maxCount {
+		return nil, fmt.Errorf("geosir: implausible ANN entry count %d", n)
+	}
+	p.GridRes, p.Bands, p.Rows = int(gridRes), int(bands), int(rows)
+	h := int(bands) * int(rows)
+	if want := int(n) * h * 8; want != len(anns) {
+		return nil, fmt.Errorf("geosir: ANNS holds %d bytes of signatures, want %d", len(anns), want)
+	}
+	return &annPreload{params: p, sigs: r.u64s(anns), n: int(n)}, nil
+}
+
+// loadGSIR3Bytes runs the strict load over a complete byte image: any
+// checksum or framing damage anywhere fails it.
+func loadGSIR3Bytes(data []byte, alias bool) (*Engine, error) {
+	secs, err := parseV3Layout(data)
+	if err != nil {
+		return nil, err
+	}
+	m, bad := v3Verify(data, secs)
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("geosir: section %s checksum mismatch", bad[0])
+	}
+	r := &v3Reader{sec: m, alias: alias && mmap.CanCast()}
+	optsB, err := r.need("OPTS")
+	if err != nil {
+		return nil, err
+	}
+	o, err := parseV3Options(optsB)
+	if err != nil {
+		return nil, err
+	}
+	return assembleV3(r, o)
+}
+
+// loadPartialGSIR3Bytes salvages what a damaged GSIR3 image still
+// proves intact. Derived-section damage falls back to the slow rebuild
+// from the raw family (deterministic, so the rebuilt engine answers
+// identically to the original); raw-family or structural damage is
+// unrecoverable.
+func loadPartialGSIR3Bytes(data []byte) (*Engine, *Recovery, error) {
+	secs, err := parseV3Layout(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("geosir: unrecoverable GSIR3 layout: %w", err)
+	}
+	m, bad := v3Verify(data, secs)
+	for _, tag := range bad {
+		if v3RawTags[tag] {
+			return nil, nil, fmt.Errorf("geosir: unrecoverable damage in raw section %s", tag)
+		}
+	}
+	// Copy-decode, never alias: a salvage result must not pin the
+	// (possibly temporary) source bytes.
+	r := &v3Reader{sec: m, alias: false}
+	optsB, err := r.need("OPTS")
+	if err != nil {
+		return nil, nil, err
+	}
+	o, err := parseV3Options(optsB)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{Format: "GSIR3", ImagesExpected: o.nImages}
+	if len(bad) == 0 {
+		if eng, err := assembleV3(r, o); err == nil {
+			rec.ImagesLoaded = o.nImages
+			return eng, rec, nil
+		}
+		// Fast assembly failed despite verified checksums (e.g. a
+		// writer/reader version skew in a derived section): fall back to
+		// the slow rebuild below and account the loss.
+		rec.AuxDropped++
+	} else {
+		rec.AuxDropped = len(bad)
+	}
+	images, err := r.v3RawImages(o)
+	if err != nil {
+		return nil, nil, fmt.Errorf("geosir: unrecoverable raw image data: %w", err)
+	}
+	eng := New(o.opts)
+	for _, img := range images {
+		if err := eng.AddImage(img.id, img.shapes); err != nil {
+			return nil, nil, fmt.Errorf("geosir: image %d: %w", img.id, err)
+		}
+		rec.ImagesLoaded++
+	}
+	if err := freezeLoaded(eng); err != nil {
+		return nil, nil, err
+	}
+	return eng, rec, nil
+}
+
+// readAllWithMagic re-assembles the complete byte image of a stream
+// whose magic has already been consumed.
+func readAllWithMagic(magic string, r io.Reader) ([]byte, error) {
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, 0, len(magic)+len(rest))
+	data = append(data, magic...)
+	return append(data, rest...), nil
+}
+
+// peekGSIR3 parses only the header, table, and OPTS payload of a GSIR3
+// stream (magic already consumed), verifying the table and OPTS
+// checksums. Sequential: pad bytes up to OPTS are discarded, array
+// sections after it are never read.
+func peekGSIR3(r io.Reader) (SnapshotInfo, error) {
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("geosir: reading GSIR3 header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != v3Version {
+		return SnapshotInfo{}, fmt.Errorf("geosir: unsupported GSIR3 version %d", v)
+	}
+	nsec := binary.LittleEndian.Uint32(hdr[2:])
+	if nsec == 0 || nsec > v3MaxSections {
+		return SnapshotInfo{}, fmt.Errorf("geosir: implausible GSIR3 section count %d", nsec)
+	}
+	tableLen := int(nsec) * v3TableEntry
+	buf, err := readCapped(r, tableLen+4)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("geosir: reading GSIR3 section table: %w", err)
+	}
+	table := buf[:tableLen]
+	if crc32.ChecksumIEEE(table) != binary.LittleEndian.Uint32(buf[tableLen:]) {
+		return SnapshotInfo{}, fmt.Errorf("geosir: GSIR3 section table checksum mismatch")
+	}
+	var opts *v3Section
+	for i := 0; i < int(nsec); i++ {
+		row := table[i*v3TableEntry:]
+		if string(row[0:4]) == "OPTS" {
+			opts = &v3Section{
+				off: binary.LittleEndian.Uint64(row[8:]),
+				len: binary.LittleEndian.Uint64(row[16:]),
+				crc: binary.LittleEndian.Uint32(row[24:]),
+			}
+			break
+		}
+	}
+	if opts == nil {
+		return SnapshotInfo{}, fmt.Errorf("geosir: GSIR3 snapshot missing OPTS section")
+	}
+	pos := uint64(v3HeaderLen + tableLen + 4)
+	if opts.off < pos || opts.len != v3OptsLen {
+		return SnapshotInfo{}, fmt.Errorf("geosir: implausible OPTS section placement")
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(opts.off-pos)); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("geosir: seeking OPTS section: %w", err)
+	}
+	payload, err := readCapped(r, int(opts.len))
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("geosir: reading OPTS section: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != opts.crc {
+		return SnapshotInfo{}, fmt.Errorf("geosir: OPTS section checksum mismatch")
+	}
+	o, err := parseV3Options(payload)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{
+		Format:     FormatGSIR3,
+		FormatName: "GSIR3",
+		Options:    o.opts,
+		Images:     o.nImages,
+		Shapes:     o.nShapes,
+		Sections:   int(nsec),
+	}, nil
+}
+
+// engineStorage records how an engine's snapshot is backed, for /statz
+// reporting and unmap lifecycle. nil means heap-built (AddImage+Freeze
+// or a copy-decode load).
+type engineStorage struct {
+	mapping *mmap.Mapping
+}
+
+// StorageStats describes how an engine's index is backed.
+type StorageStats struct {
+	// LoadMode is "heap" (all structures on the Go heap) or "mmap"
+	// (array sections served in place from a mapped snapshot).
+	LoadMode string
+	// MappedBytes is the size of the backing mapping (0 for heap).
+	MappedBytes int64
+	// ResidentBytes estimates how much of the mapping is currently in
+	// memory (-1: no estimate available on this platform; 0 for heap).
+	ResidentBytes int64
+}
+
+// StorageStats reports how this engine's index is backed.
+func (e *Engine) StorageStats() StorageStats {
+	if e.stor == nil || e.stor.mapping == nil {
+		return StorageStats{LoadMode: "heap"}
+	}
+	return StorageStats{
+		LoadMode:      "mmap",
+		MappedBytes:   int64(e.stor.mapping.Len()),
+		ResidentBytes: e.stor.mapping.Resident(),
+	}
+}
+
+// Close releases the engine's snapshot mapping, if any. The engine must
+// not be queried afterward: structures that aliased the mapping are
+// gone. Heap-backed engines need no Close (it is a no-op); mmap-backed
+// engines that are simply dropped are unmapped by a finalizer once
+// unreachable (at which point no query can be in flight).
+func (e *Engine) Close() error {
+	if e.stor == nil || e.stor.mapping == nil {
+		return nil
+	}
+	runtime.SetFinalizer(e, nil)
+	m := e.stor.mapping
+	e.stor.mapping = nil
+	return m.Close()
+}
+
+// LoadFileMmap opens a GSIR3 snapshot by mapping it and serving the
+// array sections in place: open cost is CRC verification plus O(n)
+// pointer stitching — no geometry, no per-element decode — and the
+// page cache decides residency. Falls back with an error (it does NOT
+// silently heap-load) when the file is not GSIR3 or the platform/build
+// cannot map or cast; callers wanting the fallback use LoadAnyMode.
+func LoadFileMmap(path string) (*Engine, error) {
+	if !mmap.Supported() || !mmap.CanCast() {
+		return nil, fmt.Errorf("geosir: mmap load unsupported on this platform/build: %w", mmap.ErrUnsupported)
+	}
+	m, err := mmap.Map(path)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := loadGSIR3Bytes(m.Data(), true)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	eng.stor = &engineStorage{mapping: m}
+	runtime.SetFinalizer(eng, func(e *Engine) { e.Close() })
+	return eng, nil
+}

@@ -1,0 +1,348 @@
+package geosir
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mmap"
+)
+
+func saveV3(t *testing.T, eng *Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.SaveAs(&buf, FormatGSIR3); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkEngineEquivalence asserts two engines answer identically across
+// exact, sketch, and approximate searches plus topological queries.
+func checkEngineEquivalence(t *testing.T, want, got *Engine) {
+	t.Helper()
+	if got.NumImages() != want.NumImages() ||
+		got.NumShapes() != want.NumShapes() ||
+		got.NumEntries() != want.NumEntries() {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			got.NumImages(), got.NumShapes(), got.NumEntries(),
+			want.NumImages(), want.NumShapes(), want.NumEntries())
+	}
+	if got.Options() != want.Options() {
+		t.Fatalf("options differ: %+v vs %+v", got.Options(), want.Options())
+	}
+	ctx := context.Background()
+	queries := []Shape{
+		lshape(0, 0, 3).Transform(Similarity(1.4, 0.5, Pt(40, 40))),
+		square(0, 0, 5).Transform(Similarity(0.7, -1.1, Pt(-3, 8))),
+		triangle(0, 0, 4),
+	}
+	combos := []struct {
+		mode Mode
+		ann  AnnMode
+	}{
+		{ModeAuto, AnnOff}, {ModeExact, AnnOff}, {ModeApproximate, AnnOff},
+		{ModeAuto, AnnVerify}, {ModeAuto, AnnApprox},
+	}
+	for _, c := range combos {
+		for _, k := range []int{1, 3} {
+			for qi, q := range queries {
+				mode := c.mode
+				req := SearchRequest{Query: q, K: k, Mode: mode, Ann: c.ann}
+				r1, err1 := want.Search(ctx, req)
+				r2, err2 := got.Search(ctx, req)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("mode %v k %d q %d: errors differ: %v vs %v", mode, k, qi, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if r1.Stats != r2.Stats {
+					t.Fatalf("mode %v k %d q %d: stats differ:\n%+v\n%+v", mode, k, qi, r1.Stats, r2.Stats)
+				}
+				if len(r1.Matches) != len(r2.Matches) {
+					t.Fatalf("mode %v k %d q %d: %d vs %d matches", mode, k, qi, len(r1.Matches), len(r2.Matches))
+				}
+				for i := range r1.Matches {
+					if r1.Matches[i] != r2.Matches[i] {
+						t.Fatalf("mode %v k %d q %d: match %d differs: %+v vs %+v",
+							mode, k, qi, i, r1.Matches[i], r2.Matches[i])
+					}
+				}
+			}
+		}
+	}
+	binds := map[string]Shape{"sq": square(0, 0, 7), "tri": triangle(0, 0, 5)}
+	for _, src := range []string{"contain(sq, tri, any)", "overlap(sq, tri, any)", "similar(sq)"} {
+		ids1, _, err1 := want.Query(src, binds)
+		ids2, _, err2 := got.Query(src, binds)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("query %q: errors differ: %v vs %v", src, err1, err2)
+		}
+		if len(ids1) != len(ids2) {
+			t.Fatalf("query %q: %v vs %v", src, ids1, ids2)
+		}
+		for i := range ids1 {
+			if ids1[i] != ids2[i] {
+				t.Fatalf("query %q: %v vs %v", src, ids1, ids2)
+			}
+		}
+	}
+}
+
+func TestGSIR3RoundTrip(t *testing.T) {
+	orig := buildEngine(t)
+	data := saveV3(t, orig)
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Frozen() {
+		t.Fatal("GSIR3 load should return a frozen engine")
+	}
+	checkEngineEquivalence(t, orig, loaded)
+}
+
+func TestGSIR3SaveLoadSaveByteIdentity(t *testing.T) {
+	orig := buildEngine(t)
+	first := saveV3(t, orig)
+	loaded, err := Load(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := saveV3(t, loaded)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("GSIR3 encoding is not canonical: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+func TestGSIR3RequiresFrozen(t *testing.T) {
+	eng := New(DefaultOptions())
+	if err := eng.AddImage(0, []Shape{square(0, 0, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveAs(&buf, FormatGSIR3); err == nil {
+		t.Fatal("GSIR3 save of an unfrozen engine should fail")
+	}
+}
+
+func TestGSIR3Peek(t *testing.T) {
+	orig := buildEngine(t)
+	data := saveV3(t, orig)
+	info, err := Peek(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Format != FormatGSIR3 || info.FormatName != "GSIR3" {
+		t.Fatalf("format = %d %q", info.Format, info.FormatName)
+	}
+	if info.Images != orig.NumImages() || info.Shapes != orig.NumShapes() {
+		t.Fatalf("peek counts %d/%d, want %d/%d", info.Images, info.Shapes, orig.NumImages(), orig.NumShapes())
+	}
+	if info.Sections == 0 {
+		t.Fatal("peek should report the section count")
+	}
+	if info.Options != orig.Options() {
+		t.Fatalf("peek options %+v, want %+v", info.Options, orig.Options())
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gsir3")
+	if err := orig.SaveFileAs(path, FormatGSIR3); err != nil {
+		t.Fatal(err)
+	}
+	finfo, err := PeekFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finfo.Size != int64(len(data)) {
+		t.Fatalf("peek size %d, want %d", finfo.Size, len(data))
+	}
+}
+
+func TestGSIR3MmapEquivalence(t *testing.T) {
+	if !mmap.Supported() || !mmap.CanCast() {
+		t.Skip("mmap serving unsupported on this platform/build")
+	}
+	orig := buildEngine(t)
+	path := filepath.Join(t.TempDir(), "snap.gsir3")
+	if err := orig.SaveFileAs(path, FormatGSIR3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadFileMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if st := m.StorageStats(); st.LoadMode != "mmap" || st.MappedBytes == 0 {
+		t.Fatalf("storage stats = %+v", st)
+	}
+	if st := orig.StorageStats(); st.LoadMode != "heap" || st.MappedBytes != 0 {
+		t.Fatalf("heap engine storage stats = %+v", st)
+	}
+	checkEngineEquivalence(t, orig, m)
+
+	h, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEngineEquivalence(t, h, m)
+}
+
+func TestGSIR3MmapClose(t *testing.T) {
+	if !mmap.Supported() || !mmap.CanCast() {
+		t.Skip("mmap serving unsupported on this platform/build")
+	}
+	orig := buildEngine(t)
+	path := filepath.Join(t.TempDir(), "snap.gsir3")
+	if err := orig.SaveFileAs(path, FormatGSIR3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadFileMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if st := m.StorageStats(); st.LoadMode != "heap" {
+		t.Fatalf("closed engine should report heap backing, got %+v", st)
+	}
+	// Heap engines Close as a no-op.
+	if err := orig.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGSIR3CrossFormatEquivalence(t *testing.T) {
+	orig := buildEngine(t)
+	var v2 bytes.Buffer
+	if err := orig.SaveAs(&v2, FormatGSIR2); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := Load(bytes.NewReader(saveV3(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEngineEquivalence(t, e2, e3)
+}
+
+// TestGSIR3ByteFlipSweep flips one byte in every section payload in
+// turn. Damage to a raw section must refuse recovery; damage to a
+// derived section must salvage an engine that answers identically to
+// the original (the slow rebuild is deterministic). A strict Load must
+// fail on every flip.
+func TestGSIR3ByteFlipSweep(t *testing.T) {
+	orig := buildEngine(t)
+	data := saveV3(t, orig)
+	secs, err := parseV3Layout(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := lshape(0, 0, 3).Transform(Similarity(1.4, 0.5, Pt(40, 40)))
+	wantM, wantS, err := orig.FindSimilar(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range secs {
+		if s.len == 0 {
+			continue
+		}
+		name := s.tag
+		t.Run(name, func(t *testing.T) {
+			mut := bytes.Clone(data)
+			mut[s.off+s.len/2] ^= 0x40
+			if _, err := Load(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("strict load survived a flip in %s", name)
+			}
+			eng, rec, err := LoadPartial(bytes.NewReader(mut))
+			if v3RawTags[name] {
+				if err == nil {
+					t.Fatalf("salvage from damaged raw section %s should refuse", name)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("salvage with damaged %s: %v", name, err)
+			}
+			if rec.Complete() {
+				t.Fatalf("recovery from damaged %s claims to be complete", name)
+			}
+			if rec.AuxDropped == 0 {
+				t.Fatalf("recovery from damaged %s reports no dropped sections", name)
+			}
+			gotM, gotS, err := eng.FindSimilar(q, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotS != wantS || len(gotM) != len(wantM) {
+				t.Fatalf("salvaged engine answers differently: %+v vs %+v", gotS, wantS)
+			}
+			for i := range wantM {
+				if gotM[i] != wantM[i] {
+					t.Fatalf("salvaged match %d: %+v vs %+v", i, gotM[i], wantM[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGSIR3TruncationSweep cuts the file at a range of lengths; every
+// prefix must either refuse cleanly or salvage — never panic, never
+// load silently wrong data.
+func TestGSIR3TruncationSweep(t *testing.T) {
+	orig := buildEngine(t)
+	data := saveV3(t, orig)
+	cuts := []int{0, 3, magicLen, v3HeaderLen, v3HeaderLen + 10,
+		len(data) / 4, len(data) / 2, len(data) - 1}
+	for _, n := range cuts {
+		if n > len(data) {
+			continue
+		}
+		if _, err := Load(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("strict load survived truncation to %d bytes", n)
+		}
+		eng, _, err := LoadPartial(bytes.NewReader(data[:n]))
+		if err == nil && eng == nil {
+			t.Fatalf("truncation to %d: nil engine without error", n)
+		}
+	}
+}
+
+func TestGSIR3SaveFileAsAtomicity(t *testing.T) {
+	orig := buildEngine(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := orig.SaveFileAs(path, FormatGSIR3); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+	// Explicit GSIR2 via SaveFileAs still round-trips.
+	if err := orig.SaveFileAs(path, FormatGSIR2); err != nil {
+		t.Fatal(err)
+	}
+	info, err := PeekFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FormatName != "GSIR2" {
+		t.Fatalf("format = %q", info.FormatName)
+	}
+}

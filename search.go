@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -313,6 +314,7 @@ func (e *Engine) searchExactShared(q Shape, k int, rank map[int32]int32, shared 
 		VerticesCounted: st.VerticesCounted,
 		Candidates:      st.Candidates,
 		Converged:       st.Converged,
+		BlockReads:      st.BlocksRead,
 	}
 	return e.toMatches(ms, false), stats, nil
 }
@@ -331,6 +333,8 @@ func (e *Engine) searchApprox(q Shape, k int, ann AnnMode) ([]Match, Stats, erro
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	var blocks atomic.Int64
+	pq.AttachBlockCounter(&blocks)
 	quad := e.family.Characteristic(pq.Entry().Poly.Pts)
 	ids := e.table.Lookup(quad, 0)
 	if len(ids) == 0 {
@@ -341,6 +345,7 @@ func (e *Engine) searchApprox(q Shape, k int, ann AnnMode) ([]Match, Stats, erro
 		ids, st = e.annOrderShapes(q, ids)
 	}
 	out := e.scoreApprox(pq, ids, k, nil)
+	st.BlockReads = int(blocks.Load())
 	sortMatches(out)
 	if len(out) > k {
 		out = out[:k]
@@ -479,7 +484,7 @@ func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, width int,
 		if useAnn {
 			t, perStats[si], err = e.sketchShapeTableAnn(sketch[si], k)
 		} else {
-			t, err = e.sketchShapeTable(sketch[si])
+			t, perStats[si], err = e.sketchShapeTable(sketch[si])
 		}
 		if err != nil {
 			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
@@ -500,11 +505,11 @@ func (e *Engine) searchSketch(ctx context.Context, sketch []Shape, k, width int,
 // sketchShapeTable retrieves one sketch shape generously (enough shapes
 // to cover every image once) and reduces the matches to the best
 // distance per image.
-func (e *Engine) sketchShapeTable(q Shape) (map[int]float64, error) {
+func (e *Engine) sketchShapeTable(q Shape) (map[int]float64, Stats, error) {
 	base := e.db.Base()
-	ms, _, err := base.Match(q, base.NumShapes())
+	ms, st, err := base.Match(q, base.NumShapes())
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	best := make(map[int]float64)
 	for _, m := range ms {
@@ -513,7 +518,7 @@ func (e *Engine) sketchShapeTable(q Shape) (map[int]float64, error) {
 			best[img] = m.DistVertex
 		}
 	}
-	return best, nil
+	return best, Stats{BlockReads: st.BlocksRead}, nil
 }
 
 // scoreSketchTables merges per-sketch-shape best-distance tables into

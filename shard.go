@@ -337,6 +337,40 @@ func (se *ShardedEngine) Shard(i int) *Engine { return se.snapshot().shards[i] }
 // current view.
 func (se *ShardedEngine) IDMap() *core.ShardMap { return se.snapshot().smap }
 
+// StorageStats aggregates the shards' storage backing: MappedBytes and
+// ResidentBytes sum over mmap-served shards, and LoadMode is "mmap"
+// when at least one shard serves from a mapping. A -1 resident estimate
+// from any shard makes the aggregate -1 (unknown).
+func (se *ShardedEngine) StorageStats() StorageStats {
+	out := StorageStats{LoadMode: "heap"}
+	for _, sh := range se.snapshot().shards {
+		st := sh.StorageStats()
+		if st.LoadMode != "mmap" {
+			continue
+		}
+		out.LoadMode = "mmap"
+		out.MappedBytes += st.MappedBytes
+		if st.ResidentBytes < 0 || out.ResidentBytes < 0 {
+			out.ResidentBytes = -1
+		} else {
+			out.ResidentBytes += st.ResidentBytes
+		}
+	}
+	return out
+}
+
+// Close releases every shard's snapshot mapping (no-op for heap-backed
+// shards). The engine must not be queried afterward.
+func (se *ShardedEngine) Close() error {
+	var first error
+	for _, sh := range se.snapshot().shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // MutationEpoch returns the count of visible mutations (inserts,
 // deletes, compaction swaps) since startup. Any two Searches bracketed
 // by equal epochs saw the same logical base, so caches may key on it.
@@ -630,6 +664,8 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, v *shardView, q Shape
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	var blocks atomic.Int64
+	pq.AttachBlockCounter(&blocks)
 	live := v.liveShards()
 	deltas := v.deltas()
 	n := len(live) + len(deltas)
@@ -700,6 +736,7 @@ func (se *ShardedEngine) approxFanout(ctx context.Context, v *shardView, q Shape
 	for _, st := range stats {
 		merged.addANN(st)
 	}
+	merged.BlockReads += int(blocks.Load())
 	return mergeTopK(lists, k), merged, nil
 }
 
@@ -718,6 +755,8 @@ func (se *ShardedEngine) annApproxFanout(ctx context.Context, v *shardView, q Sh
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	var blocks atomic.Int64
+	pq.AttachBlockCounter(&blocks)
 	live := v.liveShards()
 	deltas := v.deltas()
 	n := len(live) + len(deltas)
@@ -764,6 +803,7 @@ func (se *ShardedEngine) annApproxFanout(ctx context.Context, v *shardView, q Sh
 	for _, st := range stats {
 		merged.addANN(st)
 	}
+	merged.BlockReads += int(blocks.Load())
 	return mergeTopK(lists, k), merged, nil
 }
 
@@ -801,7 +841,7 @@ func (se *ShardedEngine) sketchFanout(ctx context.Context, v *shardView, sketch 
 		if ann == AnnApprox && sh.ann != nil {
 			m, partStats[t], err = sh.sketchShapeTableAnn(sketch[si], k)
 		} else {
-			m, err = sh.sketchShapeTable(sketch[si])
+			m, partStats[t], err = sh.sketchShapeTable(sketch[si])
 		}
 		if err != nil {
 			return fmt.Errorf("geosir: sketch shape %d: %w", si, err)
@@ -903,6 +943,7 @@ func mergeStats(ss []Stats) Stats {
 		out.UsedANN = out.UsedANN || s.UsedANN
 		out.ANNProbes += s.ANNProbes
 		out.ANNCandidates += s.ANNCandidates
+		out.BlockReads += s.BlockReads
 	}
 	return out
 }

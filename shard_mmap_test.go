@@ -1,0 +1,110 @@
+package geosir
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mmap"
+)
+
+// TestShardedMmapEquivalence is the mmap serving equivalence suite:
+// over the same seeded random base, a snapshot directory reloaded in
+// LoadModeMmap answers byte-identically to the same directory reloaded
+// in LoadModeHeap and to the engine that wrote it — for shard counts
+// {1, 2, 7}, every mode, several k, and both ANN tiers. Run under
+// -race this also proves the mapped sections are data-race-free under
+// concurrent fan-out.
+func TestShardedMmapEquivalence(t *testing.T) {
+	images, queries, sketch := equivBase(t)
+	ctx := context.Background()
+
+	for _, shards := range []int{1, 2, 7} {
+		orig := buildShardedFrom(t, images, shards)
+		dir := filepath.Join(t.TempDir(), "snap")
+		if err := orig.SaveDir(dir); err != nil {
+			t.Fatalf("shards=%d: SaveDir: %v", shards, err)
+		}
+		// Every frozen shard must have been written as GSIR3.
+		for i := 0; i < shards; i++ {
+			info, err := PeekFile(filepath.Join(dir, shardFileName(i)))
+			if err != nil {
+				t.Fatalf("shards=%d: peek shard %d: %v", shards, i, err)
+			}
+			if info.FormatName != "GSIR3" {
+				t.Fatalf("shards=%d: shard %d written as %s, want GSIR3", shards, i, info.FormatName)
+			}
+		}
+
+		heap, hrec, err := LoadShardedDirMode(dir, LoadModeHeap)
+		if err != nil {
+			t.Fatalf("shards=%d: heap load: %v", shards, err)
+		}
+		if !hrec.Complete() {
+			t.Fatalf("shards=%d: heap load incomplete: %+v", shards, hrec)
+		}
+		mm, mrec, err := LoadShardedDirMode(dir, LoadModeMmap)
+		if err != nil {
+			t.Fatalf("shards=%d: mmap load: %v", shards, err)
+		}
+		if !mrec.Complete() {
+			t.Fatalf("shards=%d: mmap load incomplete: %+v", shards, mrec)
+		}
+
+		mmapActive := mmap.Supported() && mmap.CanCast()
+		hst, mst := heap.StorageStats(), mm.StorageStats()
+		if hst.LoadMode != "heap" || hst.MappedBytes != 0 {
+			t.Fatalf("shards=%d: heap storage stats %+v", shards, hst)
+		}
+		if mmapActive && (mst.LoadMode != "mmap" || mst.MappedBytes == 0) {
+			t.Fatalf("shards=%d: mmap storage stats %+v", shards, mst)
+		}
+
+		combos := []struct {
+			mode Mode
+			ann  AnnMode
+		}{
+			{ModeAuto, AnnOff}, {ModeExact, AnnOff}, {ModeApproximate, AnnOff},
+			{ModeAuto, AnnVerify}, {ModeAuto, AnnApprox}, {ModeSketch, AnnOff},
+		}
+		engines := []struct {
+			name string
+			s    Searcher
+		}{{"orig", orig}, {"mmap", mm}}
+		for _, c := range combos {
+			for _, k := range []int{1, 4} {
+				qs := queries
+				if c.mode == ModeSketch {
+					qs = queries[:1] // sketch ignores Query; run once
+				}
+				for qi, q := range qs {
+					req := SearchRequest{Query: q, K: k, Mode: c.mode, Ann: c.ann}
+					if c.mode == ModeSketch {
+						req = SearchRequest{Sketch: sketch, K: k, Mode: ModeSketch, Ann: c.ann}
+					}
+					want, werr := heap.Search(ctx, req)
+					for _, e := range engines {
+						got, gerr := e.s.Search(ctx, req)
+						label := e.name
+						if (werr == nil) != (gerr == nil) {
+							t.Fatalf("shards=%d mode=%v ann=%v k=%d q=%d %s: errors differ: %v vs %v",
+								shards, c.mode, c.ann, k, qi, label, werr, gerr)
+						}
+						if werr != nil {
+							continue
+						}
+						if want.Stats != got.Stats {
+							t.Fatalf("shards=%d mode=%v ann=%v k=%d q=%d %s: stats differ\nheap: %+v\n%s: %+v",
+								shards, c.mode, c.ann, k, qi, label, want.Stats, label, got.Stats)
+						}
+						assertMatchesEqual(t, label, want.Matches, got.Matches)
+						assertSketchEqual(t, label, want.SketchMatches, got.SketchMatches)
+					}
+				}
+			}
+		}
+		if err := mm.Close(); err != nil {
+			t.Fatalf("shards=%d: close: %v", shards, err)
+		}
+	}
+}

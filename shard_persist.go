@@ -14,14 +14,17 @@ import (
 // A sharded snapshot is a directory:
 //
 //	<dir>/MANIFEST.json      image routing manifest (written last)
-//	<dir>/shard-000.gsir2    shard 0, a standard GSIR2 snapshot
+//	<dir>/shard-000.gsir2    shard 0, a standard GSIR snapshot
 //	<dir>/shard-001.gsir2    shard 1, ...
 //	<dir>/DELTA.wal          live-ingestion write-ahead log (optional)
 //
-// Each shard file is an ordinary atomic GSIR2 snapshot (PR 2's
-// temp+fsync+rename path), so shard damage is contained: a corrupted or
-// missing shard file degrades that shard — partial results with
-// Recovery accounting — and never poisons its siblings. The manifest
+// Each shard file is an ordinary atomic GSIR snapshot (PR 2's
+// temp+fsync+rename path; frozen shards are written as GSIR3 so a
+// reload assembles — or mmaps — instead of rebuilding, and the magic
+// negotiates the format on load regardless of the .gsir2 suffix), so
+// shard damage is contained: a corrupted or missing shard file degrades
+// that shard — partial results with Recovery accounting — and never
+// poisons its siblings. The manifest
 // records the AddImage call order as (image id, shape count, shard,
 // deleted) tuples; replaying it fixes every global shape id, so ids
 // survive reload even when recovery drops images, and a re-save of the
@@ -101,7 +104,15 @@ func (se *ShardedEngine) SaveDir(dir string) error {
 	}
 	v := se.snapshot()
 	for i, sh := range v.shards {
-		if err := sh.SaveFile(filepath.Join(dir, shardFileName(i))); err != nil {
+		// Frozen shards are written as GSIR3 so reloads assemble (or
+		// mmap) instead of rebuilding; unfrozen placeholders (empty
+		// shards) have no derived sections and stay GSIR2. The file name
+		// does not encode the format — the magic negotiates on load.
+		f := FormatGSIR2
+		if sh.Frozen() {
+			f = FormatGSIR3
+		}
+		if err := sh.SaveFileAs(filepath.Join(dir, shardFileName(i)), f); err != nil {
 			return fmt.Errorf("geosir: saving shard %d: %w", i, err)
 		}
 	}
@@ -204,6 +215,54 @@ func (r *ShardRecovery) Complete() bool {
 	return true
 }
 
+// LoadMode selects how snapshot files are opened.
+type LoadMode int
+
+const (
+	// LoadModeHeap decodes snapshots fully onto the Go heap (works for
+	// every format on every platform).
+	LoadModeHeap LoadMode = iota
+	// LoadModeMmap memory-maps GSIR3 snapshots and serves their array
+	// sections in place — O(1) open, page-cache-backed residency. Files
+	// that are not GSIR3, damaged files, and platforms/builds without
+	// mmap+cast support fall back to the heap path per file.
+	LoadModeMmap
+)
+
+// String returns the mode's /statz and flag spelling.
+func (m LoadMode) String() string {
+	if m == LoadModeMmap {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// ParseLoadMode parses "heap" or "mmap".
+func ParseLoadMode(s string) (LoadMode, error) {
+	switch s {
+	case "heap", "":
+		return LoadModeHeap, nil
+	case "mmap":
+		return LoadModeMmap, nil
+	}
+	return LoadModeHeap, fmt.Errorf("geosir: unknown load mode %q (want heap or mmap)", s)
+}
+
+// loadShardFile opens one snapshot file under the requested mode. In
+// mmap mode a clean GSIR3 file is mapped and served in place; any
+// failure — wrong format, damage, unsupported platform — falls back to
+// the salvaging heap loader, so mode is a performance choice, never an
+// availability one.
+func loadShardFile(path string, mode LoadMode) (*Engine, *Recovery, error) {
+	if mode == LoadModeMmap {
+		if eng, err := LoadFileMmap(path); err == nil {
+			n := eng.NumImages()
+			return eng, &Recovery{Format: "GSIR3", ImagesExpected: n, ImagesLoaded: n}, nil
+		}
+	}
+	return LoadPartialFile(path)
+}
+
 // LoadShardedDir loads a sharded snapshot directory, salvaging whatever
 // verifies. Damage is contained at two granularities: a corrupted image
 // section costs that image (per-file Recovery), and an unreadable or
@@ -212,6 +271,12 @@ func (r *ShardRecovery) Complete() bool {
 // intact — without it no routing can be reconstructed. A DELTA.wal in
 // the directory is not replayed here; EnableIngest owns it.
 func LoadShardedDir(dir string) (*ShardedEngine, *ShardRecovery, error) {
+	return LoadShardedDirMode(dir, LoadModeHeap)
+}
+
+// LoadShardedDirMode is LoadShardedDir with an explicit per-shard open
+// strategy; see LoadMode.
+func LoadShardedDirMode(dir string, mode LoadMode) (*ShardedEngine, *ShardRecovery, error) {
 	man, err := readManifest(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, nil, err
@@ -227,7 +292,7 @@ func LoadShardedDir(dir string) (*ShardedEngine, *ShardRecovery, error) {
 	for i := range shards {
 		path := filepath.Join(dir, shardFileName(i))
 		rec.Shards[i].Path = path
-		eng, frec, err := LoadPartialFile(path)
+		eng, frec, err := loadShardFile(path, mode)
 		if err != nil {
 			rec.Shards[i].Err = err
 			rec.Shards[i].Dropped = true
@@ -369,18 +434,24 @@ func engineImageGroups(eng *Engine) []shardImage {
 // recovery report uses the sharded shape in both cases — a single file
 // loads as one "shard" entry — so callers handle degradation uniformly.
 func LoadAny(path string) (Searcher, *ShardRecovery, error) {
+	return LoadAnyMode(path, LoadModeHeap)
+}
+
+// LoadAnyMode is LoadAny with an explicit per-file open strategy; see
+// LoadMode.
+func LoadAnyMode(path string, mode LoadMode) (Searcher, *ShardRecovery, error) {
 	st, err := os.Stat(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	if st.IsDir() {
-		eng, rec, err := LoadShardedDir(path)
+		eng, rec, err := LoadShardedDirMode(path, mode)
 		if err != nil {
 			return nil, nil, err
 		}
 		return eng, rec, nil
 	}
-	eng, frec, err := LoadPartialFile(path)
+	eng, frec, err := loadShardFile(path, mode)
 	if err != nil {
 		return nil, nil, err
 	}
